@@ -1,0 +1,360 @@
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation (Section 6), plus ablation benches for the design choices
+// DESIGN.md calls out and micro-benchmarks of the pipeline stages.
+//
+//	go test -bench=. -benchmem                  # everything (several minutes)
+//	go test -bench=Figure6 -benchtime=1x        # one figure, one pass
+//
+// The figure benches report the paper's metrics as custom units:
+// perf/MII-over-II (higher is better, 1.0 = provably optimal) and
+// compile-µs/loop alongside the usual ns/op.
+package regimap_test
+
+import (
+	"testing"
+
+	"regimap"
+	"regimap/internal/arch"
+	"regimap/internal/clique"
+	"regimap/internal/core"
+	"regimap/internal/dfg"
+	"regimap/internal/dresc"
+	"regimap/internal/ems"
+	"regimap/internal/experiments"
+	"regimap/internal/kernels"
+	"regimap/internal/sched"
+	"regimap/internal/sim"
+)
+
+// --- figure/table benches ---------------------------------------------------
+
+// BenchmarkFigure2 regenerates the worked example (registers cut II 4 -> 2 on
+// a 1x2 array).
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Figure2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if r.IIWithRegisters != 2 {
+			b.Fatalf("II = %d, want 2", r.IIWithRegisters)
+		}
+	}
+}
+
+// BenchmarkFigure5 regenerates the compatibility-graph pruning example.
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// suitePass maps every kernel with one mapper on the paper's 4x4/4-regs
+// array and reports the paper's metrics.
+func suitePass(b *testing.B, mapper experiments.Mapper) {
+	cfg := experiments.Paper4x4(4)
+	for i := 0; i < b.N; i++ {
+		var perfSum float64
+		var compileNS int64
+		mapped, total := 0, 0
+		for _, k := range kernels.All() {
+			row := experiments.RunLoop(k, mapper, cfg)
+			total++
+			compileNS += row.CompileTime.Nanoseconds()
+			if row.OK {
+				mapped++
+				perfSum += row.Perf
+			}
+		}
+		b.ReportMetric(perfSum/float64(mapped), "perf/loop")
+		b.ReportMetric(float64(compileNS)/1e3/float64(total), "compile-µs/loop")
+		b.ReportMetric(float64(mapped), "mapped")
+	}
+}
+
+// BenchmarkFigure6_REGIMap..EMS regenerate the per-loop comparison of
+// Figure 6; comparing the three benches' perf/loop and compile-µs/loop
+// metrics reproduces both the figure and the Section 6.2 compile-time table.
+func BenchmarkFigure6_REGIMap(b *testing.B) { suitePass(b, experiments.REGIMap) }
+func BenchmarkFigure6_DRESC(b *testing.B)   { suitePass(b, experiments.DRESC) }
+func BenchmarkFigure6_EMS(b *testing.B)     { suitePass(b, experiments.EMS) }
+
+// BenchmarkFigure7 sweeps the register-file size (2/4/8) on the 4x4 array
+// for both mappers — the paper's Figure 7 series and §6.2 ratios.
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure7(experiments.Config{})
+		for _, regs := range r.RegSizes {
+			b.ReportMetric(r.Ratio(regs, kernels.ResBounded), "time-ratio-res-r"+itoa(regs))
+		}
+	}
+}
+
+// BenchmarkFigure8 sweeps the array size (2x2/4x4/8x8) at 2 registers per PE
+// on the res-bounded group — the paper's Figure 8 series.
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.Figure8(experiments.Config{})
+		for _, p := range r.Points {
+			if p.Mapper == experiments.REGIMap {
+				b.ReportMetric(p.MeanPerf, "perf-"+itoa(p.Config.Rows)+"x"+itoa(p.Config.Cols))
+			}
+		}
+	}
+}
+
+// BenchmarkRescheduleAblation regenerates the Section 6.3 learning-from-
+// failure measurement.
+func BenchmarkRescheduleAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.RescheduleAblation(experiments.Paper4x4(4))
+		b.ReportMetric(100*float64(r.WorseRes)/float64(max(1, r.TotalRes)), "%res-worse")
+		b.ReportMetric(100*float64(r.WorseRec)/float64(max(1, r.TotalRec)), "%rec-worse")
+	}
+}
+
+// BenchmarkPower regenerates the Section 6.5 power-efficiency estimate.
+func BenchmarkPower(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := experiments.PowerEfficiency(experiments.Paper4x4(4))
+		b.ReportMetric(r.MeanIPC, "IPC")
+		b.ReportMetric(r.Estimate.EnergyRatio, "energy-advantage")
+	}
+}
+
+// --- ablation benches (design choices called out in DESIGN.md §6) -----------
+
+// ablationPass maps the whole suite with one REGIMap configuration and
+// reports mean perf, so ablations are compared by their perf/loop metric.
+func ablationPass(b *testing.B, opts core.Options) {
+	c := arch.NewMesh(4, 4, 4)
+	for i := 0; i < b.N; i++ {
+		var perfSum float64
+		mapped := 0
+		for _, k := range kernels.All() {
+			_, stats, err := core.Map(k.Build(), c, opts)
+			if err != nil {
+				continue
+			}
+			mapped++
+			perfSum += stats.Perf()
+		}
+		b.ReportMetric(perfSum/float64(max(1, mapped)), "perf/loop")
+		b.ReportMetric(float64(mapped), "mapped")
+	}
+}
+
+// Learning moves on/off (§6.3 and Appendix E).
+func BenchmarkAblationFullLearning(b *testing.B) { ablationPass(b, core.Options{}) }
+func BenchmarkAblationNoReschedule(b *testing.B) {
+	ablationPass(b, core.Options{DisableReschedule: true, DisableRouteInsertion: true, DisableThinning: true})
+}
+func BenchmarkAblationNoThinning(b *testing.B) {
+	ablationPass(b, core.Options{DisableThinning: true})
+}
+func BenchmarkAblationNoRouteInsertion(b *testing.B) {
+	ablationPass(b, core.Options{DisableRouteInsertion: true})
+}
+
+// The paper's conservative inter-iteration rule (Appendix A.2) vs this
+// reproduction's physically-safe relaxation.
+func BenchmarkAblationStrictInterIteration(b *testing.B) {
+	ablationPass(b, core.Options{Compat: core.CompatOptions{StrictInterIteration: true}})
+}
+
+// Clique-search variants (Appendix D: swap repair and intersection
+// re-seeding).
+func BenchmarkAblationCliqueNoSwap(b *testing.B) {
+	ablationPass(b, core.Options{Clique: clique.Options{DisableSwap: true}})
+}
+func BenchmarkAblationCliqueNoIntersect(b *testing.B) {
+	ablationPass(b, core.Options{Clique: clique.Options{DisableIntersect: true}})
+}
+
+// BenchmarkAblationPruning measures the paper's scheduling-prunes-the-
+// product-graph claim: compatibility-graph nodes per (ops x PEs x II) raw
+// product nodes across the suite.
+func BenchmarkAblationPruning(b *testing.B) {
+	c := arch.NewMesh(4, 4, 4)
+	for i := 0; i < b.N; i++ {
+		var compatNodes, productNodes int
+		for _, k := range kernels.All() {
+			d := k.Build()
+			sc := sched.New(d, c.NumPEs(), c.Rows)
+			ii := sc.MII()
+			res, err := sc.ScheduleMinII(ii, ii+8, sched.Options{})
+			if err != nil {
+				continue
+			}
+			cg, err := core.BuildCompat(d, c, res.Time, res.II, core.CompatOptions{})
+			if err != nil {
+				continue
+			}
+			compatNodes += cg.Nodes()
+			productNodes += d.N() * c.NumPEs() * res.II
+		}
+		b.ReportMetric(float64(compatNodes)/float64(productNodes), "compat/product")
+	}
+}
+
+// --- micro-benchmarks of the pipeline stages --------------------------------
+
+func benchKernel() *dfg.DFG {
+	k, _ := kernels.ByName("sobel")
+	return k.Build()
+}
+
+// BenchmarkScheduler measures one iterative-modulo-scheduling pass.
+func BenchmarkScheduler(b *testing.B) {
+	d := benchKernel()
+	sc := sched.New(d, 16, 4)
+	ii := sc.MII()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sc.Schedule(ii, sched.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBuildCompat measures compatibility-graph construction.
+func BenchmarkBuildCompat(b *testing.B) {
+	d := benchKernel()
+	c := arch.NewMesh(4, 4, 4)
+	sc := sched.New(d, 16, 4)
+	res, err := sc.Schedule(sc.MII()+1, sched.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.BuildCompat(d, c, res.Time, res.II, core.CompatOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCliqueFind measures the weight-constrained clique search on a
+// realistic compatibility graph.
+func BenchmarkCliqueFind(b *testing.B) {
+	d := benchKernel()
+	c := arch.NewMesh(4, 4, 4)
+	sc := sched.New(d, 16, 4)
+	res, err := sc.Schedule(sc.MII()+1, sched.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cg, err := core.BuildCompat(d, c, res.Time, res.II, core.CompatOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clique.Find(cg.G, d.N(), clique.Options{})
+	}
+}
+
+// BenchmarkMapREGIMap measures an end-to-end REGIMap run on one kernel.
+func BenchmarkMapREGIMap(b *testing.B) {
+	c := arch.NewMesh(4, 4, 4)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := core.Map(benchKernel(), c, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMapDRESC measures an end-to-end DRESC run on the same kernel.
+func BenchmarkMapDRESC(b *testing.B) {
+	c := arch.NewMesh(4, 4, 4)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := dresc.Map(benchKernel(), c, dresc.Options{Seed: int64(i)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMapEMS measures an end-to-end EMS run on the same kernel.
+func BenchmarkMapEMS(b *testing.B) {
+	c := arch.NewMesh(4, 4, 4)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := ems.Map(benchKernel(), c, ems.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulate measures the cycle-accurate functional simulator.
+func BenchmarkSimulate(b *testing.B) {
+	m, _, err := regimap.Map(benchKernel(), regimap.NewMesh(4, 4, 4), regimap.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sim.Check(m, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMRRG measures modulo-routing-resource-graph construction (the
+// DRESC substrate).
+func BenchmarkMRRG(b *testing.B) {
+	c := arch.NewMesh(8, 8, 4)
+	for i := 0; i < b.N; i++ {
+		arch.BuildMRRG(c, 8)
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// BenchmarkEmitAndExecute measures the backend: lowering a mapping to
+// instruction words and executing them for 8 iterations.
+func BenchmarkEmitAndExecute(b *testing.B) {
+	m, _, err := regimap.Map(benchKernel(), regimap.NewMesh(4, 4, 8), regimap.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prog, err := regimap.Emit(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := regimap.ExecuteProgram(prog, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompile measures the loop front end on a realistic body.
+func BenchmarkCompile(b *testing.B) {
+	const src = "y = 5*x[i] + 3*x[i-1] - 2*y@1 - y@2\nout[i] = min(max(y, 0-128), 127)"
+	for i := 0; i < b.N; i++ {
+		if _, err := regimap.Compile("biquad", src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

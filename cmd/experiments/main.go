@@ -1,0 +1,88 @@
+// Command experiments regenerates the paper's evaluation (Section 6): every
+// figure and table, printed as text tables. Expect a few minutes with the
+// full DRESC annealing budget; -quick trades annealing quality for speed.
+//
+// Usage:
+//
+//	experiments                 # everything
+//	experiments -run fig6       # one of: fig2, fig5, fig6, fig7, fig8, ablation, power
+//	experiments -quick          # reduced DRESC budget
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"regimap/internal/experiments"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "all", "experiment to run: all, fig2, fig5, fig6, fig7, fig8, ablation, power, registers")
+		quick   = flag.Bool("quick", false, "shrink the DRESC annealing budget")
+		seed    = flag.Int64("seed", 0, "DRESC annealing seed")
+		csvPath = flag.String("csv", "", "also write Figure 6 per-loop rows as CSV to this file")
+	)
+	flag.Parse()
+	base := experiments.Config{Rows: 4, Cols: 4, Regs: 4, Seed: *seed, Quick: *quick}
+
+	want := func(name string) bool { return *run == "all" || *run == name }
+	ran := false
+
+	if want("fig2") {
+		ran = true
+		r, err := experiments.Figure2()
+		exitOn(err)
+		fmt.Println(r.Table())
+	}
+	if want("fig5") {
+		ran = true
+		r, err := experiments.Figure5()
+		exitOn(err)
+		fmt.Println(r.Table())
+	}
+	if want("fig6") {
+		ran = true
+		r := experiments.Figure6(base)
+		fmt.Println(r.Table())
+		if *csvPath != "" {
+			f, err := os.Create(*csvPath)
+			exitOn(err)
+			exitOn(experiments.WriteCSV(f, r.Rows))
+			exitOn(f.Close())
+			fmt.Printf("per-loop rows written to %s\n\n", *csvPath)
+		}
+	}
+	if want("fig7") {
+		ran = true
+		fmt.Println(experiments.Figure7(base).Table())
+	}
+	if want("fig8") {
+		ran = true
+		fmt.Println(experiments.Figure8(base).Table())
+	}
+	if want("ablation") {
+		ran = true
+		fmt.Println(experiments.RescheduleAblation(base).Table())
+	}
+	if want("power") {
+		ran = true
+		fmt.Println(experiments.PowerEfficiency(base).Table())
+	}
+	if want("registers") {
+		ran = true
+		fmt.Println(experiments.RegisterBenefit(base).Table())
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *run)
+		os.Exit(2)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

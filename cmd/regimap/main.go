@@ -1,0 +1,150 @@
+// Command regimap maps a benchmark kernel onto a CGRA and reports the
+// result: achieved II versus the lower bound, the kernel configuration
+// table, register pressure, and (optionally) a functional-simulation check.
+//
+// Usage:
+//
+//	regimap -list
+//	regimap -kernel fir8 [-rows 4 -cols 4 -regs 4] [-mapper regimap|dresc|ems] [-sim 16] [-dot]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"regimap"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list the benchmark kernels and exit")
+		kernel  = flag.String("kernel", "", "kernel to map (see -list)")
+		rows    = flag.Int("rows", 4, "CGRA rows")
+		cols    = flag.Int("cols", 4, "CGRA columns")
+		regs    = flag.Int("regs", 4, "rotating registers per PE")
+		mapper  = flag.String("mapper", "regimap", "mapper: regimap, dresc, or ems")
+		simN    = flag.Int("sim", 8, "functionally simulate this many iterations (0 to skip)")
+		dot     = flag.Bool("dot", false, "print the kernel DFG in Graphviz DOT and exit")
+		cfg     = flag.Bool("config", false, "lower the mapping to instruction words and print them (regimap mapper only)")
+		srcPath = flag.String("src", "", "compile this loop-body source file instead of a named kernel")
+		svgPath = flag.String("svg", "", "write the mapping as an SVG picture to this file (regimap mapper only)")
+		vcdPath = flag.String("vcd", "", "write a VCD waveform of the execution to this file (regimap mapper only)")
+		jsonOut = flag.Bool("json", false, "emit mapper statistics as JSON (regimap mapper only)")
+		seed    = flag.Int64("seed", 1, "annealing seed (dresc)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, k := range regimap.Kernels() {
+			d := k.Build()
+			fmt.Printf("%-16s %-5s %3d ops  %s\n", k.Name, k.Suite, d.N(), k.Description)
+		}
+		return
+	}
+	var d *regimap.DFG
+	var title, description string
+	switch {
+	case *srcPath != "":
+		text, err := os.ReadFile(*srcPath)
+		exitOn(err)
+		compiled, err := regimap.Compile(*srcPath, string(text))
+		exitOn(err)
+		d, title, description = compiled, *srcPath, "compiled loop body"
+	case *kernel != "":
+		k, ok := regimap.KernelByName(*kernel)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "regimap: unknown kernel %q (try -list)\n", *kernel)
+			os.Exit(2)
+		}
+		d, title, description = k.Build(), k.Name, k.Description
+	default:
+		fmt.Fprintln(os.Stderr, "regimap: -kernel or -src required (try -list)")
+		os.Exit(2)
+	}
+	if *dot {
+		fmt.Print(d.DOT())
+		return
+	}
+	c := regimap.NewMesh(*rows, *cols, *regs)
+	fmt.Printf("kernel %s (%s) on %s\n", title, description, c)
+
+	switch *mapper {
+	case "regimap":
+		m, stats, err := regimap.Map(d, c, regimap.Options{})
+		exitOn(err)
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			exitOn(enc.Encode(struct {
+				Kernel string
+				Array  string
+				*regimap.Stats
+			}{title, c.String(), stats}))
+			if *simN > 0 {
+				exitOn(regimap.Simulate(m, *simN))
+			}
+			return
+		}
+		fmt.Printf("REGIMap: II=%d (MII=%d, perf %.2f) in %v — %d attempts, %d reschedules, %d routing nodes, %d thinnings\n",
+			stats.II, stats.MII, stats.Perf(), stats.Elapsed,
+			stats.Attempts, stats.Reschedules, stats.RouteInserts, stats.Thinnings)
+		fmt.Print(m)
+		fmt.Printf("register pressure per PE: %v\n", m.RegisterPressure())
+		if *svgPath != "" {
+			svg, err := regimap.RenderMapping(m)
+			exitOn(err)
+			exitOn(os.WriteFile(*svgPath, []byte(svg), 0o644))
+			fmt.Printf("mapping picture written to %s\n", *svgPath)
+		}
+		if *vcdPath != "" {
+			f, err := os.Create(*vcdPath)
+			exitOn(err)
+			iters := *simN
+			if iters <= 0 {
+				iters = 8
+			}
+			exitOn(regimap.WriteVCD(f, m, iters))
+			exitOn(f.Close())
+			fmt.Printf("waveform written to %s\n", *vcdPath)
+		}
+		if *cfg {
+			prog, err := regimap.Emit(m)
+			exitOn(err)
+			fmt.Print(prog)
+			exitOn(regimap.CheckProgram(m, 8))
+			fmt.Println("configuration executed bit-identically to the reference")
+		}
+		if *simN > 0 {
+			exitOn(regimap.Simulate(m, *simN))
+			fmt.Printf("functional simulation: %d iterations bit-identical to the reference\n", *simN)
+		}
+	case "dresc":
+		p, stats, err := regimap.MapDRESC(d, c, regimap.DRESCOptions{Seed: *seed})
+		exitOn(err)
+		fmt.Printf("DRESC: II=%d (MII=%d, perf %.2f) in %v — %d annealing moves (%d accepted)\n",
+			stats.II, stats.MII, stats.Perf(), stats.Elapsed, stats.Moves, stats.Accepts)
+		fmt.Printf("placement: %d operations, %d routed edges\n", len(p.PE), len(p.Paths))
+	case "ems":
+		m, stats, err := regimap.MapEMS(d, c, regimap.EMSOptions{})
+		exitOn(err)
+		fmt.Printf("EMS: II=%d (MII=%d, perf %.2f) in %v — %d placements, %d routing nodes\n",
+			stats.II, stats.MII, stats.Perf(), stats.Elapsed, stats.Placements, stats.Routes)
+		fmt.Print(m)
+		if *simN > 0 {
+			exitOn(regimap.Simulate(m, *simN))
+			fmt.Printf("functional simulation: %d iterations bit-identical to the reference\n", *simN)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "regimap: unknown mapper %q\n", *mapper)
+		os.Exit(2)
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "regimap:", err)
+		os.Exit(1)
+	}
+}

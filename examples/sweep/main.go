@@ -1,0 +1,63 @@
+// Architecture exploration: sweep register-file size, array size, and
+// interconnect topology for one kernel — the design-space questions the
+// paper's Figures 7 and 8 ask, usable for any kernel via the public API.
+//
+//	go run ./examples/sweep [kernel]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"regimap"
+)
+
+func main() {
+	name := "h264_sad"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	k, ok := regimap.KernelByName(name)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown kernel %q\n", name)
+		os.Exit(2)
+	}
+	fmt.Printf("design-space sweep for %s (%s)\n\n", k.Name, k.Description)
+
+	fmt.Println("register-file size on a 4x4 mesh (the paper's Figure 7 axis):")
+	for _, regs := range []int{0, 1, 2, 4, 8} {
+		report(k, regimap.NewMesh(4, 4, regs))
+	}
+
+	fmt.Println("\narray size with 2 registers/PE (the paper's Figure 8 axis):")
+	for _, size := range []int{2, 4, 8} {
+		report(k, regimap.NewMesh(size, size, 2))
+	}
+
+	fmt.Println("\ninterconnect topology on 4x4 with 2 registers/PE:")
+	for _, topo := range []regimap.Topology{regimap.Mesh, regimap.MeshPlus, regimap.Torus} {
+		report(k, regimap.NewCGRA(4, 4, 2, topo))
+	}
+}
+
+func report(k regimap.Kernel, c *regimap.CGRA) {
+	d := k.Build()
+	m, stats, err := regimap.Map(d, c, regimap.Options{})
+	if err != nil {
+		fmt.Printf("  %-24s unmappable (%v MII=%d)\n", c, stats.Elapsed, stats.MII)
+		return
+	}
+	res, err := regimap.Run(m, 8)
+	if err != nil {
+		fmt.Printf("  %-24s INVALID: %v\n", c, err)
+		return
+	}
+	peak := 0
+	for _, occ := range res.MaxRF {
+		if occ > peak {
+			peak = occ
+		}
+	}
+	fmt.Printf("  %-24s II=%-3d perf=%.2f  IPC=%-5.1f peak regs used=%d  (%v)\n",
+		c, stats.II, stats.Perf(), m.IPC(), peak, stats.Elapsed)
+}

@@ -1,0 +1,76 @@
+package regimap_test
+
+import (
+	"testing"
+
+	"regimap"
+	"regimap/internal/kernels"
+)
+
+// FuzzMapAndSimulate drives the whole pipeline from fuzzer-chosen knobs:
+// generate a deterministic synthetic kernel, map it, validate it, lower it,
+// and execute both the cycle-accurate model and the instruction words
+// against the sequential reference. Run with `go test -fuzz FuzzMapAndSimulate`;
+// without -fuzz the seed corpus doubles as a regression test.
+func FuzzMapAndSimulate(f *testing.F) {
+	f.Add(int64(1), uint8(12), uint8(20), uint8(2), uint8(4), uint8(4), uint8(4))
+	f.Add(int64(7), uint8(24), uint8(0), uint8(0), uint8(2), uint8(2), uint8(2))
+	f.Add(int64(42), uint8(18), uint8(40), uint8(3), uint8(4), uint8(2), uint8(8))
+	f.Add(int64(-3), uint8(8), uint8(10), uint8(1), uint8(3), uint8(3), uint8(1))
+	f.Fuzz(func(t *testing.T, seed int64, ops, memPct, rec, rows, cols, regs uint8) {
+		d := regimap.RandomKernel(seed, regimap.RandomKernelOptions{
+			Ops:         4 + int(ops%28),
+			MemFraction: float64(memPct%100) / 100,
+			Recurrence:  int(rec % 5),
+		})
+		c := regimap.NewMesh(1+int(rows%4), 1+int(cols%4), int(regs%8))
+		m, stats, err := regimap.Map(d, c, regimap.Options{})
+		if err != nil {
+			return // failing to map is allowed
+		}
+		if stats.II < stats.MII {
+			t.Fatalf("II %d beats the lower bound %d", stats.II, stats.MII)
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("invalid mapping: %v", err)
+		}
+		if err := regimap.Simulate(m, 4); err != nil {
+			t.Fatalf("simulation mismatch: %v", err)
+		}
+		// Lowering may legitimately refuse when rotation windows exceed the
+		// file; anything it emits must execute correctly.
+		if prog, err := regimap.Emit(m); err == nil {
+			if _, err := regimap.ExecuteProgram(prog, 4); err != nil {
+				t.Fatalf("emitted configuration failed: %v", err)
+			}
+			if err := regimap.CheckProgram(m, 4); err != nil {
+				t.Fatalf("configuration mis-executes: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzScheduleInvariants checks the scheduler's contract on arbitrary
+// synthetic kernels: a produced schedule always satisfies its own validator.
+func FuzzScheduleInvariants(f *testing.F) {
+	f.Add(int64(3), uint8(10), uint8(1))
+	f.Add(int64(11), uint8(25), uint8(4))
+	f.Fuzz(func(t *testing.T, seed int64, ops, rec uint8) {
+		d := regimap.RandomKernel(seed, regimap.RandomKernelOptions{
+			Ops:        4 + int(ops%30),
+			Recurrence: int(rec % 5),
+		})
+		// Use classification as a cheap consistency probe while we are here.
+		small := kernels.Classify(d, 4, 2)
+		big := kernels.Classify(d, 64, 8)
+		if small == kernels.RecBounded && big == kernels.ResBounded {
+			t.Fatal("growing the array turned a rec-bounded loop res-bounded")
+		}
+		if d.RecMII() > d.N() {
+			t.Fatal("RecMII exceeds the op count")
+		}
+		if got := d.MII(16, 4); got < d.RecMII() || got < d.ResMII(16, 4) {
+			t.Fatal("MII below one of its components")
+		}
+	})
+}

@@ -1,0 +1,3 @@
+module regimap
+
+go 1.22

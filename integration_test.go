@@ -1,0 +1,171 @@
+package regimap_test
+
+import (
+	"testing"
+
+	"regimap"
+	"regimap/internal/kernels"
+)
+
+// TestSuiteMapsAndSimulates is the repository's end-to-end integration test:
+// every benchmark kernel, mapped by REGIMap on the paper's main arrays, must
+// validate structurally and execute bit-identically to the loop's sequential
+// semantics on the cycle-accurate machine model.
+func TestSuiteMapsAndSimulates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("maps the whole suite on three arrays")
+	}
+	arrays := []*regimap.CGRA{
+		regimap.NewMesh(4, 4, 4),
+		regimap.NewMesh(4, 4, 8),
+		regimap.NewMesh(8, 8, 2),
+	}
+	for _, c := range arrays {
+		c := c
+		t.Run(c.String(), func(t *testing.T) {
+			failed := 0
+			for _, k := range regimap.Kernels() {
+				m, stats, err := regimap.Map(k.Build(), c, regimap.Options{})
+				if err != nil {
+					failed++
+					t.Logf("%s: %v", k.Name, err)
+					continue
+				}
+				if stats.II < stats.MII {
+					t.Errorf("%s: II %d beats MII %d", k.Name, stats.II, stats.MII)
+				}
+				if err := m.Validate(); err != nil {
+					t.Errorf("%s: invalid mapping: %v", k.Name, err)
+				}
+				if err := regimap.Simulate(m, 6); err != nil {
+					t.Errorf("%s: simulation mismatch: %v", k.Name, err)
+				}
+			}
+			if failed > 1 {
+				t.Errorf("%d kernels failed to map on %s", failed, c)
+			}
+		})
+	}
+}
+
+// TestEMSMapsAndSimulates audits the EMS baseline the same way on the main
+// array (it legitimately fails on a couple of tight recurrences; what it maps
+// must be correct).
+func TestEMSMapsAndSimulates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("maps the whole suite")
+	}
+	c := regimap.NewMesh(4, 4, 4)
+	mapped := 0
+	for _, k := range regimap.Kernels() {
+		m, _, err := regimap.MapEMS(k.Build(), c, regimap.EMSOptions{})
+		if err != nil {
+			continue
+		}
+		mapped++
+		if err := regimap.Simulate(m, 4); err != nil {
+			t.Errorf("%s: EMS mapping mis-executes: %v", k.Name, err)
+		}
+	}
+	if mapped < 18 {
+		t.Errorf("EMS mapped only %d/24 kernels", mapped)
+	}
+}
+
+// TestDRESCVerifiesSuite audits the DRESC baseline's placements with its
+// MRRG-level verifier across the suite.
+func TestDRESCVerifiesSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("anneals the whole suite")
+	}
+	c := regimap.NewMesh(4, 4, 4)
+	for _, k := range regimap.Kernels() {
+		p, _, err := regimap.MapDRESC(k.Build(), c, regimap.DRESCOptions{Seed: 3})
+		if err != nil {
+			t.Logf("%s: %v", k.Name, err)
+			continue
+		}
+		if err := p.Verify(c); err != nil {
+			t.Errorf("%s: DRESC placement invalid: %v", k.Name, err)
+		}
+	}
+}
+
+// TestHeterogeneousArraySuite is failure-injection at suite scale: on an
+// array where only half the PEs multiply and one column cannot touch memory,
+// mapped kernels must still validate and simulate.
+func TestHeterogeneousArraySuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("maps the whole suite")
+	}
+	c := regimap.NewMesh(4, 4, 4)
+	allKinds := []regimap.OpKind{
+		regimap.Const, regimap.Input, regimap.Add, regimap.Sub, regimap.And,
+		regimap.Or, regimap.Xor, regimap.Shl, regimap.Shr, regimap.Min,
+		regimap.Max, regimap.Abs, regimap.Neg, regimap.Not, regimap.CmpLT,
+		regimap.CmpEQ, regimap.Select, regimap.Load, regimap.Store,
+	}
+	for p := 0; p < c.NumPEs(); p++ {
+		if p%2 == 1 {
+			c.RestrictPE(p, allKinds...) // no Mul on odd PEs
+		}
+	}
+	mapped := 0
+	for _, k := range regimap.Kernels() {
+		m, _, err := regimap.Map(k.Build(), c, regimap.Options{})
+		if err != nil {
+			continue
+		}
+		mapped++
+		for v, nd := range m.D.Nodes {
+			if nd.Kind == regimap.Mul && m.PE[v]%2 == 1 {
+				t.Fatalf("%s: multiply placed on restricted PE %d", k.Name, m.PE[v])
+			}
+		}
+		if err := regimap.Simulate(m, 4); err != nil {
+			t.Errorf("%s: %v", k.Name, err)
+		}
+	}
+	if mapped < 20 {
+		t.Errorf("only %d/24 kernels mapped on the heterogeneous array", mapped)
+	}
+}
+
+// TestRandomKernelTorture cross-checks the whole pipeline on synthetic
+// kernels across topologies.
+func TestRandomKernelTorture(t *testing.T) {
+	if testing.Short() {
+		t.Skip("torture test")
+	}
+	for seed := int64(0); seed < 12; seed++ {
+		d := regimap.RandomKernel(seed, regimap.RandomKernelOptions{
+			Ops:         14 + int(seed),
+			MemFraction: 0.15,
+			Recurrence:  int(seed % 4),
+		})
+		for _, topo := range []regimap.Topology{regimap.Mesh, regimap.MeshPlus, regimap.Torus} {
+			c := regimap.NewCGRA(4, 4, 4, topo)
+			m, _, err := regimap.Map(d, c, regimap.Options{})
+			if err != nil {
+				continue
+			}
+			if err := regimap.Simulate(m, 5); err != nil {
+				t.Errorf("seed %d on %v: %v", seed, topo, err)
+			}
+		}
+	}
+}
+
+// TestClassificationStableAcrossArrays pins that boundedness is a property
+// of loop x array, not of the mapper: growing the array can only move loops
+// from res-bounded toward rec-bounded.
+func TestClassificationStableAcrossArrays(t *testing.T) {
+	for _, k := range regimap.Kernels() {
+		d := k.Build()
+		small := kernels.Classify(d, 4, 2)
+		big := kernels.Classify(d, 64, 8)
+		if small == kernels.RecBounded && big == kernels.ResBounded {
+			t.Errorf("%s: rec-bounded on 2x2 but res-bounded on 8x8 (impossible)", k.Name)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Package arch models the coarse-grained reconfigurable array of the REGIMap
+// paper: a 2-D mesh of processing elements (PEs), each with a single-cycle
+// ALU, an output register visible to its mesh neighbours in the next cycle,
+// and a small rotating local register file readable only by the PE itself.
+// One shared data bus per row permits a single memory access per row per
+// cycle.
+//
+// Two derived structures are provided for the mappers:
+//
+//   - the time-extended PE graph R_II (PEs replicated II times with modulo
+//     wrap-around), which REGIMap's compatibility graph is built against, and
+//   - the modulo routing resource graph (MRRG) with explicit output-register
+//     and register-file nodes, which the DRESC baseline anneals over.
+package arch
+
+import (
+	"fmt"
+
+	"regimap/internal/dfg"
+)
+
+// Topology selects the inter-PE interconnect.
+type Topology int
+
+const (
+	// Mesh connects each PE to its 4 orthogonal neighbours (the paper's
+	// configuration, Figure 1).
+	Mesh Topology = iota
+	// MeshPlus adds the 4 diagonal neighbours (a common CGRA variant; used
+	// by the interconnect ablation bench).
+	MeshPlus
+	// Torus wraps the orthogonal mesh around both dimensions.
+	Torus
+)
+
+// String names the topology.
+func (t Topology) String() string {
+	switch t {
+	case Mesh:
+		return "mesh"
+	case MeshPlus:
+		return "mesh+"
+	case Torus:
+		return "torus"
+	default:
+		return fmt.Sprintf("Topology(%d)", int(t))
+	}
+}
+
+// CGRA describes one array instance. The zero value is not usable; construct
+// with New or NewMesh.
+type CGRA struct {
+	Rows, Cols int
+	NumRegs    int // local rotating register file size per PE
+	Topology   Topology
+
+	// caps, when non-nil, restricts which operation kinds each PE supports
+	// (heterogeneous arrays). nil means fully homogeneous, the paper's model.
+	caps []map[dfg.OpKind]bool
+
+	neighbors [][]int // cached adjacency, excludes self
+	adjacent  []bool  // dense self-or-adjacent matrix
+}
+
+// NewMesh returns a rows x cols orthogonal-mesh CGRA with the given register
+// file size, the configuration used throughout the paper's evaluation.
+func NewMesh(rows, cols, numRegs int) *CGRA {
+	return New(rows, cols, numRegs, Mesh)
+}
+
+// New returns a CGRA with an arbitrary topology.
+func New(rows, cols, numRegs int, topo Topology) *CGRA {
+	if rows <= 0 || cols <= 0 {
+		panic("arch: array dimensions must be positive")
+	}
+	if numRegs < 0 {
+		panic("arch: negative register file size")
+	}
+	c := &CGRA{Rows: rows, Cols: cols, NumRegs: numRegs, Topology: topo}
+	c.buildAdjacency()
+	return c
+}
+
+func (c *CGRA) buildAdjacency() {
+	n := c.NumPEs()
+	c.neighbors = make([][]int, n)
+	c.adjacent = make([]bool, n*n)
+	type delta struct{ dr, dc int }
+	deltas := []delta{{-1, 0}, {1, 0}, {0, -1}, {0, 1}}
+	if c.Topology == MeshPlus {
+		deltas = append(deltas, delta{-1, -1}, delta{-1, 1}, delta{1, -1}, delta{1, 1})
+	}
+	for p := 0; p < n; p++ {
+		r, col := c.RowOf(p), c.ColOf(p)
+		c.adjacent[p*n+p] = true
+		for _, d := range deltas {
+			nr, nc := r+d.dr, col+d.dc
+			if c.Topology == Torus {
+				nr = (nr + c.Rows) % c.Rows
+				nc = (nc + c.Cols) % c.Cols
+			}
+			if nr < 0 || nr >= c.Rows || nc < 0 || nc >= c.Cols {
+				continue
+			}
+			q := c.PEAt(nr, nc)
+			if q == p {
+				continue // degenerate torus dimension
+			}
+			if !c.adjacent[p*n+q] {
+				c.neighbors[p] = append(c.neighbors[p], q)
+				c.adjacent[p*n+q] = true
+			}
+		}
+	}
+}
+
+// NumPEs returns the number of processing elements.
+func (c *CGRA) NumPEs() int { return c.Rows * c.Cols }
+
+// PEAt returns the PE identifier at (row, col).
+func (c *CGRA) PEAt(row, col int) int {
+	if row < 0 || row >= c.Rows || col < 0 || col >= c.Cols {
+		panic(fmt.Sprintf("arch: PE (%d,%d) out of range %dx%d", row, col, c.Rows, c.Cols))
+	}
+	return row*c.Cols + col
+}
+
+// RowOf returns the row of PE p.
+func (c *CGRA) RowOf(p int) int { return p / c.Cols }
+
+// ColOf returns the column of PE p.
+func (c *CGRA) ColOf(p int) int { return p % c.Cols }
+
+// Neighbors returns the PEs whose output register PE p can read (excluding p
+// itself; every PE can always read its own output register). The slice is
+// shared; callers must not modify it.
+func (c *CGRA) Neighbors(p int) []int { return c.neighbors[p] }
+
+// Connected reports whether PE q can read PE p's output register in the cycle
+// after p produces: q is p itself or a topological neighbour.
+func (c *CGRA) Connected(p, q int) bool {
+	return c.adjacent[p*c.NumPEs()+q]
+}
+
+// RestrictPE marks PE p as supporting only the listed operation kinds,
+// turning the array heterogeneous. Route is always permitted (any ALU can
+// copy).
+func (c *CGRA) RestrictPE(p int, kinds ...dfg.OpKind) {
+	if c.caps == nil {
+		c.caps = make([]map[dfg.OpKind]bool, c.NumPEs())
+	}
+	m := map[dfg.OpKind]bool{dfg.Route: true}
+	for _, k := range kinds {
+		m[k] = true
+	}
+	c.caps[p] = m
+}
+
+// Supports reports whether PE p's ALU can execute operation kind k.
+func (c *CGRA) Supports(p int, k dfg.OpKind) bool {
+	if c.caps == nil || c.caps[p] == nil {
+		return true
+	}
+	return c.caps[p][k]
+}
+
+// Homogeneous reports whether every PE supports every operation.
+func (c *CGRA) Homogeneous() bool { return c.caps == nil }
+
+// String describes the array, e.g. "4x4 mesh, 4 regs/PE".
+func (c *CGRA) String() string {
+	return fmt.Sprintf("%dx%d %s, %d regs/PE", c.Rows, c.Cols, c.Topology, c.NumRegs)
+}
+
+// Clone returns an independent copy (capability restrictions included).
+func (c *CGRA) Clone() *CGRA {
+	d := New(c.Rows, c.Cols, c.NumRegs, c.Topology)
+	if c.caps != nil {
+		d.caps = make([]map[dfg.OpKind]bool, len(c.caps))
+		for i, m := range c.caps {
+			if m == nil {
+				continue
+			}
+			d.caps[i] = make(map[dfg.OpKind]bool, len(m))
+			for k, v := range m {
+				d.caps[i][k] = v
+			}
+		}
+	}
+	return d
+}

@@ -1,0 +1,265 @@
+package arch
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"regimap/internal/dfg"
+)
+
+func TestMeshGeometry(t *testing.T) {
+	c := NewMesh(4, 4, 4)
+	if c.NumPEs() != 16 {
+		t.Fatalf("NumPEs = %d, want 16", c.NumPEs())
+	}
+	if c.PEAt(1, 2) != 6 || c.RowOf(6) != 1 || c.ColOf(6) != 2 {
+		t.Error("PE coordinate mapping broken")
+	}
+	// Corner has 2 neighbours, edge 3, interior 4.
+	if got := len(c.Neighbors(c.PEAt(0, 0))); got != 2 {
+		t.Errorf("corner degree = %d, want 2", got)
+	}
+	if got := len(c.Neighbors(c.PEAt(0, 1))); got != 3 {
+		t.Errorf("edge degree = %d, want 3", got)
+	}
+	if got := len(c.Neighbors(c.PEAt(1, 1))); got != 4 {
+		t.Errorf("interior degree = %d, want 4", got)
+	}
+}
+
+func TestConnected(t *testing.T) {
+	c := NewMesh(2, 2, 2)
+	if !c.Connected(0, 0) {
+		t.Error("a PE must be connected to itself")
+	}
+	if !c.Connected(0, 1) || !c.Connected(0, 2) {
+		t.Error("orthogonal neighbours must be connected")
+	}
+	if c.Connected(0, 3) {
+		t.Error("diagonal PEs must not be connected on a plain mesh")
+	}
+}
+
+func TestMeshPlusDiagonals(t *testing.T) {
+	c := New(3, 3, 2, MeshPlus)
+	if !c.Connected(c.PEAt(0, 0), c.PEAt(1, 1)) {
+		t.Error("mesh+ must connect diagonals")
+	}
+	if got := len(c.Neighbors(c.PEAt(1, 1))); got != 8 {
+		t.Errorf("mesh+ interior degree = %d, want 8", got)
+	}
+}
+
+func TestTorusWraps(t *testing.T) {
+	c := New(3, 3, 2, Torus)
+	if !c.Connected(c.PEAt(0, 0), c.PEAt(0, 2)) {
+		t.Error("torus must wrap columns")
+	}
+	if !c.Connected(c.PEAt(0, 0), c.PEAt(2, 0)) {
+		t.Error("torus must wrap rows")
+	}
+	if got := len(c.Neighbors(0)); got != 4 {
+		t.Errorf("torus degree = %d, want 4", got)
+	}
+}
+
+func TestTorusDegenerateDimension(t *testing.T) {
+	// 1-row torus: wrapping up and down reaches yourself; no self loops and
+	// no duplicate neighbours allowed.
+	c := New(1, 4, 2, Torus)
+	for p := 0; p < 4; p++ {
+		seen := map[int]bool{}
+		for _, q := range c.Neighbors(p) {
+			if q == p {
+				t.Fatalf("self loop at PE %d", p)
+			}
+			if seen[q] {
+				t.Fatalf("duplicate neighbour %d of PE %d", q, p)
+			}
+			seen[q] = true
+		}
+	}
+}
+
+func TestConnectivitySymmetry(t *testing.T) {
+	f := func(rows, cols uint8, topo uint8) bool {
+		r := int(rows%4) + 1
+		cl := int(cols%4) + 1
+		c := New(r, cl, 2, Topology(topo%3))
+		for p := 0; p < c.NumPEs(); p++ {
+			for q := 0; q < c.NumPEs(); q++ {
+				if c.Connected(p, q) != c.Connected(q, p) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeterogeneousCaps(t *testing.T) {
+	c := NewMesh(2, 2, 2)
+	if !c.Homogeneous() {
+		t.Fatal("fresh mesh should be homogeneous")
+	}
+	c.RestrictPE(0, dfg.Add, dfg.Sub)
+	if c.Homogeneous() {
+		t.Error("restricted array should not report homogeneous")
+	}
+	if !c.Supports(0, dfg.Add) || c.Supports(0, dfg.Mul) {
+		t.Error("capability restriction not enforced")
+	}
+	if !c.Supports(0, dfg.Route) {
+		t.Error("route must always be supported")
+	}
+	if !c.Supports(1, dfg.Mul) {
+		t.Error("unrestricted PE lost capabilities")
+	}
+	d := c.Clone()
+	if d.Supports(0, dfg.Mul) || !d.Supports(0, dfg.Add) {
+		t.Error("Clone dropped capability restrictions")
+	}
+}
+
+func TestStringer(t *testing.T) {
+	c := NewMesh(4, 4, 8)
+	if got := c.String(); !strings.Contains(got, "4x4") || !strings.Contains(got, "8 regs") {
+		t.Errorf("String = %q", got)
+	}
+	if Mesh.String() != "mesh" || MeshPlus.String() != "mesh+" || Torus.String() != "torus" {
+		t.Error("topology names wrong")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { New(0, 4, 2, Mesh) },
+		func() { New(4, 4, -1, Mesh) },
+		func() { NewMesh(2, 2, 2).PEAt(2, 0) },
+		func() { NewTEC(NewMesh(2, 2, 2), 0) },
+		func() { BuildMRRG(NewMesh(2, 2, 2), 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestTECIdentifiers(t *testing.T) {
+	c := NewMesh(2, 2, 2)
+	tec := NewTEC(c, 3)
+	if tec.Nodes() != 12 {
+		t.Fatalf("Nodes = %d, want 12", tec.Nodes())
+	}
+	for slot := 0; slot < 3; slot++ {
+		for p := 0; p < 4; p++ {
+			id := tec.ID(p, slot)
+			if tec.PE(id) != p || tec.Slot(id) != slot {
+				t.Fatalf("round trip failed for pe=%d slot=%d", p, slot)
+			}
+		}
+	}
+}
+
+func TestTECGraphStructure(t *testing.T) {
+	c := NewMesh(1, 2, 2) // the paper's 1x2 example
+	tec := NewTEC(c, 2)
+	g := tec.Graph()
+	// Each node connects to self-next and neighbour-next: out-degree 2.
+	for id := 0; id < tec.Nodes(); id++ {
+		if got := g.OutDegree(id); got != 2 {
+			t.Errorf("node %d out-degree = %d, want 2", id, got)
+		}
+	}
+	// Wrap-around: (p,1) -> (p,0).
+	if !g.HasEdge(tec.ID(0, 1), tec.ID(0, 0)) {
+		t.Error("TEC missing modulo wrap-around edge")
+	}
+}
+
+func TestMRRGStructure(t *testing.T) {
+	c := NewMesh(2, 2, 4)
+	m := BuildMRRG(c, 2)
+	wantNodes := 3*4*2 + 2*2 // FU/OutReg/RF x 4 PEs x 2 slots + 2 rows x 2 slots
+	if m.N() != wantNodes {
+		t.Fatalf("N = %d, want %d", m.N(), wantNodes)
+	}
+	fu := m.FUNode(0, 0)
+	or := m.OutRegNode(0, 0)
+	rf := m.RFNode(0, 0)
+	bus := m.BusNode(1, 1)
+	if m.Kind(fu) != FU || m.Kind(or) != OutReg || m.Kind(rf) != RF || m.Kind(bus) != Bus {
+		t.Error("node kinds scrambled")
+	}
+	if m.Cap(fu) != 1 || m.Cap(rf) != 4 || m.Cap(bus) != 1 {
+		t.Error("capacities wrong")
+	}
+	if m.PE(bus) != 1 || m.Slot(bus) != 1 {
+		t.Error("bus coordinates wrong")
+	}
+	// FU writes its out-reg next slot.
+	if !contains(m.Out(fu), m.OutRegNode(0, 1)) {
+		t.Error("missing FU -> OutReg(next) edge")
+	}
+	// Out-reg readable by a neighbour's FU in the same slot.
+	if !contains(m.Out(or), m.FUNode(1, 0)) {
+		t.Error("missing OutReg -> neighbour FU edge")
+	}
+	// Out-reg readable by own FU.
+	if !contains(m.Out(or), m.FUNode(0, 0)) {
+		t.Error("missing OutReg -> own FU edge")
+	}
+	// Out-reg hold and retire edges.
+	if !contains(m.Out(or), m.OutRegNode(0, 1)) || !contains(m.Out(or), m.RFNode(0, 1)) {
+		t.Error("missing OutReg hold/retire edges")
+	}
+	// RF hold and read edges.
+	if !contains(m.Out(rf), m.RFNode(0, 1)) || !contains(m.Out(rf), m.FUNode(0, 0)) {
+		t.Error("missing RF hold/read edges")
+	}
+	// RF must never feed another PE.
+	for _, v := range m.Out(rf) {
+		if m.PE(v) != 0 {
+			t.Errorf("RF leaks to PE %d via %s", m.PE(v), m.Describe(v))
+		}
+	}
+	if got := m.Describe(fu); got != "fu(0@0)" {
+		t.Errorf("Describe = %q", got)
+	}
+}
+
+func TestMRRGNoRegisters(t *testing.T) {
+	c := NewMesh(2, 2, 0)
+	m := BuildMRRG(c, 2)
+	rf := m.RFNode(0, 0)
+	if m.Cap(rf) != 0 {
+		t.Error("RF capacity should be 0")
+	}
+	if len(m.Out(rf)) != 0 {
+		t.Error("register-free array must have no RF edges")
+	}
+	or := m.OutRegNode(0, 0)
+	for _, v := range m.Out(or) {
+		if m.Kind(v) == RF {
+			t.Error("out-reg must not retire into a zero-capacity RF")
+		}
+	}
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

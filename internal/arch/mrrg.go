@@ -1,0 +1,169 @@
+package arch
+
+import "fmt"
+
+// ResourceKind classifies MRRG nodes.
+type ResourceKind int
+
+const (
+	// FU is a PE's ALU in one modulo slot: executes one operation (or one
+	// explicit route) per slot.
+	FU ResourceKind = iota
+	// OutReg is a PE's output register in one modulo slot: holds the single
+	// value the PE most recently produced; readable by mesh neighbours.
+	OutReg
+	// RF is a PE's local register file in one modulo slot: holds up to
+	// NumRegs values; readable only by the owning PE.
+	RF
+	// Bus is one row's shared memory bus in one modulo slot: at most one
+	// memory operation per row per cycle.
+	Bus
+)
+
+// String names the resource kind.
+func (k ResourceKind) String() string {
+	switch k {
+	case FU:
+		return "fu"
+	case OutReg:
+		return "outreg"
+	case RF:
+		return "rf"
+	case Bus:
+		return "bus"
+	default:
+		return fmt.Sprintf("ResourceKind(%d)", int(k))
+	}
+}
+
+// MRRG is the modulo routing resource graph used by the DRESC baseline: the
+// time-extended CGRA with output registers and register files materialized as
+// explicit capacity-bearing nodes, exactly the expansion the paper attributes
+// to register-aware DRESC ("expands the time-extended CGRA graph to
+// explicitly include registers as nodes"). Values flow along directed edges:
+//
+//	FU(p,t)      -> OutReg(p,(t+1)%II)   result lands in the output register
+//	OutReg(p,t)  -> FU(q,t)              q reads p's out-reg (q adjacent or p)
+//	OutReg(p,t)  -> OutReg(p,(t+1)%II)   the out-reg holds its value
+//	OutReg(p,t)  -> RF(p,(t+1)%II)       value retired into the register file
+//	RF(p,t)      -> RF(p,(t+1)%II)       the register file holds the value
+//	RF(p,t)      -> FU(p,t)              the owning PE reads its own file
+//
+// Traversing an intermediate FU models routing through a PE (the ALU executes
+// an explicit copy that slot).
+type MRRG struct {
+	C  *CGRA
+	II int
+
+	kind []ResourceKind
+	pe   []int // owning PE (or row index for Bus nodes)
+	slot []int
+	cap  []int
+	out  [][]int
+}
+
+// BuildMRRG constructs the MRRG for one II.
+func BuildMRRG(c *CGRA, ii int) *MRRG {
+	if ii <= 0 {
+		panic("arch: MRRG needs a positive II")
+	}
+	m := &MRRG{C: c, II: ii}
+	// Node layout: [FU | OutReg | RF] x (pe, slot), then Bus x (row, slot).
+	n := c.NumPEs()
+	total := 3*n*ii + c.Rows*ii
+	m.kind = make([]ResourceKind, total)
+	m.pe = make([]int, total)
+	m.slot = make([]int, total)
+	m.cap = make([]int, total)
+	m.out = make([][]int, total)
+	for t := 0; t < ii; t++ {
+		for p := 0; p < n; p++ {
+			for _, k := range []ResourceKind{FU, OutReg, RF} {
+				id := m.nodeID(k, p, t)
+				m.kind[id] = k
+				m.pe[id] = p
+				m.slot[id] = t
+				switch k {
+				case FU, OutReg:
+					m.cap[id] = 1
+				case RF:
+					m.cap[id] = c.NumRegs
+				}
+			}
+		}
+		for r := 0; r < c.Rows; r++ {
+			id := m.busID(r, t)
+			m.kind[id] = Bus
+			m.pe[id] = r
+			m.slot[id] = t
+			m.cap[id] = 1
+		}
+	}
+	for t := 0; t < ii; t++ {
+		next := (t + 1) % ii
+		for p := 0; p < n; p++ {
+			fu := m.FUNode(p, t)
+			or := m.OutRegNode(p, t)
+			rf := m.RFNode(p, t)
+			m.addEdge(fu, m.OutRegNode(p, next))
+			m.addEdge(or, fu)
+			for _, q := range c.Neighbors(p) {
+				m.addEdge(or, m.FUNode(q, t))
+			}
+			m.addEdge(or, m.OutRegNode(p, next))
+			if c.NumRegs > 0 {
+				m.addEdge(or, m.RFNode(p, next))
+				m.addEdge(rf, m.RFNode(p, next))
+				m.addEdge(rf, fu)
+			}
+		}
+	}
+	return m
+}
+
+func (m *MRRG) nodeID(k ResourceKind, p, t int) int {
+	base := int(k) * m.C.NumPEs() * m.II
+	return base + t*m.C.NumPEs() + p
+}
+
+func (m *MRRG) busID(r, t int) int {
+	return 3*m.C.NumPEs()*m.II + t*m.C.Rows + r
+}
+
+func (m *MRRG) addEdge(u, v int) { m.out[u] = append(m.out[u], v) }
+
+// N returns the total node count.
+func (m *MRRG) N() int { return len(m.kind) }
+
+// FUNode returns the node id of PE p's ALU in slot t.
+func (m *MRRG) FUNode(p, t int) int { return m.nodeID(FU, p, t) }
+
+// OutRegNode returns the node id of PE p's output register in slot t.
+func (m *MRRG) OutRegNode(p, t int) int { return m.nodeID(OutReg, p, t) }
+
+// RFNode returns the node id of PE p's register file in slot t.
+func (m *MRRG) RFNode(p, t int) int { return m.nodeID(RF, p, t) }
+
+// BusNode returns the node id of row r's memory bus in slot t.
+func (m *MRRG) BusNode(r, t int) int { return m.busID(r, t) }
+
+// Kind returns the resource kind of a node.
+func (m *MRRG) Kind(id int) ResourceKind { return m.kind[id] }
+
+// PE returns the owning PE of a node (the row index for Bus nodes).
+func (m *MRRG) PE(id int) int { return m.pe[id] }
+
+// Slot returns the modulo slot of a node.
+func (m *MRRG) Slot(id int) int { return m.slot[id] }
+
+// Cap returns the usage capacity of a node.
+func (m *MRRG) Cap(id int) int { return m.cap[id] }
+
+// Out returns the routing successors of a node. The slice is shared; callers
+// must not modify it.
+func (m *MRRG) Out(id int) []int { return m.out[id] }
+
+// Describe renders a node for diagnostics, e.g. "fu(3@1)".
+func (m *MRRG) Describe(id int) string {
+	return fmt.Sprintf("%s(%d@%d)", m.kind[id], m.pe[id], m.slot[id])
+}

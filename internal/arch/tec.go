@@ -1,0 +1,59 @@
+package arch
+
+import (
+	"fmt"
+
+	"regimap/internal/graph"
+)
+
+// TEC is the time-extended CGRA R_II of the paper (Section 3): the PE mesh
+// replicated II times, one replica per modulo slot, with an arc from (p, t)
+// to (q, (t+1) mod II) whenever q can read p's output register (q adjacent to
+// p, or q == p). Registers are deliberately not materialized as nodes here —
+// REGIMap carries the register requirement as arc weights on the
+// compatibility graph instead, which is the paper's key scalability point.
+type TEC struct {
+	C  *CGRA
+	II int
+}
+
+// NewTEC builds the time-extended PE graph for the given II.
+func NewTEC(c *CGRA, ii int) *TEC {
+	if ii <= 0 {
+		panic("arch: TEC needs a positive II")
+	}
+	return &TEC{C: c, II: ii}
+}
+
+// Nodes returns the number of (PE, slot) nodes.
+func (t *TEC) Nodes() int { return t.C.NumPEs() * t.II }
+
+// ID maps a (PE, slot) pair to a dense node identifier.
+func (t *TEC) ID(pe, slot int) int {
+	if slot < 0 || slot >= t.II {
+		panic(fmt.Sprintf("arch: slot %d out of range [0,%d)", slot, t.II))
+	}
+	return slot*t.C.NumPEs() + pe
+}
+
+// PE returns the PE component of a node identifier.
+func (t *TEC) PE(id int) int { return id % t.C.NumPEs() }
+
+// Slot returns the modulo time slot of a node identifier.
+func (t *TEC) Slot(id int) int { return id / t.C.NumPEs() }
+
+// Graph materializes R_II as a digraph (mainly for visualization and tests;
+// the mappers use Connected/ID directly).
+func (t *TEC) Graph() *graph.Digraph {
+	g := graph.New(t.Nodes())
+	for slot := 0; slot < t.II; slot++ {
+		next := (slot + 1) % t.II
+		for p := 0; p < t.C.NumPEs(); p++ {
+			g.AddEdge(t.ID(p, slot), t.ID(p, next))
+			for _, q := range t.C.Neighbors(p) {
+				g.AddEdge(t.ID(p, slot), t.ID(q, next))
+			}
+		}
+	}
+	return g
+}

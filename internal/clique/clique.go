@@ -1,0 +1,515 @@
+// Package clique finds register-weight-constrained maximal cliques, the
+// computational heart of REGIMap's placement step (paper Appendix C/D).
+//
+// The input is an undirected compatibility graph whose directed arc weights
+// encode register demand: weight(u, v) is the number of registers node u's
+// mapping must hold while node v's mapping is also in the solution. A clique
+// C is *feasible* when every member's outgoing weight into C stays within the
+// register-file budget:
+//
+//	for all u in C:  sum over v in C of weight(u, v)  <=  Cap
+//
+// Feasibility is hereditary (removing members never increases any sum), so
+// both the paper's constructive heuristic and an exact branch-and-bound
+// search (used to cross-validate the heuristic in tests and ablations) apply.
+package clique
+
+import (
+	"sort"
+
+	"regimap/internal/graph"
+)
+
+// Graph is a weighted compatibility graph. Adjacency is symmetric; weights
+// are directed and default to zero.
+type Graph struct {
+	n       int
+	adj     []*graph.Bitset
+	weight  map[int64]int
+	fn      func(u, v int) int
+	cluster []int  // weight-interaction class per node (nil: global)
+	outW    []bool // whether a node has any outgoing weight
+	base    []int
+	cap     int
+}
+
+// NewGraph returns an empty graph of n nodes with the given per-node weight
+// budget (the register-file size; negative means unconstrained).
+func NewGraph(n, cap int) *Graph {
+	g := &Graph{n: n, adj: make([]*graph.Bitset, n), weight: map[int64]int{}, outW: make([]bool, n), base: make([]int, n), cap: cap}
+	for i := range g.adj {
+		g.adj[i] = graph.NewBitset(n)
+	}
+	return g
+}
+
+// AddBase adds an unconditional weight to node u, charged whenever u is in a
+// clique (REGIMap uses this for self-recurrence register demand: an
+// accumulator holds its registers regardless of which other mappings join).
+func (g *Graph) AddBase(u, w int) { g.base[u] += w }
+
+// Base returns node u's unconditional weight.
+func (g *Graph) Base(u int) int { return g.base[u] }
+
+// N returns the node count.
+func (g *Graph) N() int { return g.n }
+
+// Cap returns the per-node weight budget.
+func (g *Graph) Cap() int { return g.cap }
+
+// AddEdge marks u and v compatible (symmetric).
+func (g *Graph) AddEdge(u, v int) {
+	if u == v {
+		panic("clique: self edge")
+	}
+	g.adj[u].Set(v)
+	g.adj[v].Set(u)
+}
+
+// Adjacent reports whether u and v are compatible.
+func (g *Graph) Adjacent(u, v int) bool { return g.adj[u].Has(v) }
+
+// OrAdjacency bulk-marks u compatible with every member of mask. Callers are
+// responsible for symmetry (apply the mirrored mask to the other side) and
+// for masks that exclude u itself; REGIMap's compatibility construction uses
+// this for the dependence-free operation pairs that dominate large arrays.
+func (g *Graph) OrAdjacency(u int, mask *graph.Bitset) { g.adj[u].Or(mask) }
+
+// ClearEdge removes a compatibility edge (both directions).
+func (g *Graph) ClearEdge(u, v int) {
+	g.adj[u].Clear(v)
+	g.adj[v].Clear(u)
+}
+
+// AddWeight increases the directed weight u -> v (both directions are stored
+// independently, matching the paper's asymmetric register demand). Mutually
+// exclusive with SetWeightFunc.
+func (g *Graph) AddWeight(u, v, w int) {
+	if g.fn != nil {
+		panic("clique: AddWeight after SetWeightFunc")
+	}
+	if w != 0 {
+		g.weight[int64(u)*int64(g.n)+int64(v)] += w
+		g.outW[u] = true
+	}
+}
+
+// SetWeightFunc installs a computed weight in place of the stored map —
+// REGIMap's register demand is a pure function of the pair (same PE ->
+// consumer demand), and avoiding the map keeps the search's inner loops
+// allocation- and hash-free. hasOut must report whether a node has any
+// non-zero outgoing weight.
+func (g *Graph) SetWeightFunc(fn func(u, v int) int, hasOut func(u int) bool, cluster func(u int) int) {
+	if len(g.weight) > 0 {
+		panic("clique: SetWeightFunc after AddWeight")
+	}
+	g.fn = fn
+	g.cluster = make([]int, g.n)
+	for u := 0; u < g.n; u++ {
+		g.outW[u] = hasOut(u)
+		g.cluster[u] = cluster(u)
+	}
+}
+
+// Weight returns the directed weight u -> v.
+func (g *Graph) Weight(u, v int) int {
+	if g.fn != nil {
+		return g.fn(u, v)
+	}
+	return g.weight[int64(u)*int64(g.n)+int64(v)]
+}
+
+// Degree returns the number of nodes compatible with u.
+func (g *Graph) Degree(u int) int { return g.adj[u].Count() }
+
+// IsFeasibleClique verifies that members form a clique and every member's
+// outgoing weight into the clique respects the budget. Exposed so callers
+// (and property tests) can independently audit results.
+func (g *Graph) IsFeasibleClique(members []int) bool {
+	for i, u := range members {
+		sum := g.base[u]
+		for j, v := range members {
+			if i == j {
+				continue
+			}
+			if !g.adj[u].Has(v) {
+				return false
+			}
+			sum += g.Weight(u, v)
+		}
+		if g.cap >= 0 && sum > g.cap {
+			return false
+		}
+	}
+	return true
+}
+
+// state tracks one growing clique with incremental weight sums.
+type state struct {
+	g         *Graph
+	members   []int
+	wMembers  []int         // members with outgoing weights (the only growable sums)
+	byCluster map[int][]int // members per weight-interaction class (when installed)
+	inC       *graph.Bitset
+	cand      *graph.Bitset // nodes adjacent to every member
+	sum       []int         // node -> outgoing weight into the clique (members only)
+}
+
+func newState(g *Graph) *state {
+	s := &state{
+		g:    g,
+		inC:  graph.NewBitset(g.n),
+		cand: graph.NewBitset(g.n),
+		sum:  make([]int, g.n),
+	}
+	if g.cluster != nil {
+		s.byCluster = map[int][]int{}
+	}
+	s.cand.Fill()
+	return s
+}
+
+func (s *state) clone() *state {
+	c := &state{
+		g:        s.g,
+		members:  append([]int(nil), s.members...),
+		wMembers: append([]int(nil), s.wMembers...),
+		inC:      s.inC.Clone(),
+		cand:     s.cand.Clone(),
+		sum:      append([]int(nil), s.sum...),
+	}
+	if s.byCluster != nil {
+		c.byCluster = make(map[int][]int, len(s.byCluster))
+		for k, v := range s.byCluster {
+			c.byCluster[k] = append([]int(nil), v...)
+		}
+	}
+	return c
+}
+
+// canAdd reports whether u keeps the clique feasible. When weight clusters
+// are installed (REGIMap's PEs), only same-cluster members interact with u,
+// so the check is O(ops per PE); otherwise only the weighted members can
+// exceed their budget.
+func (s *state) canAdd(u int) bool {
+	if s.inC.Has(u) || !s.cand.Has(u) {
+		return false
+	}
+	if s.g.cap < 0 {
+		return true
+	}
+	uSum := s.g.base[u]
+	if s.byCluster != nil {
+		for _, v := range s.byCluster[s.g.cluster[u]] {
+			if s.sum[v]+s.g.Weight(v, u) > s.g.cap {
+				return false
+			}
+			if s.g.outW[u] {
+				uSum += s.g.Weight(u, v)
+			}
+		}
+		return uSum <= s.g.cap
+	}
+	for _, v := range s.wMembers {
+		if s.sum[v]+s.g.Weight(v, u) > s.g.cap {
+			return false
+		}
+	}
+	if s.g.outW[u] {
+		for _, v := range s.members {
+			uSum += s.g.Weight(u, v)
+		}
+	}
+	return uSum <= s.g.cap
+}
+
+func (s *state) add(u int) {
+	s.sum[u] += s.g.base[u]
+	if s.byCluster != nil {
+		cl := s.g.cluster[u]
+		for _, v := range s.byCluster[cl] {
+			s.sum[v] += s.g.Weight(v, u)
+			if s.g.outW[u] {
+				s.sum[u] += s.g.Weight(u, v)
+			}
+		}
+		s.byCluster[cl] = append(s.byCluster[cl], u)
+	} else {
+		for _, v := range s.wMembers {
+			s.sum[v] += s.g.Weight(v, u)
+		}
+		if s.g.outW[u] {
+			for _, v := range s.members {
+				s.sum[u] += s.g.Weight(u, v)
+			}
+		}
+	}
+	if s.g.outW[u] {
+		s.wMembers = append(s.wMembers, u)
+	}
+	s.members = append(s.members, u)
+	s.inC.Set(u)
+	s.cand.And(s.g.adj[u])
+}
+
+// grow extends the clique greedily until no candidate fits, preferring the
+// candidate with the most arcs to the remaining candidate set (Appendix D's
+// "maximum number of arcs to the nodes outside the clique" tie-break), with
+// node id as the deterministic final tie-break. It stops early at target.
+func (s *state) grow(target int) {
+	for len(s.members) < target {
+		best, bestScore := -1, -1
+		s.cand.ForEach(func(u int) bool {
+			if !s.canAdd(u) {
+				return true
+			}
+			score := s.g.adj[u].IntersectCount(s.cand)
+			if score > bestScore {
+				best, bestScore = u, score
+			}
+			return true
+		})
+		if best == -1 {
+			return
+		}
+		s.add(best)
+	}
+}
+
+// rebuild constructs a state containing exactly the given feasible members.
+func rebuild(g *Graph, members []int) *state {
+	s := newState(g)
+	for _, u := range members {
+		s.add(u)
+	}
+	return s
+}
+
+// Options tunes the heuristic search; zero values select the paper's
+// configuration.
+type Options struct {
+	// MaxSeeds bounds how many greedy starts are attempted (<=0: 16).
+	MaxSeeds int
+	// MaxIntersections bounds the clique-pair intersection phase (<=0: 32).
+	MaxIntersections int
+	// DisableSwap turns off the one-out swap repair (ablation).
+	DisableSwap bool
+	// DisableIntersect turns off the intersection re-seeding (ablation).
+	DisableIntersect bool
+	// GroupRounds bounds FindGrouped's promote-and-retry rounds (<=0: 6).
+	GroupRounds int
+	// GroupOrder, when non-nil, fixes FindGrouped's initial placement order
+	// (REGIMap passes schedule order so operations land next to their
+	// already-placed producers). Defaults to most-constrained-first.
+	GroupOrder []int
+}
+
+// Find runs the paper's constructive heuristic: greedy growth from many
+// seeds, one-out swap repair, then pairwise intersection re-seeding. It
+// returns the best feasible clique found (possibly smaller than target) —
+// never nil, possibly empty.
+func Find(g *Graph, target int, opts Options) []int {
+	maxSeeds := opts.MaxSeeds
+	if maxSeeds <= 0 {
+		maxSeeds = 16
+	}
+	maxInter := opts.MaxIntersections
+	if maxInter <= 0 {
+		maxInter = 32
+	}
+	if target > g.n {
+		target = g.n
+	}
+
+	// Seed order: highest-degree nodes first (most likely to appear in a
+	// large clique), id as tie-break.
+	order := make([]int, g.n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := g.Degree(order[i]), g.Degree(order[j])
+		if di != dj {
+			return di > dj
+		}
+		return order[i] < order[j]
+	})
+	if len(order) > maxSeeds {
+		order = order[:maxSeeds]
+	}
+
+	var best []int
+	var found [][]int
+	consider := func(c []int) bool {
+		found = append(found, c)
+		if len(c) > len(best) {
+			best = c
+		}
+		return len(best) >= target
+	}
+
+	for _, seed := range order {
+		s := newState(g)
+		if !s.canAdd(seed) {
+			continue
+		}
+		s.add(seed)
+		s.grow(target)
+		if !opts.DisableSwap {
+			s = swapImprove(s, target)
+		}
+		if consider(s.members) {
+			return best
+		}
+	}
+
+	if !opts.DisableIntersect {
+		// Pairwise intersections of the best cliques become new seeds
+		// (Appendix D: "the intersect of pairs of cliques is the next
+		// initial clique to be maximized").
+		sort.SliceStable(found, func(i, j int) bool { return len(found[i]) > len(found[j]) })
+		pairs := 0
+		for i := 0; i < len(found) && pairs < maxInter; i++ {
+			for j := i + 1; j < len(found) && pairs < maxInter; j++ {
+				pairs++
+				seed := intersect(g, found[i], found[j])
+				if len(seed) == 0 || len(seed) == len(found[i]) {
+					continue
+				}
+				s := rebuild(g, seed)
+				s.grow(target)
+				if !opts.DisableSwap {
+					s = swapImprove(s, target)
+				}
+				if consider(s.members) {
+					return best
+				}
+			}
+		}
+	}
+	return best
+}
+
+// swapImprove applies the paper's repair move: when growth stalls, look for
+// an outside node adjacent to all members but one, swap it in, and regrow.
+// A bounded number of rounds keeps termination obvious.
+func swapImprove(s *state, target int) *state {
+	best := s
+	cur := s
+	for round := 0; round < 2*len(cur.members)+4 && len(cur.members) < target; round++ {
+		u, x := findSwap(cur)
+		if u == -1 {
+			break
+		}
+		next := removeMember(cur, x)
+		if !next.canAdd(u) {
+			// The candidate violates the weight budget even after the
+			// removal; blacklisting would require bookkeeping — simply stop.
+			break
+		}
+		next.add(u)
+		next.grow(target)
+		if len(next.members) <= len(cur.members) {
+			break // swap did not help; avoid cycling
+		}
+		cur = next
+		if len(cur.members) > len(best.members) {
+			best = cur
+		}
+	}
+	return best
+}
+
+// findSwap returns an outside node u adjacent to all members except exactly
+// one (x), or (-1, -1).
+func findSwap(s *state) (u, x int) {
+	n := s.g.n
+	for cand := 0; cand < n; cand++ {
+		if s.inC.Has(cand) {
+			continue
+		}
+		miss, missCount := -1, 0
+		for _, m := range s.members {
+			if !s.g.adj[cand].Has(m) {
+				miss = m
+				missCount++
+				if missCount > 1 {
+					break
+				}
+			}
+		}
+		if missCount == 1 {
+			return cand, miss
+		}
+	}
+	return -1, -1
+}
+
+func removeMember(s *state, x int) *state {
+	members := make([]int, 0, len(s.members)-1)
+	for _, m := range s.members {
+		if m != x {
+			members = append(members, m)
+		}
+	}
+	return rebuild(s.g, members)
+}
+
+func intersect(g *Graph, a, b []int) []int {
+	inB := graph.NewBitset(g.n)
+	for _, v := range b {
+		inB.Set(v)
+	}
+	var out []int
+	for _, v := range a {
+		if inB.Has(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// FindExact performs branch-and-bound maximum feasible clique search. It is
+// exponential and intended for small graphs: cross-validating the heuristic
+// and the ablation benches.
+func FindExact(g *Graph, target int) []int {
+	var best []int
+	s := newState(g)
+	var dfs func(s *state)
+	dfs = func(s *state) {
+		if len(s.members) > len(best) {
+			best = append([]int(nil), s.members...)
+		}
+		if len(best) >= target {
+			return
+		}
+		// Bound: even taking every candidate cannot beat best.
+		if len(s.members)+s.cand.Count() <= len(best) {
+			return
+		}
+		var cands []int
+		s.cand.ForEach(func(u int) bool {
+			if !s.inC.Has(u) {
+				cands = append(cands, u)
+			}
+			return true
+		})
+		for i, u := range cands {
+			if !s.canAdd(u) {
+				continue
+			}
+			child := s.clone()
+			child.add(u)
+			// Exclude earlier candidates to avoid permuted duplicates.
+			for _, v := range cands[:i] {
+				child.cand.Clear(v)
+			}
+			dfs(child)
+			if len(best) >= target {
+				return
+			}
+		}
+	}
+	dfs(s)
+	return best
+}

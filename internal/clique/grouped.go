@@ -1,0 +1,232 @@
+package clique
+
+import "sort"
+
+// FindGrouped searches for a feasible clique containing exactly one node per
+// group. Groups are REGIMap's operations and a group's nodes its candidate
+// (operation, PE) bindings; since same-operation bindings are mutually
+// incompatible, any clique holds at most one node per group, and a clique of
+// one-per-group is a complete placement.
+//
+// The search is constructive and deterministic: groups are placed most-
+// constrained first (smallest maximum candidate degree), each taking the
+// candidate with the most compatibility arcs into the remaining candidate
+// set; groups that could not be placed are promoted to the front of the next
+// round — the same learn-from-failure flavour as the mapper's outer loop.
+// It returns the best clique found across rounds (possibly smaller than the
+// group count).
+func FindGrouped(g *Graph, groups [][]int, opts Options) []int {
+	rounds := opts.GroupRounds
+	if rounds <= 0 {
+		rounds = 4
+	}
+
+	var order []int
+	if len(opts.GroupOrder) == len(groups) {
+		order = append([]int(nil), opts.GroupOrder...)
+	} else {
+		// Default order: most-constrained groups first. A group's freedom is
+		// the best-connected candidate it has; ties broken by group index
+		// for determinism.
+		freedom := make([]int, len(groups))
+		for gi, cands := range groups {
+			f := -1
+			for _, u := range cands {
+				if d := g.Degree(u); d > f {
+					f = d
+				}
+			}
+			freedom[gi] = f
+		}
+		order = make([]int, len(groups))
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(i, j int) bool {
+			if freedom[order[i]] != freedom[order[j]] {
+				return freedom[order[i]] < freedom[order[j]]
+			}
+			return order[i] < order[j]
+		})
+	}
+
+	groupOf := make(map[int]int, g.n)
+	for gi, cands := range groups {
+		for _, u := range cands {
+			groupOf[u] = gi
+		}
+	}
+
+	var best []int
+	for round := 0; round < rounds; round++ {
+		s := newState(g)
+		var failed []int
+		pending := make([]bool, len(groups))
+		for _, gi := range order {
+			pending[gi] = true
+		}
+		for oi, gi := range order {
+			pending[gi] = false
+			pick := pickCandidate(g, s, groups, order[oi+1:], pending, gi)
+			if pick == -1 {
+				if repaired := swapInGroup(g, s, groups, groupOf, gi); repaired != nil {
+					s = repaired
+					continue
+				}
+				failed = append(failed, gi)
+				continue
+			}
+			s.add(pick)
+		}
+		// Repair phase: the one-out swap often only becomes possible after
+		// the rest of the clique exists, so retry every failed group against
+		// the final state until a pass makes no progress.
+		for iter := 0; iter < 2*len(failed)+2 && len(failed) > 0; iter++ {
+			progress := false
+			still := failed[:0]
+			for _, gi := range failed {
+				if repaired := swapInGroup(g, s, groups, groupOf, gi); repaired != nil {
+					s = repaired
+					progress = true
+				} else {
+					still = append(still, gi)
+				}
+			}
+			failed = still
+			if !progress {
+				break
+			}
+		}
+		if len(s.members) > len(best) {
+			best = append([]int(nil), s.members...)
+		}
+		if len(failed) == 0 {
+			return best
+		}
+		// Promote the failed groups; keep the rest in their previous order.
+		next := make([]int, 0, len(order))
+		next = append(next, failed...)
+		inFailed := make(map[int]bool, len(failed))
+		for _, gi := range failed {
+			inFailed[gi] = true
+		}
+		for _, gi := range order {
+			if !inFailed[gi] {
+				next = append(next, gi)
+			}
+		}
+		order = next
+	}
+	return best
+}
+
+// swapInGroup is the grouped variant of the paper's one-out repair: when no
+// candidate of group gi joins the clique, look for a candidate u blocked by
+// exactly one member x; evict x, admit u, and re-place x's group on another
+// of its candidates. It returns the repaired state, or nil.
+func swapInGroup(g *Graph, s *state, groups [][]int, groupOf map[int]int, gi int) *state {
+	for _, u := range groups[gi] {
+		if s.inC.Has(u) {
+			continue
+		}
+		blocker, blockCount := -1, 0
+		for _, m := range s.members {
+			if !g.adj[u].Has(m) {
+				blocker = m
+				blockCount++
+				if blockCount > 1 {
+					break
+				}
+			}
+		}
+		if blockCount != 1 {
+			continue
+		}
+		// Rebuild without the blocker; admit u; re-place the blocker's group.
+		trial := newState(g)
+		ok := true
+		for _, m := range s.members {
+			if m == blocker {
+				continue
+			}
+			if !trial.canAdd(m) {
+				ok = false
+				break
+			}
+			trial.add(m)
+		}
+		if !ok || !trial.canAdd(u) {
+			continue
+		}
+		trial.add(u)
+		gx := groupOf[blocker]
+		repick, repickScore := -1, -1
+		for _, w := range groups[gx] {
+			if !trial.canAdd(w) {
+				continue
+			}
+			if score := g.adj[w].IntersectCount(trial.cand); score > repickScore {
+				repick, repickScore = w, score
+			}
+		}
+		if repick == -1 {
+			continue
+		}
+		trial.add(repick)
+		return trial
+	}
+	return nil
+}
+
+// pickCandidate chooses group gi's binding by CSP-style forward checking:
+// among feasible candidates, prefer the one that leaves every still-pending
+// group at least one (and ideally several) live candidates — the
+// least-constraining-value rule — with overall compatibility as the final
+// tie-break. It returns -1 when no candidate is feasible.
+func pickCandidate(g *Graph, s *state, groups [][]int, rest []int, pending []bool, gi int) int {
+	type verdict struct {
+		dead, tight, score int
+	}
+	// Forward checking scales with |group| x pending x |group|; on big
+	// arrays cap the pending groups examined — the nearest ones in the
+	// order are the ones this choice constrains most.
+	const maxLookahead = 24
+	best, bestV := -1, verdict{dead: 1 << 30}
+	for _, u := range groups[gi] {
+		if !s.canAdd(u) {
+			continue
+		}
+		v := verdict{score: g.adj[u].IntersectCount(s.cand)}
+		looked := 0
+		for _, gj := range rest {
+			if !pending[gj] {
+				continue
+			}
+			if looked++; looked > maxLookahead {
+				break
+			}
+			live := 0
+			for _, w := range groups[gj] {
+				if s.cand.Has(w) && g.adj[u].Has(w) {
+					live++
+					if live >= 2 {
+						break
+					}
+				}
+			}
+			switch live {
+			case 0:
+				v.dead++
+			case 1:
+				v.tight++
+			}
+		}
+		better := v.dead < bestV.dead ||
+			(v.dead == bestV.dead && v.tight < bestV.tight) ||
+			(v.dead == bestV.dead && v.tight == bestV.tight && v.score > bestV.score)
+		if better {
+			best, bestV = u, v
+		}
+	}
+	return best
+}

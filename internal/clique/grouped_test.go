@@ -1,0 +1,254 @@
+package clique
+
+import (
+	"math/rand"
+	"testing"
+
+	"regimap/internal/graph"
+)
+
+type graphBitset = graph.Bitset
+
+func newGraphBitset(n int) *graphBitset { return graph.NewBitset(n) }
+
+// groupedFixture builds a graph of g groups x c candidates where candidate j
+// of every group is compatible with candidate j' of every other group unless
+// the blocked function rejects the pair.
+func groupedFixture(g, c int, blocked func(gi, ci, gj, cj int) bool) (*Graph, [][]int) {
+	graph := NewGraph(g*c, -1)
+	groups := make([][]int, g)
+	for gi := 0; gi < g; gi++ {
+		for ci := 0; ci < c; ci++ {
+			groups[gi] = append(groups[gi], gi*c+ci)
+		}
+	}
+	for gi := 0; gi < g; gi++ {
+		for gj := gi + 1; gj < g; gj++ {
+			for ci := 0; ci < c; ci++ {
+				for cj := 0; cj < c; cj++ {
+					if blocked != nil && blocked(gi, ci, gj, cj) {
+						continue
+					}
+					graph.AddEdge(groups[gi][ci], groups[gj][cj])
+				}
+			}
+		}
+	}
+	return graph, groups
+}
+
+func TestFindGroupedComplete(t *testing.T) {
+	g, groups := groupedFixture(6, 3, nil)
+	sol := FindGrouped(g, groups, Options{})
+	if len(sol) != 6 {
+		t.Fatalf("placed %d/6 groups", len(sol))
+	}
+	if !g.IsFeasibleClique(sol) {
+		t.Fatal("solution is not a clique")
+	}
+	seen := map[int]bool{}
+	for _, u := range sol {
+		gi := u / 3
+		if seen[gi] {
+			t.Fatal("two candidates from one group")
+		}
+		seen[gi] = true
+	}
+}
+
+// TestFindGroupedResourceExclusive models REGIMap's same-resource rule:
+// candidate j of every group stands for PE j, and two groups cannot share a
+// PE. With exactly as many PEs as groups, only a perfect matching works.
+func TestFindGroupedResourceExclusive(t *testing.T) {
+	g, groups := groupedFixture(4, 4, func(gi, ci, gj, cj int) bool {
+		return ci == cj // same PE
+	})
+	sol := FindGrouped(g, groups, Options{})
+	if len(sol) != 4 {
+		t.Fatalf("placed %d/4 groups (a perfect matching exists)", len(sol))
+	}
+	used := map[int]bool{}
+	for _, u := range sol {
+		pe := u % 4
+		if used[pe] {
+			t.Fatal("two groups on one PE")
+		}
+		used[pe] = true
+	}
+}
+
+// TestFindGroupedSwapRepair forces the one-out swap: group 2's only
+// candidate conflicts with group 0's preferred candidate.
+func TestFindGroupedSwapRepair(t *testing.T) {
+	// 3 groups; groups 0 and 1 have 2 candidates, group 2 has 1. Group 2's
+	// candidate is incompatible with group 0's candidate 0 only.
+	g := NewGraph(5, -1)
+	groups := [][]int{{0, 1}, {2, 3}, {4}}
+	addAll := func(a, b []int) {
+		for _, u := range a {
+			for _, v := range b {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	addAll(groups[0], groups[1])
+	addAll([]int{1}, groups[2]) // group2 compatible only with candidate 1 of group 0
+	addAll(groups[1], groups[2])
+	sol := FindGrouped(g, groups, Options{GroupOrder: []int{0, 1, 2}})
+	if len(sol) != 3 {
+		t.Fatalf("placed %d/3 groups; swap repair should fix group 2 (%v)", len(sol), sol)
+	}
+}
+
+func TestFindGroupedWeightBudget(t *testing.T) {
+	// Two groups, one candidate each, mutual weight 2 with budget 1: only one
+	// can be placed.
+	g := NewGraph(2, 1)
+	g.AddEdge(0, 1)
+	g.AddWeight(0, 1, 2)
+	sol := FindGrouped(g, [][]int{{0}, {1}}, Options{})
+	if len(sol) != 1 {
+		t.Fatalf("placed %d groups, want 1 (budget binds)", len(sol))
+	}
+	if !g.IsFeasibleClique(sol) {
+		t.Fatal("infeasible result")
+	}
+}
+
+func TestFindGroupedPromotion(t *testing.T) {
+	// Group 3 has a single candidate compatible with exactly one candidate
+	// of every other group; greedy placement in the given order can strand
+	// it, and the promote-on-failure rounds must recover.
+	g, groups := groupedFixture(4, 3, func(gi, ci, gj, cj int) bool {
+		if gj == 3 {
+			return cj != 0 || ci != 0
+		}
+		return false
+	})
+	// Restrict group 3 to its single viable candidate.
+	groups[3] = groups[3][:1]
+	sol := FindGrouped(g, groups, Options{GroupOrder: []int{0, 1, 2, 3}, GroupRounds: 4})
+	if len(sol) != 4 {
+		t.Fatalf("placed %d/4 groups (%v)", len(sol), sol)
+	}
+}
+
+func TestFindGroupedDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		n := 4 + rng.Intn(4)
+		c := 2 + rng.Intn(3)
+		seedBlocked := rng.Int63()
+		mk := func() (*Graph, [][]int) {
+			r := rand.New(rand.NewSource(seedBlocked))
+			return groupedFixture(n, c, func(gi, ci, gj, cj int) bool {
+				return r.Intn(4) == 0
+			})
+		}
+		g1, gr1 := mk()
+		g2, gr2 := mk()
+		a := FindGrouped(g1, gr1, Options{})
+		b := FindGrouped(g2, gr2, Options{})
+		if len(a) != len(b) {
+			t.Fatal("FindGrouped not deterministic")
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatal("FindGrouped not deterministic")
+			}
+		}
+	}
+}
+
+func TestSetWeightFuncPaths(t *testing.T) {
+	g := NewGraph(4, 2)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 2)
+	g.SetWeightFunc(
+		func(u, v int) int {
+			if u/2 == v/2 {
+				return 1 // same "PE"
+			}
+			return 0
+		},
+		func(u int) bool { return true },
+		func(u int) int { return u / 2 },
+	)
+	if g.Weight(0, 1) != 1 || g.Weight(0, 2) != 0 {
+		t.Fatal("weight function not consulted")
+	}
+	sol := Find(g, 3, Options{})
+	if !g.IsFeasibleClique(sol) {
+		t.Fatal("infeasible clique with weight function")
+	}
+	// AddWeight after SetWeightFunc must panic.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("AddWeight after SetWeightFunc did not panic")
+			}
+		}()
+		g.AddWeight(0, 1, 1)
+	}()
+	// SetWeightFunc after AddWeight must panic.
+	g2 := NewGraph(2, 1)
+	g2.AddWeight(0, 1, 1)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("SetWeightFunc after AddWeight did not panic")
+			}
+		}()
+		g2.SetWeightFunc(func(u, v int) int { return 0 }, func(u int) bool { return false }, func(u int) int { return 0 })
+	}()
+}
+
+func TestBulkAdjacency(t *testing.T) {
+	g := NewGraph(6, -1)
+	mask := newMask(6, 2, 3, 4)
+	g.OrAdjacency(0, mask)
+	for _, v := range []int{2, 3, 4} {
+		// OrAdjacency is asymmetric by contract.
+		if !g.adj[0].Has(v) {
+			t.Fatalf("missing adjacency 0-%d", v)
+		}
+	}
+	g.OrAdjacency(2, newMask(6, 0))
+	g.OrAdjacency(3, newMask(6, 0))
+	g.OrAdjacency(4, newMask(6, 0))
+	if !g.Adjacent(0, 3) || !g.Adjacent(3, 0) {
+		t.Fatal("symmetric bulk adjacency broken")
+	}
+	g.ClearEdge(0, 3)
+	if g.Adjacent(0, 3) || g.Adjacent(3, 0) {
+		t.Fatal("ClearEdge must clear both directions")
+	}
+}
+
+// TestExactAgreesOnGroupedInstances cross-validates the grouped heuristic
+// against exhaustive search on small instances.
+func TestExactAgreesOnGroupedInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		n := 3 + rng.Intn(3)
+		c := 2 + rng.Intn(2)
+		g, groups := groupedFixture(n, c, func(gi, ci, gj, cj int) bool {
+			return rng.Intn(3) == 0
+		})
+		got := FindGrouped(g, groups, Options{})
+		exact := FindExact(g, n*c)
+		if len(got) > len(exact) {
+			t.Fatalf("grouped found %d members, exact maximum is %d", len(got), len(exact))
+		}
+	}
+}
+
+// newMask builds a bitset with the given members (test helper).
+func newMask(n int, members ...int) *graphBitset {
+	b := newGraphBitset(n)
+	for _, m := range members {
+		b.Set(m)
+	}
+	return b
+}

@@ -1,0 +1,175 @@
+package config
+
+import (
+	"fmt"
+
+	"regimap/internal/dfg"
+	"regimap/internal/mapping"
+	"regimap/internal/sim"
+)
+
+// Execute runs the kernel configuration on a machine-level model for iters
+// iterations of every instruction: per-PE output registers, physically
+// rotating register files addressed purely by the logical indices in the
+// instruction words, and the software-pipeline prologue ramp. Unlike
+// sim.Run, this executor has no access to the data-flow graph — it sees only
+// instruction words — so agreement with the reference interpreter proves the
+// emitted configuration itself, register binding included.
+//
+// Two test-harness seams remain (documented on the Instr/Operand fields):
+// Input/Load instructions use their originating node id to generate the
+// deterministic synthetic data streams, and pre-loop operands read as zero
+// instead of requiring predicated prologue code.
+func Execute(p *Program, iters int) (*sim.Result, error) {
+	if iters <= 0 {
+		return nil, fmt.Errorf("config: non-positive iteration count %d", iters)
+	}
+	numPEs := len(p.PEs)
+	// Discover the node count and the last cycle.
+	maxNode, lastCycle := -1, 0
+	for pe := range p.PEs {
+		for _, in := range p.PEs[pe].Slots {
+			if in == nil {
+				continue
+			}
+			if in.Node > maxNode {
+				maxNode = in.Node
+			}
+			if end := in.Start + (iters-1)*p.II; end > lastCycle {
+				lastCycle = end
+			}
+		}
+	}
+	res := &sim.Result{
+		Values: make([][]int64, maxNode+1),
+		Stores: map[int][][2]int64{},
+	}
+
+	outReg := make([]int64, numPEs)
+	regs := make([][]int64, numPEs)
+	rot := make([]int, numPEs)
+	for pe := range regs {
+		regs[pe] = make([]int64, max(1, p.NumRegs))
+	}
+	type rfWrite struct {
+		pe, logical int
+		value       int64
+	}
+	type outWrite struct {
+		pe    int
+		value int64
+	}
+	var pendingRF []rfWrite
+	var pendingOut []outWrite
+
+	physical := func(pe, logical int) int {
+		n := len(regs[pe])
+		return ((logical-rot[pe])%n + n) % n
+	}
+
+	for t := 0; t <= lastCycle; t++ {
+		// 1. Rotation boundaries (start of cycle).
+		for pe := range p.PEs {
+			if t >= p.PEs[pe].Phase && (t-p.PEs[pe].Phase)%p.II == 0 {
+				rot[pe]++
+			}
+		}
+		// 2. Commit last cycle's results: they become visible this cycle.
+		for _, w := range pendingRF {
+			regs[w.pe][physical(w.pe, w.logical)] = w.value
+		}
+		for _, w := range pendingOut {
+			outReg[w.pe] = w.value
+		}
+		pendingRF, pendingOut = pendingRF[:0], pendingOut[:0]
+
+		// 3. Fetch, read, execute.
+		slot := t % p.II
+		for pe := range p.PEs {
+			in := p.PEs[pe].Slots[slot]
+			if in == nil || t < in.Start || (t-in.Start)%p.II != 0 {
+				continue
+			}
+			k := (t - in.Start) / p.II
+			if k >= iters {
+				continue
+			}
+			args := make([]int64, len(in.Operands))
+			for i, op := range in.Operands {
+				if k-op.Dist < 0 {
+					args[i] = 0 // defined pre-loop value; see the seam note
+					continue
+				}
+				switch op.Kind {
+				case SrcSelf:
+					args[i] = outReg[pe]
+				case SrcNeighbor:
+					row := pe/p.Cols + op.Dy
+					col := pe%p.Cols + op.Dx
+					row = ((row % p.Rows) + p.Rows) % p.Rows
+					col = ((col % p.Cols) + p.Cols) % p.Cols
+					args[i] = outReg[row*p.Cols+col]
+				case SrcRegister:
+					args[i] = regs[pe][physical(pe, op.Reg)]
+				default:
+					return nil, fmt.Errorf("config: PE %d slot %d operand %d has no source", pe, slot, i)
+				}
+			}
+			var value int64
+			isStore := false
+			switch in.Op {
+			case dfg.Input:
+				value = dfg.InputValue(in.Node, int64(k))
+			case dfg.Counter:
+				value = int64(k)
+			case dfg.Load:
+				value = dfg.LoadValue(args[0])
+			case dfg.Store:
+				res.Stores[in.Node] = append(res.Stores[in.Node], [2]int64{args[0], args[1]})
+				isStore = true
+			default:
+				value = dfg.Eval(in.Op, in.Imm, args)
+			}
+			if isStore {
+				continue
+			}
+			if res.Values[in.Node] == nil {
+				res.Values[in.Node] = make([]int64, iters)
+			}
+			res.Values[in.Node][k] = value
+			pendingOut = append(pendingOut, outWrite{pe: pe, value: value})
+			if in.WriteReg >= 0 {
+				pendingRF = append(pendingRF, rfWrite{pe: pe, logical: in.WriteReg, value: value})
+			}
+		}
+	}
+	res.Cycles = lastCycle + 1
+	return res, nil
+}
+
+// Check is the strongest end-to-end proof in the repository: lower the
+// mapping to instruction words, run them on the machine-level executor, and
+// compare every produced value against the sequential reference
+// interpretation of the loop.
+func Check(m *mapping.Mapping, iters int) error {
+	prog, err := Emit(m)
+	if err != nil {
+		return err
+	}
+	got, err := Execute(prog, iters)
+	if err != nil {
+		return err
+	}
+	want, err := sim.Reference(m.D, iters)
+	if err != nil {
+		return err
+	}
+	return sim.Equivalent(m.D, got, want)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

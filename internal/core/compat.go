@@ -1,0 +1,291 @@
+// Package core implements REGIMap itself: the compatibility-graph
+// formulation of integrated placement and register allocation (paper
+// Appendices A-C), the weight-constrained clique placement (Appendix D), and
+// the full learn-from-failure mapping loop (Algorithm 1, Appendix E).
+package core
+
+import (
+	"fmt"
+
+	"regimap/internal/graph"
+
+	"regimap/internal/arch"
+	"regimap/internal/clique"
+	"regimap/internal/dfg"
+)
+
+// Pair is one compatibility-graph node: a candidate binding of an operation
+// to a PE (the time slot is fixed by the schedule, so the pair fully
+// determines a resource of R_II).
+type Pair struct {
+	Op int // DFG node
+	PE int // CGRA PE
+}
+
+// Compat is the compatibility graph P between a scheduled DFG and the
+// time-extended CGRA R_II (paper Step 1-2, Appendix A-B). Nodes are feasible
+// (operation, PE) pairs; an undirected edge means both bindings can coexist;
+// directed arc weights carry the register demand of dependences that must be
+// register-carried (producer and consumer sharing a PE more than one cycle
+// apart).
+type Compat struct {
+	G     *clique.Graph
+	Pairs []Pair
+	II    int
+
+	d    *dfg.DFG
+	byOp [][]int // candidate node indices per operation
+}
+
+// CompatOptions tunes construction; the zero value is this reproduction's
+// default model.
+type CompatOptions struct {
+	// StrictInterIteration applies the paper's conservative Appendix A.2
+	// rule: every inter-iteration dependence keeps producer and consumer on
+	// one PE, even a one-cycle dependence the output register could forward
+	// to a neighbour. The default (false) permits that forwarding — it is
+	// safe under the out-register timing model, every mapping is still
+	// audited by mapping.Validate and the cycle-accurate simulator, and it
+	// avoids inflating II on tight recurrences; the difference is measured
+	// by an ablation bench.
+	StrictInterIteration bool
+}
+
+// depInfo summarizes all dependence arcs of one ordered operation pair.
+type depInfo struct {
+	needAdj bool // a 1-cycle dependence: consumer must be adjacent (or same)
+	carried bool // a register-carried dependence: same PE required
+}
+
+// BuildCompat constructs the compatibility graph of a scheduled DFG on the
+// array at the given II. times holds the absolute schedule slot of each
+// operation.
+func BuildCompat(d *dfg.DFG, c *arch.CGRA, times []int, ii int, opts CompatOptions) (*Compat, error) {
+	if len(times) != d.N() {
+		return nil, fmt.Errorf("core: %d schedule slots for %d ops", len(times), d.N())
+	}
+	if ii <= 0 {
+		return nil, fmt.Errorf("core: non-positive II %d", ii)
+	}
+
+	// Enumerate candidate pairs: operation x supporting PE. The schedule has
+	// already pruned the time dimension — this is the paper's point that
+	// scheduling shrinks the product graph (only |V| x |PEs| pairs remain
+	// instead of |V| x |PEs| x II).
+	var pairs []Pair
+	byOp := make([][]int, d.N())
+	for v := range d.Nodes {
+		if times[v] < 0 {
+			return nil, fmt.Errorf("core: op %s unscheduled", d.Nodes[v].Name)
+		}
+		for p := 0; p < c.NumPEs(); p++ {
+			if !c.Supports(p, d.Nodes[v].Kind) {
+				continue
+			}
+			byOp[v] = append(byOp[v], len(pairs))
+			pairs = append(pairs, Pair{Op: v, PE: p})
+		}
+		if len(byOp[v]) == 0 {
+			return nil, fmt.Errorf("core: no PE supports op %s (%s)", d.Nodes[v].Name, d.Nodes[v].Kind)
+		}
+	}
+
+	g := clique.NewGraph(len(pairs), c.NumRegs)
+	cg := &Compat{G: g, Pairs: pairs, II: ii, d: d, byOp: byOp}
+
+	// Summarize dependences once per ordered operation pair (Appendix A.2),
+	// and compute each operation's register demand R[i] from the schedule:
+	// parallel arcs and multiple consumers of one value share live copies, so
+	// the *longest* register-carried span determines the demand —
+	// ceil(maxSpan/II) rotating registers, exactly the accounting of
+	// mapping.RegisterPressure. The demand is placement-independent because
+	// every register-carried consumer is forced onto the producer's PE.
+	deps := map[[2]int]*depInfo{}
+	regDemand := make([]int, d.N())
+	maxCarried := make([]int, d.N())
+	for _, e := range d.Edges {
+		span := times[e.To] - times[e.From] + ii*e.Dist
+		if span < d.Nodes[e.From].Kind.Latency() {
+			return nil, fmt.Errorf("core: schedule violates edge %s->%s (span %d)",
+				d.Nodes[e.From].Name, d.Nodes[e.To].Name, span)
+		}
+		forwardable := span == 1 && (e.Dist == 0 || !opts.StrictInterIteration)
+		if span > 1 && span > maxCarried[e.From] {
+			maxCarried[e.From] = span
+		}
+		if e.From == e.To {
+			continue // self recurrence: no pairwise constraint, demand only
+		}
+		k := [2]int{e.From, e.To}
+		di := deps[k]
+		if di == nil {
+			di = &depInfo{}
+			deps[k] = di
+		}
+		if forwardable {
+			di.needAdj = true
+		} else {
+			di.carried = true
+		}
+	}
+	anyDemand := false
+	for v, span := range maxCarried {
+		if span > 1 {
+			regDemand[v] = ceilDiv(span, ii)
+			anyDemand = true
+		}
+	}
+
+	// Register weights (Appendix B, Theorem C.1): a value parked in a PE's
+	// file is paid for by *every* mapping resident on that PE, so a node's
+	// outgoing weight sum inside a clique equals the total register demand of
+	// its PE. The per-node budget check is then exactly the per-PE capacity
+	// constraint. Own demand is the node's base weight; co-residents charge
+	// each other their demands on same-PE arcs below.
+	for v, demand := range regDemand {
+		if demand == 0 {
+			continue
+		}
+		for _, id := range byOp[v] {
+			g.AddBase(id, demand)
+		}
+	}
+
+	// Install the register weights as a computed function (Appendix B,
+	// Theorem C.1 as restated above): w(u -> v) is v's demand when the two
+	// bindings share a PE. Keeping this out of a hash map keeps the clique
+	// search's inner loops cheap.
+	g.SetWeightFunc(
+		func(u, v int) int {
+			if pairs[u].PE != pairs[v].PE {
+				return 0
+			}
+			return regDemand[pairs[v].Op]
+		},
+		func(u int) bool {
+			// u has outgoing weight whenever any same-PE partner could have
+			// demand; over-approximating with "any demand exists" is cheap
+			// and still skips the common all-zero kernels.
+			return anyDemand
+		},
+		func(u int) int { return pairs[u].PE })
+
+	// Candidate masks per operation, for the bulk fast path below.
+	masks := make([]*graph.Bitset, d.N())
+	for v := range masks {
+		masks[v] = graph.NewBitset(len(pairs))
+		for _, id := range byOp[v] {
+			masks[v].Set(id)
+		}
+	}
+
+	// Pairwise compatibility (Appendix A.2) over operation pairs first so
+	// the dependence summary is fetched once, then over PE bindings. Pairs
+	// with no dependence between them — the overwhelming majority on large
+	// arrays — are fully compatible except for resource collisions: their
+	// edges are added as one union-mask OR per candidate, with the same-slot
+	// same-PE collisions cleared afterwards.
+	depFree := make([][]int, d.N())
+	var sameSlotFree [][2]int
+	for vi := 0; vi < d.N(); vi++ {
+		si := times[vi] % ii
+		memI := d.Nodes[vi].Kind.IsMem()
+		for vj := vi + 1; vj < d.N(); vj++ {
+			sj := times[vj] % ii
+			sameSlot := si == sj
+			memClash := sameSlot && memI && d.Nodes[vj].Kind.IsMem()
+			fwd := deps[[2]int{vi, vj}] // vi produces for vj
+			rev := deps[[2]int{vj, vi}] // vj produces for vi
+
+			if fwd == nil && rev == nil && !memClash {
+				depFree[vi] = append(depFree[vi], vj)
+				depFree[vj] = append(depFree[vj], vi)
+				if sameSlot {
+					sameSlotFree = append(sameSlotFree, [2]int{vi, vj})
+				}
+				continue
+			}
+
+			for _, i := range byOp[vi] {
+				pi := pairs[i].PE
+				for _, j := range byOp[vj] {
+					pj := pairs[j].PE
+					if sameSlot && pi == pj {
+						continue // same resource of R_II
+					}
+					if memClash && c.RowOf(pi) == c.RowOf(pj) {
+						continue // shared row bus
+					}
+					samePE := pi == pj
+					if fwd != nil {
+						if fwd.carried && !samePE {
+							continue
+						}
+						if fwd.needAdj && !c.Connected(pi, pj) {
+							continue
+						}
+					}
+					if rev != nil {
+						if rev.carried && !samePE {
+							continue
+						}
+						if rev.needAdj && !c.Connected(pj, pi) {
+							continue
+						}
+					}
+					g.AddEdge(i, j)
+				}
+			}
+		}
+	}
+	union := graph.NewBitset(len(pairs))
+	for vi, partners := range depFree {
+		if len(partners) == 0 {
+			continue
+		}
+		union.Reset()
+		for _, vj := range partners {
+			union.Or(masks[vj])
+		}
+		for _, i := range byOp[vi] {
+			g.OrAdjacency(i, union)
+		}
+	}
+	for _, pair := range sameSlotFree {
+		// Same resource of R_II: same PE in the same slot. Candidate lists
+		// are PE-sorted, so a lockstep walk finds the collisions.
+		ci, cj := byOp[pair[0]], byOp[pair[1]]
+		x, y := 0, 0
+		for x < len(ci) && y < len(cj) {
+			pi, pj := pairs[ci[x]].PE, pairs[cj[y]].PE
+			switch {
+			case pi == pj:
+				g.ClearEdge(ci[x], cj[y])
+				x++
+				y++
+			case pi < pj:
+				x++
+			default:
+				y++
+			}
+		}
+	}
+	return cg, nil
+}
+
+// Candidates returns the compatibility-graph node indices that bind op v.
+func (cg *Compat) Candidates(v int) []int { return cg.byOp[v] }
+
+// Nodes returns the number of (operation, PE) pairs.
+func (cg *Compat) Nodes() int { return len(cg.Pairs) }
+
+// Edges returns the number of undirected compatibility edges.
+func (cg *Compat) Edges() int {
+	total := 0
+	for i := range cg.Pairs {
+		total += cg.G.Degree(i)
+	}
+	return total / 2
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"regimap/internal/arch"
+	"regimap/internal/dfg"
+	"regimap/internal/mapping"
+	"regimap/internal/sched"
+)
+
+// TestCompatAgainstValidatorOracle is the compatibility graph's ground-truth
+// check: for random small kernels and schedules, a pair of bindings is
+// compatible if and only if the two-operation partial mapping extends the
+// independent mapping validator's rules (evaluated on a two-op sub-kernel).
+// This pins the Appendix A.2 construction to the machine model rather than
+// to our own reading of it.
+func TestCompatAgainstValidatorOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(12345))
+	c := arch.NewMesh(2, 2, 2)
+	for trial := 0; trial < 40; trial++ {
+		d := randomKernel(rng)
+		sc := sched.New(d, c.NumPEs(), c.Rows)
+		mii := sc.MII()
+		res, err := sc.ScheduleMinII(mii, mii+6, sched.Options{})
+		if err != nil {
+			continue
+		}
+		cg, err := BuildCompat(d, c, res.Time, res.II, CompatOptions{})
+		if err != nil {
+			continue
+		}
+		// Sample binding pairs and compare against the oracle.
+		for probe := 0; probe < 200; probe++ {
+			i := rng.Intn(cg.Nodes())
+			j := rng.Intn(cg.Nodes())
+			if i == j || cg.Pairs[i].Op == cg.Pairs[j].Op {
+				continue
+			}
+			got := cg.G.Adjacent(i, j)
+			want := oracleCompatible(d, c, res, cg.Pairs[i], cg.Pairs[j])
+			if got != want {
+				t.Fatalf("trial %d: pair (%s@PE%d, %s@PE%d) compat=%v oracle=%v\nschedule=%v II=%d",
+					trial,
+					d.Nodes[cg.Pairs[i].Op].Name, cg.Pairs[i].PE,
+					d.Nodes[cg.Pairs[j].Op].Name, cg.Pairs[j].PE,
+					got, want, res.Time, res.II)
+			}
+		}
+	}
+}
+
+// oracleCompatible evaluates the machine rules directly for two bindings:
+// distinct resources, bus exclusivity, and for every dependence between the
+// two operations the forwarding/register-carrying constraints the validator
+// enforces. Register capacity is deliberately excluded (the clique encodes
+// it as weights, not adjacency).
+func oracleCompatible(d *dfg.DFG, c *arch.CGRA, res *sched.Result, a, b Pair) bool {
+	m := mapping.New(d, c, res.II)
+	copy(m.Time, res.Time)
+	// Same (PE, slot)?
+	if a.PE == b.PE && res.Time[a.Op]%res.II == res.Time[b.Op]%res.II {
+		return false
+	}
+	// Shared row bus?
+	if d.Nodes[a.Op].Kind.IsMem() && d.Nodes[b.Op].Kind.IsMem() &&
+		res.Time[a.Op]%res.II == res.Time[b.Op]%res.II &&
+		c.RowOf(a.PE) == c.RowOf(b.PE) {
+		return false
+	}
+	// Dependence rules, both directions.
+	for _, e := range d.Edges {
+		var prodPE, consPE int
+		switch {
+		case e.From == a.Op && e.To == b.Op:
+			prodPE, consPE = a.PE, b.PE
+		case e.From == b.Op && e.To == a.Op:
+			prodPE, consPE = b.PE, a.PE
+		default:
+			continue
+		}
+		span := res.Time[e.To] - res.Time[e.From] + res.II*e.Dist
+		if span == 1 {
+			if !c.Connected(prodPE, consPE) {
+				return false
+			}
+		} else if prodPE != consPE {
+			return false
+		}
+	}
+	return true
+}

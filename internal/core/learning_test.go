@@ -1,0 +1,264 @@
+package core
+
+import (
+	"testing"
+
+	"regimap/internal/arch"
+	"regimap/internal/dfg"
+	"regimap/internal/sched"
+)
+
+// scheduleOf wraps times in a sched.Result for the helpers under test.
+func scheduleOf(ii int, times ...int) *sched.Result {
+	return &sched.Result{II: ii, Time: times}
+}
+
+func TestOverflowComponentDetectsSlotCollision(t *testing.T) {
+	// p feeds c1 and c2 register-carried; both consumers in the same modulo
+	// slot can never share p's PE.
+	b := dfg.NewBuilder("col")
+	p := b.Input("p")
+	c1 := b.Op(dfg.Neg, "c1", p)
+	c2 := b.Op(dfg.Neg, "c2", p)
+	d := b.Build()
+	// II=3: p@0, c1@3, c2@4 -> spans 3 and 4 (carried); c1's slot 0 collides
+	// with p's slot 0.
+	got := overflowComponent(d, scheduleOf(3, 0, 3, 4), 3)
+	if got == nil {
+		t.Fatal("missed a same-slot carried collision")
+	}
+	// Distinct slots (0, 2, 1): fine.
+	if got := overflowComponent(d, scheduleOf(3, 0, 2, 4), 3); got != nil {
+		t.Fatalf("flagged a feasible component: %v", got)
+	}
+	_, _ = c1, c2
+}
+
+func TestOverflowComponentDetectsOversize(t *testing.T) {
+	// A carried chain of 3 ops cannot fit II=2 (3 members, 2 slots).
+	b := dfg.NewBuilder("chain")
+	p := b.Input("p")
+	q := b.Op(dfg.Neg, "q", p)
+	r := b.Op(dfg.Neg, "r", q)
+	d := b.Build()
+	_ = r
+	// All spans 2: one big carried component of size 3 at II=2.
+	if got := overflowComponent(d, scheduleOf(2, 0, 2, 4), 2); got == nil {
+		t.Fatal("missed an oversized carried component")
+	}
+	// At II=3 the three distinct slots fit.
+	if got := overflowComponent(d, scheduleOf(3, 0, 2, 4), 3); got != nil {
+		t.Fatalf("flagged a feasible component: %v", got)
+	}
+}
+
+func TestCarriedCollisionPinsSeparate(t *testing.T) {
+	b := dfg.NewBuilder("pins")
+	p := b.Input("p")
+	c1 := b.Op(dfg.Neg, "c1", p)
+	c2 := b.Op(dfg.Neg, "c2", p)
+	d := b.Build()
+	// II=3: p@0, c1@3, c2@6 -> slots 0, 0, 0 all collide; pins must move the
+	// later members to free slots.
+	pins := carriedCollisionPins(d, scheduleOf(3, 0, 3, 6), 3)
+	if len(pins) != 2 {
+		t.Fatalf("pins = %v, want 2 moved ops", pins)
+	}
+	slots := map[int]bool{0: true}
+	for v, tm := range pins {
+		if v == int(p) {
+			t.Error("the earliest member must keep its slot")
+		}
+		if slots[tm%3] {
+			t.Errorf("pin %v reuses slot %d", pins, tm%3)
+		}
+		slots[tm%3] = true
+	}
+	// No carried edges -> no pins.
+	if pins := carriedCollisionPins(d, scheduleOf(3, 0, 1, 1), 3); pins != nil {
+		t.Errorf("pins on a span-1 schedule: %v", pins)
+	}
+	_ = c1
+	_ = c2
+}
+
+func TestRegisterBoundEdgesPicksLongestSpan(t *testing.T) {
+	b := dfg.NewBuilder("edges")
+	p := b.Input("p")
+	c1 := b.Op(dfg.Neg, "c1", p)
+	c2 := b.Op(dfg.Neg, "c2", p)
+	d := b.Build()
+	res := scheduleOf(4, 0, 1, 3) // c1 span 1, c2 span 3
+	edges := registerBoundEdges(d, res, 4, []int{c2})
+	if len(edges) != 1 {
+		t.Fatalf("edges = %v, want one", edges)
+	}
+	if e := d.Edges[edges[0]]; e.To != c2 {
+		t.Errorf("picked edge to %s, want c2", d.Nodes[e.To].Name)
+	}
+	_ = c1
+}
+
+func TestRegisterBoundEdgesFanoutFallback(t *testing.T) {
+	// All spans 1 but the producer has fan-out 6 > mesh degree: the fan-out
+	// rule must pick one of its edges.
+	b := dfg.NewBuilder("fan")
+	p := b.Input("p")
+	var consumers []int
+	for i := 0; i < 6; i++ {
+		consumers = append(consumers, b.Op(dfg.Neg, "c", p))
+	}
+	d := b.Build()
+	times := []int{0, 1, 1, 1, 1, 1, 1}
+	edges := registerBoundEdges(d, scheduleOf(2, times...), 2, consumers[:1])
+	if len(edges) != 1 {
+		t.Fatalf("edges = %v, want one", edges)
+	}
+	if d.Edges[edges[0]].From != p {
+		t.Error("fallback must split the fan-out producer's edge")
+	}
+}
+
+func TestRegisterBoundEdgesSelfLoopExcluded(t *testing.T) {
+	b := dfg.NewBuilder("self")
+	x := b.Input("x")
+	acc := b.Op(dfg.Add, "acc", x)
+	b.EdgeDist(acc, acc, 1, 1)
+	d := b.Build()
+	// Only the self edge is long; it cannot be relaxed by routing. The x->acc
+	// edge (span 1, low fan-out endpoints) is the only legal pick.
+	edges := registerBoundEdges(d, scheduleOf(2, 0, 1), 2, []int{acc})
+	for _, ei := range edges {
+		if d.Edges[ei].From == d.Edges[ei].To {
+			t.Fatal("picked a self recurrence for routing")
+		}
+	}
+}
+
+func TestFanoutProducers(t *testing.T) {
+	b := dfg.NewBuilder("fan")
+	p := b.Input("p")
+	q := b.Input("q")
+	var last int
+	for i := 0; i < 6; i++ {
+		last = b.Op(dfg.Add, "c", p, q)
+	}
+	d := b.Build()
+	got := fanoutProducers(d, []int{last}, 4)
+	if len(got) != 2 {
+		t.Fatalf("producers = %v, want both inputs (fan-out 6 > 4)", got)
+	}
+	if got := fanoutProducers(d, []int{last}, 8); len(got) != 0 {
+		t.Fatalf("producers = %v, want none at threshold 8", got)
+	}
+}
+
+func TestDFSOrderCoversChainsContiguously(t *testing.T) {
+	b := dfg.NewBuilder("chain")
+	a := b.Input("a")
+	x := b.Op(dfg.Neg, "x", a)
+	y := b.Op(dfg.Neg, "y", x)
+	z := b.Op(dfg.Neg, "z", y)
+	other := b.Input("other")
+	d := b.Build()
+	order := dfsOrder(d)
+	if len(order) != d.N() {
+		t.Fatalf("order covers %d/%d ops", len(order), d.N())
+	}
+	pos := make([]int, d.N())
+	for i, v := range order {
+		pos[v] = i
+	}
+	// The chain a-x-y-z must appear as one contiguous run.
+	lo, hi := pos[a], pos[a]
+	for _, v := range []int{x, y, z} {
+		if pos[v] < lo {
+			lo = pos[v]
+		}
+		if pos[v] > hi {
+			hi = pos[v]
+		}
+	}
+	if hi-lo != 3 {
+		t.Errorf("chain scattered across order positions %d..%d", lo, hi)
+	}
+	_ = other
+}
+
+func TestRouteBudgetFor(t *testing.T) {
+	cases := map[int]int{4: 8, 11: 22, 12: 12, 20: 20, 24: 24, 40: 24}
+	for n, want := range cases {
+		if got := routeBudgetFor(n); got != want {
+			t.Errorf("routeBudgetFor(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestMeshDegree(t *testing.T) {
+	if got := meshDegree(arch.NewMesh(4, 4, 2)); got != 4 {
+		t.Errorf("mesh degree = %d, want 4", got)
+	}
+	if got := meshDegree(arch.NewMesh(1, 2, 2)); got != 1 {
+		t.Errorf("1x2 degree = %d, want 1", got)
+	}
+	if got := meshDegree(arch.New(3, 3, 2, arch.MeshPlus)); got != 8 {
+		t.Errorf("mesh+ degree = %d, want 8", got)
+	}
+}
+
+func TestSplitHalfFanoutMovesLongSpans(t *testing.T) {
+	b := dfg.NewBuilder("split")
+	p := b.Input("p")
+	c1 := b.Op(dfg.Neg, "c1", p)
+	c2 := b.Op(dfg.Neg, "c2", p)
+	c3 := b.Op(dfg.Neg, "c3", p)
+	c4 := b.Op(dfg.Neg, "c4", p)
+	d := b.Build().Clone()
+	res := scheduleOf(4, 0, 1, 2, 3, 4)
+	before := d.N()
+	splitHalfFanout(d, p, res, 4)
+	if d.N() != before+1 {
+		t.Fatal("no route inserted")
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The longest-span consumers (c4, c3) must now hang off the route.
+	rt := before
+	feeds := map[int]bool{}
+	for _, ei := range d.OutEdges(rt) {
+		feeds[d.Edges[ei].To] = true
+	}
+	if !feeds[c4] || !feeds[c3] {
+		t.Errorf("route feeds %v, want the long-span consumers c3,c4", feeds)
+	}
+	if feeds[c1] || feeds[c2] {
+		t.Errorf("route stole the short-span consumers: %v", feeds)
+	}
+	if got := len(d.OutEdges(p)); got != 3 {
+		t.Errorf("p's fan-out = %d, want 3 (c1, c2, route)", got)
+	}
+}
+
+// TestDisabledLearningMatchesExploratoryBehaviour pins the §6.3 ablation
+// semantics: with everything disabled, a placement failure escalates II with
+// exactly one attempt per II.
+func TestDisabledLearningMatchesExploratoryBehaviour(t *testing.T) {
+	k := fig2DFG()
+	c := arch.NewMesh(1, 2, 2)
+	_, stats, err := Map(k, c, Options{
+		DisableReschedule:     true,
+		DisableRouteInsertion: true,
+		DisableThinning:       true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Attempts > stats.II-stats.MII+1 {
+		t.Errorf("%d attempts for II range %d..%d: ablated mapper must try once per II",
+			stats.Attempts, stats.MII, stats.II)
+	}
+	if stats.Reschedules != 0 || stats.RouteInserts != 0 || stats.Thinnings != 0 {
+		t.Error("ablated mapper used a learning move")
+	}
+}

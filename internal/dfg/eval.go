@@ -1,0 +1,99 @@
+package dfg
+
+import "fmt"
+
+// InputValue is the deterministic live-in stream: the value an Input node
+// produces at a given iteration. Kernels have no real trace data attached
+// (see DESIGN.md substitutions), so inputs are a fixed pseudo-random function
+// of (node, iteration), which exercises exactly the same data movement.
+func InputValue(nodeID int, iteration int64) int64 {
+	return mix(int64(uint64(nodeID)*0x9e3779b97f4a7c15) + iteration*0x2545f4914f6cdd1d)
+}
+
+// LoadValue is the deterministic memory model: the value a Load observes for
+// a given address. A hash keeps distinct addresses distinct while remaining
+// reproducible across the reference interpreter and the CGRA simulator.
+func LoadValue(addr int64) int64 {
+	return mix(addr ^ 0x6a09e667f3bcc908)
+}
+
+func mix(x int64) int64 {
+	z := uint64(x)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	// Keep magnitudes small enough that chained multiplies stay meaningful
+	// (wrap-around is fine — both executions wrap identically — but small
+	// values make failures readable).
+	return int64(z % 1021)
+}
+
+// Eval computes the result of a non-memory, non-input operation from its
+// operand values. Load and Store are handled by the executor (they need a
+// memory model); Input needs the iteration number. Eval panics on those
+// kinds: the executor must special-case them.
+func Eval(kind OpKind, imm int64, args []int64) int64 {
+	if want := kind.Arity(); want >= 0 && len(args) != want && kind != Const {
+		panic(fmt.Sprintf("dfg: %s called with %d args, want %d", kind, len(args), want))
+	}
+	switch kind {
+	case Const:
+		return imm
+	case Add:
+		return args[0] + args[1]
+	case Sub:
+		return args[0] - args[1]
+	case Mul:
+		return args[0] * args[1]
+	case And:
+		return args[0] & args[1]
+	case Or:
+		return args[0] | args[1]
+	case Xor:
+		return args[0] ^ args[1]
+	case Shl:
+		return args[0] << uint(args[1]&63)
+	case Shr:
+		return args[0] >> uint(args[1]&63)
+	case Min:
+		if args[0] < args[1] {
+			return args[0]
+		}
+		return args[1]
+	case Max:
+		if args[0] > args[1] {
+			return args[0]
+		}
+		return args[1]
+	case Abs:
+		if args[0] < 0 {
+			return -args[0]
+		}
+		return args[0]
+	case Neg:
+		return -args[0]
+	case Not:
+		return ^args[0]
+	case CmpLT:
+		if args[0] < args[1] {
+			return 1
+		}
+		return 0
+	case CmpEQ:
+		if args[0] == args[1] {
+			return 1
+		}
+		return 0
+	case Select:
+		if args[0] != 0 {
+			return args[1]
+		}
+		return args[2]
+	case Route:
+		return args[0]
+	default:
+		// Load, Store, Input and Counter need machine state or the iteration
+		// index; executors special-case them.
+		panic(fmt.Sprintf("dfg: Eval cannot execute %s (executor must special-case it)", kind))
+	}
+}

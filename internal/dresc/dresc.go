@@ -1,0 +1,631 @@
+// Package dresc re-implements the paper's comparison baseline: DRESC-style
+// register-aware placement and routing by simulated annealing over the
+// modulo routing resource graph (De Sutter et al., LCTES'08, as characterized
+// in the REGIMap paper Section 2):
+//
+//   - the time-extended CGRA is expanded so output registers and register
+//     files appear as explicit capacity-bearing nodes (arch.MRRG);
+//   - operations start from a modulo schedule and are randomly moved in the
+//     time and resource dimensions;
+//   - every data dependence is routed through the MRRG with a congestion-
+//     aware shortest path; the cost of a configuration is its total resource
+//     overuse;
+//   - moves are accepted by the Metropolis criterion under geometric
+//     cooling ("no control strategy, e.g. the temperature schedule, is
+//     derived" — the paper's point that the baseline is untuned exploration);
+//   - when the annealing budget expires with overuse remaining, II is
+//     increased and the mapping restarted.
+//
+// The implementation is deterministic for a fixed Options.Seed.
+package dresc
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"regimap/internal/arch"
+	"regimap/internal/dfg"
+	"regimap/internal/sched"
+)
+
+// Options configures the annealer. Zero values select the defaults used in
+// the experiments.
+type Options struct {
+	// Seed drives all stochastic decisions (0 is a valid seed).
+	Seed int64
+	// MaxII caps II escalation (0: MII + 8).
+	MaxII int
+	// MovesPerTemperature scales the Metropolis sweeps (0: 24|V|).
+	MovesPerTemperature int
+	// InitialTemperature for the Metropolis criterion (0: 4).
+	InitialTemperature float64
+	// Cooling is the geometric temperature factor (0: 0.92).
+	Cooling float64
+	// MinTemperature ends one annealing run (0: 0.05).
+	MinTemperature float64
+}
+
+// Stats reports the outcome.
+type Stats struct {
+	MII     int
+	II      int // achieved II (0 on failure)
+	Moves   int // annealing moves evaluated
+	Accepts int
+	Elapsed time.Duration
+}
+
+// Perf returns MII/II, the paper's performance metric (0 on failure).
+func (s *Stats) Perf() float64 {
+	if s.II == 0 {
+		return 0
+	}
+	return float64(s.MII) / float64(s.II)
+}
+
+// Placement is a complete DRESC solution: a binding of operations to FU
+// nodes of the MRRG and a routed path per DFG edge.
+type Placement struct {
+	M     *arch.MRRG
+	D     *dfg.DFG
+	II    int
+	Time  []int   // absolute schedule slot per op
+	PE    []int   // PE per op
+	Paths [][]int // MRRG node sequence per DFG edge (producer FU to consumer FU)
+}
+
+// Map runs DRESC on the kernel. It returns the placement of the first II at
+// which annealing reaches zero overuse.
+func Map(d *dfg.DFG, c *arch.CGRA, opts Options) (*Placement, *Stats, error) {
+	start := time.Now()
+	if err := d.Validate(); err != nil {
+		return nil, nil, err
+	}
+	stats := &Stats{MII: d.MII(c.NumPEs(), c.Rows)}
+	maxII := opts.MaxII
+	if maxII <= 0 {
+		maxII = stats.MII + 8
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	for ii := stats.MII; ii <= maxII; ii++ {
+		p := annealAtII(d, c, ii, opts, rng, stats)
+		if p != nil {
+			stats.II = ii
+			stats.Elapsed = time.Since(start)
+			if err := p.Verify(c); err != nil {
+				return nil, nil, fmt.Errorf("dresc: internal error, produced invalid placement: %w", err)
+			}
+			return p, stats, nil
+		}
+	}
+	stats.Elapsed = time.Since(start)
+	return nil, stats, fmt.Errorf("dresc: no mapping for %s on %s up to II=%d", d.Name, c, maxII)
+}
+
+// state is the annealer's working configuration.
+type state struct {
+	d    *dfg.DFG
+	c    *arch.CGRA
+	m    *arch.MRRG
+	ii   int
+	time []int
+	pe   []int
+	path [][]int
+	use  []int // usage per MRRG node
+	over int   // total overuse (the SA cost)
+
+	// scratch buffers reused by route.
+	dist, prev, stamp []int
+	gen               int
+	heapBuf           []heapItem
+}
+
+func annealAtII(d *dfg.DFG, c *arch.CGRA, ii int, opts Options, rng *rand.Rand, stats *Stats) *Placement {
+	// Initial modulo schedule (plain list schedule, no lifetime compaction —
+	// the published DRESC discovers time placements through its own
+	// annealing moves); placement starts random.
+	sc := sched.New(d, c.NumPEs(), c.Rows)
+	res, err := sc.Schedule(ii, sched.Options{NoCompact: true})
+	if err != nil {
+		return nil
+	}
+	s := &state{
+		d:    d,
+		c:    c,
+		m:    arch.BuildMRRG(c, ii),
+		ii:   ii,
+		time: append([]int(nil), res.Time...),
+		pe:   make([]int, d.N()),
+		path: make([][]int, len(d.Edges)),
+		use:  nil,
+	}
+	s.use = make([]int, s.m.N())
+	for v := range s.pe {
+		s.pe[v] = randomSupportingPE(c, d.Nodes[v].Kind, rng)
+		s.occupyOp(v, +1)
+	}
+	for ei := range d.Edges {
+		s.reroute(ei)
+	}
+
+	movesPerT := opts.MovesPerTemperature
+	if movesPerT <= 0 {
+		movesPerT = 24 * d.N()
+	}
+	temp := opts.InitialTemperature
+	if temp <= 0 {
+		temp = 4
+	}
+	cooling := opts.Cooling
+	if cooling <= 0 {
+		cooling = 0.92
+	}
+	minTemp := opts.MinTemperature
+	if minTemp <= 0 {
+		minTemp = 0.05
+	}
+
+	bestCost := s.totalCost()
+	stale := 0
+	for ; temp > minTemp; temp *= cooling {
+		for move := 0; move < movesPerT; move++ {
+			if s.totalCost() == 0 {
+				return s.placement()
+			}
+			stats.Moves++
+			if s.tryMove(rng, temp) {
+				stats.Accepts++
+			}
+		}
+		// Plateau abort: when the cost has not improved for several
+		// consecutive temperatures this II will not converge; move on.
+		if cost := s.totalCost(); cost < bestCost {
+			bestCost = cost
+			stale = 0
+		} else {
+			stale++
+			if stale >= 8 {
+				break
+			}
+		}
+	}
+	if s.totalCost() == 0 {
+		return s.placement()
+	}
+	return nil
+}
+
+func randomSupportingPE(c *arch.CGRA, k dfg.OpKind, rng *rand.Rand) int {
+	for tries := 0; tries < 4*c.NumPEs(); tries++ {
+		p := rng.Intn(c.NumPEs())
+		if c.Supports(p, k) {
+			return p
+		}
+	}
+	for p := 0; p < c.NumPEs(); p++ {
+		if c.Supports(p, k) {
+			return p
+		}
+	}
+	return 0
+}
+
+// occupyOp adds (delta=+1) or removes (delta=-1) op v's own resources: its
+// FU, the output register its result lands in (charged once here, not per
+// consumer — all consumers share the one value), and a row bus for memory
+// operations.
+func (s *state) occupyOp(v, delta int) {
+	slot := s.time[v] % s.ii
+	s.addUse(s.m.FUNode(s.pe[v], slot), delta)
+	if s.d.Nodes[v].Kind != dfg.Store && len(s.d.OutEdges(v)) > 0 {
+		s.addUse(s.m.OutRegNode(s.pe[v], (slot+1)%s.ii), delta)
+	}
+	if s.d.Nodes[v].Kind.IsMem() {
+		s.addUse(s.m.BusNode(s.c.RowOf(s.pe[v]), slot), delta)
+	}
+}
+
+func (s *state) addUse(node, delta int) {
+	before := s.use[node]
+	s.use[node] = before + delta
+	cap := s.m.Cap(node)
+	overBefore := maxInt(0, before-cap)
+	overAfter := maxInt(0, s.use[node]-cap)
+	s.over += overAfter - overBefore
+}
+
+// reroute recomputes edge ei's path with a congestion-aware BFS and installs
+// its usage. An unroutable edge keeps an empty path and a fixed penalty.
+const unroutablePenalty = 8
+
+func (s *state) reroute(ei int) {
+	if s.path[ei] != nil {
+		for _, node := range pathOccupancy(s.path[ei]) {
+			s.addUse(node, -1)
+		}
+		s.path[ei] = nil
+	}
+	e := s.d.Edges[ei]
+	src := s.m.OutRegNode(s.pe[e.From], (s.time[e.From]+1)%s.ii)
+	dst := s.m.FUNode(s.pe[e.To], s.time[e.To]%s.ii)
+	span := s.time[e.To] - s.time[e.From] + s.ii*e.Dist
+	p := s.route(src, dst, span)
+	s.path[ei] = p
+	// The source out register is charged once by the producer (occupyOp);
+	// only the intermediate hops are charged per connection. Intermediate
+	// sharing between two sinks of one value is deliberately not deduplicated
+	// — the paper notes path sharing "is not an explicit aspect of the
+	// solution method" in DRESC.
+	for _, node := range pathOccupancy(p) {
+		s.addUse(node, +1)
+	}
+	// Unroutable edges carry a fixed penalty via totalCost.
+}
+
+// pathOccupancy returns the chargeable nodes of a route: everything after
+// the producer-owned source out register.
+func pathOccupancy(p []int) []int {
+	if len(p) <= 1 {
+		return nil
+	}
+	return p[1:]
+}
+
+// route finds a cheapest *time-exact* path over the MRRG with a binary-heap
+// Dijkstra on (node, elapsed) states. The value leaves the producer's out
+// register one cycle after execution (elapsed 1) and must enter the
+// consumer's FU exactly span cycles after the producer executed — an MRRG
+// hop into an OutReg or RF node advances one cycle, a hop into an FU is a
+// same-cycle read. A path whose span exceeds II wraps around the modulo
+// graph and revisits storage nodes, charging one capacity unit per live
+// copy, which is exactly the rotating-register accounting. Entering a node
+// costs 1 plus a congestion surcharge; the destination FU itself is not
+// occupied by the route (the consumer op occupies it); the source out
+// register is charged by the producer (occupyOp).
+func (s *state) route(src, dst, span int) []int {
+	if span < 1 {
+		return nil
+	}
+	const inf = math.MaxInt32
+	states := s.m.N() * (span + 1)
+	if len(s.dist) < states {
+		s.dist = make([]int, states)
+		s.prev = make([]int, states)
+		s.stamp = make([]int, states)
+	}
+	s.gen++
+	dist, prev, stamp, gen := s.dist, s.prev, s.stamp, s.gen
+	at := func(node, elapsed int) int { return node*(span+1) + elapsed }
+	get := func(i int) int {
+		if stamp[i] != gen {
+			return inf
+		}
+		return dist[i]
+	}
+	set := func(i, d, p int) {
+		stamp[i] = gen
+		dist[i] = d
+		prev[i] = p
+	}
+
+	start := at(src, 1)
+	set(start, s.nodeCost(src), -1)
+	h := &nodeHeap{items: s.heapBuf[:0]}
+	h.push(heapItem{node: start, dist: get(start)})
+	goal := at(dst, span)
+	for h.len() > 0 {
+		it := h.pop()
+		if it.dist > get(it.node) {
+			continue // stale entry
+		}
+		if it.node == goal {
+			break
+		}
+		node, elapsed := it.node/(span+1), it.node%(span+1)
+		for _, w := range s.m.Out(node) {
+			nextElapsed := elapsed
+			if s.m.Kind(w) != arch.FU {
+				nextElapsed++ // storage hops advance time
+			}
+			if nextElapsed > span {
+				continue
+			}
+			if s.m.Kind(w) == arch.FU && (w != dst || nextElapsed != span) {
+				// Routing through an intermediate FU: the PE executes an
+				// explicit copy that cycle, then the result lands in its out
+				// register. Model as entering the FU only when it can still
+				// reach the deadline (its out-reg hop comes next).
+				if w == dst {
+					continue // reached the consumer too early: wrong iteration
+				}
+			}
+			ws := at(w, nextElapsed)
+			cost := 1
+			if ws != goal {
+				cost += s.nodeCost(w)
+			}
+			if d := it.dist + cost; d < get(ws) {
+				set(ws, d, it.node)
+				h.push(heapItem{node: ws, dist: d})
+			}
+		}
+	}
+	s.heapBuf = h.items[:0]
+	if get(goal) == inf {
+		return nil
+	}
+	var rev []int
+	for cur := goal; cur != -1; cur = prev[cur] {
+		rev = append(rev, cur/(span+1))
+	}
+	// Exclude the destination FU from occupancy; keep source and middle.
+	path := make([]int, 0, len(rev)-1)
+	for i := len(rev) - 1; i >= 1; i-- {
+		path = append(path, rev[i])
+	}
+	return path
+}
+
+type heapItem struct {
+	node, dist int
+}
+
+// nodeHeap is a minimal binary min-heap on dist, reused across routes to
+// avoid allocation in the annealer's hot loop.
+type nodeHeap struct {
+	items []heapItem
+}
+
+func (h *nodeHeap) len() int { return len(h.items) }
+
+func (h *nodeHeap) push(it heapItem) {
+	h.items = append(h.items, it)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].dist <= h.items[i].dist {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *nodeHeap) pop() heapItem {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(h.items) && h.items[l].dist < h.items[smallest].dist {
+			smallest = l
+		}
+		if r < len(h.items) && h.items[r].dist < h.items[smallest].dist {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+	return top
+}
+
+// nodeCost is the congestion surcharge for routing through a node.
+func (s *state) nodeCost(node int) int {
+	overflow := s.use[node] - s.m.Cap(node) + 1
+	if overflow <= 0 {
+		return 0
+	}
+	return 6 * overflow
+}
+
+// totalCost is overuse plus penalties for unroutable edges.
+func (s *state) totalCost() int {
+	cost := s.over
+	for ei := range s.path {
+		if s.path[ei] == nil {
+			cost += unroutablePenalty
+		}
+	}
+	return cost
+}
+
+// tryMove proposes one annealing move: relocate a random operation in space
+// (random supporting PE) and/or time (±1 within dependence slack), reroute
+// its incident edges, and accept by Metropolis.
+func (s *state) tryMove(rng *rand.Rand, temp float64) bool {
+	v := rng.Intn(s.d.N())
+	oldPE, oldTime := s.pe[v], s.time[v]
+	newPE, newTime := oldPE, oldTime
+
+	switch rng.Intn(3) {
+	case 0: // move in space
+		newPE = randomSupportingPE(s.c, s.d.Nodes[v].Kind, rng)
+	case 1: // move in time
+		newTime = oldTime + 1 - 2*rng.Intn(2)
+	default: // both
+		newPE = randomSupportingPE(s.c, s.d.Nodes[v].Kind, rng)
+		newTime = oldTime + 1 - 2*rng.Intn(2)
+	}
+	if newTime < 0 || !s.timeFeasible(v, newTime) {
+		return false
+	}
+	if newPE == oldPE && newTime == oldTime {
+		return false
+	}
+
+	before := s.totalCost()
+	touched := s.incidentEdges(v)
+	oldPaths := make([][]int, len(touched))
+	for i, ei := range touched {
+		oldPaths[i] = s.path[ei]
+	}
+
+	s.occupyOp(v, -1)
+	s.pe[v], s.time[v] = newPE, newTime
+	s.occupyOp(v, +1)
+	for _, ei := range touched {
+		s.reroute(ei)
+	}
+	after := s.totalCost()
+
+	delta := after - before
+	if delta <= 0 || rng.Float64() < math.Exp(-float64(delta)/temp) {
+		return true
+	}
+	// Reject: restore.
+	s.occupyOp(v, -1)
+	s.pe[v], s.time[v] = oldPE, oldTime
+	s.occupyOp(v, +1)
+	for i, ei := range touched {
+		for _, node := range pathOccupancy(s.path[ei]) {
+			s.addUse(node, -1)
+		}
+		s.path[ei] = oldPaths[i]
+		for _, node := range pathOccupancy(s.path[ei]) {
+			s.addUse(node, +1)
+		}
+	}
+	return false
+}
+
+// timeFeasible checks v's dependence constraints against the current times
+// of every other operation.
+func (s *state) timeFeasible(v, t int) bool {
+	for _, ei := range s.d.InEdges(v) {
+		e := s.d.Edges[ei]
+		if e.From == v {
+			continue
+		}
+		if t < s.time[e.From]+s.d.Nodes[e.From].Kind.Latency()-s.ii*e.Dist {
+			return false
+		}
+	}
+	for _, ei := range s.d.OutEdges(v) {
+		e := s.d.Edges[ei]
+		if e.To == v {
+			continue
+		}
+		if s.time[e.To] < t+s.d.Nodes[v].Kind.Latency()-s.ii*e.Dist {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *state) incidentEdges(v int) []int {
+	var out []int
+	seen := map[int]bool{}
+	for _, ei := range s.d.InEdges(v) {
+		if !seen[ei] {
+			seen[ei] = true
+			out = append(out, ei)
+		}
+	}
+	for _, ei := range s.d.OutEdges(v) {
+		if !seen[ei] {
+			seen[ei] = true
+			out = append(out, ei)
+		}
+	}
+	return out
+}
+
+func (s *state) placement() *Placement {
+	p := &Placement{
+		M:     s.m,
+		D:     s.d,
+		II:    s.ii,
+		Time:  append([]int(nil), s.time...),
+		PE:    append([]int(nil), s.pe...),
+		Paths: make([][]int, len(s.path)),
+	}
+	for i := range s.path {
+		p.Paths[i] = append([]int(nil), s.path[i]...)
+	}
+	return p
+}
+
+// Verify audits a finished placement: every edge routed along real MRRG arcs
+// from the producer's output register to the consumer's FU, and no resource
+// used beyond capacity.
+func (p *Placement) Verify(c *arch.CGRA) error {
+	use := make([]int, p.M.N())
+	for v := range p.D.Nodes {
+		if p.Time[v] < 0 || p.PE[v] < 0 || p.PE[v] >= c.NumPEs() {
+			return fmt.Errorf("dresc: op %s has invalid binding (t=%d, pe=%d)", p.D.Nodes[v].Name, p.Time[v], p.PE[v])
+		}
+		slot := p.Time[v] % p.II
+		if !c.Supports(p.PE[v], p.D.Nodes[v].Kind) {
+			return fmt.Errorf("dresc: PE %d cannot execute %s", p.PE[v], p.D.Nodes[v].Name)
+		}
+		use[p.M.FUNode(p.PE[v], slot)]++
+		if p.D.Nodes[v].Kind != dfg.Store && len(p.D.OutEdges(v)) > 0 {
+			use[p.M.OutRegNode(p.PE[v], (slot+1)%p.II)]++
+		}
+		if p.D.Nodes[v].Kind.IsMem() {
+			use[p.M.BusNode(c.RowOf(p.PE[v]), slot)]++
+		}
+	}
+	for ei, e := range p.D.Edges {
+		if p.Time[e.To] < p.Time[e.From]+p.D.Nodes[e.From].Kind.Latency()-p.II*e.Dist {
+			return fmt.Errorf("dresc: edge %d violates dependence timing", ei)
+		}
+		path := p.Paths[ei]
+		if len(path) == 0 {
+			return fmt.Errorf("dresc: edge %d unrouted", ei)
+		}
+		wantSrc := p.M.OutRegNode(p.PE[e.From], (p.Time[e.From]+1)%p.II)
+		if path[0] != wantSrc {
+			return fmt.Errorf("dresc: edge %d starts at %s, want %s", ei, p.M.Describe(path[0]), p.M.Describe(wantSrc))
+		}
+		dst := p.M.FUNode(p.PE[e.To], p.Time[e.To]%p.II)
+		elapsed := 1 // the producer's result reaches its out register in 1 cycle
+		for i := 0; i+1 < len(path); i++ {
+			if !containsNode(p.M.Out(path[i]), path[i+1]) {
+				return fmt.Errorf("dresc: edge %d path hop %d not an MRRG arc", ei, i)
+			}
+			if p.M.Kind(path[i+1]) != arch.FU {
+				elapsed++
+			}
+		}
+		if !containsNode(p.M.Out(path[len(path)-1]), dst) {
+			return fmt.Errorf("dresc: edge %d path does not reach %s", ei, p.M.Describe(dst))
+		}
+		span := p.Time[e.To] - p.Time[e.From] + p.II*e.Dist
+		if elapsed != span {
+			return fmt.Errorf("dresc: edge %d path takes %d cycles, dependence spans %d", ei, elapsed, span)
+		}
+		for _, node := range pathOccupancy(path) {
+			use[node]++
+		}
+	}
+	for node, u := range use {
+		if u > p.M.Cap(node) {
+			return fmt.Errorf("dresc: %s used %d times, capacity %d", p.M.Describe(node), u, p.M.Cap(node))
+		}
+	}
+	return nil
+}
+
+func containsNode(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,374 @@
+// Package ems implements an EMS-style baseline (Park et al., PACT'08, as
+// characterized in the REGIMap paper): an edge-centric greedy mapper.
+// Operations are placed one at a time directly onto (PE, cycle) slots with
+// routing as the primary concern — each dependence is realized immediately,
+// through a neighbour's output register (one cycle), through the producer's
+// register file (same PE, longer spans), or through a chain of explicit
+// routing operations walked across the mesh one hop per cycle. There is no
+// learning: when an operation cannot be placed, II is increased and the
+// whole mapping retried, exactly the escalation behaviour the paper
+// criticizes in exploratory mappers.
+package ems
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"regimap/internal/arch"
+	"regimap/internal/dfg"
+	"regimap/internal/mapping"
+)
+
+// Options configures the mapper.
+type Options struct {
+	// MaxII caps II escalation (0: MII + 16).
+	MaxII int
+}
+
+// Stats reports the outcome.
+type Stats struct {
+	MII        int
+	II         int // achieved II (0 on failure)
+	Placements int // operation placements attempted
+	Routes     int // routing operations materialized
+	Elapsed    time.Duration
+}
+
+// Perf returns MII/II, the paper's performance metric (0 on failure).
+func (s *Stats) Perf() float64 {
+	if s.II == 0 {
+		return 0
+	}
+	return float64(s.MII) / float64(s.II)
+}
+
+// Map greedily maps the kernel, escalating II on any placement failure. The
+// returned mapping's DFG may contain extra Route operations.
+func Map(d *dfg.DFG, c *arch.CGRA, opts Options) (*mapping.Mapping, *Stats, error) {
+	start := time.Now()
+	if err := d.Validate(); err != nil {
+		return nil, nil, err
+	}
+	stats := &Stats{MII: d.MII(c.NumPEs(), c.Rows)}
+	maxII := opts.MaxII
+	if maxII <= 0 {
+		maxII = stats.MII + 16
+	}
+	for ii := stats.MII; ii <= maxII; ii++ {
+		if m := placeAtII(d, c, ii, stats); m != nil {
+			stats.II = ii
+			stats.Elapsed = time.Since(start)
+			if err := m.Validate(); err != nil {
+				return nil, nil, fmt.Errorf("ems: internal error, produced invalid mapping: %w", err)
+			}
+			return m, stats, nil
+		}
+	}
+	stats.Elapsed = time.Since(start)
+	return nil, stats, fmt.Errorf("ems: no mapping for %s on %s up to II=%d", d.Name, c, maxII)
+}
+
+// placer is the working state of one greedy pass.
+type placer struct {
+	ds *dfg.DFG // working DFG; routing nodes are appended as they are walked
+	c  *arch.CGRA
+	ii int
+
+	time, pe []int
+	occupied map[[2]int]bool // (pe, slot)
+	busUsed  map[[2]int]bool // (row, slot)
+	pressure []int
+}
+
+// placeAtII runs one greedy pass at a fixed II.
+func placeAtII(d *dfg.DFG, c *arch.CGRA, ii int, stats *Stats) *mapping.Mapping {
+	p := &placer{
+		ds:       d.Clone(),
+		c:        c,
+		ii:       ii,
+		occupied: map[[2]int]bool{},
+		busUsed:  map[[2]int]bool{},
+		pressure: make([]int, c.NumPEs()),
+	}
+	p.time = make([]int, d.N())
+	p.pe = make([]int, d.N())
+	for i := range p.time {
+		p.time[i] = -1
+		p.pe[i] = -1
+	}
+
+	heights := d.Heights()
+	order := make([]int, d.N())
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		if heights[order[i]] != heights[order[j]] {
+			return heights[order[i]] > heights[order[j]]
+		}
+		return order[i] < order[j]
+	})
+
+	for _, v := range order {
+		stats.Placements++
+		if !p.placeOp(v, stats) {
+			return nil
+		}
+	}
+
+	m := mapping.New(p.ds, c, ii)
+	copy(m.Time, p.time)
+	copy(m.PE, p.pe)
+	if m.Validate() != nil {
+		// Two greedily-committed route chains can collide; with no repair
+		// strategy that is an ordinary failure of this II.
+		return nil
+	}
+	return m
+}
+
+// placeOp finds the cheapest feasible slot for v and commits it together
+// with any routing chains its dependences need.
+func (p *placer) placeOp(v int, stats *Stats) bool {
+	early := 0
+	for _, ei := range p.ds.InEdges(v) {
+		e := p.ds.Edges[ei]
+		if e.From == v || p.time[e.From] < 0 {
+			continue
+		}
+		if lo := p.time[e.From] + 1 - p.ii*e.Dist; lo > early {
+			early = lo
+		}
+	}
+	type plan struct {
+		pe, t  int
+		cost   int
+		chains [][]int // route-PE chains per edge needing them
+		edges  []int   // the edge index each chain serves
+	}
+	var best *plan
+	for t := early; t < early+p.ii; t++ {
+		for pe := 0; pe < p.c.NumPEs(); pe++ {
+			if !p.c.Supports(pe, p.ds.Nodes[v].Kind) || p.slotBusy(pe, t, p.ds.Nodes[v].Kind) {
+				continue
+			}
+			cost, chains, edges, ok := p.tryPosition(v, pe, t)
+			if !ok {
+				continue
+			}
+			if best == nil || cost < best.cost {
+				best = &plan{pe: pe, t: t, cost: cost, chains: chains, edges: edges}
+			}
+		}
+	}
+	if best == nil {
+		return false
+	}
+	p.commit(v, best.pe, best.t)
+	for i, chain := range best.chains {
+		p.materializeChain(best.edges[i], chain, stats)
+	}
+	p.recomputePressure()
+	for _, used := range p.pressure {
+		if used > p.c.NumRegs {
+			return false // over budget with no repair strategy: escalate II
+		}
+	}
+	return true
+}
+
+func (p *placer) slotBusy(pe, t int, kind dfg.OpKind) bool {
+	if p.occupied[[2]int{pe, mod(t, p.ii)}] {
+		return true
+	}
+	return kind.IsMem() && p.busUsed[[2]int{p.c.RowOf(pe), mod(t, p.ii)}]
+}
+
+func (p *placer) commit(v, pe, t int) {
+	p.time[v] = t
+	p.pe[v] = pe
+	p.occupied[[2]int{pe, mod(t, p.ii)}] = true
+	if p.ds.Nodes[v].Kind.IsMem() {
+		p.busUsed[[2]int{p.c.RowOf(pe), mod(t, p.ii)}] = true
+	}
+}
+
+// tryPosition checks v at (pe, t) against every placed neighbour, returning
+// the routing cost and the route chains to materialize.
+func (p *placer) tryPosition(v, pe, t int) (cost int, chains [][]int, edges []int, ok bool) {
+	check := func(ei int, prodOp, prodPE, prodT, consPE, consT, dist int) bool {
+		span := consT - prodT + p.ii*dist
+		switch {
+		case span < 1:
+			return false
+		case span == 1:
+			if !p.c.Connected(prodPE, consPE) {
+				return false
+			}
+			if prodPE != consPE {
+				cost++
+			}
+			return true
+		case prodPE == consPE:
+			regs := (span + p.ii - 1) / p.ii
+			if p.pressure[prodPE]+regs > p.c.NumRegs {
+				return false
+			}
+			cost += 2 * regs
+			return true
+		case dist > 0:
+			// An inter-iteration value cannot be walked hop-by-hop (the
+			// chain's first hop would itself span iterations): same PE only.
+			return false
+		default:
+			chain := p.routeChain(prodPE, prodT, consPE, span)
+			if chain == nil {
+				return false
+			}
+			cost += 2 * len(chain)
+			chains = append(chains, chain)
+			edges = append(edges, ei)
+			return true
+		}
+	}
+	for _, ei := range p.ds.InEdges(v) {
+		e := p.ds.Edges[ei]
+		if e.From == v {
+			if spanSelf := p.ii * e.Dist; spanSelf > 1 {
+				regs := (spanSelf + p.ii - 1) / p.ii
+				if p.pressure[pe]+regs > p.c.NumRegs {
+					return 0, nil, nil, false
+				}
+				cost += 2 * regs
+			}
+			continue
+		}
+		if p.time[e.From] < 0 {
+			continue
+		}
+		if !check(ei, e.From, p.pe[e.From], p.time[e.From], pe, t, e.Dist) {
+			return 0, nil, nil, false
+		}
+	}
+	for _, ei := range p.ds.OutEdges(v) {
+		e := p.ds.Edges[ei]
+		if e.To == v || p.time[e.To] < 0 {
+			continue
+		}
+		if !check(ei, v, pe, t, p.pe[e.To], p.time[e.To], e.Dist) {
+			return 0, nil, nil, false
+		}
+	}
+	return cost, chains, edges, true
+}
+
+// routeChain walks the value from the producer's PE to a PE adjacent to the
+// consumer in exactly span cycles: one route operation per cycle, each on a
+// PE adjacent to (or equal to) the previous one, each needing a free slot.
+// It returns the PE sequence of the span-1 route operations, or nil.
+func (p *placer) routeChain(fromPE, fromT, toPE, span int) []int {
+	type state struct {
+		pe, k int
+	}
+	prev := map[state]state{}
+	seen := map[state]bool{}
+	frontier := []state{{fromPE, 0}}
+	seen[state{fromPE, 0}] = true
+	for len(frontier) > 0 {
+		var next []state
+		for _, cur := range frontier {
+			if cur.k == span-1 {
+				if p.c.Connected(cur.pe, toPE) {
+					// Reconstruct the chain pe_1..pe_{span-1}.
+					chain := make([]int, 0, span-1)
+					for at := cur; at.k > 0; at = prev[at] {
+						chain = append(chain, at.pe)
+					}
+					for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+						chain[i], chain[j] = chain[j], chain[i]
+					}
+					return chain
+				}
+				continue
+			}
+			cands := append([]int{cur.pe}, p.c.Neighbors(cur.pe)...)
+			for _, q := range cands {
+				ns := state{q, cur.k + 1}
+				if seen[ns] || p.slotBusy(q, fromT+ns.k, dfg.Route) {
+					continue
+				}
+				seen[ns] = true
+				prev[ns] = cur
+				next = append(next, ns)
+			}
+		}
+		frontier = next
+	}
+	return nil
+}
+
+// materializeChain appends the route operations of one chain to the working
+// DFG and commits their placements. The chain PEs execute at consecutive
+// cycles after the producer.
+func (p *placer) materializeChain(ei int, chain []int, stats *Stats) {
+	e := p.ds.Edges[ei]
+	prodT := p.time[e.From]
+	node := e.From
+	for k, pe := range chain {
+		rt := p.ds.InsertRoute(p.edgeIndexFrom(node, e.To, e.Port))
+		p.time = append(p.time, 0)
+		p.pe = append(p.pe, 0)
+		p.time[rt] = prodT + k + 1
+		p.pe[rt] = pe
+		p.occupied[[2]int{pe, mod(prodT+k+1, p.ii)}] = true
+		stats.Routes++
+		node = rt
+	}
+}
+
+// edgeIndexFrom finds the current index of the edge node->to feeding the
+// given port (indices shift as routes are inserted).
+func (p *placer) edgeIndexFrom(node, to, port int) int {
+	for _, ei := range p.ds.OutEdges(node) {
+		e := p.ds.Edges[ei]
+		if e.To == to && e.Port == port {
+			return ei
+		}
+	}
+	panic("ems: lost track of an edge while routing")
+}
+
+// recomputePressure refreshes the per-PE register demand of the partial
+// placement (producers charge ceil(maxCarriedSpan/II) on their PE).
+func (p *placer) recomputePressure() {
+	for i := range p.pressure {
+		p.pressure[i] = 0
+	}
+	for v := range p.ds.Nodes {
+		if v >= len(p.time) || p.time[v] < 0 {
+			continue
+		}
+		maxSpan := 0
+		for _, ei := range p.ds.OutEdges(v) {
+			e := p.ds.Edges[ei]
+			var span int
+			if e.To == v {
+				span = p.ii * e.Dist
+			} else {
+				if e.To >= len(p.time) || p.time[e.To] < 0 {
+					continue
+				}
+				span = p.time[e.To] - p.time[v] + p.ii*e.Dist
+			}
+			if span > 1 && span > maxSpan {
+				maxSpan = span
+			}
+		}
+		if maxSpan > 1 {
+			p.pressure[p.pe[v]] += (maxSpan + p.ii - 1) / p.ii
+		}
+	}
+}
+
+func mod(a, m int) int { return ((a % m) + m) % m }

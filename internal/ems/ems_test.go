@@ -1,0 +1,135 @@
+package ems
+
+import (
+	"math/rand"
+	"testing"
+
+	"regimap/internal/arch"
+	"regimap/internal/dfg"
+	"regimap/internal/sim"
+)
+
+func fig2DFG() *dfg.DFG {
+	b := dfg.NewBuilder("fig2")
+	a := b.Input("a")
+	bb := b.Op(dfg.Neg, "b", a)
+	c := b.Op(dfg.Neg, "c", bb)
+	b.Op(dfg.Add, "d", c, a)
+	return b.Build()
+}
+
+func TestMapFigure2(t *testing.T) {
+	d := fig2DFG()
+	c := arch.NewMesh(1, 2, 2)
+	m, stats, err := Map(d, c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.II < stats.MII {
+		t.Fatalf("II %d beats MII %d", stats.II, stats.MII)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Check(m, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapRecurrence(t *testing.T) {
+	b := dfg.NewBuilder("rec3")
+	x := b.Input("x")
+	p := b.Op(dfg.Add, "p", x)
+	q := b.Op(dfg.Neg, "q", p)
+	r := b.Op(dfg.Neg, "r", q)
+	b.EdgeDist(r, p, 1, 1)
+	d := b.Build()
+	c := arch.NewMesh(4, 4, 4)
+	m, stats, err := Map(d, c, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.II < 3 {
+		t.Fatalf("II = %d beats RecMII 3", stats.II)
+	}
+	if err := sim.Check(m, 5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapAccumulator(t *testing.T) {
+	b := dfg.NewBuilder("acc")
+	x := b.Input("x")
+	acc := b.Op(dfg.Add, "acc", x)
+	b.EdgeDist(acc, acc, 1, 1)
+	d := b.Build()
+	m, _, err := Map(d, arch.NewMesh(2, 2, 2), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Check(m, 6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapImpossible(t *testing.T) {
+	b := dfg.NewBuilder("mul")
+	x := b.Input("x")
+	b.Op(dfg.Mul, "m", x, x)
+	d := b.Build()
+	c := arch.NewMesh(1, 2, 2)
+	c.RestrictPE(0, dfg.Add)
+	c.RestrictPE(1, dfg.Add)
+	if _, _, err := Map(d, c, Options{MaxII: 3}); err == nil {
+		t.Fatal("mapped kernel with unsupported op")
+	}
+}
+
+func TestMapInvalidDFG(t *testing.T) {
+	bad := &dfg.DFG{Name: "bad", Nodes: []dfg.Node{{ID: 0, Name: "x", Kind: dfg.Add}}}
+	if _, _, err := Map(bad, arch.NewMesh(2, 2, 2), Options{}); err == nil {
+		t.Fatal("accepted invalid DFG")
+	}
+}
+
+func TestPerf(t *testing.T) {
+	s := &Stats{MII: 3, II: 6}
+	if s.Perf() != 0.5 {
+		t.Errorf("Perf = %v", s.Perf())
+	}
+	if (&Stats{MII: 3}).Perf() != 0 {
+		t.Error("failed run must report 0")
+	}
+}
+
+// Random kernels: whatever EMS maps must validate and simulate correctly.
+func TestRandomKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	kinds := []dfg.OpKind{dfg.Add, dfg.Sub, dfg.Mul, dfg.Xor, dfg.Min}
+	mapped := 0
+	for trial := 0; trial < 25; trial++ {
+		b := dfg.NewBuilder("rand")
+		ids := []int{b.Input("i0")}
+		n := 4 + rng.Intn(10)
+		for len(ids) < n {
+			k := kinds[rng.Intn(len(kinds))]
+			ids = append(ids, b.Op(k, "op", ids[rng.Intn(len(ids))], ids[rng.Intn(len(ids))]))
+		}
+		d := b.Build()
+		c := arch.NewMesh(4, 4, 4)
+		m, _, err := Map(d, c, Options{})
+		if err != nil {
+			continue
+		}
+		mapped++
+		if err := m.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := sim.Check(m, 4); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+	if mapped == 0 {
+		t.Fatal("EMS mapped nothing at all")
+	}
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV streams per-loop rows as CSV (for plotting outside this repo):
+// kernel, group, ops, mapper, MII, II, perf, IPC, compile_us, ok.
+func WriteCSV(w io.Writer, rows []LoopRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"kernel", "group", "ops", "mapper", "mii", "ii", "perf", "ipc", "compile_us", "ok"}); err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Kernel,
+			r.Group.String(),
+			strconv.Itoa(r.Ops),
+			string(r.Mapper),
+			strconv.Itoa(r.MII),
+			strconv.Itoa(r.II),
+			strconv.FormatFloat(r.Perf, 'f', 4, 64),
+			strconv.FormatFloat(r.IPC, 'f', 3, 64),
+			strconv.FormatInt(r.CompileTime.Microseconds(), 10),
+			strconv.FormatBool(r.OK),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("experiments: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	return nil
+}
+
+// WriteSweepCSV streams sweep points as CSV: rows, cols, regs, group,
+// mapper, mean_perf, total_ms, mapped, total.
+func WriteSweepCSV(w io.Writer, points []SweepPoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"rows", "cols", "regs", "group", "mapper", "mean_perf", "total_ms", "mapped", "total"}); err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	for _, p := range points {
+		c := p.Config.CGRA()
+		rec := []string{
+			strconv.Itoa(c.Rows),
+			strconv.Itoa(c.Cols),
+			strconv.Itoa(p.Config.Regs),
+			p.Group.String(),
+			string(p.Mapper),
+			strconv.FormatFloat(p.MeanPerf, 'f', 4, 64),
+			strconv.FormatInt(p.TotalTime.Milliseconds(), 10),
+			strconv.Itoa(p.Mapped),
+			strconv.Itoa(p.Total),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("experiments: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	return nil
+}

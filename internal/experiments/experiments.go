@@ -1,0 +1,180 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (Section 6) on this reproduction's substrate: the
+// kernel suite of internal/kernels mapped by REGIMap (internal/core), the
+// DRESC baseline (internal/dresc), and the EMS-style baseline
+// (internal/ems). Each experiment returns a structured result and renders
+// the same rows/series the paper reports; absolute numbers differ from the
+// authors' GCC/testbed setup, but the shapes under test — who wins, by
+// roughly what factor, and how the trends move with register-file size and
+// array size — are asserted by the integration tests and recorded in
+// EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"regimap/internal/arch"
+	"regimap/internal/core"
+	"regimap/internal/dresc"
+	"regimap/internal/ems"
+	"regimap/internal/kernels"
+)
+
+// Mapper selects one of the three mappers under comparison.
+type Mapper string
+
+// The mappers of the evaluation.
+const (
+	REGIMap Mapper = "REGIMap"
+	DRESC   Mapper = "DRESC"
+	EMS     Mapper = "EMS"
+)
+
+// Config fixes one experimental setup.
+type Config struct {
+	Rows, Cols int
+	Regs       int
+	Seed       int64 // DRESC annealing seed
+	// Quick shrinks the DRESC annealing budget so smoke tests finish fast;
+	// benchmarks and the experiments binary use the full budget.
+	Quick bool
+}
+
+// Paper4x4 is the evaluation's default array: 4x4 mesh, 4 registers per PE.
+func Paper4x4(regs int) Config { return Config{Rows: 4, Cols: 4, Regs: regs} }
+
+// CGRA materializes the configured array.
+func (c Config) CGRA() *arch.CGRA {
+	rows, cols := c.Rows, c.Cols
+	if rows == 0 {
+		rows = 4
+	}
+	if cols == 0 {
+		cols = 4
+	}
+	return arch.NewMesh(rows, cols, c.Regs)
+}
+
+func (c Config) drescOptions() dresc.Options {
+	o := dresc.Options{Seed: c.Seed}
+	if c.Quick {
+		o.MovesPerTemperature = 6 * 16
+		o.Cooling = 0.8
+	}
+	return o
+}
+
+// LoopRow is one (kernel, mapper) measurement — a row of Figure 6 and the
+// unit all other experiments aggregate.
+type LoopRow struct {
+	Kernel      string
+	Group       kernels.Boundedness
+	Ops         int
+	Mapper      Mapper
+	MII, II     int
+	Perf        float64 // MII/II; 0 on failure
+	IPC         float64 // ops per cycle achieved; 0 on failure
+	CompileTime time.Duration
+	OK          bool
+}
+
+// RunLoop maps one kernel with one mapper on the configured array.
+func RunLoop(k kernels.Kernel, mapper Mapper, cfg Config) LoopRow {
+	d := k.Build()
+	c := cfg.CGRA()
+	row := LoopRow{
+		Kernel: k.Name,
+		Group:  kernels.Classify(d, c.NumPEs(), c.Rows),
+		Ops:    d.N(),
+		Mapper: mapper,
+	}
+	switch mapper {
+	case REGIMap:
+		m, stats, err := core.Map(d, c, core.Options{})
+		row.MII, row.CompileTime = stats.MII, stats.Elapsed
+		if err == nil {
+			row.II, row.Perf, row.OK = stats.II, stats.Perf(), true
+			row.IPC = m.IPC()
+		}
+	case DRESC:
+		p, stats, err := dresc.Map(d, c, cfg.drescOptions())
+		row.MII, row.CompileTime = stats.MII, stats.Elapsed
+		if err == nil {
+			row.II, row.Perf, row.OK = stats.II, stats.Perf(), true
+			row.IPC = float64(p.D.N()) / float64(stats.II)
+		}
+	case EMS:
+		m, stats, err := ems.Map(d, c, ems.Options{})
+		row.MII, row.CompileTime = stats.MII, stats.Elapsed
+		if err == nil {
+			row.II, row.Perf, row.OK = stats.II, stats.Perf(), true
+			row.IPC = m.IPC()
+		}
+	default:
+		panic("experiments: unknown mapper " + string(mapper))
+	}
+	return row
+}
+
+// suite returns the kernels of one boundedness group on the configured
+// array, or all kernels when group is nil.
+func suite(cfg Config, group *kernels.Boundedness) []kernels.Kernel {
+	c := cfg.CGRA()
+	var out []kernels.Kernel
+	for _, k := range kernels.All() {
+		if group == nil || kernels.Classify(k.Build(), c.NumPEs(), c.Rows) == *group {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+func groupPtr(b kernels.Boundedness) *kernels.Boundedness { return &b }
+
+// mean returns the arithmetic mean of xs (0 for empty).
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, x := range xs {
+		total += x
+	}
+	return total / float64(len(xs))
+}
+
+// geomean returns the geometric mean of positive xs (0 for empty).
+func geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	logSum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}
+
+func formatHeader(b *strings.Builder, title string) {
+	b.WriteString(title)
+	b.WriteByte('\n')
+	b.WriteString(strings.Repeat("-", len(title)))
+	b.WriteByte('\n')
+}
+
+func fmtDuration(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%dµs", d.Microseconds())
+	}
+}

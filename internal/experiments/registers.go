@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"regimap/internal/core"
+	"regimap/internal/kernels"
+)
+
+// RegisterBenefitRow compares one kernel mapped with and without local
+// register files.
+type RegisterBenefitRow struct {
+	Kernel            string
+	Group             kernels.Boundedness
+	MII               int
+	IIWith, IIWithout int // 0 = failed
+	Speedup           float64
+}
+
+// RegisterBenefitResult is the paper's central thesis as a suite-wide table:
+// how much do the local register files buy over routing every value through
+// PEs (the register-free model is what the paper's Figure 2(c) and the
+// EPIMap-class mappers it improves on are limited to)?
+type RegisterBenefitResult struct {
+	Config      Config
+	Rows        []RegisterBenefitRow
+	MeanSpeedup float64 // geomean of II-without / II-with over loops both map
+	FailWithout int     // loops unmappable without registers
+	TotalMapped int
+}
+
+// RegisterBenefit maps every kernel twice: on the configured array and on
+// the same array with the register files removed.
+func RegisterBenefit(cfg Config) RegisterBenefitResult {
+	r := RegisterBenefitResult{Config: cfg}
+	noRegs := cfg
+	noRegs.Regs = 0
+	var speedups []float64
+	for _, k := range suite(cfg, nil) {
+		d := k.Build()
+		c := cfg.CGRA()
+		row := RegisterBenefitRow{
+			Kernel: k.Name,
+			Group:  kernels.Classify(d, c.NumPEs(), c.Rows),
+		}
+		_, with, errWith := core.Map(d, c, core.Options{})
+		row.MII = with.MII
+		if errWith != nil {
+			r.Rows = append(r.Rows, row)
+			continue
+		}
+		r.TotalMapped++
+		row.IIWith = with.II
+		_, without, errWithout := core.Map(k.Build(), noRegs.CGRA(), core.Options{})
+		if errWithout != nil {
+			r.FailWithout++
+		} else {
+			row.IIWithout = without.II
+			row.Speedup = float64(without.II) / float64(with.II)
+			speedups = append(speedups, row.Speedup)
+		}
+		r.Rows = append(r.Rows, row)
+	}
+	r.MeanSpeedup = geomean(speedups)
+	return r
+}
+
+// Table renders the comparison.
+func (r RegisterBenefitResult) Table() string {
+	var b strings.Builder
+	formatHeader(&b, fmt.Sprintf("Register benefit — II with %d regs/PE vs none (%s)", r.Config.Regs, r.Config.CGRA()))
+	fmt.Fprintf(&b, "%-16s %-12s %4s %10s %10s %9s\n", "loop", "group", "MII", "II (regs)", "II (none)", "speedup")
+	for _, row := range r.Rows {
+		with, without, speedup := "failed", "failed", "-"
+		if row.IIWith > 0 {
+			with = fmt.Sprintf("%d", row.IIWith)
+		}
+		if row.IIWithout > 0 {
+			without = fmt.Sprintf("%d", row.IIWithout)
+			if row.Speedup > 0 {
+				speedup = fmt.Sprintf("%.2fx", row.Speedup)
+			}
+		}
+		fmt.Fprintf(&b, "%-16s %-12s %4d %10s %10s %9s\n", row.Kernel, row.Group, row.MII, with, without, speedup)
+	}
+	fmt.Fprintf(&b, "\ngeomean speedup from registers: %.2fx; %d/%d loops unmappable without them\n",
+		r.MeanSpeedup, r.FailWithout, r.TotalMapped)
+	return b.String()
+}

@@ -1,0 +1,176 @@
+package graph
+
+import "math/bits"
+
+// Bitset is a fixed-capacity set of small non-negative integers backed by
+// 64-bit words. It is the workhorse of the clique engine, where adjacency
+// tests and neighbourhood intersections dominate the running time.
+type Bitset struct {
+	words []uint64
+	n     int
+}
+
+// NewBitset returns an empty bitset able to hold values 0..n-1.
+func NewBitset(n int) *Bitset {
+	if n < 0 {
+		panic("graph: negative bitset capacity")
+	}
+	return &Bitset{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Cap returns the capacity of the bitset.
+func (b *Bitset) Cap() int { return b.n }
+
+// Set adds i to the set.
+func (b *Bitset) Set(i int) {
+	b.checkIndex(i)
+	b.words[i>>6] |= 1 << uint(i&63)
+}
+
+// Clear removes i from the set.
+func (b *Bitset) Clear(i int) {
+	b.checkIndex(i)
+	b.words[i>>6] &^= 1 << uint(i&63)
+}
+
+// Has reports whether i is a member.
+func (b *Bitset) Has(i int) bool {
+	b.checkIndex(i)
+	return b.words[i>>6]&(1<<uint(i&63)) != 0
+}
+
+func (b *Bitset) checkIndex(i int) {
+	if i < 0 || i >= b.n {
+		panic("graph: bitset index out of range")
+	}
+}
+
+// Count returns the number of members.
+func (b *Bitset) Count() int {
+	total := 0
+	for _, w := range b.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// Clone returns an independent copy.
+func (b *Bitset) Clone() *Bitset {
+	c := &Bitset{words: make([]uint64, len(b.words)), n: b.n}
+	copy(c.words, b.words)
+	return c
+}
+
+// CopyFrom overwrites b with the contents of src (capacities must match).
+func (b *Bitset) CopyFrom(src *Bitset) {
+	if b.n != src.n {
+		panic("graph: bitset capacity mismatch")
+	}
+	copy(b.words, src.words)
+}
+
+// And intersects b with other in place.
+func (b *Bitset) And(other *Bitset) {
+	if b.n != other.n {
+		panic("graph: bitset capacity mismatch")
+	}
+	for i := range b.words {
+		b.words[i] &= other.words[i]
+	}
+}
+
+// Or unions other into b in place.
+func (b *Bitset) Or(other *Bitset) {
+	if b.n != other.n {
+		panic("graph: bitset capacity mismatch")
+	}
+	for i := range b.words {
+		b.words[i] |= other.words[i]
+	}
+}
+
+// AndNot removes other's members from b in place.
+func (b *Bitset) AndNot(other *Bitset) {
+	if b.n != other.n {
+		panic("graph: bitset capacity mismatch")
+	}
+	for i := range b.words {
+		b.words[i] &^= other.words[i]
+	}
+}
+
+// IntersectCount returns |b ∩ other| without allocating.
+func (b *Bitset) IntersectCount(other *Bitset) int {
+	if b.n != other.n {
+		panic("graph: bitset capacity mismatch")
+	}
+	total := 0
+	for i := range b.words {
+		total += bits.OnesCount64(b.words[i] & other.words[i])
+	}
+	return total
+}
+
+// ContainsAll reports whether every member of other is also in b.
+func (b *Bitset) ContainsAll(other *Bitset) bool {
+	if b.n != other.n {
+		panic("graph: bitset capacity mismatch")
+	}
+	for i := range b.words {
+		if other.words[i]&^b.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Empty reports whether the set has no members.
+func (b *Bitset) Empty() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Reset removes all members.
+func (b *Bitset) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// Fill adds every value 0..n-1 to the set.
+func (b *Bitset) Fill() {
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	if tail := b.n & 63; tail != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] = (1 << uint(tail)) - 1
+	}
+}
+
+// ForEach calls fn for each member in increasing order. If fn returns false
+// the iteration stops early.
+func (b *Bitset) ForEach(fn func(i int) bool) {
+	for wi, w := range b.words {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			if !fn(wi*64 + bit) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Members returns the members in increasing order.
+func (b *Bitset) Members() []int {
+	out := make([]int, 0, b.Count())
+	b.ForEach(func(i int) bool {
+		out = append(out, i)
+		return true
+	})
+	return out
+}

@@ -1,0 +1,296 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative node count")
+		}
+	}()
+	New(-1)
+}
+
+func TestAddEdgeAndDegrees(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 2)
+	g.AddEdge(1, 2)
+	if got := g.OutDegree(0); got != 2 {
+		t.Errorf("OutDegree(0) = %d, want 2", got)
+	}
+	if got := g.InDegree(2); got != 2 {
+		t.Errorf("InDegree(2) = %d, want 2", got)
+	}
+	if !g.HasEdge(0, 1) || g.HasEdge(1, 0) {
+		t.Error("HasEdge gave wrong answers")
+	}
+	if got := g.EdgeCount(); got != 3 {
+		t.Errorf("EdgeCount = %d, want 3", got)
+	}
+}
+
+func TestParallelEdgesKept(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1)
+	g.AddEdge(0, 1)
+	if got := g.EdgeCount(); got != 2 {
+		t.Errorf("EdgeCount = %d, want 2 (parallel edges must be kept)", got)
+	}
+}
+
+func TestTopoSortChain(t *testing.T) {
+	g := New(4)
+	g.AddEdge(3, 2)
+	g.AddEdge(2, 1)
+	g.AddEdge(1, 0)
+	order, ok := g.TopoSort()
+	if !ok {
+		t.Fatal("TopoSort reported a cycle on a chain")
+	}
+	want := []int{3, 2, 1, 0}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestTopoSortDeterministic(t *testing.T) {
+	g := New(5)
+	g.AddEdge(4, 0)
+	g.AddEdge(2, 0)
+	first, _ := g.TopoSort()
+	for i := 0; i < 10; i++ {
+		again, _ := g.TopoSort()
+		for j := range first {
+			if first[j] != again[j] {
+				t.Fatalf("TopoSort not deterministic: %v vs %v", first, again)
+			}
+		}
+	}
+	// Among ready nodes, the smallest id must come first.
+	if first[0] != 1 {
+		t.Errorf("first ready node = %d, want 1 (smallest id)", first[0])
+	}
+}
+
+func TestTopoSortCycle(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	if _, ok := g.TopoSort(); ok {
+		t.Error("TopoSort accepted a cyclic graph")
+	}
+	if !g.HasCycle() {
+		t.Error("HasCycle = false on a 3-cycle")
+	}
+}
+
+func TestSCCSimple(t *testing.T) {
+	// Two 2-cycles bridged by a single edge plus an isolated node.
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 2)
+	comps, comp := g.SCC()
+	if len(comps) != 3 {
+		t.Fatalf("got %d components, want 3: %v", len(comps), comps)
+	}
+	if comp[0] != comp[1] {
+		t.Error("0 and 1 should share a component")
+	}
+	if comp[2] != comp[3] {
+		t.Error("2 and 3 should share a component")
+	}
+	if comp[0] == comp[2] || comp[0] == comp[4] {
+		t.Error("distinct SCCs merged")
+	}
+}
+
+func TestSCCReverseTopological(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 1)
+	g.AddEdge(2, 3)
+	comps, comp := g.SCC()
+	// Tarjan emits components in reverse topological order: sinks first.
+	if comp[3] > comp[1] {
+		t.Errorf("sink component should be emitted before its predecessors: comp=%v comps=%v", comp, comps)
+	}
+}
+
+func TestSCCDeepChainNoStackOverflow(t *testing.T) {
+	const n = 200000
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	comps, _ := g.SCC()
+	if len(comps) != n {
+		t.Fatalf("got %d components, want %d", len(comps), n)
+	}
+}
+
+func TestLongestPath(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 3)
+	g.AddEdge(0, 2)
+	g.AddEdge(2, 3)
+	dist, ok := g.LongestPathFrom(func(u, v int) int {
+		if u == 0 && v == 2 {
+			return 5
+		}
+		return 1
+	})
+	if !ok {
+		t.Fatal("unexpected cycle")
+	}
+	if dist[3] != 6 {
+		t.Errorf("dist[3] = %d, want 6", dist[3])
+	}
+}
+
+func TestLongestPathCycle(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0)
+	if _, ok := g.LongestPathFrom(func(u, v int) int { return 1 }); ok {
+		t.Error("LongestPathFrom accepted a cyclic graph")
+	}
+}
+
+func TestReverse(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	r := g.Reverse()
+	if !r.HasEdge(1, 0) || !r.HasEdge(2, 1) || r.HasEdge(0, 1) {
+		t.Error("Reverse produced wrong edges")
+	}
+}
+
+func TestReachableFrom(t *testing.T) {
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(3, 4)
+	seen := g.ReachableFrom(0)
+	want := []bool{true, true, true, false, false}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("ReachableFrom(0) = %v, want %v", seen, want)
+		}
+	}
+	seen = g.ReachableFrom(0, 3)
+	if !seen[4] {
+		t.Error("multi-root reachability missed node 4")
+	}
+}
+
+func TestDOT(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1)
+	dot := g.DOT("d", func(v int) string { return "op" })
+	if !strings.Contains(dot, "n0 -> n1") || !strings.Contains(dot, `label="op"`) {
+		t.Errorf("DOT output malformed:\n%s", dot)
+	}
+	if !strings.Contains(g.DOT("d", nil), "n0;") {
+		t.Error("DOT without labels malformed")
+	}
+}
+
+// Property: a topological order, when it exists, places every edge forward.
+func TestTopoSortProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(30)
+		g := New(n)
+		// Random DAG: edges only from lower to higher id.
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Intn(4) == 0 {
+					g.AddEdge(u, v)
+				}
+			}
+		}
+		order, ok := g.TopoSort()
+		if !ok {
+			return false
+		}
+		pos := make([]int, n)
+		for i, v := range order {
+			pos[v] = i
+		}
+		for u := 0; u < n; u++ {
+			for _, v := range g.Out(u) {
+				if pos[u] >= pos[v] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SCC partitions the node set, and contracting SCCs yields a DAG.
+func TestSCCProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(25)
+		g := New(n)
+		for i := 0; i < n*2; i++ {
+			g.AddEdge(rng.Intn(n), rng.Intn(n))
+		}
+		comps, comp := g.SCC()
+		total := 0
+		for _, c := range comps {
+			total += len(c)
+			for _, v := range c {
+				if comp[v] != indexOf(comps, v) {
+					return false
+				}
+			}
+		}
+		if total != n {
+			return false
+		}
+		// Condensation must be acyclic.
+		cg := New(len(comps))
+		for u := 0; u < n; u++ {
+			for _, v := range g.Out(u) {
+				if comp[u] != comp[v] {
+					cg.AddEdge(comp[u], comp[v])
+				}
+			}
+		}
+		return !cg.HasCycle()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func indexOf(comps [][]int, v int) int {
+	for i, c := range comps {
+		j := sort.SearchInts(c, v)
+		if j < len(c) && c[j] == v {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,298 @@
+package kernels
+
+import "regimap/internal/dfg"
+
+// The multimedia/DSP half of the suite. Structure notes:
+//
+//   - address streams are incrementing pointer chains (addr' = addr + stride)
+//     exactly as strength-reduced compiler output looks, keeping fan-out
+//     realistic;
+//   - filter coefficients and quantization constants are immediates;
+//   - saturating accumulators use max/min clamps, which is both realistic
+//     and what gives the rec-bounded group its recurrence height.
+func init() {
+	register("fir8", "dsp", "8-tap FIR filter, taps unrolled; adder-tree reduction", buildFIR8)
+	register("fft_radix2", "dsp", "radix-2 FFT butterfly with twiddle multiply", buildFFT)
+	register("conv3x3", "dsp", "3x3 convolution, coefficient immediates", buildConv3x3)
+	register("sobel", "dsp", "Sobel edge detector: two gradients plus magnitude", buildSobel)
+	register("yuv2rgb", "dsp", "YUV to RGB conversion with clamping", buildYUV)
+	register("quant8", "dsp", "JPEG-style quantization of two coefficients", buildQuant8)
+	register("dct4_row", "dsp", "4-point DCT butterfly stage", buildDCT4)
+	register("wavelet_lift", "dsp", "5/3 wavelet lifting step", buildWavelet)
+	register("matmul4_inner", "dsp", "matrix-multiply inner loop, unrolled by 4", buildMatmul4)
+	register("iir_biquad", "dsp", "biquad IIR section: y feedback through a1/a2", buildBiquad)
+	register("adpcm_step", "dsp", "ADPCM step-size index update with clamping", buildADPCM)
+	register("autocorr_sat", "dsp", "autocorrelation lag with saturating accumulator", buildAutocorr)
+	register("dotprod_sat", "dsp", "dot product with two-sided saturation", buildDotprod)
+	register("newton_recip", "dsp", "Newton-Raphson reciprocal refinement", buildNewton)
+}
+
+// addrChain yields n addresses as an incrementing pointer chain rooted at a
+// fresh Input, plus the chain's tail (feeding the next iteration's pointer
+// conceptually; here simply the last node).
+func addrChain(b *dfg.Builder, name string, n int, stride int64) []int {
+	addrs := make([]int, n)
+	addrs[0] = b.Input(name + "0")
+	for i := 1; i < n; i++ {
+		addrs[i] = b.Op(dfg.Add, nameIdx(name, i), addrs[i-1], b.Const(nameIdx(name+"_s", i), stride))
+	}
+	return addrs
+}
+
+func nameIdx(name string, i int) string {
+	const digits = "0123456789"
+	if i < 10 {
+		return name + digits[i:i+1]
+	}
+	return name + digits[i/10:i/10+1] + digits[i%10:i%10+1]
+}
+
+func buildFIR8() *dfg.DFG {
+	b := dfg.NewBuilder("fir8")
+	coefs := []int64{3, -1, 4, 1, -5, 9, 2, -6}
+	addrs := addrChain(b, "xa", 8, 1)
+	var products []int
+	for i, cf := range coefs {
+		x := b.Op(dfg.Load, nameIdx("x", i), addrs[i])
+		products = append(products, mulConst(b, nameIdx("p", i), x, cf))
+	}
+	sum := adderTree(b, "sum", products)
+	out := b.Input("ya")
+	b.Op(dfg.Store, "st", out, sum)
+	return b.Build()
+}
+
+func buildFFT() *dfg.DFG {
+	b := dfg.NewBuilder("fft_radix2")
+	addrs := addrChain(b, "pa", 4, 1)
+	xr := b.Op(dfg.Load, "xr", addrs[0])
+	xi := b.Op(dfg.Load, "xi", addrs[1])
+	yr := b.Op(dfg.Load, "yr", addrs[2])
+	yi := b.Op(dfg.Load, "yi", addrs[3])
+	// t = w * y (complex).
+	trA := mulConst(b, "trA", yr, 181) // wr
+	trB := mulConst(b, "trB", yi, 75)  // wi
+	tiA := mulConst(b, "tiA", yr, 75)
+	tiB := mulConst(b, "tiB", yi, 181)
+	tr := b.Op(dfg.Sub, "tr", trA, trB)
+	ti := b.Op(dfg.Add, "ti", tiA, tiB)
+	outs := []int{
+		b.Op(dfg.Add, "or0", xr, tr),
+		b.Op(dfg.Add, "oi0", xi, ti),
+		b.Op(dfg.Sub, "or1", xr, tr),
+		b.Op(dfg.Sub, "oi1", xi, ti),
+	}
+	sa := addrChain(b, "qa", 4, 1)
+	for i, o := range outs {
+		b.Op(dfg.Store, nameIdx("st", i), sa[i], o)
+	}
+	return b.Build()
+}
+
+func buildConv3x3() *dfg.DFG {
+	b := dfg.NewBuilder("conv3x3")
+	coefs := []int64{1, 2, 1, 2, 4, 2, 1, 2, 1}
+	var taps []int
+	for row := 0; row < 3; row++ {
+		addrs := addrChain(b, nameIdx("r", row), 3, 1)
+		for col := 0; col < 3; col++ {
+			px := b.Op(dfg.Load, nameIdx("px", row*3+col), addrs[col])
+			taps = append(taps, mulConst(b, nameIdx("m", row*3+col), px, coefs[row*3+col]))
+		}
+	}
+	sum := adderTree(b, "acc", taps)
+	norm := b.Op(dfg.Shr, "norm", sum, b.Const("sh", 4))
+	b.Op(dfg.Store, "st", b.Input("oa"), norm)
+	return b.Build()
+}
+
+func buildSobel() *dfg.DFG {
+	b := dfg.NewBuilder("sobel")
+	top := addrChain(b, "t", 3, 1)
+	bot := addrChain(b, "b", 3, 1)
+	var p [6]int
+	for i := 0; i < 3; i++ {
+		p[i] = b.Op(dfg.Load, nameIdx("pt", i), top[i])
+		p[3+i] = b.Op(dfg.Load, nameIdx("pb", i), bot[i])
+	}
+	// gx = (p2 - p0) + (p5 - p3); gy = (p3+p4+p5) - (p0+p1+p2), simplified.
+	gx1 := b.Op(dfg.Sub, "gx1", p[2], p[0])
+	gx2 := b.Op(dfg.Sub, "gx2", p[5], p[3])
+	gx := b.Op(dfg.Add, "gx", gx1, gx2)
+	sTop := b.Op(dfg.Add, "stp", b.Op(dfg.Add, "st01", p[0], p[1]), p[2])
+	sBot := b.Op(dfg.Add, "sbt", b.Op(dfg.Add, "sb01", p[3], p[4]), p[5])
+	gy := b.Op(dfg.Sub, "gy", sBot, sTop)
+	mag := b.Op(dfg.Add, "mag", b.Op(dfg.Abs, "agx", gx), b.Op(dfg.Abs, "agy", gy))
+	b.Op(dfg.Store, "st", b.Input("oa"), clamp(b, "m8", mag, 0, 255))
+	return b.Build()
+}
+
+func buildYUV() *dfg.DFG {
+	b := dfg.NewBuilder("yuv2rgb")
+	addrs := addrChain(b, "ya", 3, 1)
+	y := b.Op(dfg.Load, "y", addrs[0])
+	u := b.Op(dfg.Load, "u", addrs[1])
+	v := b.Op(dfg.Load, "v", addrs[2])
+	ys := mulConst(b, "ys", y, 298)
+	r0 := b.Op(dfg.Add, "r0", ys, mulConst(b, "vr", v, 409))
+	g0 := b.Op(dfg.Sub, "g0", ys, b.Op(dfg.Add, "uv", mulConst(b, "ug", u, 100), mulConst(b, "vg", v, 208)))
+	b0 := b.Op(dfg.Add, "b0", ys, mulConst(b, "ub", u, 516))
+	outs := []int{
+		clamp(b, "r", b.Op(dfg.Shr, "rs", r0, b.Const("c8r", 8)), 0, 255),
+		clamp(b, "g", b.Op(dfg.Shr, "gs", g0, b.Const("c8g", 8)), 0, 255),
+		clamp(b, "b", b.Op(dfg.Shr, "bs", b0, b.Const("c8b", 8)), 0, 255),
+	}
+	sa := addrChain(b, "oa", 3, 1)
+	for i, o := range outs {
+		b.Op(dfg.Store, nameIdx("st", i), sa[i], o)
+	}
+	return b.Build()
+}
+
+func buildQuant8() *dfg.DFG {
+	b := dfg.NewBuilder("quant8")
+	addrs := addrChain(b, "ca", 2, 1)
+	sa := addrChain(b, "qa", 2, 1)
+	for i := 0; i < 2; i++ {
+		c := b.Op(dfg.Load, nameIdx("c", i), addrs[i])
+		scaled := mulConst(b, nameIdx("sc", i), c, 13)
+		rounded := b.Op(dfg.Add, nameIdx("rnd", i), scaled, b.Const(nameIdx("half", i), 1<<10))
+		q := b.Op(dfg.Shr, nameIdx("q", i), rounded, b.Const(nameIdx("shv", i), 11))
+		b.Op(dfg.Store, nameIdx("st", i), sa[i], clamp(b, nameIdx("cl", i), q, -128, 127))
+	}
+	return b.Build()
+}
+
+func buildDCT4() *dfg.DFG {
+	b := dfg.NewBuilder("dct4_row")
+	addrs := addrChain(b, "xa", 4, 1)
+	var x [4]int
+	for i := range x {
+		x[i] = b.Op(dfg.Load, nameIdx("x", i), addrs[i])
+	}
+	s0 := b.Op(dfg.Add, "s0", x[0], x[3])
+	s1 := b.Op(dfg.Add, "s1", x[1], x[2])
+	d0 := b.Op(dfg.Sub, "d0", x[0], x[3])
+	d1 := b.Op(dfg.Sub, "d1", x[1], x[2])
+	o0 := b.Op(dfg.Add, "o0", s0, s1)
+	o2 := b.Op(dfg.Sub, "o2", s0, s1)
+	o1 := b.Op(dfg.Add, "o1", mulConst(b, "d0c", d0, 17), mulConst(b, "d1c", d1, 7))
+	o3 := b.Op(dfg.Sub, "o3", mulConst(b, "d0s", d0, 7), mulConst(b, "d1s", d1, 17))
+	sa := addrChain(b, "oa", 4, 1)
+	for i, o := range []int{o0, o1, o2, o3} {
+		b.Op(dfg.Store, nameIdx("st", i), sa[i], o)
+	}
+	return b.Build()
+}
+
+func buildWavelet() *dfg.DFG {
+	b := dfg.NewBuilder("wavelet_lift")
+	addrs := addrChain(b, "xa", 3, 1)
+	even0 := b.Op(dfg.Load, "e0", addrs[0])
+	odd := b.Op(dfg.Load, "o0", addrs[1])
+	even1 := b.Op(dfg.Load, "e1", addrs[2])
+	pred := b.Op(dfg.Shr, "pred", b.Op(dfg.Add, "esum", even0, even1), b.Const("c1", 1))
+	detail := b.Op(dfg.Sub, "detail", odd, pred)
+	update := b.Op(dfg.Shr, "upd", b.Op(dfg.Add, "d2", detail, b.Const("c2", 2)), b.Const("c2s", 2))
+	smooth := b.Op(dfg.Add, "smooth", even0, update)
+	sa := addrChain(b, "oa", 2, 1)
+	b.Op(dfg.Store, "std", sa[0], detail)
+	b.Op(dfg.Store, "sts", sa[1], smooth)
+	return b.Build()
+}
+
+func buildMatmul4() *dfg.DFG {
+	b := dfg.NewBuilder("matmul4_inner")
+	arow := addrChain(b, "aa", 4, 1)
+	bcol := addrChain(b, "ba", 4, 4)
+	var prods []int
+	for i := 0; i < 4; i++ {
+		av := b.Op(dfg.Load, nameIdx("av", i), arow[i])
+		bv := b.Op(dfg.Load, nameIdx("bv", i), bcol[i])
+		prods = append(prods, b.Op(dfg.Mul, nameIdx("p", i), av, bv))
+	}
+	sum := adderTree(b, "dot", prods)
+	acc := b.Op(dfg.Add, "acc", sum)
+	b.EdgeDist(acc, acc, 1, 1)
+	return b.Build()
+}
+
+func buildBiquad() *dfg.DFG {
+	b := dfg.NewBuilder("iir_biquad")
+	x := b.Op(dfg.Load, "x", b.Input("xa"))
+	x1 := b.Op(dfg.Route, "x1")
+	b.EdgeDist(x, x1, 0, 1)
+	x2 := b.Op(dfg.Route, "x2")
+	b.EdgeDist(x1, x2, 0, 1)
+	t0 := mulConst(b, "b0x", x, 5)
+	t1 := mulConst(b, "b1x", x1, 3)
+	t2 := mulConst(b, "b2x", x2, 2)
+	ff := b.Op(dfg.Add, "ff", b.Op(dfg.Add, "ff0", t0, t1), t2)
+	// Feedback y = ff - a1*y[n-1] - a2*y[n-2]. The cycle y -> u1 -> s3 -> y
+	// has height 3 at distance 1, making the loop rec-bounded on the paper's
+	// 4x4 array.
+	u1 := b.Op(dfg.Mul, "u1", b.Const("a1", 3))
+	u2 := b.Op(dfg.Mul, "u2", b.Const("a2", 1))
+	s3 := b.Op(dfg.Sub, "s3", ff, u1)
+	y := b.Op(dfg.Sub, "y", s3, u2)
+	b.EdgeDist(y, u1, 1, 1)
+	b.EdgeDist(y, u2, 1, 2)
+	b.Op(dfg.Store, "st", b.Input("oa"), y)
+	return b.Build()
+}
+
+func buildADPCM() *dfg.DFG {
+	b := dfg.NewBuilder("adpcm_step")
+	delta := b.Op(dfg.Load, "delta", b.Input("da"))
+	adj := b.Op(dfg.Sub, "adj", mulConst(b, "d4", delta, 4), b.Const("c3", 3))
+	// idx = clamp(idx + adj, 0, 88): a 3-op recurrence cycle.
+	idxAdd := b.Op(dfg.Add, "idxadd", adj)
+	idxLo := b.Op(dfg.Max, "idxlo", idxAdd, b.Const("zero", 0))
+	idxHi := b.Op(dfg.Min, "idxhi", idxLo, b.Const("cap", 88))
+	b.EdgeDist(idxHi, idxAdd, 1, 1)
+	// step = table[idx] approximated by shift: step = 7 << (idx >> 4).
+	stepSh := b.Op(dfg.Shr, "stepsh", idxHi, b.Const("c4", 4))
+	step := b.Op(dfg.Shl, "step", b.Const("c7", 7), stepSh)
+	b.Op(dfg.Store, "st", b.Input("sa"), step)
+	return b.Build()
+}
+
+func buildAutocorr() *dfg.DFG {
+	b := dfg.NewBuilder("autocorr_sat")
+	xa := addrChain(b, "xa", 2, 5) // x[i] and x[i+lag]
+	x0 := b.Op(dfg.Load, "x0", xa[0])
+	x1 := b.Op(dfg.Load, "x1", xa[1])
+	p := b.Op(dfg.Mul, "p", x0, x1)
+	// acc = min(acc + p, SAT): 2-op recurrence cycle.
+	accAdd := b.Op(dfg.Add, "accadd", p)
+	accSat := b.Op(dfg.Min, "accsat", accAdd, b.Const("sat", 1<<20))
+	b.EdgeDist(accSat, accAdd, 1, 1)
+	return b.Build()
+}
+
+func buildDotprod() *dfg.DFG {
+	b := dfg.NewBuilder("dotprod_sat")
+	a := b.Op(dfg.Load, "a", b.Input("aa"))
+	c := b.Op(dfg.Load, "c", b.Input("ca"))
+	p := b.Op(dfg.Mul, "p", a, c)
+	// acc = max(min(acc + p, HI), LO): 3-op recurrence cycle.
+	accAdd := b.Op(dfg.Add, "accadd", p)
+	accHi := b.Op(dfg.Min, "acchi", accAdd, b.Const("hi", 1<<24))
+	accLo := b.Op(dfg.Max, "acclo", accHi, b.Const("lo", -(1<<24)))
+	b.EdgeDist(accLo, accAdd, 1, 1)
+	return b.Build()
+}
+
+func buildNewton() *dfg.DFG {
+	b := dfg.NewBuilder("newton_recip")
+	a := b.Op(dfg.Load, "a", b.Input("aa"))
+	// x' = x * (2 - a*x) in fixed point: a 3-op recurrence cycle through x.
+	ax := b.Op(dfg.Mul, "ax", a)
+	twoMinus := b.Op(dfg.Sub, "tm", b.Const("two", 2<<16), ax)
+	xNew := b.Op(dfg.Mul, "x", twoMinus)
+	b.EdgeDist(xNew, ax, 1, 1)
+	b.EdgeDist(xNew, xNew, 1, 1)
+	scaled := b.Op(dfg.Shr, "scaled", xNew, b.Const("c16", 16))
+	b.Op(dfg.Store, "st", b.Input("oa"), scaled)
+	return b.Build()
+}

@@ -1,0 +1,61 @@
+package kernels
+
+import (
+	"regimap/internal/dfg"
+	"regimap/internal/loopir"
+)
+
+// A second tranche of kernels, written in the loop source language the
+// front end compiles (internal/loopir) — both to broaden the suite and to
+// keep the front end exercised by production inputs.
+func init() {
+	register("rgb2gray", "dsp", "ITU-R 601 luma from packed RGB", func() *dfg.DFG {
+		return loopir.MustCompile("rgb2gray", `
+			gray = (77*r[i] + 150*g[i] + 29*b[i]) >> 8
+			out[i] = min(gray, 255)
+		`)
+	})
+	register("alpha_blend", "dsp", "per-pixel alpha blend of two streams", func() *dfg.DFG {
+		return loopir.MustCompile("alpha_blend", `
+			a = al[i]
+			out[i] = (a*src[i] + (256-a)*dst[i]) >> 8
+		`)
+	})
+	register("median3", "dsp", "3-tap median filter via min/max network", func() *dfg.DFG {
+		return loopir.MustCompile("median3", `
+			lo  = min(x[i], x[i-1])
+			hi  = max(x[i], x[i-1])
+			out[i] = max(lo, min(hi, x[i-2]))
+		`)
+	})
+	register("gzip_crc", "spec", "bitwise CRC step with feedback (gzip-class)", func() *dfg.DFG {
+		return loopir.MustCompile("gzip_crc", `
+			// crc' = (crc >> 1) ^ (poly & (crc ^ data)): a 3-op recurrence.
+			mix = crc@1 ^ data[i]
+			crc = (crc@1 >> 1) ^ (poly & mix)
+			out[i] = crc
+		`)
+	})
+	register("sjeng_eval", "spec", "bitboard evaluation mix (sjeng-class)", func() *dfg.DFG {
+		return loopir.MustCompile("sjeng_eval", `
+			occ   = own[i] | opp[i]
+			atk   = (own[i] << 9) & (occ ^ opp[i])
+			score = select(atk < occ, atk & mask, occ >> 3)
+			out[i] = score + (atk == occ)
+		`)
+	})
+	register("lut_map", "dsp", "table lookup with a data-dependent address", buildLUT)
+}
+
+// buildLUT reads a value and uses it as an index into a lookup table — the
+// data-dependent addressing pattern (histogram/tone-mapping loops) the
+// source language's i-relative subscripts cannot express.
+func buildLUT() *dfg.DFG {
+	b := dfg.NewBuilder("lut_map")
+	x := b.Op(dfg.Load, "x", b.Input("xa"))
+	masked := b.Op(dfg.And, "masked", x, b.Const("m255", 255))
+	addr := b.Op(dfg.Add, "lutaddr", masked, b.Const("lutbase", 1<<22))
+	y := b.Op(dfg.Load, "y", addr)
+	b.Op(dfg.Store, "st", b.Input("oa"), y)
+	return b.Build()
+}

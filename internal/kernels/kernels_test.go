@@ -1,0 +1,182 @@
+package kernels
+
+import (
+	"testing"
+
+	"regimap/internal/dfg"
+	"regimap/internal/sim"
+)
+
+func TestAllKernelsBuildAndValidate(t *testing.T) {
+	all := All()
+	if len(all) < 28 {
+		t.Fatalf("suite has %d kernels, want >= 28", len(all))
+	}
+	seen := map[string]bool{}
+	for _, k := range all {
+		if seen[k.Name] {
+			t.Fatalf("duplicate kernel name %s", k.Name)
+		}
+		seen[k.Name] = true
+		d := k.Build()
+		if err := d.Validate(); err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		if d.N() < 5 || d.N() > 64 {
+			t.Errorf("%s: %d ops outside the realistic 5..64 range", k.Name, d.N())
+		}
+		if k.Suite != "dsp" && k.Suite != "spec" {
+			t.Errorf("%s: unknown suite %q", k.Name, k.Suite)
+		}
+		if k.Description == "" {
+			t.Errorf("%s: missing description", k.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	k, ok := ByName("fir8")
+	if !ok || k.Name != "fir8" {
+		t.Fatal("ByName(fir8) failed")
+	}
+	if _, ok := ByName("nonexistent"); ok {
+		t.Fatal("ByName invented a kernel")
+	}
+	names := Names()
+	if len(names) != len(All()) {
+		t.Fatal("Names length mismatch")
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatal("Names not sorted")
+		}
+	}
+}
+
+// TestClassification pins each kernel's boundedness group on the paper's
+// 4x4 array, the split the whole evaluation section relies on.
+func TestClassification(t *testing.T) {
+	wantRec := map[string]bool{
+		"iir_biquad":     true,
+		"adpcm_step":     true,
+		"autocorr_sat":   true,
+		"dotprod_sat":    true,
+		"newton_recip":   true,
+		"bzip2_hist":     true,
+		"mcf_relax":      true,
+		"libquantum_acc": true,
+		"sphinx_dot":     true,
+		"gzip_crc":       true,
+	}
+	res, rec := 0, 0
+	for _, k := range All() {
+		d := k.Build()
+		got := Classify(d, 16, 4)
+		if wantRec[k.Name] && got != RecBounded {
+			t.Errorf("%s: classified %v, want rec-bounded (ResMII=%d RecMII=%d)",
+				k.Name, got, d.ResMII(16, 4), d.RecMII())
+		}
+		if !wantRec[k.Name] && got != ResBounded {
+			t.Errorf("%s: classified %v, want res-bounded (ResMII=%d RecMII=%d)",
+				k.Name, got, d.ResMII(16, 4), d.RecMII())
+		}
+		if got == ResBounded {
+			res++
+		} else {
+			rec++
+		}
+	}
+	if res < 10 || rec < 5 {
+		t.Errorf("suite split res=%d rec=%d; want a healthy mix as in the paper", res, rec)
+	}
+}
+
+func TestBoundednessString(t *testing.T) {
+	if ResBounded.String() != "res-bounded" || RecBounded.String() != "rec-bounded" {
+		t.Fatal("Boundedness names wrong")
+	}
+}
+
+// Every kernel must run on the reference interpreter (sanity of semantics).
+func TestKernelsInterpret(t *testing.T) {
+	for _, k := range All() {
+		if _, err := sim.Reference(k.Build(), 4); err != nil {
+			t.Errorf("%s: %v", k.Name, err)
+		}
+	}
+}
+
+// Recurrence checks: the rec-bounded kernels carry the cycle heights their
+// comments claim.
+func TestRecurrenceHeights(t *testing.T) {
+	want := map[string]int{
+		"iir_biquad":   3,
+		"adpcm_step":   3,
+		"dotprod_sat":  3,
+		"newton_recip": 3,
+		"mcf_relax":    3,
+		"autocorr_sat": 2,
+		"bzip2_hist":   2,
+		"sphinx_dot":   2,
+	}
+	for name, rec := range want {
+		k, ok := ByName(name)
+		if !ok {
+			t.Fatalf("kernel %s missing", name)
+		}
+		if got := k.Build().RecMII(); got != rec {
+			t.Errorf("%s: RecMII = %d, want %d", name, got, rec)
+		}
+	}
+}
+
+func TestAdderTreeHelper(t *testing.T) {
+	b := dfg.NewBuilder("tree")
+	var vals []int
+	for i := 0; i < 5; i++ {
+		vals = append(vals, b.Input("x"))
+	}
+	root := adderTree(b, "t", vals)
+	d := b.Build()
+	if d.Nodes[root].Kind != dfg.Add {
+		t.Fatal("tree root is not an add")
+	}
+	// 5 leaves need 4 adds.
+	adds := 0
+	for _, nd := range d.Nodes {
+		if nd.Kind == dfg.Add {
+			adds++
+		}
+	}
+	if adds != 4 {
+		t.Fatalf("tree used %d adds, want 4", adds)
+	}
+}
+
+func TestRandomGenerator(t *testing.T) {
+	d := Random(1, RandomOptions{Ops: 20, MemFraction: 0.2, Recurrence: 3})
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.N() < 20 {
+		t.Errorf("Random produced %d ops, want >= 20", d.N())
+	}
+	if got := d.RecMII(); got != 3 {
+		t.Errorf("RecMII = %d, want 3", got)
+	}
+	// Determinism.
+	d2 := Random(1, RandomOptions{Ops: 20, MemFraction: 0.2, Recurrence: 3})
+	if d.N() != d2.N() || len(d.Edges) != len(d2.Edges) {
+		t.Error("Random not deterministic")
+	}
+	// Fanout cap respected.
+	d3 := Random(7, RandomOptions{Ops: 40, MaxFanout: 3})
+	for v := range d3.Nodes {
+		if len(d3.OutEdges(v)) > 3+1 { // +1: the recurrence helper may tap one extra
+			t.Errorf("fanout of node %d is %d, cap 3", v, len(d3.OutEdges(v)))
+		}
+	}
+	if _, err := sim.Reference(d, 3); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+package kernels
+
+import (
+	"fmt"
+	"math/rand"
+
+	"regimap/internal/dfg"
+)
+
+// RandomOptions shapes the synthetic-kernel generator.
+type RandomOptions struct {
+	// Ops is the target operation count (<=0: 16).
+	Ops int
+	// MemFraction in [0,1] is the approximate share of memory operations
+	// (<0: 0.15).
+	MemFraction float64
+	// Recurrence adds a multi-op recurrence cycle of the given height
+	// (0: none).
+	Recurrence int
+	// MaxFanout caps how many consumers a value may accumulate (<=0: 4,
+	// roughly what compiler-generated loop bodies exhibit).
+	MaxFanout int
+}
+
+// Random generates a structurally valid synthetic kernel. The same seed and
+// options always produce the same DFG; used by property tests, fuzz-style
+// integration tests, and the scalability benches.
+func Random(seed int64, opts RandomOptions) *dfg.DFG {
+	if opts.Ops <= 0 {
+		opts.Ops = 16
+	}
+	if opts.MemFraction < 0 {
+		opts.MemFraction = 0.15
+	}
+	if opts.MaxFanout <= 0 {
+		opts.MaxFanout = 4
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := dfg.NewBuilder(fmt.Sprintf("rand%d", seed))
+	fanout := map[int]int{}
+	pick := func(ids []int) (int, bool) {
+		// Prefer low-fanout values; give up after a few tries.
+		for try := 0; try < 8; try++ {
+			v := ids[rng.Intn(len(ids))]
+			if fanout[v] < opts.MaxFanout {
+				fanout[v]++
+				return v, true
+			}
+		}
+		return 0, false
+	}
+	ids := []int{b.Input("i0")}
+	kinds := []dfg.OpKind{
+		dfg.Add, dfg.Sub, dfg.Mul, dfg.And, dfg.Or, dfg.Xor,
+		dfg.Shl, dfg.Shr, dfg.Min, dfg.Max, dfg.CmpLT,
+	}
+	for len(ids) < opts.Ops {
+		switch {
+		case rng.Float64() < opts.MemFraction:
+			a, ok := pick(ids)
+			if !ok {
+				ids = append(ids, b.Input("i"))
+				continue
+			}
+			ids = append(ids, b.Op(dfg.Load, fmt.Sprintf("ld%d", len(ids)), a))
+		case rng.Intn(6) == 0:
+			ids = append(ids, b.Input("i"))
+		default:
+			x, ok1 := pick(ids)
+			y, ok2 := pick(ids)
+			if !ok1 || !ok2 {
+				ids = append(ids, b.Input("i"))
+				continue
+			}
+			k := kinds[rng.Intn(len(kinds))]
+			ids = append(ids, b.Op(k, fmt.Sprintf("op%d", len(ids)), x, y))
+		}
+	}
+	if opts.Recurrence > 0 {
+		src, _ := pick(ids)
+		// Build a cycle of the requested height: add, then (height-1)
+		// saturation stages, closed at distance 1.
+		head := b.Op(dfg.Add, "racc", src)
+		cur := head
+		for i := 1; i < opts.Recurrence; i++ {
+			if i%2 == 1 {
+				cur = b.Op(dfg.Min, fmt.Sprintf("rsat%d", i), cur, b.Const(fmt.Sprintf("rc%d", i), int64(1<<20+i)))
+			} else {
+				cur = b.Op(dfg.Max, fmt.Sprintf("rsat%d", i), cur, b.Const(fmt.Sprintf("rc%d", i), int64(-(1<<20))))
+			}
+		}
+		b.EdgeDist(cur, head, 1, 1)
+	}
+	return b.Build()
+}

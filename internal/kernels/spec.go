@@ -1,0 +1,191 @@
+package kernels
+
+import "regimap/internal/dfg"
+
+// The SPEC2006-like half of the suite: inner loops with the published
+// structural shape of hot kernels from milc, lbm, hmmer, h264ref, gobmk,
+// povray, bzip2, mcf, libquantum and sphinx3 (see DESIGN.md §3).
+func init() {
+	register("milc_su3", "spec", "su3 complex matrix-vector multiply slice (milc)", buildSU3)
+	register("lbm_stream", "spec", "lattice-Boltzmann stream-and-collide slice (lbm)", buildLBM)
+	register("hmmer_viterbi", "spec", "Viterbi match-state update, max-add network (hmmer)", buildViterbi)
+	register("h264_sad", "spec", "sum of absolute differences over 8 pixels (h264ref)", buildSAD)
+	register("gobmk_lib", "spec", "liberty bitboard popcount step (gobmk)", buildGobmk)
+	register("povray_shade", "spec", "diffuse shading dot products (povray)", buildPovray)
+	register("bzip2_hist", "spec", "symbol histogram update with capped count (bzip2)", buildHistogram)
+	register("mcf_relax", "spec", "arc relaxation with reduced-cost feedback (mcf)", buildMCF)
+	register("libquantum_acc", "spec", "quantum register phase accumulation (libquantum)", buildLibquantum)
+	register("sphinx_dot", "spec", "senone score max-add accumulation (sphinx3)", buildSphinx)
+}
+
+func buildSU3() *dfg.DFG {
+	b := dfg.NewBuilder("milc_su3")
+	// One complex multiply-accumulate per iteration — the su3 matrix-vector
+	// inner loop strip-mined over the row index, the shape a CGRA compiler
+	// emits: four loads, the four-multiply complex product, and two
+	// accumulators carried across iterations.
+	aAddr := addrChain(b, "ma", 2, 1) // interleaved re/im matrix element
+	vAddr := addrChain(b, "va", 2, 1) // interleaved re/im vector element
+	ar := b.Op(dfg.Load, "ar", aAddr[0])
+	ai := b.Op(dfg.Load, "ai", aAddr[1])
+	vr := b.Op(dfg.Load, "vr", vAddr[0])
+	vi := b.Op(dfg.Load, "vi", vAddr[1])
+	re := b.Op(dfg.Sub, "re",
+		b.Op(dfg.Mul, "rr", ar, vr),
+		b.Op(dfg.Mul, "ii", ai, vi))
+	im := b.Op(dfg.Add, "im",
+		b.Op(dfg.Mul, "ri", ar, vi),
+		b.Op(dfg.Mul, "ir", ai, vr))
+	reAcc := b.Op(dfg.Add, "reacc", re)
+	b.EdgeDist(reAcc, reAcc, 1, 1)
+	imAcc := b.Op(dfg.Add, "imacc", im)
+	b.EdgeDist(imAcc, imAcc, 1, 1)
+	return b.Build()
+}
+
+func buildLBM() *dfg.DFG {
+	b := dfg.NewBuilder("lbm_stream")
+	// Stream three distribution functions, relax toward equilibrium, store.
+	src := addrChain(b, "sa", 3, 1)
+	dst := addrChain(b, "da", 3, 1)
+	var cells []int
+	for i := 0; i < 3; i++ {
+		f := b.Op(dfg.Load, nameIdx("f", i), src[i])
+		cells = append(cells, f)
+	}
+	rho := adderTree(b, "rho", append([]int(nil), cells...))
+	eq := b.Op(dfg.Shr, "eq", rho, b.Const("c2", 2))
+	for i := 0; i < 3; i++ {
+		dev := b.Op(dfg.Sub, nameIdx("dev", i), cells[i], eq)
+		relaxed := b.Op(dfg.Sub, nameIdx("rx", i), cells[i], b.Op(dfg.Shr, nameIdx("dv2", i), dev, b.Const(nameIdx("c1", i), 1)))
+		b.Op(dfg.Store, nameIdx("st", i), dst[i], relaxed)
+	}
+	return b.Build()
+}
+
+func buildViterbi() *dfg.DFG {
+	b := dfg.NewBuilder("hmmer_viterbi")
+	// mmx = max(prev_m + tmm, prev_i + tim, prev_d + tdm) + emission.
+	pm := b.Op(dfg.Load, "pm", b.Input("pma"))
+	pi := b.Op(dfg.Load, "pi", b.Input("pia"))
+	pd := b.Op(dfg.Load, "pd", b.Input("pda"))
+	em := b.Op(dfg.Load, "em", b.Input("ema"))
+	cm := b.Op(dfg.Add, "cm", pm, b.Const("tmm", 7))
+	ci := b.Op(dfg.Add, "ci", pi, b.Const("tim", -3))
+	cd := b.Op(dfg.Add, "cd", pd, b.Const("tdm", -11))
+	best := b.Op(dfg.Max, "best", b.Op(dfg.Max, "b01", cm, ci), cd)
+	score := b.Op(dfg.Add, "score", best, em)
+	floor := b.Op(dfg.Max, "floor", score, b.Const("ninf", -(1<<28)))
+	b.Op(dfg.Store, "st", b.Input("oa"), floor)
+	return b.Build()
+}
+
+func buildSAD() *dfg.DFG {
+	b := dfg.NewBuilder("h264_sad")
+	cur := addrChain(b, "ca", 4, 1)
+	ref := addrChain(b, "ra", 4, 1)
+	var diffs []int
+	for i := 0; i < 4; i++ {
+		c := b.Op(dfg.Load, nameIdx("c", i), cur[i])
+		r := b.Op(dfg.Load, nameIdx("r", i), ref[i])
+		diffs = append(diffs, b.Op(dfg.Abs, nameIdx("ad", i), b.Op(dfg.Sub, nameIdx("d", i), c, r)))
+	}
+	sum := adderTree(b, "sad", diffs)
+	acc := b.Op(dfg.Add, "acc", sum)
+	b.EdgeDist(acc, acc, 1, 1)
+	return b.Build()
+}
+
+func buildGobmk() *dfg.DFG {
+	b := dfg.NewBuilder("gobmk_lib")
+	// Liberty counting: mask neighbours, OR empty squares, popcount step.
+	board := b.Op(dfg.Load, "board", b.Input("ba"))
+	empty := b.Op(dfg.Load, "empty", b.Input("ea"))
+	north := b.Op(dfg.Shl, "north", board, b.Const("c9n", 9))
+	south := b.Op(dfg.Shr, "south", board, b.Const("c9s", 9))
+	east := b.Op(dfg.Shl, "east", board, b.Const("c1e", 1))
+	west := b.Op(dfg.Shr, "west", board, b.Const("c1w", 1))
+	nb := b.Op(dfg.Or, "nb", b.Op(dfg.Or, "ns", north, south), b.Op(dfg.Or, "ew", east, west))
+	libs := b.Op(dfg.And, "libs", nb, empty)
+	// popcount nibble step: x - ((x>>1)&0x5555...).
+	half := b.Op(dfg.And, "half", b.Op(dfg.Shr, "l1", libs, b.Const("one", 1)), b.Const("m5", 0x5555555555555555))
+	cnt := b.Op(dfg.Sub, "cnt", libs, half)
+	b.Op(dfg.Store, "st", b.Input("oa"), cnt)
+	return b.Build()
+}
+
+func buildPovray() *dfg.DFG {
+	b := dfg.NewBuilder("povray_shade")
+	// diffuse = max(0, N.L) * intensity, fixed point, three components.
+	na := addrChain(b, "na", 3, 1)
+	la := addrChain(b, "la", 3, 1)
+	var terms []int
+	for i := 0; i < 3; i++ {
+		n := b.Op(dfg.Load, nameIdx("n", i), na[i])
+		l := b.Op(dfg.Load, nameIdx("l", i), la[i])
+		terms = append(terms, b.Op(dfg.Mul, nameIdx("t", i), n, l))
+	}
+	dot := adderTree(b, "dot", terms)
+	lit := b.Op(dfg.Max, "lit", dot, b.Const("zero", 0))
+	shade := b.Op(dfg.Shr, "shade", mulConst(b, "li", lit, 219), b.Const("c8", 8))
+	b.Op(dfg.Store, "st", b.Input("oa"), clamp(b, "cl", shade, 0, 255))
+	return b.Build()
+}
+
+func buildHistogram() *dfg.DFG {
+	b := dfg.NewBuilder("bzip2_hist")
+	sym := b.Op(dfg.Load, "sym", b.Input("sa"))
+	match := b.Op(dfg.CmpEQ, "match", sym, b.Const("key", 42))
+	// cnt = min(cnt + match, CAP): 2-op recurrence (the capped count models
+	// the memory-carried histogram bin dependence).
+	cntAdd := b.Op(dfg.Add, "cntadd", match)
+	cntCap := b.Op(dfg.Min, "cntcap", cntAdd, b.Const("cap", 1<<16))
+	b.EdgeDist(cntCap, cntAdd, 1, 1)
+	return b.Build()
+}
+
+func buildMCF() *dfg.DFG {
+	b := dfg.NewBuilder("mcf_relax")
+	w := b.Op(dfg.Load, "w", b.Input("wa"))
+	// potential feedback: cand = pot + w; best = min(best_prev, cand);
+	// pot = best - red. A 3-op recurrence cycle.
+	pot := b.Op(dfg.Sub, "pot")
+	cand := b.Op(dfg.Add, "cand", pot, w)
+	best := b.Op(dfg.Min, "best", cand)
+	b.EdgeDist(best, best, 1, 1)
+	b.EdgeDist(best, pot, 0, 1)
+	red := b.Const("red", 5)
+	b.EdgeDist(red, pot, 1, 0)
+	b.Op(dfg.Store, "st", b.Input("oa"), best)
+	return b.Build()
+}
+
+func buildLibquantum() *dfg.DFG {
+	b := dfg.NewBuilder("libquantum_acc")
+	mask := b.Op(dfg.Load, "mask", b.Input("ma"))
+	// state = (state << 1) ^ (mask | state): a 2-op recurrence cycle plus a
+	// mixing OR inside it.
+	mix := b.Op(dfg.Or, "mix", mask)
+	shifted := b.Op(dfg.Shl, "shifted")
+	state := b.Op(dfg.Xor, "state", shifted, mix)
+	b.EdgeDist(state, mix, 1, 1)
+	b.EdgeDist(state, shifted, 0, 1)
+	b.EdgeDist(b.Const("one", 1), shifted, 1, 0)
+	b.Op(dfg.Store, "st", b.Input("oa"), state)
+	return b.Build()
+}
+
+func buildSphinx() *dfg.DFG {
+	b := dfg.NewBuilder("sphinx_dot")
+	feat := b.Op(dfg.Load, "feat", b.Input("fa"))
+	mean := b.Op(dfg.Load, "mean", b.Input("mp"))
+	diff := b.Op(dfg.Sub, "diff", feat, mean)
+	sq := b.Op(dfg.Mul, "sq", diff, diff)
+	// score = max(score - sq, floor): 2-op recurrence.
+	scoreSub := b.Op(dfg.Sub, "ssub")
+	scoreFloor := b.Op(dfg.Max, "sfloor", scoreSub, b.Const("floor", -(1<<30)))
+	b.EdgeDist(scoreFloor, scoreSub, 0, 1)
+	b.EdgeDist(sq, scoreSub, 1, 0)
+	b.Op(dfg.Store, "st", b.Input("oa"), scoreFloor)
+	return b.Build()
+}

@@ -1,0 +1,75 @@
+// Package loopir is the front end of the flow: it compiles C-like innermost
+// loop bodies into the data-flow graphs the mappers consume, standing in for
+// the paper's GCC integration ("we have modified backend GCC and integrated
+// REGIMap right before register allocation").
+//
+// # Language
+//
+// A program is a list of assignments, one per line (or ';'-separated), with
+// '//' comments. The loop induction variable is `i`.
+//
+//	acc = acc + x[i]*h[i]          // loop-carried scalar: pre-definition
+//	                               // reads see the previous iteration
+//	d   = x[i] - min(acc, 255)     // scalars defined above are same-iteration
+//	out[i] = d >> 2                // array writes
+//	y   = x[i]*5 - y@1*3 - y@2     // y@d: the value d iterations ago
+//
+// Semantics:
+//
+//   - `name[i±k]` reads or writes array `name` at the induction variable
+//     plus a constant offset. An array may be read or written, not both
+//     (memory-carried dependences must be rewritten as scalar recurrences,
+//     exactly what compilers do before modulo scheduling).
+//   - reading a scalar after its assignment in the same body yields this
+//     iteration's value; reading it before (or with the explicit `s@d`
+//     form) yields the value from d iterations ago (d=1 for a bare
+//     pre-definition read), creating the recurrence edge.
+//   - a scalar never assigned in the body is a loop-invariant parameter and
+//     lowers to an immediate (deterministically derived from its name).
+//   - operators, C precedence, highest first: unary `-`; `*`; `+ -`;
+//     `<< >>`; `< ==` (yielding 0/1); `&`; `^`; `|`. Calls: `min(a,b)`,
+//     `max(a,b)`, `abs(a)`, `select(c,a,b)`.
+//
+// Compile returns a validated dfg.DFG ready for any of the mappers; loads of
+// the same array element and repeated subexpressions of the induction
+// variable are shared.
+package loopir
+
+import (
+	"fmt"
+
+	"regimap/internal/dfg"
+)
+
+// Compile parses src as a loop body and lowers it to a data-flow graph.
+func Compile(name, src string) (*dfg.DFG, error) {
+	stmts, err := parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return lower(name, stmts)
+}
+
+// MustCompile is Compile for static program text; it panics on error.
+func MustCompile(name, src string) *dfg.DFG {
+	d, err := Compile(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Error is a front-end diagnostic with a source position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error formats the diagnostic.
+func (e *Error) Error() string {
+	return fmt.Sprintf("loopir: %d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errf(line, col int, format string, args ...interface{}) error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}

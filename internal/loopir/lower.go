@@ -1,0 +1,272 @@
+package loopir
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"regimap/internal/dfg"
+)
+
+// lower translates parsed statements into a validated data-flow graph.
+func lower(name string, stmts []stmt) (*dfg.DFG, error) {
+	lw := &lowerer{
+		b:        dfg.NewBuilder(name),
+		counter:  -1,
+		loads:    map[loadKey]int{},
+		consts:   map[int64]int{},
+		params:   map[string]int{},
+		env:      map[string]int{},
+		assigned: map[string]bool{},
+		written:  map[string]bool{},
+		read:     map[string]bool{},
+		stores:   map[loadKey]bool{},
+	}
+
+	// Pass 1: which scalars are assigned anywhere (pre-definition reads of
+	// those become recurrences; reads of the rest become parameters).
+	for _, s := range stmts {
+		if s.scalar != "" {
+			lw.assigned[s.scalar] = true
+		}
+	}
+
+	// Pass 2: lower in program order, collecting carried reads to wire after
+	// every scalar's final definition is known.
+	for _, s := range stmts {
+		v, err := lw.lowerExpr(s.rhs)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case s.scalar != "":
+			// Assignments are pure dataflow: the defined value is the RHS
+			// node itself (a named copy would waste a PE slot).
+			lw.env[s.scalar] = v
+		default:
+			if lw.read[s.array] {
+				return nil, errf(s.line, s.col, "array %q is both read and written (rewrite the memory recurrence as a scalar)", s.array)
+			}
+			key := loadKey{s.array, s.offset}
+			if lw.stores[key] {
+				return nil, errf(s.line, s.col, "duplicate store to %s[i%+d]", s.array, s.offset)
+			}
+			lw.stores[key] = true
+			lw.written[s.array] = true
+			addr := lw.address(s.array, s.offset)
+			st := lw.b.Op(dfg.Store, fmt.Sprintf("st_%s_%d", s.array, len(lw.stores)))
+			lw.b.EdgeDist(addr, st, 0, 0)
+			lw.b.EdgeDist(v, st, 1, 0)
+		}
+	}
+
+	// Pass 3: wire the carried scalar reads to each scalar's final
+	// definition.
+	for _, c := range lw.carried {
+		def, ok := lw.env[c.name]
+		if !ok {
+			return nil, errf(c.line, c.col, "internal error: carried scalar %q has no definition", c.name)
+		}
+		lw.b.EdgeDist(def, c.to, c.port, c.dist)
+	}
+
+	d := lw.b.Build()
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("loopir: %w", err)
+	}
+	return d, nil
+}
+
+// loadKey identifies one array element expression.
+type loadKey struct {
+	array  string
+	offset int64
+}
+
+// carriedRead is a recurrence edge awaiting the scalar's final definition.
+type carriedRead struct {
+	name      string
+	to, port  int
+	dist      int
+	line, col int
+}
+
+type lowerer struct {
+	b       *dfg.Builder
+	counter int // the shared induction-variable node (-1 until used)
+
+	loads  map[loadKey]int
+	consts map[int64]int
+	params map[string]int
+	env    map[string]int // scalar -> current-iteration definition
+
+	assigned map[string]bool
+	written  map[string]bool
+	read     map[string]bool
+	stores   map[loadKey]bool
+
+	carried []carriedRead
+	nameSeq int
+}
+
+// operandRef is a lowered operand: either an existing node (dist 0) or a
+// deferred recurrence read.
+type operandRef struct {
+	node    int
+	carried *carriedRead // nil for ordinary operands
+}
+
+func (lw *lowerer) fresh(prefix string) string {
+	lw.nameSeq++
+	return fmt.Sprintf("%s%d", prefix, lw.nameSeq)
+}
+
+func (lw *lowerer) induction() int {
+	if lw.counter < 0 {
+		lw.counter = lw.b.Counter("i")
+	}
+	return lw.counter
+}
+
+func (lw *lowerer) constant(v int64) int {
+	if id, ok := lw.consts[v]; ok {
+		return id
+	}
+	id := lw.b.Const(lw.fresh("c"), v)
+	lw.consts[v] = id
+	return id
+}
+
+// paramValue derives a deterministic immediate for a loop-invariant
+// parameter from its name.
+func paramValue(name string) int64 {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return int64(h.Sum32()%251) + 1
+}
+
+// baseAddress spaces arrays far apart in the synthetic address space.
+func baseAddress(name string) int64 {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return int64(h.Sum32()&0x7fff) << 20
+}
+
+func (lw *lowerer) address(array string, offset int64) int {
+	key := loadKey{"&" + array, offset}
+	if id, ok := lw.loads[key]; ok {
+		return id
+	}
+	base := lw.constant(baseAddress(array) + offset)
+	addr := lw.b.Op(dfg.Add, lw.fresh("addr_"+array))
+	lw.b.EdgeDist(lw.induction(), addr, 0, 0)
+	lw.b.EdgeDist(base, addr, 1, 0)
+	lw.loads[key] = addr
+	return addr
+}
+
+// lowerExpr returns the node computing e; carried scalar reads become
+// pending recurrence edges on the consuming operation.
+func (lw *lowerer) lowerExpr(e expr) (int, error) {
+	ref, err := lw.lowerOperand(e)
+	if err != nil {
+		return -1, err
+	}
+	if ref.carried == nil {
+		return ref.node, nil
+	}
+	// A bare carried read used as a whole right-hand side needs a node of
+	// its own to hang the recurrence edge on: an explicit route.
+	rt := lw.b.Op(dfg.Route, lw.fresh("cp_"+ref.carried.name))
+	c := *ref.carried
+	c.to, c.port = rt, 0
+	lw.carried = append(lw.carried, c)
+	return rt, nil
+}
+
+func (lw *lowerer) lowerOperand(e expr) (operandRef, error) {
+	switch e := e.(type) {
+	case *intLit:
+		return operandRef{node: lw.constant(e.val)}, nil
+	case *counterRef:
+		return operandRef{node: lw.induction()}, nil
+	case *arrayRef:
+		if lw.written[e.array] {
+			return operandRef{}, errf(e.line, e.col, "array %q is both read and written (rewrite the memory recurrence as a scalar)", e.array)
+		}
+		lw.read[e.array] = true
+		key := loadKey{e.array, e.offset}
+		if id, ok := lw.loads[key]; ok {
+			return operandRef{node: id}, nil
+		}
+		addr := lw.address(e.array, e.offset)
+		ld := lw.b.Op(dfg.Load, lw.fresh("ld_"+e.array))
+		lw.b.EdgeDist(addr, ld, 0, 0)
+		lw.loads[key] = ld
+		return operandRef{node: ld}, nil
+	case *scalarRef:
+		if def, ok := lw.env[e.name]; ok && !e.explicit {
+			return operandRef{node: def}, nil // same-iteration value
+		}
+		if lw.assigned[e.name] {
+			dist := e.dist
+			if dist == 0 {
+				dist = 1 // bare pre-definition read: previous iteration
+			}
+			return operandRef{carried: &carriedRead{name: e.name, dist: dist, line: e.line, col: e.col}}, nil
+		}
+		if e.explicit {
+			return operandRef{}, errf(e.line, e.col, "%s@%d reads a scalar that is never assigned", e.name, e.dist)
+		}
+		// Loop-invariant parameter.
+		if id, ok := lw.params[e.name]; ok {
+			return operandRef{node: id}, nil
+		}
+		id := lw.b.Const("p_"+e.name, paramValue(e.name))
+		lw.params[e.name] = id
+		return operandRef{node: id}, nil
+	case *unary:
+		return lw.lowerOp(dfg.Neg, "neg", []expr{e.x})
+	case *binary:
+		kinds := map[string]dfg.OpKind{
+			"+": dfg.Add, "-": dfg.Sub, "*": dfg.Mul,
+			"&": dfg.And, "|": dfg.Or, "^": dfg.Xor,
+			"<<": dfg.Shl, ">>": dfg.Shr,
+			"<": dfg.CmpLT, "==": dfg.CmpEQ,
+		}
+		k, ok := kinds[e.op]
+		if !ok {
+			line, col := e.pos()
+			return operandRef{}, errf(line, col, "unsupported operator %q", e.op)
+		}
+		return lw.lowerOp(k, "t", []expr{e.x, e.y})
+	case *call:
+		kinds := map[string]dfg.OpKind{"min": dfg.Min, "max": dfg.Max, "abs": dfg.Abs, "select": dfg.Select}
+		return lw.lowerOp(kinds[e.fn], e.fn, e.args)
+	default:
+		return operandRef{}, fmt.Errorf("loopir: unhandled expression %T", e)
+	}
+}
+
+// lowerOp lowers an operation with the given operand expressions, wiring
+// ordinary operands immediately and queueing carried reads.
+func (lw *lowerer) lowerOp(kind dfg.OpKind, prefix string, args []expr) (operandRef, error) {
+	refs := make([]operandRef, len(args))
+	for i, a := range args {
+		r, err := lw.lowerOperand(a)
+		if err != nil {
+			return operandRef{}, err
+		}
+		refs[i] = r
+	}
+	id := lw.b.Op(kind, lw.fresh(prefix))
+	for port, r := range refs {
+		if r.carried != nil {
+			c := *r.carried
+			c.to, c.port = id, port
+			lw.carried = append(lw.carried, c)
+			continue
+		}
+		lw.b.EdgeDist(r.node, id, port, 0)
+	}
+	return operandRef{node: id}, nil
+}

@@ -1,0 +1,184 @@
+// Package mapping defines the common result contract of all mappers — a
+// modulo schedule plus a PE binding — together with an independent legality
+// checker and the rotating-register accounting of the paper's CGRA model.
+//
+// The storage model (paper Section 2, Figure 2): a PE's result lands in its
+// output register one cycle after execution, where mesh neighbours (and the
+// PE itself) can read it for exactly that one cycle before the next value may
+// overwrite it. A dependence spanning more than one cycle therefore parks the
+// value in the *producer's* local register file, which only the producer's
+// own ALU can read — so producer and consumer must share a PE, and the value
+// occupies ceil(span / II) rotating registers (one live copy per in-flight
+// iteration).
+package mapping
+
+import (
+	"fmt"
+	"strings"
+
+	"regimap/internal/arch"
+	"regimap/internal/dfg"
+)
+
+// Mapping binds every DFG operation to an absolute schedule slot and a PE.
+// Multi-hop routes are represented as explicit Route operations in the DFG
+// (see dfg.InsertRoute), so a Mapping is always a complete description of
+// the kernel configuration.
+type Mapping struct {
+	D  *dfg.DFG
+	C  *arch.CGRA
+	II int
+
+	Time []int // absolute slot per operation
+	PE   []int // PE per operation
+}
+
+// New returns an empty (unbound) mapping shell for the given kernel, array,
+// and II; Time and PE are allocated and filled with -1.
+func New(d *dfg.DFG, c *arch.CGRA, ii int) *Mapping {
+	m := &Mapping{D: d, C: c, II: ii, Time: make([]int, d.N()), PE: make([]int, d.N())}
+	for i := range m.Time {
+		m.Time[i] = -1
+		m.PE[i] = -1
+	}
+	return m
+}
+
+// Slot returns the modulo slot of operation v.
+func (m *Mapping) Slot(v int) int { return m.Time[v] % m.II }
+
+// Span returns the number of cycles dependence edge e spans at this II and
+// schedule: T(to) - T(from) + II*dist. A legal mapping has span >= latency.
+func (m *Mapping) Span(e dfg.Edge) int {
+	return m.Time[e.To] - m.Time[e.From] + m.II*e.Dist
+}
+
+// IPC returns the steady-state instructions per cycle: |V| / II.
+func (m *Mapping) IPC() float64 { return float64(m.D.N()) / float64(m.II) }
+
+// RegisterPressure returns, per PE, the number of rotating registers the
+// mapping occupies: each producer holds max-span/II (ceiling) live copies
+// across all register-carried consumers.
+func (m *Mapping) RegisterPressure() []int {
+	press := make([]int, m.C.NumPEs())
+	for v := range m.D.Nodes {
+		span := m.maxRegisterSpan(v)
+		if span > 0 {
+			press[m.PE[v]] += ceilDiv(span, m.II)
+		}
+	}
+	return press
+}
+
+// maxRegisterSpan returns the longest register-carried span of values
+// produced by v (0 when every consumer reads the output register directly).
+func (m *Mapping) maxRegisterSpan(v int) int {
+	span := 0
+	for _, ei := range m.D.OutEdges(v) {
+		e := m.D.Edges[ei]
+		if s := m.Span(e); s > 1 && s > span {
+			span = s
+		}
+	}
+	return span
+}
+
+// Validate exhaustively audits the mapping against the architecture:
+//
+//  1. every operation is bound (slot >= 0, PE in range) and its PE supports
+//     its kind;
+//  2. no two operations share a (PE, modulo-slot) pair;
+//  3. at most one memory operation per (row, modulo-slot) — the shared bus;
+//  4. every dependence spans >= its latency;
+//  5. one-cycle spans connect adjacent (or identical) PEs;
+//  6. longer spans keep producer and consumer on the same PE;
+//  7. rotating-register pressure on every PE stays within the file size.
+//
+// This is the ground truth all mappers and tests are audited against.
+func (m *Mapping) Validate() error {
+	n := m.D.N()
+	if len(m.Time) != n || len(m.PE) != n {
+		return fmt.Errorf("mapping: bindings for %d/%d ops", len(m.Time), n)
+	}
+	if m.II <= 0 {
+		return fmt.Errorf("mapping: non-positive II %d", m.II)
+	}
+	type key struct{ pe, slot int }
+	occupied := map[key]string{}
+	busUsed := map[key]string{}
+	for v, nd := range m.D.Nodes {
+		if m.Time[v] < 0 {
+			return fmt.Errorf("mapping: op %s unscheduled", nd.Name)
+		}
+		if m.PE[v] < 0 || m.PE[v] >= m.C.NumPEs() {
+			return fmt.Errorf("mapping: op %s on invalid PE %d", nd.Name, m.PE[v])
+		}
+		if !m.C.Supports(m.PE[v], nd.Kind) {
+			return fmt.Errorf("mapping: PE %d cannot execute %s (%s)", m.PE[v], nd.Name, nd.Kind)
+		}
+		k := key{m.PE[v], m.Slot(v)}
+		if prev, ok := occupied[k]; ok {
+			return fmt.Errorf("mapping: ops %s and %s collide on PE %d slot %d", prev, nd.Name, k.pe, k.slot)
+		}
+		occupied[k] = nd.Name
+		if nd.Kind.IsMem() {
+			bk := key{m.C.RowOf(m.PE[v]), m.Slot(v)}
+			if prev, ok := busUsed[bk]; ok {
+				return fmt.Errorf("mapping: mem ops %s and %s share row %d bus in slot %d", prev, nd.Name, bk.pe, bk.slot)
+			}
+			busUsed[bk] = nd.Name
+		}
+	}
+	for _, e := range m.D.Edges {
+		span := m.Span(e)
+		lat := m.D.Nodes[e.From].Kind.Latency()
+		from, to := m.D.Nodes[e.From].Name, m.D.Nodes[e.To].Name
+		switch {
+		case span < lat:
+			return fmt.Errorf("mapping: edge %s->%s spans %d < latency %d", from, to, span, lat)
+		case span == 1:
+			if !m.C.Connected(m.PE[e.From], m.PE[e.To]) {
+				return fmt.Errorf("mapping: edge %s->%s needs adjacency, PEs %d and %d are not connected",
+					from, to, m.PE[e.From], m.PE[e.To])
+			}
+		default:
+			if m.PE[e.From] != m.PE[e.To] {
+				return fmt.Errorf("mapping: edge %s->%s spans %d cycles but crosses PEs %d->%d (register-carried values cannot leave the PE)",
+					from, to, span, m.PE[e.From], m.PE[e.To])
+			}
+		}
+	}
+	for p, used := range m.RegisterPressure() {
+		if used > m.C.NumRegs {
+			return fmt.Errorf("mapping: PE %d uses %d registers, file holds %d", p, used, m.C.NumRegs)
+		}
+	}
+	return nil
+}
+
+// String renders a compact kernel table: one row per modulo slot, one column
+// per PE.
+func (m *Mapping) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "kernel %s on %s, II=%d, IPC=%.2f\n", m.D.Name, m.C, m.II, m.IPC())
+	cell := make(map[[2]int]string)
+	for v, nd := range m.D.Nodes {
+		if m.Time[v] >= 0 && m.PE[v] >= 0 {
+			cell[[2]int{m.Slot(v), m.PE[v]}] = nd.Name
+		}
+	}
+	for s := 0; s < m.II; s++ {
+		fmt.Fprintf(&b, "  t%%%d=%d:", m.II, s)
+		for p := 0; p < m.C.NumPEs(); p++ {
+			name := cell[[2]int{s, p}]
+			if name == "" {
+				name = "."
+			}
+			fmt.Fprintf(&b, " %-10s", name)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

@@ -1,0 +1,215 @@
+package mapping
+
+import (
+	"strings"
+	"testing"
+
+	"regimap/internal/arch"
+	"regimap/internal/dfg"
+)
+
+// fig2 builds the paper's Figure 2 kernel: a->b->c->d plus a->d, on a 1x2
+// CGRA with 2 registers per PE.
+func fig2() (*dfg.DFG, *arch.CGRA) {
+	b := dfg.NewBuilder("fig2")
+	a := b.Input("a")
+	bb := b.Op(dfg.Neg, "b", a)
+	c := b.Op(dfg.Neg, "c", bb)
+	b.Op(dfg.Add, "d", c, a)
+	return b.Build(), arch.NewMesh(1, 2, 2)
+}
+
+// fig2dMapping reproduces the paper's Figure 2(d): the register-using II=2
+// mapping — a,d on PE1; b,c on PE0.
+func fig2dMapping() *Mapping {
+	d, c := fig2()
+	m := New(d, c, 2)
+	m.Time = []int{0, 1, 2, 3}
+	m.PE = []int{1, 0, 0, 1}
+	return m
+}
+
+func TestFigure2dValid(t *testing.T) {
+	m := fig2dMapping()
+	if err := m.Validate(); err != nil {
+		t.Fatalf("the paper's Figure 2(d) mapping must validate: %v", err)
+	}
+	if got := m.IPC(); got != 2.0 {
+		t.Errorf("IPC = %v, want 2.0", got)
+	}
+}
+
+func TestFigure2dRegisterPressure(t *testing.T) {
+	m := fig2dMapping()
+	press := m.RegisterPressure()
+	// a (PE1, t0) feeds d (PE1, t3): span 3, II 2 -> ceil(3/2) = 2 registers,
+	// exactly the paper's "two registers are required in PE2".
+	if press[1] != 2 {
+		t.Errorf("PE1 pressure = %d, want 2", press[1])
+	}
+	if press[0] != 0 {
+		t.Errorf("PE0 pressure = %d, want 0 (b->c is a one-cycle span)", press[0])
+	}
+}
+
+func TestRegisterOverflowRejected(t *testing.T) {
+	d, _ := fig2()
+	tiny := arch.NewMesh(1, 2, 1) // only 1 register: Figure 2(d) needs 2
+	m := New(d, tiny, 2)
+	m.Time = []int{0, 1, 2, 3}
+	m.PE = []int{1, 0, 0, 1}
+	err := m.Validate()
+	if err == nil || !strings.Contains(err.Error(), "registers") {
+		t.Fatalf("want register-pressure error, got %v", err)
+	}
+}
+
+func TestSlotCollisionRejected(t *testing.T) {
+	d, c := fig2()
+	m := New(d, c, 2)
+	m.Time = []int{0, 1, 2, 2} // c and d share slot 0... wait: 2%2=0, 0%2=0: a collides
+	m.PE = []int{1, 0, 0, 1}
+	// a at (PE1, slot 0) and d at (PE1, slot 0) collide.
+	err := m.Validate()
+	if err == nil || !strings.Contains(err.Error(), "collide") {
+		t.Fatalf("want collision error, got %v", err)
+	}
+}
+
+func TestAdjacencyViolationRejected(t *testing.T) {
+	b := dfg.NewBuilder("pair")
+	x := b.Input("x")
+	b.Op(dfg.Neg, "y", x)
+	d := b.Build()
+	c := arch.NewMesh(2, 2, 2)
+	m := New(d, c, 2)
+	m.Time = []int{0, 1}
+	m.PE = []int{0, 3} // diagonal: not connected on a mesh
+	err := m.Validate()
+	if err == nil || !strings.Contains(err.Error(), "adjacency") {
+		t.Fatalf("want adjacency error, got %v", err)
+	}
+}
+
+func TestLongSpanCrossPERejected(t *testing.T) {
+	b := dfg.NewBuilder("pair")
+	x := b.Input("x")
+	b.Op(dfg.Neg, "y", x)
+	d := b.Build()
+	c := arch.NewMesh(1, 2, 4)
+	m := New(d, c, 4)
+	m.Time = []int{0, 2} // span 2 across different PEs: illegal
+	m.PE = []int{0, 1}
+	err := m.Validate()
+	if err == nil || !strings.Contains(err.Error(), "register-carried") {
+		t.Fatalf("want register-carried error, got %v", err)
+	}
+	// Same thing on one PE is fine.
+	m.PE = []int{0, 0}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("same-PE long span must validate: %v", err)
+	}
+}
+
+func TestLatencyViolationRejected(t *testing.T) {
+	b := dfg.NewBuilder("pair")
+	x := b.Input("x")
+	b.Op(dfg.Neg, "y", x)
+	d := b.Build()
+	c := arch.NewMesh(1, 2, 2)
+	m := New(d, c, 2)
+	m.Time = []int{1, 1} // consumer at the same cycle as producer
+	m.PE = []int{0, 1}
+	err := m.Validate()
+	if err == nil || !strings.Contains(err.Error(), "latency") {
+		t.Fatalf("want latency error, got %v", err)
+	}
+}
+
+func TestInterIterationSpan(t *testing.T) {
+	// acc(k) = acc(k-1) + x: self edge distance 1. At II=2, span = 0+2 = 2:
+	// register-carried on the same PE, pressure ceil(2/2)=1.
+	b := dfg.NewBuilder("acc")
+	x := b.Input("x")
+	acc := b.Op(dfg.Add, "acc", x)
+	b.EdgeDist(acc, acc, 1, 1)
+	d := b.Build()
+	c := arch.NewMesh(1, 2, 2)
+	m := New(d, c, 2)
+	m.Time = []int{0, 1}
+	m.PE = []int{0, 1}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("accumulator mapping must validate: %v", err)
+	}
+	if press := m.RegisterPressure(); press[1] != 1 {
+		t.Errorf("PE1 pressure = %d, want 1", press[1])
+	}
+	// At II=1 the self edge spans exactly 1 cycle: out-register loop-back,
+	// no register file use.
+	m1 := New(d, c, 1)
+	m1.Time = []int{0, 1}
+	m1.PE = []int{0, 1}
+	if err := m1.Validate(); err != nil {
+		t.Fatalf("II=1 accumulator must validate: %v", err)
+	}
+	if press := m1.RegisterPressure(); press[1] != 0 {
+		t.Errorf("PE1 pressure at II=1 = %d, want 0", press[1])
+	}
+}
+
+func TestBusConflictRejected(t *testing.T) {
+	b := dfg.NewBuilder("mem2")
+	a1 := b.Input("a1")
+	a2 := b.Input("a2")
+	b.Op(dfg.Load, "l1", a1)
+	b.Op(dfg.Load, "l2", a2)
+	d := b.Build()
+	c := arch.NewMesh(1, 4, 2) // one row: one bus
+	m := New(d, c, 2)
+	m.Time = []int{0, 0, 1, 1}
+	m.PE = []int{0, 2, 1, 3} // both loads in slot 1 on the same row
+	err := m.Validate()
+	if err == nil || !strings.Contains(err.Error(), "bus") {
+		t.Fatalf("want bus conflict error, got %v", err)
+	}
+	// Two rows fix it.
+	c2 := arch.NewMesh(2, 2, 2)
+	m2 := New(d, c2, 2)
+	m2.Time = []int{0, 0, 1, 1}
+	m2.PE = []int{0, 3, 1, 2} // loads on different rows
+	if err := m2.Validate(); err != nil {
+		t.Fatalf("cross-row loads must validate: %v", err)
+	}
+}
+
+func TestCapabilityViolationRejected(t *testing.T) {
+	b := dfg.NewBuilder("mul")
+	x := b.Input("x")
+	b.Op(dfg.Mul, "m", x, x)
+	d := b.Build()
+	c := arch.NewMesh(1, 2, 2)
+	c.RestrictPE(1, dfg.Add)
+	m := New(d, c, 2)
+	m.Time = []int{0, 1}
+	m.PE = []int{0, 1}
+	err := m.Validate()
+	if err == nil || !strings.Contains(err.Error(), "cannot execute") {
+		t.Fatalf("want capability error, got %v", err)
+	}
+}
+
+func TestUnboundRejected(t *testing.T) {
+	d, c := fig2()
+	m := New(d, c, 2)
+	if err := m.Validate(); err == nil {
+		t.Fatal("unbound mapping must not validate")
+	}
+}
+
+func TestStringRendersKernel(t *testing.T) {
+	m := fig2dMapping()
+	s := m.String()
+	if !strings.Contains(s, "II=2") || !strings.Contains(s, "a") {
+		t.Errorf("String output missing fields:\n%s", s)
+	}
+}

@@ -1,0 +1,50 @@
+// Package power reproduces the paper's Section 6.5 power-efficiency
+// estimate. It is closed-form arithmetic over published constants — the
+// ADRES synthesis figures (Bouwens et al.) and Intel Core 2 characterization
+// (Kejariwal et al.) the paper cites — driven by the IPC that REGIMap's
+// mappings actually achieve in this reproduction.
+package power
+
+// Published constants used by the paper's estimate.
+const (
+	// ADRESFreqHz is the ADRES CGRA clock (Bouwens et al. synthesis point).
+	ADRESFreqHz = 312e6
+	// ADRESPowerWatts is the corresponding power draw.
+	ADRESPowerWatts = 0.080
+	// Core2FreqHz is the Intel Core 2 clock the paper assumes.
+	Core2FreqHz = 2.6e9
+	// Core2IPC is the paper's "maximum of 2 instructions per cycle".
+	Core2IPC = 2
+	// Core2EnergyPerInstr is the paper's 2 nJ per instruction figure.
+	Core2EnergyPerInstr = 2e-9
+)
+
+// Estimate is the paper's back-of-envelope comparison for one measured IPC.
+type Estimate struct {
+	IPC             float64 // instructions per cycle on the CGRA
+	CGRAOpsPerSec   float64 // IPC x clock
+	CGRAEnergyPerOp float64 // joules per operation
+	CPUOpsPerSec    float64
+	CPUEnergyPerOp  float64
+	EnergyRatio     float64 // CPU energy per op / CGRA energy per op
+	EfficiencyRatio float64 // CGRA ops-per-watt / CPU ops-per-watt
+}
+
+// FromIPC computes the estimate for a measured CGRA IPC.
+func FromIPC(ipc float64) Estimate {
+	e := Estimate{IPC: ipc}
+	e.CGRAOpsPerSec = ipc * ADRESFreqHz
+	if e.CGRAOpsPerSec > 0 {
+		e.CGRAEnergyPerOp = ADRESPowerWatts / e.CGRAOpsPerSec
+	}
+	e.CPUOpsPerSec = Core2IPC * Core2FreqHz
+	e.CPUEnergyPerOp = Core2EnergyPerInstr
+	if e.CGRAEnergyPerOp > 0 {
+		e.EnergyRatio = e.CPUEnergyPerOp / e.CGRAEnergyPerOp
+	}
+	cpuPower := e.CPUEnergyPerOp * e.CPUOpsPerSec
+	if cpuPower > 0 && ADRESPowerWatts > 0 {
+		e.EfficiencyRatio = (e.CGRAOpsPerSec / ADRESPowerWatts) / (e.CPUOpsPerSec / cpuPower)
+	}
+	return e
+}

@@ -1,0 +1,47 @@
+package power
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPaperNumbers(t *testing.T) {
+	// The paper's own data point: ~10.75 IPC on a 4x4 ADRES-class array
+	// yields ~3.3 GOps/s and ~24 pJ per operation.
+	e := FromIPC(10.75)
+	if e.CGRAOpsPerSec < 3.2e9 || e.CGRAOpsPerSec > 3.5e9 {
+		t.Errorf("ops/s = %.3g, want ~3.3e9", e.CGRAOpsPerSec)
+	}
+	if pj := e.CGRAEnergyPerOp * 1e12; pj < 22 || pj > 26 {
+		t.Errorf("energy/op = %.1f pJ, want ~24", pj)
+	}
+	// Core 2 side: 5.2 G instr/s at 2 nJ each.
+	if e.CPUOpsPerSec != 5.2e9 {
+		t.Errorf("CPU ops/s = %g, want 5.2e9", e.CPUOpsPerSec)
+	}
+	// Energy per instruction ratio ~83x; the efficiency ratio equals it
+	// (both machines are compared at full utilization).
+	if e.EnergyRatio < 75 || e.EnergyRatio > 95 {
+		t.Errorf("energy ratio = %.1f, want ~83", e.EnergyRatio)
+	}
+	if math.Abs(e.EnergyRatio-e.EfficiencyRatio) > 1e-6 {
+		t.Errorf("efficiency ratio %.2f != energy ratio %.2f", e.EfficiencyRatio, e.EnergyRatio)
+	}
+}
+
+func TestZeroIPC(t *testing.T) {
+	e := FromIPC(0)
+	if e.CGRAEnergyPerOp != 0 || e.EnergyRatio != 0 {
+		t.Error("zero IPC must not divide by zero")
+	}
+}
+
+func TestMonotonic(t *testing.T) {
+	lo, hi := FromIPC(2), FromIPC(12)
+	if hi.CGRAEnergyPerOp >= lo.CGRAEnergyPerOp {
+		t.Error("more IPC must mean less energy per op")
+	}
+	if hi.EnergyRatio <= lo.EnergyRatio {
+		t.Error("more IPC must mean a larger advantage")
+	}
+}

@@ -1,0 +1,353 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"regimap/internal/dfg"
+)
+
+func chain4() *dfg.DFG {
+	b := dfg.NewBuilder("chain4")
+	a := b.Input("a")
+	bb := b.Op(dfg.Neg, "b", a)
+	c := b.Op(dfg.Neg, "c", bb)
+	b.Op(dfg.Add, "d", c, a)
+	return b.Build()
+}
+
+func rec3() *dfg.DFG {
+	b := dfg.NewBuilder("rec3")
+	x := b.Input("x")
+	p := b.Op(dfg.Add, "p", x)
+	q := b.Op(dfg.Neg, "q", p)
+	r := b.Op(dfg.Neg, "r", q)
+	b.EdgeDist(r, p, 1, 1)
+	return b.Build()
+}
+
+func wide(n int) *dfg.DFG {
+	b := dfg.NewBuilder("wide")
+	for i := 0; i < n; i++ {
+		b.Input("x")
+	}
+	return b.Build()
+}
+
+func TestScheduleChainAtMII(t *testing.T) {
+	d := chain4()
+	s := New(d, 2, 1)
+	if got := s.MII(); got != 2 {
+		t.Fatalf("MII = %d, want 2", got)
+	}
+	res, err := s.Schedule(2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(d, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if res.Width() > 2 {
+		t.Errorf("Width = %d, want <= 2", res.Width())
+	}
+}
+
+func TestScheduleRecurrence(t *testing.T) {
+	d := rec3()
+	s := New(d, 16, 4)
+	res, err := s.Schedule(3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(d, 16, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleBelowRecMIIFails(t *testing.T) {
+	s := New(rec3(), 16, 4)
+	if _, err := s.Schedule(2, Options{}); err == nil {
+		t.Error("accepted II below RecMII")
+	}
+}
+
+func TestScheduleTooNarrowFails(t *testing.T) {
+	// 8 independent ops, width cap 2, II 3 -> only 6 slots.
+	s := New(wide(8), 2, 1)
+	if _, err := s.Schedule(3, Options{}); err == nil {
+		t.Error("accepted impossible width")
+	}
+}
+
+func TestScheduleMemoryBusLimit(t *testing.T) {
+	b := dfg.NewBuilder("mem")
+	for i := 0; i < 4; i++ {
+		a := b.Input("a")
+		b.Op(dfg.Load, "ld", a)
+	}
+	d := b.Build()
+	// 4 loads, 1 bus: II >= 4 for memory even though 8 ops fit 2 slots of 4.
+	s := New(d, 4, 1)
+	if _, err := s.Schedule(3, Options{}); err == nil {
+		t.Error("accepted schedule violating the single row bus")
+	}
+	res, err := s.Schedule(4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(d, 4, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleMinIIEscalates(t *testing.T) {
+	s := New(wide(8), 2, 1)
+	res, err := s.ScheduleMinII(1, 10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.II != 4 {
+		t.Errorf("II = %d, want 4 (8 ops / width 2)", res.II)
+	}
+}
+
+func TestScheduleMinIIExhausts(t *testing.T) {
+	s := New(wide(8), 2, 1)
+	if _, err := s.ScheduleMinII(1, 3, Options{}); err == nil {
+		t.Error("ScheduleMinII should fail when maxII is too small")
+	}
+}
+
+func TestThinningReducesWidth(t *testing.T) {
+	d := wide(8)
+	s := New(d, 8, 2)
+	full, err := s.Schedule(1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Width() != 8 {
+		t.Fatalf("full width = %d, want 8", full.Width())
+	}
+	thin, err := s.Schedule(2, Options{MaxPEs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thin.Width() > 4 {
+		t.Errorf("thinned width = %d, want <= 4", thin.Width())
+	}
+}
+
+func TestPreferChangesOrder(t *testing.T) {
+	// Two independent chains; width 1. Preferring the second chain's ops
+	// must give them the earlier slots.
+	b := dfg.NewBuilder("two")
+	a0 := b.Input("a0")
+	a1 := b.Op(dfg.Neg, "a1", a0)
+	c0 := b.Input("c0")
+	c1 := b.Op(dfg.Neg, "c1", c0)
+	d := b.Build()
+	_ = a1
+	s := New(d, 1, 1)
+	plain, err := s.Schedule(4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pref, err := s.Schedule(4, Options{Prefer: []int{c0, c1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pref.Time[c0] >= plain.Time[c0] && pref.Time[c1] >= plain.Time[c1] {
+		t.Errorf("Prefer had no effect: plain=%v pref=%v", plain.Time, pref.Time)
+	}
+}
+
+func TestPinForcesSlot(t *testing.T) {
+	d := chain4()
+	s := New(d, 4, 2)
+	res, err := s.Schedule(4, Options{Pin: map[int]int{3: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time[3] != 5 {
+		t.Errorf("pinned op at %d, want 5", res.Time[3])
+	}
+}
+
+func TestPinInfeasible(t *testing.T) {
+	d := chain4() // a->b->c->d chain: d cannot run at slot 0
+	s := New(d, 4, 2)
+	if _, err := s.Schedule(4, Options{Pin: map[int]int{3: 0}}); err == nil {
+		t.Error("accepted infeasible pin")
+	}
+}
+
+func TestBadInputs(t *testing.T) {
+	s := New(chain4(), 4, 2)
+	if _, err := s.Schedule(0, Options{}); err == nil {
+		t.Error("accepted II=0")
+	}
+	if _, err := s.Schedule(2, Options{Prefer: []int{99}}); err == nil {
+		t.Error("accepted out-of-range Prefer")
+	}
+	if _, err := s.Schedule(2, Options{Pin: map[int]int{0: -1}}); err == nil {
+		t.Error("accepted negative pin")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("New accepted zero PEs")
+		}
+	}()
+	New(chain4(), 0, 1)
+}
+
+func randomDFG(rng *rand.Rand) *dfg.DFG {
+	b := dfg.NewBuilder("rand")
+	n := 3 + rng.Intn(20)
+	ids := []int{b.Input("i0")}
+	kinds := []dfg.OpKind{dfg.Add, dfg.Sub, dfg.Mul, dfg.Xor}
+	for len(ids) < n {
+		if rng.Intn(4) == 0 {
+			ids = append(ids, b.Input("i"))
+			continue
+		}
+		k := kinds[rng.Intn(len(kinds))]
+		ids = append(ids, b.Op(k, "op", ids[rng.Intn(len(ids))], ids[rng.Intn(len(ids))]))
+	}
+	if rng.Intn(2) == 0 {
+		acc := b.Op(dfg.Add, "acc", ids[rng.Intn(len(ids))])
+		b.EdgeDist(acc, acc, 1, 1)
+	}
+	return b.Build()
+}
+
+// Property: whenever the scheduler succeeds, the schedule passes independent
+// validation; and it succeeds at a modest II above MII.
+func TestScheduleProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := randomDFG(rng)
+		pes := []int{4, 9, 16}[rng.Intn(3)]
+		rows := map[int]int{4: 2, 9: 3, 16: 4}[pes]
+		s := New(d, pes, rows)
+		mii := s.MII()
+		res, err := s.ScheduleMinII(mii, mii+8, Options{})
+		if err != nil {
+			return false
+		}
+		return res.Validate(d, pes, rows) == nil && res.II >= mii
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: schedules are deterministic for identical inputs.
+func TestScheduleDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20; i++ {
+		d := randomDFG(rng)
+		s := New(d, 4, 2)
+		mii := s.MII()
+		r1, err1 := s.ScheduleMinII(mii, mii+8, Options{})
+		r2, err2 := s.ScheduleMinII(mii, mii+8, Options{})
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatal("determinism violated in error outcome")
+		}
+		if err1 != nil {
+			continue
+		}
+		for v := range r1.Time {
+			if r1.Time[v] != r2.Time[v] {
+				t.Fatalf("determinism violated: %v vs %v", r1.Time, r2.Time)
+			}
+		}
+	}
+}
+
+// TestCompactionShrinksRegisterDemand pins the lifetime-sensitive pass: a
+// producer whose consumer sits far away must be pulled next to it instead of
+// being parked at cycle 0.
+func TestCompactionShrinksRegisterDemand(t *testing.T) {
+	// in -> a -> b -> c; plus late consumer d of in. Without compaction, in
+	// sits at 0 and in->d spans 4.
+	b := dfg.NewBuilder("lift")
+	in := b.Input("in")
+	a := b.Op(dfg.Neg, "a", in)
+	bb := b.Op(dfg.Neg, "b", a)
+	c := b.Op(dfg.Neg, "c", bb)
+	d := b.Op(dfg.Add, "d", c, in)
+	dfgr := b.Build()
+	s := New(dfgr, 4, 2)
+
+	raw, err := s.Schedule(4, Options{NoCompact: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := s.Schedule(4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	demand := func(res *Result) int {
+		total := 0
+		for v := range dfgr.Nodes {
+			maxSpan := 0
+			for _, ei := range dfgr.OutEdges(v) {
+				e := dfgr.Edges[ei]
+				if span := res.Time[e.To] - res.Time[v] + res.II*e.Dist; span > maxSpan {
+					maxSpan = span
+				}
+			}
+			if maxSpan > 1 {
+				total += (maxSpan + res.II - 1) / res.II
+			}
+		}
+		return total
+	}
+	if demand(opt) > demand(raw) {
+		t.Errorf("compaction increased register demand: %d > %d", demand(opt), demand(raw))
+	}
+	// The specific failure mode: in's value must not span the whole chain on
+	// the compacted schedule unless d truly forces it. d is at cycle >= 4;
+	// in can sit at 3 serving d at span 1... but a also reads in. The best
+	// trade keeps total demand at 1 (either in->d or in->a carried).
+	if demand(opt) > 1 {
+		t.Errorf("compacted demand = %d, want <= 1", demand(opt))
+	}
+	_ = d
+}
+
+// TestCompactionRespectsPins ensures pinned operations never move.
+func TestCompactionRespectsPins(t *testing.T) {
+	b := dfg.NewBuilder("pin")
+	in := b.Input("in")
+	a := b.Op(dfg.Neg, "a", in)
+	bb := b.Op(dfg.Neg, "b", a)
+	b.Op(dfg.Add, "d", bb, in)
+	d := b.Build()
+	s := New(d, 4, 2)
+	res, err := s.Schedule(4, Options{Pin: map[int]int{0: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Time[0] != 0 {
+		t.Errorf("pinned op moved to %d", res.Time[0])
+	}
+}
+
+// TestCompactionKeepsValidity is a property check across random kernels.
+func TestCompactionKeepsValidity(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 30; i++ {
+		d := randomDFG(rng)
+		s := New(d, 4, 2)
+		mii := s.MII()
+		res, err := s.ScheduleMinII(mii, mii+6, Options{})
+		if err != nil {
+			continue
+		}
+		if err := res.Validate(d, 4, 2); err != nil {
+			t.Fatalf("kernel %d: compacted schedule invalid: %v", i, err)
+		}
+	}
+}

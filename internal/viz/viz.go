@@ -1,0 +1,218 @@
+// Package viz renders the flow's artifacts as standalone SVG documents:
+// data-flow graphs (layered by schedule level) and mapped kernels (the II x
+// mesh grid with routing arrows), the pictures CGRA papers draw by hand —
+// Figures 2 and 3 of the REGIMap paper are exactly these two views.
+package viz
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"regimap/internal/dfg"
+	"regimap/internal/mapping"
+)
+
+// palette assigns stable colors by operation class.
+func fillFor(k dfg.OpKind) string {
+	switch k {
+	case dfg.Const:
+		return "#e8e8e8"
+	case dfg.Input, dfg.Counter:
+		return "#cfe8ff"
+	case dfg.Load, dfg.Store:
+		return "#ffd9b3"
+	case dfg.Route:
+		return "#f0f0f0"
+	case dfg.Mul:
+		return "#e6ccff"
+	default:
+		return "#d6f5d6"
+	}
+}
+
+type svg struct {
+	b    strings.Builder
+	w, h int
+}
+
+func newSVG(w, h int) *svg {
+	s := &svg{w: w, h: h}
+	fmt.Fprintf(&s.b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", w, h, w, h)
+	s.b.WriteString(`<defs><marker id="arrow" viewBox="0 0 10 10" refX="9" refY="5" markerWidth="6" markerHeight="6" orient="auto-start-reverse"><path d="M 0 0 L 10 5 L 0 10 z" fill="#555"/></marker></defs>` + "\n")
+	fmt.Fprintf(&s.b, `<rect width="%d" height="%d" fill="white"/>`+"\n", w, h)
+	return s
+}
+
+func (s *svg) rect(x, y, w, h int, fill, stroke string, rx int) {
+	fmt.Fprintf(&s.b, `<rect x="%d" y="%d" width="%d" height="%d" rx="%d" fill="%s" stroke="%s"/>`+"\n", x, y, w, h, rx, fill, stroke)
+}
+
+func (s *svg) text(x, y int, size int, anchor, str string) {
+	fmt.Fprintf(&s.b, `<text x="%d" y="%d" font-size="%d" font-family="monospace" text-anchor="%s">%s</text>`+"\n",
+		x, y, size, anchor, escape(str))
+}
+
+func (s *svg) line(x1, y1, x2, y2 int, stroke string, dashed, arrow bool) {
+	dash := ""
+	if dashed {
+		dash = ` stroke-dasharray="4,3"`
+	}
+	marker := ""
+	if arrow {
+		marker = ` marker-end="url(#arrow)"`
+	}
+	fmt.Fprintf(&s.b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s"%s%s/>`+"\n", x1, y1, x2, y2, stroke, dash, marker)
+}
+
+func (s *svg) done() string {
+	s.b.WriteString("</svg>\n")
+	return s.b.String()
+}
+
+func escape(str string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(str)
+}
+
+// DFG renders the data-flow graph layered by ASAP level: nodes as rounded
+// boxes colored by operation class, intra-iteration dependences as solid
+// arrows, inter-iteration dependences as dashed arrows labeled with their
+// distance.
+func DFG(d *dfg.DFG) (string, error) {
+	if err := d.Validate(); err != nil {
+		return "", err
+	}
+	asap, err := d.ASAP(d.RecMII())
+	if err != nil {
+		return "", err
+	}
+	// Columns within each level, ordered by node id for determinism.
+	levels := map[int][]int{}
+	maxLevel := 0
+	for v, l := range asap {
+		levels[l] = append(levels[l], v)
+		if l > maxLevel {
+			maxLevel = l
+		}
+	}
+	const (
+		boxW, boxH = 86, 30
+		gapX, gapY = 20, 44
+		margin     = 24
+	)
+	widest := 0
+	for _, vs := range levels {
+		sort.Ints(vs)
+		if len(vs) > widest {
+			widest = len(vs)
+		}
+	}
+	width := margin*2 + widest*(boxW+gapX)
+	height := margin*2 + (maxLevel+1)*(boxH+gapY)
+	s := newSVG(width, height)
+
+	pos := make([][2]int, d.N())
+	for l := 0; l <= maxLevel; l++ {
+		vs := levels[l]
+		rowW := len(vs)*(boxW+gapX) - gapX
+		x0 := (width - rowW) / 2
+		for i, v := range vs {
+			x := x0 + i*(boxW+gapX)
+			y := margin + l*(boxH+gapY)
+			pos[v] = [2]int{x, y}
+			s.rect(x, y, boxW, boxH, fillFor(d.Nodes[v].Kind), "#444", 6)
+			s.text(x+boxW/2, y+13, 10, "middle", d.Nodes[v].Name)
+			s.text(x+boxW/2, y+25, 9, "middle", d.Nodes[v].Kind.String())
+		}
+	}
+	for _, e := range d.Edges {
+		from, to := pos[e.From], pos[e.To]
+		x1, y1 := from[0]+boxW/2, from[1]+boxH
+		x2, y2 := to[0]+boxW/2, to[1]
+		if e.Dist > 0 && y2 <= y1 {
+			// Back edge: route along the side.
+			s.line(x1, y1, x1+boxW/2+8, y1+8, "#a33", true, false)
+			s.line(x1+boxW/2+8, y1+8, x2-boxW/2-8, y2-8, "#a33", true, false)
+			s.line(x2-boxW/2-8, y2-8, x2, y2, "#a33", true, true)
+			s.text((x1+x2)/2, (y1+y2)/2, 9, "middle", fmt.Sprintf("d=%d", e.Dist))
+			continue
+		}
+		s.line(x1, y1, x2, y2, "#555", e.Dist > 0, true)
+		if e.Dist > 0 {
+			s.text((x1+x2)/2+8, (y1+y2)/2, 9, "start", fmt.Sprintf("d=%d", e.Dist))
+		}
+	}
+	return s.done(), nil
+}
+
+// Mapping renders the kernel as the paper's Figure 3 view: the mesh
+// replicated once per modulo cycle (rows), each cell one PE slot, occupied
+// cells labeled with their operation; one-cycle dependences drawn as arrows
+// between adjacent cells, register-carried dependences as dashed arrows
+// within a PE column.
+func Mapping(m *mapping.Mapping) (string, error) {
+	if err := m.Validate(); err != nil {
+		return "", err
+	}
+	const (
+		cellW, cellH = 80, 34
+		gapX, gapY   = 8, 26
+		labelW       = 64
+		margin       = 24
+	)
+	cols := m.C.NumPEs()
+	width := margin*2 + labelW + cols*(cellW+gapX)
+	height := margin*2 + m.II*(cellH+gapY) + 18
+	s := newSVG(width, height)
+
+	cellPos := func(pe, slot int) (int, int) {
+		return margin + labelW + pe*(cellW+gapX), margin + 18 + slot*(cellH+gapY)
+	}
+	// Header: PE coordinates.
+	for pe := 0; pe < cols; pe++ {
+		x, _ := cellPos(pe, 0)
+		s.text(x+cellW/2, margin+8, 10, "middle", fmt.Sprintf("PE%d (%d,%d)", pe, m.C.RowOf(pe), m.C.ColOf(pe)))
+	}
+	// Grid and occupancy.
+	occupant := map[[2]int]int{}
+	for v := range m.D.Nodes {
+		occupant[[2]int{m.PE[v], m.Slot(v)}] = v
+	}
+	for slot := 0; slot < m.II; slot++ {
+		_, y := cellPos(0, slot)
+		s.text(margin, y+cellH/2+4, 10, "start", fmt.Sprintf("t%%%d=%d", m.II, slot))
+		for pe := 0; pe < cols; pe++ {
+			x, y := cellPos(pe, slot)
+			if v, ok := occupant[[2]int{pe, slot}]; ok {
+				s.rect(x, y, cellW, cellH, fillFor(m.D.Nodes[v].Kind), "#333", 4)
+				s.text(x+cellW/2, y+14, 10, "middle", m.D.Nodes[v].Name)
+				s.text(x+cellW/2, y+27, 9, "middle", m.D.Nodes[v].Kind.String())
+			} else {
+				s.rect(x, y, cellW, cellH, "#fafafa", "#ccc", 4)
+			}
+		}
+	}
+	// Dependences.
+	for _, e := range m.D.Edges {
+		if e.From == e.To {
+			continue
+		}
+		span := m.Span(e)
+		x1, y1 := cellPos(m.PE[e.From], m.Slot(e.From))
+		x2, y2 := cellPos(m.PE[e.To], m.Slot(e.To))
+		carried := span > 1
+		color := "#2a6"
+		if carried {
+			color = "#a33"
+		}
+		s.line(x1+cellW/2, y1+cellH, x2+cellW/2, y2, color, carried, true)
+		if carried {
+			s.text((x1+x2)/2+cellW/2+4, (y1+y2+cellH)/2, 9, "start", fmt.Sprintf("%dr", (span+m.II-1)/m.II))
+		}
+	}
+	s.text(margin, height-8, 10, "start",
+		fmt.Sprintf("%s on %s — II=%d, IPC=%.2f (green: out-register forward, red dashed: register-carried)",
+			m.D.Name, m.C, m.II, m.IPC()))
+	return s.done(), nil
+}

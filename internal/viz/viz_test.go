@@ -1,0 +1,114 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"regimap/internal/arch"
+	"regimap/internal/core"
+	"regimap/internal/dfg"
+	"regimap/internal/kernels"
+	"regimap/internal/mapping"
+)
+
+func fig2DFG() *dfg.DFG {
+	b := dfg.NewBuilder("fig2")
+	a := b.Input("a")
+	bb := b.Op(dfg.Neg, "b", a)
+	c := b.Op(dfg.Neg, "c", bb)
+	b.Op(dfg.Add, "d", c, a)
+	return b.Build()
+}
+
+func TestDFGSVG(t *testing.T) {
+	svg, err := DFG(fig2DFG())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<svg", "</svg>", "marker-end", `font-family="monospace"`, ">a<", ">input<"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<rect") < 5 { // background + 4 nodes
+		t.Error("too few boxes")
+	}
+}
+
+func TestDFGSVGRecurrence(t *testing.T) {
+	b := dfg.NewBuilder("acc")
+	x := b.Input("x")
+	acc := b.Op(dfg.Add, "acc", x)
+	b.EdgeDist(acc, acc, 1, 1)
+	d := b.Build()
+	svg, err := DFG(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, "d=1") {
+		t.Error("recurrence distance label missing")
+	}
+	if !strings.Contains(svg, "stroke-dasharray") {
+		t.Error("inter-iteration edge not dashed")
+	}
+}
+
+func TestDFGSVGRejectsInvalid(t *testing.T) {
+	bad := &dfg.DFG{Name: "bad", Nodes: []dfg.Node{{ID: 0, Name: "x", Kind: dfg.Add}}}
+	if _, err := DFG(bad); err == nil {
+		t.Fatal("accepted invalid DFG")
+	}
+}
+
+func TestMappingSVG(t *testing.T) {
+	m := mapping.New(fig2DFG(), arch.NewMesh(1, 2, 2), 2)
+	m.Time = []int{0, 1, 2, 3}
+	m.PE = []int{1, 0, 0, 1}
+	svg, err := Mapping(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"II=2", "PE0 (0,0)", "register-carried"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("mapping SVG missing %q", want)
+		}
+	}
+	// a->d is carried over 2 registers at II=2... span 3 -> ceil(3/2)=2.
+	if !strings.Contains(svg, "2r") {
+		t.Error("register annotation for the carried value missing")
+	}
+}
+
+func TestMappingSVGRejectsInvalid(t *testing.T) {
+	m := mapping.New(fig2DFG(), arch.NewMesh(1, 2, 2), 2)
+	if _, err := Mapping(m); err == nil {
+		t.Fatal("accepted unbound mapping")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	if escape(`a<b&"c"`) != "a&lt;b&amp;&quot;c&quot;" {
+		t.Errorf("escape broken: %q", escape(`a<b&"c"`))
+	}
+}
+
+// TestSuiteRenders smoke-renders every kernel's DFG and one mapping.
+func TestSuiteRenders(t *testing.T) {
+	for _, k := range kernels.All() {
+		if _, err := DFG(k.Build()); err != nil {
+			t.Errorf("%s: %v", k.Name, err)
+		}
+	}
+	k, _ := kernels.ByName("sphinx_dot")
+	m, _, err := core.Map(k.Build(), arch.NewMesh(4, 4, 4), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg, err := Mapping(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(svg) < 2000 {
+		t.Error("suspiciously small mapping SVG")
+	}
+}

@@ -1,0 +1,239 @@
+// Package regimap is a from-scratch Go reproduction of "REGIMap:
+// Register-Aware Application Mapping on Coarse-Grained Reconfigurable
+// Architectures (CGRAs)" (Hamzeh, Shrivastava, Vrudhula — DAC 2013).
+//
+// It contains everything the paper's system needs, built on the standard
+// library only:
+//
+//   - a loop-kernel data-flow graph model with the modulo-scheduling analyses
+//     (ResMII / RecMII / MII),
+//   - a CGRA architecture model (2-D PE mesh, output registers, rotating
+//     local register files, shared row memory buses),
+//   - the REGIMap mapper itself: modulo scheduling plus integrated placement
+//     and register allocation via a register-weight-constrained maximal
+//     clique over the compatibility graph, with the paper's
+//     learn-from-failure loop,
+//   - the DRESC (simulated annealing over an MRRG) and EMS (edge-centric
+//     greedy) baselines it is evaluated against,
+//   - a cycle-accurate functional simulator that proves mappings execute
+//     bit-identically to a sequential reference interpreter,
+//   - the benchmark kernel suite standing in for the paper's multimedia and
+//     SPEC2006 loops, and
+//   - the experiment harness regenerating every figure and table of the
+//     paper's evaluation (see EXPERIMENTS.md).
+//
+// # Quick start
+//
+//	k, _ := regimap.KernelByName("fir8")
+//	cgra := regimap.NewMesh(4, 4, 4) // 4x4 PEs, 4 registers each
+//	m, stats, err := regimap.Map(k.Build(), cgra, regimap.Options{})
+//	if err != nil { ... }
+//	fmt.Printf("II=%d (lower bound %d)\n", stats.II, stats.MII)
+//	fmt.Print(m)                          // the kernel configuration table
+//	err = regimap.Simulate(m, 16)         // prove it computes correctly
+//
+// The deeper layers (compatibility-graph construction, the clique engine,
+// the scheduler) live in internal packages and are documented in DESIGN.md;
+// this package re-exports the surface a downstream user needs.
+package regimap
+
+import (
+	"io"
+
+	"regimap/internal/arch"
+	"regimap/internal/config"
+	"regimap/internal/core"
+	"regimap/internal/dfg"
+	"regimap/internal/dresc"
+	"regimap/internal/ems"
+	"regimap/internal/kernels"
+	"regimap/internal/loopir"
+	"regimap/internal/mapping"
+	"regimap/internal/sim"
+	"regimap/internal/viz"
+)
+
+// Re-exported architecture types and constructors.
+type (
+	// CGRA is a coarse-grained reconfigurable array instance.
+	CGRA = arch.CGRA
+	// Topology selects the inter-PE interconnect.
+	Topology = arch.Topology
+)
+
+// Interconnect topologies.
+const (
+	Mesh     = arch.Mesh
+	MeshPlus = arch.MeshPlus
+	Torus    = arch.Torus
+)
+
+// NewMesh returns a rows x cols orthogonal-mesh CGRA with numRegs rotating
+// registers per PE — the paper's configuration.
+func NewMesh(rows, cols, numRegs int) *CGRA { return arch.NewMesh(rows, cols, numRegs) }
+
+// NewCGRA returns a CGRA with an arbitrary topology.
+func NewCGRA(rows, cols, numRegs int, topo Topology) *CGRA {
+	return arch.New(rows, cols, numRegs, topo)
+}
+
+// Re-exported data-flow graph types.
+type (
+	// DFG is a loop body: operations plus dependences with inter-iteration
+	// distances. Build one with NewBuilder.
+	DFG = dfg.DFG
+	// Builder constructs DFGs.
+	Builder = dfg.Builder
+	// OpKind enumerates the operations a PE can execute.
+	OpKind = dfg.OpKind
+)
+
+// NewBuilder starts a new kernel DFG.
+func NewBuilder(name string) *Builder { return dfg.NewBuilder(name) }
+
+// Operation kinds (see the dfg package for the full set).
+const (
+	Const  = dfg.Const
+	Input  = dfg.Input
+	Add    = dfg.Add
+	Sub    = dfg.Sub
+	Mul    = dfg.Mul
+	And    = dfg.And
+	Or     = dfg.Or
+	Xor    = dfg.Xor
+	Shl    = dfg.Shl
+	Shr    = dfg.Shr
+	Min    = dfg.Min
+	Max    = dfg.Max
+	Abs    = dfg.Abs
+	Neg    = dfg.Neg
+	Not    = dfg.Not
+	CmpLT  = dfg.CmpLT
+	CmpEQ  = dfg.CmpEQ
+	Select = dfg.Select
+	Route  = dfg.Route
+	Load   = dfg.Load
+	Store  = dfg.Store
+)
+
+// Re-exported mapper types.
+type (
+	// Mapping binds every operation of a kernel to a (PE, cycle) slot.
+	Mapping = mapping.Mapping
+	// Options configures the REGIMap mapper.
+	Options = core.Options
+	// Stats reports how a REGIMap run went.
+	Stats = core.Stats
+)
+
+// Map runs REGIMap: modulo scheduling plus clique-based integrated placement
+// and register allocation with the paper's learn-from-failure loop. The
+// returned mapping always passes Mapping.Validate; run Simulate to prove it
+// functionally correct as well.
+func Map(d *DFG, c *CGRA, opts Options) (*Mapping, *Stats, error) {
+	return core.Map(d, c, opts)
+}
+
+// Baseline mapper types.
+type (
+	// DRESCOptions configures the simulated-annealing baseline.
+	DRESCOptions = dresc.Options
+	// DRESCPlacement is a DRESC solution (an MRRG placement with routed
+	// paths).
+	DRESCPlacement = dresc.Placement
+	// DRESCStats reports a DRESC run.
+	DRESCStats = dresc.Stats
+	// EMSOptions configures the edge-centric greedy baseline.
+	EMSOptions = ems.Options
+	// EMSStats reports an EMS run.
+	EMSStats = ems.Stats
+)
+
+// MapDRESC runs the DRESC baseline: simulated-annealing placement and
+// routing over the register-explicit modulo routing resource graph.
+func MapDRESC(d *DFG, c *CGRA, opts DRESCOptions) (*DRESCPlacement, *DRESCStats, error) {
+	return dresc.Map(d, c, opts)
+}
+
+// MapEMS runs the EMS-style baseline: edge-centric greedy placement with
+// explicit route chains and no learning.
+func MapEMS(d *DFG, c *CGRA, opts EMSOptions) (*Mapping, *EMSStats, error) {
+	return ems.Map(d, c, opts)
+}
+
+// Kernel is one benchmark loop of the suite.
+type Kernel = kernels.Kernel
+
+// Kernels returns the benchmark suite standing in for the paper's multimedia
+// and SPEC2006 loops.
+func Kernels() []Kernel { return kernels.All() }
+
+// KernelByName returns one benchmark kernel.
+func KernelByName(name string) (Kernel, bool) { return kernels.ByName(name) }
+
+// RandomKernel generates a deterministic synthetic kernel (see
+// kernels.RandomOptions for knobs).
+func RandomKernel(seed int64, opts kernels.RandomOptions) *DFG {
+	return kernels.Random(seed, opts)
+}
+
+// RandomKernelOptions shapes RandomKernel.
+type RandomKernelOptions = kernels.RandomOptions
+
+// Simulate executes the mapping on the cycle-accurate CGRA model for iters
+// iterations of every operation and compares each produced value against the
+// sequential reference interpreter. A nil error proves functional
+// equivalence.
+func Simulate(m *Mapping, iters int) error { return sim.Check(m, iters) }
+
+// SimResult holds the value streams of an execution.
+type SimResult = sim.Result
+
+// Run executes the mapping and returns the produced value streams together
+// with machine-level observations (peak register-file occupancy, cycles).
+func Run(m *Mapping, iters int) (*SimResult, error) { return sim.Run(m, iters) }
+
+// Reference interprets a kernel sequentially (the ground-truth semantics).
+func Reference(d *DFG, iters int) (*SimResult, error) { return sim.Reference(d, iters) }
+
+// WriteVCD executes the mapping and streams a Value Change Dump of the
+// machine (per-PE busy/op/value signals, one timestep per cycle) for
+// waveform viewers.
+func WriteVCD(w io.Writer, m *Mapping, iters int) error { return sim.WriteVCD(w, m, iters) }
+
+// RenderDFG renders a kernel's data-flow graph as a standalone SVG document,
+// layered by schedule level with recurrence edges dashed.
+func RenderDFG(d *DFG) (string, error) { return viz.DFG(d) }
+
+// RenderMapping renders a mapping as the paper's time-extended-CGRA picture:
+// the mesh replicated per modulo cycle, with forwarding and register-carried
+// dependences drawn.
+func RenderMapping(m *Mapping) (string, error) { return viz.Mapping(m) }
+
+// Compile parses a C-like loop body (see internal/loopir for the language)
+// and lowers it to a data-flow graph ready for any of the mappers — the
+// front-end role the paper delegates to its GCC integration.
+//
+//	d, err := regimap.Compile("dot", `acc = acc + a[i]*b[i]`)
+func Compile(name, src string) (*DFG, error) { return loopir.Compile(name, src) }
+
+// MustCompile is Compile for static program text; it panics on error.
+func MustCompile(name, src string) *DFG { return loopir.MustCompile(name, src) }
+
+// Program is a concrete kernel configuration: per-PE instruction words with
+// operand routing selectors and rotating-register indices.
+type Program = config.Program
+
+// Emit lowers a validated mapping to a kernel configuration, binding every
+// register-carried value to a rotating-register window and choosing each
+// file's rotation phase.
+func Emit(m *Mapping) (*Program, error) { return config.Emit(m) }
+
+// ExecuteProgram runs a kernel configuration on the machine-level executor
+// (instruction words only — no data-flow graph) for iters iterations.
+func ExecuteProgram(p *Program, iters int) (*SimResult, error) { return config.Execute(p, iters) }
+
+// CheckProgram is the strongest end-to-end proof: lower the mapping to
+// instruction words, execute them, and compare every value against the
+// loop's sequential semantics.
+func CheckProgram(m *Mapping, iters int) error { return config.Check(m, iters) }

@@ -1,0 +1,183 @@
+package regimap_test
+
+import (
+	"strings"
+	"testing"
+
+	"regimap"
+)
+
+// TestQuickstart is the README's quickstart, kept compiling and honest.
+func TestQuickstart(t *testing.T) {
+	k, ok := regimap.KernelByName("fir8")
+	if !ok {
+		t.Fatal("fir8 missing from the suite")
+	}
+	cgra := regimap.NewMesh(4, 4, 4)
+	m, stats, err := regimap.Map(k.Build(), cgra, regimap.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.II < stats.MII {
+		t.Fatalf("II %d beats the lower bound %d", stats.II, stats.MII)
+	}
+	if err := regimap.Simulate(m, 8); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(m.String(), "II=") {
+		t.Error("mapping table missing II")
+	}
+}
+
+// TestBuildCustomKernel exercises the public DFG builder end to end.
+func TestBuildCustomKernel(t *testing.T) {
+	b := regimap.NewBuilder("saxpy")
+	xa := b.Input("xa")
+	ya := b.Input("ya")
+	x := b.Op(regimap.Load, "x", xa)
+	y := b.Op(regimap.Load, "y", ya)
+	ax := b.Op(regimap.Mul, "ax", x, b.Const("a", 3))
+	s := b.Op(regimap.Add, "s", ax, y)
+	b.Op(regimap.Store, "st", b.Input("oa"), s)
+	d := b.Build()
+
+	m, stats, err := regimap.Map(d, regimap.NewMesh(2, 2, 2), regimap.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Perf() <= 0 {
+		t.Error("mapped kernel must report positive performance")
+	}
+	if err := regimap.Simulate(m, 6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBaselinesViaPublicAPI(t *testing.T) {
+	k, _ := regimap.KernelByName("sphinx_dot")
+	d := k.Build()
+	c := regimap.NewMesh(4, 4, 4)
+	if _, _, err := regimap.MapDRESC(d, c, regimap.DRESCOptions{Seed: 1}); err != nil {
+		t.Fatalf("DRESC: %v", err)
+	}
+	m, _, err := regimap.MapEMS(k.Build(), c, regimap.EMSOptions{})
+	if err != nil {
+		t.Fatalf("EMS: %v", err)
+	}
+	if err := regimap.Simulate(m, 4); err != nil {
+		t.Fatalf("EMS mapping mis-executes: %v", err)
+	}
+}
+
+func TestSuiteAndRandomAccessors(t *testing.T) {
+	if len(regimap.Kernels()) < 20 {
+		t.Error("kernel suite too small")
+	}
+	d := regimap.RandomKernel(7, regimap.RandomKernelOptions{Ops: 12})
+	if d.N() < 12 {
+		t.Error("random kernel too small")
+	}
+	ref, err := regimap.Reference(d, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ref.Values) != d.N() {
+		t.Error("reference result malformed")
+	}
+}
+
+func TestTopologiesExposed(t *testing.T) {
+	for _, topo := range []regimap.Topology{regimap.Mesh, regimap.MeshPlus, regimap.Torus} {
+		c := regimap.NewCGRA(2, 2, 2, topo)
+		if c.NumPEs() != 4 {
+			t.Error("CGRA constructor broken")
+		}
+	}
+}
+
+func TestRunExposesMachineState(t *testing.T) {
+	k, _ := regimap.KernelByName("milc_su3")
+	m, _, err := regimap.Map(k.Build(), regimap.NewMesh(4, 4, 4), regimap.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := regimap.Run(m, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 {
+		t.Error("Run must report cycles")
+	}
+}
+
+func TestProgramLoweringViaPublicAPI(t *testing.T) {
+	k, _ := regimap.KernelByName("wavelet_lift")
+	m, _, err := regimap.Map(k.Build(), regimap.NewMesh(4, 4, 8), regimap.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := regimap.Emit(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := regimap.ExecuteProgram(prog, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles == 0 {
+		t.Error("executor reported no cycles")
+	}
+	if err := regimap.CheckProgram(m, 6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderViaPublicAPI(t *testing.T) {
+	k, _ := regimap.KernelByName("mcf_relax")
+	d := k.Build()
+	if svg, err := regimap.RenderDFG(d); err != nil || !strings.Contains(svg, "<svg") {
+		t.Fatalf("RenderDFG: %v", err)
+	}
+	m, _, err := regimap.Map(d, regimap.NewMesh(4, 4, 4), regimap.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if svg, err := regimap.RenderMapping(m); err != nil || !strings.Contains(svg, "</svg>") {
+		t.Fatalf("RenderMapping: %v", err)
+	}
+}
+
+func TestCompileViaPublicAPI(t *testing.T) {
+	d, err := regimap.Compile("dot", "acc = acc + a[i]*b[i]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _, err := regimap.Map(d, regimap.NewMesh(2, 2, 2), regimap.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := regimap.Simulate(m, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := regimap.Compile("bad", "i = 1"); err == nil {
+		t.Fatal("Compile accepted assignment to the induction variable")
+	}
+	if regimap.MustCompile("dot", "acc = acc + a[i]*b[i]").N() == 0 {
+		t.Fatal("MustCompile returned empty DFG")
+	}
+}
+
+func TestWriteVCDViaPublicAPI(t *testing.T) {
+	k, _ := regimap.KernelByName("bzip2_hist")
+	m, _, err := regimap.Map(k.Build(), regimap.NewMesh(2, 2, 2), regimap.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := regimap.WriteVCD(&buf, m, 4); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "$enddefinitions") {
+		t.Error("VCD malformed")
+	}
+}
