@@ -11,6 +11,7 @@
 package regimap_test
 
 import (
+	"context"
 	"testing"
 
 	"regimap"
@@ -134,7 +135,7 @@ func ablationPass(b *testing.B, opts core.Options) {
 		var perfSum float64
 		mapped := 0
 		for _, k := range kernels.All() {
-			_, stats, err := core.Map(k.Build(), c, opts)
+			_, stats, err := core.Map(context.Background(), k.Build(), c, opts)
 			if err != nil {
 				continue
 			}
@@ -260,7 +261,7 @@ func BenchmarkCliqueFind(b *testing.B) {
 func BenchmarkMapREGIMap(b *testing.B) {
 	c := arch.NewMesh(4, 4, 4)
 	for i := 0; i < b.N; i++ {
-		if _, _, err := core.Map(benchKernel(), c, core.Options{}); err != nil {
+		if _, _, err := core.Map(context.Background(), benchKernel(), c, core.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -270,7 +271,7 @@ func BenchmarkMapREGIMap(b *testing.B) {
 func BenchmarkMapDRESC(b *testing.B) {
 	c := arch.NewMesh(4, 4, 4)
 	for i := 0; i < b.N; i++ {
-		if _, _, err := dresc.Map(benchKernel(), c, dresc.Options{Seed: int64(i)}); err != nil {
+		if _, _, err := dresc.Map(context.Background(), benchKernel(), c, dresc.Options{Seed: int64(i)}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -280,7 +281,7 @@ func BenchmarkMapDRESC(b *testing.B) {
 func BenchmarkMapEMS(b *testing.B) {
 	c := arch.NewMesh(4, 4, 4)
 	for i := 0; i < b.N; i++ {
-		if _, _, err := ems.Map(benchKernel(), c, ems.Options{}); err != nil {
+		if _, _, err := ems.Map(context.Background(), benchKernel(), c, ems.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}

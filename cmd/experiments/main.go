@@ -4,28 +4,38 @@
 //
 // Usage:
 //
-//	experiments                 # everything
+//	experiments                 # everything, one kernel per core
 //	experiments -run fig6       # one of: fig2, fig5, fig6, fig7, fig8, ablation, power
 //	experiments -quick          # reduced DRESC budget
+//	experiments -jobs 1         # serial (for clean single-run timings)
+//	experiments -timeout 30s    # cap each individual mapper run
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"regimap/internal/experiments"
 )
 
 func main() {
 	var (
-		run     = flag.String("run", "all", "experiment to run: all, fig2, fig5, fig6, fig7, fig8, ablation, power, registers")
-		quick   = flag.Bool("quick", false, "shrink the DRESC annealing budget")
-		seed    = flag.Int64("seed", 0, "DRESC annealing seed")
-		csvPath = flag.String("csv", "", "also write Figure 6 per-loop rows as CSV to this file")
+		run       = flag.String("run", "all", "experiment to run: all, fig2, fig5, fig6, fig7, fig8, ablation, power, registers")
+		quick     = flag.Bool("quick", false, "shrink the DRESC annealing budget")
+		seed      = flag.Int64("seed", 0, "base seed: DRESC annealing / portfolio diversification")
+		csvPath   = flag.String("csv", "", "also write Figure 6 per-loop rows as CSV to this file")
+		jobs      = flag.Int("jobs", runtime.NumCPU(), "map this many kernels concurrently (results are identical at any value)")
+		timeout   = flag.Duration("timeout", 0, "abort any single mapper run after this long (0: unbounded)")
+		portfolio = flag.Int("portfolio", 1, "race this many diversified REGIMap attempts per II")
 	)
 	flag.Parse()
-	base := experiments.Config{Rows: 4, Cols: 4, Regs: 4, Seed: *seed, Quick: *quick}
+	base := experiments.Config{
+		Rows: 4, Cols: 4, Regs: 4,
+		Seed: *seed, Quick: *quick,
+		Workers: *jobs, Timeout: *timeout, Portfolio: *portfolio,
+	}
 
 	want := func(name string) bool { return *run == "all" || *run == name }
 	ran := false

@@ -6,9 +6,12 @@
 //
 //	regimap -list
 //	regimap -kernel fir8 [-rows 4 -cols 4 -regs 4] [-mapper regimap|dresc|ems] [-sim 16] [-dot]
+//	regimap -kernel fir8 -portfolio 8 -timeout 30s   # same answer, less waiting
+//	regimap -kernel fft_radix2 -explore 3            # hunt for a lower II
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -19,22 +22,31 @@ import (
 
 func main() {
 	var (
-		list    = flag.Bool("list", false, "list the benchmark kernels and exit")
-		kernel  = flag.String("kernel", "", "kernel to map (see -list)")
-		rows    = flag.Int("rows", 4, "CGRA rows")
-		cols    = flag.Int("cols", 4, "CGRA columns")
-		regs    = flag.Int("regs", 4, "rotating registers per PE")
-		mapper  = flag.String("mapper", "regimap", "mapper: regimap, dresc, or ems")
-		simN    = flag.Int("sim", 8, "functionally simulate this many iterations (0 to skip)")
-		dot     = flag.Bool("dot", false, "print the kernel DFG in Graphviz DOT and exit")
-		cfg     = flag.Bool("config", false, "lower the mapping to instruction words and print them (regimap mapper only)")
-		srcPath = flag.String("src", "", "compile this loop-body source file instead of a named kernel")
-		svgPath = flag.String("svg", "", "write the mapping as an SVG picture to this file (regimap mapper only)")
-		vcdPath = flag.String("vcd", "", "write a VCD waveform of the execution to this file (regimap mapper only)")
-		jsonOut = flag.Bool("json", false, "emit mapper statistics as JSON (regimap mapper only)")
-		seed    = flag.Int64("seed", 1, "annealing seed (dresc)")
+		list      = flag.Bool("list", false, "list the benchmark kernels and exit")
+		kernel    = flag.String("kernel", "", "kernel to map (see -list)")
+		rows      = flag.Int("rows", 4, "CGRA rows")
+		cols      = flag.Int("cols", 4, "CGRA columns")
+		regs      = flag.Int("regs", 4, "rotating registers per PE")
+		mapper    = flag.String("mapper", "regimap", "mapper: regimap, dresc, or ems")
+		simN      = flag.Int("sim", 8, "functionally simulate this many iterations (0 to skip)")
+		dot       = flag.Bool("dot", false, "print the kernel DFG in Graphviz DOT and exit")
+		cfg       = flag.Bool("config", false, "lower the mapping to instruction words and print them (regimap mapper only)")
+		srcPath   = flag.String("src", "", "compile this loop-body source file instead of a named kernel")
+		svgPath   = flag.String("svg", "", "write the mapping as an SVG picture to this file (regimap mapper only)")
+		vcdPath   = flag.String("vcd", "", "write a VCD waveform of the execution to this file (regimap mapper only)")
+		jsonOut   = flag.Bool("json", false, "emit mapper statistics as JSON (regimap mapper only)")
+		seed      = flag.Int64("seed", 1, "base seed: DRESC annealing / portfolio diversification")
+		timeout   = flag.Duration("timeout", 0, "abort mapping after this long (0: unbounded)")
+		portfolio = flag.Int("portfolio", 1, "speculate on this many IIs in parallel (regimap: result-identical; dresc: seeds per II)")
+		explore   = flag.Int("explore", 0, "also race this many budget-widened scout searches per II (regimap mapper; may lower the II)")
 	)
 	flag.Parse()
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *list {
 		for _, k := range regimap.Kernels() {
@@ -72,24 +84,48 @@ func main() {
 
 	switch *mapper {
 	case "regimap":
-		m, stats, err := regimap.Map(d, c, regimap.Options{})
-		exitOn(err)
-		if *jsonOut {
-			enc := json.NewEncoder(os.Stdout)
-			enc.SetIndent("", "  ")
-			exitOn(enc.Encode(struct {
-				Kernel string
-				Array  string
-				*regimap.Stats
-			}{title, c.String(), stats}))
-			if *simN > 0 {
-				exitOn(regimap.Simulate(m, *simN))
+		var m *regimap.Mapping
+		if *portfolio > 1 || *explore > 0 {
+			won, pstats, err := regimap.MapPortfolio(ctx, d, c, regimap.PortfolioOptions{Attempts: *portfolio, Explore: *explore, Seed: *seed})
+			exitOn(err)
+			m = won
+			if *jsonOut {
+				enc := json.NewEncoder(os.Stdout)
+				enc.SetIndent("", "  ")
+				exitOn(enc.Encode(struct {
+					Kernel string
+					Array  string
+					*regimap.PortfolioStats
+				}{title, c.String(), pstats}))
+				if *simN > 0 {
+					exitOn(regimap.Simulate(m, *simN))
+				}
+				return
 			}
-			return
+			fmt.Printf("REGIMap portfolio: II=%d (MII=%d, perf %.2f) in %v — racer %d won after %d IIs raced, %d schedule rounds, %d losers cancelled\n",
+				pstats.II, pstats.MII, pstats.Perf(), pstats.Elapsed,
+				pstats.Winner, pstats.Races, pstats.Attempts, pstats.Cancelled)
+		} else {
+			won, stats, err := regimap.MapContext(ctx, d, c, regimap.Options{})
+			exitOn(err)
+			m = won
+			if *jsonOut {
+				enc := json.NewEncoder(os.Stdout)
+				enc.SetIndent("", "  ")
+				exitOn(enc.Encode(struct {
+					Kernel string
+					Array  string
+					*regimap.Stats
+				}{title, c.String(), stats}))
+				if *simN > 0 {
+					exitOn(regimap.Simulate(m, *simN))
+				}
+				return
+			}
+			fmt.Printf("REGIMap: II=%d (MII=%d, perf %.2f) in %v — %d attempts, %d reschedules, %d routing nodes, %d thinnings\n",
+				stats.II, stats.MII, stats.Perf(), stats.Elapsed,
+				stats.Attempts, stats.Reschedules, stats.RouteInserts, stats.Thinnings)
 		}
-		fmt.Printf("REGIMap: II=%d (MII=%d, perf %.2f) in %v — %d attempts, %d reschedules, %d routing nodes, %d thinnings\n",
-			stats.II, stats.MII, stats.Perf(), stats.Elapsed,
-			stats.Attempts, stats.Reschedules, stats.RouteInserts, stats.Thinnings)
 		fmt.Print(m)
 		fmt.Printf("register pressure per PE: %v\n", m.RegisterPressure())
 		if *svgPath != "" {
@@ -121,13 +157,25 @@ func main() {
 			fmt.Printf("functional simulation: %d iterations bit-identical to the reference\n", *simN)
 		}
 	case "dresc":
-		p, stats, err := regimap.MapDRESC(d, c, regimap.DRESCOptions{Seed: *seed})
+		if *portfolio > 1 {
+			p, pstats, err := regimap.MapDRESCPortfolio(ctx, d, c, regimap.DRESCPortfolioOptions{
+				Attempts: *portfolio,
+				Base:     regimap.DRESCOptions{Seed: *seed},
+			})
+			exitOn(err)
+			fmt.Printf("DRESC portfolio: II=%d (MII=%d, perf %.2f) in %v — seed %d (attempt %d of %d) won, %d losers cancelled\n",
+				pstats.II, pstats.MII, pstats.Perf(), pstats.Elapsed,
+				*seed+int64(pstats.Winner), pstats.Winner, *portfolio, pstats.Cancelled)
+			fmt.Printf("placement: %d operations, %d routed edges\n", len(p.PE), len(p.Paths))
+			return
+		}
+		p, stats, err := regimap.MapDRESCContext(ctx, d, c, regimap.DRESCOptions{Seed: *seed})
 		exitOn(err)
 		fmt.Printf("DRESC: II=%d (MII=%d, perf %.2f) in %v — %d annealing moves (%d accepted)\n",
 			stats.II, stats.MII, stats.Perf(), stats.Elapsed, stats.Moves, stats.Accepts)
 		fmt.Printf("placement: %d operations, %d routed edges\n", len(p.PE), len(p.Paths))
 	case "ems":
-		m, stats, err := regimap.MapEMS(d, c, regimap.EMSOptions{})
+		m, stats, err := regimap.MapEMSContext(ctx, d, c, regimap.EMSOptions{})
 		exitOn(err)
 		fmt.Printf("EMS: II=%d (MII=%d, perf %.2f) in %v — %d placements, %d routing nodes\n",
 			stats.II, stats.MII, stats.Perf(), stats.Elapsed, stats.Placements, stats.Routes)

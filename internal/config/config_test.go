@@ -1,6 +1,7 @@
 package config
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -155,7 +156,7 @@ func TestSuiteLowersAndExecutes(t *testing.T) {
 	c := arch.NewMesh(4, 4, 8)
 	lowered := 0
 	for _, k := range kernels.All() {
-		m, _, err := core.Map(k.Build(), c, core.Options{})
+		m, _, err := core.Map(context.Background(), k.Build(), c, core.Options{})
 		if err != nil {
 			continue
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -35,7 +36,7 @@ func rec3DFG() *dfg.DFG {
 func TestFigure2WithRegisters(t *testing.T) {
 	d := fig2DFG()
 	c := arch.NewMesh(1, 2, 2)
-	m, stats, err := Map(d, c, Options{})
+	m, stats, err := Map(context.Background(), d, c, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +57,7 @@ func TestFigure2WithRegisters(t *testing.T) {
 func TestFigure2WithoutRegisters(t *testing.T) {
 	d := fig2DFG()
 	c := arch.NewMesh(1, 2, 0)
-	m, stats, err := Map(d, c, Options{})
+	m, stats, err := Map(context.Background(), d, c, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +75,7 @@ func TestFigure2WithoutRegisters(t *testing.T) {
 func TestRecurrenceKernel(t *testing.T) {
 	d := rec3DFG()
 	c := arch.NewMesh(4, 4, 4)
-	m, stats, err := Map(d, c, Options{})
+	m, stats, err := Map(context.Background(), d, c, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +251,7 @@ func TestMapHeterogeneous(t *testing.T) {
 	d := b.Build()
 	c := arch.NewMesh(1, 2, 4)
 	c.RestrictPE(0, dfg.Add, dfg.Input, dfg.Neg)
-	m, _, err := Map(d, c, Options{})
+	m, _, err := Map(context.Background(), d, c, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,14 +269,14 @@ func TestMapImpossibleKernel(t *testing.T) {
 	c := arch.NewMesh(1, 2, 2)
 	c.RestrictPE(0, dfg.Add)
 	c.RestrictPE(1, dfg.Add)
-	if _, _, err := Map(d, c, Options{MaxII: 4}); err == nil {
+	if _, _, err := Map(context.Background(), d, c, Options{MaxII: 4}); err == nil {
 		t.Fatal("mapped an impossible kernel")
 	}
 }
 
 func TestMapInvalidDFGRejected(t *testing.T) {
 	bad := &dfg.DFG{Name: "bad", Nodes: []dfg.Node{{ID: 0, Name: "x", Kind: dfg.Add}}}
-	if _, _, err := Map(bad, arch.NewMesh(2, 2, 2), Options{}); err == nil {
+	if _, _, err := Map(context.Background(), bad, arch.NewMesh(2, 2, 2), Options{}); err == nil {
 		t.Fatal("accepted invalid DFG")
 	}
 }
@@ -327,7 +328,7 @@ func TestMapProperty(t *testing.T) {
 			arch.NewMesh(4, 4, 4),
 		}
 		c := arrays[rng.Intn(len(arrays))]
-		m, stats, err := Map(d, c, Options{})
+		m, stats, err := Map(context.Background(), d, c, Options{})
 		if err != nil {
 			return true // failing to map is allowed; returning bad maps is not
 		}
@@ -347,8 +348,8 @@ func TestMapDeterministic(t *testing.T) {
 	c := arch.NewMesh(2, 2, 2)
 	for i := 0; i < 10; i++ {
 		d := randomKernel(rng)
-		_, s1, err1 := Map(d, c, Options{})
-		_, s2, err2 := Map(d, c, Options{})
+		_, s1, err1 := Map(context.Background(), d, c, Options{})
+		_, s2, err2 := Map(context.Background(), d, c, Options{})
 		if (err1 == nil) != (err2 == nil) {
 			t.Fatal("nondeterministic outcome")
 		}
@@ -365,8 +366,8 @@ func TestDisableRescheduleNeverHelps(t *testing.T) {
 	c := arch.NewMesh(2, 2, 2)
 	for i := 0; i < 15; i++ {
 		d := randomKernel(rng)
-		_, full, errFull := Map(d, c, Options{})
-		_, ablated, errAbl := Map(d, c, Options{DisableReschedule: true})
+		_, full, errFull := Map(context.Background(), d, c, Options{})
+		_, ablated, errAbl := Map(context.Background(), d, c, Options{DisableReschedule: true})
 		if errFull != nil {
 			continue
 		}
@@ -392,7 +393,7 @@ func TestFigure3Example(t *testing.T) {
 	_ = f
 	kernel := b.Build()
 	cgra := arch.NewMesh(1, 2, 2)
-	m, stats, err := Map(kernel, cgra, Options{})
+	m, stats, err := Map(context.Background(), kernel, cgra, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"regimap/internal/arch"
@@ -246,7 +247,7 @@ func TestSplitHalfFanoutMovesLongSpans(t *testing.T) {
 func TestDisabledLearningMatchesExploratoryBehaviour(t *testing.T) {
 	k := fig2DFG()
 	c := arch.NewMesh(1, 2, 2)
-	_, stats, err := Map(k, c, Options{
+	_, stats, err := Map(context.Background(), k, c, Options{
 		DisableReschedule:     true,
 		DisableRouteInsertion: true,
 		DisableThinning:       true,

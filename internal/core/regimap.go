@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -16,6 +17,9 @@ import (
 // Options configures the REGIMap mapper. The zero value is the paper's
 // configuration.
 type Options struct {
+	// MinII raises the II the escalation starts from (0: MII). The portfolio
+	// runner pins MinII == MaxII to race diversified attempts at one fixed II.
+	MinII int
 	// MaxII caps II escalation (0: MII + 32).
 	MaxII int
 	// MaxAttemptsPerII bounds schedule/place rounds at one II (0: |V|/2+16).
@@ -69,7 +73,13 @@ func (s *Stats) Perf() float64 {
 // registers are the bottleneck, thin the schedule width, and only then
 // escalate II. The returned mapping's DFG may contain extra Route operations;
 // it always passes mapping.Validate.
-func Map(d *dfg.DFG, c *arch.CGRA, opts Options) (*mapping.Mapping, *Stats, error) {
+//
+// Cancelling ctx aborts the search within one schedule/place attempt: the
+// context is checked before every II escalation and before every attempt
+// within an II, so a deadline bounds compile time even on unmappable kernels
+// where MaxTotalAttempts would otherwise be the only backstop. The returned
+// error wraps ctx.Err() when the abort was context-driven.
+func Map(ctx context.Context, d *dfg.DFG, c *arch.CGRA, opts Options) (*mapping.Mapping, *Stats, error) {
 	start := time.Now()
 	if err := d.Validate(); err != nil {
 		return nil, nil, err
@@ -78,6 +88,10 @@ func Map(d *dfg.DFG, c *arch.CGRA, opts Options) (*mapping.Mapping, *Stats, erro
 	maxII := opts.MaxII
 	if maxII <= 0 {
 		maxII = stats.MII + 16
+	}
+	startII := stats.MII
+	if opts.MinII > startII {
+		startII = opts.MinII
 	}
 	maxAttempts := opts.MaxAttemptsPerII
 	if maxAttempts <= 0 {
@@ -88,12 +102,16 @@ func Map(d *dfg.DFG, c *arch.CGRA, opts Options) (*mapping.Mapping, *Stats, erro
 		totalBudget = 8*d.N() + 32
 	}
 
-	for ii := stats.MII; ii <= maxII && stats.Attempts < totalBudget; ii++ {
+	for ii := startII; ii <= maxII && stats.Attempts < totalBudget; ii++ {
+		if err := ctx.Err(); err != nil {
+			stats.Elapsed = time.Since(start)
+			return nil, stats, fmt.Errorf("core: mapping %s aborted: %w", d.Name, err)
+		}
 		budget := maxAttempts
 		if rest := totalBudget - stats.Attempts; rest < budget {
 			budget = rest
 		}
-		m := mapAtII(d, c, ii, budget, opts, stats)
+		m := mapAtII(ctx, d, c, ii, budget, opts, stats)
 		if m != nil {
 			stats.II = ii
 			stats.Elapsed = time.Since(start)
@@ -104,6 +122,9 @@ func Map(d *dfg.DFG, c *arch.CGRA, opts Options) (*mapping.Mapping, *Stats, erro
 		}
 	}
 	stats.Elapsed = time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return nil, stats, fmt.Errorf("core: mapping %s aborted: %w", d.Name, err)
+	}
 	return nil, stats, fmt.Errorf("core: no mapping for %s on %s up to II=%d", d.Name, c, maxII)
 }
 
@@ -125,8 +146,9 @@ type iiAttempt struct {
 	prevUnplaced []int
 }
 
-// mapAtII attempts to map at one fixed II, returning nil to escalate.
-func mapAtII(d *dfg.DFG, c *arch.CGRA, ii, maxAttempts int, opts Options, stats *Stats) *mapping.Mapping {
+// mapAtII attempts to map at one fixed II, returning nil to escalate. A
+// cancelled ctx ends the attempt loop early (the caller reports the abort).
+func mapAtII(ctx context.Context, d *dfg.DFG, c *arch.CGRA, ii, maxAttempts int, opts Options, stats *Stats) *mapping.Mapping {
 	a := &iiAttempt{
 		d: d, ds: d, c: c,
 		sc:           sched.New(d, c.NumPEs(), c.Rows),
@@ -139,6 +161,9 @@ func mapAtII(d *dfg.DFG, c *arch.CGRA, ii, maxAttempts int, opts Options, stats 
 	seen := map[string]bool{} // schedules already placed (and failed)
 
 	for attempt := 0; attempt < maxAttempts; attempt++ {
+		if ctx.Err() != nil {
+			return nil
+		}
 		stats.Attempts++
 		res := scheduleNext(a.sc, a.ds, ii, a.width, a.prefer, a.prevSchedule, a.prevUnplaced, a.width, seen)
 		if res == nil {

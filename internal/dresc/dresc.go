@@ -20,6 +20,7 @@
 package dresc
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -33,8 +34,12 @@ import (
 // Options configures the annealer. Zero values select the defaults used in
 // the experiments.
 type Options struct {
-	// Seed drives all stochastic decisions (0 is a valid seed).
+	// Seed drives all stochastic decisions (0 is a valid seed). There is no
+	// other randomness: two runs with equal options are identical.
 	Seed int64
+	// MinII raises the II the escalation starts from (0: MII). The portfolio
+	// runner pins MinII == MaxII to race seeds at one fixed II.
+	MinII int
 	// MaxII caps II escalation (0: MII + 8).
 	MaxII int
 	// MovesPerTemperature scales the Metropolis sweeps (0: 24|V|).
@@ -77,7 +82,11 @@ type Placement struct {
 
 // Map runs DRESC on the kernel. It returns the placement of the first II at
 // which annealing reaches zero overuse.
-func Map(d *dfg.DFG, c *arch.CGRA, opts Options) (*Placement, *Stats, error) {
+//
+// Cancelling ctx aborts the search at the next annealing-epoch (temperature)
+// boundary or II escalation, whichever comes first; the returned error wraps
+// ctx.Err() when the abort was context-driven.
+func Map(ctx context.Context, d *dfg.DFG, c *arch.CGRA, opts Options) (*Placement, *Stats, error) {
 	start := time.Now()
 	if err := d.Validate(); err != nil {
 		return nil, nil, err
@@ -87,9 +96,17 @@ func Map(d *dfg.DFG, c *arch.CGRA, opts Options) (*Placement, *Stats, error) {
 	if maxII <= 0 {
 		maxII = stats.MII + 8
 	}
+	startII := stats.MII
+	if opts.MinII > startII {
+		startII = opts.MinII
+	}
 	rng := rand.New(rand.NewSource(opts.Seed))
-	for ii := stats.MII; ii <= maxII; ii++ {
-		p := annealAtII(d, c, ii, opts, rng, stats)
+	for ii := startII; ii <= maxII; ii++ {
+		if err := ctx.Err(); err != nil {
+			stats.Elapsed = time.Since(start)
+			return nil, stats, fmt.Errorf("dresc: mapping %s aborted: %w", d.Name, err)
+		}
+		p := annealAtII(ctx, d, c, ii, opts, rng, stats)
 		if p != nil {
 			stats.II = ii
 			stats.Elapsed = time.Since(start)
@@ -100,6 +117,9 @@ func Map(d *dfg.DFG, c *arch.CGRA, opts Options) (*Placement, *Stats, error) {
 		}
 	}
 	stats.Elapsed = time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return nil, stats, fmt.Errorf("dresc: mapping %s aborted: %w", d.Name, err)
+	}
 	return nil, stats, fmt.Errorf("dresc: no mapping for %s on %s up to II=%d", d.Name, c, maxII)
 }
 
@@ -121,7 +141,7 @@ type state struct {
 	heapBuf           []heapItem
 }
 
-func annealAtII(d *dfg.DFG, c *arch.CGRA, ii int, opts Options, rng *rand.Rand, stats *Stats) *Placement {
+func annealAtII(ctx context.Context, d *dfg.DFG, c *arch.CGRA, ii int, opts Options, rng *rand.Rand, stats *Stats) *Placement {
 	// Initial modulo schedule (plain list schedule, no lifetime compaction —
 	// the published DRESC discovers time placements through its own
 	// annealing moves); placement starts random.
@@ -169,6 +189,9 @@ func annealAtII(d *dfg.DFG, c *arch.CGRA, ii int, opts Options, rng *rand.Rand, 
 	bestCost := s.totalCost()
 	stale := 0
 	for ; temp > minTemp; temp *= cooling {
+		if ctx.Err() != nil {
+			return nil // abort at the epoch boundary; Map reports the cause
+		}
 		for move := 0; move < movesPerT; move++ {
 			if s.totalCost() == 0 {
 				return s.placement()

@@ -1,6 +1,7 @@
 package dresc
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -20,7 +21,7 @@ func fig2DFG() *dfg.DFG {
 func TestMapFigure2(t *testing.T) {
 	d := fig2DFG()
 	c := arch.NewMesh(1, 2, 2)
-	p, stats, err := Map(d, c, Options{Seed: 1})
+	p, stats, err := Map(context.Background(), d, c, Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +48,7 @@ func TestMapRecurrence(t *testing.T) {
 	b.EdgeDist(r, p, 1, 1)
 	d := b.Build()
 	c := arch.NewMesh(4, 4, 4)
-	pl, stats, err := Map(d, c, Options{Seed: 7})
+	pl, stats, err := Map(context.Background(), d, c, Options{Seed: 7})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestMapAccumulator(t *testing.T) {
 	b.EdgeDist(acc, acc, 1, 1)
 	d := b.Build()
 	c := arch.NewMesh(2, 2, 2)
-	pl, _, err := Map(d, c, Options{Seed: 3})
+	pl, _, err := Map(context.Background(), d, c, Options{Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestMapMemoryKernel(t *testing.T) {
 	}
 	d := b.Build()
 	c := arch.NewMesh(2, 2, 2)
-	pl, stats, err := Map(d, c, Options{Seed: 5})
+	pl, stats, err := Map(context.Background(), d, c, Options{Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestMapMemoryKernel(t *testing.T) {
 
 func TestMapInvalidDFG(t *testing.T) {
 	bad := &dfg.DFG{Name: "bad", Nodes: []dfg.Node{{ID: 0, Name: "x", Kind: dfg.Add}}}
-	if _, _, err := Map(bad, arch.NewMesh(2, 2, 2), Options{}); err == nil {
+	if _, _, err := Map(context.Background(), bad, arch.NewMesh(2, 2, 2), Options{}); err == nil {
 		t.Fatal("accepted invalid DFG")
 	}
 }
@@ -112,7 +113,7 @@ func TestMapImpossible(t *testing.T) {
 	c := arch.NewMesh(1, 2, 2)
 	c.RestrictPE(0, dfg.Add)
 	c.RestrictPE(1, dfg.Add)
-	if _, _, err := Map(d, c, Options{MaxII: 3, Seed: 1}); err == nil {
+	if _, _, err := Map(context.Background(), d, c, Options{MaxII: 3, Seed: 1}); err == nil {
 		t.Fatal("mapped kernel with unsupported op")
 	}
 }
@@ -120,8 +121,8 @@ func TestMapImpossible(t *testing.T) {
 func TestDeterministicForSeed(t *testing.T) {
 	d := fig2DFG()
 	c := arch.NewMesh(2, 2, 2)
-	_, s1, err1 := Map(d, c, Options{Seed: 42})
-	_, s2, err2 := Map(d, c, Options{Seed: 42})
+	_, s1, err1 := Map(context.Background(), d, c, Options{Seed: 42})
+	_, s2, err2 := Map(context.Background(), d, c, Options{Seed: 42})
 	if (err1 == nil) != (err2 == nil) {
 		t.Fatal("outcome not deterministic")
 	}
@@ -154,7 +155,7 @@ func TestRandomKernelsVerify(t *testing.T) {
 		}
 		d := b.Build()
 		c := arch.NewMesh(2, 2, 4)
-		pl, _, err := Map(d, c, Options{Seed: int64(trial)})
+		pl, _, err := Map(context.Background(), d, c, Options{Seed: int64(trial)})
 		if err != nil {
 			continue
 		}
@@ -185,7 +186,7 @@ func TestVerifyRejectsTampering(t *testing.T) {
 	d := fig2DFG()
 	c := arch.NewMesh(2, 2, 2)
 	fresh := func() *Placement {
-		p, _, err := Map(d, c, Options{Seed: 2})
+		p, _, err := Map(context.Background(), d, c, Options{Seed: 2})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -231,7 +232,7 @@ func TestPlateauAbortStillMaps(t *testing.T) {
 	b.Op(dfg.Add, "v", w, z)
 	d := b.Build()
 	c := arch.NewMesh(1, 2, 0)
-	p, stats, err := Map(d, c, Options{Seed: 4})
+	p, stats, err := Map(context.Background(), d, c, Options{Seed: 4})
 	if err != nil {
 		t.Skipf("tight kernel unmappable with this seed: %v", err)
 	}

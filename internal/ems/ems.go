@@ -11,6 +11,7 @@
 package ems
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -45,7 +46,10 @@ func (s *Stats) Perf() float64 {
 
 // Map greedily maps the kernel, escalating II on any placement failure. The
 // returned mapping's DFG may contain extra Route operations.
-func Map(d *dfg.DFG, c *arch.CGRA, opts Options) (*mapping.Mapping, *Stats, error) {
+//
+// Cancelling ctx aborts the search at the next II-escalation boundary; the
+// returned error wraps ctx.Err() when the abort was context-driven.
+func Map(ctx context.Context, d *dfg.DFG, c *arch.CGRA, opts Options) (*mapping.Mapping, *Stats, error) {
 	start := time.Now()
 	if err := d.Validate(); err != nil {
 		return nil, nil, err
@@ -56,6 +60,10 @@ func Map(d *dfg.DFG, c *arch.CGRA, opts Options) (*mapping.Mapping, *Stats, erro
 		maxII = stats.MII + 16
 	}
 	for ii := stats.MII; ii <= maxII; ii++ {
+		if err := ctx.Err(); err != nil {
+			stats.Elapsed = time.Since(start)
+			return nil, stats, fmt.Errorf("ems: mapping %s aborted: %w", d.Name, err)
+		}
 		if m := placeAtII(d, c, ii, stats); m != nil {
 			stats.II = ii
 			stats.Elapsed = time.Since(start)
@@ -66,6 +74,9 @@ func Map(d *dfg.DFG, c *arch.CGRA, opts Options) (*mapping.Mapping, *Stats, erro
 		}
 	}
 	stats.Elapsed = time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return nil, stats, fmt.Errorf("ems: mapping %s aborted: %w", d.Name, err)
+	}
 	return nil, stats, fmt.Errorf("ems: no mapping for %s on %s up to II=%d", d.Name, c, maxII)
 }
 

@@ -1,6 +1,7 @@
 package ems
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -21,7 +22,7 @@ func fig2DFG() *dfg.DFG {
 func TestMapFigure2(t *testing.T) {
 	d := fig2DFG()
 	c := arch.NewMesh(1, 2, 2)
-	m, stats, err := Map(d, c, Options{})
+	m, stats, err := Map(context.Background(), d, c, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func TestMapRecurrence(t *testing.T) {
 	b.EdgeDist(r, p, 1, 1)
 	d := b.Build()
 	c := arch.NewMesh(4, 4, 4)
-	m, stats, err := Map(d, c, Options{})
+	m, stats, err := Map(context.Background(), d, c, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestMapAccumulator(t *testing.T) {
 	acc := b.Op(dfg.Add, "acc", x)
 	b.EdgeDist(acc, acc, 1, 1)
 	d := b.Build()
-	m, _, err := Map(d, arch.NewMesh(2, 2, 2), Options{})
+	m, _, err := Map(context.Background(), d, arch.NewMesh(2, 2, 2), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,14 +81,14 @@ func TestMapImpossible(t *testing.T) {
 	c := arch.NewMesh(1, 2, 2)
 	c.RestrictPE(0, dfg.Add)
 	c.RestrictPE(1, dfg.Add)
-	if _, _, err := Map(d, c, Options{MaxII: 3}); err == nil {
+	if _, _, err := Map(context.Background(), d, c, Options{MaxII: 3}); err == nil {
 		t.Fatal("mapped kernel with unsupported op")
 	}
 }
 
 func TestMapInvalidDFG(t *testing.T) {
 	bad := &dfg.DFG{Name: "bad", Nodes: []dfg.Node{{ID: 0, Name: "x", Kind: dfg.Add}}}
-	if _, _, err := Map(bad, arch.NewMesh(2, 2, 2), Options{}); err == nil {
+	if _, _, err := Map(context.Background(), bad, arch.NewMesh(2, 2, 2), Options{}); err == nil {
 		t.Fatal("accepted invalid DFG")
 	}
 }
@@ -117,7 +118,7 @@ func TestRandomKernels(t *testing.T) {
 		}
 		d := b.Build()
 		c := arch.NewMesh(4, 4, 4)
-		m, _, err := Map(d, c, Options{})
+		m, _, err := Map(context.Background(), d, c, Options{})
 		if err != nil {
 			continue
 		}

@@ -11,9 +11,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"regimap/internal/arch"
@@ -21,6 +24,7 @@ import (
 	"regimap/internal/dresc"
 	"regimap/internal/ems"
 	"regimap/internal/kernels"
+	"regimap/internal/portfolio"
 )
 
 // Mapper selects one of the three mappers under comparison.
@@ -41,6 +45,68 @@ type Config struct {
 	// Quick shrinks the DRESC annealing budget so smoke tests finish fast;
 	// benchmarks and the experiments binary use the full budget.
 	Quick bool
+	// Workers bounds how many kernels the suite drivers (Figure 6, the
+	// sweeps, the ablation, the register study) map concurrently (<=1:
+	// serial). Results are deterministic regardless of Workers — every row
+	// is collected by kernel index, never by completion order — but the
+	// per-row CompileTime fields measure wall-clock under contention, so
+	// single-kernel timing comparisons should use Workers <= 1.
+	Workers int
+	// Timeout caps each individual mapper run (0: unbounded), enforced via
+	// the mappers' context support; a timed-out run reports OK=false.
+	Timeout time.Duration
+	// Portfolio races this many diversified REGIMap attempts per II through
+	// internal/portfolio (<=1: plain core.Map). The deterministic tiebreak
+	// keeps rows reproducible for any value.
+	Portfolio int
+}
+
+// runCtx returns the context one mapper run executes under.
+func (c Config) runCtx() (context.Context, context.CancelFunc) {
+	if c.Timeout > 0 {
+		return context.WithTimeout(context.Background(), c.Timeout)
+	}
+	return context.Background(), func() {}
+}
+
+// workerCount normalizes the Workers knob.
+func (c Config) workerCount() int {
+	if c.Workers <= 1 {
+		return 1
+	}
+	return c.Workers
+}
+
+// runIndexed evaluates fn(0..n-1) with up to workers goroutines and returns
+// the results in index order, so parallel suite execution is deterministic.
+func runIndexed[T any](workers, n int, fn func(int) T) []T {
+	out := make([]T, n)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := range out {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
 }
 
 // Paper4x4 is the evaluation's default array: 4x4 mesh, 4 registers per PE.
@@ -91,23 +157,34 @@ func RunLoop(k kernels.Kernel, mapper Mapper, cfg Config) LoopRow {
 		Ops:    d.N(),
 		Mapper: mapper,
 	}
+	ctx, cancel := cfg.runCtx()
+	defer cancel()
 	switch mapper {
 	case REGIMap:
-		m, stats, err := core.Map(d, c, core.Options{})
+		if cfg.Portfolio > 1 {
+			m, stats, err := portfolio.Map(ctx, d, c, portfolio.Options{Attempts: cfg.Portfolio, Seed: cfg.Seed})
+			row.MII, row.CompileTime = stats.MII, stats.Elapsed
+			if err == nil {
+				row.II, row.Perf, row.OK = stats.II, stats.Perf(), true
+				row.IPC = m.IPC()
+			}
+			break
+		}
+		m, stats, err := core.Map(ctx, d, c, core.Options{})
 		row.MII, row.CompileTime = stats.MII, stats.Elapsed
 		if err == nil {
 			row.II, row.Perf, row.OK = stats.II, stats.Perf(), true
 			row.IPC = m.IPC()
 		}
 	case DRESC:
-		p, stats, err := dresc.Map(d, c, cfg.drescOptions())
+		p, stats, err := dresc.Map(ctx, d, c, cfg.drescOptions())
 		row.MII, row.CompileTime = stats.MII, stats.Elapsed
 		if err == nil {
 			row.II, row.Perf, row.OK = stats.II, stats.Perf(), true
 			row.IPC = float64(p.D.N()) / float64(stats.II)
 		}
 	case EMS:
-		m, stats, err := ems.Map(d, c, ems.Options{})
+		m, stats, err := ems.Map(ctx, d, c, ems.Options{})
 		row.MII, row.CompileTime = stats.MII, stats.Elapsed
 		if err == nil {
 			row.II, row.Perf, row.OK = stats.II, stats.Perf(), true

@@ -173,6 +173,60 @@ func TestSweepHelpers(t *testing.T) {
 	}
 }
 
+func TestRunIndexed(t *testing.T) {
+	square := func(i int) int { return i * i }
+	for _, workers := range []int{1, 3, 8, 100} {
+		got := runIndexed(workers, 10, square)
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d (order must be preserved)", workers, i, v, i*i)
+			}
+		}
+	}
+	if got := runIndexed(4, 0, square); len(got) != 0 {
+		t.Errorf("runIndexed with n=0 returned %v", got)
+	}
+}
+
+// TestWorkersDeterministic pins the Workers contract: the concurrency knob
+// changes wall-clock only, never results.
+func TestWorkersDeterministic(t *testing.T) {
+	serial, parallel := quickCfg(4), quickCfg(4)
+	serial.Workers = 1
+	parallel.Workers = 8
+	a := sweepPoint(serial, REGIMap, kernels.RecBounded)
+	b := sweepPoint(parallel, REGIMap, kernels.RecBounded)
+	if a.MeanPerf != b.MeanPerf || a.Mapped != b.Mapped || a.Total != b.Total {
+		t.Errorf("Workers changed results: serial %+v vs parallel %+v", a, b)
+	}
+}
+
+// TestTimeoutBoundsRunLoop: an already-expired deadline must turn into a
+// failed row, not a hang or a panic.
+func TestTimeoutBoundsRunLoop(t *testing.T) {
+	cfg := quickCfg(4)
+	cfg.Timeout = time.Nanosecond
+	k, _ := kernels.ByName("sphinx_dot")
+	for _, mapper := range []Mapper{REGIMap, DRESC, EMS} {
+		if row := RunLoop(k, mapper, cfg); row.OK {
+			t.Errorf("%s mapped despite an expired deadline", mapper)
+		}
+	}
+}
+
+// TestPortfolioConfigMatchesSingle: routing RunLoop through the portfolio
+// runner must reproduce the single-attempt result.
+func TestPortfolioConfigMatchesSingle(t *testing.T) {
+	k, _ := kernels.ByName("sphinx_dot")
+	one := RunLoop(k, REGIMap, quickCfg(4))
+	cfg := quickCfg(4)
+	cfg.Portfolio = 4
+	four := RunLoop(k, REGIMap, cfg)
+	if one.II != four.II || one.MII != four.MII || one.OK != four.OK {
+		t.Errorf("portfolio=4 row %+v diverges from single-attempt row %+v", four, one)
+	}
+}
+
 func TestStatHelpers(t *testing.T) {
 	if got := mean(nil); got != 0 {
 		t.Error("mean(nil) != 0")

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -37,7 +38,7 @@ func fig2Kernel() *dfg.DFG {
 // Figure2 regenerates the worked example.
 func Figure2() (Figure2Result, error) {
 	var r Figure2Result
-	withRegs, stats, err := core.Map(fig2Kernel(), arch.NewMesh(1, 2, 2), core.Options{})
+	withRegs, stats, err := core.Map(context.Background(), fig2Kernel(), arch.NewMesh(1, 2, 2), core.Options{})
 	if err != nil {
 		return r, fmt.Errorf("experiments: figure 2 with registers: %w", err)
 	}
@@ -46,7 +47,7 @@ func Figure2() (Figure2Result, error) {
 		return r, fmt.Errorf("experiments: figure 2 simulation: %w", err)
 	}
 	r.SimulatedOK = true
-	_, statsNoRegs, err := core.Map(fig2Kernel(), arch.NewMesh(1, 2, 0), core.Options{})
+	_, statsNoRegs, err := core.Map(context.Background(), fig2Kernel(), arch.NewMesh(1, 2, 0), core.Options{})
 	if err != nil {
 		return r, fmt.Errorf("experiments: figure 2 without registers: %w", err)
 	}
@@ -119,18 +120,26 @@ type Figure6Result struct {
 	RatioRes, RatioRec float64
 }
 
-// Figure6 maps every kernel with every mapper.
+// Figure6 maps every kernel with every mapper. Kernels run concurrently
+// under cfg.Workers; rows and ratios are aggregated in kernel order so the
+// result is identical at any worker count.
 func Figure6(cfg Config) Figure6Result {
 	r := Figure6Result{Config: cfg}
+	ks := suite(cfg, nil)
+	type trio struct{ reg, dr, em LoopRow }
+	trios := runIndexed(cfg.workerCount(), len(ks), func(i int) trio {
+		return trio{
+			reg: RunLoop(ks[i], REGIMap, cfg),
+			dr:  RunLoop(ks[i], DRESC, cfg),
+			em:  RunLoop(ks[i], EMS, cfg),
+		}
+	})
 	var ratioRes, ratioRec []float64
-	for _, k := range suite(cfg, nil) {
-		reg := RunLoop(k, REGIMap, cfg)
-		dr := RunLoop(k, DRESC, cfg)
-		em := RunLoop(k, EMS, cfg)
-		r.Rows = append(r.Rows, reg, dr, em)
-		if reg.OK && dr.OK {
-			ratio := reg.Perf / dr.Perf
-			if reg.Group == kernels.ResBounded {
+	for _, tr := range trios {
+		r.Rows = append(r.Rows, tr.reg, tr.dr, tr.em)
+		if tr.reg.OK && tr.dr.OK {
+			ratio := tr.reg.Perf / tr.dr.Perf
+			if tr.reg.Group == kernels.ResBounded {
 				ratioRes = append(ratioRes, ratio)
 			} else {
 				ratioRec = append(ratioRec, ratio)
@@ -203,9 +212,12 @@ func Figure7(base Config) Figure7Result {
 
 func sweepPoint(cfg Config, mapper Mapper, group kernels.Boundedness) SweepPoint {
 	pt := SweepPoint{Config: cfg, Mapper: mapper, Group: group}
+	ks := suite(cfg, groupPtr(group))
+	rows := runIndexed(cfg.workerCount(), len(ks), func(i int) LoopRow {
+		return RunLoop(ks[i], mapper, cfg)
+	})
 	var perfs []float64
-	for _, k := range suite(cfg, groupPtr(group)) {
-		row := RunLoop(k, mapper, cfg)
+	for _, row := range rows {
 		pt.Total++
 		pt.TotalTime += row.CompileTime
 		if row.OK {
@@ -302,31 +314,46 @@ type AblationResult struct {
 }
 
 // RescheduleAblation runs REGIMap with and without rescheduling on every
-// kernel.
+// kernel, concurrently under cfg.Workers.
 func RescheduleAblation(cfg Config) AblationResult {
 	r := AblationResult{Config: cfg}
 	c := cfg.CGRA()
-	for _, k := range kernels.All() {
-		d := k.Build()
-		group := kernels.Classify(d, c.NumPEs(), c.Rows)
-		_, full, errFull := core.Map(d, cfg.CGRA(), core.Options{})
-		_, ablated, errAbl := core.Map(d, cfg.CGRA(), core.Options{
+	ks := kernels.All()
+	type verdict struct {
+		group  kernels.Boundedness
+		mapped bool
+		worse  bool
+	}
+	verdicts := runIndexed(cfg.workerCount(), len(ks), func(i int) verdict {
+		d := ks[i].Build()
+		v := verdict{group: kernels.Classify(d, c.NumPEs(), c.Rows)}
+		ctx, cancel := cfg.runCtx()
+		defer cancel()
+		_, full, errFull := core.Map(ctx, d, cfg.CGRA(), core.Options{})
+		if errFull != nil {
+			return v // only count loops the full mapper handles
+		}
+		v.mapped = true
+		_, ablated, errAbl := core.Map(ctx, d, cfg.CGRA(), core.Options{
 			DisableReschedule:     true,
 			DisableRouteInsertion: true,
 			DisableThinning:       true,
 		})
-		if errFull != nil {
-			continue // only count loops the full mapper handles
+		v.worse = errAbl != nil || ablated.II > full.II
+		return v
+	})
+	for _, v := range verdicts {
+		if !v.mapped {
+			continue
 		}
-		worse := errAbl != nil || ablated.II > full.II
-		if group == kernels.ResBounded {
+		if v.group == kernels.ResBounded {
 			r.TotalRes++
-			if worse {
+			if v.worse {
 				r.WorseRes++
 			}
 		} else {
 			r.TotalRec++
-			if worse {
+			if v.worse {
 				r.WorseRec++
 			}
 		}
@@ -361,12 +388,16 @@ type PowerResult struct {
 	Estimate power.Estimate
 }
 
-// PowerEfficiency measures REGIMap's mean IPC on the res-bounded group and
-// applies the paper's closed-form estimate.
+// PowerEfficiency measures REGIMap's mean IPC on the res-bounded group
+// (kernels mapped concurrently under cfg.Workers) and applies the paper's
+// closed-form estimate.
 func PowerEfficiency(cfg Config) PowerResult {
+	ks := suite(cfg, groupPtr(kernels.ResBounded))
+	rows := runIndexed(cfg.workerCount(), len(ks), func(i int) LoopRow {
+		return RunLoop(ks[i], REGIMap, cfg)
+	})
 	var ipcs []float64
-	for _, k := range suite(cfg, groupPtr(kernels.ResBounded)) {
-		row := RunLoop(k, REGIMap, cfg)
+	for _, row := range rows {
 		if row.OK {
 			ipcs = append(ipcs, row.IPC)
 		}

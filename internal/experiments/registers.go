@@ -8,6 +8,31 @@ import (
 	"regimap/internal/kernels"
 )
 
+// registerBenefitKernel is one kernel's double mapping (with and without
+// register files), run independently so the suite parallelizes cleanly.
+func registerBenefitKernel(cfg, noRegs Config, k kernels.Kernel) RegisterBenefitRow {
+	d := k.Build()
+	c := cfg.CGRA()
+	row := RegisterBenefitRow{
+		Kernel: k.Name,
+		Group:  kernels.Classify(d, c.NumPEs(), c.Rows),
+	}
+	ctx, cancel := cfg.runCtx()
+	defer cancel()
+	_, with, errWith := core.Map(ctx, d, c, core.Options{})
+	row.MII = with.MII
+	if errWith != nil {
+		return row
+	}
+	row.IIWith = with.II
+	_, without, errWithout := core.Map(ctx, k.Build(), noRegs.CGRA(), core.Options{})
+	if errWithout == nil {
+		row.IIWithout = without.II
+		row.Speedup = float64(without.II) / float64(with.II)
+	}
+	return row
+}
+
 // RegisterBenefitRow compares one kernel mapped with and without local
 // register files.
 type RegisterBenefitRow struct {
@@ -31,36 +56,27 @@ type RegisterBenefitResult struct {
 }
 
 // RegisterBenefit maps every kernel twice: on the configured array and on
-// the same array with the register files removed.
+// the same array with the register files removed. Kernels run concurrently
+// under cfg.Workers; aggregation follows kernel order.
 func RegisterBenefit(cfg Config) RegisterBenefitResult {
 	r := RegisterBenefitResult{Config: cfg}
 	noRegs := cfg
 	noRegs.Regs = 0
+	ks := suite(cfg, nil)
+	r.Rows = runIndexed(cfg.workerCount(), len(ks), func(i int) RegisterBenefitRow {
+		return registerBenefitKernel(cfg, noRegs, ks[i])
+	})
 	var speedups []float64
-	for _, k := range suite(cfg, nil) {
-		d := k.Build()
-		c := cfg.CGRA()
-		row := RegisterBenefitRow{
-			Kernel: k.Name,
-			Group:  kernels.Classify(d, c.NumPEs(), c.Rows),
-		}
-		_, with, errWith := core.Map(d, c, core.Options{})
-		row.MII = with.MII
-		if errWith != nil {
-			r.Rows = append(r.Rows, row)
+	for _, row := range r.Rows {
+		if row.IIWith == 0 {
 			continue
 		}
 		r.TotalMapped++
-		row.IIWith = with.II
-		_, without, errWithout := core.Map(k.Build(), noRegs.CGRA(), core.Options{})
-		if errWithout != nil {
+		if row.IIWithout == 0 {
 			r.FailWithout++
 		} else {
-			row.IIWithout = without.II
-			row.Speedup = float64(without.II) / float64(with.II)
 			speedups = append(speedups, row.Speedup)
 		}
-		r.Rows = append(r.Rows, row)
 	}
 	r.MeanSpeedup = geomean(speedups)
 	return r

@@ -1,6 +1,7 @@
 package loopir
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -283,7 +284,7 @@ func TestCompiledKernelsMapAndExecute(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		m, stats, err := core.Map(d, c, core.Options{})
+		m, stats, err := core.Map(context.Background(), d, c, core.Options{})
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}

@@ -1,0 +1,358 @@
+// Package portfolio races diversified mapping attempts in parallel — the
+// multi-start strategy exact and heuristic CGRA mappers use to buy back
+// compile latency without changing result quality (cf. SAT-MapIt's portfolio
+// solving). REGIMap's per-II search is deterministic, so the axis that
+// parallelizes without touching results is the II escalation itself: a
+// K-wide portfolio speculates on a window of K consecutive IIs, running the
+// caller's unmodified options at each, and returns the lowest II that maps —
+// exactly the II (and, the search being deterministic, exactly the mapping)
+// a single sequential escalation would have reached. Parallelism buys
+// wall-clock on escalation-heavy kernels; it never changes the answer.
+//
+// Determinism is a hard contract: the winner is the racer with the lowest
+// II, ties broken in favor of the un-perturbed base search. Losers are
+// cancelled as soon as they can no longer win: when racer i succeeds, every
+// racer with a higher index (a worse II, or a scout at the same II) is
+// cancelled immediately, and the race resolves once every lower index has
+// finished.
+//
+// Options.Explore adds the second, quality-seeking axis: at every raced II,
+// E extra scouts run budget-widened variants of the base search (see
+// Variant). A scout can unlock an II the base budget misses, so exploring
+// portfolios may beat — never trail — the base escalation; they remain
+// reproducible run-to-run for a fixed (Attempts, Explore, Seed) but are no
+// longer invariant in K. Explore is off by default, which is what keeps
+// `-portfolio 1` and `-portfolio K` byte-identical.
+package portfolio
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"regimap/internal/arch"
+	"regimap/internal/core"
+	"regimap/internal/dfg"
+	"regimap/internal/dresc"
+	"regimap/internal/mapping"
+)
+
+// Options configures a REGIMap portfolio.
+type Options struct {
+	// Attempts is K, the width of the speculative II window: the portfolio
+	// races the base search at K consecutive IIs at a time (<=1: a single
+	// attempt per II, equivalent to core.Map run one II at a time). Any K
+	// returns the same mapping — wider only lowers wall-clock.
+	Attempts int
+	// Explore adds this many budget-widened scout searches at every raced II
+	// (0: none). Scouts can unlock IIs the base budget misses, so exploring
+	// portfolios may improve the II at the cost of K-invariance; results stay
+	// reproducible for a fixed (Attempts, Explore, Seed).
+	Explore int
+	// Seed rotates which widening lands on which scout index, so distinct
+	// seeds explore distinct diversification mixes. Unused when Explore is 0.
+	// Deterministic for a fixed value (0 is a valid seed).
+	Seed int64
+	// Base configures the canonical search raced at every II and is the
+	// template scouts perturb. Base.MinII is ignored — the portfolio owns II
+	// escalation.
+	Base core.Options
+}
+
+// Stats reports how a portfolio run went.
+type Stats struct {
+	MII int
+	II  int // achieved II (0 when mapping failed)
+	// Winner indexes the winning racer within its II window: II offset times
+	// (1+Explore) plus the scout slot, so 0 is the base search at the
+	// window's lowest II. -1 on failure.
+	Winner    int
+	Attempts  int // schedule/place rounds summed over every racer that reported back
+	Races     int // IIs raced, including speculated ones a serial escalation would skip
+	Cancelled int // racer runs cancelled after the winner was decided
+	Elapsed   time.Duration
+}
+
+// Perf returns the paper's performance metric MII/II (0 on failure).
+func (s *Stats) Perf() float64 {
+	if s.II == 0 {
+		return 0
+	}
+	return float64(s.MII) / float64(s.II)
+}
+
+// Map races the base REGIMap search over a K-wide speculative II window —
+// plus Explore budget-widened scouts per II — and returns the deterministic
+// winner (see the package comment for the tiebreak contract). Cancelling ctx
+// aborts every racer within one schedule/place attempt.
+func Map(ctx context.Context, d *dfg.DFG, c *arch.CGRA, opts Options) (*mapping.Mapping, *Stats, error) {
+	start := time.Now()
+	if err := d.Validate(); err != nil {
+		return nil, nil, err
+	}
+	w := opts.Attempts
+	if w < 1 {
+		w = 1
+	}
+	e := opts.Explore
+	if e < 0 {
+		e = 0
+	}
+	perII := 1 + e // base racer plus scouts, per II of the window
+	stats := &Stats{MII: d.MII(c.NumPEs(), c.Rows), Winner: -1}
+	maxII := opts.Base.MaxII
+	if maxII <= 0 {
+		maxII = stats.MII + 16 // mirror core.Map's default ceiling
+	}
+	scouts := make([]core.Options, e)
+	for s := range scouts {
+		scouts[s] = Variant(opts.Base, s+1, opts.Seed)
+	}
+	for lo := stats.MII; lo <= maxII; lo += w {
+		if err := ctx.Err(); err != nil {
+			stats.Elapsed = time.Since(start)
+			return nil, stats, fmt.Errorf("portfolio: mapping %s aborted: %w", d.Name, err)
+		}
+		width := w
+		if lo+width-1 > maxII {
+			width = maxII - lo + 1
+		}
+		stats.Races += width
+		// Racer index r maps to II lo + r/perII, slot r%perII (slot 0: the
+		// base search). Lower index therefore means lower II, base before
+		// scouts — exactly race's preference order.
+		m, winner := race(ctx, width*perII, stats, func(actx context.Context, r int) (*mapping.Mapping, int) {
+			o := opts.Base
+			if s := r % perII; s > 0 {
+				o = scouts[s-1]
+			}
+			o.MinII, o.MaxII = lo+r/perII, lo+r/perII
+			res, st, err := core.Map(actx, d, c, o)
+			rounds := 0
+			if st != nil {
+				rounds = st.Attempts
+			}
+			if err != nil {
+				return nil, rounds
+			}
+			return res, rounds
+		})
+		if m != nil {
+			stats.II = lo + winner/perII
+			stats.Winner = winner
+			stats.Elapsed = time.Since(start)
+			return m, stats, nil
+		}
+	}
+	stats.Elapsed = time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return nil, stats, fmt.Errorf("portfolio: mapping %s aborted: %w", d.Name, err)
+	}
+	return nil, stats, fmt.Errorf("portfolio: no mapping for %s on %s up to II=%d (window %d, %d scouts/II)", d.Name, c, maxII, w, e)
+}
+
+// DRESCOptions configures a DRESC portfolio: K annealing runs differing only
+// in their RNG seed race at each II.
+type DRESCOptions struct {
+	// Attempts is K (<=1: a single run).
+	Attempts int
+	// Base configures attempt 0; attempt i anneals with Seed Base.Seed+i.
+	// Base.MinII is ignored — the portfolio owns II escalation.
+	Base dresc.Options
+}
+
+// MapDRESC races K seed-diversified DRESC annealing runs per II with the same
+// deterministic lowest-index tiebreak as Map. Annealing quality depends on
+// the seed, so — like Map's Explore mode — a wider DRESC portfolio can reach
+// an II a single run misses; results are reproducible for a fixed
+// (Attempts, Base.Seed) but not invariant in K.
+func MapDRESC(ctx context.Context, d *dfg.DFG, c *arch.CGRA, opts DRESCOptions) (*dresc.Placement, *Stats, error) {
+	start := time.Now()
+	if err := d.Validate(); err != nil {
+		return nil, nil, err
+	}
+	k := opts.Attempts
+	if k <= 1 {
+		k = 1
+	}
+	stats := &Stats{MII: d.MII(c.NumPEs(), c.Rows), Winner: -1}
+	maxII := opts.Base.MaxII
+	if maxII <= 0 {
+		maxII = stats.MII + 8 // mirror dresc.Map's default ceiling
+	}
+	for ii := stats.MII; ii <= maxII; ii++ {
+		if err := ctx.Err(); err != nil {
+			stats.Elapsed = time.Since(start)
+			return nil, stats, fmt.Errorf("portfolio: mapping %s aborted: %w", d.Name, err)
+		}
+		stats.Races++
+		p, winner := race(ctx, k, stats, func(actx context.Context, attempt int) (*dresc.Placement, int) {
+			o := opts.Base
+			o.Seed += int64(attempt)
+			o.MinII, o.MaxII = ii, ii
+			res, st, err := dresc.Map(actx, d, c, o)
+			moves := 0
+			if st != nil {
+				moves = st.Moves
+			}
+			if err != nil {
+				return nil, moves
+			}
+			return res, moves
+		})
+		if p != nil {
+			stats.II = ii
+			stats.Winner = winner
+			stats.Elapsed = time.Since(start)
+			return p, stats, nil
+		}
+	}
+	stats.Elapsed = time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return nil, stats, fmt.Errorf("portfolio: mapping %s aborted: %w", d.Name, err)
+	}
+	return nil, stats, fmt.Errorf("portfolio: no DRESC mapping for %s on %s up to II=%d (%d attempts/II)", d.Name, c, maxII, k)
+}
+
+// race runs k racers concurrently and resolves the deterministic winner: the
+// lowest racer index that succeeded. Callers order indices by preference
+// (lower II first, base search before scouts). When racer i succeeds, racers
+// with higher indices are cancelled at once (they cannot win); the race
+// returns as soon as every index below the best success has resolved,
+// cancelling whatever else is still running. It returns the zero value when
+// no racer succeeds. Every racer goroutine has exited by the time race
+// returns, so callers never leak work past a window.
+func race[T any](ctx context.Context, k int, stats *Stats, run func(ctx context.Context, attempt int) (T, int)) (T, int) {
+	var zero T
+	if k == 1 {
+		res, rounds := run(ctx, 0)
+		stats.Attempts += rounds
+		if isNil(res) {
+			return zero, -1
+		}
+		return res, 0
+	}
+	type outcome struct {
+		index  int
+		result T
+		ok     bool
+		rounds int
+	}
+	results := make(chan outcome, k)
+	cancels := make([]context.CancelFunc, k)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		actx, cancel := context.WithCancel(ctx)
+		cancels[i] = cancel
+		wg.Add(1)
+		go func(i int, actx context.Context) {
+			defer wg.Done()
+			res, rounds := run(actx, i)
+			results <- outcome{index: i, result: res, ok: !isNil(res), rounds: rounds}
+		}(i, actx)
+	}
+
+	done := make([]bool, k)
+	success := make([]T, k)
+	cancelled := make([]bool, k)
+	best := k
+	winner := -1
+	var won T
+	for remaining := k; remaining > 0; remaining-- {
+		o := <-results
+		done[o.index] = true
+		stats.Attempts += o.rounds
+		if o.ok && o.index < best {
+			best = o.index
+			success[o.index] = o.result
+			for j := best + 1; j < k; j++ {
+				if !done[j] && !cancelled[j] {
+					cancelled[j] = true
+					stats.Cancelled++
+					cancels[j]()
+				}
+			}
+		}
+		if best < k {
+			decided := true
+			for j := 0; j < best; j++ {
+				if !done[j] {
+					decided = false
+					break
+				}
+			}
+			if decided {
+				won, winner = success[best], best
+				break
+			}
+		}
+	}
+	for _, cancel := range cancels {
+		cancel()
+	}
+	wg.Wait() // results is buffered k-deep, so racers always finish their send
+	if winner < 0 {
+		return zero, -1
+	}
+	return won, winner
+}
+
+// isNil reports whether a result of pointer type is nil (race's success
+// test; T is always a pointer in this package).
+func isNil[T any](v T) bool {
+	switch x := any(v).(type) {
+	case *mapping.Mapping:
+		return x == nil
+	case *dresc.Placement:
+		return x == nil
+	default:
+		return false
+	}
+}
+
+// Variant derives scout s's mapper configuration for Explore mode. Scout 0
+// is always the unmodified base — the determinism contract depends on it.
+// Higher scouts widen the clique engine's search budgets (more greedy seeds,
+// more intersection re-seedings, more promote-and-retry rounds), each a
+// different mix, so a scout can place a configuration the base budget gives
+// up on and unlock a lower II. Widened budgets also feed learn-from-failure
+// different partial cliques, so scouts reschedule along genuinely different
+// paths rather than replaying the base search slower. Seed rotates the table
+// so different portfolio seeds assign different widenings to the same index.
+func Variant(base core.Options, scout int, seed int64) core.Options {
+	if scout <= 0 {
+		return base
+	}
+	o := base
+	step := 1 + (scout-1)/4 // widen further as the scout pool grows
+	offset := int(uint64(seed) % 4)
+	switch (scout - 1 + offset) % 4 {
+	case 0: // wider greedy seeding: more clique starting points
+		o.Clique.MaxSeeds = defaulted(base.Clique.MaxSeeds, 16) + 8*step
+	case 1: // narrower seeding, deeper intersection re-seeding
+		o.Clique.MaxSeeds = maxInt(4, defaulted(base.Clique.MaxSeeds, 16)/2)
+		o.Clique.MaxIntersections = defaulted(base.Clique.MaxIntersections, 32) * (1 + step)
+	case 2: // more promote-and-retry rounds in the grouped constructive pass
+		o.Clique.GroupRounds = defaulted(base.Clique.GroupRounds, 6) + 2*step
+	case 3: // widen every clique budget at once: the brute-force scout
+		o.Clique.MaxSeeds = defaulted(base.Clique.MaxSeeds, 16) + 4*step
+		o.Clique.MaxIntersections = defaulted(base.Clique.MaxIntersections, 32) + 16*step
+		o.Clique.GroupRounds = defaulted(base.Clique.GroupRounds, 6) + step
+	}
+	return o
+}
+
+func defaulted(v, def int) int {
+	if v <= 0 {
+		return def
+	}
+	return v
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

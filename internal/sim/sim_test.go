@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"math/rand"
 	"strings"
 	"testing"
@@ -202,7 +203,7 @@ func TestMappedKernelsSimulateCorrectly(t *testing.T) {
 			arch.NewMesh(4, 4, 2),
 		}
 		c := arrays[rng.Intn(len(arrays))]
-		m, _, err := core.Map(d, c, core.Options{})
+		m, _, err := core.Map(context.Background(), d, c, core.Options{})
 		if err != nil {
 			return true // not mapping is acceptable; mis-executing is not
 		}
@@ -220,7 +221,7 @@ func TestRFOccupancyWithinStaticPressure(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		d := randomKernel(rng)
 		c := arch.NewMesh(4, 4, 8)
-		m, _, err := core.Map(d, c, core.Options{})
+		m, _, err := core.Map(context.Background(), d, c, core.Options{})
 		if err != nil {
 			return true
 		}

@@ -1,6 +1,7 @@
 package viz
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -100,7 +101,7 @@ func TestSuiteRenders(t *testing.T) {
 		}
 	}
 	k, _ := kernels.ByName("sphinx_dot")
-	m, _, err := core.Map(k.Build(), arch.NewMesh(4, 4, 4), core.Options{})
+	m, _, err := core.Map(context.Background(), k.Build(), arch.NewMesh(4, 4, 4), core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

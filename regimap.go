@@ -38,6 +38,7 @@
 package regimap
 
 import (
+	"context"
 	"io"
 
 	"regimap/internal/arch"
@@ -49,6 +50,7 @@ import (
 	"regimap/internal/kernels"
 	"regimap/internal/loopir"
 	"regimap/internal/mapping"
+	"regimap/internal/portfolio"
 	"regimap/internal/sim"
 	"regimap/internal/viz"
 )
@@ -129,9 +131,48 @@ type (
 // Map runs REGIMap: modulo scheduling plus clique-based integrated placement
 // and register allocation with the paper's learn-from-failure loop. The
 // returned mapping always passes Mapping.Validate; run Simulate to prove it
-// functionally correct as well.
+// functionally correct as well. Map never gives up early on its own — use
+// MapContext to bound compile time with a deadline.
 func Map(d *DFG, c *CGRA, opts Options) (*Mapping, *Stats, error) {
-	return core.Map(d, c, opts)
+	return core.Map(context.Background(), d, c, opts)
+}
+
+// MapContext is Map with cancellation: the mapper checks ctx before every II
+// escalation and every schedule/place attempt, so a deadline bounds compile
+// time within one attempt even on unmappable kernels. The returned error
+// wraps ctx.Err() when the abort was context-driven.
+func MapContext(ctx context.Context, d *DFG, c *CGRA, opts Options) (*Mapping, *Stats, error) {
+	return core.Map(ctx, d, c, opts)
+}
+
+// Portfolio types.
+type (
+	// PortfolioOptions configures MapPortfolio.
+	PortfolioOptions = portfolio.Options
+	// PortfolioStats reports a portfolio run (winner index, races, cancels).
+	PortfolioStats = portfolio.Stats
+	// DRESCPortfolioOptions configures MapDRESCPortfolio.
+	DRESCPortfolioOptions = portfolio.DRESCOptions
+)
+
+// MapPortfolio races the REGIMap search over an Attempts-wide speculative II
+// window in goroutines, cancelling losers as soon as they cannot win, and
+// returns a deterministic winner: lowest II first, base search before scouts
+// on ties. Every raced II runs the unmodified base options, so any window
+// width returns a byte-identical mapping — parallelism buys latency, never
+// changes results. Opting into PortfolioOptions.Explore adds budget-widened
+// scout searches per II that can unlock a lower II than the base escalation
+// reaches, trading that invariance for quality.
+func MapPortfolio(ctx context.Context, d *DFG, c *CGRA, opts PortfolioOptions) (*Mapping, *PortfolioStats, error) {
+	return portfolio.Map(ctx, d, c, opts)
+}
+
+// MapDRESCPortfolio races seed-diversified DRESC annealing runs per II with
+// the same deterministic tiebreak as MapPortfolio. Unlike the REGIMap
+// portfolio's default mode, annealing seeds change search quality, so a
+// wider DRESC portfolio can reach a lower II than a single run.
+func MapDRESCPortfolio(ctx context.Context, d *DFG, c *CGRA, opts DRESCPortfolioOptions) (*DRESCPlacement, *PortfolioStats, error) {
+	return portfolio.MapDRESC(ctx, d, c, opts)
 }
 
 // Baseline mapper types.
@@ -152,13 +193,25 @@ type (
 // MapDRESC runs the DRESC baseline: simulated-annealing placement and
 // routing over the register-explicit modulo routing resource graph.
 func MapDRESC(d *DFG, c *CGRA, opts DRESCOptions) (*DRESCPlacement, *DRESCStats, error) {
-	return dresc.Map(d, c, opts)
+	return dresc.Map(context.Background(), d, c, opts)
+}
+
+// MapDRESCContext is MapDRESC with cancellation, honored at annealing-epoch
+// and II-escalation boundaries.
+func MapDRESCContext(ctx context.Context, d *DFG, c *CGRA, opts DRESCOptions) (*DRESCPlacement, *DRESCStats, error) {
+	return dresc.Map(ctx, d, c, opts)
 }
 
 // MapEMS runs the EMS-style baseline: edge-centric greedy placement with
 // explicit route chains and no learning.
 func MapEMS(d *DFG, c *CGRA, opts EMSOptions) (*Mapping, *EMSStats, error) {
-	return ems.Map(d, c, opts)
+	return ems.Map(context.Background(), d, c, opts)
+}
+
+// MapEMSContext is MapEMS with cancellation, honored at II-escalation
+// boundaries.
+func MapEMSContext(ctx context.Context, d *DFG, c *CGRA, opts EMSOptions) (*Mapping, *EMSStats, error) {
+	return ems.Map(ctx, d, c, opts)
 }
 
 // Kernel is one benchmark loop of the suite.
