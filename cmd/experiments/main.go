@@ -18,7 +18,12 @@ import (
 	"runtime"
 
 	"regimap/internal/experiments"
+	"regimap/internal/profiling"
 )
+
+// stopProfiles flushes any active pprof profiles; exitOn runs it so error
+// exits still produce usable profiles.
+var stopProfiles = func() {}
 
 func main() {
 	var (
@@ -29,8 +34,14 @@ func main() {
 		jobs      = flag.Int("jobs", runtime.NumCPU(), "map this many kernels concurrently (results are identical at any value)")
 		timeout   = flag.Duration("timeout", 0, "abort any single mapper run after this long (0: unbounded)")
 		portfolio = flag.Int("portfolio", 1, "race this many diversified REGIMap attempts per II")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	stop, err := profiling.Start(*cpuProf, *memProf)
+	exitOn(err)
+	stopProfiles = stop
+	defer stop()
 	base := experiments.Config{
 		Rows: 4, Cols: 4, Regs: 4,
 		Seed: *seed, Quick: *quick,
@@ -86,12 +97,14 @@ func main() {
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *run)
+		stopProfiles()
 		os.Exit(2)
 	}
 }
 
 func exitOn(err error) {
 	if err != nil {
+		stopProfiles()
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}

@@ -18,7 +18,12 @@ import (
 	"os"
 
 	"regimap"
+	"regimap/internal/profiling"
 )
+
+// stopProfiles flushes any active pprof profiles; exitOn runs it so error
+// exits still produce usable profiles.
+var stopProfiles = func() {}
 
 func main() {
 	var (
@@ -39,8 +44,14 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "abort mapping after this long (0: unbounded)")
 		portfolio = flag.Int("portfolio", 1, "speculate on this many IIs in parallel (regimap: result-identical; dresc: seeds per II)")
 		explore   = flag.Int("explore", 0, "also race this many budget-widened scout searches per II (regimap mapper; may lower the II)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	stop, err := profiling.Start(*cpuProf, *memProf)
+	exitOn(err)
+	stopProfiles = stop
+	defer stop()
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -68,11 +79,13 @@ func main() {
 		k, ok := regimap.KernelByName(*kernel)
 		if !ok {
 			fmt.Fprintf(os.Stderr, "regimap: unknown kernel %q (try -list)\n", *kernel)
+			stopProfiles()
 			os.Exit(2)
 		}
 		d, title, description = k.Build(), k.Name, k.Description
 	default:
 		fmt.Fprintln(os.Stderr, "regimap: -kernel or -src required (try -list)")
+		stopProfiles()
 		os.Exit(2)
 	}
 	if *dot {
@@ -186,12 +199,14 @@ func main() {
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "regimap: unknown mapper %q\n", *mapper)
+		stopProfiles()
 		os.Exit(2)
 	}
 }
 
 func exitOn(err error) {
 	if err != nil {
+		stopProfiles()
 		fmt.Fprintln(os.Stderr, "regimap:", err)
 		os.Exit(1)
 	}

@@ -12,6 +12,13 @@
 // Feasibility is hereditary (removing members never increases any sum), so
 // both the paper's constructive heuristic and an exact branch-and-bound
 // search (used to cross-validate the heuristic in tests and ablations) apply.
+//
+// The engine is allocation-free on its hot path: every search call owns a
+// search-local arena that pools clique states and their bitsets across
+// seeds, swap-repair rounds, and branch-and-bound nodes (see DESIGN.md's
+// hot-path memory model). Pooling is deterministic — states are fully reset
+// on reuse, so results are byte-identical to fresh allocation (enforced by
+// the reference property tests in reference_test.go).
 package clique
 
 import (
@@ -23,30 +30,43 @@ import (
 // Graph is a weighted compatibility graph. Adjacency is symmetric; weights
 // are directed and default to zero.
 type Graph struct {
-	n       int
-	adj     []*graph.Bitset
-	weight  map[int64]int
-	fn      func(u, v int) int
-	cluster []int  // weight-interaction class per node (nil: global)
-	outW    []bool // whether a node has any outgoing weight
-	base    []int
-	cap     int
+	n         int
+	adj       []*graph.Bitset
+	weight    []int // flat n*n directed weights (nil until AddWeight)
+	fn        func(u, v int) int
+	cluster   []int  // weight-interaction class per node (nil: global)
+	nClusters int    // 1 + max cluster id (0 when cluster is nil)
+	outW      []bool // whether a node has any outgoing weight
+	base      []int
+	anyW      bool // any non-zero weight or base exists (false => feasibility is vacuous)
+	cap       int
+	degOrder  []int // cached DegreeOrder (nil after any adjacency mutation)
 }
 
 // NewGraph returns an empty graph of n nodes with the given per-node weight
 // budget (the register-file size; negative means unconstrained).
 func NewGraph(n, cap int) *Graph {
-	g := &Graph{n: n, adj: make([]*graph.Bitset, n), weight: map[int64]int{}, outW: make([]bool, n), base: make([]int, n), cap: cap}
-	for i := range g.adj {
-		g.adj[i] = graph.NewBitset(n)
-	}
-	return g
+	return &Graph{n: n, adj: graph.NewBitsetSlab(n, n), outW: make([]bool, n), base: make([]int, n), cap: cap}
 }
 
 // AddBase adds an unconditional weight to node u, charged whenever u is in a
 // clique (REGIMap uses this for self-recurrence register demand: an
 // accumulator holds its registers regardless of which other mappings join).
-func (g *Graph) AddBase(u, w int) { g.base[u] += w }
+func (g *Graph) AddBase(u, w int) {
+	g.base[u] += w
+	if g.base[u] != 0 {
+		g.anyW = true
+	}
+}
+
+// SetBase overwrites node u's unconditional weight (the incremental compat
+// builder re-derives every base per schedule attempt).
+func (g *Graph) SetBase(u, w int) {
+	g.base[u] = w
+	if w != 0 {
+		g.anyW = true
+	}
+}
 
 // Base returns node u's unconditional weight.
 func (g *Graph) Base(u int) int { return g.base[u] }
@@ -64,6 +84,7 @@ func (g *Graph) AddEdge(u, v int) {
 	}
 	g.adj[u].Set(v)
 	g.adj[v].Set(u)
+	g.degOrder = nil
 }
 
 // Adjacent reports whether u and v are compatible.
@@ -73,41 +94,78 @@ func (g *Graph) Adjacent(u, v int) bool { return g.adj[u].Has(v) }
 // responsible for symmetry (apply the mirrored mask to the other side) and
 // for masks that exclude u itself; REGIMap's compatibility construction uses
 // this for the dependence-free operation pairs that dominate large arrays.
-func (g *Graph) OrAdjacency(u int, mask *graph.Bitset) { g.adj[u].Or(mask) }
+func (g *Graph) OrAdjacency(u int, mask *graph.Bitset) {
+	g.adj[u].Or(mask)
+	g.degOrder = nil
+}
+
+// AndNotAdjacency bulk-clears every member of mask from u's adjacency row.
+// Like OrAdjacency, symmetry is the caller's responsibility; the incremental
+// compat builder uses this to drop a rescheduled operation's stale edges
+// before rebuilding only its rows.
+func (g *Graph) AndNotAdjacency(u int, mask *graph.Bitset) {
+	g.adj[u].AndNot(mask)
+	g.degOrder = nil
+}
+
+// ResetAdjacency clears u's entire adjacency row (one side only).
+func (g *Graph) ResetAdjacency(u int) {
+	g.adj[u].Reset()
+	g.degOrder = nil
+}
 
 // ClearEdge removes a compatibility edge (both directions).
 func (g *Graph) ClearEdge(u, v int) {
 	g.adj[u].Clear(v)
 	g.adj[v].Clear(u)
+	g.degOrder = nil
 }
 
 // AddWeight increases the directed weight u -> v (both directions are stored
 // independently, matching the paper's asymmetric register demand). Mutually
-// exclusive with SetWeightFunc.
+// exclusive with SetWeightFunc. Storage is a flat n*n slice, allocated on the
+// first non-zero weight: the search's inner loops stay hash- and
+// allocation-free, and the common all-zero graphs pay nothing.
 func (g *Graph) AddWeight(u, v, w int) {
 	if g.fn != nil {
 		panic("clique: AddWeight after SetWeightFunc")
 	}
 	if w != 0 {
-		g.weight[int64(u)*int64(g.n)+int64(v)] += w
+		if g.weight == nil {
+			g.weight = make([]int, g.n*g.n)
+		}
+		g.weight[u*g.n+v] += w
 		g.outW[u] = true
+		g.anyW = true
 	}
 }
 
-// SetWeightFunc installs a computed weight in place of the stored map —
+// SetWeightFunc installs a computed weight in place of the stored slice —
 // REGIMap's register demand is a pure function of the pair (same PE ->
-// consumer demand), and avoiding the map keeps the search's inner loops
-// allocation- and hash-free. hasOut must report whether a node has any
-// non-zero outgoing weight.
+// consumer demand), and avoiding materialized weights keeps the search's
+// inner loops allocation- and hash-free. hasOut must report whether a node
+// has any non-zero outgoing weight. Calling it again refreshes the outgoing
+// and cluster summaries (the incremental compat builder does this once per
+// schedule attempt, because register demands move with the schedule).
 func (g *Graph) SetWeightFunc(fn func(u, v int) int, hasOut func(u int) bool, cluster func(u int) int) {
-	if len(g.weight) > 0 {
+	if g.weight != nil {
 		panic("clique: SetWeightFunc after AddWeight")
 	}
 	g.fn = fn
-	g.cluster = make([]int, g.n)
+	if g.cluster == nil {
+		g.cluster = make([]int, g.n)
+	}
+	g.nClusters = 0
+	g.anyW = false
 	for u := 0; u < g.n; u++ {
 		g.outW[u] = hasOut(u)
 		g.cluster[u] = cluster(u)
+		if g.cluster[u]+1 > g.nClusters {
+			g.nClusters = g.cluster[u] + 1
+		}
+		if g.outW[u] || g.base[u] != 0 {
+			g.anyW = true
+		}
 	}
 }
 
@@ -116,11 +174,38 @@ func (g *Graph) Weight(u, v int) int {
 	if g.fn != nil {
 		return g.fn(u, v)
 	}
-	return g.weight[int64(u)*int64(g.n)+int64(v)]
+	if g.weight == nil {
+		return 0
+	}
+	return g.weight[u*g.n+v]
 }
 
 // Degree returns the number of nodes compatible with u.
 func (g *Graph) Degree(u int) int { return g.adj[u].Count() }
+
+// DegreeOrder returns the node ids sorted by descending degree (id as the
+// deterministic tie-break) — Find's seed order. The order is cached until
+// the next adjacency mutation, so repeated searches of one graph sort once;
+// callers running Find several times can also pass it via Options.SeedOrder.
+func (g *Graph) DegreeOrder() []int {
+	if g.degOrder != nil {
+		return g.degOrder
+	}
+	deg := make([]int, g.n)
+	order := make([]int, g.n)
+	for i := range order {
+		order[i] = i
+		deg[i] = g.adj[i].Count()
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if deg[order[i]] != deg[order[j]] {
+			return deg[order[i]] > deg[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	g.degOrder = order
+	return order
+}
 
 // IsFeasibleClique verifies that members form a clique and every member's
 // outgoing weight into the clique respects the budget. Exposed so callers
@@ -144,44 +229,95 @@ func (g *Graph) IsFeasibleClique(members []int) bool {
 	return true
 }
 
-// state tracks one growing clique with incremental weight sums.
-type state struct {
-	g         *Graph
-	members   []int
-	wMembers  []int         // members with outgoing weights (the only growable sums)
-	byCluster map[int][]int // members per weight-interaction class (when installed)
-	inC       *graph.Bitset
-	cand      *graph.Bitset // nodes adjacent to every member
-	sum       []int         // node -> outgoing weight into the clique (members only)
+// arena pools clique states for one search invocation. It is search-local —
+// never shared across goroutines and never a sync.Pool — so reuse is fully
+// deterministic: get() returns either a brand-new state or a recycled one
+// reset to exactly the fresh-state contents. recycleAll() returns every
+// state ever created to the free list; callers must copy any member slice
+// they intend to keep before invoking it.
+type arena struct {
+	g       *Graph
+	all     []*state
+	free    []*state
+	scratch *graph.Bitset // intersection-phase scratch (lazily allocated)
 }
 
-func newState(g *Graph) *state {
-	s := &state{
-		g:    g,
-		inC:  graph.NewBitset(g.n),
-		cand: graph.NewBitset(g.n),
-		sum:  make([]int, g.n),
+func newArena(g *Graph) *arena { return &arena{g: g} }
+
+func (a *arena) get() *state {
+	if k := len(a.free); k > 0 {
+		s := a.free[k-1]
+		a.free = a.free[:k-1]
+		s.reset()
+		return s
 	}
-	if g.cluster != nil {
-		s.byCluster = map[int][]int{}
+	s := &state{
+		g:        a.g,
+		ar:       a,
+		inC:      graph.NewBitset(a.g.n),
+		cand:     graph.NewBitset(a.g.n),
+		prevCand: graph.NewBitset(a.g.n),
+		sum:      make([]int, a.g.n),
+		score:    make([]int, a.g.n),
+	}
+	if a.g.cluster != nil {
+		s.byCluster = make([][]int, a.g.nClusters)
 	}
 	s.cand.Fill()
+	a.all = append(a.all, s)
 	return s
 }
 
-func (s *state) clone() *state {
-	c := &state{
-		g:        s.g,
-		members:  append([]int(nil), s.members...),
-		wMembers: append([]int(nil), s.wMembers...),
-		inC:      s.inC.Clone(),
-		cand:     s.cand.Clone(),
-		sum:      append([]int(nil), s.sum...),
+// put returns one state to the free list; the caller must drop its reference.
+func (a *arena) put(s *state) { a.free = append(a.free, s) }
+
+// recycleAll makes every state created so far available for reuse.
+func (a *arena) recycleAll() { a.free = append(a.free[:0], a.all...) }
+
+// state tracks one growing clique with incremental weight sums.
+type state struct {
+	g         *Graph
+	ar        *arena
+	members   []int
+	wMembers  []int   // members with outgoing weights (the only growable sums)
+	byCluster [][]int // members per weight-interaction class (when installed)
+	inC       *graph.Bitset
+	cand      *graph.Bitset // nodes adjacent to every member
+	prevCand  *graph.Bitset // grow's scratch: cand before the last add
+	sum       []int         // node -> outgoing weight into the clique (members only)
+	score     []int         // grow's incrementally-maintained |adj(u) ∩ cand|
+}
+
+// reset restores the fresh-state invariants. Only member-touched entries of
+// sum/byCluster are dirty, so the cost is O(|members| + words), not O(n).
+func (s *state) reset() {
+	for _, m := range s.members {
+		s.sum[m] = 0
+		if s.byCluster != nil {
+			cl := s.g.cluster[m]
+			s.byCluster[cl] = s.byCluster[cl][:0]
+		}
 	}
-	if s.byCluster != nil {
-		c.byCluster = make(map[int][]int, len(s.byCluster))
-		for k, v := range s.byCluster {
-			c.byCluster[k] = append([]int(nil), v...)
+	s.members = s.members[:0]
+	s.wMembers = s.wMembers[:0]
+	s.inC.Reset()
+	s.cand.Fill()
+}
+
+// clone copies s into a pooled state (FindExact's branch step).
+func (s *state) clone() *state {
+	c := s.ar.get()
+	c.members = append(c.members[:0], s.members...)
+	c.wMembers = append(c.wMembers[:0], s.wMembers...)
+	c.inC.CopyFrom(s.inC)
+	c.cand.CopyFrom(s.cand)
+	for _, m := range s.members {
+		c.sum[m] = s.sum[m]
+		if s.byCluster != nil {
+			cl := s.g.cluster[m]
+			if len(c.byCluster[cl]) == 0 {
+				c.byCluster[cl] = append(c.byCluster[cl][:0], s.byCluster[cl]...)
+			}
 		}
 	}
 	return c
@@ -195,8 +331,8 @@ func (s *state) canAdd(u int) bool {
 	if s.inC.Has(u) || !s.cand.Has(u) {
 		return false
 	}
-	if s.g.cap < 0 {
-		return true
+	if s.g.cap < 0 || !s.g.anyW {
+		return true // unconstrained, or no weight anywhere: always feasible
 	}
 	uSum := s.g.base[u]
 	if s.byCluster != nil {
@@ -256,29 +392,67 @@ func (s *state) add(u int) {
 // candidate with the most arcs to the remaining candidate set (Appendix D's
 // "maximum number of arcs to the nodes outside the clique" tie-break), with
 // node id as the deterministic final tie-break. It stops early at target.
+//
+// Candidate scores are maintained incrementally: one full IntersectCount
+// pass seeds score[u] = |adj(u) ∩ cand|, then each add only subtracts the
+// contributions of the candidates the add evicted (cand is monotonically
+// shrinking, and adjacency is symmetric, so walking each evicted node's
+// surviving neighbours keeps every score exact).
 func (s *state) grow(target int) {
+	if len(s.members) >= target {
+		return
+	}
+	s.cand.ForEach(func(u int) bool {
+		s.score[u] = s.g.adj[u].IntersectCount(s.cand)
+		return true
+	})
 	for len(s.members) < target {
 		best, bestScore := -1, -1
 		s.cand.ForEach(func(u int) bool {
 			if !s.canAdd(u) {
 				return true
 			}
-			score := s.g.adj[u].IntersectCount(s.cand)
-			if score > bestScore {
-				best, bestScore = u, score
+			if s.score[u] > bestScore {
+				best, bestScore = u, s.score[u]
 			}
 			return true
 		})
 		if best == -1 {
 			return
 		}
+		s.prevCand.CopyFrom(s.cand)
 		s.add(best)
+		// Evicted candidates (including best itself) stop counting toward
+		// the survivors' scores. When the add evicted more candidates than it
+		// kept — typical for the first adds, which cut cand from "everything"
+		// down to one neighbourhood — recomputing the survivors outright is
+		// cheaper than walking every evicted node's surviving neighbours.
+		s.prevCand.AndNot(s.cand)
+		// The decremental walk pays a per-element callback for every evicted
+		// node's surviving neighbour; the wholesale recompute pays one
+		// word-level popcount pass per survivor. The latter is ~an order of
+		// magnitude cheaper per element, so decrement only for handfuls.
+		if 8*s.prevCand.Count() > s.cand.Count() {
+			s.cand.ForEach(func(u int) bool {
+				s.score[u] = s.g.adj[u].IntersectCount(s.cand)
+				return true
+			})
+		} else {
+			s.prevCand.ForEach(func(d int) bool {
+				s.g.adj[d].ForEachAnd(s.cand, func(u int) bool {
+					s.score[u]--
+					return true
+				})
+				return true
+			})
+		}
 	}
 }
 
-// rebuild constructs a state containing exactly the given feasible members.
-func rebuild(g *Graph, members []int) *state {
-	s := newState(g)
+// rebuild constructs a pooled state containing exactly the given feasible
+// members.
+func rebuild(ar *arena, members []int) *state {
+	s := ar.get()
 	for _, u := range members {
 		s.add(u)
 	}
@@ -302,6 +476,11 @@ type Options struct {
 	// (REGIMap passes schedule order so operations land next to their
 	// already-placed producers). Defaults to most-constrained-first.
 	GroupOrder []int
+	// SeedOrder, when it holds a permutation of every node id, replaces
+	// Find's internal degree sort (it must be Graph.DegreeOrder's order for
+	// results to match the default). REGIMap computes it once per
+	// compatibility graph and reuses it across clique.Find calls.
+	SeedOrder []int
 }
 
 // Find runs the paper's constructive heuristic: greedy growth from many
@@ -323,24 +502,19 @@ func Find(g *Graph, target int, opts Options) []int {
 
 	// Seed order: highest-degree nodes first (most likely to appear in a
 	// large clique), id as tie-break.
-	order := make([]int, g.n)
-	for i := range order {
-		order[i] = i
+	order := opts.SeedOrder
+	if len(order) != g.n {
+		order = g.DegreeOrder()
 	}
-	sort.Slice(order, func(i, j int) bool {
-		di, dj := g.Degree(order[i]), g.Degree(order[j])
-		if di != dj {
-			return di > dj
-		}
-		return order[i] < order[j]
-	})
 	if len(order) > maxSeeds {
 		order = order[:maxSeeds]
 	}
 
+	ar := newArena(g)
 	var best []int
 	var found [][]int
-	consider := func(c []int) bool {
+	consider := func(s *state) bool {
+		c := append([]int(nil), s.members...)
 		found = append(found, c)
 		if len(c) > len(best) {
 			best = c
@@ -349,8 +523,9 @@ func Find(g *Graph, target int, opts Options) []int {
 	}
 
 	for _, seed := range order {
-		s := newState(g)
+		s := ar.get()
 		if !s.canAdd(seed) {
+			ar.recycleAll()
 			continue
 		}
 		s.add(seed)
@@ -358,7 +533,9 @@ func Find(g *Graph, target int, opts Options) []int {
 		if !opts.DisableSwap {
 			s = swapImprove(s, target)
 		}
-		if consider(s.members) {
+		done := consider(s)
+		ar.recycleAll()
+		if done {
 			return best
 		}
 	}
@@ -372,16 +549,21 @@ func Find(g *Graph, target int, opts Options) []int {
 		for i := 0; i < len(found) && pairs < maxInter; i++ {
 			for j := i + 1; j < len(found) && pairs < maxInter; j++ {
 				pairs++
-				seed := intersect(g, found[i], found[j])
-				if len(seed) == 0 || len(seed) == len(found[i]) {
+				seed := intersect(ar, found[i], found[j])
+				// Skip seeds identical to either parent: regrowing a clique
+				// already considered cannot beat it, and the re-seed budget is
+				// better spent on genuinely new starting points.
+				if len(seed) == 0 || len(seed) == len(found[i]) || len(seed) == len(found[j]) {
 					continue
 				}
-				s := rebuild(g, seed)
+				s := rebuild(ar, seed)
 				s.grow(target)
 				if !opts.DisableSwap {
 					s = swapImprove(s, target)
 				}
-				if consider(s.members) {
+				done := consider(s)
+				ar.recycleAll()
+				if done {
 					return best
 				}
 			}
@@ -421,48 +603,53 @@ func swapImprove(s *state, target int) *state {
 }
 
 // findSwap returns an outside node u adjacent to all members except exactly
-// one (x), or (-1, -1).
+// one (x), or (-1, -1). A candidate's miss count is |C| minus its adjacency
+// overlap with the member set — one popcount pass per candidate instead of
+// the O(|C|) per-member scan.
 func findSwap(s *state) (u, x int) {
 	n := s.g.n
+	k := len(s.members)
 	for cand := 0; cand < n; cand++ {
 		if s.inC.Has(cand) {
 			continue
 		}
-		miss, missCount := -1, 0
+		if k-s.g.adj[cand].IntersectCount(s.inC) != 1 {
+			continue
+		}
 		for _, m := range s.members {
 			if !s.g.adj[cand].Has(m) {
-				miss = m
-				missCount++
-				if missCount > 1 {
-					break
-				}
+				return cand, m
 			}
-		}
-		if missCount == 1 {
-			return cand, miss
 		}
 	}
 	return -1, -1
 }
 
 func removeMember(s *state, x int) *state {
-	members := make([]int, 0, len(s.members)-1)
+	next := s.ar.get()
 	for _, m := range s.members {
 		if m != x {
-			members = append(members, m)
+			next.add(m)
 		}
 	}
-	return rebuild(s.g, members)
+	return next
 }
 
-func intersect(g *Graph, a, b []int) []int {
-	inB := graph.NewBitset(g.n)
+// intersect returns a ∩ b using the arena's scratch bitset; the result
+// aliases arena-free memory only until the next intersect call, which is
+// fine for the transient seed of the re-seeding phase.
+func intersect(ar *arena, a, b []int) []int {
+	if ar.scratch == nil {
+		ar.scratch = graph.NewBitset(ar.g.n)
+	} else {
+		ar.scratch.Reset()
+	}
 	for _, v := range b {
-		inB.Set(v)
+		ar.scratch.Set(v)
 	}
 	var out []int
 	for _, v := range a {
-		if inB.Has(v) {
+		if ar.scratch.Has(v) {
 			out = append(out, v)
 		}
 	}
@@ -471,10 +658,13 @@ func intersect(g *Graph, a, b []int) []int {
 
 // FindExact performs branch-and-bound maximum feasible clique search. It is
 // exponential and intended for small graphs: cross-validating the heuristic
-// and the ablation benches.
+// and the ablation benches. Branch states are pooled in the search arena and
+// recycled as each branch returns, so memory stays proportional to the
+// search depth rather than the node count explored.
 func FindExact(g *Graph, target int) []int {
 	var best []int
-	s := newState(g)
+	ar := newArena(g)
+	s := ar.get()
 	var dfs func(s *state)
 	dfs = func(s *state) {
 		if len(s.members) > len(best) {
@@ -505,6 +695,7 @@ func FindExact(g *Graph, target int) []int {
 				child.cand.Clear(v)
 			}
 			dfs(child)
+			ar.put(child)
 			if len(best) >= target {
 				return
 			}

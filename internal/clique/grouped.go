@@ -50,18 +50,20 @@ func FindGrouped(g *Graph, groups [][]int, opts Options) []int {
 		})
 	}
 
-	groupOf := make(map[int]int, g.n)
+	groupOf := make([]int, g.n)
 	for gi, cands := range groups {
 		for _, u := range cands {
 			groupOf[u] = gi
 		}
 	}
 
+	ar := newArena(g)
 	var best []int
+	pending := make([]bool, len(groups))
+	inFailed := make([]bool, len(groups))
 	for round := 0; round < rounds; round++ {
-		s := newState(g)
+		s := ar.get()
 		var failed []int
-		pending := make([]bool, len(groups))
 		for _, gi := range order {
 			pending[gi] = true
 		}
@@ -70,6 +72,7 @@ func FindGrouped(g *Graph, groups [][]int, opts Options) []int {
 			pick := pickCandidate(g, s, groups, order[oi+1:], pending, gi)
 			if pick == -1 {
 				if repaired := swapInGroup(g, s, groups, groupOf, gi); repaired != nil {
+					ar.put(s)
 					s = repaired
 					continue
 				}
@@ -86,6 +89,7 @@ func FindGrouped(g *Graph, groups [][]int, opts Options) []int {
 			still := failed[:0]
 			for _, gi := range failed {
 				if repaired := swapInGroup(g, s, groups, groupOf, gi); repaired != nil {
+					ar.put(s)
 					s = repaired
 					progress = true
 				} else {
@@ -106,7 +110,6 @@ func FindGrouped(g *Graph, groups [][]int, opts Options) []int {
 		// Promote the failed groups; keep the rest in their previous order.
 		next := make([]int, 0, len(order))
 		next = append(next, failed...)
-		inFailed := make(map[int]bool, len(failed))
 		for _, gi := range failed {
 			inFailed[gi] = true
 		}
@@ -115,7 +118,11 @@ func FindGrouped(g *Graph, groups [][]int, opts Options) []int {
 				next = append(next, gi)
 			}
 		}
+		for _, gi := range failed {
+			inFailed[gi] = false
+		}
 		order = next
+		ar.recycleAll()
 	}
 	return best
 }
@@ -124,7 +131,7 @@ func FindGrouped(g *Graph, groups [][]int, opts Options) []int {
 // candidate of group gi joins the clique, look for a candidate u blocked by
 // exactly one member x; evict x, admit u, and re-place x's group on another
 // of its candidates. It returns the repaired state, or nil.
-func swapInGroup(g *Graph, s *state, groups [][]int, groupOf map[int]int, gi int) *state {
+func swapInGroup(g *Graph, s *state, groups [][]int, groupOf []int, gi int) *state {
 	for _, u := range groups[gi] {
 		if s.inC.Has(u) {
 			continue
@@ -143,7 +150,7 @@ func swapInGroup(g *Graph, s *state, groups [][]int, groupOf map[int]int, gi int
 			continue
 		}
 		// Rebuild without the blocker; admit u; re-place the blocker's group.
-		trial := newState(g)
+		trial := s.ar.get()
 		ok := true
 		for _, m := range s.members {
 			if m == blocker {
@@ -156,6 +163,7 @@ func swapInGroup(g *Graph, s *state, groups [][]int, groupOf map[int]int, gi int
 			trial.add(m)
 		}
 		if !ok || !trial.canAdd(u) {
+			s.ar.put(trial)
 			continue
 		}
 		trial.add(u)
@@ -170,6 +178,7 @@ func swapInGroup(g *Graph, s *state, groups [][]int, groupOf map[int]int, gi int
 			}
 		}
 		if repick == -1 {
+			s.ar.put(trial)
 			continue
 		}
 		trial.add(repick)

@@ -1,0 +1,496 @@
+package clique
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// This file ports the clique engine's algorithms to a deliberately naive
+// reference — fresh slices everywhere, no arena, no bitsets, no incremental
+// score or weight-sum maintenance — and checks the optimized engine against it
+// elementwise on randomized weighted graphs. Because both sides share every
+// tie-break (first maximum in increasing node id, insertion order, stable
+// sorts), agreement must be exact, not just equal-cardinality: any divergence
+// means pooling or incrementality changed a result.
+
+// refCand returns the nodes adjacent to every member, in increasing id order
+// (the reference for state.cand; all nodes when members is empty).
+func refCand(g *Graph, members []int) []int {
+	var out []int
+	for u := 0; u < g.N(); u++ {
+		ok := true
+		for _, m := range members {
+			if u == m || !g.Adjacent(u, m) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// refCanAdd recomputes every weight sum from scratch.
+func refCanAdd(g *Graph, members []int, u int) bool {
+	for _, m := range members {
+		if m == u || !g.Adjacent(u, m) {
+			return false
+		}
+	}
+	if g.Cap() < 0 {
+		return true
+	}
+	uSum := g.Base(u)
+	for _, m := range members {
+		uSum += g.Weight(u, m)
+		mSum := g.Base(m) + g.Weight(m, u)
+		for _, v := range members {
+			if v != m {
+				mSum += g.Weight(m, v)
+			}
+		}
+		if mSum > g.Cap() {
+			return false
+		}
+	}
+	return uSum <= g.Cap()
+}
+
+func refGrow(g *Graph, members []int, target int) []int {
+	for len(members) < target {
+		cand := refCand(g, members)
+		best, bestScore := -1, -1
+		for _, u := range cand {
+			if !refCanAdd(g, members, u) {
+				continue
+			}
+			score := 0
+			for _, v := range cand {
+				if v != u && g.Adjacent(u, v) {
+					score++
+				}
+			}
+			if score > bestScore {
+				best, bestScore = u, score
+			}
+		}
+		if best == -1 {
+			return members
+		}
+		members = append(members, best)
+	}
+	return members
+}
+
+func refFindSwap(g *Graph, members []int) (int, int) {
+	inC := make(map[int]bool, len(members))
+	for _, m := range members {
+		inC[m] = true
+	}
+	for cand := 0; cand < g.N(); cand++ {
+		if inC[cand] {
+			continue
+		}
+		miss := 0
+		for _, m := range members {
+			if !g.Adjacent(cand, m) {
+				miss++
+			}
+		}
+		if miss != 1 {
+			continue
+		}
+		for _, m := range members {
+			if !g.Adjacent(cand, m) {
+				return cand, m
+			}
+		}
+	}
+	return -1, -1
+}
+
+func refSwapImprove(g *Graph, members []int, target int) []int {
+	best := members
+	cur := members
+	for round := 0; round < 2*len(cur)+4 && len(cur) < target; round++ {
+		u, x := refFindSwap(g, cur)
+		if u == -1 {
+			break
+		}
+		next := make([]int, 0, len(cur))
+		for _, m := range cur {
+			if m != x {
+				next = append(next, m)
+			}
+		}
+		if !refCanAdd(g, next, u) {
+			break
+		}
+		next = append(next, u)
+		next = refGrow(g, next, target)
+		if len(next) <= len(cur) {
+			break
+		}
+		cur = next
+		if len(cur) > len(best) {
+			best = cur
+		}
+	}
+	return best
+}
+
+func refDegreeOrder(g *Graph) []int {
+	order := make([]int, g.N())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if g.Degree(order[i]) != g.Degree(order[j]) {
+			return g.Degree(order[i]) > g.Degree(order[j])
+		}
+		return order[i] < order[j]
+	})
+	return order
+}
+
+func refIntersect(a, b []int) []int {
+	inB := make(map[int]bool, len(b))
+	for _, v := range b {
+		inB[v] = true
+	}
+	var out []int
+	for _, v := range a {
+		if inB[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func refFind(g *Graph, target int, opts Options) []int {
+	maxSeeds := opts.MaxSeeds
+	if maxSeeds <= 0 {
+		maxSeeds = 16
+	}
+	maxInter := opts.MaxIntersections
+	if maxInter <= 0 {
+		maxInter = 32
+	}
+	if target > g.N() {
+		target = g.N()
+	}
+	order := opts.SeedOrder
+	if len(order) != g.N() {
+		order = refDegreeOrder(g)
+	}
+	if len(order) > maxSeeds {
+		order = order[:maxSeeds]
+	}
+
+	var best []int
+	var found [][]int
+	consider := func(members []int) bool {
+		c := append([]int(nil), members...)
+		found = append(found, c)
+		if len(c) > len(best) {
+			best = c
+		}
+		return len(best) >= target
+	}
+
+	for _, seed := range order {
+		if !refCanAdd(g, nil, seed) {
+			continue
+		}
+		members := refGrow(g, []int{seed}, target)
+		if !opts.DisableSwap {
+			members = refSwapImprove(g, members, target)
+		}
+		if consider(members) {
+			return best
+		}
+	}
+
+	if !opts.DisableIntersect {
+		sort.SliceStable(found, func(i, j int) bool { return len(found[i]) > len(found[j]) })
+		pairs := 0
+		for i := 0; i < len(found) && pairs < maxInter; i++ {
+			for j := i + 1; j < len(found) && pairs < maxInter; j++ {
+				pairs++
+				seed := refIntersect(found[i], found[j])
+				if len(seed) == 0 || len(seed) == len(found[i]) || len(seed) == len(found[j]) {
+					continue
+				}
+				members := refGrow(g, append([]int(nil), seed...), target)
+				if !opts.DisableSwap {
+					members = refSwapImprove(g, members, target)
+				}
+				if consider(members) {
+					return best
+				}
+			}
+		}
+	}
+	return best
+}
+
+func refFindExact(g *Graph, target int) []int {
+	var best []int
+	var dfs func(members, cand []int)
+	dfs = func(members, cand []int) {
+		if len(members) > len(best) {
+			best = append([]int(nil), members...)
+		}
+		if len(best) >= target {
+			return
+		}
+		if len(members)+len(cand) <= len(best) {
+			return
+		}
+		for i, u := range cand {
+			if !refCanAdd(g, members, u) {
+				continue
+			}
+			childMembers := append(append([]int(nil), members...), u)
+			var childCand []int
+			for _, v := range cand[i+1:] {
+				if g.Adjacent(v, u) {
+					childCand = append(childCand, v)
+				}
+			}
+			dfs(childMembers, childCand)
+			if len(best) >= target {
+				return
+			}
+		}
+	}
+	all := make([]int, g.N())
+	for i := range all {
+		all[i] = i
+	}
+	dfs(nil, all)
+	return best
+}
+
+// randomFlatGraph builds a graph using the flat AddWeight storage path.
+func randomFlatGraph(rng *rand.Rand, n, cap int, edgeProb, weightProb float64) *Graph {
+	g := NewGraph(n, cap)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < edgeProb {
+				g.AddEdge(u, v)
+				if rng.Float64() < weightProb {
+					g.AddWeight(u, v, rng.Intn(3))
+				}
+				if rng.Float64() < weightProb {
+					g.AddWeight(v, u, rng.Intn(3))
+				}
+			}
+		}
+	}
+	for u := 0; u < n; u++ {
+		if rng.Float64() < 0.2 {
+			g.AddBase(u, rng.Intn(3))
+		}
+	}
+	return g
+}
+
+// randomClusterGraph builds a graph using the SetWeightFunc path, mimicking
+// REGIMap's register demand: weights exist only inside a cluster (a PE) and
+// depend only on the consumer.
+func randomClusterGraph(rng *rand.Rand, n, cap, nClusters int, edgeProb float64) *Graph {
+	g := NewGraph(n, cap)
+	cluster := make([]int, n)
+	demand := make([]int, n)
+	for u := 0; u < n; u++ {
+		cluster[u] = rng.Intn(nClusters)
+		demand[u] = rng.Intn(3)
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < edgeProb {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	for u := 0; u < n; u++ {
+		if rng.Float64() < 0.2 {
+			g.AddBase(u, rng.Intn(2))
+		}
+	}
+	fn := func(u, v int) int {
+		if cluster[u] != cluster[v] {
+			return 0
+		}
+		return demand[v]
+	}
+	hasOut := func(u int) bool {
+		for v := 0; v < n; v++ {
+			if v != u && fn(u, v) != 0 {
+				return true
+			}
+		}
+		return false
+	}
+	g.SetWeightFunc(fn, hasOut, func(u int) int { return cluster[u] })
+	return g
+}
+
+func referenceCases() []struct {
+	name string
+	gen  func(rng *rand.Rand) *Graph
+	opts Options
+} {
+	return []struct {
+		name string
+		gen  func(rng *rand.Rand) *Graph
+		opts Options
+	}{
+		{"flat/unconstrained", func(r *rand.Rand) *Graph { return randomFlatGraph(r, 8+r.Intn(20), -1, 0.5, 0) }, Options{}},
+		{"flat/weighted", func(r *rand.Rand) *Graph { return randomFlatGraph(r, 8+r.Intn(20), 2+r.Intn(4), 0.55, 0.5) }, Options{}},
+		{"flat/tight-cap", func(r *rand.Rand) *Graph { return randomFlatGraph(r, 8+r.Intn(16), r.Intn(2), 0.6, 0.7) }, Options{}},
+		{"flat/no-swap", func(r *rand.Rand) *Graph { return randomFlatGraph(r, 8+r.Intn(20), 3, 0.5, 0.5) }, Options{DisableSwap: true}},
+		{"flat/no-intersect", func(r *rand.Rand) *Graph { return randomFlatGraph(r, 8+r.Intn(20), 3, 0.5, 0.5) }, Options{DisableIntersect: true}},
+		{"flat/few-seeds", func(r *rand.Rand) *Graph { return randomFlatGraph(r, 12+r.Intn(16), 3, 0.5, 0.5) }, Options{MaxSeeds: 4, MaxIntersections: 6}},
+		{"cluster/REGIMap-shape", func(r *rand.Rand) *Graph { return randomClusterGraph(r, 10+r.Intn(20), 2+r.Intn(3), 2+r.Intn(4), 0.55) }, Options{}},
+		{"cluster/tight-cap", func(r *rand.Rand) *Graph { return randomClusterGraph(r, 10+r.Intn(16), 1, 2+r.Intn(3), 0.6) }, Options{}},
+		{"sparse", func(r *rand.Rand) *Graph { return randomFlatGraph(r, 16+r.Intn(16), 3, 0.15, 0.5) }, Options{}},
+		{"dense", func(r *rand.Rand) *Graph { return randomFlatGraph(r, 8+r.Intn(12), 4, 0.85, 0.4) }, Options{}},
+	}
+}
+
+// TestFindMatchesReference diffs the pooled/incremental Find against the naive
+// reference elementwise over randomized graphs and targets.
+func TestFindMatchesReference(t *testing.T) {
+	for _, tc := range referenceCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			for trial := 0; trial < 40; trial++ {
+				rng := rand.New(rand.NewSource(int64(1000 + trial)))
+				g := tc.gen(rng)
+				target := 1 + rng.Intn(g.N())
+				got := Find(g, target, tc.opts)
+				want := refFind(g, target, tc.opts)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("trial %d (n=%d target=%d): Find=%v reference=%v", trial, g.N(), target, got, want)
+				}
+				if !g.IsFeasibleClique(got) {
+					t.Fatalf("trial %d: Find returned infeasible clique %v", trial, got)
+				}
+				// Pooling determinism: a second run of the same search must be
+				// byte-identical to the first.
+				if again := Find(g, target, tc.opts); !reflect.DeepEqual(got, again) {
+					t.Fatalf("trial %d: Find not deterministic: %v then %v", trial, got, again)
+				}
+			}
+		})
+	}
+}
+
+// TestFindExactMatchesReference diffs the arena-pooled branch-and-bound
+// against the naive recursive reference.
+func TestFindExactMatchesReference(t *testing.T) {
+	for _, tc := range referenceCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			for trial := 0; trial < 12; trial++ {
+				rng := rand.New(rand.NewSource(int64(7000 + trial)))
+				g := tc.gen(rng)
+				if g.N() > 18 {
+					continue // keep the exponential search fast
+				}
+				target := 1 + rng.Intn(g.N())
+				got := FindExact(g, target)
+				want := refFindExact(g, target)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("trial %d (n=%d target=%d): FindExact=%v reference=%v", trial, g.N(), target, got, want)
+				}
+				if !g.IsFeasibleClique(got) {
+					t.Fatalf("trial %d: FindExact returned infeasible clique %v", trial, got)
+				}
+			}
+		})
+	}
+}
+
+// TestFindSeedOrderOptionMatchesDefault checks the Options.SeedOrder contract:
+// passing Graph.DegreeOrder explicitly must reproduce the default exactly
+// (REGIMap shares one order across clique.Find calls this way).
+func TestFindSeedOrderOptionMatchesDefault(t *testing.T) {
+	for trial := 0; trial < 25; trial++ {
+		rng := rand.New(rand.NewSource(int64(4000 + trial)))
+		g := randomFlatGraph(rng, 10+rng.Intn(20), 3, 0.5, 0.5)
+		target := 1 + rng.Intn(g.N())
+		def := Find(g, target, Options{})
+		shared := Find(g, target, Options{SeedOrder: g.DegreeOrder()})
+		if !reflect.DeepEqual(def, shared) {
+			t.Fatalf("trial %d: default=%v with SeedOrder=%v", trial, def, shared)
+		}
+	}
+}
+
+// TestFindGroupedDeterministicAndFeasible exercises the grouped search's
+// arena reuse: results must be feasible, respect one-per-group, and be
+// identical across repeated runs.
+func TestFindGroupedDeterministicAndFeasible(t *testing.T) {
+	for trial := 0; trial < 25; trial++ {
+		rng := rand.New(rand.NewSource(int64(9000 + trial)))
+		nGroups := 3 + rng.Intn(6)
+		perGroup := 2 + rng.Intn(4)
+		n := nGroups * perGroup
+		g := NewGraph(n, 2+rng.Intn(3))
+		groups := make([][]int, nGroups)
+		groupOf := make([]int, n)
+		for gi := range groups {
+			for k := 0; k < perGroup; k++ {
+				u := gi*perGroup + k
+				groups[gi] = append(groups[gi], u)
+				groupOf[u] = gi
+			}
+		}
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if groupOf[u] != groupOf[v] && rng.Float64() < 0.7 {
+					g.AddEdge(u, v)
+					if rng.Float64() < 0.4 {
+						g.AddWeight(u, v, rng.Intn(2))
+					}
+				}
+			}
+		}
+		got := FindGrouped(g, groups, Options{})
+		if !g.IsFeasibleClique(got) {
+			t.Fatalf("trial %d: FindGrouped returned infeasible clique %v", trial, got)
+		}
+		seen := make(map[int]bool)
+		for _, u := range got {
+			if seen[groupOf[u]] {
+				t.Fatalf("trial %d: two members from group %d in %v", trial, groupOf[u], got)
+			}
+			seen[groupOf[u]] = true
+		}
+		if again := FindGrouped(g, groups, Options{}); !reflect.DeepEqual(got, again) {
+			t.Fatalf("trial %d: FindGrouped not deterministic: %v then %v", trial, got, again)
+		}
+	}
+}
+
+// sanity check for the reference itself: its results must be feasible too,
+// otherwise agreement above would prove nothing.
+func TestReferenceSanity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 10; trial++ {
+		g := randomFlatGraph(rng, 12, 3, 0.5, 0.5)
+		for _, target := range []int{1, 4, 12} {
+			if got := refFind(g, target, Options{}); !g.IsFeasibleClique(got) {
+				t.Fatalf("reference Find infeasible: %v", got)
+			}
+			if got := refFindExact(g, target); !g.IsFeasibleClique(got) {
+				t.Fatalf("reference FindExact infeasible: %v", got)
+			}
+		}
+	}
+}

@@ -51,47 +51,136 @@ type CompatOptions struct {
 	StrictInterIteration bool
 }
 
-// depInfo summarizes all dependence arcs of one ordered operation pair.
-type depInfo struct {
-	needAdj bool // a 1-cycle dependence: consumer must be adjacent (or same)
-	carried bool // a register-carried dependence: same PE required
+// CompatBuilder constructs compatibility graphs for one (kernel, array, II)
+// repeatedly across the mapping loop's schedule attempts. The schedule-
+// independent work — candidate pair enumeration, per-operation candidate
+// masks, the clique graph's storage — is done once; each Build then reuses
+// it, and when only a few operations moved slots since the previous Build,
+// only the adjacency rows of those operations' candidates are rebuilt
+// (unchanged-pair constraints depend solely on the two operations' own
+// slots, so their edges are provably identical). Register weights are
+// re-derived wholesale every Build: they are O(V+E) to compute and follow
+// the schedule's spans.
+//
+// The produced *Compat aliases the builder's storage: it is valid until the
+// next Build call, which matches the mapping loop's schedule/place/learn
+// cadence. A builder is single-goroutine; portfolio racers each own one.
+type CompatBuilder struct {
+	d    *dfg.DFG
+	c    *arch.CGRA
+	ii   int
+	opts CompatOptions
+
+	pairs []Pair
+	byOp  [][]int
+	masks []*graph.Bitset // candidate mask per operation
+	memOp []bool          // operation touches the row-shared memory bus
+	g     *clique.Graph
+	cg    Compat
+
+	// Dependence summaries per ordered operation pair, flat at from*N+to
+	// (Appendix A.2). Rebuilt each Build by one pass over the edges; the
+	// arrays themselves — the allocation — persist across attempts.
+	depHas     []bool
+	depNeedAdj []bool
+	depCarried []bool
+
+	regDemand  []int
+	maxCarried []int
+	anyDemand  bool
+
+	prevTimes []int // schedule of the previous successful Build (nil: none)
+
+	// Per-build scratch, allocated once.
+	changed      []bool
+	changedList  []int
+	changedMask  *graph.Bitset
+	union        *graph.Bitset
+	depFree      [][]int // dep-free partners per op (this build's touched pairs)
+	sameSlotFree [][2]int
 }
 
-// BuildCompat constructs the compatibility graph of a scheduled DFG on the
-// array at the given II. times holds the absolute schedule slot of each
-// operation.
-func BuildCompat(d *dfg.DFG, c *arch.CGRA, times []int, ii int, opts CompatOptions) (*Compat, error) {
-	if len(times) != d.N() {
-		return nil, fmt.Errorf("core: %d schedule slots for %d ops", len(times), d.N())
-	}
+// NewCompatBuilder enumerates candidate pairs for the kernel on the array
+// and prepares reusable storage. It fails when the II is non-positive or an
+// operation has no supporting PE — the same early outs as a from-scratch
+// BuildCompat.
+func NewCompatBuilder(d *dfg.DFG, c *arch.CGRA, ii int, opts CompatOptions) (*CompatBuilder, error) {
 	if ii <= 0 {
 		return nil, fmt.Errorf("core: non-positive II %d", ii)
 	}
+	b := &CompatBuilder{d: d, c: c, ii: ii, opts: opts}
 
 	// Enumerate candidate pairs: operation x supporting PE. The schedule has
 	// already pruned the time dimension — this is the paper's point that
 	// scheduling shrinks the product graph (only |V| x |PEs| pairs remain
 	// instead of |V| x |PEs| x II).
-	var pairs []Pair
-	byOp := make([][]int, d.N())
+	b.byOp = make([][]int, d.N())
 	for v := range d.Nodes {
-		if times[v] < 0 {
-			return nil, fmt.Errorf("core: op %s unscheduled", d.Nodes[v].Name)
-		}
 		for p := 0; p < c.NumPEs(); p++ {
 			if !c.Supports(p, d.Nodes[v].Kind) {
 				continue
 			}
-			byOp[v] = append(byOp[v], len(pairs))
-			pairs = append(pairs, Pair{Op: v, PE: p})
+			b.byOp[v] = append(b.byOp[v], len(b.pairs))
+			b.pairs = append(b.pairs, Pair{Op: v, PE: p})
 		}
-		if len(byOp[v]) == 0 {
+		if len(b.byOp[v]) == 0 {
 			return nil, fmt.Errorf("core: no PE supports op %s (%s)", d.Nodes[v].Name, d.Nodes[v].Kind)
 		}
 	}
 
-	g := clique.NewGraph(len(pairs), c.NumRegs)
-	cg := &Compat{G: g, Pairs: pairs, II: ii, d: d, byOp: byOp}
+	n := len(b.pairs)
+	b.g = clique.NewGraph(n, c.NumRegs)
+	b.cg = Compat{G: b.g, Pairs: b.pairs, II: ii, d: d, byOp: b.byOp}
+
+	b.masks = graph.NewBitsetSlab(n, d.N())
+	b.memOp = make([]bool, d.N())
+	for v := range b.byOp {
+		for _, id := range b.byOp[v] {
+			b.masks[v].Set(id)
+		}
+		b.memOp[v] = d.Nodes[v].Kind.IsMem()
+	}
+
+	nn := d.N() * d.N()
+	b.depHas = make([]bool, nn)
+	b.depNeedAdj = make([]bool, nn)
+	b.depCarried = make([]bool, nn)
+	b.regDemand = make([]int, d.N())
+	b.maxCarried = make([]int, d.N())
+
+	b.changed = make([]bool, d.N())
+	b.changedMask = graph.NewBitset(n)
+	b.union = graph.NewBitset(n)
+	b.depFree = make([][]int, d.N())
+
+	// Register weights as a computed function (Appendix B, Theorem C.1):
+	// w(u -> v) is v's demand when the two bindings share a PE. The closure
+	// reads the builder's regDemand, which every Build refreshes in place.
+	b.g.SetWeightFunc(
+		func(u, v int) int {
+			if b.pairs[u].PE != b.pairs[v].PE {
+				return 0
+			}
+			return b.regDemand[b.pairs[v].Op]
+		},
+		func(u int) bool { return b.anyDemand },
+		func(u int) int { return b.pairs[u].PE })
+	return b, nil
+}
+
+// Build constructs (or incrementally rebuilds) the compatibility graph for
+// the given schedule. times holds the absolute slot of each operation. The
+// returned Compat aliases builder storage and is valid until the next Build.
+func (b *CompatBuilder) Build(times []int) (*Compat, error) {
+	d, ii := b.d, b.ii
+	if len(times) != d.N() {
+		return nil, fmt.Errorf("core: %d schedule slots for %d ops", len(times), d.N())
+	}
+	for v := range d.Nodes {
+		if times[v] < 0 {
+			return nil, fmt.Errorf("core: op %s unscheduled", d.Nodes[v].Name)
+		}
+	}
 
 	// Summarize dependences once per ordered operation pair (Appendix A.2),
 	// and compute each operation's register demand R[i] from the schedule:
@@ -100,167 +189,181 @@ func BuildCompat(d *dfg.DFG, c *arch.CGRA, times []int, ii int, opts CompatOptio
 	// ceil(maxSpan/II) rotating registers, exactly the accounting of
 	// mapping.RegisterPressure. The demand is placement-independent because
 	// every register-carried consumer is forced onto the producer's PE.
-	deps := map[[2]int]*depInfo{}
-	regDemand := make([]int, d.N())
-	maxCarried := make([]int, d.N())
+	// Validation comes first so errors leave the builder untouched.
 	for _, e := range d.Edges {
 		span := times[e.To] - times[e.From] + ii*e.Dist
 		if span < d.Nodes[e.From].Kind.Latency() {
 			return nil, fmt.Errorf("core: schedule violates edge %s->%s (span %d)",
 				d.Nodes[e.From].Name, d.Nodes[e.To].Name, span)
 		}
-		forwardable := span == 1 && (e.Dist == 0 || !opts.StrictInterIteration)
-		if span > 1 && span > maxCarried[e.From] {
-			maxCarried[e.From] = span
+	}
+	for v := range b.maxCarried {
+		b.maxCarried[v] = 0
+	}
+	for _, e := range d.Edges {
+		if e.From != e.To {
+			k := e.From*d.N() + e.To
+			b.depHas[k], b.depNeedAdj[k], b.depCarried[k] = false, false, false
+		}
+	}
+	for _, e := range d.Edges {
+		span := times[e.To] - times[e.From] + ii*e.Dist
+		forwardable := span == 1 && (e.Dist == 0 || !b.opts.StrictInterIteration)
+		if span > 1 && span > b.maxCarried[e.From] {
+			b.maxCarried[e.From] = span
 		}
 		if e.From == e.To {
 			continue // self recurrence: no pairwise constraint, demand only
 		}
-		k := [2]int{e.From, e.To}
-		di := deps[k]
-		if di == nil {
-			di = &depInfo{}
-			deps[k] = di
-		}
+		k := e.From*d.N() + e.To
+		b.depHas[k] = true
 		if forwardable {
-			di.needAdj = true
+			b.depNeedAdj[k] = true
 		} else {
-			di.carried = true
+			b.depCarried[k] = true
 		}
 	}
-	anyDemand := false
-	for v, span := range maxCarried {
+	b.anyDemand = false
+	for v, span := range b.maxCarried {
 		if span > 1 {
-			regDemand[v] = ceilDiv(span, ii)
-			anyDemand = true
+			b.regDemand[v] = ceilDiv(span, ii)
+			b.anyDemand = true
+		} else {
+			b.regDemand[v] = 0
 		}
 	}
 
-	// Register weights (Appendix B, Theorem C.1): a value parked in a PE's
-	// file is paid for by *every* mapping resident on that PE, so a node's
-	// outgoing weight sum inside a clique equals the total register demand of
-	// its PE. The per-node budget check is then exactly the per-PE capacity
-	// constraint. Own demand is the node's base weight; co-residents charge
-	// each other their demands on same-PE arcs below.
-	for v, demand := range regDemand {
-		if demand == 0 {
-			continue
-		}
-		for _, id := range byOp[v] {
-			g.AddBase(id, demand)
+	// Weights: a value parked in a PE's file is paid for by *every* mapping
+	// resident on that PE (the per-node budget check is then exactly the
+	// per-PE capacity constraint). Bases carry each node's own demand;
+	// re-installing the weight function refreshes the graph's outgoing-weight
+	// summaries for this schedule's demands.
+	for v, demand := range b.regDemand {
+		for _, id := range b.byOp[v] {
+			b.g.SetBase(id, demand)
 		}
 	}
-
-	// Install the register weights as a computed function (Appendix B,
-	// Theorem C.1 as restated above): w(u -> v) is v's demand when the two
-	// bindings share a PE. Keeping this out of a hash map keeps the clique
-	// search's inner loops cheap.
-	g.SetWeightFunc(
+	b.g.SetWeightFunc(
 		func(u, v int) int {
-			if pairs[u].PE != pairs[v].PE {
+			if b.pairs[u].PE != b.pairs[v].PE {
 				return 0
 			}
-			return regDemand[pairs[v].Op]
+			return b.regDemand[b.pairs[v].Op]
 		},
-		func(u int) bool {
-			// u has outgoing weight whenever any same-PE partner could have
-			// demand; over-approximating with "any demand exists" is cheap
-			// and still skips the common all-zero kernels.
-			return anyDemand
-		},
-		func(u int) int { return pairs[u].PE })
+		func(u int) bool { return b.anyDemand },
+		func(u int) int { return b.pairs[u].PE })
 
-	// Candidate masks per operation, for the bulk fast path below.
-	masks := make([]*graph.Bitset, d.N())
-	for v := range masks {
-		masks[v] = graph.NewBitset(len(pairs))
-		for _, id := range byOp[v] {
-			masks[v].Set(id)
+	// Decide how much adjacency to rebuild: everything on the first Build
+	// (or when most slots moved), otherwise only the rows of operations
+	// whose slot changed. Constraints between two unchanged operations
+	// depend only on their own slots and the static dependence structure, so
+	// those edges are identical and stay.
+	b.changedList = b.changedList[:0]
+	full := b.prevTimes == nil
+	if !full {
+		for v := range times {
+			if times[v] != b.prevTimes[v] {
+				b.changed[v] = true
+				b.changedList = append(b.changedList, v)
+			}
+		}
+		if 2*len(b.changedList) > d.N() {
+			full = true
 		}
 	}
 
-	// Pairwise compatibility (Appendix A.2) over operation pairs first so
-	// the dependence summary is fetched once, then over PE bindings. Pairs
-	// with no dependence between them — the overwhelming majority on large
-	// arrays — are fully compatible except for resource collisions: their
-	// edges are added as one union-mask OR per candidate, with the same-slot
-	// same-PE collisions cleared afterwards.
-	depFree := make([][]int, d.N())
-	var sameSlotFree [][2]int
-	for vi := 0; vi < d.N(); vi++ {
-		si := times[vi] % ii
-		memI := d.Nodes[vi].Kind.IsMem()
-		for vj := vi + 1; vj < d.N(); vj++ {
-			sj := times[vj] % ii
-			sameSlot := si == sj
-			memClash := sameSlot && memI && d.Nodes[vj].Kind.IsMem()
-			fwd := deps[[2]int{vi, vj}] // vi produces for vj
-			rev := deps[[2]int{vj, vi}] // vj produces for vi
+	if full {
+		b.rebuildAdjacencyFull(times)
+	} else {
+		b.rebuildAdjacencyRows(times)
+	}
+	for _, v := range b.changedList {
+		b.changed[v] = false
+	}
+	b.prevTimes = append(b.prevTimes[:0], times...)
+	return &b.cg, nil
+}
 
-			if fwd == nil && rev == nil && !memClash {
-				depFree[vi] = append(depFree[vi], vj)
-				depFree[vj] = append(depFree[vj], vi)
-				if sameSlot {
-					sameSlotFree = append(sameSlotFree, [2]int{vi, vj})
-				}
-				continue
+// classifyPair applies the Appendix A.2 rules to the ordered pair vi < vj:
+// dependence-free pairs are recorded for the bulk mask fast path (the
+// overwhelming majority on large arrays), everything else walks the two
+// candidate lists and adds the individually-legal edges.
+func (b *CompatBuilder) classifyPair(times []int, vi, vj int) {
+	d, c, ii := b.d, b.c, b.ii
+	si, sj := times[vi]%ii, times[vj]%ii
+	sameSlot := si == sj
+	memClash := sameSlot && b.memOp[vi] && b.memOp[vj]
+	kf, kr := vi*d.N()+vj, vj*d.N()+vi
+	fwd, rev := b.depHas[kf], b.depHas[kr]
+
+	if !fwd && !rev && !memClash {
+		b.depFree[vi] = append(b.depFree[vi], vj)
+		b.depFree[vj] = append(b.depFree[vj], vi)
+		if sameSlot {
+			b.sameSlotFree = append(b.sameSlotFree, [2]int{vi, vj})
+		}
+		return
+	}
+
+	for _, i := range b.byOp[vi] {
+		pi := b.pairs[i].PE
+		for _, j := range b.byOp[vj] {
+			pj := b.pairs[j].PE
+			if sameSlot && pi == pj {
+				continue // same resource of R_II
 			}
-
-			for _, i := range byOp[vi] {
-				pi := pairs[i].PE
-				for _, j := range byOp[vj] {
-					pj := pairs[j].PE
-					if sameSlot && pi == pj {
-						continue // same resource of R_II
-					}
-					if memClash && c.RowOf(pi) == c.RowOf(pj) {
-						continue // shared row bus
-					}
-					samePE := pi == pj
-					if fwd != nil {
-						if fwd.carried && !samePE {
-							continue
-						}
-						if fwd.needAdj && !c.Connected(pi, pj) {
-							continue
-						}
-					}
-					if rev != nil {
-						if rev.carried && !samePE {
-							continue
-						}
-						if rev.needAdj && !c.Connected(pj, pi) {
-							continue
-						}
-					}
-					g.AddEdge(i, j)
+			if memClash && c.RowOf(pi) == c.RowOf(pj) {
+				continue // shared row bus
+			}
+			samePE := pi == pj
+			if fwd {
+				if b.depCarried[kf] && !samePE {
+					continue
+				}
+				if b.depNeedAdj[kf] && !c.Connected(pi, pj) {
+					continue
 				}
 			}
+			if rev {
+				if b.depCarried[kr] && !samePE {
+					continue
+				}
+				if b.depNeedAdj[kr] && !c.Connected(pj, pi) {
+					continue
+				}
+			}
+			b.g.AddEdge(i, j)
 		}
 	}
-	union := graph.NewBitset(len(pairs))
-	for vi, partners := range depFree {
+}
+
+// applyDepFree ORs the accumulated dependence-free partner masks into each
+// touched operation's candidate rows, then clears the same-slot same-PE
+// collisions (the one resource conflict the bulk OR cannot express).
+func (b *CompatBuilder) applyDepFree() {
+	for vi, partners := range b.depFree {
 		if len(partners) == 0 {
 			continue
 		}
-		union.Reset()
+		b.union.Reset()
 		for _, vj := range partners {
-			union.Or(masks[vj])
+			b.union.Or(b.masks[vj])
 		}
-		for _, i := range byOp[vi] {
-			g.OrAdjacency(i, union)
+		for _, i := range b.byOp[vi] {
+			b.g.OrAdjacency(i, b.union)
 		}
+		b.depFree[vi] = b.depFree[vi][:0]
 	}
-	for _, pair := range sameSlotFree {
+	for _, pair := range b.sameSlotFree {
 		// Same resource of R_II: same PE in the same slot. Candidate lists
 		// are PE-sorted, so a lockstep walk finds the collisions.
-		ci, cj := byOp[pair[0]], byOp[pair[1]]
+		ci, cj := b.byOp[pair[0]], b.byOp[pair[1]]
 		x, y := 0, 0
 		for x < len(ci) && y < len(cj) {
-			pi, pj := pairs[ci[x]].PE, pairs[cj[y]].PE
+			pi, pj := b.pairs[ci[x]].PE, b.pairs[cj[y]].PE
 			switch {
 			case pi == pj:
-				g.ClearEdge(ci[x], cj[y])
+				b.g.ClearEdge(ci[x], cj[y])
 				x++
 				y++
 			case pi < pj:
@@ -270,7 +373,67 @@ func BuildCompat(d *dfg.DFG, c *arch.CGRA, times []int, ii int, opts CompatOptio
 			}
 		}
 	}
-	return cg, nil
+	b.sameSlotFree = b.sameSlotFree[:0]
+}
+
+// rebuildAdjacencyFull reconstructs every adjacency row from scratch.
+func (b *CompatBuilder) rebuildAdjacencyFull(times []int) {
+	for i := range b.pairs {
+		b.g.ResetAdjacency(i)
+	}
+	for vi := 0; vi < b.d.N(); vi++ {
+		for vj := vi + 1; vj < b.d.N(); vj++ {
+			b.classifyPair(times, vi, vj)
+		}
+	}
+	b.applyDepFree()
+}
+
+// rebuildAdjacencyRows reconstructs only the rows touching operations whose
+// slot changed: their candidates' rows are cleared outright, every other
+// row drops its edges into the changed candidates, and the changed-vs-all
+// pair constraints are re-derived.
+func (b *CompatBuilder) rebuildAdjacencyRows(times []int) {
+	b.changedMask.Reset()
+	for _, v := range b.changedList {
+		b.changedMask.Or(b.masks[v])
+	}
+	for v := 0; v < b.d.N(); v++ {
+		if b.changed[v] {
+			for _, id := range b.byOp[v] {
+				b.g.ResetAdjacency(id)
+			}
+		} else {
+			for _, id := range b.byOp[v] {
+				b.g.AndNotAdjacency(id, b.changedMask)
+			}
+		}
+	}
+	for _, vi := range b.changedList {
+		for vj := 0; vj < b.d.N(); vj++ {
+			if vj == vi || (b.changed[vj] && vj < vi) {
+				continue // the changed-changed pair was handled at the lower id
+			}
+			if vi < vj {
+				b.classifyPair(times, vi, vj)
+			} else {
+				b.classifyPair(times, vj, vi)
+			}
+		}
+	}
+	b.applyDepFree()
+}
+
+// BuildCompat constructs the compatibility graph of a scheduled DFG on the
+// array at the given II, from scratch. The mapping loop uses a CompatBuilder
+// instead to reuse storage and unchanged rows across schedule attempts; the
+// two are equivalent (see TestCompatBuilderIncrementalMatchesScratch).
+func BuildCompat(d *dfg.DFG, c *arch.CGRA, times []int, ii int, opts CompatOptions) (*Compat, error) {
+	b, err := NewCompatBuilder(d, c, ii, opts)
+	if err != nil {
+		return nil, err
+	}
+	return b.Build(times)
 }
 
 // Candidates returns the compatibility-graph node indices that bind op v.

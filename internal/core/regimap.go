@@ -144,6 +144,28 @@ type iiAttempt struct {
 	prefer       []int
 	prevSchedule *sched.Result
 	prevUnplaced []int
+
+	compatOpts CompatOptions
+	cb         *CompatBuilder // incremental compat builder for the current work DFG
+	cbFor      *dfg.DFG       // the DFG cb was built for (route insertion replaces it)
+	cbNodes    int            // node count cb was sized for (in-place growth invalidates)
+}
+
+// compat returns the compatibility graph for the schedule, building it
+// incrementally: the builder persists across attempts at this II and only
+// rebuilds the rows of rescheduled operations. Structural learning moves
+// (route insertion, recomputation) grow the work DFG — sometimes by mutating
+// the already-cloned DFG in place — so the builder is invalidated both on
+// identity change and on node-count change.
+func (a *iiAttempt) compat(times []int) (*Compat, error) {
+	if a.cb == nil || a.cbFor != a.ds || a.cbNodes != a.ds.N() {
+		cb, err := NewCompatBuilder(a.ds, a.c, a.ii, a.compatOpts)
+		if err != nil {
+			return nil, err
+		}
+		a.cb, a.cbFor, a.cbNodes = cb, a.ds, a.ds.N()
+	}
+	return a.cb.Build(times)
 }
 
 // mapAtII attempts to map at one fixed II, returning nil to escalate. A
@@ -157,6 +179,7 @@ func mapAtII(ctx context.Context, d *dfg.DFG, c *arch.CGRA, ii, maxAttempts int,
 		routeBudget:  routeBudgetFor(d.N()),
 		reserve:      8,
 		bestUnplaced: math.MaxInt,
+		compatOpts:   opts.Compat,
 	}
 	seen := map[string]bool{} // schedules already placed (and failed)
 
@@ -190,7 +213,7 @@ func mapAtII(ctx context.Context, d *dfg.DFG, c *arch.CGRA, ii, maxAttempts int,
 			continue
 		}
 
-		cg, err := BuildCompat(a.ds, c, res.Time, ii, opts.Compat)
+		cg, err := a.compat(res.Time)
 		if err != nil {
 			return nil
 		}
@@ -395,6 +418,11 @@ func findPlacement(cg *Compat, target int, times []int, opts clique.Options) []i
 	// graph but scales with its square; beyond a few hundred nodes the
 	// grouped passes plus the outer learning loop are the better use of time.
 	if cg.Nodes() <= 384 {
+		if opts.SeedOrder == nil {
+			// The graph caches the degree sort, so repeated placements of an
+			// unchanged (or partially-rebuilt) graph sort at most once.
+			opts.SeedOrder = cg.G.DegreeOrder()
+		}
 		if alt := clique.Find(cg.G, target, opts); len(alt) > len(sol) {
 			return alt
 		}

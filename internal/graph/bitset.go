@@ -18,6 +18,25 @@ func NewBitset(n int) *Bitset {
 	return &Bitset{words: make([]uint64, (n+63)/64), n: n}
 }
 
+// NewBitsetSlab returns count empty bitsets of capacity n whose word storage
+// comes from a single backing allocation. The clique engine's adjacency rows
+// and the compat builder's candidate masks are allocated this way: one graph
+// no longer costs two allocations per row.
+func NewBitsetSlab(n, count int) []*Bitset {
+	if n < 0 || count < 0 {
+		panic("graph: negative bitset slab size")
+	}
+	wpr := (n + 63) / 64
+	words := make([]uint64, wpr*count)
+	sets := make([]Bitset, count)
+	out := make([]*Bitset, count)
+	for i := range sets {
+		sets[i] = Bitset{words: words[i*wpr : (i+1)*wpr : (i+1)*wpr], n: n}
+		out[i] = &sets[i]
+	}
+	return out
+}
+
 // Cap returns the capacity of the bitset.
 func (b *Bitset) Cap() int { return b.n }
 
@@ -155,6 +174,25 @@ func (b *Bitset) Fill() {
 // the iteration stops early.
 func (b *Bitset) ForEach(fn func(i int) bool) {
 	for wi, w := range b.words {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			if !fn(wi*64 + bit) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// ForEachAnd calls fn for each member of b ∩ other in increasing order,
+// without materializing the intersection. If fn returns false the iteration
+// stops early.
+func (b *Bitset) ForEachAnd(other *Bitset, fn func(i int) bool) {
+	if b.n != other.n {
+		panic("graph: bitset capacity mismatch")
+	}
+	for wi, w := range b.words {
+		w &= other.words[wi]
 		for w != 0 {
 			bit := bits.TrailingZeros64(w)
 			if !fn(wi*64 + bit) {

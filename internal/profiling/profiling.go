@@ -1,0 +1,54 @@
+// Package profiling wires the -cpuprofile/-memprofile flags of the CLIs to
+// runtime/pprof, so the mapper's hot path (clique search, compat rebuilds)
+// stays inspectable: `regimap -kernel fft_radix2 -cpuprofile cpu.out` then
+// `go tool pprof cpu.out`.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (when non-empty) and arranges a heap
+// profile at memPath (when non-empty). The returned stop function is
+// idempotent and must run before the process exits — including error exits,
+// so callers route os.Exit paths through it.
+func Start(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "profiling:", err)
+				return
+			}
+			runtime.GC() // capture live heap, not garbage awaiting collection
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "profiling:", err)
+			}
+			f.Close()
+		}
+	}, nil
+}
