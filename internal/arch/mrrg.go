@@ -85,9 +85,14 @@ func BuildMRRG(c *CGRA, ii int) *MRRG {
 				m.slot[id] = t
 				switch k {
 				case FU, OutReg:
-					m.cap[id] = 1
+					// A broken PE contributes nothing: capacity 0 makes any
+					// use an overuse the annealer must anneal away, and the
+					// final Verify rejects.
+					if c.PEOk(p) {
+						m.cap[id] = 1
+					}
 				case RF:
-					m.cap[id] = c.NumRegs
+					m.cap[id] = c.RegsAt(p)
 				}
 			}
 		}
@@ -96,7 +101,9 @@ func BuildMRRG(c *CGRA, ii int) *MRRG {
 			m.kind[id] = Bus
 			m.pe[id] = r
 			m.slot[id] = t
-			m.cap[id] = 1
+			if c.RowBusOK(r) {
+				m.cap[id] = 1
+			}
 		}
 	}
 	for t := 0; t < ii; t++ {
@@ -111,7 +118,7 @@ func BuildMRRG(c *CGRA, ii int) *MRRG {
 				m.addEdge(or, m.FUNode(q, t))
 			}
 			m.addEdge(or, m.OutRegNode(p, next))
-			if c.NumRegs > 0 {
+			if c.RegsAt(p) > 0 {
 				m.addEdge(or, m.RFNode(p, next))
 				m.addEdge(rf, m.RFNode(p, next))
 				m.addEdge(rf, fu)

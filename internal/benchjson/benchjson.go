@@ -1,0 +1,200 @@
+// Package benchjson parses `go test -bench` output into a stable JSON
+// baseline shape and compares fresh bench output against a committed
+// baseline. It is the library behind the tools/benchjson command; every
+// helper returns wrapped errors (no printing, no os.Exit) so CI tooling and
+// tests can reuse it and react to failures programmatically.
+package benchjson
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result holds one benchmark's parsed metrics. NsPerOp/BytesPerOp/AllocsPerOp
+// mirror testing.B's standard units; Metrics carries b.ReportMetric custom
+// units (perf/loop, compile-µs/loop, ...).
+type Result struct {
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Baseline is the committed BENCH_baseline.json shape.
+type Baseline struct {
+	Note       string            `json:"note,omitempty"`
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// ErrRegression classifies a Compare failure: at least one benchmark
+// regressed beyond the allowed factor. Detect it with errors.Is.
+var ErrRegression = errors.New("benchmark regression beyond allowed factor")
+
+// ErrNoBenchmarks classifies empty parse input: not a single benchmark line.
+var ErrNoBenchmarks = errors.New("no benchmark lines in input")
+
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+// Parse reads `go test -bench` output and returns name -> result. The -N
+// GOMAXPROCS suffix is stripped so baselines transfer between machines.
+// An input without any benchmark line is an ErrNoBenchmarks.
+func Parse(r io.Reader) (map[string]Result, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	out := map[string]Result{}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Benchmark lines are: name, iterations, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		name := cpuSuffix.ReplaceAllString(fields[0], "")
+		res := out[name] // merged: the same bench may appear in several passes
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchjson: bad value %q in %q: %w", fields[i], line, err)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				res.NsPerOp = v
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+			default:
+				if res.Metrics == nil {
+					res.Metrics = map[string]float64{}
+				}
+				res.Metrics[unit] = v
+			}
+		}
+		out[name] = res
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchjson: reading bench output: %w", err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("benchjson: %w", ErrNoBenchmarks)
+	}
+	return out, nil
+}
+
+// WriteBaseline marshals the parsed benchmarks and writes them to path.
+func WriteBaseline(path, note string, benchmarks map[string]Result) error {
+	b := Baseline{Note: note, Benchmarks: benchmarks}
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchjson: encoding baseline: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("benchjson: writing baseline: %w", err)
+	}
+	return nil
+}
+
+// LoadBaseline reads and decodes a committed baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchjson: reading baseline: %w", err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		return nil, fmt.Errorf("benchjson: decoding baseline %s: %w", path, err)
+	}
+	return &base, nil
+}
+
+// CompareOptions bounds a Compare run.
+type CompareOptions struct {
+	// MaxRegress fails a benchmark whose ns/op exceeds baseline by this
+	// factor (0: 1.30).
+	MaxRegress float64
+	// MinNs ignores benchmarks whose baseline ns/op is below this floor —
+	// at -benchtime=1x their timing is scheduler noise (0: 100µs).
+	MinNs float64
+}
+
+// Verdict is one benchmark's comparison outcome.
+type Verdict struct {
+	Name      string
+	Status    string // "ok", "FAIL", or "SKIP"
+	Why       string // reason for a SKIP
+	GotNs     float64
+	RefNs     float64
+	Ratio     float64
+	Regressed bool
+}
+
+// Compare checks fresh results against a baseline, name by name in sorted
+// order. The returned verdicts always cover every fresh benchmark; the error
+// is non-nil (wrapping ErrRegression) iff any benchmark regressed beyond
+// opts.MaxRegress.
+func Compare(fresh map[string]Result, base *Baseline, opts CompareOptions) ([]Verdict, error) {
+	maxRegress := opts.MaxRegress
+	if maxRegress == 0 {
+		maxRegress = 1.30
+	}
+	minNs := opts.MinNs
+	if minNs == 0 {
+		minNs = 100e3
+	}
+	names := make([]string, 0, len(fresh))
+	for name := range fresh {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var verdicts []Verdict
+	regressed := 0
+	for _, name := range names {
+		got := fresh[name]
+		ref, ok := base.Benchmarks[name]
+		switch {
+		case !ok || ref.NsPerOp <= 0:
+			verdicts = append(verdicts, Verdict{Name: name, Status: "SKIP", Why: "not in baseline", GotNs: got.NsPerOp})
+		case ref.NsPerOp < minNs:
+			verdicts = append(verdicts, Verdict{Name: name, Status: "SKIP",
+				Why: fmt.Sprintf("baseline %.0f ns/op below noise floor", ref.NsPerOp), GotNs: got.NsPerOp, RefNs: ref.NsPerOp})
+		default:
+			v := Verdict{Name: name, Status: "ok", GotNs: got.NsPerOp, RefNs: ref.NsPerOp, Ratio: got.NsPerOp / ref.NsPerOp}
+			if v.Ratio > maxRegress {
+				v.Status = "FAIL"
+				v.Regressed = true
+				regressed++
+			}
+			verdicts = append(verdicts, v)
+		}
+	}
+	if regressed > 0 {
+		return verdicts, fmt.Errorf("benchjson: %d benchmark(s) slower than x%.2f: %w", regressed, maxRegress, ErrRegression)
+	}
+	return verdicts, nil
+}
+
+// Report renders verdicts in the historical text format of the CLI.
+func Report(w io.Writer, verdicts []Verdict) {
+	for _, v := range verdicts {
+		switch v.Status {
+		case "SKIP":
+			fmt.Fprintf(w, "SKIP %-40s %s\n", v.Name, v.Why)
+		case "FAIL":
+			fmt.Fprintf(w, "FAIL %-40s %12.0f ns/op  vs baseline %12.0f  (x%.2f)\n", v.Name, v.GotNs, v.RefNs, v.Ratio)
+		default:
+			fmt.Fprintf(w, "ok   %-40s %12.0f ns/op  vs baseline %12.0f  (x%.2f)\n", v.Name, v.GotNs, v.RefNs, v.Ratio)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package benchjson
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+BenchmarkMapREGIMap/fir8-8   	      10	 1200000 ns/op	  2048 B/op	      12 allocs/op
+BenchmarkScheduler-8         	    1000	  150000 ns/op	     3.50 perf/loop
+not a benchmark line
+BenchmarkTiny-8              	 1000000	      90 ns/op
+`
+
+func TestParse(t *testing.T) {
+	got, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := got["BenchmarkMapREGIMap/fir8"]
+	if m.NsPerOp != 1200000 || m.BytesPerOp != 2048 || m.AllocsPerOp != 12 {
+		t.Fatalf("parsed %+v", m)
+	}
+	if got["BenchmarkScheduler"].Metrics["perf/loop"] != 3.50 {
+		t.Fatalf("custom metric lost: %+v", got["BenchmarkScheduler"])
+	}
+	if _, ok := got["BenchmarkScheduler-8"]; ok {
+		t.Fatal("GOMAXPROCS suffix not stripped")
+	}
+}
+
+func TestParseEmptyInput(t *testing.T) {
+	if _, err := Parse(strings.NewReader("no benches here\n")); !errors.Is(err, ErrNoBenchmarks) {
+		t.Fatalf("want ErrNoBenchmarks, got %v", err)
+	}
+}
+
+func TestParseBadValue(t *testing.T) {
+	_, err := Parse(strings.NewReader("BenchmarkX-8 10 oops ns/op\n"))
+	if err == nil || !strings.Contains(err.Error(), `bad value "oops"`) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestBaselineRoundTripAndCompare(t *testing.T) {
+	parsed, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := WriteBaseline(path, "test note", parsed); err != nil {
+		t.Fatal(err)
+	}
+	base, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Note != "test note" || len(base.Benchmarks) != 3 {
+		t.Fatalf("baseline = %+v", base)
+	}
+
+	// Identical results: everything ok or skipped, no error.
+	verdicts, err := Compare(parsed, base, CompareOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Verdict{}
+	for _, v := range verdicts {
+		byName[v.Name] = v
+	}
+	if byName["BenchmarkMapREGIMap/fir8"].Status != "ok" {
+		t.Fatalf("verdicts = %+v", verdicts)
+	}
+	if byName["BenchmarkTiny"].Status != "SKIP" {
+		t.Fatal("sub-noise-floor benchmark not skipped")
+	}
+
+	// A 2x slowdown on the slow benchmark must regress.
+	slower := map[string]Result{"BenchmarkMapREGIMap/fir8": {NsPerOp: 2400000}}
+	verdicts, err = Compare(slower, base, CompareOptions{})
+	if !errors.Is(err, ErrRegression) {
+		t.Fatalf("want ErrRegression, got %v", err)
+	}
+	if len(verdicts) != 1 || !verdicts[0].Regressed {
+		t.Fatalf("verdicts = %+v", verdicts)
+	}
+
+	// The same slowdown under a permissive factor passes.
+	if _, err := Compare(slower, base, CompareOptions{MaxRegress: 3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadBaselineErrors(t *testing.T) {
+	if _, err := LoadBaseline(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("want error for a missing baseline")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := WriteBaseline(bad, "", map[string]Result{}); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt it.
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(bad); err == nil || !strings.Contains(err.Error(), "decoding baseline") {
+		t.Fatalf("got %v", err)
+	}
+}

@@ -89,6 +89,13 @@ type CompatBuilder struct {
 	maxCarried []int
 	anyDemand  bool
 
+	// handicap pre-charges candidates on PEs whose usable register file is
+	// smaller than the nominal NumRegs (a register-file fault): the clique
+	// budget is global, so charging the deficit as an unconditional base
+	// weight makes the per-node budget check exactly the *usable* per-PE
+	// capacity. nil on healthy arrays — the fault-free path is unchanged.
+	handicap []int
+
 	prevTimes []int // schedule of the previous successful Build (nil: none)
 
 	// Per-build scratch, allocated once.
@@ -118,7 +125,10 @@ func NewCompatBuilder(d *dfg.DFG, c *arch.CGRA, ii int, opts CompatOptions) (*Co
 	for v := range d.Nodes {
 		for p := 0; p < c.NumPEs(); p++ {
 			if !c.Supports(p, d.Nodes[v].Kind) {
-				continue
+				continue // heterogeneous restriction or a broken PE
+			}
+			if d.Nodes[v].Kind.IsMem() && !c.RowBusOK(c.RowOf(p)) {
+				continue // memory op on a row whose shared bus is dead
 			}
 			b.byOp[v] = append(b.byOp[v], len(b.pairs))
 			b.pairs = append(b.pairs, Pair{Op: v, PE: p})
@@ -131,6 +141,16 @@ func NewCompatBuilder(d *dfg.DFG, c *arch.CGRA, ii int, opts CompatOptions) (*Co
 	n := len(b.pairs)
 	b.g = clique.NewGraph(n, c.NumRegs)
 	b.cg = Compat{G: b.g, Pairs: b.pairs, II: ii, d: d, byOp: b.byOp}
+	if !c.Healthy() {
+		for id, pr := range b.pairs {
+			if h := c.NumRegs - c.RegsAt(pr.PE); h > 0 {
+				if b.handicap == nil {
+					b.handicap = make([]int, n)
+				}
+				b.handicap[id] = h
+			}
+		}
+	}
 
 	b.masks = graph.NewBitsetSlab(n, d.N())
 	b.memOp = make([]bool, d.N())
@@ -240,7 +260,11 @@ func (b *CompatBuilder) Build(times []int) (*Compat, error) {
 	// summaries for this schedule's demands.
 	for v, demand := range b.regDemand {
 		for _, id := range b.byOp[v] {
-			b.g.SetBase(id, demand)
+			if b.handicap != nil {
+				b.g.SetBase(id, demand+b.handicap[id])
+			} else {
+				b.g.SetBase(id, demand)
+			}
 		}
 	}
 	b.g.SetWeightFunc(

@@ -10,9 +10,27 @@ import (
 	"regimap/internal/arch"
 	"regimap/internal/clique"
 	"regimap/internal/dfg"
+	"regimap/internal/maperr"
 	"regimap/internal/mapping"
 	"regimap/internal/sched"
 )
+
+// The mapper's failures carry the shared error taxonomy of
+// regimap/internal/maperr, re-exported here so callers of core need not
+// import both packages:
+//
+//	errors.Is(err, core.ErrNoMapping)  — the search space was exhausted
+//	errors.Is(err, core.ErrAborted)    — the context was cancelled (the ctx
+//	                                     error is also in the wrap chain)
+//	errors.As(err, *core.InvalidMappingError) — internal invariant broke
+var (
+	ErrNoMapping = maperr.ErrNoMapping
+	ErrAborted   = maperr.ErrAborted
+)
+
+// InvalidMappingError reports a mapper-internal bug: a produced mapping that
+// fails its own validation.
+type InvalidMappingError = maperr.InvalidMappingError
 
 // Options configures the REGIMap mapper. The zero value is the paper's
 // configuration.
@@ -84,7 +102,18 @@ func Map(ctx context.Context, d *dfg.DFG, c *arch.CGRA, opts Options) (*mapping.
 	if err := d.Validate(); err != nil {
 		return nil, nil, err
 	}
-	stats := &Stats{MII: d.MII(c.NumPEs(), c.Rows)}
+	pes, memRows := c.MIIResources()
+	stats := &Stats{MII: d.MII(pes, memRows)}
+	if !c.Healthy() {
+		if c.UsablePEs() == 0 {
+			stats.Elapsed = time.Since(start)
+			return nil, stats, maperr.NoMapping("core: no mapping for %s on %s: every PE is broken", d.Name, c)
+		}
+		if c.UsableMemRows() == 0 && hasMemOps(d) {
+			stats.Elapsed = time.Since(start)
+			return nil, stats, maperr.NoMapping("core: no mapping for %s on %s: no row can issue memory operations", d.Name, c)
+		}
+	}
 	maxII := opts.MaxII
 	if maxII <= 0 {
 		maxII = stats.MII + 16
@@ -105,7 +134,7 @@ func Map(ctx context.Context, d *dfg.DFG, c *arch.CGRA, opts Options) (*mapping.
 	for ii := startII; ii <= maxII && stats.Attempts < totalBudget; ii++ {
 		if err := ctx.Err(); err != nil {
 			stats.Elapsed = time.Since(start)
-			return nil, stats, fmt.Errorf("core: mapping %s aborted: %w", d.Name, err)
+			return nil, stats, maperr.Aborted(err, "core: mapping %s aborted: %v", d.Name, err)
 		}
 		budget := maxAttempts
 		if rest := totalBudget - stats.Attempts; rest < budget {
@@ -116,16 +145,26 @@ func Map(ctx context.Context, d *dfg.DFG, c *arch.CGRA, opts Options) (*mapping.
 			stats.II = ii
 			stats.Elapsed = time.Since(start)
 			if err := m.Validate(); err != nil {
-				return nil, nil, fmt.Errorf("core: internal error, produced invalid mapping: %w", err)
+				return nil, nil, &maperr.InvalidMappingError{Mapper: "core", What: "mapping", Err: err}
 			}
 			return m, stats, nil
 		}
 	}
 	stats.Elapsed = time.Since(start)
 	if err := ctx.Err(); err != nil {
-		return nil, stats, fmt.Errorf("core: mapping %s aborted: %w", d.Name, err)
+		return nil, stats, maperr.Aborted(err, "core: mapping %s aborted: %v", d.Name, err)
 	}
-	return nil, stats, fmt.Errorf("core: no mapping for %s on %s up to II=%d", d.Name, c, maxII)
+	return nil, stats, maperr.NoMapping("core: no mapping for %s on %s up to II=%d", d.Name, c, maxII)
+}
+
+// hasMemOps reports whether the kernel contains any load or store.
+func hasMemOps(d *dfg.DFG) bool {
+	for _, nd := range d.Nodes {
+		if nd.Kind.IsMem() {
+			return true
+		}
+	}
+	return false
 }
 
 // iiAttempt holds the mutable state of one fixed-II mapping attempt.
@@ -135,6 +174,9 @@ type iiAttempt struct {
 	c  *arch.CGRA
 	sc *sched.Scheduler
 	ii int
+
+	pes     int // usable PEs (== NumPEs on a healthy array)
+	memRows int // usable memory rows (== Rows on a healthy array)
 
 	width        int
 	routeBudget  int
@@ -171,11 +213,14 @@ func (a *iiAttempt) compat(times []int) (*Compat, error) {
 // mapAtII attempts to map at one fixed II, returning nil to escalate. A
 // cancelled ctx ends the attempt loop early (the caller reports the abort).
 func mapAtII(ctx context.Context, d *dfg.DFG, c *arch.CGRA, ii, maxAttempts int, opts Options, stats *Stats) *mapping.Mapping {
+	pes, memRows := c.MIIResources()
 	a := &iiAttempt{
 		d: d, ds: d, c: c,
-		sc:           sched.New(d, c.NumPEs(), c.Rows),
+		sc:           sched.New(d, pes, memRows),
 		ii:           ii,
-		width:        c.NumPEs(),
+		pes:          pes,
+		memRows:      memRows,
+		width:        pes,
 		routeBudget:  routeBudgetFor(d.N()),
 		reserve:      8,
 		bestUnplaced: math.MaxInt,
@@ -350,7 +395,7 @@ func (a *iiAttempt) relaxOrThin(res *sched.Result, unplaced []int, opts Options,
 			}
 		}
 		if changed {
-			a.sc = sched.New(a.ds, a.c.NumPEs(), a.c.Rows)
+			a.sc = sched.New(a.ds, a.pes, a.memRows)
 			a.reset()
 			return true
 		}

@@ -28,8 +28,21 @@ import (
 
 	"regimap/internal/arch"
 	"regimap/internal/dfg"
+	"regimap/internal/maperr"
 	"regimap/internal/sched"
 )
+
+// Failure taxonomy (regimap/internal/maperr), re-exported for callers:
+// errors.Is(err, dresc.ErrNoMapping), errors.Is(err, dresc.ErrAborted), and
+// errors.As with *dresc.InvalidMappingError all work on Map's errors.
+var (
+	ErrNoMapping = maperr.ErrNoMapping
+	ErrAborted   = maperr.ErrAborted
+)
+
+// InvalidMappingError reports a mapper-internal bug: a produced placement
+// that fails its own verification.
+type InvalidMappingError = maperr.InvalidMappingError
 
 // Options configures the annealer. Zero values select the defaults used in
 // the experiments.
@@ -91,7 +104,12 @@ func Map(ctx context.Context, d *dfg.DFG, c *arch.CGRA, opts Options) (*Placemen
 	if err := d.Validate(); err != nil {
 		return nil, nil, err
 	}
-	stats := &Stats{MII: d.MII(c.NumPEs(), c.Rows)}
+	pes, memRows := c.MIIResources()
+	stats := &Stats{MII: d.MII(pes, memRows)}
+	if c.UsablePEs() == 0 {
+		stats.Elapsed = time.Since(start)
+		return nil, stats, maperr.NoMapping("dresc: no mapping for %s on %s: every PE is broken", d.Name, c)
+	}
 	maxII := opts.MaxII
 	if maxII <= 0 {
 		maxII = stats.MII + 8
@@ -104,23 +122,23 @@ func Map(ctx context.Context, d *dfg.DFG, c *arch.CGRA, opts Options) (*Placemen
 	for ii := startII; ii <= maxII; ii++ {
 		if err := ctx.Err(); err != nil {
 			stats.Elapsed = time.Since(start)
-			return nil, stats, fmt.Errorf("dresc: mapping %s aborted: %w", d.Name, err)
+			return nil, stats, maperr.Aborted(err, "dresc: mapping %s aborted: %v", d.Name, err)
 		}
 		p := annealAtII(ctx, d, c, ii, opts, rng, stats)
 		if p != nil {
 			stats.II = ii
 			stats.Elapsed = time.Since(start)
 			if err := p.Verify(c); err != nil {
-				return nil, nil, fmt.Errorf("dresc: internal error, produced invalid placement: %w", err)
+				return nil, nil, &maperr.InvalidMappingError{Mapper: "dresc", What: "placement", Err: err}
 			}
 			return p, stats, nil
 		}
 	}
 	stats.Elapsed = time.Since(start)
 	if err := ctx.Err(); err != nil {
-		return nil, stats, fmt.Errorf("dresc: mapping %s aborted: %w", d.Name, err)
+		return nil, stats, maperr.Aborted(err, "dresc: mapping %s aborted: %v", d.Name, err)
 	}
-	return nil, stats, fmt.Errorf("dresc: no mapping for %s on %s up to II=%d", d.Name, c, maxII)
+	return nil, stats, maperr.NoMapping("dresc: no mapping for %s on %s up to II=%d", d.Name, c, maxII)
 }
 
 // state is the annealer's working configuration.
@@ -145,7 +163,8 @@ func annealAtII(ctx context.Context, d *dfg.DFG, c *arch.CGRA, ii int, opts Opti
 	// Initial modulo schedule (plain list schedule, no lifetime compaction —
 	// the published DRESC discovers time placements through its own
 	// annealing moves); placement starts random.
-	sc := sched.New(d, c.NumPEs(), c.Rows)
+	pes, memRows := c.MIIResources()
+	sc := sched.New(d, pes, memRows)
 	res, err := sc.Schedule(ii, sched.Options{NoCompact: true})
 	if err != nil {
 		return nil

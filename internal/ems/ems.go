@@ -12,14 +12,26 @@ package ems
 
 import (
 	"context"
-	"fmt"
 	"sort"
 	"time"
 
 	"regimap/internal/arch"
 	"regimap/internal/dfg"
+	"regimap/internal/maperr"
 	"regimap/internal/mapping"
 )
+
+// Failure taxonomy (regimap/internal/maperr), re-exported for callers:
+// errors.Is(err, ems.ErrNoMapping), errors.Is(err, ems.ErrAborted), and
+// errors.As with *ems.InvalidMappingError all work on Map's errors.
+var (
+	ErrNoMapping = maperr.ErrNoMapping
+	ErrAborted   = maperr.ErrAborted
+)
+
+// InvalidMappingError reports a mapper-internal bug: a produced mapping that
+// fails its own validation.
+type InvalidMappingError = maperr.InvalidMappingError
 
 // Options configures the mapper.
 type Options struct {
@@ -54,7 +66,12 @@ func Map(ctx context.Context, d *dfg.DFG, c *arch.CGRA, opts Options) (*mapping.
 	if err := d.Validate(); err != nil {
 		return nil, nil, err
 	}
-	stats := &Stats{MII: d.MII(c.NumPEs(), c.Rows)}
+	pes, memRows := c.MIIResources()
+	stats := &Stats{MII: d.MII(pes, memRows)}
+	if c.UsablePEs() == 0 {
+		stats.Elapsed = time.Since(start)
+		return nil, stats, maperr.NoMapping("ems: no mapping for %s on %s: every PE is broken", d.Name, c)
+	}
 	maxII := opts.MaxII
 	if maxII <= 0 {
 		maxII = stats.MII + 16
@@ -62,22 +79,22 @@ func Map(ctx context.Context, d *dfg.DFG, c *arch.CGRA, opts Options) (*mapping.
 	for ii := stats.MII; ii <= maxII; ii++ {
 		if err := ctx.Err(); err != nil {
 			stats.Elapsed = time.Since(start)
-			return nil, stats, fmt.Errorf("ems: mapping %s aborted: %w", d.Name, err)
+			return nil, stats, maperr.Aborted(err, "ems: mapping %s aborted: %v", d.Name, err)
 		}
 		if m := placeAtII(d, c, ii, stats); m != nil {
 			stats.II = ii
 			stats.Elapsed = time.Since(start)
 			if err := m.Validate(); err != nil {
-				return nil, nil, fmt.Errorf("ems: internal error, produced invalid mapping: %w", err)
+				return nil, nil, &maperr.InvalidMappingError{Mapper: "ems", What: "mapping", Err: err}
 			}
 			return m, stats, nil
 		}
 	}
 	stats.Elapsed = time.Since(start)
 	if err := ctx.Err(); err != nil {
-		return nil, stats, fmt.Errorf("ems: mapping %s aborted: %w", d.Name, err)
+		return nil, stats, maperr.Aborted(err, "ems: mapping %s aborted: %v", d.Name, err)
 	}
-	return nil, stats, fmt.Errorf("ems: no mapping for %s on %s up to II=%d", d.Name, c, maxII)
+	return nil, stats, maperr.NoMapping("ems: no mapping for %s on %s up to II=%d", d.Name, c, maxII)
 }
 
 // placer is the working state of one greedy pass.
@@ -181,8 +198,8 @@ func (p *placer) placeOp(v int, stats *Stats) bool {
 		p.materializeChain(best.edges[i], chain, stats)
 	}
 	p.recomputePressure()
-	for _, used := range p.pressure {
-		if used > p.c.NumRegs {
+	for pe, used := range p.pressure {
+		if used > p.c.RegsAt(pe) {
 			return false // over budget with no repair strategy: escalate II
 		}
 	}
@@ -193,7 +210,11 @@ func (p *placer) slotBusy(pe, t int, kind dfg.OpKind) bool {
 	if p.occupied[[2]int{pe, mod(t, p.ii)}] {
 		return true
 	}
-	return kind.IsMem() && p.busUsed[[2]int{p.c.RowOf(pe), mod(t, p.ii)}]
+	if !kind.IsMem() {
+		return false
+	}
+	row := p.c.RowOf(pe)
+	return !p.c.RowBusOK(row) || p.busUsed[[2]int{row, mod(t, p.ii)}]
 }
 
 func (p *placer) commit(v, pe, t int) {
@@ -223,7 +244,7 @@ func (p *placer) tryPosition(v, pe, t int) (cost int, chains [][]int, edges []in
 			return true
 		case prodPE == consPE:
 			regs := (span + p.ii - 1) / p.ii
-			if p.pressure[prodPE]+regs > p.c.NumRegs {
+			if p.pressure[prodPE]+regs > p.c.RegsAt(prodPE) {
 				return false
 			}
 			cost += 2 * regs
@@ -248,7 +269,7 @@ func (p *placer) tryPosition(v, pe, t int) (cost int, chains [][]int, edges []in
 		if e.From == v {
 			if spanSelf := p.ii * e.Dist; spanSelf > 1 {
 				regs := (spanSelf + p.ii - 1) / p.ii
-				if p.pressure[pe]+regs > p.c.NumRegs {
+				if p.pressure[pe]+regs > p.c.RegsAt(pe) {
 					return 0, nil, nil, false
 				}
 				cost += 2 * regs
@@ -306,7 +327,7 @@ func (p *placer) routeChain(fromPE, fromT, toPE, span int) []int {
 			cands := append([]int{cur.pe}, p.c.Neighbors(cur.pe)...)
 			for _, q := range cands {
 				ns := state{q, cur.k + 1}
-				if seen[ns] || p.slotBusy(q, fromT+ns.k, dfg.Route) {
+				if seen[ns] || !p.c.Supports(q, dfg.Route) || p.slotBusy(q, fromT+ns.k, dfg.Route) {
 					continue
 				}
 				seen[ns] = true

@@ -1,0 +1,166 @@
+// Package chaos stress-tests the resilient mapping pipeline two ways:
+//
+//   - Sweep injects growing numbers of random hardware faults and records a
+//     degradation curve — how the success rate, the winning rung of the
+//     degradation ladder, and the II inflation respond as the fabric decays;
+//   - Mutants / MutationSweep corrupt *valid* mappings, one legality
+//     constraint class at a time, and verify that both mapping.Validate and
+//     the cycle-accurate simulator reject every corruption with a violation
+//     naming the constraint that was broken.
+//
+// Both harnesses are deterministic: the same seed, array, and kernel set
+// always produce the same curve, so a regression in either the mappers or the
+// checkers shows up as a diff, not a flake.
+package chaos
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"regimap/internal/arch"
+	"regimap/internal/fault"
+	"regimap/internal/kernels"
+	"regimap/internal/resilient"
+)
+
+// SweepOptions configures a degradation sweep. The zero value sweeps the full
+// kernel suite on a healthy 4x4 mesh with 4 registers per PE, from 0 to 3
+// faults of every kind, 2 trials per fault count, seed 1.
+type SweepOptions struct {
+	// Kernels is the workload (nil: kernels.All()).
+	Kernels []kernels.Kernel
+	// Fabric is the base array faults are injected into (nil: 4x4 mesh, 4
+	// registers).
+	Fabric *arch.CGRA
+	// MaxFaults is the largest fault count swept (0: 3).
+	MaxFaults int
+	// Trials is how many random fault sets are drawn per fault count (0: 2).
+	// Fault count zero always runs exactly one trial — there is only one
+	// empty set.
+	Trials int
+	// Seed makes the fault draws reproducible (0: 1).
+	Seed int64
+	// Kinds restricts the injected fault kinds (nil: every kind the fabric
+	// admits).
+	Kinds []fault.Kind
+	// Resilient is the pipeline configuration template; its Faults field is
+	// overwritten per trial.
+	Resilient resilient.Options
+}
+
+// Point is one row of the degradation curve: every kernel x trial attempt at
+// a fixed fault count.
+type Point struct {
+	Faults       int
+	Attempts     int
+	Mapped       int
+	Rungs        map[resilient.Rung]int
+	InflationSum float64  // sum over successes of II / healthy II
+	Failures     []string // "kernel @ faults" for every failed attempt
+}
+
+// SuccessRate is the fraction of attempts that produced a certified mapping.
+func (p *Point) SuccessRate() float64 {
+	if p.Attempts == 0 {
+		return 0
+	}
+	return float64(p.Mapped) / float64(p.Attempts)
+}
+
+// MeanInflation is the mean II / healthy-II ratio over successful attempts
+// (1.0 means faults cost no throughput; 0 when nothing mapped).
+func (p *Point) MeanInflation() float64 {
+	if p.Mapped == 0 {
+		return 0
+	}
+	return p.InflationSum / float64(p.Mapped)
+}
+
+// Curve is a full degradation sweep result.
+type Curve struct {
+	Points   []Point
+	Baseline map[string]int // healthy II per kernel
+}
+
+// Table renders the curve as an aligned text table.
+func (c *Curve) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-7s %-9s %-7s %-6s %-8s %-5s %-6s %s\n",
+		"faults", "attempts", "mapped", "rate", "regimap", "ems", "dresc", "II-inflation")
+	for i := range c.Points {
+		p := &c.Points[i]
+		fmt.Fprintf(&b, "%-7d %-9d %-7d %-6.2f %-8d %-5d %-6d %.3f\n",
+			p.Faults, p.Attempts, p.Mapped, p.SuccessRate(),
+			p.Rungs[resilient.RungREGIMap], p.Rungs[resilient.RungEMS], p.Rungs[resilient.RungDRESC],
+			p.MeanInflation())
+	}
+	return b.String()
+}
+
+// Sweep maps every kernel against every drawn fault set, climbing the fault
+// count from 0 to MaxFaults, and returns the degradation curve. Baselines
+// (healthy II per kernel) are established first; a kernel that cannot map on
+// the healthy fabric is an error, not a data point.
+func Sweep(ctx context.Context, opts SweepOptions) (*Curve, error) {
+	ks := opts.Kernels
+	if ks == nil {
+		ks = kernels.All()
+	}
+	fabric := opts.Fabric
+	if fabric == nil {
+		fabric = arch.NewMesh(4, 4, 4)
+	}
+	maxFaults := opts.MaxFaults
+	if maxFaults == 0 {
+		maxFaults = 3
+	}
+	trials := opts.Trials
+	if trials <= 0 {
+		trials = 2
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = 1
+	}
+
+	curve := &Curve{Baseline: map[string]int{}}
+	for _, k := range ks {
+		out, err := resilient.Map(ctx, k.Build(), fabric, opts.Resilient)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: healthy baseline for %s: %w", k.Name, err)
+		}
+		curve.Baseline[k.Name] = out.II
+	}
+
+	for n := 0; n <= maxFaults; n++ {
+		point := Point{Faults: n, Rungs: map[resilient.Rung]int{}}
+		nTrials := trials
+		if n == 0 {
+			nTrials = 1
+		}
+		for trial := 0; trial < nTrials; trial++ {
+			rng := rand.New(rand.NewSource(seed*1_000_003 + int64(n)*1009 + int64(trial)))
+			fs := fault.Random(rng, fabric, n, opts.Kinds...)
+			ropts := opts.Resilient
+			ropts.Faults = fs
+			for _, k := range ks {
+				out, err := resilient.Map(ctx, k.Build(), fabric, ropts)
+				point.Attempts++
+				if err != nil {
+					if ctx.Err() != nil {
+						return curve, err
+					}
+					point.Failures = append(point.Failures, fmt.Sprintf("%s @ %q", k.Name, fs))
+					continue
+				}
+				point.Mapped++
+				point.Rungs[out.Rung]++
+				point.InflationSum += float64(out.II) / float64(curve.Baseline[k.Name])
+			}
+		}
+		curve.Points = append(curve.Points, point)
+	}
+	return curve, nil
+}

@@ -1,0 +1,190 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"regimap/internal/arch"
+	"regimap/internal/dfg"
+	"regimap/internal/fault"
+	"regimap/internal/kernels"
+	"regimap/internal/mapping"
+	"regimap/internal/sim"
+)
+
+// suite returns the kernel workload: the full tier-1 suite, thinned in short
+// mode to keep the chaos tests inside the default -short budget.
+func suite(t *testing.T) []kernels.Kernel {
+	t.Helper()
+	ks := kernels.All()
+	if !testing.Short() {
+		return ks
+	}
+	var sub []kernels.Kernel
+	for i, k := range ks {
+		if i%4 == 0 {
+			sub = append(sub, k)
+		}
+	}
+	return sub
+}
+
+// TestDegradationGuarantee is the acceptance criterion of the fault-injection
+// work: on a 4x4 array with up to 3 random PE or link faults, every tier-1
+// kernel still maps through the degradation ladder, and every produced
+// mapping is certified against the simulator (resilient.Map certifies before
+// returning).
+func TestDegradationGuarantee(t *testing.T) {
+	curve, err := Sweep(context.Background(), SweepOptions{
+		Kernels:   suite(t),
+		MaxFaults: 3,
+		Trials:    1,
+		Seed:      7,
+		Kinds:     []fault.Kind{fault.BrokenPE, fault.DeadLink},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve.Points) != 4 {
+		t.Fatalf("curve has %d points, want 4 (0..3 faults)", len(curve.Points))
+	}
+	for i := range curve.Points {
+		p := &curve.Points[i]
+		if p.SuccessRate() != 1.0 {
+			t.Errorf("%d fault(s): %d/%d mapped; failures: %v",
+				p.Faults, p.Mapped, p.Attempts, p.Failures)
+		}
+	}
+	t.Logf("degradation curve:\n%s", curve.Table())
+}
+
+// TestSweepStructure checks the bookkeeping of a small sweep: point layout,
+// baselines, the healthy point mapping everything at inflation 1.0, and the
+// table renderer.
+func TestSweepStructure(t *testing.T) {
+	ks := kernels.All()[:2]
+	curve, err := Sweep(context.Background(), SweepOptions{
+		Kernels:   ks,
+		MaxFaults: 2,
+		Trials:    1,
+		Seed:      3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve.Baseline) != len(ks) {
+		t.Fatalf("baselines for %d kernels, want %d", len(curve.Baseline), len(ks))
+	}
+	healthy := &curve.Points[0]
+	if healthy.Faults != 0 || healthy.Attempts != len(ks) || healthy.Mapped != len(ks) {
+		t.Fatalf("healthy point = %+v", healthy)
+	}
+	if got := healthy.MeanInflation(); got != 1.0 {
+		t.Fatalf("healthy II inflation = %v, want exactly 1.0", got)
+	}
+	table := curve.Table()
+	if !strings.Contains(table, "faults") || len(strings.Split(strings.TrimSpace(table), "\n")) != 4 {
+		t.Fatalf("table:\n%s", table)
+	}
+}
+
+// TestSweepDeterministic: same options, same curve — the chaos harness must
+// not be a flake generator.
+func TestSweepDeterministic(t *testing.T) {
+	opts := SweepOptions{Kernels: kernels.All()[:1], MaxFaults: 2, Trials: 2, Seed: 11}
+	a, err := Sweep(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Sweep(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Table() != b.Table() {
+		t.Fatalf("same seed, different curves:\n%s\nvs\n%s", a.Table(), b.Table())
+	}
+}
+
+// TestMutationSweepCatchRate is the mutation half of the acceptance
+// criterion: every applicable corruption of every kernel's valid mapping must
+// be rejected by BOTH mapping.Validate and sim.Check, and Validate must blame
+// exactly the constraint the mutant targeted — a 100% catch rate.
+func TestMutationSweepCatchRate(t *testing.T) {
+	// The fabric carries a broken PE and a dead row so the capability mutant
+	// and the dead-row strategy of the row-bus mutant have a target.
+	fs, err := fault.Parse("pe 3,3; row 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	outcomes, err := MutationSweep(context.Background(), suite(t), arch.NewMesh(4, 4, 4), fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied, caught, classes := CatchRate(outcomes)
+	if applied == 0 {
+		t.Fatal("no mutation applied anywhere — the harness is inert")
+	}
+	for _, o := range outcomes {
+		if !o.Caught() {
+			t.Errorf("%s/%s escaped: validate=%v sim=%v got=%q want=%q",
+				o.Kernel, o.Mutant, o.CaughtValidate, o.CaughtSim, o.Got, o.Expected)
+		}
+	}
+	if caught != applied {
+		t.Fatalf("catch rate %d/%d, want 100%%", caught, applied)
+	}
+	// Register capacity has its own guaranteed fixture below; every other
+	// class must be exercised by the kernel suite itself.
+	for _, want := range []mapping.Constraint{
+		mapping.ConstraintBinding, mapping.ConstraintCapability,
+		mapping.ConstraintOccupancy, mapping.ConstraintRowBus,
+		mapping.ConstraintPrecedence, mapping.ConstraintAdjacency,
+		mapping.ConstraintRegisterCarry,
+	} {
+		if classes[want] == 0 {
+			t.Errorf("constraint class %q never exercised", want)
+		}
+	}
+	t.Logf("mutation sweep: %d applied, %d caught, classes %v", applied, caught, classes)
+}
+
+// TestMutantRegisterCapacityFixture pins the register-capacity mutant on a
+// hand-built mapping where it is applicable by construction: a producer
+// feeding a register-carried sink on one PE. Kernel mappings do not always
+// contain such a shape, so the class is guaranteed here.
+func TestMutantRegisterCapacityFixture(t *testing.T) {
+	b := dfg.NewBuilder("capprobe")
+	x := b.Input("x")
+	y := b.Op(dfg.Add, "y", x, x)
+	d := b.Build()
+	m := mapping.New(d, arch.NewMesh(2, 2, 4), 2)
+	m.Time[x], m.PE[x] = 0, 0
+	m.Time[y], m.PE[y] = 3, 0 // span 3 > 1: register-carried on PE 0
+	if err := m.Validate(); err != nil {
+		t.Fatalf("fixture is not a valid mapping: %v", err)
+	}
+	for _, mut := range Mutants() {
+		if mut.Constraint != mapping.ConstraintRegisterCap {
+			continue
+		}
+		m2 := cloneMapping(m)
+		if !mut.Apply(m2) {
+			t.Fatal("register-capacity mutant rejected its own fixture")
+		}
+		verr := m2.Validate()
+		if verr == nil {
+			t.Fatal("validator accepted the overflowing mapping")
+		}
+		var viol *mapping.Violation
+		if !errors.As(verr, &viol) || viol.Constraint != mapping.ConstraintRegisterCap {
+			t.Fatalf("wrong constraint blamed: %v", verr)
+		}
+		if sim.Check(m2, 3) == nil {
+			t.Fatal("simulator executed the overflowing mapping")
+		}
+		return
+	}
+	t.Fatal("no register-capacity mutant in the catalogue")
+}

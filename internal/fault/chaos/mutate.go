@@ -1,0 +1,420 @@
+package chaos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"regimap/internal/arch"
+	"regimap/internal/core"
+	"regimap/internal/ems"
+	"regimap/internal/fault"
+	"regimap/internal/kernels"
+	"regimap/internal/mapping"
+	"regimap/internal/sim"
+)
+
+// Mutant is one constraint-targeted corruption of a valid mapping. Apply
+// mutates m in place and reports whether the mapping admitted this corruption
+// (a kernel with no register-carried edge cannot host a register-carry
+// mutation, for instance). Each mutant is constructed so that the *only*
+// legality rule it breaks is Constraint — the mutation harness asserts not
+// just that the validator rejects, but that it names the right rule.
+type Mutant struct {
+	Name       string
+	Constraint mapping.Constraint
+	Apply      func(m *mapping.Mapping) bool
+}
+
+// MutationOutcome records how the checkers handled one applied mutant.
+type MutationOutcome struct {
+	Kernel         string
+	Mutant         string
+	Expected       mapping.Constraint
+	Got            mapping.Constraint // constraint Validate reported ("" if it let the corruption through)
+	CaughtValidate bool
+	CaughtSim      bool
+}
+
+// Caught reports whether both the structural validator and the simulator
+// rejected the corruption, and the validator blamed the intended constraint.
+func (o MutationOutcome) Caught() bool {
+	return o.CaughtValidate && o.CaughtSim && o.Got == o.Expected
+}
+
+// Mutants returns the corruption catalogue, one entry per legality rule of
+// mapping.Validate. Mutants that need hardware faults to be expressible
+// (capability needs a broken PE, one row-bus strategy needs a dead row)
+// simply report inapplicable on a fabric without them.
+func Mutants() []Mutant {
+	return []Mutant{
+		{
+			Name:       "unschedule-op",
+			Constraint: mapping.ConstraintBinding,
+			Apply: func(m *mapping.Mapping) bool {
+				if m.D.N() == 0 {
+					return false
+				}
+				m.Time[0] = -1
+				return true
+			},
+		},
+		{
+			Name:       "bind-to-broken-pe",
+			Constraint: mapping.ConstraintCapability,
+			Apply: func(m *mapping.Mapping) bool {
+				for q := 0; q < m.C.NumPEs(); q++ {
+					if m.C.PEOk(q) {
+						continue
+					}
+					m.PE[0] = q
+					return true
+				}
+				return false
+			},
+		},
+		{
+			Name:       "collide-slot",
+			Constraint: mapping.ConstraintOccupancy,
+			Apply: func(m *mapping.Mapping) bool {
+				// Move op w onto op v's (PE, slot); v < w so the validator's
+				// sweep meets v first and books the slot.
+				for w := 1; w < m.D.N(); w++ {
+					for v := 0; v < w; v++ {
+						if !m.C.Supports(m.PE[v], m.D.Nodes[w].Kind) {
+							continue
+						}
+						m.PE[w] = m.PE[v]
+						m.Time[w] = m.Time[v]
+						return true
+					}
+				}
+				return false
+			},
+		},
+		{
+			Name:       "double-book-row-bus",
+			Constraint: mapping.ConstraintRowBus,
+			Apply:      mutateRowBus,
+		},
+		{
+			Name:       "break-precedence",
+			Constraint: mapping.ConstraintPrecedence,
+			Apply:      mutatePrecedence,
+		},
+		{
+			Name:       "teleport-consumer",
+			Constraint: mapping.ConstraintAdjacency,
+			Apply:      mutateAdjacency,
+		},
+		{
+			Name:       "split-register-pair",
+			Constraint: mapping.ConstraintRegisterCarry,
+			Apply:      mutateRegisterCarry,
+		},
+		{
+			Name:       "overflow-register-file",
+			Constraint: mapping.ConstraintRegisterCap,
+			Apply:      mutateRegisterCap,
+		},
+	}
+}
+
+// otherOccupies reports whether any op besides `except` sits on (pe, slot).
+func otherOccupies(m *mapping.Mapping, except, pe, slot int) bool {
+	for v := range m.D.Nodes {
+		if v != except && m.PE[v] == pe && m.Slot(v) == slot {
+			return true
+		}
+	}
+	return false
+}
+
+// busTaken reports whether any memory op besides `except` uses row's bus in
+// the given modulo slot.
+func busTaken(m *mapping.Mapping, except, row, slot int) bool {
+	for v := range m.D.Nodes {
+		if v != except && m.D.Nodes[v].Kind.IsMem() && m.C.RowOf(m.PE[v]) == row && m.Slot(v) == slot {
+			return true
+		}
+	}
+	return false
+}
+
+// placeable reports whether op v could legally sit on (pe, slot) as far as
+// the node-local rules go: live supporting PE, free slot, free live bus.
+// Mutants use it to keep every rule *except their target* satisfied.
+func placeable(m *mapping.Mapping, v, pe, slot int) bool {
+	if !m.C.PEOk(pe) || !m.C.Supports(pe, m.D.Nodes[v].Kind) {
+		return false
+	}
+	if otherOccupies(m, v, pe, slot) {
+		return false
+	}
+	if m.D.Nodes[v].Kind.IsMem() {
+		row := m.C.RowOf(pe)
+		if !m.C.RowBusOK(row) || busTaken(m, v, row, slot) {
+			return false
+		}
+	}
+	return true
+}
+
+// mutateRowBus creates a bus conflict: a second memory op moved onto an
+// already-used (row, slot) from a different PE, or — on a fabric with a dead
+// row — a memory op moved onto a live PE of that row.
+func mutateRowBus(m *mapping.Mapping) bool {
+	var mems []int
+	for v := range m.D.Nodes {
+		if m.D.Nodes[v].Kind.IsMem() {
+			mems = append(mems, v)
+		}
+	}
+	for _, w := range mems {
+		for _, v := range mems {
+			if v == w {
+				continue
+			}
+			row, slot := m.C.RowOf(m.PE[v]), m.Slot(v)
+			for col := 0; col < m.C.Cols; col++ {
+				q := m.C.PEAt(row, col)
+				if q == m.PE[v] || !m.C.PEOk(q) || !m.C.Supports(q, m.D.Nodes[w].Kind) {
+					continue
+				}
+				if otherOccupies(m, w, q, slot) {
+					continue
+				}
+				m.PE[w] = q
+				m.Time[w] = m.Time[v]
+				return true
+			}
+		}
+	}
+	for _, w := range mems {
+		for q := 0; q < m.C.NumPEs(); q++ {
+			if m.C.RowBusOK(m.C.RowOf(q)) {
+				continue
+			}
+			if !m.C.PEOk(q) || !m.C.Supports(q, m.D.Nodes[w].Kind) || otherOccupies(m, w, q, m.Slot(w)) {
+				continue
+			}
+			m.PE[w] = q
+			return true
+		}
+	}
+	return false
+}
+
+// mutatePrecedence reschedules a sink consumer one cycle too early. Sinks
+// only: a node with downstream consumers could surface the corruption as a
+// register-carry violation on an outgoing edge instead.
+func mutatePrecedence(m *mapping.Mapping) bool {
+	for _, e := range m.D.Edges {
+		if e.From == e.To || !selfEdgesOnly(m, e.To) {
+			continue
+		}
+		lat := m.D.Nodes[e.From].Kind.Latency()
+		nt := m.Time[e.From] - m.II*e.Dist + lat - 1
+		if nt < 0 || !placeable(m, e.To, m.PE[e.To], nt%m.II) {
+			continue
+		}
+		m.Time[e.To] = nt
+		return true
+	}
+	return false
+}
+
+// mutateAdjacency moves the consumer of a one-cycle dependence onto a PE the
+// producer's output register cannot reach. Consumers touching any
+// register-carried edge are skipped so the corruption cannot be blamed on the
+// register-carry rule instead.
+func mutateAdjacency(m *mapping.Mapping) bool {
+	for _, e := range m.D.Edges {
+		if e.From == e.To || m.Span(e) != 1 {
+			continue
+		}
+		to := e.To
+		pure := true
+		for _, ei := range incident(m, to) {
+			ed := m.D.Edges[ei]
+			if ed.From != ed.To && m.Span(ed) > 1 {
+				pure = false
+				break
+			}
+		}
+		if !pure {
+			continue
+		}
+		for q := 0; q < m.C.NumPEs(); q++ {
+			if q == m.PE[to] || m.C.Connected(m.PE[e.From], q) || !placeable(m, to, q, m.Slot(to)) {
+				continue
+			}
+			m.PE[to] = q
+			return true
+		}
+	}
+	return false
+}
+
+// mutateRegisterCarry moves the consumer of a register-carried dependence off
+// the producer's PE — register files are PE-private, so the value becomes
+// unreachable. The destination is chosen so every one-cycle dependence of the
+// consumer stays adjacent: the carry rule must be the one that fires.
+func mutateRegisterCarry(m *mapping.Mapping) bool {
+	for _, e := range m.D.Edges {
+		if e.From == e.To || m.Span(e) <= 1 {
+			continue
+		}
+		to := e.To
+		for q := 0; q < m.C.NumPEs(); q++ {
+			if q == m.PE[to] || !placeable(m, to, q, m.Slot(to)) {
+				continue
+			}
+			pure := true
+			for _, ei := range incident(m, to) {
+				ed := m.D.Edges[ei]
+				if ed.From == ed.To || m.Span(ed) != 1 {
+					continue
+				}
+				other := ed.From
+				if other == to {
+					other = ed.To
+				}
+				var connected bool
+				if ed.To == to {
+					connected = m.C.Connected(m.PE[other], q)
+				} else {
+					connected = m.C.Connected(q, m.PE[other])
+				}
+				if !connected {
+					pure = false
+					break
+				}
+			}
+			if !pure {
+				continue
+			}
+			m.PE[to] = q
+			return true
+		}
+	}
+	return false
+}
+
+// mutateRegisterCap delays a register-carried sink by II * (file size + 1)
+// cycles: the modulo slot (hence occupancy and bus use) is unchanged, every
+// dependence still points forward, but the value now sits in the producer's
+// register file across more in-flight iterations than it has registers.
+// Requires a sink whose cross-node producers all share its PE so the grown
+// spans stay legal register carries.
+func mutateRegisterCap(m *mapping.Mapping) bool {
+	for _, e := range m.D.Edges {
+		if e.From == e.To || m.Span(e) <= 1 || !selfEdgesOnly(m, e.To) {
+			continue
+		}
+		to := e.To
+		pure := true
+		for _, ei := range m.D.InEdges(to) {
+			ed := m.D.Edges[ei]
+			if ed.From != to && m.PE[ed.From] != m.PE[to] {
+				pure = false
+				break
+			}
+		}
+		if !pure {
+			continue
+		}
+		m.Time[to] += m.II * (m.C.RegsAt(m.PE[e.From]) + 1)
+		return true
+	}
+	return false
+}
+
+// selfEdgesOnly reports whether v's outgoing edges all loop back to v itself.
+func selfEdgesOnly(m *mapping.Mapping, v int) bool {
+	for _, ei := range m.D.OutEdges(v) {
+		if m.D.Edges[ei].To != v {
+			return false
+		}
+	}
+	return true
+}
+
+// incident returns the edge indices touching v, incoming then outgoing.
+func incident(m *mapping.Mapping, v int) []int {
+	return append(append([]int{}, m.D.InEdges(v)...), m.D.OutEdges(v)...)
+}
+
+// cloneMapping copies the schedule and binding; kernel and fabric are shared.
+func cloneMapping(m *mapping.Mapping) *mapping.Mapping {
+	c := mapping.New(m.D, m.C, m.II)
+	copy(c.Time, m.Time)
+	copy(c.PE, m.PE)
+	return c
+}
+
+// MutationSweep maps every kernel on the (possibly faulted) fabric, applies
+// every applicable mutant to a copy of each valid mapping, and records how
+// mapping.Validate and sim.Check handled the corruption. Kernels that do not
+// map on the given fabric are skipped — the sweep measures the checkers, not
+// the mappers.
+func MutationSweep(ctx context.Context, ks []kernels.Kernel, c *arch.CGRA, fs *fault.Set) ([]MutationOutcome, error) {
+	if ks == nil {
+		ks = kernels.All()
+	}
+	fabric, err := fs.Apply(c)
+	if err != nil {
+		return nil, err
+	}
+	muts := Mutants()
+	var outcomes []MutationOutcome
+	for _, k := range ks {
+		if ctx.Err() != nil {
+			return outcomes, ctx.Err()
+		}
+		d := k.Build()
+		m, _, err := core.Map(ctx, d, fabric, core.Options{})
+		if err != nil {
+			if m2, _, err2 := ems.Map(ctx, d, fabric, ems.Options{}); err2 == nil {
+				m = m2
+			} else {
+				continue
+			}
+		}
+		if err := m.Validate(); err != nil {
+			return nil, fmt.Errorf("chaos: pre-mutation mapping of %s is already invalid: %w", k.Name, err)
+		}
+		for _, mut := range muts {
+			corrupt := cloneMapping(m)
+			if !mut.Apply(corrupt) {
+				continue
+			}
+			o := MutationOutcome{Kernel: k.Name, Mutant: mut.Name, Expected: mut.Constraint}
+			if verr := corrupt.Validate(); verr != nil {
+				o.CaughtValidate = true
+				var viol *mapping.Violation
+				if errors.As(verr, &viol) {
+					o.Got = viol.Constraint
+				}
+			}
+			o.CaughtSim = sim.Check(corrupt, 3) != nil
+			outcomes = append(outcomes, o)
+		}
+	}
+	return outcomes, nil
+}
+
+// CatchRate summarises a mutation sweep: applied mutations, fully caught
+// mutations (right constraint, both checkers), and the constraint classes
+// that were exercised at least once.
+func CatchRate(outcomes []MutationOutcome) (applied, caught int, classes map[mapping.Constraint]int) {
+	classes = map[mapping.Constraint]int{}
+	for _, o := range outcomes {
+		applied++
+		classes[o.Expected]++
+		if o.Caught() {
+			caught++
+		}
+	}
+	return applied, caught, classes
+}

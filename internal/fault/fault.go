@@ -1,0 +1,478 @@
+// Package fault defines a declarative hardware fault model for the CGRA: a
+// FaultSet lists broken PEs, dead mesh links, reduced register files, and
+// failed row buses, each either permanent or transient. Applying a set to an
+// architecture produces a faulted view of the array that every layer above —
+// compatibility-graph construction, the MRRG, the schedulers, the validator,
+// and the cycle-accurate simulator — respects through the arch fault
+// accessors (PEOk, RegsAt, RowBusOK, Connected).
+//
+// Sets have a textual grammar so faults can travel on command lines and in
+// fuzz corpora:
+//
+//	pe 1,2            # PE at row 1, col 2 is broken
+//	link 0,0-0,1      # the mesh link between two adjacent PEs is cut
+//	regs 1,1=2        # PE (1,1)'s register file holds only 2 registers
+//	row 3             # row 3's shared memory bus is dead
+//	pe 0,0~2          # transient: clears after 2 retry rounds
+//
+// Faults are separated by semicolons or newlines; '#' starts a comment.
+// Parse and Set.String round-trip.
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"regimap/internal/arch"
+)
+
+// Kind classifies a hardware fault.
+type Kind int
+
+const (
+	// BrokenPE: the PE's ALU, output register, and register file are all
+	// unusable, and every mesh link touching it is severed.
+	BrokenPE Kind = iota
+	// DeadLink: one mesh link is cut in both directions; the PEs at its ends
+	// keep working.
+	DeadLink
+	// ReducedRegs: the PE works but its rotating register file holds fewer
+	// registers than the architecture nominally provides (stuck cells).
+	ReducedRegs
+	// DeadRowBus: the row's shared memory bus is dead; no load or store may
+	// issue anywhere on the row.
+	DeadRowBus
+)
+
+// String names the fault kind.
+func (k Kind) String() string {
+	switch k {
+	case BrokenPE:
+		return "pe"
+	case DeadLink:
+		return "link"
+	case ReducedRegs:
+		return "regs"
+	case DeadRowBus:
+		return "row"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Fault is one hardware defect. Coordinates are (row, col) pairs; which
+// fields are meaningful depends on Kind:
+//
+//	BrokenPE     R,C: the PE
+//	DeadLink     R,C and R2,C2: the link's two endpoints
+//	ReducedRegs  R,C: the PE; Regs: usable registers remaining
+//	DeadRowBus   R: the row
+type Fault struct {
+	Kind   Kind
+	R, C   int
+	R2, C2 int
+	Regs   int
+	// ClearAfter makes the fault transient: it is active during retry rounds
+	// 0..ClearAfter-1 and gone from round ClearAfter on (an intermittent
+	// defect that a deadline-aware retry can wait out). Zero means permanent.
+	ClearAfter int
+}
+
+// String renders the fault in the grammar Parse accepts.
+func (f Fault) String() string {
+	var b strings.Builder
+	switch f.Kind {
+	case BrokenPE:
+		fmt.Fprintf(&b, "pe %d,%d", f.R, f.C)
+	case DeadLink:
+		fmt.Fprintf(&b, "link %d,%d-%d,%d", f.R, f.C, f.R2, f.C2)
+	case ReducedRegs:
+		fmt.Fprintf(&b, "regs %d,%d=%d", f.R, f.C, f.Regs)
+	case DeadRowBus:
+		fmt.Fprintf(&b, "row %d", f.R)
+	default:
+		fmt.Fprintf(&b, "%s?", f.Kind)
+	}
+	if f.ClearAfter > 0 {
+		fmt.Fprintf(&b, "~%d", f.ClearAfter)
+	}
+	return b.String()
+}
+
+// Transient reports whether the fault clears after some retry rounds.
+func (f Fault) Transient() bool { return f.ClearAfter > 0 }
+
+// Set is a declarative collection of hardware faults.
+type Set struct {
+	Faults []Fault
+}
+
+// Empty reports whether the set holds no faults.
+func (s *Set) Empty() bool { return s == nil || len(s.Faults) == 0 }
+
+// String renders the set in the grammar Parse accepts ("" for an empty set).
+func (s *Set) String() string {
+	if s.Empty() {
+		return ""
+	}
+	parts := make([]string, len(s.Faults))
+	for i, f := range s.Faults {
+		parts[i] = f.String()
+	}
+	return strings.Join(parts, "; ")
+}
+
+// HasTransient reports whether any fault in the set eventually clears.
+func (s *Set) HasTransient() bool {
+	if s == nil {
+		return false
+	}
+	for _, f := range s.Faults {
+		if f.Transient() {
+			return true
+		}
+	}
+	return false
+}
+
+// MaxClearAfter returns the last retry round in which any transient fault is
+// still active (0 when every fault is permanent): from round MaxClearAfter
+// on, Active returns only the permanent faults.
+func (s *Set) MaxClearAfter() int {
+	max := 0
+	if s == nil {
+		return 0
+	}
+	for _, f := range s.Faults {
+		if f.ClearAfter > max {
+			max = f.ClearAfter
+		}
+	}
+	return max
+}
+
+// Active returns the faults still present in retry round `round` (0-based):
+// every permanent fault, plus the transient ones with round < ClearAfter.
+// Round 0 is the full set.
+func (s *Set) Active(round int) *Set {
+	if s.Empty() {
+		return &Set{}
+	}
+	out := &Set{}
+	for _, f := range s.Faults {
+		if f.ClearAfter == 0 || round < f.ClearAfter {
+			out.Faults = append(out.Faults, f)
+		}
+	}
+	return out
+}
+
+// Validate checks every fault against the architecture: coordinates in
+// range, link endpoints adjacent in the healthy mesh, register limits within
+// the file size. It does not modify c.
+func (s *Set) Validate(c *arch.CGRA) error {
+	if s.Empty() {
+		return nil
+	}
+	for i, f := range s.Faults {
+		if err := f.validate(c); err != nil {
+			return fmt.Errorf("fault: #%d (%s): %w", i, f, err)
+		}
+	}
+	return nil
+}
+
+func (f Fault) validate(c *arch.CGRA) error {
+	inRange := func(r, col int) error {
+		if r < 0 || r >= c.Rows || col < 0 || col >= c.Cols {
+			return fmt.Errorf("PE (%d,%d) outside the %dx%d array", r, col, c.Rows, c.Cols)
+		}
+		return nil
+	}
+	if f.ClearAfter < 0 {
+		return fmt.Errorf("negative clear-after %d", f.ClearAfter)
+	}
+	switch f.Kind {
+	case BrokenPE:
+		return inRange(f.R, f.C)
+	case DeadLink:
+		if err := inRange(f.R, f.C); err != nil {
+			return err
+		}
+		if err := inRange(f.R2, f.C2); err != nil {
+			return err
+		}
+		p, q := c.PEAt(f.R, f.C), c.PEAt(f.R2, f.C2)
+		if p == q {
+			return fmt.Errorf("link endpoints are the same PE (%d,%d)", f.R, f.C)
+		}
+		// Adjacency is judged on the healthy mesh: whether a *fault set*
+		// makes sense is a property of the architecture, not of which other
+		// faults happen to accompany it.
+		if !meshAdjacent(c, f.R, f.C, f.R2, f.C2) {
+			return fmt.Errorf("no mesh link between (%d,%d) and (%d,%d)", f.R, f.C, f.R2, f.C2)
+		}
+		return nil
+	case ReducedRegs:
+		if err := inRange(f.R, f.C); err != nil {
+			return err
+		}
+		if f.Regs < 0 || f.Regs >= c.NumRegs {
+			return fmt.Errorf("register limit %d outside [0,%d)", f.Regs, c.NumRegs)
+		}
+		return nil
+	case DeadRowBus:
+		if f.R < 0 || f.R >= c.Rows {
+			return fmt.Errorf("row %d outside [0,%d)", f.R, c.Rows)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown fault kind %d", int(f.Kind))
+	}
+}
+
+// meshAdjacent reports 4-neighbour adjacency by coordinates — independent of
+// any faults already applied to c.
+func meshAdjacent(c *arch.CGRA, r1, c1, r2, c2 int) bool {
+	dr, dc := r1-r2, c1-c2
+	if dr < 0 {
+		dr = -dr
+	}
+	if dc < 0 {
+		dc = -dc
+	}
+	return dr+dc == 1
+}
+
+// Apply validates the set and returns a view of the architecture with every
+// fault applied. The input array is never modified; an empty set returns c
+// itself (so the healthy path is byte-identical to not using this package at
+// all). Faults are applied links-first so a cut link whose endpoint another
+// fault breaks is not an error.
+func (s *Set) Apply(c *arch.CGRA) (*arch.CGRA, error) {
+	if s.Empty() {
+		return c, nil
+	}
+	if err := s.Validate(c); err != nil {
+		return nil, err
+	}
+	cl := c.Clone()
+	// Order: links while both endpoints still exist, then PEs, then the
+	// rest. Within a class, input order.
+	byClass := func(k Kind) int {
+		if k == DeadLink {
+			return 0
+		}
+		return 1
+	}
+	order := make([]int, len(s.Faults))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return byClass(s.Faults[order[a]].Kind) < byClass(s.Faults[order[b]].Kind)
+	})
+	for _, i := range order {
+		f := s.Faults[i]
+		switch f.Kind {
+		case BrokenPE:
+			cl.DisablePE(cl.PEAt(f.R, f.C))
+		case DeadLink:
+			p, q := cl.PEAt(f.R, f.C), cl.PEAt(f.R2, f.C2)
+			if !cl.Connected(p, q) {
+				continue // the same link was already cut by a duplicate
+			}
+			if err := cl.CutLink(p, q); err != nil {
+				return nil, fmt.Errorf("fault: %s: %w", f, err)
+			}
+		case ReducedRegs:
+			p := cl.PEAt(f.R, f.C)
+			if f.Regs < cl.RegsAt(p) {
+				cl.LimitRegs(p, f.Regs)
+			}
+		case DeadRowBus:
+			cl.DisableRowBus(f.R)
+		}
+	}
+	return cl, nil
+}
+
+// Parse reads a fault set from its textual form. Faults are separated by
+// semicolons or newlines; '#' comments run to end of line; an empty (or
+// all-comment) input yields an empty set. Parse is purely syntactic —
+// validate against a concrete array with Set.Validate or Set.Apply.
+func Parse(text string) (*Set, error) {
+	s := &Set{}
+	for _, line := range strings.Split(text, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		for _, tok := range strings.Split(line, ";") {
+			tok = strings.TrimSpace(tok)
+			if tok == "" {
+				continue
+			}
+			f, err := parseFault(tok)
+			if err != nil {
+				return nil, err
+			}
+			s.Faults = append(s.Faults, f)
+		}
+	}
+	return s, nil
+}
+
+func parseFault(tok string) (Fault, error) {
+	var f Fault
+	body := tok
+	if i := strings.IndexByte(tok, '~'); i >= 0 {
+		body = strings.TrimSpace(tok[:i])
+		n, err := parseUint(strings.TrimSpace(tok[i+1:]))
+		if err != nil || n == 0 {
+			return f, fmt.Errorf("fault: %q: bad clear-after %q (want ~N with N >= 1)", tok, tok[i+1:])
+		}
+		f.ClearAfter = n
+	}
+	kind, rest, ok := strings.Cut(body, " ")
+	if !ok {
+		return f, fmt.Errorf("fault: %q: want \"<kind> <where>\"", tok)
+	}
+	rest = strings.TrimSpace(rest)
+	switch kind {
+	case "pe":
+		f.Kind = BrokenPE
+		r, c, err := parsePair(rest)
+		if err != nil {
+			return f, fmt.Errorf("fault: %q: %w", tok, err)
+		}
+		f.R, f.C = r, c
+	case "link":
+		f.Kind = DeadLink
+		a, b, ok := strings.Cut(rest, "-")
+		if !ok {
+			return f, fmt.Errorf("fault: %q: want \"link r1,c1-r2,c2\"", tok)
+		}
+		r1, c1, err := parsePair(strings.TrimSpace(a))
+		if err != nil {
+			return f, fmt.Errorf("fault: %q: %w", tok, err)
+		}
+		r2, c2, err := parsePair(strings.TrimSpace(b))
+		if err != nil {
+			return f, fmt.Errorf("fault: %q: %w", tok, err)
+		}
+		f.R, f.C, f.R2, f.C2 = r1, c1, r2, c2
+	case "regs":
+		f.Kind = ReducedRegs
+		at, limit, ok := strings.Cut(rest, "=")
+		if !ok {
+			return f, fmt.Errorf("fault: %q: want \"regs r,c=k\"", tok)
+		}
+		r, c, err := parsePair(strings.TrimSpace(at))
+		if err != nil {
+			return f, fmt.Errorf("fault: %q: %w", tok, err)
+		}
+		k, err := parseUint(strings.TrimSpace(limit))
+		if err != nil {
+			return f, fmt.Errorf("fault: %q: bad register count %q", tok, limit)
+		}
+		f.R, f.C, f.Regs = r, c, k
+	case "row":
+		f.Kind = DeadRowBus
+		r, err := parseUint(rest)
+		if err != nil {
+			return f, fmt.Errorf("fault: %q: bad row %q", tok, rest)
+		}
+		f.R = r
+	default:
+		return f, fmt.Errorf("fault: %q: unknown kind %q (want pe, link, regs, or row)", tok, kind)
+	}
+	return f, nil
+}
+
+// parsePair reads "r,c" into two non-negative ints.
+func parsePair(s string) (int, int, error) {
+	a, b, ok := strings.Cut(s, ",")
+	if !ok {
+		return 0, 0, fmt.Errorf("bad coordinate %q (want r,c)", s)
+	}
+	r, err := parseUint(strings.TrimSpace(a))
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad row %q", a)
+	}
+	c, err := parseUint(strings.TrimSpace(b))
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad column %q", b)
+	}
+	return r, c, nil
+}
+
+// parseUint reads a non-negative decimal integer without sign, spaces, or
+// size suffixes (strconv.Atoi would accept "+3"; the grammar does not).
+func parseUint(s string) (int, error) {
+	if s == "" {
+		return 0, fmt.Errorf("empty number")
+	}
+	n := 0
+	for _, ch := range s {
+		if ch < '0' || ch > '9' {
+			return 0, fmt.Errorf("bad number %q", s)
+		}
+		n = n*10 + int(ch-'0')
+		if n > 1<<20 {
+			return 0, fmt.Errorf("number %q too large", s)
+		}
+	}
+	return n, nil
+}
+
+// Random draws n distinct valid faults for the given array, deterministically
+// from rng. Kinds are drawn uniformly from allowed (default: every kind
+// applicable to the array — DeadRowBus only on multi-row arrays so a
+// single-row array is not instantly starved, ReducedRegs only when the array
+// has registers). The same (rng seed, array, n, kinds) always yields the
+// same set; faults are permanent — mark individual faults transient by
+// setting ClearAfter afterwards. When the array cannot supply n distinct
+// faults the draw stops short rather than spinning.
+func Random(rng *rand.Rand, c *arch.CGRA, n int, allowed ...Kind) *Set {
+	s := &Set{}
+	seen := map[string]bool{}
+	kinds := allowed
+	if len(kinds) == 0 {
+		kinds = []Kind{BrokenPE, DeadLink}
+		if c.NumRegs > 1 {
+			kinds = append(kinds, ReducedRegs)
+		}
+		if c.Rows > 1 {
+			kinds = append(kinds, DeadRowBus)
+		}
+	}
+	for tries := 0; len(s.Faults) < n && tries < 64*(n+1); tries++ {
+		var f Fault
+		switch kinds[rng.Intn(len(kinds))] {
+		case BrokenPE:
+			f = Fault{Kind: BrokenPE, R: rng.Intn(c.Rows), C: rng.Intn(c.Cols)}
+		case DeadLink:
+			r, col := rng.Intn(c.Rows), rng.Intn(c.Cols)
+			dirs := [][2]int{{0, 1}, {1, 0}, {0, -1}, {-1, 0}}
+			d := dirs[rng.Intn(4)]
+			r2, c2 := r+d[0], col+d[1]
+			if r2 < 0 || r2 >= c.Rows || c2 < 0 || c2 >= c.Cols {
+				continue
+			}
+			f = Fault{Kind: DeadLink, R: r, C: col, R2: r2, C2: c2}
+		case ReducedRegs:
+			f = Fault{Kind: ReducedRegs, R: rng.Intn(c.Rows), C: rng.Intn(c.Cols), Regs: rng.Intn(c.NumRegs)}
+		case DeadRowBus:
+			f = Fault{Kind: DeadRowBus, R: rng.Intn(c.Rows)}
+		}
+		key := f.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		s.Faults = append(s.Faults, f)
+	}
+	return s
+}

@@ -1,0 +1,102 @@
+// Package maperr defines the error taxonomy shared by every mapper in the
+// repository. Callers branch on failure classes with errors.Is / errors.As
+// instead of string matching:
+//
+//   - ErrNoMapping: the search space is exhausted — no mapping exists within
+//     the configured II budget. Escalating the budget (or degrading to a
+//     different mapper, see internal/resilient) may still succeed.
+//   - ErrAborted: the search was cut short by context cancellation before the
+//     space was exhausted; the underlying ctx.Err() is also in the wrap chain,
+//     so errors.Is(err, context.DeadlineExceeded) keeps working.
+//   - ErrWorkerPanic / *WorkerPanicError: a worker goroutine (a portfolio
+//     scout, a resilience rung) panicked; the typed error carries the
+//     recovered value and stack instead of crashing the process.
+//   - *InvalidMappingError: a mapper produced a result its own validator
+//     rejects — always a bug in the mapper, never a property of the kernel.
+//
+// The sentinels are deliberately package-neutral: core, ems, dresc, and
+// portfolio all wrap the same values, so a caller holding results from any
+// mapper needs exactly one errors.Is test per failure class.
+package maperr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNoMapping reports an exhausted search: no mapping exists within the II
+// (or retry) budget the caller configured.
+var ErrNoMapping = errors.New("no feasible mapping within the budget")
+
+// ErrAborted reports a context-driven abort: the search ended because ctx was
+// cancelled, not because the space was exhausted.
+var ErrAborted = errors.New("mapping aborted")
+
+// ErrWorkerPanic is the sentinel every *WorkerPanicError wraps, so callers
+// can test for the class without destructuring the typed error.
+var ErrWorkerPanic = errors.New("mapping worker panicked")
+
+// wrapped carries a fixed message plus any number of wrapped causes. It keeps
+// the exact human-readable text the mappers have always produced while making
+// the failure class (and any underlying ctx error) reachable via errors.Is.
+type wrapped struct {
+	msg    string
+	causes []error
+}
+
+func (w *wrapped) Error() string   { return w.msg }
+func (w *wrapped) Unwrap() []error { return w.causes }
+
+// Wrap returns an error whose message is fmt.Sprintf(format, args...) and
+// whose wrap chain contains every non-nil cause.
+func Wrap(causes []error, format string, args ...any) error {
+	kept := make([]error, 0, len(causes))
+	for _, c := range causes {
+		if c != nil {
+			kept = append(kept, c)
+		}
+	}
+	return &wrapped{msg: fmt.Sprintf(format, args...), causes: kept}
+}
+
+// NoMapping is Wrap with the ErrNoMapping sentinel.
+func NoMapping(format string, args ...any) error {
+	return Wrap([]error{ErrNoMapping}, format, args...)
+}
+
+// Aborted is Wrap with the ErrAborted sentinel plus the context error that
+// triggered the abort.
+func Aborted(ctxErr error, format string, args ...any) error {
+	return Wrap([]error{ErrAborted, ctxErr}, format, args...)
+}
+
+// InvalidMappingError reports that a mapper produced a result rejected by its
+// own validator — an internal bug, surfaced as a typed error so harnesses
+// (fuzzers, the chaos suite) can distinguish it from an honest mapping
+// failure. Err is the validator's verdict.
+type InvalidMappingError struct {
+	Mapper string // "core", "ems", "dresc"
+	What   string // "mapping" or "placement"
+	Err    error
+}
+
+func (e *InvalidMappingError) Error() string {
+	return fmt.Sprintf("%s: internal error, produced invalid %s: %v", e.Mapper, e.What, e.Err)
+}
+
+func (e *InvalidMappingError) Unwrap() error { return e.Err }
+
+// WorkerPanicError is a recovered panic from a mapping worker, preserved with
+// its stack so the failure is diagnosable after the fact. It wraps
+// ErrWorkerPanic for class tests.
+type WorkerPanicError struct {
+	Worker string // which worker panicked, e.g. "portfolio racer 3"
+	Value  any    // the recovered value
+	Stack  []byte // the panicking goroutine's stack
+}
+
+func (e *WorkerPanicError) Error() string {
+	return fmt.Sprintf("%s panicked: %v", e.Worker, e.Value)
+}
+
+func (e *WorkerPanicError) Unwrap() error { return ErrWorkerPanic }

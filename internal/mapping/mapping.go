@@ -20,6 +20,50 @@ import (
 	"regimap/internal/dfg"
 )
 
+// Constraint names one legality rule of the CGRA model. Violation errors
+// carry the constraint they broke, so harnesses (the chaos mutation suite,
+// fault-injection tests) can assert *which* rule caught a corruption instead
+// of string-matching messages.
+type Constraint string
+
+// The constraint classes Validate enforces, in checking order.
+const (
+	// ConstraintBinding: every operation has a slot >= 0 and a PE in range.
+	ConstraintBinding Constraint = "binding"
+	// ConstraintCapability: the bound PE's ALU supports the operation kind
+	// (heterogeneous restriction or a broken PE).
+	ConstraintCapability Constraint = "capability"
+	// ConstraintOccupancy: no two operations share a (PE, modulo slot).
+	ConstraintOccupancy Constraint = "occupancy"
+	// ConstraintRowBus: at most one memory operation per (row, modulo slot),
+	// and none at all on a row whose bus is dead.
+	ConstraintRowBus Constraint = "row-bus"
+	// ConstraintPrecedence: every dependence spans at least its latency.
+	ConstraintPrecedence Constraint = "precedence"
+	// ConstraintAdjacency: one-cycle spans connect adjacent (or identical)
+	// PEs through the mesh — a cut link breaks this.
+	ConstraintAdjacency Constraint = "adjacency"
+	// ConstraintRegisterCarry: spans above one cycle keep producer and
+	// consumer on one PE (register files are PE-private).
+	ConstraintRegisterCarry Constraint = "register-carried"
+	// ConstraintRegisterCap: rotating-register pressure stays within each
+	// PE's usable file size.
+	ConstraintRegisterCap Constraint = "register-capacity"
+)
+
+// Violation is a typed Validate failure: the broken constraint plus the
+// human-readable diagnosis. Retrieve it with errors.As.
+type Violation struct {
+	Constraint Constraint
+	msg        string
+}
+
+func (v *Violation) Error() string { return v.msg }
+
+func violatef(c Constraint, format string, args ...any) error {
+	return &Violation{Constraint: c, msg: fmt.Sprintf(format, args...)}
+}
+
 // Mapping binds every DFG operation to an absolute schedule slot and a PE.
 // Multi-hop routes are represented as explicit Route operations in the DFG
 // (see dfg.InsertRoute), so a Mapping is always a complete description of
@@ -94,37 +138,42 @@ func (m *Mapping) maxRegisterSpan(v int) int {
 //  6. longer spans keep producer and consumer on the same PE;
 //  7. rotating-register pressure on every PE stays within the file size.
 //
-// This is the ground truth all mappers and tests are audited against.
+// This is the ground truth all mappers and tests are audited against. Every
+// failure is a *Violation naming the broken constraint (errors.As).
 func (m *Mapping) Validate() error {
 	n := m.D.N()
 	if len(m.Time) != n || len(m.PE) != n {
-		return fmt.Errorf("mapping: bindings for %d/%d ops", len(m.Time), n)
+		return violatef(ConstraintBinding, "mapping: bindings for %d/%d ops", len(m.Time), n)
 	}
 	if m.II <= 0 {
-		return fmt.Errorf("mapping: non-positive II %d", m.II)
+		return violatef(ConstraintBinding, "mapping: non-positive II %d", m.II)
 	}
 	type key struct{ pe, slot int }
 	occupied := map[key]string{}
 	busUsed := map[key]string{}
 	for v, nd := range m.D.Nodes {
 		if m.Time[v] < 0 {
-			return fmt.Errorf("mapping: op %s unscheduled", nd.Name)
+			return violatef(ConstraintBinding, "mapping: op %s unscheduled", nd.Name)
 		}
 		if m.PE[v] < 0 || m.PE[v] >= m.C.NumPEs() {
-			return fmt.Errorf("mapping: op %s on invalid PE %d", nd.Name, m.PE[v])
+			return violatef(ConstraintBinding, "mapping: op %s on invalid PE %d", nd.Name, m.PE[v])
 		}
 		if !m.C.Supports(m.PE[v], nd.Kind) {
-			return fmt.Errorf("mapping: PE %d cannot execute %s (%s)", m.PE[v], nd.Name, nd.Kind)
+			return violatef(ConstraintCapability, "mapping: PE %d cannot execute %s (%s)", m.PE[v], nd.Name, nd.Kind)
 		}
 		k := key{m.PE[v], m.Slot(v)}
 		if prev, ok := occupied[k]; ok {
-			return fmt.Errorf("mapping: ops %s and %s collide on PE %d slot %d", prev, nd.Name, k.pe, k.slot)
+			return violatef(ConstraintOccupancy, "mapping: ops %s and %s collide on PE %d slot %d", prev, nd.Name, k.pe, k.slot)
 		}
 		occupied[k] = nd.Name
 		if nd.Kind.IsMem() {
-			bk := key{m.C.RowOf(m.PE[v]), m.Slot(v)}
+			row := m.C.RowOf(m.PE[v])
+			if !m.C.RowBusOK(row) {
+				return violatef(ConstraintRowBus, "mapping: mem op %s on row %d whose bus is dead", nd.Name, row)
+			}
+			bk := key{row, m.Slot(v)}
 			if prev, ok := busUsed[bk]; ok {
-				return fmt.Errorf("mapping: mem ops %s and %s share row %d bus in slot %d", prev, nd.Name, bk.pe, bk.slot)
+				return violatef(ConstraintRowBus, "mapping: mem ops %s and %s share row %d bus in slot %d", prev, nd.Name, bk.pe, bk.slot)
 			}
 			busUsed[bk] = nd.Name
 		}
@@ -135,22 +184,22 @@ func (m *Mapping) Validate() error {
 		from, to := m.D.Nodes[e.From].Name, m.D.Nodes[e.To].Name
 		switch {
 		case span < lat:
-			return fmt.Errorf("mapping: edge %s->%s spans %d < latency %d", from, to, span, lat)
+			return violatef(ConstraintPrecedence, "mapping: edge %s->%s spans %d < latency %d", from, to, span, lat)
 		case span == 1:
 			if !m.C.Connected(m.PE[e.From], m.PE[e.To]) {
-				return fmt.Errorf("mapping: edge %s->%s needs adjacency, PEs %d and %d are not connected",
+				return violatef(ConstraintAdjacency, "mapping: edge %s->%s needs adjacency, PEs %d and %d are not connected",
 					from, to, m.PE[e.From], m.PE[e.To])
 			}
 		default:
 			if m.PE[e.From] != m.PE[e.To] {
-				return fmt.Errorf("mapping: edge %s->%s spans %d cycles but crosses PEs %d->%d (register-carried values cannot leave the PE)",
+				return violatef(ConstraintRegisterCarry, "mapping: edge %s->%s spans %d cycles but crosses PEs %d->%d (register-carried values cannot leave the PE)",
 					from, to, span, m.PE[e.From], m.PE[e.To])
 			}
 		}
 	}
 	for p, used := range m.RegisterPressure() {
-		if used > m.C.NumRegs {
-			return fmt.Errorf("mapping: PE %d uses %d registers, file holds %d", p, used, m.C.NumRegs)
+		if used > m.C.RegsAt(p) {
+			return violatef(ConstraintRegisterCap, "mapping: PE %d uses %d registers, file holds %d", p, used, m.C.RegsAt(p))
 		}
 	}
 	return nil

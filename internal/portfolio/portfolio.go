@@ -28,6 +28,7 @@ package portfolio
 import (
 	"context"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -35,8 +36,23 @@ import (
 	"regimap/internal/core"
 	"regimap/internal/dfg"
 	"regimap/internal/dresc"
+	"regimap/internal/maperr"
 	"regimap/internal/mapping"
 )
+
+// Failure taxonomy (regimap/internal/maperr), re-exported for callers. A
+// racer goroutine that panics is isolated: the panic is recovered into a
+// *maperr.WorkerPanicError (errors.Is(err, ErrWorkerPanic)), the remaining
+// racers keep racing, and the panic only surfaces in the returned error when
+// the whole portfolio comes up empty.
+var (
+	ErrNoMapping   = maperr.ErrNoMapping
+	ErrAborted     = maperr.ErrAborted
+	ErrWorkerPanic = maperr.ErrWorkerPanic
+)
+
+// WorkerPanicError carries the panic value and stack of a crashed racer.
+type WorkerPanicError = maperr.WorkerPanicError
 
 // Options configures a REGIMap portfolio.
 type Options struct {
@@ -71,6 +87,7 @@ type Stats struct {
 	Attempts  int // schedule/place rounds summed over every racer that reported back
 	Races     int // IIs raced, including speculated ones a serial escalation would skip
 	Cancelled int // racer runs cancelled after the winner was decided
+	Panics    int // racer goroutines that panicked (recovered, not crashed)
 	Elapsed   time.Duration
 }
 
@@ -100,7 +117,8 @@ func Map(ctx context.Context, d *dfg.DFG, c *arch.CGRA, opts Options) (*mapping.
 		e = 0
 	}
 	perII := 1 + e // base racer plus scouts, per II of the window
-	stats := &Stats{MII: d.MII(c.NumPEs(), c.Rows), Winner: -1}
+	pes, memRows := c.MIIResources()
+	stats := &Stats{MII: d.MII(pes, memRows), Winner: -1}
 	maxII := opts.Base.MaxII
 	if maxII <= 0 {
 		maxII = stats.MII + 16 // mirror core.Map's default ceiling
@@ -109,10 +127,11 @@ func Map(ctx context.Context, d *dfg.DFG, c *arch.CGRA, opts Options) (*mapping.
 	for s := range scouts {
 		scouts[s] = Variant(opts.Base, s+1, opts.Seed)
 	}
+	var panics []error
 	for lo := stats.MII; lo <= maxII; lo += w {
 		if err := ctx.Err(); err != nil {
 			stats.Elapsed = time.Since(start)
-			return nil, stats, fmt.Errorf("portfolio: mapping %s aborted: %w", d.Name, err)
+			return nil, stats, maperr.Aborted(err, "portfolio: mapping %s aborted: %v", d.Name, err)
 		}
 		width := w
 		if lo+width-1 > maxII {
@@ -122,7 +141,7 @@ func Map(ctx context.Context, d *dfg.DFG, c *arch.CGRA, opts Options) (*mapping.
 		// Racer index r maps to II lo + r/perII, slot r%perII (slot 0: the
 		// base search). Lower index therefore means lower II, base before
 		// scouts — exactly race's preference order.
-		m, winner := race(ctx, width*perII, stats, func(actx context.Context, r int) (*mapping.Mapping, int) {
+		m, winner, crashed := race(ctx, width*perII, stats, func(actx context.Context, r int) (*mapping.Mapping, int) {
 			o := opts.Base
 			if s := r % perII; s > 0 {
 				o = scouts[s-1]
@@ -138,6 +157,7 @@ func Map(ctx context.Context, d *dfg.DFG, c *arch.CGRA, opts Options) (*mapping.
 			}
 			return res, rounds
 		})
+		panics = append(panics, crashed...)
 		if m != nil {
 			stats.II = lo + winner/perII
 			stats.Winner = winner
@@ -147,9 +167,10 @@ func Map(ctx context.Context, d *dfg.DFG, c *arch.CGRA, opts Options) (*mapping.
 	}
 	stats.Elapsed = time.Since(start)
 	if err := ctx.Err(); err != nil {
-		return nil, stats, fmt.Errorf("portfolio: mapping %s aborted: %w", d.Name, err)
+		return nil, stats, maperr.Aborted(err, "portfolio: mapping %s aborted: %v", d.Name, err)
 	}
-	return nil, stats, fmt.Errorf("portfolio: no mapping for %s on %s up to II=%d (window %d, %d scouts/II)", d.Name, c, maxII, w, e)
+	causes := append([]error{maperr.ErrNoMapping}, panics...)
+	return nil, stats, maperr.Wrap(causes, "portfolio: no mapping for %s on %s up to II=%d (window %d, %d scouts/II)", d.Name, c, maxII, w, e)
 }
 
 // DRESCOptions configures a DRESC portfolio: K annealing runs differing only
@@ -176,18 +197,20 @@ func MapDRESC(ctx context.Context, d *dfg.DFG, c *arch.CGRA, opts DRESCOptions) 
 	if k <= 1 {
 		k = 1
 	}
-	stats := &Stats{MII: d.MII(c.NumPEs(), c.Rows), Winner: -1}
+	pes, memRows := c.MIIResources()
+	stats := &Stats{MII: d.MII(pes, memRows), Winner: -1}
 	maxII := opts.Base.MaxII
 	if maxII <= 0 {
 		maxII = stats.MII + 8 // mirror dresc.Map's default ceiling
 	}
+	var panics []error
 	for ii := stats.MII; ii <= maxII; ii++ {
 		if err := ctx.Err(); err != nil {
 			stats.Elapsed = time.Since(start)
-			return nil, stats, fmt.Errorf("portfolio: mapping %s aborted: %w", d.Name, err)
+			return nil, stats, maperr.Aborted(err, "portfolio: mapping %s aborted: %v", d.Name, err)
 		}
 		stats.Races++
-		p, winner := race(ctx, k, stats, func(actx context.Context, attempt int) (*dresc.Placement, int) {
+		p, winner, crashed := race(ctx, k, stats, func(actx context.Context, attempt int) (*dresc.Placement, int) {
 			o := opts.Base
 			o.Seed += int64(attempt)
 			o.MinII, o.MaxII = ii, ii
@@ -201,6 +224,7 @@ func MapDRESC(ctx context.Context, d *dfg.DFG, c *arch.CGRA, opts DRESCOptions) 
 			}
 			return res, moves
 		})
+		panics = append(panics, crashed...)
 		if p != nil {
 			stats.II = ii
 			stats.Winner = winner
@@ -210,9 +234,10 @@ func MapDRESC(ctx context.Context, d *dfg.DFG, c *arch.CGRA, opts DRESCOptions) 
 	}
 	stats.Elapsed = time.Since(start)
 	if err := ctx.Err(); err != nil {
-		return nil, stats, fmt.Errorf("portfolio: mapping %s aborted: %w", d.Name, err)
+		return nil, stats, maperr.Aborted(err, "portfolio: mapping %s aborted: %v", d.Name, err)
 	}
-	return nil, stats, fmt.Errorf("portfolio: no DRESC mapping for %s on %s up to II=%d (%d attempts/II)", d.Name, c, maxII, k)
+	causes := append([]error{maperr.ErrNoMapping}, panics...)
+	return nil, stats, maperr.Wrap(causes, "portfolio: no DRESC mapping for %s on %s up to II=%d (%d attempts/II)", d.Name, c, maxII, k)
 }
 
 // race runs k racers concurrently and resolves the deterministic winner: the
@@ -223,21 +248,45 @@ func MapDRESC(ctx context.Context, d *dfg.DFG, c *arch.CGRA, opts DRESCOptions) 
 // cancelling whatever else is still running. It returns the zero value when
 // no racer succeeds. Every racer goroutine has exited by the time race
 // returns, so callers never leak work past a window.
-func race[T any](ctx context.Context, k int, stats *Stats, run func(ctx context.Context, attempt int) (T, int)) (T, int) {
+//
+// A racer that panics does not crash the process or abort its siblings: the
+// panic is recovered into a *maperr.WorkerPanicError on the result channel,
+// the racer counts as failed, and the collected panic errors are returned so
+// the caller can surface them if the whole race comes up empty.
+func race[T any](ctx context.Context, k int, stats *Stats, run func(ctx context.Context, attempt int) (T, int)) (T, int, []error) {
 	var zero T
+	runSafe := func(actx context.Context, i int) (res T, rounds int, err error) {
+		defer func() {
+			if v := recover(); v != nil {
+				res, rounds = zero, 0
+				err = &maperr.WorkerPanicError{
+					Worker: fmt.Sprintf("portfolio racer %d", i),
+					Value:  v,
+					Stack:  debug.Stack(),
+				}
+			}
+		}()
+		res, rounds = run(actx, i)
+		return res, rounds, nil
+	}
 	if k == 1 {
-		res, rounds := run(ctx, 0)
+		res, rounds, err := runSafe(ctx, 0)
 		stats.Attempts += rounds
-		if isNil(res) {
-			return zero, -1
+		if err != nil {
+			stats.Panics++
+			return zero, -1, []error{err}
 		}
-		return res, 0
+		if isNil(res) {
+			return zero, -1, nil
+		}
+		return res, 0, nil
 	}
 	type outcome struct {
 		index  int
 		result T
 		ok     bool
 		rounds int
+		err    error
 	}
 	results := make(chan outcome, k)
 	cancels := make([]context.CancelFunc, k)
@@ -248,14 +297,15 @@ func race[T any](ctx context.Context, k int, stats *Stats, run func(ctx context.
 		wg.Add(1)
 		go func(i int, actx context.Context) {
 			defer wg.Done()
-			res, rounds := run(actx, i)
-			results <- outcome{index: i, result: res, ok: !isNil(res), rounds: rounds}
+			res, rounds, err := runSafe(actx, i)
+			results <- outcome{index: i, result: res, ok: err == nil && !isNil(res), rounds: rounds, err: err}
 		}(i, actx)
 	}
 
 	done := make([]bool, k)
 	success := make([]T, k)
 	cancelled := make([]bool, k)
+	var panics []error
 	best := k
 	winner := -1
 	var won T
@@ -263,6 +313,10 @@ func race[T any](ctx context.Context, k int, stats *Stats, run func(ctx context.
 		o := <-results
 		done[o.index] = true
 		stats.Attempts += o.rounds
+		if o.err != nil {
+			stats.Panics++
+			panics = append(panics, o.err)
+		}
 		if o.ok && o.index < best {
 			best = o.index
 			success[o.index] = o.result
@@ -292,10 +346,24 @@ func race[T any](ctx context.Context, k int, stats *Stats, run func(ctx context.
 		cancel()
 	}
 	wg.Wait() // results is buffered k-deep, so racers always finish their send
-	if winner < 0 {
-		return zero, -1
+	// Drain outcomes that arrived after the decision so a late panic is still
+	// counted and reported.
+	for drained := false; !drained; {
+		select {
+		case o := <-results:
+			stats.Attempts += o.rounds
+			if o.err != nil {
+				stats.Panics++
+				panics = append(panics, o.err)
+			}
+		default:
+			drained = true
+		}
 	}
-	return won, winner
+	if winner < 0 {
+		return zero, -1, panics
+	}
+	return won, winner, panics
 }
 
 // isNil reports whether a result of pointer type is nil (race's success

@@ -203,6 +203,10 @@ func runObserved(m *mapping.Mapping, iters int, observe func(cycle int, fires []
 			pe := m.PE[v]
 			if nd.Kind.IsMem() {
 				row := m.C.RowOf(pe)
+				if !m.C.RowBusOK(row) {
+					return nil, fmt.Errorf("sim: cycle %d: op %s issues on row %d whose bus is dead",
+						t, nd.Name, row)
+				}
 				if prev, used := busOwner[[2]int{row, t}]; used {
 					return nil, fmt.Errorf("sim: cycle %d: ops %s and %s fight for row %d bus",
 						t, d.Nodes[prev].Name, nd.Name, row)
@@ -248,9 +252,9 @@ func runObserved(m *mapping.Mapping, iters int, observe func(cycle int, fires []
 				if occ := len(regs[w.pe]); occ > res.MaxRF[w.pe] {
 					res.MaxRF[w.pe] = occ
 				}
-				if len(regs[w.pe]) > m.C.NumRegs {
+				if len(regs[w.pe]) > m.C.RegsAt(w.pe) {
 					return nil, fmt.Errorf("sim: cycle %d: PE %d register file overflows (%d > %d)",
-						t, w.pe, len(regs[w.pe]), m.C.NumRegs)
+						t, w.pe, len(regs[w.pe]), m.C.RegsAt(w.pe))
 				}
 			}
 		}

@@ -47,10 +47,13 @@ import (
 	"regimap/internal/dfg"
 	"regimap/internal/dresc"
 	"regimap/internal/ems"
+	"regimap/internal/fault"
 	"regimap/internal/kernels"
 	"regimap/internal/loopir"
+	"regimap/internal/maperr"
 	"regimap/internal/mapping"
 	"regimap/internal/portfolio"
+	"regimap/internal/resilient"
 	"regimap/internal/sim"
 	"regimap/internal/viz"
 )
@@ -212,6 +215,84 @@ func MapEMS(d *DFG, c *CGRA, opts EMSOptions) (*Mapping, *EMSStats, error) {
 // boundaries.
 func MapEMSContext(ctx context.Context, d *DFG, c *CGRA, opts EMSOptions) (*Mapping, *EMSStats, error) {
 	return ems.Map(ctx, d, c, opts)
+}
+
+// Error taxonomy shared by every mapper: classify failures with errors.Is
+// instead of matching message text.
+var (
+	// ErrNoMapping: the search space is exhausted — no legal mapping exists
+	// within the II budget (or the faulted fabric cannot host the kernel).
+	ErrNoMapping = maperr.ErrNoMapping
+	// ErrAborted: the mapper stopped because the caller's context was
+	// cancelled; the ctx error is in the wrap chain.
+	ErrAborted = maperr.ErrAborted
+	// ErrWorkerPanic: a mapper goroutine panicked and was isolated; the
+	// recovered value and stack ride in a *WorkerPanicError (errors.As).
+	ErrWorkerPanic = maperr.ErrWorkerPanic
+)
+
+// WorkerPanicError carries a recovered panic from an isolated mapper worker.
+type WorkerPanicError = maperr.WorkerPanicError
+
+// InvalidMappingError reports a mapper that produced a result failing
+// independent validation — an internal bug, not an honest "no mapping".
+type InvalidMappingError = maperr.InvalidMappingError
+
+// Fault-injection types: declarative hardware fault models applied to a CGRA.
+type (
+	// FaultSet is a declarative collection of hardware faults. Parse one
+	// with ParseFaults, validate it against an array with Validate, and
+	// derive the faulted array view with Apply.
+	FaultSet = fault.Set
+	// Fault is one hardware defect (broken PE, dead link, reduced register
+	// file, dead row bus), permanent or transient.
+	Fault = fault.Fault
+	// FaultKind discriminates Fault entries.
+	FaultKind = fault.Kind
+)
+
+// Fault kinds.
+const (
+	BrokenPE    = fault.BrokenPE
+	DeadLink    = fault.DeadLink
+	ReducedRegs = fault.ReducedRegs
+	DeadRowBus  = fault.DeadRowBus
+)
+
+// ParseFaults parses the textual fault grammar, e.g.
+// "pe 1,1; link 0,0-0,1; regs 2,2=1; row 3~2" (the ~N suffix marks a fault
+// transient, clearing after N retry rounds).
+func ParseFaults(text string) (*FaultSet, error) { return fault.Parse(text) }
+
+// Resilient-pipeline types.
+type (
+	// ResilientOptions configures MapResilient (fault set, degradation
+	// ladder, retry policy, certification depth).
+	ResilientOptions = resilient.Options
+	// ResilientOutcome reports which rung produced the mapping, on which
+	// faulted fabric, after how many retry rounds.
+	ResilientOutcome = resilient.Outcome
+	// Rung identifies one mapper of the degradation ladder.
+	Rung = resilient.Rung
+	// RungSpec is one ladder step with its own II budget.
+	RungSpec = resilient.RungSpec
+)
+
+// Degradation-ladder rungs, best first.
+const (
+	RungREGIMap = resilient.RungREGIMap
+	RungEMS     = resilient.RungEMS
+	RungDRESC   = resilient.RungDRESC
+)
+
+// MapResilient maps through the degradation ladder (REGIMap, then EMS, then
+// DRESC) on a possibly-faulted view of the array, retrying with exponential
+// backoff while transient faults clear, and certifies every produced mapping
+// against the cycle-accurate simulator. It is the recommended entry point
+// when the hardware may be imperfect: a fault degrades the result (a worse II
+// or a slower mapper) instead of failing the compile.
+func MapResilient(ctx context.Context, d *DFG, c *CGRA, opts ResilientOptions) (*ResilientOutcome, error) {
+	return resilient.Map(ctx, d, c, opts)
 }
 
 // Kernel is one benchmark loop of the suite.

@@ -15,77 +15,18 @@
 // factor. Benchmarks faster than -min-ns in the baseline are ignored: at
 // -benchtime=1x their timing is dominated by scheduler noise, and failing CI
 // on them would only teach people to ignore the job.
+//
+// All the parsing and comparison logic lives in internal/benchjson; this
+// wrapper only owns flags and exit codes.
 package main
 
 import (
-	"bufio"
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"regexp"
-	"sort"
-	"strconv"
-	"strings"
+
+	"regimap/internal/benchjson"
 )
-
-// Result holds one benchmark's parsed metrics. NsPerOp/BytesPerOp/AllocsPerOp
-// mirror testing.B's standard units; Metrics carries b.ReportMetric custom
-// units (perf/loop, compile-µs/loop, ...).
-type Result struct {
-	NsPerOp     float64            `json:"ns_per_op"`
-	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
-	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
-	Metrics     map[string]float64 `json:"metrics,omitempty"`
-}
-
-// Baseline is the committed BENCH_baseline.json shape.
-type Baseline struct {
-	Note       string            `json:"note,omitempty"`
-	Benchmarks map[string]Result `json:"benchmarks"`
-}
-
-var cpuSuffix = regexp.MustCompile(`-\d+$`)
-
-// parse reads `go test -bench` output and returns name -> result. The -N
-// GOMAXPROCS suffix is stripped so baselines transfer between machines.
-func parse(r *bufio.Scanner) (map[string]Result, error) {
-	out := map[string]Result{}
-	for r.Scan() {
-		line := strings.TrimSpace(r.Text())
-		if !strings.HasPrefix(line, "Benchmark") {
-			continue
-		}
-		fields := strings.Fields(line)
-		// Benchmark lines are: name, iterations, then (value, unit) pairs.
-		if len(fields) < 4 || len(fields)%2 != 0 {
-			continue
-		}
-		name := cpuSuffix.ReplaceAllString(fields[0], "")
-		res := out[name] // merged: the same bench may appear in several passes
-		for i := 2; i+1 < len(fields); i += 2 {
-			v, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				return nil, fmt.Errorf("benchjson: bad value %q in %q", fields[i], line)
-			}
-			switch unit := fields[i+1]; unit {
-			case "ns/op":
-				res.NsPerOp = v
-			case "B/op":
-				res.BytesPerOp = v
-			case "allocs/op":
-				res.AllocsPerOp = v
-			default:
-				if res.Metrics == nil {
-					res.Metrics = map[string]float64{}
-				}
-				res.Metrics[unit] = v
-			}
-		}
-		out[name] = res
-	}
-	return out, r.Err()
-}
 
 func main() {
 	var (
@@ -101,72 +42,25 @@ func main() {
 		os.Exit(2)
 	}
 
-	sc := bufio.NewScanner(os.Stdin)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	parsed, err := parse(sc)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	if len(parsed) == 0 {
-		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
-		os.Exit(1)
-	}
+	parsed, err := benchjson.Parse(os.Stdin)
+	exitOn(err)
 
 	if *write != "" {
-		b := Baseline{Note: *note, Benchmarks: parsed}
-		data, err := json.MarshalIndent(&b, "", "  ")
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "benchjson:", err)
-			os.Exit(1)
-		}
-		if err := os.WriteFile(*write, append(data, '\n'), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "benchjson:", err)
-			os.Exit(1)
-		}
+		exitOn(benchjson.WriteBaseline(*write, *note, parsed))
 		fmt.Printf("benchjson: wrote %d benchmarks to %s\n", len(parsed), *write)
 		return
 	}
 
-	data, err := os.ReadFile(*compare)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
-	var base Baseline
-	if err := json.Unmarshal(data, &base); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", *compare, err)
-		os.Exit(1)
-	}
+	base, err := benchjson.LoadBaseline(*compare)
+	exitOn(err)
+	verdicts, err := benchjson.Compare(parsed, base, benchjson.CompareOptions{MaxRegress: *maxRegress, MinNs: *minNs})
+	benchjson.Report(os.Stdout, verdicts)
+	exitOn(err)
+}
 
-	names := make([]string, 0, len(parsed))
-	for name := range parsed {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	failed := false
-	for _, name := range names {
-		got := parsed[name]
-		ref, ok := base.Benchmarks[name]
-		if !ok || ref.NsPerOp <= 0 {
-			fmt.Printf("SKIP %-40s not in baseline\n", name)
-			continue
-		}
-		if ref.NsPerOp < *minNs {
-			fmt.Printf("SKIP %-40s baseline %.0f ns/op below -min-ns floor\n", name, ref.NsPerOp)
-			continue
-		}
-		ratio := got.NsPerOp / ref.NsPerOp
-		verdict := "ok  "
-		if ratio > *maxRegress {
-			verdict = "FAIL"
-			failed = true
-		}
-		fmt.Printf("%s %-40s %12.0f ns/op  vs baseline %12.0f  (x%.2f)\n",
-			verdict, name, got.NsPerOp, ref.NsPerOp, ratio)
-	}
-	if failed {
-		fmt.Fprintf(os.Stderr, "benchjson: ns/op regression beyond x%.2f against %s\n", *maxRegress, *compare)
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
