@@ -23,6 +23,7 @@ import (
 	"regimap/internal/ems"
 	"regimap/internal/experiments"
 	"regimap/internal/kernels"
+	"regimap/internal/obs"
 	"regimap/internal/sched"
 	"regimap/internal/sim"
 )
@@ -264,6 +265,25 @@ func BenchmarkMapREGIMap(b *testing.B) {
 		if _, _, err := core.Map(context.Background(), benchKernel(), c, core.Options{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkObsNilSink measures the disabled-observability fast path: the
+// exact span/point sequence one pipeline attempt emits, against the nil
+// tracer a run with no -trace flag sees. The mappers instrument
+// unconditionally, so this path sits inside every hot loop — the contract is
+// 0 allocs/op (pinned here and by obs.TestNilTracerZeroAlloc) and
+// single-digit nanoseconds, and the CI bench-compare job fails if either
+// regresses.
+func BenchmarkObsNilSink(b *testing.B) {
+	tr := obs.From(context.Background()).Named("bench", "kernel")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Point1("mii", "mii", 3)
+		sp := tr.Start("pass.schedule")
+		sp.Field("length", 21).Field("width", 16).FieldBool("ok", true)
+		sp.End()
+		tr.Point("map.done", "ii", 6, "mii", 3, "attempts", int64(i))
 	}
 }
 

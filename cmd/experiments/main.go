@@ -5,10 +5,12 @@
 // Usage:
 //
 //	experiments                 # everything, one kernel per core
-//	experiments -run fig6       # one of: fig2, fig5, fig6, fig7, fig8, ablation, power
+//	experiments -run fig6       # one of: fig2, fig5, fig6, fig7, fig8, ablation, power, registers, phases
+//	experiments -run phases     # per-kernel phase-time breakdown of the pass pipeline
 //	experiments -quick          # reduced DRESC budget
 //	experiments -jobs 1         # serial (for clean single-run timings)
 //	experiments -timeout 30s    # cap each individual mapper run
+//	experiments -trace t.jsonl  # per-pass observability spans from every run, as JSON lines
 //	experiments -chaos          # fault-injection degradation curve + mutation catch rate
 //	experiments -chaos -trials 4 -max-faults 5 -faults "pe 3,3; row 3"
 package main
@@ -24,6 +26,7 @@ import (
 	"regimap/internal/experiments"
 	"regimap/internal/fault"
 	"regimap/internal/fault/chaos"
+	"regimap/internal/obs"
 	"regimap/internal/profiling"
 )
 
@@ -33,7 +36,7 @@ var stopProfiles = func() {}
 
 func main() {
 	var (
-		run       = flag.String("run", "all", "experiment to run: all, fig2, fig5, fig6, fig7, fig8, ablation, power, registers")
+		run       = flag.String("run", "all", "experiment to run: all, fig2, fig5, fig6, fig7, fig8, ablation, power, registers, phases")
 		quick     = flag.Bool("quick", false, "shrink the DRESC annealing budget")
 		seed      = flag.Int64("seed", 0, "base seed: DRESC annealing / portfolio diversification")
 		csvPath   = flag.String("csv", "", "also write Figure 6 per-loop rows as CSV to this file")
@@ -46,6 +49,7 @@ func main() {
 		faultSpec = flag.String("faults", "pe 3,3; row 3", "chaos: fault set for the mutation-sweep fabric")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		tracePath = flag.String("trace", "", "write observability events (per-pass spans, counters) from every mapper run as JSON lines to this file")
 	)
 	flag.Parse()
 	stop, err := profiling.Start(*cpuProf, *memProf)
@@ -56,6 +60,13 @@ func main() {
 		Rows: 4, Cols: 4, Regs: 4,
 		Seed: *seed, Quick: *quick,
 		Workers: *jobs, Timeout: *timeout, Portfolio: *portfolio,
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		exitOn(err)
+		sink := obs.NewJSONLSink(f) // Close flushes and closes f
+		defer func() { exitOn(sink.Close()) }()
+		base.Trace = obs.New(sink)
 	}
 
 	if *runChaos {
@@ -109,6 +120,10 @@ func main() {
 	if want("registers") {
 		ran = true
 		fmt.Println(experiments.RegisterBenefit(base).Table())
+	}
+	if want("phases") {
+		ran = true
+		fmt.Println(experiments.PhaseBreakdown(base).Table())
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *run)

@@ -5,9 +5,12 @@
 // Usage:
 //
 //	regimap -list
+//	regimap -list-kernels                            # with ops/edges/RecMII columns
+//	regimap -list-mappers                            # the engine registry
 //	regimap -kernel fir8 [-rows 4 -cols 4 -regs 4] [-mapper regimap|dresc|ems|resilient] [-sim 16] [-dot]
 //	regimap -kernel fir8 -portfolio 8 -timeout 30s   # same answer, less waiting
 //	regimap -kernel fft_radix2 -explore 3            # hunt for a lower II
+//	regimap -kernel fir8 -trace trace.jsonl          # per-pass timing spans, one JSON object per line
 //	regimap -kernel fir8 -faults "pe 1,1; link 0,0-0,1"            # map around defects
 //	regimap -kernel fir8 -mapper resilient -faults "pe 1,1~2"      # degradation ladder + retry
 package main
@@ -20,6 +23,8 @@ import (
 	"os"
 
 	"regimap"
+	"regimap/internal/engine"
+	"regimap/internal/obs"
 	"regimap/internal/profiling"
 )
 
@@ -29,7 +34,11 @@ var stopProfiles = func() {}
 
 func main() {
 	var (
-		list      = flag.Bool("list", false, "list the benchmark kernels and exit")
+		list        = flag.Bool("list", false, "list the benchmark kernels and exit")
+		listKernels = flag.Bool("list-kernels", false, "list the benchmark kernels with size and RecMII columns and exit")
+		listMappers = flag.Bool("list-mappers", false, "list the registered mapping engines and exit")
+		tracePath   = flag.String("trace", "", "write observability events (per-pass spans, counters) as JSON lines to this file")
+
 		kernel    = flag.String("kernel", "", "kernel to map (see -list)")
 		rows      = flag.Int("rows", 4, "CGRA rows")
 		cols      = flag.Int("cols", 4, "CGRA columns")
@@ -68,6 +77,28 @@ func main() {
 			fmt.Printf("%-16s %-5s %3d ops  %s\n", k.Name, k.Suite, d.N(), k.Description)
 		}
 		return
+	}
+	if *listKernels {
+		fmt.Printf("%-16s %-5s %5s %6s %7s  %s\n", "kernel", "suite", "ops", "edges", "recmii", "description")
+		for _, k := range regimap.Kernels() {
+			d := k.Build()
+			fmt.Printf("%-16s %-5s %5d %6d %7d  %s\n", k.Name, k.Suite, d.N(), len(d.Edges), d.RecMII(), k.Description)
+		}
+		return
+	}
+	if *listMappers {
+		for _, name := range engine.Names() {
+			m, _ := engine.Lookup(name)
+			fmt.Printf("%-16s %s\n", name, engine.Describe(m))
+		}
+		return
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		exitOn(err)
+		sink := obs.NewJSONLSink(f) // Close flushes and closes f
+		defer func() { exitOn(sink.Close()) }()
+		ctx = obs.With(ctx, obs.New(sink))
 	}
 	var d *regimap.DFG
 	var title, description string

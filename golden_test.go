@@ -1,0 +1,136 @@
+// Golden equivalence suite: every benchmark kernel mapped by every engine,
+// with the resulting mapping hashed and compared against
+// testdata/golden_mappings.json. The file was generated before the
+// pass-pipeline refactor, so a passing run proves the refactored mappers
+// still produce byte-identical results on the whole suite.
+//
+// Regenerate (only when an intentional algorithm change lands) with:
+//
+//	go test -run TestGoldenMappings -update-golden .
+package regimap_test
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"regimap"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_mappings.json from the current mappers")
+
+const goldenPath = "testdata/golden_mappings.json"
+
+// goldenDRESC is a reduced-but-fixed annealing budget: large enough to map
+// most of the suite, small enough that the golden run stays in test time.
+// What matters is determinism, not quality — the same options must produce
+// the same placement before and after any refactor.
+func goldenDRESC() regimap.DRESCOptions {
+	return regimap.DRESCOptions{Seed: 7, MovesPerTemperature: 6 * 16, Cooling: 0.8}
+}
+
+// goldenHash canonicalizes one mapping outcome to a short digest.
+func goldenHash(text string) string {
+	sum := sha256.Sum256([]byte(text))
+	return hex.EncodeToString(sum[:8])
+}
+
+// goldenRun maps one kernel with one engine and returns the canonical text
+// the digest is computed over. Failures hash too: an engine that starts
+// failing (or succeeding) where it did not before is also a behaviour change.
+func goldenRun(t *testing.T, engine, kernel string) string {
+	t.Helper()
+	k, ok := regimap.KernelByName(kernel)
+	if !ok {
+		t.Fatalf("kernel %q disappeared", kernel)
+	}
+	d := k.Build()
+	c := regimap.NewMesh(4, 4, 4)
+	switch engine {
+	case "regimap":
+		m, stats, err := regimap.Map(d, c, regimap.Options{})
+		if err != nil {
+			return fmt.Sprintf("unmapped MII=%d", stats.MII)
+		}
+		return fmt.Sprintf("II=%d attempts=%d routes=%d\n%s", stats.II, stats.Attempts, stats.RouteInserts, m)
+	case "ems":
+		m, stats, err := regimap.MapEMS(d, c, regimap.EMSOptions{})
+		if err != nil {
+			return fmt.Sprintf("unmapped MII=%d", stats.MII)
+		}
+		return fmt.Sprintf("II=%d placements=%d routes=%d\n%s", stats.II, stats.Placements, stats.Routes, m)
+	case "dresc":
+		p, stats, err := regimap.MapDRESC(d, c, goldenDRESC())
+		if err != nil {
+			return fmt.Sprintf("unmapped MII=%d", stats.MII)
+		}
+		return fmt.Sprintf("II=%d moves=%d time=%v pe=%v paths=%v", p.II, stats.Moves, p.Time, p.PE, p.Paths)
+	default:
+		t.Fatalf("unknown golden engine %q", engine)
+		return ""
+	}
+}
+
+func TestGoldenMappings(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden suite maps every kernel with every engine; skipped in -short")
+	}
+	engines := []string{"regimap", "ems", "dresc"}
+	type key = string // "engine/kernel"
+	got := map[key]string{}
+	for _, eng := range engines {
+		for _, k := range regimap.Kernels() {
+			got[eng+"/"+k.Name] = goldenHash(goldenRun(t, eng, k.Name))
+		}
+	}
+	if *updateGolden {
+		keys := make([]string, 0, len(got))
+		for k := range got {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		ordered := make(map[string]string, len(got))
+		for _, k := range keys {
+			ordered[k] = got[k]
+		}
+		blob, err := json.MarshalIndent(ordered, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden digests to %s", len(got), goldenPath)
+		return
+	}
+	blob, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (generate with -update-golden): %v", err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Errorf("golden file has %d entries, suite produced %d (kernel set changed? regenerate with -update-golden)", len(want), len(got))
+	}
+	for k, w := range want {
+		g, ok := got[k]
+		if !ok {
+			t.Errorf("%s: in golden file but not produced by the suite", k)
+			continue
+		}
+		if g != w {
+			t.Errorf("%s: mapping changed: digest %s, golden %s", k, g, w)
+		}
+	}
+}

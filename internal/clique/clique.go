@@ -25,6 +25,7 @@ import (
 	"sort"
 
 	"regimap/internal/graph"
+	"regimap/internal/obs"
 )
 
 // Graph is a weighted compatibility graph. Adjacency is symmetric; weights
@@ -481,13 +482,16 @@ type Options struct {
 	// results to match the default). REGIMap computes it once per
 	// compatibility graph and reuses it across clique.Find calls.
 	SeedOrder []int
+	// Trace, when non-nil, receives clique.find / clique.grouped events.
+	// The nil default costs nothing (see internal/obs).
+	Trace *obs.Tracer
 }
 
 // Find runs the paper's constructive heuristic: greedy growth from many
 // seeds, one-out swap repair, then pairwise intersection re-seeding. It
 // returns the best feasible clique found (possibly smaller than target) —
 // never nil, possibly empty.
-func Find(g *Graph, target int, opts Options) []int {
+func Find(g *Graph, target int, opts Options) (best []int) {
 	maxSeeds := opts.MaxSeeds
 	if maxSeeds <= 0 {
 		maxSeeds = 16
@@ -500,6 +504,17 @@ func Find(g *Graph, target int, opts Options) []int {
 		target = g.n
 	}
 
+	sp := opts.Trace.Start("clique.find")
+	seeds, pairs := 0, 0
+	defer func() {
+		sp.Field("nodes", int64(g.n))
+		sp.Field("seeds", int64(seeds))
+		sp.Field("pairs", int64(pairs))
+		sp.Field("best", int64(len(best)))
+		sp.Field("target", int64(target))
+		sp.End()
+	}()
+
 	// Seed order: highest-degree nodes first (most likely to appear in a
 	// large clique), id as tie-break.
 	order := opts.SeedOrder
@@ -511,7 +526,6 @@ func Find(g *Graph, target int, opts Options) []int {
 	}
 
 	ar := newArena(g)
-	var best []int
 	var found [][]int
 	consider := func(s *state) bool {
 		c := append([]int(nil), s.members...)
@@ -523,6 +537,7 @@ func Find(g *Graph, target int, opts Options) []int {
 	}
 
 	for _, seed := range order {
+		seeds++
 		s := ar.get()
 		if !s.canAdd(seed) {
 			ar.recycleAll()
@@ -545,7 +560,6 @@ func Find(g *Graph, target int, opts Options) []int {
 		// (Appendix D: "the intersect of pairs of cliques is the next
 		// initial clique to be maximized").
 		sort.SliceStable(found, func(i, j int) bool { return len(found[i]) > len(found[j]) })
-		pairs := 0
 		for i := 0; i < len(found) && pairs < maxInter; i++ {
 			for j := i + 1; j < len(found) && pairs < maxInter; j++ {
 				pairs++

@@ -15,11 +15,21 @@ import "sort"
 // round — the same learn-from-failure flavour as the mapper's outer loop.
 // It returns the best clique found across rounds (possibly smaller than the
 // group count).
-func FindGrouped(g *Graph, groups [][]int, opts Options) []int {
+func FindGrouped(g *Graph, groups [][]int, opts Options) (best []int) {
 	rounds := opts.GroupRounds
 	if rounds <= 0 {
 		rounds = 4
 	}
+
+	sp := opts.Trace.Start("clique.grouped")
+	roundsRun, lastFailed := 0, 0
+	defer func() {
+		sp.Field("groups", int64(len(groups)))
+		sp.Field("rounds", int64(roundsRun))
+		sp.Field("failed", int64(lastFailed))
+		sp.Field("best", int64(len(best)))
+		sp.End()
+	}()
 
 	var order []int
 	if len(opts.GroupOrder) == len(groups) {
@@ -58,10 +68,10 @@ func FindGrouped(g *Graph, groups [][]int, opts Options) []int {
 	}
 
 	ar := newArena(g)
-	var best []int
 	pending := make([]bool, len(groups))
 	inFailed := make([]bool, len(groups))
 	for round := 0; round < rounds; round++ {
+		roundsRun++
 		s := ar.get()
 		var failed []int
 		for _, gi := range order {
@@ -104,6 +114,7 @@ func FindGrouped(g *Graph, groups [][]int, opts Options) []int {
 		if len(s.members) > len(best) {
 			best = append([]int(nil), s.members...)
 		}
+		lastFailed = len(failed)
 		if len(failed) == 0 {
 			return best
 		}

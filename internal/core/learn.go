@@ -1,0 +1,237 @@
+package core
+
+import (
+	"sort"
+
+	"regimap/internal/arch"
+	"regimap/internal/dfg"
+	"regimap/internal/sched"
+)
+
+// This file holds the analyses behind the learn-from-failure pass (PassLearn
+// / PassRelax in pipeline.go): detecting structurally unplaceable schedules
+// and choosing which edge to split, which fan-out to tree, or which load to
+// recompute.
+
+// registerBoundEdges returns, per unplaced operation, the incident edge whose
+// splitting is most likely to unblock it: the longest register-carried edge
+// (span > 1 under the last schedule — register demand becomes a routing hop)
+// or, failing that, a one-cycle edge whose producer has the highest fan-out
+// (fan-out above the mesh connectivity is the other reason placement can be
+// impossible; a Route node spreads the value over two hops). The returned
+// edge indices are distinct; the list is empty when nothing can be relaxed.
+func registerBoundEdges(d *dfg.DFG, res *sched.Result, ii int, unplaced []int) []int {
+	chosen := map[int]bool{}
+	var out []int
+	for _, v := range unplaced {
+		bestEdge, bestSpan := -1, 1
+		fanEdge, fanOut := -1, 1
+		anyEdge, anyDeg := -1, -1
+		consider := func(ei, other int) {
+			if chosen[ei] {
+				return
+			}
+			e := d.Edges[ei]
+			if e.From == e.To {
+				return // a self recurrence cannot be relaxed by routing
+			}
+			if span := res.Time[e.To] - res.Time[e.From] + ii*e.Dist; span > bestSpan {
+				bestEdge, bestSpan = ei, span
+			}
+			if deg := len(d.OutEdges(e.From)); deg > fanOut && d.Nodes[e.From].Kind != dfg.Route {
+				fanEdge, fanOut = ei, deg
+			}
+			// Last resort: relax the tightest adjacency constraint — a
+			// Route node turns a one-hop reach into two hops. Splitting an
+			// edge to an already-inserted route only delays, so skip those.
+			if d.Nodes[other].Kind != dfg.Route {
+				if deg := len(d.InEdges(other)) + len(d.OutEdges(other)); deg > anyDeg {
+					anyEdge, anyDeg = ei, deg
+				}
+			}
+		}
+		for _, ei := range d.InEdges(v) {
+			consider(ei, d.Edges[ei].From)
+		}
+		for _, ei := range d.OutEdges(v) {
+			consider(ei, d.Edges[ei].To)
+		}
+		pick := bestEdge
+		if pick < 0 {
+			pick = fanEdge
+		}
+		if pick < 0 {
+			pick = anyEdge
+		}
+		if pick >= 0 {
+			chosen[pick] = true
+			out = append(out, pick)
+		}
+	}
+	return out
+}
+
+// overflowComponent returns the members of a register-carried component that
+// cannot fit its PE at this II (more members than modulo slots, or members
+// still colliding after repair) — a structural impossibility that no clique
+// search can fix. It returns nil when every component fits.
+func overflowComponent(d *dfg.DFG, res *sched.Result, ii int) []int {
+	parent := make([]int, d.N())
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range d.Edges {
+		if e.From == e.To {
+			continue
+		}
+		if span := res.Time[e.To] - res.Time[e.From] + ii*e.Dist; span > 1 {
+			parent[find(e.From)] = find(e.To)
+		}
+	}
+	groups := map[int][]int{}
+	for v := 0; v < d.N(); v++ {
+		groups[find(v)] = append(groups[find(v)], v)
+	}
+	roots := make([]int, 0, len(groups))
+	for r := range groups {
+		roots = append(roots, r)
+	}
+	sort.Ints(roots)
+	for _, r := range roots {
+		members := groups[r]
+		if len(members) < 2 {
+			continue
+		}
+		if len(members) > ii {
+			return members
+		}
+		slots := map[int]bool{}
+		for _, v := range members {
+			if slots[res.Time[v]%ii] {
+				return members
+			}
+			slots[res.Time[v]%ii] = true
+		}
+	}
+	return nil
+}
+
+// recomputableLoad finds a load with at least two register-carried consumer
+// edges incident to the failure and returns it with the longer-span half of
+// its outgoing edges (for the clone to take over), or (-1, nil).
+func recomputableLoad(d *dfg.DFG, res *sched.Result, ii int, unplaced []int) (int, []int) {
+	inUnplaced := map[int]bool{}
+	for _, v := range unplaced {
+		inUnplaced[v] = true
+	}
+	bestLoad, bestCarried := -1, 0
+	for v := range d.Nodes {
+		if d.Nodes[v].Kind != dfg.Load || len(d.OutEdges(v)) < 2 || !inUnplaced[v] {
+			continue
+		}
+		carried := 0
+		for _, ei := range d.OutEdges(v) {
+			if spanAt(res, ii, d.Edges[ei]) > 1 {
+				carried++
+			}
+		}
+		if carried > bestCarried {
+			bestLoad, bestCarried = v, carried
+		}
+	}
+	if bestLoad < 0 {
+		return -1, nil
+	}
+	edges := append([]int(nil), d.OutEdges(bestLoad)...)
+	sort.Slice(edges, func(i, j int) bool {
+		si := spanAt(res, ii, d.Edges[edges[i]])
+		sj := spanAt(res, ii, d.Edges[edges[j]])
+		if si != sj {
+			return si > sj
+		}
+		return edges[i] < edges[j]
+	})
+	take := (len(edges) + 1) / 2
+	return bestLoad, edges[:take]
+}
+
+// meshDegree returns the largest neighbour count in the array — the number
+// of PEs a value can be forwarded to in one cycle, beyond which a fan-out
+// tree is required.
+func meshDegree(c *arch.CGRA) int {
+	deg := 0
+	for p := 0; p < c.NumPEs(); p++ {
+		if d := len(c.Neighbors(p)); d > deg {
+			deg = d
+		}
+	}
+	return deg
+}
+
+// fanoutProducers returns the distinct producers incident to the unplaced
+// operations whose fan-out exceeds the mesh degree, largest first.
+func fanoutProducers(d *dfg.DFG, unplaced []int, maxFan int) []int {
+	seen := map[int]bool{}
+	var out []int
+	add := func(v int) {
+		if !seen[v] && len(d.OutEdges(v)) > maxFan {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	for _, v := range unplaced {
+		add(v)
+		for _, ei := range d.InEdges(v) {
+			add(d.Edges[ei].From)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		di, dj := len(d.OutEdges(out[i])), len(d.OutEdges(out[j]))
+		if di != dj {
+			return di > dj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// splitHalfFanout moves the longer-span half of v's consumers behind a new
+// Route node.
+func splitHalfFanout(d *dfg.DFG, v int, res *sched.Result, ii int) {
+	edges := append([]int(nil), d.OutEdges(v)...)
+	// Longest spans first: those consumers benefit most from the extra hop.
+	sort.Slice(edges, func(i, j int) bool {
+		ei, ej := d.Edges[edges[i]], d.Edges[edges[j]]
+		si := spanAt(res, ii, ei)
+		sj := spanAt(res, ii, ej)
+		if si != sj {
+			return si > sj
+		}
+		return edges[i] < edges[j]
+	})
+	keep := len(edges) / 2
+	moved := edges[:len(edges)-keep]
+	// Self edges cannot move (the recurrence must stay on the op).
+	filtered := moved[:0]
+	for _, ei := range moved {
+		if d.Edges[ei].To != v {
+			filtered = append(filtered, ei)
+		}
+	}
+	if len(filtered) == 0 {
+		return
+	}
+	d.SplitFanout(v, filtered)
+}
+
+func spanAt(res *sched.Result, ii int, e dfg.Edge) int {
+	return res.Time[e.To] - res.Time[e.From] + ii*e.Dist
+}

@@ -2,9 +2,6 @@ package core
 
 import (
 	"context"
-	"fmt"
-	"math"
-	"sort"
 	"time"
 
 	"regimap/internal/arch"
@@ -12,7 +9,7 @@ import (
 	"regimap/internal/dfg"
 	"regimap/internal/maperr"
 	"regimap/internal/mapping"
-	"regimap/internal/sched"
+	"regimap/internal/obs"
 )
 
 // The mapper's failures carry the shared error taxonomy of
@@ -85,32 +82,42 @@ func (s *Stats) Perf() float64 {
 	return float64(s.MII) / float64(s.II)
 }
 
-// Map runs REGIMap: modulo-schedule the kernel, place it with the
-// weight-constrained maximal clique, and on failure learn — reschedule the
-// unplaced operations earlier / at higher priority, insert routing nodes when
-// registers are the bottleneck, thin the schedule width, and only then
-// escalate II. The returned mapping's DFG may contain extra Route operations;
-// it always passes mapping.Validate.
+// Map runs REGIMap as a pipeline of explicit passes (see pipeline.go):
+// modulo-schedule the kernel, build the compatibility graph, place it with
+// the weight-constrained maximal clique, and on failure learn — reschedule
+// the unplaced operations earlier / at higher priority, insert routing nodes
+// when registers are the bottleneck, thin the schedule width, and only then
+// escalate II. The returned mapping's DFG may contain extra Route
+// operations; it always passes mapping.Validate.
 //
 // Cancelling ctx aborts the search within one schedule/place attempt: the
 // context is checked before every II escalation and before every attempt
 // within an II, so a deadline bounds compile time even on unmappable kernels
 // where MaxTotalAttempts would otherwise be the only backstop. The returned
 // error wraps ctx.Err() when the abort was context-driven.
+//
+// A tracer in ctx (obs.With) receives per-pass and per-II-attempt events;
+// without one, the instrumentation is free (see internal/obs).
 func Map(ctx context.Context, d *dfg.DFG, c *arch.CGRA, opts Options) (*mapping.Mapping, *Stats, error) {
 	start := time.Now()
 	if err := d.Validate(); err != nil {
 		return nil, nil, err
 	}
+	tr := obs.From(ctx).Named("regimap", d.Name)
 	pes, memRows := c.MIIResources()
 	stats := &Stats{MII: d.MII(pes, memRows)}
+	tr.Point1("mii", "mii", int64(stats.MII))
+	done := func() {
+		stats.Elapsed = time.Since(start)
+		tr.Point("map.done", "ii", int64(stats.II), "mii", int64(stats.MII), "attempts", int64(stats.Attempts))
+	}
 	if !c.Healthy() {
 		if c.UsablePEs() == 0 {
-			stats.Elapsed = time.Since(start)
+			done()
 			return nil, stats, maperr.NoMapping("core: no mapping for %s on %s: every PE is broken", d.Name, c)
 		}
 		if c.UsableMemRows() == 0 && hasMemOps(d) {
-			stats.Elapsed = time.Since(start)
+			done()
 			return nil, stats, maperr.NoMapping("core: no mapping for %s on %s: no row can issue memory operations", d.Name, c)
 		}
 	}
@@ -133,24 +140,30 @@ func Map(ctx context.Context, d *dfg.DFG, c *arch.CGRA, opts Options) (*mapping.
 
 	for ii := startII; ii <= maxII && stats.Attempts < totalBudget; ii++ {
 		if err := ctx.Err(); err != nil {
-			stats.Elapsed = time.Since(start)
+			done()
 			return nil, stats, maperr.Aborted(err, "core: mapping %s aborted: %v", d.Name, err)
 		}
 		budget := maxAttempts
 		if rest := totalBudget - stats.Attempts; rest < budget {
 			budget = rest
 		}
-		m := mapAtII(ctx, d, c, ii, budget, opts, stats)
+		rounds := stats.Attempts
+		iisp := tr.Start("ii.attempt")
+		m := mapAtII(ctx, d, c, ii, budget, opts, stats, tr)
+		iisp.Field("ii", int64(ii))
+		iisp.Field("rounds", int64(stats.Attempts-rounds))
+		iisp.FieldBool("ok", m != nil)
+		iisp.End()
 		if m != nil {
 			stats.II = ii
-			stats.Elapsed = time.Since(start)
+			done()
 			if err := m.Validate(); err != nil {
 				return nil, nil, &maperr.InvalidMappingError{Mapper: "core", What: "mapping", Err: err}
 			}
 			return m, stats, nil
 		}
 	}
-	stats.Elapsed = time.Since(start)
+	done()
 	if err := ctx.Err(); err != nil {
 		return nil, stats, maperr.Aborted(err, "core: mapping %s aborted: %v", d.Name, err)
 	}
@@ -167,742 +180,52 @@ func hasMemOps(d *dfg.DFG) bool {
 	return false
 }
 
-// iiAttempt holds the mutable state of one fixed-II mapping attempt.
-type iiAttempt struct {
-	d  *dfg.DFG // original kernel
-	ds *dfg.DFG // work DFG (route nodes may be inserted)
-	c  *arch.CGRA
-	sc *sched.Scheduler
-	ii int
-
-	pes     int // usable PEs (== NumPEs on a healthy array)
-	memRows int // usable memory rows (== Rows on a healthy array)
-
-	width        int
-	routeBudget  int
-	reserve      int // extra insertions granted to nearly-complete placements
-	bestUnplaced int // the paper's N: best |V_Ds - V_C| so far
-	stall        int // consecutive non-improving placement attempts
-	prefer       []int
-	prevSchedule *sched.Result
-	prevUnplaced []int
-
-	compatOpts CompatOptions
-	cb         *CompatBuilder // incremental compat builder for the current work DFG
-	cbFor      *dfg.DFG       // the DFG cb was built for (route insertion replaces it)
-	cbNodes    int            // node count cb was sized for (in-place growth invalidates)
-}
-
-// compat returns the compatibility graph for the schedule, building it
-// incrementally: the builder persists across attempts at this II and only
-// rebuilds the rows of rescheduled operations. Structural learning moves
-// (route insertion, recomputation) grow the work DFG — sometimes by mutating
-// the already-cloned DFG in place — so the builder is invalidated both on
-// identity change and on node-count change.
-func (a *iiAttempt) compat(times []int) (*Compat, error) {
-	if a.cb == nil || a.cbFor != a.ds || a.cbNodes != a.ds.N() {
-		cb, err := NewCompatBuilder(a.ds, a.c, a.ii, a.compatOpts)
-		if err != nil {
-			return nil, err
-		}
-		a.cb, a.cbFor, a.cbNodes = cb, a.ds, a.ds.N()
-	}
-	return a.cb.Build(times)
-}
-
-// mapAtII attempts to map at one fixed II, returning nil to escalate. A
-// cancelled ctx ends the attempt loop early (the caller reports the abort).
-func mapAtII(ctx context.Context, d *dfg.DFG, c *arch.CGRA, ii, maxAttempts int, opts Options, stats *Stats) *mapping.Mapping {
-	pes, memRows := c.MIIResources()
-	a := &iiAttempt{
-		d: d, ds: d, c: c,
-		sc:           sched.New(d, pes, memRows),
-		ii:           ii,
-		pes:          pes,
-		memRows:      memRows,
-		width:        pes,
-		routeBudget:  routeBudgetFor(d.N()),
-		reserve:      8,
-		bestUnplaced: math.MaxInt,
-		compatOpts:   opts.Compat,
-	}
-	seen := map[string]bool{} // schedules already placed (and failed)
-
+// mapAtII attempts to map at one fixed II by driving the pass pipeline over
+// a fresh Attempt, returning nil to escalate. A cancelled ctx ends the
+// attempt loop early (the caller reports the abort).
+//
+// The pipeline order per round is the paper's Figure 3 loop:
+//
+//	PassSchedule → PassPrecheck → PassCompat → PassPlace → PassLearn
+//
+// with PassLearn (and the precheck shortcuts) feeding the next round's
+// schedule until the round budget is spent or learning concludes the II must
+// escalate.
+func mapAtII(ctx context.Context, d *dfg.DFG, c *arch.CGRA, ii, maxAttempts int, opts Options, stats *Stats, tr *obs.Tracer) *mapping.Mapping {
+	a := NewAttempt(d, c, ii, opts, stats, tr)
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		if ctx.Err() != nil {
 			return nil
 		}
 		stats.Attempts++
-		res := scheduleNext(a.sc, a.ds, ii, a.width, a.prefer, a.prevSchedule, a.prevUnplaced, a.width, seen)
+		res := a.PassSchedule()
 		if res == nil {
 			return nil // unschedulable at this width: escalate II
 		}
-		key := scheduleKey(a.width, res)
-		if seen[key] {
-			// Every scheduling variant regenerated an already-failed
-			// schedule; placement would fail identically, so skip straight
-			// to the stronger relaxations.
-			if !a.relaxOrThin(res, a.prevUnplaced, opts, stats) {
+		skip, proceed := a.PassPrecheck(res)
+		if !proceed {
+			// Placement is pointless (duplicate schedule, or a register-
+			// carried component that cannot fit a PE): go straight to the
+			// stronger relaxations.
+			if !a.PassRelax(res, skip) {
 				return nil
 			}
 			continue
 		}
-		seen[key] = true
-
-		if overflow := overflowComponent(a.ds, res, ii); overflow != nil && !opts.DisableReschedule {
-			// A register-carried component larger than II can never share a
-			// PE: skip the doomed clique search and relax immediately.
-			if !a.relaxOrThin(res, overflow, opts, stats) {
-				return nil
-			}
-			continue
-		}
-
-		cg, err := a.compat(res.Time)
+		cg, err := a.PassCompat(res)
 		if err != nil {
 			return nil
 		}
-		stats.CompatNodes = cg.Nodes()
-		stats.CompatEdges = cg.Edges()
-		sol := findPlacement(cg, a.ds.N(), res.Time, opts.Clique)
-		if len(sol) == a.ds.N() {
-			m := mapping.New(a.ds, c, ii)
-			copy(m.Time, res.Time)
-			for _, id := range sol {
-				m.PE[cg.Pairs[id].Op] = cg.Pairs[id].PE
-			}
+		m, unplaced := a.PassPlace(cg, res)
+		if m != nil {
 			return m
 		}
 		if opts.DisableReschedule {
 			return nil // exploratory behaviour: fail straight to II+1
 		}
-
-		unplaced := unplacedOps(a.ds.N(), cg, sol)
-		if len(unplaced) >= a.bestUnplaced {
-			// Give the cheap rescheduling moves a little patience before
-			// reaching for the structural relaxations.
-			a.stall++
-			if a.stall >= 3 {
-				if !a.relaxOrThin(res, unplaced, opts, stats) {
-					return nil
-				}
-				continue
-			}
-		} else {
-			a.bestUnplaced = len(unplaced)
-			a.stall = 0
-		}
-		// Learning move 1: reschedule with the unplaced operations first.
-		stats.Reschedules++
-		a.prefer = unplaced
-		a.prevSchedule = res
-		a.prevUnplaced = unplaced
-	}
-	return nil
-}
-
-// routeBudgetFor caps routing-node insertions per II attempt: generous for
-// small kernels, bounded for large ones so the work DFG cannot snowball
-// (every insertion enlarges the compatibility graph the clique search pays
-// for).
-func routeBudgetFor(n int) int {
-	if n < 12 {
-		return 2 * n
-	}
-	if n > 24 {
-		return 24
-	}
-	return n
-}
-
-// reset clears the per-schedule learning state after a structural change
-// (route insertion or thinning).
-func (a *iiAttempt) reset() {
-	a.prefer, a.prevSchedule, a.prevUnplaced = nil, nil, nil
-	a.bestUnplaced = math.MaxInt
-}
-
-// relaxOrThin applies the stronger learning moves when rescheduling stopped
-// converging: first relax the routing problem by splitting a register-bound
-// edge with a Route node (Appendix E), then thin the schedule width. It
-// returns false when both are exhausted and II must escalate.
-func (a *iiAttempt) relaxOrThin(res *sched.Result, unplaced []int, opts Options, stats *Stats) bool {
-	a.stall = 0
-	budget := a.routeBudget
-	if budget < 0 {
-		budget = 0
-	}
-	if len(unplaced) > 0 && len(unplaced) <= 2 && a.reserve > 0 {
-		budget++ // endgame reserve: a nearly-complete placement earns extra relaxation
-		a.reserve--
-	}
-	if !opts.DisableRouteInsertion && budget > 0 {
-		changed := false
-		// First shrink over-connected values: a producer whose fan-out
-		// exceeds the mesh degree can never deliver all copies directly, so
-		// half of its consumers are moved behind a Route node (a fan-out
-		// tree, the transformation behind the paper's path sharing).
-		if fanouts := fanoutProducers(a.ds, unplaced, meshDegree(a.c)); len(fanouts) > 0 {
-			if a.ds == a.d {
-				a.ds = a.d.Clone()
-			}
-			for _, v := range fanouts {
-				if budget == 0 {
-					break
-				}
-				splitHalfFanout(a.ds, v, res, a.ii)
-				budget--
-				a.routeBudget--
-				stats.RouteInserts++
-				changed = true
-			}
-		}
-		if !changed {
-			edges := registerBoundEdges(a.ds, res, a.ii, unplaced)
-			if len(edges) > 3 {
-				edges = edges[:3] // relax gently; each node enlarges the search
-			}
-			if len(edges) > 0 {
-				if a.ds == a.d {
-					a.ds = a.d.Clone()
-				}
-				for _, ei := range edges {
-					if budget == 0 {
-						break
-					}
-					a.ds.InsertRoute(ei)
-					budget--
-					a.routeBudget--
-					stats.RouteInserts++
-					changed = true
-				}
-			}
-		}
-		if !changed {
-			// Recomputation (paper Section 3, Figure 4a): when no edge can
-			// be routed around, clone an unplaced multi-consumer load so
-			// each copy serves part of the fan-out — re-reading memory is
-			// cheaper than carrying the value.
-			if v, edges := recomputableLoad(a.ds, res, a.ii, unplaced); v >= 0 && budget > 0 {
-				if a.ds == a.d {
-					a.ds = a.d.Clone()
-				}
-				a.ds.Duplicate(v, edges)
-				budget--
-				a.routeBudget--
-				stats.Recomputes++
-				changed = true
-			}
-		}
-		if changed {
-			a.sc = sched.New(a.ds, a.pes, a.memRows)
-			a.reset()
-			return true
-		}
-	}
-	if !opts.DisableThinning {
-		a.width--
-		stats.Thinnings++
-		if a.width < ceilDiv(a.ds.N(), a.ii) {
-			return false // thinning would force a larger II: escalate
-		}
-		a.reset()
-		return true
-	}
-	return false
-}
-
-// findPlacement runs the clique search: the group-aware constructive pass
-// first (one candidate per operation, most-constrained first), falling back
-// to the paper's generic greedy/swap/intersection heuristic when it comes up
-// short. Both return feasible cliques; the larger wins.
-func findPlacement(cg *Compat, target int, times []int, opts clique.Options) []int {
-	// First pass: place operations in schedule order so each lands next to
-	// its already-placed producers (cluster growth); the promote-on-failure
-	// rounds still reorder the stragglers.
-	var sol []int
-	if opts.GroupOrder == nil && len(times) == target {
-		order := make([]int, target)
-		for i := range order {
-			order[i] = i
-		}
-		sort.SliceStable(order, func(i, j int) bool {
-			if times[order[i]] != times[order[j]] {
-				return times[order[i]] < times[order[j]]
-			}
-			return order[i] < order[j]
-		})
-		scheduled := opts
-		scheduled.GroupOrder = order
-		sol = clique.FindGrouped(cg.G, cg.byOp, scheduled)
-		if len(sol) >= target {
-			return sol
-		}
-	}
-	// Second pass: depth-first dataflow order, so chains (address streams,
-	// reduction spines) are placed contiguously and can fold onto one PE
-	// across consecutive slots.
-	if len(times) == target {
-		dfs := opts
-		dfs.GroupOrder = dfsOrder(cg.d)
-		if alt := clique.FindGrouped(cg.G, cg.byOp, dfs); len(alt) > len(sol) {
-			sol = alt
-			if len(sol) >= target {
-				return sol
-			}
-		}
-	}
-	// Third pass: most-constrained-first order (FindGrouped's default).
-	if alt := clique.FindGrouped(cg.G, cg.byOp, opts); len(alt) > len(sol) {
-		sol = alt
-		if len(sol) >= target {
-			return sol
-		}
-	}
-	// The generic greedy/swap/intersection heuristic explores more of the
-	// graph but scales with its square; beyond a few hundred nodes the
-	// grouped passes plus the outer learning loop are the better use of time.
-	if cg.Nodes() <= 384 {
-		if opts.SeedOrder == nil {
-			// The graph caches the degree sort, so repeated placements of an
-			// unchanged (or partially-rebuilt) graph sort at most once.
-			opts.SeedOrder = cg.G.DegreeOrder()
-		}
-		if alt := clique.Find(cg.G, target, opts); len(alt) > len(sol) {
-			return alt
-		}
-	}
-	return sol
-}
-
-// dfsOrder returns the operations in depth-first dataflow order, starting
-// from the highest-degree roots, so connected chains appear consecutively.
-func dfsOrder(d *dfg.DFG) []int {
-	roots := make([]int, d.N())
-	for i := range roots {
-		roots[i] = i
-	}
-	deg := func(v int) int { return len(d.InEdges(v)) + len(d.OutEdges(v)) }
-	sort.SliceStable(roots, func(i, j int) bool {
-		if deg(roots[i]) != deg(roots[j]) {
-			return deg(roots[i]) > deg(roots[j])
-		}
-		return roots[i] < roots[j]
-	})
-	seen := make([]bool, d.N())
-	order := make([]int, 0, d.N())
-	var visit func(v int)
-	visit = func(v int) {
-		if seen[v] {
-			return
-		}
-		seen[v] = true
-		order = append(order, v)
-		for _, ei := range d.OutEdges(v) {
-			visit(d.Edges[ei].To)
-		}
-		for _, ei := range d.InEdges(v) {
-			visit(d.Edges[ei].From)
-		}
-	}
-	for _, r := range roots {
-		visit(r)
-	}
-	return order
-}
-
-// scheduleKey identifies a schedule attempt for the duplicate-detection set.
-func scheduleKey(width int, res *sched.Result) string {
-	return fmt.Sprintf("%d|%v", width, res.Time)
-}
-
-// scheduleNext produces the next schedule attempt, trying variants until one
-// has not been seen before: the paper's local repair first (move each failed
-// operation one cycle earlier, keeping everything else free), then one cycle
-// later (which converts a crowded adjacency into a register-carried hop),
-// then a full reschedule with the failed operations prioritized. Every
-// produced schedule is post-processed by repairCarried, which separates
-// register-carried components whose members collide in a modulo slot — such
-// schedules can never be placed, whatever the clique search does.
-func scheduleNext(sc *sched.Scheduler, d *dfg.DFG, ii, width int, prefer []int, prev *sched.Result, prevUnplaced []int, keyWidth int, seen map[string]bool) *sched.Result {
-	base := sched.Options{MaxPEs: width}
-	var fallback *sched.Result
-	try := func(opts sched.Options) *sched.Result {
-		res, err := sc.Schedule(ii, opts)
-		if err != nil {
+		if !a.PassLearn(res, unplaced) {
 			return nil
 		}
-		res = repairCarried(sc, d, ii, opts, res)
-		if fallback == nil {
-			fallback = res
-		}
-		if seen[scheduleKey(keyWidth, res)] {
-			return nil
-		}
-		return res
-	}
-	if prev != nil && len(prevUnplaced) > 0 {
-		for _, delta := range []int{-1, +1, -2, +2} {
-			pins := make(map[int]int, len(prevUnplaced))
-			feasible := true
-			for _, v := range prevUnplaced {
-				t := prev.Time[v] + delta
-				if t < 0 {
-					feasible = false
-					break
-				}
-				pins[v] = t
-			}
-			if !feasible {
-				continue
-			}
-			pinned := base
-			pinned.Pin = pins
-			if res := try(pinned); res != nil {
-				return res
-			}
-		}
-	}
-	withPrefer := base
-	withPrefer.Prefer = prefer
-	if res := try(withPrefer); res != nil {
-		return res
-	}
-	if fallback != nil {
-		return fallback // all variants already seen: caller will relax
 	}
 	return nil
-}
-
-// repairCarried constructively fixes a structural placement impossibility the
-// plain modulo scheduler cannot see: operations linked by register-carried
-// dependences (span > 1) must end up on one PE, so they need pairwise
-// distinct modulo slots. When members of such a component collide, the later
-// one is pinned one slot onward and the kernel rescheduled, a few rounds.
-// The original schedule is returned when repair fails — placement will then
-// fail and the outer loop tries its stronger moves.
-func repairCarried(sc *sched.Scheduler, d *dfg.DFG, ii int, opts sched.Options, res *sched.Result) *sched.Result {
-	for round := 0; round < 4; round++ {
-		pins := carriedCollisionPins(d, res, ii)
-		if len(pins) == 0 {
-			return res
-		}
-		next := opts
-		next.Pin = make(map[int]int, len(opts.Pin)+len(pins))
-		for v, t := range opts.Pin {
-			next.Pin[v] = t
-		}
-		for v, t := range pins {
-			next.Pin[v] = t
-		}
-		fixed, err := sc.Schedule(ii, next)
-		if err != nil {
-			return res
-		}
-		opts, res = next, fixed
-	}
-	return res
-}
-
-// carriedCollisionPins finds register-carried components (union-find over
-// span>1 edges) whose members share a modulo slot and proposes pins that
-// move the later colliders to the next free slot of their component.
-func carriedCollisionPins(d *dfg.DFG, res *sched.Result, ii int) map[int]int {
-	parent := make([]int, d.N())
-	for i := range parent {
-		parent[i] = i
-	}
-	var find func(int) int
-	find = func(x int) int {
-		for parent[x] != x {
-			parent[x] = parent[parent[x]]
-			x = parent[x]
-		}
-		return x
-	}
-	carried := false
-	for _, e := range d.Edges {
-		if e.From == e.To {
-			continue
-		}
-		if span := res.Time[e.To] - res.Time[e.From] + ii*e.Dist; span > 1 {
-			parent[find(e.From)] = find(e.To)
-			carried = true
-		}
-	}
-	if !carried {
-		return nil
-	}
-	groups := map[int][]int{}
-	for v := 0; v < d.N(); v++ {
-		r := find(v)
-		groups[r] = append(groups[r], v)
-	}
-	pins := map[int]int{}
-	for _, members := range groups {
-		if len(members) < 2 || len(members) > ii {
-			continue // singleton, or unrepairable at this II
-		}
-		// Deterministic: earlier-scheduled members keep their slots.
-		sort.Slice(members, func(i, j int) bool {
-			if res.Time[members[i]] != res.Time[members[j]] {
-				return res.Time[members[i]] < res.Time[members[j]]
-			}
-			return members[i] < members[j]
-		})
-		used := make([]bool, ii)
-		for _, v := range members {
-			t := res.Time[v]
-			if !used[t%ii] {
-				used[t%ii] = true
-				continue
-			}
-			for delta := 1; delta < ii; delta++ {
-				if !used[(t+delta)%ii] {
-					pins[v] = t + delta
-					used[(t+delta)%ii] = true
-					break
-				}
-			}
-		}
-	}
-	return pins
-}
-
-// registerBoundEdges returns, per unplaced operation, the incident edge whose
-// splitting is most likely to unblock it: the longest register-carried edge
-// (span > 1 under the last schedule — register demand becomes a routing hop)
-// or, failing that, a one-cycle edge whose producer has the highest fan-out
-// (fan-out above the mesh connectivity is the other reason placement can be
-// impossible; a Route node spreads the value over two hops). The returned
-// edge indices are distinct; the list is empty when nothing can be relaxed.
-func registerBoundEdges(d *dfg.DFG, res *sched.Result, ii int, unplaced []int) []int {
-	chosen := map[int]bool{}
-	var out []int
-	for _, v := range unplaced {
-		bestEdge, bestSpan := -1, 1
-		fanEdge, fanOut := -1, 1
-		anyEdge, anyDeg := -1, -1
-		consider := func(ei, other int) {
-			if chosen[ei] {
-				return
-			}
-			e := d.Edges[ei]
-			if e.From == e.To {
-				return // a self recurrence cannot be relaxed by routing
-			}
-			if span := res.Time[e.To] - res.Time[e.From] + ii*e.Dist; span > bestSpan {
-				bestEdge, bestSpan = ei, span
-			}
-			if deg := len(d.OutEdges(e.From)); deg > fanOut && d.Nodes[e.From].Kind != dfg.Route {
-				fanEdge, fanOut = ei, deg
-			}
-			// Last resort: relax the tightest adjacency constraint — a
-			// Route node turns a one-hop reach into two hops. Splitting an
-			// edge to an already-inserted route only delays, so skip those.
-			if d.Nodes[other].Kind != dfg.Route {
-				if deg := len(d.InEdges(other)) + len(d.OutEdges(other)); deg > anyDeg {
-					anyEdge, anyDeg = ei, deg
-				}
-			}
-		}
-		for _, ei := range d.InEdges(v) {
-			consider(ei, d.Edges[ei].From)
-		}
-		for _, ei := range d.OutEdges(v) {
-			consider(ei, d.Edges[ei].To)
-		}
-		pick := bestEdge
-		if pick < 0 {
-			pick = fanEdge
-		}
-		if pick < 0 {
-			pick = anyEdge
-		}
-		if pick >= 0 {
-			chosen[pick] = true
-			out = append(out, pick)
-		}
-	}
-	return out
-}
-
-// overflowComponent returns the members of a register-carried component that
-// cannot fit its PE at this II (more members than modulo slots, or members
-// still colliding after repair) — a structural impossibility that no clique
-// search can fix. It returns nil when every component fits.
-func overflowComponent(d *dfg.DFG, res *sched.Result, ii int) []int {
-	parent := make([]int, d.N())
-	for i := range parent {
-		parent[i] = i
-	}
-	var find func(int) int
-	find = func(x int) int {
-		for parent[x] != x {
-			parent[x] = parent[parent[x]]
-			x = parent[x]
-		}
-		return x
-	}
-	for _, e := range d.Edges {
-		if e.From == e.To {
-			continue
-		}
-		if span := res.Time[e.To] - res.Time[e.From] + ii*e.Dist; span > 1 {
-			parent[find(e.From)] = find(e.To)
-		}
-	}
-	groups := map[int][]int{}
-	for v := 0; v < d.N(); v++ {
-		groups[find(v)] = append(groups[find(v)], v)
-	}
-	roots := make([]int, 0, len(groups))
-	for r := range groups {
-		roots = append(roots, r)
-	}
-	sort.Ints(roots)
-	for _, r := range roots {
-		members := groups[r]
-		if len(members) < 2 {
-			continue
-		}
-		if len(members) > ii {
-			return members
-		}
-		slots := map[int]bool{}
-		for _, v := range members {
-			if slots[res.Time[v]%ii] {
-				return members
-			}
-			slots[res.Time[v]%ii] = true
-		}
-	}
-	return nil
-}
-
-// recomputableLoad finds a load with at least two register-carried consumer
-// edges incident to the failure and returns it with the longer-span half of
-// its outgoing edges (for the clone to take over), or (-1, nil).
-func recomputableLoad(d *dfg.DFG, res *sched.Result, ii int, unplaced []int) (int, []int) {
-	inUnplaced := map[int]bool{}
-	for _, v := range unplaced {
-		inUnplaced[v] = true
-	}
-	bestLoad, bestCarried := -1, 0
-	for v := range d.Nodes {
-		if d.Nodes[v].Kind != dfg.Load || len(d.OutEdges(v)) < 2 || !inUnplaced[v] {
-			continue
-		}
-		carried := 0
-		for _, ei := range d.OutEdges(v) {
-			if spanAt(res, ii, d.Edges[ei]) > 1 {
-				carried++
-			}
-		}
-		if carried > bestCarried {
-			bestLoad, bestCarried = v, carried
-		}
-	}
-	if bestLoad < 0 {
-		return -1, nil
-	}
-	edges := append([]int(nil), d.OutEdges(bestLoad)...)
-	sort.Slice(edges, func(i, j int) bool {
-		si := spanAt(res, ii, d.Edges[edges[i]])
-		sj := spanAt(res, ii, d.Edges[edges[j]])
-		if si != sj {
-			return si > sj
-		}
-		return edges[i] < edges[j]
-	})
-	take := (len(edges) + 1) / 2
-	return bestLoad, edges[:take]
-}
-
-// meshDegree returns the largest neighbour count in the array — the number
-// of PEs a value can be forwarded to in one cycle, beyond which a fan-out
-// tree is required.
-func meshDegree(c *arch.CGRA) int {
-	deg := 0
-	for p := 0; p < c.NumPEs(); p++ {
-		if d := len(c.Neighbors(p)); d > deg {
-			deg = d
-		}
-	}
-	return deg
-}
-
-// fanoutProducers returns the distinct producers incident to the unplaced
-// operations whose fan-out exceeds the mesh degree, largest first.
-func fanoutProducers(d *dfg.DFG, unplaced []int, maxFan int) []int {
-	seen := map[int]bool{}
-	var out []int
-	add := func(v int) {
-		if !seen[v] && len(d.OutEdges(v)) > maxFan {
-			seen[v] = true
-			out = append(out, v)
-		}
-	}
-	for _, v := range unplaced {
-		add(v)
-		for _, ei := range d.InEdges(v) {
-			add(d.Edges[ei].From)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool {
-		di, dj := len(d.OutEdges(out[i])), len(d.OutEdges(out[j]))
-		if di != dj {
-			return di > dj
-		}
-		return out[i] < out[j]
-	})
-	return out
-}
-
-// splitHalfFanout moves the longer-span half of v's consumers behind a new
-// Route node.
-func splitHalfFanout(d *dfg.DFG, v int, res *sched.Result, ii int) {
-	edges := append([]int(nil), d.OutEdges(v)...)
-	// Longest spans first: those consumers benefit most from the extra hop.
-	sort.Slice(edges, func(i, j int) bool {
-		ei, ej := d.Edges[edges[i]], d.Edges[edges[j]]
-		si := spanAt(res, ii, ei)
-		sj := spanAt(res, ii, ej)
-		if si != sj {
-			return si > sj
-		}
-		return edges[i] < edges[j]
-	})
-	keep := len(edges) / 2
-	moved := edges[:len(edges)-keep]
-	// Self edges cannot move (the recurrence must stay on the op).
-	filtered := moved[:0]
-	for _, ei := range moved {
-		if d.Edges[ei].To != v {
-			filtered = append(filtered, ei)
-		}
-	}
-	if len(filtered) == 0 {
-		return
-	}
-	d.SplitFanout(v, filtered)
-}
-
-func spanAt(res *sched.Result, ii int, e dfg.Edge) int {
-	return res.Time[e.To] - res.Time[e.From] + ii*e.Dist
-}
-
-// unplacedOps returns the operations with no binding in the clique solution.
-func unplacedOps(n int, cg *Compat, sol []int) []int {
-	placed := make([]bool, n)
-	for _, id := range sol {
-		placed[cg.Pairs[id].Op] = true
-	}
-	var out []int
-	for v := 0; v < n; v++ {
-		if !placed[v] {
-			out = append(out, v)
-		}
-	}
-	return out
 }

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"regimap/internal/dfg"
+	"regimap/internal/obs"
+	"regimap/internal/sched"
+)
+
+// scheduleKey identifies a schedule attempt for the duplicate-detection set.
+func scheduleKey(width int, res *sched.Result) string {
+	return fmt.Sprintf("%d|%v", width, res.Time)
+}
+
+// scheduleNext produces the next schedule attempt, trying variants until one
+// has not been seen before: the paper's local repair first (move each failed
+// operation one cycle earlier, keeping everything else free), then one cycle
+// later (which converts a crowded adjacency into a register-carried hop),
+// then a full reschedule with the failed operations prioritized. Every
+// produced schedule is post-processed by repairCarried, which separates
+// register-carried components whose members collide in a modulo slot — such
+// schedules can never be placed, whatever the clique search does.
+func scheduleNext(sc *sched.Scheduler, d *dfg.DFG, ii, width int, prefer []int, prev *sched.Result, prevUnplaced []int, keyWidth int, seen map[string]bool, tr *obs.Tracer) *sched.Result {
+	base := sched.Options{MaxPEs: width, Trace: tr}
+	var fallback *sched.Result
+	try := func(opts sched.Options) *sched.Result {
+		res, err := sc.Schedule(ii, opts)
+		if err != nil {
+			return nil
+		}
+		res = repairCarried(sc, d, ii, opts, res)
+		if fallback == nil {
+			fallback = res
+		}
+		if seen[scheduleKey(keyWidth, res)] {
+			return nil
+		}
+		return res
+	}
+	if prev != nil && len(prevUnplaced) > 0 {
+		for _, delta := range []int{-1, +1, -2, +2} {
+			pins := make(map[int]int, len(prevUnplaced))
+			feasible := true
+			for _, v := range prevUnplaced {
+				t := prev.Time[v] + delta
+				if t < 0 {
+					feasible = false
+					break
+				}
+				pins[v] = t
+			}
+			if !feasible {
+				continue
+			}
+			pinned := base
+			pinned.Pin = pins
+			if res := try(pinned); res != nil {
+				return res
+			}
+		}
+	}
+	withPrefer := base
+	withPrefer.Prefer = prefer
+	if res := try(withPrefer); res != nil {
+		return res
+	}
+	if fallback != nil {
+		return fallback // all variants already seen: caller will relax
+	}
+	return nil
+}
+
+// repairCarried constructively fixes a structural placement impossibility the
+// plain modulo scheduler cannot see: operations linked by register-carried
+// dependences (span > 1) must end up on one PE, so they need pairwise
+// distinct modulo slots. When members of such a component collide, the later
+// one is pinned one slot onward and the kernel rescheduled, a few rounds.
+// The original schedule is returned when repair fails — placement will then
+// fail and the outer loop tries its stronger moves.
+func repairCarried(sc *sched.Scheduler, d *dfg.DFG, ii int, opts sched.Options, res *sched.Result) *sched.Result {
+	for round := 0; round < 4; round++ {
+		pins := carriedCollisionPins(d, res, ii)
+		if len(pins) == 0 {
+			return res
+		}
+		next := opts
+		next.Pin = make(map[int]int, len(opts.Pin)+len(pins))
+		for v, t := range opts.Pin {
+			next.Pin[v] = t
+		}
+		for v, t := range pins {
+			next.Pin[v] = t
+		}
+		fixed, err := sc.Schedule(ii, next)
+		if err != nil {
+			return res
+		}
+		opts, res = next, fixed
+	}
+	return res
+}
+
+// carriedCollisionPins finds register-carried components (union-find over
+// span>1 edges) whose members share a modulo slot and proposes pins that
+// move the later colliders to the next free slot of their component.
+func carriedCollisionPins(d *dfg.DFG, res *sched.Result, ii int) map[int]int {
+	parent := make([]int, d.N())
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	carried := false
+	for _, e := range d.Edges {
+		if e.From == e.To {
+			continue
+		}
+		if span := res.Time[e.To] - res.Time[e.From] + ii*e.Dist; span > 1 {
+			parent[find(e.From)] = find(e.To)
+			carried = true
+		}
+	}
+	if !carried {
+		return nil
+	}
+	groups := map[int][]int{}
+	for v := 0; v < d.N(); v++ {
+		r := find(v)
+		groups[r] = append(groups[r], v)
+	}
+	pins := map[int]int{}
+	for _, members := range groups {
+		if len(members) < 2 || len(members) > ii {
+			continue // singleton, or unrepairable at this II
+		}
+		// Deterministic: earlier-scheduled members keep their slots.
+		sort.Slice(members, func(i, j int) bool {
+			if res.Time[members[i]] != res.Time[members[j]] {
+				return res.Time[members[i]] < res.Time[members[j]]
+			}
+			return members[i] < members[j]
+		})
+		used := make([]bool, ii)
+		for _, v := range members {
+			t := res.Time[v]
+			if !used[t%ii] {
+				used[t%ii] = true
+				continue
+			}
+			for delta := 1; delta < ii; delta++ {
+				if !used[(t+delta)%ii] {
+					pins[v] = t + delta
+					used[(t+delta)%ii] = true
+					break
+				}
+			}
+		}
+	}
+	return pins
+}

@@ -29,6 +29,7 @@ import (
 	"regimap/internal/arch"
 	"regimap/internal/dfg"
 	"regimap/internal/maperr"
+	"regimap/internal/obs"
 	"regimap/internal/sched"
 )
 
@@ -104,10 +105,16 @@ func Map(ctx context.Context, d *dfg.DFG, c *arch.CGRA, opts Options) (*Placemen
 	if err := d.Validate(); err != nil {
 		return nil, nil, err
 	}
+	tr := obs.From(ctx).Named("dresc", d.Name)
 	pes, memRows := c.MIIResources()
 	stats := &Stats{MII: d.MII(pes, memRows)}
-	if c.UsablePEs() == 0 {
+	tr.Point1("mii", "mii", int64(stats.MII))
+	done := func() {
 		stats.Elapsed = time.Since(start)
+		tr.Point("map.done", "ii", int64(stats.II), "mii", int64(stats.MII), "attempts", int64(stats.Moves))
+	}
+	if c.UsablePEs() == 0 {
+		done()
 		return nil, stats, maperr.NoMapping("dresc: no mapping for %s on %s: every PE is broken", d.Name, c)
 	}
 	maxII := opts.MaxII
@@ -121,20 +128,27 @@ func Map(ctx context.Context, d *dfg.DFG, c *arch.CGRA, opts Options) (*Placemen
 	rng := rand.New(rand.NewSource(opts.Seed))
 	for ii := startII; ii <= maxII; ii++ {
 		if err := ctx.Err(); err != nil {
-			stats.Elapsed = time.Since(start)
+			done()
 			return nil, stats, maperr.Aborted(err, "dresc: mapping %s aborted: %v", d.Name, err)
 		}
+		moves, accepts := stats.Moves, stats.Accepts
+		sp := tr.Start("dresc.anneal")
 		p := annealAtII(ctx, d, c, ii, opts, rng, stats)
+		sp.Field("ii", int64(ii))
+		sp.Field("moves", int64(stats.Moves-moves))
+		sp.Field("accepts", int64(stats.Accepts-accepts))
+		sp.FieldBool("ok", p != nil)
+		sp.End()
 		if p != nil {
 			stats.II = ii
-			stats.Elapsed = time.Since(start)
+			done()
 			if err := p.Verify(c); err != nil {
 				return nil, nil, &maperr.InvalidMappingError{Mapper: "dresc", What: "placement", Err: err}
 			}
 			return p, stats, nil
 		}
 	}
-	stats.Elapsed = time.Since(start)
+	done()
 	if err := ctx.Err(); err != nil {
 		return nil, stats, maperr.Aborted(err, "dresc: mapping %s aborted: %v", d.Name, err)
 	}

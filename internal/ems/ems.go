@@ -19,6 +19,7 @@ import (
 	"regimap/internal/dfg"
 	"regimap/internal/maperr"
 	"regimap/internal/mapping"
+	"regimap/internal/obs"
 )
 
 // Failure taxonomy (regimap/internal/maperr), re-exported for callers:
@@ -66,10 +67,16 @@ func Map(ctx context.Context, d *dfg.DFG, c *arch.CGRA, opts Options) (*mapping.
 	if err := d.Validate(); err != nil {
 		return nil, nil, err
 	}
+	tr := obs.From(ctx).Named("ems", d.Name)
 	pes, memRows := c.MIIResources()
 	stats := &Stats{MII: d.MII(pes, memRows)}
-	if c.UsablePEs() == 0 {
+	tr.Point1("mii", "mii", int64(stats.MII))
+	done := func() {
 		stats.Elapsed = time.Since(start)
+		tr.Point("map.done", "ii", int64(stats.II), "mii", int64(stats.MII), "attempts", int64(stats.Placements))
+	}
+	if c.UsablePEs() == 0 {
+		done()
 		return nil, stats, maperr.NoMapping("ems: no mapping for %s on %s: every PE is broken", d.Name, c)
 	}
 	maxII := opts.MaxII
@@ -78,19 +85,27 @@ func Map(ctx context.Context, d *dfg.DFG, c *arch.CGRA, opts Options) (*mapping.
 	}
 	for ii := stats.MII; ii <= maxII; ii++ {
 		if err := ctx.Err(); err != nil {
-			stats.Elapsed = time.Since(start)
+			done()
 			return nil, stats, maperr.Aborted(err, "ems: mapping %s aborted: %v", d.Name, err)
 		}
-		if m := placeAtII(d, c, ii, stats); m != nil {
+		placements, routes := stats.Placements, stats.Routes
+		sp := tr.Start("ems.place")
+		m := placeAtII(d, c, ii, stats)
+		sp.Field("ii", int64(ii))
+		sp.Field("placements", int64(stats.Placements-placements))
+		sp.Field("routes", int64(stats.Routes-routes))
+		sp.FieldBool("ok", m != nil)
+		sp.End()
+		if m != nil {
 			stats.II = ii
-			stats.Elapsed = time.Since(start)
+			done()
 			if err := m.Validate(); err != nil {
 				return nil, nil, &maperr.InvalidMappingError{Mapper: "ems", What: "mapping", Err: err}
 			}
 			return m, stats, nil
 		}
 	}
-	stats.Elapsed = time.Since(start)
+	done()
 	if err := ctx.Err(); err != nil {
 		return nil, stats, maperr.Aborted(err, "ems: mapping %s aborted: %v", d.Name, err)
 	}

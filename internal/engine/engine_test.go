@@ -1,0 +1,101 @@
+package engine
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"regimap/internal/arch"
+	"regimap/internal/dfg"
+)
+
+type fake struct {
+	name string
+	desc string
+}
+
+func (f fake) Name() string { return f.name }
+func (f fake) Map(ctx context.Context, d *dfg.DFG, c *arch.CGRA, opts Options) (*Result, error) {
+	return &Result{MII: 1, II: 2, Rounds: 3}, nil
+}
+func (f fake) Describe() string { return f.desc }
+
+func TestRegistry(t *testing.T) {
+	Register(fake{name: "fake-a", desc: "a fake"})
+	Register(fake{name: "fake-b"})
+
+	if _, ok := Lookup("fake-a"); !ok {
+		t.Fatal("fake-a not found after Register")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("Lookup invented an engine")
+	}
+	names := Names()
+	ia, ib := -1, -1
+	for i, n := range names {
+		if n == "fake-a" {
+			ia = i
+		}
+		if n == "fake-b" {
+			ib = i
+		}
+	}
+	if ia < 0 || ib < 0 || ia > ib {
+		t.Fatalf("Names() = %v: want fake-a before fake-b", names)
+	}
+
+	m := MustLookup("fake-a")
+	if Describe(m) != "a fake" {
+		t.Fatalf("Describe = %q", Describe(m))
+	}
+	if Describe(MustLookup("fake-b")) != "" {
+		t.Fatal("describer-less engine should describe as empty")
+	}
+	res, err := m.Map(context.Background(), nil, nil, Options{})
+	if err != nil || res.II != 2 {
+		t.Fatalf("Map = %+v, %v", res, err)
+	}
+	if p := res.Perf(); p != 0.5 {
+		t.Fatalf("Perf = %v, want 0.5", p)
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	Register(fake{name: "fake-dup"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register did not panic")
+		}
+	}()
+	Register(fake{name: "fake-dup"})
+}
+
+func TestMustLookupPanicsWithNames(t *testing.T) {
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("MustLookup on unknown name did not panic")
+		}
+		if !strings.Contains(v.(string), "no engine") {
+			t.Fatalf("panic message %q", v)
+		}
+	}()
+	MustLookup("definitely-not-registered")
+}
+
+func TestResultPerfNilAndFailed(t *testing.T) {
+	var r *Result
+	if r.Perf() != 0 {
+		t.Fatal("nil Result Perf != 0")
+	}
+	if (&Result{MII: 2}).Perf() != 0 {
+		t.Fatal("failed Result Perf != 0")
+	}
+}
+
+func TestBadOptionsError(t *testing.T) {
+	err := &BadOptionsError{Engine: "dresc", Want: "dresc.Options", Got: 42}
+	if !strings.Contains(err.Error(), "dresc.Options") || !strings.Contains(err.Error(), "int") {
+		t.Fatalf("message %q", err)
+	}
+}

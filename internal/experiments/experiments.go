@@ -24,6 +24,7 @@ import (
 	"regimap/internal/dresc"
 	"regimap/internal/ems"
 	"regimap/internal/kernels"
+	"regimap/internal/obs"
 	"regimap/internal/portfolio"
 )
 
@@ -59,14 +60,20 @@ type Config struct {
 	// internal/portfolio (<=1: plain core.Map). The deterministic tiebreak
 	// keeps rows reproducible for any value.
 	Portfolio int
+	// Trace, when non-nil, is attached to the context of every mapper run so
+	// the engines' per-pass spans reach its sink (the experiments binary's
+	// -trace flag feeds a JSONL sink here). Sinks must be safe for concurrent
+	// emit when Workers > 1; obs sinks are.
+	Trace *obs.Tracer
 }
 
 // runCtx returns the context one mapper run executes under.
 func (c Config) runCtx() (context.Context, context.CancelFunc) {
+	ctx := obs.With(context.Background(), c.Trace)
 	if c.Timeout > 0 {
-		return context.WithTimeout(context.Background(), c.Timeout)
+		return context.WithTimeout(ctx, c.Timeout)
 	}
-	return context.Background(), func() {}
+	return ctx, func() {}
 }
 
 // workerCount normalizes the Workers knob.

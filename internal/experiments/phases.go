@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"regimap/internal/core"
+	"regimap/internal/kernels"
+	"regimap/internal/obs"
+)
+
+// PhaseRow is one kernel's per-pass cost breakdown: where REGIMap's compile
+// time went, split along the pass-pipeline boundaries (modulo scheduling,
+// compatibility-graph construction, clique search, learn-from-failure
+// rewriting). The durations come from the obs spans the pipeline emits
+// (DESIGN.md section 8e), collected through an in-memory sink, so the table
+// is the same data `-trace` writes as JSONL — just aggregated.
+type PhaseRow struct {
+	Kernel   string
+	Ops      int
+	MII, II  int
+	IIsTried int // distinct II values escalated through ("ii.attempt" spans)
+	Attempts int // schedule/place attempts (core.Stats.Attempts)
+	OK       bool
+
+	Total    time.Duration // end-to-end wall clock of the run
+	Schedule time.Duration // "pass.schedule" spans
+	Compat   time.Duration // "pass.compat" spans
+	Clique   time.Duration // "pass.clique" spans
+	Learn    time.Duration // "pass.learn" spans
+}
+
+// PhaseResult is the per-kernel phase breakdown over the whole suite — the
+// per-phase cost accounting "Evaluation of CGRA Toolchains" (PAPERS.md)
+// compares mappers by.
+type PhaseResult struct {
+	Rows []PhaseRow
+}
+
+// PhaseBreakdown maps every benchmark kernel with REGIMap, tracing each run
+// into a private in-memory sink, and returns the per-pass time split. It
+// ignores Config.Trace: each row needs its own isolated event stream to
+// attribute durations to one kernel (a shared JSONL trace can be had by
+// running the other experiments with -trace).
+func PhaseBreakdown(cfg Config) PhaseResult {
+	ks := suite(cfg, nil)
+	rows := runIndexed(cfg.workerCount(), len(ks), func(i int) PhaseRow {
+		return phaseRow(ks[i], cfg)
+	})
+	return PhaseResult{Rows: rows}
+}
+
+// phaseRow maps one kernel under a MemSink tracer and aggregates its spans.
+func phaseRow(k kernels.Kernel, cfg Config) PhaseRow {
+	d := k.Build()
+	c := cfg.CGRA()
+	sink := &obs.MemSink{}
+	ctx, cancel := cfg.runCtx()
+	defer cancel()
+	ctx = obs.With(ctx, obs.New(sink))
+	_, stats, err := core.Map(ctx, d, c, core.Options{})
+	row := PhaseRow{
+		Kernel:   k.Name,
+		Ops:      d.N(),
+		MII:      stats.MII,
+		Attempts: stats.Attempts,
+		Total:    stats.Elapsed,
+		OK:       err == nil,
+	}
+	if err == nil {
+		row.II = stats.II
+	}
+	for _, e := range sink.Events() {
+		switch e.Name {
+		case "pass.schedule":
+			row.Schedule += e.Dur
+		case "pass.compat":
+			row.Compat += e.Dur
+		case "pass.clique":
+			row.Clique += e.Dur
+		case "pass.learn":
+			row.Learn += e.Dur
+		case "ii.attempt":
+			row.IIsTried++
+		}
+	}
+	return row
+}
+
+// Table renders the breakdown with a suite-total footer.
+func (r PhaseResult) Table() string {
+	var b strings.Builder
+	formatHeader(&b, "Per-kernel phase-time breakdown (REGIMap pass pipeline)")
+	fmt.Fprintf(&b, "%-16s %4s %4s %4s %4s %9s %10s %10s %10s %10s %10s\n",
+		"kernel", "ops", "MII", "II", "IIs", "attempts", "total", "schedule", "compat", "clique", "learn")
+	var sum PhaseRow
+	for _, row := range r.Rows {
+		ii := fmt.Sprintf("%d", row.II)
+		if !row.OK {
+			ii = "-"
+		}
+		fmt.Fprintf(&b, "%-16s %4d %4d %4s %4d %9d %10s %10s %10s %10s %10s\n",
+			row.Kernel, row.Ops, row.MII, ii, row.IIsTried, row.Attempts,
+			fmtDuration(row.Total), fmtDuration(row.Schedule), fmtDuration(row.Compat),
+			fmtDuration(row.Clique), fmtDuration(row.Learn))
+		sum.Attempts += row.Attempts
+		sum.Total += row.Total
+		sum.Schedule += row.Schedule
+		sum.Compat += row.Compat
+		sum.Clique += row.Clique
+		sum.Learn += row.Learn
+	}
+	fmt.Fprintf(&b, "%-16s %4s %4s %4s %4s %9d %10s %10s %10s %10s %10s\n",
+		"suite", "", "", "", "", sum.Attempts,
+		fmtDuration(sum.Total), fmtDuration(sum.Schedule), fmtDuration(sum.Compat),
+		fmtDuration(sum.Clique), fmtDuration(sum.Learn))
+	if sum.Total > 0 {
+		pct := func(d time.Duration) float64 { return 100 * float64(d) / float64(sum.Total) }
+		fmt.Fprintf(&b, "share of total: schedule %.1f%%, compat %.1f%%, clique %.1f%%, learn %.1f%%\n",
+			pct(sum.Schedule), pct(sum.Compat), pct(sum.Clique), pct(sum.Learn))
+	}
+	return b.String()
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"regimap/internal/kernels"
+	"regimap/internal/obs"
+)
+
+// TestPhaseRow maps one small kernel and checks the pass spans actually land
+// in the breakdown: a successful run schedules, builds a compat graph, and
+// searches for a clique, so those durations (and the escalation counters)
+// must be populated and bounded by the total.
+func TestPhaseRow(t *testing.T) {
+	k, ok := kernels.ByName("fir8")
+	if !ok {
+		t.Fatal("kernel fir8 not in suite")
+	}
+	row := phaseRow(k, quickCfg(4))
+	if !row.OK {
+		t.Fatalf("fir8 must map on the paper array, got OK=false")
+	}
+	if row.II < row.MII || row.MII <= 0 {
+		t.Errorf("II=%d MII=%d: want 0 < MII <= II", row.II, row.MII)
+	}
+	if row.IIsTried < 1 || row.Attempts < row.IIsTried {
+		t.Errorf("IIsTried=%d Attempts=%d: want >=1 attempt per II tried", row.IIsTried, row.Attempts)
+	}
+	if row.Schedule <= 0 || row.Compat <= 0 || row.Clique <= 0 {
+		t.Errorf("phase durations schedule=%v compat=%v clique=%v: all must be positive",
+			row.Schedule, row.Compat, row.Clique)
+	}
+	if sum := row.Schedule + row.Compat + row.Clique + row.Learn; sum > row.Total {
+		t.Errorf("pass durations sum %v exceeds total %v", sum, row.Total)
+	}
+}
+
+// TestPhaseBreakdownTableShape renders a tiny result and checks the header,
+// one row per kernel, the suite footer, and the share line.
+func TestPhaseBreakdownTableShape(t *testing.T) {
+	k, ok := kernels.ByName("fir8")
+	if !ok {
+		t.Fatal("kernel fir8 not in suite")
+	}
+	r := PhaseResult{Rows: []PhaseRow{phaseRow(k, quickCfg(4))}}
+	table := r.Table()
+	for _, want := range []string{"phase-time breakdown", "schedule", "clique", "fir8", "suite", "share of total"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+// TestConfigTraceThreading proves a Config.Trace tracer reaches the mapper:
+// RunLoop under a MemSink-backed tracer must record the engine's spans.
+func TestConfigTraceThreading(t *testing.T) {
+	k, ok := kernels.ByName("fir8")
+	if !ok {
+		t.Fatal("kernel fir8 not in suite")
+	}
+	sink := &obs.MemSink{}
+	cfg := quickCfg(4)
+	cfg.Trace = obs.New(sink)
+	row := RunLoop(k, REGIMap, cfg)
+	if !row.OK {
+		t.Fatalf("fir8 must map, got OK=false")
+	}
+	byName := sink.DurByName()
+	for _, want := range []string{"pass.schedule", "pass.compat", "pass.clique", "map.done"} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("trace missing %q events (have %v)", want, sink.Names())
+		}
+	}
+}

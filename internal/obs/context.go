@@ -1,0 +1,23 @@
+package obs
+
+import "context"
+
+// ctxKey is the private context key for the ambient tracer.
+type ctxKey struct{}
+
+// With returns a context carrying the tracer. Mappers fetch it once at entry
+// with From, so the per-event cost is independent of context depth.
+func With(ctx context.Context, t *Tracer) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// From returns the context's tracer, or nil (the disabled tracer) when none
+// was attached. The nil result is safe to use directly: every Tracer method
+// no-ops on nil.
+func From(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(ctxKey{}).(*Tracer)
+	return t
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+	"sync"
+)
+
+// JSONLSink streams events as one JSON object per line, fields flattened to
+// top-level keys:
+//
+//	{"name":"pass.compat","engine":"regimap","kernel":"fir8","start_us":412,"dur_us":96,"nodes":118,"edges":1034}
+//
+// Encoding is hand-rolled (names and keys are known-safe identifiers, values
+// are integers) so a traced run does not pay encoding/json reflection per
+// event. Safe for concurrent emit; call Close to flush.
+type JSONLSink struct {
+	mu sync.Mutex
+	w  *bufio.Writer
+	c  io.Closer // closed by Close when the destination is closable
+}
+
+// NewJSONLSink returns a sink writing to w. If w is an io.Closer, Close
+// closes it after flushing.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	s := &JSONLSink{w: bufio.NewWriter(w)}
+	if c, ok := w.(io.Closer); ok {
+		s.c = c
+	}
+	return s
+}
+
+// Emit writes the event as one JSON line.
+func (s *JSONLSink) Emit(e *Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	buf := make([]byte, 0, 160)
+	buf = append(buf, `{"name":`...)
+	buf = strconv.AppendQuote(buf, e.Name)
+	if e.Engine != "" {
+		buf = append(buf, `,"engine":`...)
+		buf = strconv.AppendQuote(buf, e.Engine)
+	}
+	if e.Kernel != "" {
+		buf = append(buf, `,"kernel":`...)
+		buf = strconv.AppendQuote(buf, e.Kernel)
+	}
+	buf = append(buf, `,"start_us":`...)
+	buf = strconv.AppendInt(buf, e.Start.Microseconds(), 10)
+	buf = append(buf, `,"dur_us":`...)
+	buf = strconv.AppendInt(buf, e.Dur.Microseconds(), 10)
+	for i := 0; i < e.NFields; i++ {
+		buf = append(buf, ',')
+		buf = strconv.AppendQuote(buf, e.Fields[i].Key)
+		buf = append(buf, ':')
+		buf = strconv.AppendInt(buf, e.Fields[i].Val, 10)
+	}
+	buf = append(buf, '}', '\n')
+	s.w.Write(buf)
+}
+
+// Flush forces buffered lines out.
+func (s *JSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Flush()
+}
+
+// Close flushes and closes the destination (when closable).
+func (s *JSONLSink) Close() error {
+	if err := s.Flush(); err != nil {
+		return err
+	}
+	if s.c != nil {
+		return s.c.Close()
+	}
+	return nil
+}

@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	if tr.Enabled() {
+		t.Fatal("nil tracer reports enabled")
+	}
+	if tr.Named("x", "y") != nil {
+		t.Fatal("Named on nil tracer must stay nil")
+	}
+	s := tr.Start("pass.schedule")
+	s.Field("length", 5).FieldBool("ok", true)
+	s.End()
+	tr.Point1("mii", "mii", 3)
+	tr.Point("x", "a", 1, "b", 2, "c", 3)
+}
+
+// TestNilTracerZeroAlloc pins the disabled-instrumentation contract: the
+// whole emit surface must not allocate when the tracer is nil. The mappers
+// instrument unconditionally, so any allocation here would tax every
+// untraced mapping.
+func TestNilTracerZeroAlloc(t *testing.T) {
+	var tr *Tracer
+	allocs := testing.AllocsPerRun(200, func() {
+		sp := tr.Start("pass.schedule")
+		sp.Field("length", 5)
+		sp.FieldBool("ok", true)
+		sp.End()
+		tr.Point1("mii", "mii", 3)
+		tr.Point("ii.attempt", "ii", 4, "round", 2, "", 0)
+		_ = tr.Named("regimap", "fir8")
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-tracer emit path allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+func TestSpanAndPointDelivery(t *testing.T) {
+	sink := &MemSink{}
+	tr := New(sink).Named("regimap", "fir8")
+	sp := tr.Start("pass.compat")
+	sp.Field("nodes", 10).Field("edges", 44)
+	time.Sleep(time.Millisecond)
+	sp.End()
+	tr.Point1("mii", "mii", 3)
+
+	evs := sink.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	e := evs[0]
+	if e.Name != "pass.compat" || e.Engine != "regimap" || e.Kernel != "fir8" {
+		t.Fatalf("bad labels: %+v", e)
+	}
+	if v, ok := e.FieldVal("edges"); !ok || v != 44 {
+		t.Fatalf("edges field = %d,%v", v, ok)
+	}
+	if _, ok := e.FieldVal("absent"); ok {
+		t.Fatal("found a field that was never set")
+	}
+	if e.Dur <= 0 {
+		t.Fatalf("span duration not recorded: %v", e.Dur)
+	}
+	if evs[1].Dur != 0 {
+		t.Fatalf("point event has nonzero duration %v", evs[1].Dur)
+	}
+	if d := sink.DurByName()["pass.compat"]; d != e.Dur {
+		t.Fatalf("DurByName = %v, want %v", d, e.Dur)
+	}
+	if names := sink.Names(); len(names) != 2 || names[0] != "mii" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestFieldOverflowDropsNotAllocates(t *testing.T) {
+	sink := &MemSink{}
+	tr := New(sink)
+	sp := tr.Start("x")
+	for i := 0; i < maxFields+5; i++ {
+		sp.Field("k", int64(i))
+	}
+	sp.End()
+	if n := sink.Events()[0].NFields; n != maxFields {
+		t.Fatalf("NFields = %d, want %d", n, maxFields)
+	}
+}
+
+func TestJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewJSONLSink(&buf)
+	tr := New(sink).Named("regimap", "fir8")
+	sp := tr.Start("pass.clique")
+	sp.Field("placed", 12).Field("target", 12)
+	sp.End()
+	tr.Point1("mii", "mii", 2)
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), buf.String())
+	}
+	for _, line := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("line is not valid JSON: %v\n%s", err, line)
+		}
+		if m["engine"] != "regimap" || m["kernel"] != "fir8" {
+			t.Fatalf("labels missing: %s", line)
+		}
+	}
+	var first map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first["name"] != "pass.clique" || first["placed"] != float64(12) {
+		t.Fatalf("bad first line: %s", lines[0])
+	}
+	if _, ok := first["dur_us"]; !ok {
+		t.Fatalf("dur_us missing: %s", lines[0])
+	}
+}
+
+func TestConcurrentEmit(t *testing.T) {
+	sink := &MemSink{}
+	var jl bytes.Buffer
+	jsink := NewJSONLSink(&jl)
+	tr := New(sink)
+	jtr := New(jsink)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ltr := tr.Named("regimap", "k")
+			for i := 0; i < 50; i++ {
+				sp := ltr.Start("pass.schedule")
+				sp.Field("length", int64(i))
+				sp.End()
+				jtr.Point1("mii", "mii", int64(g))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := jsink.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(sink.Events()); n != 8*50 {
+		t.Fatalf("MemSink saw %d events, want %d", n, 8*50)
+	}
+	if n := strings.Count(jl.String(), "\n"); n != 8*50 {
+		t.Fatalf("JSONL sink wrote %d lines, want %d", n, 8*50)
+	}
+}
+
+func TestContextThreading(t *testing.T) {
+	if From(context.Background()) != nil {
+		t.Fatal("empty context must yield the nil tracer")
+	}
+	tr := New(&MemSink{})
+	ctx := With(context.Background(), tr)
+	if From(ctx) != tr {
+		t.Fatal("tracer not recovered from context")
+	}
+	if With(context.Background(), nil) != context.Background() {
+		t.Fatal("With(nil) should be a no-op")
+	}
+}

@@ -36,8 +36,10 @@ import (
 	"regimap/internal/core"
 	"regimap/internal/dfg"
 	"regimap/internal/dresc"
+	"regimap/internal/engine"
 	"regimap/internal/maperr"
 	"regimap/internal/mapping"
+	"regimap/internal/obs"
 )
 
 // Failure taxonomy (regimap/internal/maperr), re-exported for callers. A
@@ -117,12 +119,19 @@ func Map(ctx context.Context, d *dfg.DFG, c *arch.CGRA, opts Options) (*mapping.
 		e = 0
 	}
 	perII := 1 + e // base racer plus scouts, per II of the window
+	tr := obs.From(ctx).Named("portfolio", d.Name)
 	pes, memRows := c.MIIResources()
 	stats := &Stats{MII: d.MII(pes, memRows), Winner: -1}
+	tr.Point1("mii", "mii", int64(stats.MII))
+	done := func() {
+		stats.Elapsed = time.Since(start)
+		tr.Point("map.done", "ii", int64(stats.II), "mii", int64(stats.MII), "attempts", int64(stats.Attempts))
+	}
 	maxII := opts.Base.MaxII
 	if maxII <= 0 {
 		maxII = stats.MII + 16 // mirror core.Map's default ceiling
 	}
+	base := engine.MustLookup("regimap")
 	scouts := make([]core.Options, e)
 	for s := range scouts {
 		scouts[s] = Variant(opts.Base, s+1, opts.Seed)
@@ -130,7 +139,7 @@ func Map(ctx context.Context, d *dfg.DFG, c *arch.CGRA, opts Options) (*mapping.
 	var panics []error
 	for lo := stats.MII; lo <= maxII; lo += w {
 		if err := ctx.Err(); err != nil {
-			stats.Elapsed = time.Since(start)
+			done()
 			return nil, stats, maperr.Aborted(err, "portfolio: mapping %s aborted: %v", d.Name, err)
 		}
 		width := w
@@ -141,31 +150,37 @@ func Map(ctx context.Context, d *dfg.DFG, c *arch.CGRA, opts Options) (*mapping.
 		// Racer index r maps to II lo + r/perII, slot r%perII (slot 0: the
 		// base search). Lower index therefore means lower II, base before
 		// scouts — exactly race's preference order.
+		sp := tr.Start("portfolio.window")
 		m, winner, crashed := race(ctx, width*perII, stats, func(actx context.Context, r int) (*mapping.Mapping, int) {
 			o := opts.Base
 			if s := r % perII; s > 0 {
 				o = scouts[s-1]
 			}
-			o.MinII, o.MaxII = lo+r/perII, lo+r/perII
-			res, st, err := core.Map(actx, d, c, o)
+			ii := lo + r/perII
+			res, err := base.Map(actx, d, c, engine.Options{MinII: ii, MaxII: ii, Extra: o})
 			rounds := 0
-			if st != nil {
-				rounds = st.Attempts
+			if res != nil {
+				rounds = res.Rounds
 			}
-			if err != nil {
+			if err != nil || res == nil {
 				return nil, rounds
 			}
-			return res, rounds
+			return res.Mapping, rounds
 		})
+		sp.Field("lo", int64(lo))
+		sp.Field("width", int64(width))
+		sp.Field("racers", int64(width*perII))
+		sp.FieldBool("ok", m != nil)
+		sp.End()
 		panics = append(panics, crashed...)
 		if m != nil {
 			stats.II = lo + winner/perII
 			stats.Winner = winner
-			stats.Elapsed = time.Since(start)
+			done()
 			return m, stats, nil
 		}
 	}
-	stats.Elapsed = time.Since(start)
+	done()
 	if err := ctx.Err(); err != nil {
 		return nil, stats, maperr.Aborted(err, "portfolio: mapping %s aborted: %v", d.Name, err)
 	}
@@ -197,42 +212,55 @@ func MapDRESC(ctx context.Context, d *dfg.DFG, c *arch.CGRA, opts DRESCOptions) 
 	if k <= 1 {
 		k = 1
 	}
+	tr := obs.From(ctx).Named("dresc-portfolio", d.Name)
 	pes, memRows := c.MIIResources()
 	stats := &Stats{MII: d.MII(pes, memRows), Winner: -1}
+	tr.Point1("mii", "mii", int64(stats.MII))
+	done := func() {
+		stats.Elapsed = time.Since(start)
+		tr.Point("map.done", "ii", int64(stats.II), "mii", int64(stats.MII), "attempts", int64(stats.Attempts))
+	}
 	maxII := opts.Base.MaxII
 	if maxII <= 0 {
 		maxII = stats.MII + 8 // mirror dresc.Map's default ceiling
 	}
+	anneal := engine.MustLookup("dresc")
 	var panics []error
 	for ii := stats.MII; ii <= maxII; ii++ {
 		if err := ctx.Err(); err != nil {
-			stats.Elapsed = time.Since(start)
+			done()
 			return nil, stats, maperr.Aborted(err, "portfolio: mapping %s aborted: %v", d.Name, err)
 		}
 		stats.Races++
+		sp := tr.Start("portfolio.window")
 		p, winner, crashed := race(ctx, k, stats, func(actx context.Context, attempt int) (*dresc.Placement, int) {
 			o := opts.Base
 			o.Seed += int64(attempt)
-			o.MinII, o.MaxII = ii, ii
-			res, st, err := dresc.Map(actx, d, c, o)
+			res, err := anneal.Map(actx, d, c, engine.Options{MinII: ii, MaxII: ii, Extra: o})
 			moves := 0
-			if st != nil {
-				moves = st.Moves
+			if res != nil {
+				moves = res.Rounds
 			}
-			if err != nil {
+			if err != nil || res == nil {
 				return nil, moves
 			}
-			return res, moves
+			p, _ := res.Artifact.(*dresc.Placement)
+			return p, moves
 		})
+		sp.Field("lo", int64(ii))
+		sp.Field("width", 1)
+		sp.Field("racers", int64(k))
+		sp.FieldBool("ok", p != nil)
+		sp.End()
 		panics = append(panics, crashed...)
 		if p != nil {
 			stats.II = ii
 			stats.Winner = winner
-			stats.Elapsed = time.Since(start)
+			done()
 			return p, stats, nil
 		}
 	}
-	stats.Elapsed = time.Since(start)
+	done()
 	if err := ctx.Err(); err != nil {
 		return nil, stats, maperr.Aborted(err, "portfolio: mapping %s aborted: %v", d.Name, err)
 	}

@@ -29,9 +29,11 @@ import (
 	"regimap/internal/dfg"
 	"regimap/internal/dresc"
 	"regimap/internal/ems"
+	"regimap/internal/engine"
 	"regimap/internal/fault"
 	"regimap/internal/maperr"
 	"regimap/internal/mapping"
+	"regimap/internal/obs"
 	"regimap/internal/sim"
 )
 
@@ -169,6 +171,8 @@ func Map(ctx context.Context, d *dfg.DFG, c *arch.CGRA, opts Options) (*Outcome,
 			out.Attempt = round
 			out.Reports = reports
 			out.Elapsed = time.Since(start)
+			obs.From(ctx).Named("resilient", d.Name).Point("map.done",
+				"ii", int64(out.II), "mii", int64(out.MII), "attempts", int64(len(reports)))
 			return out, nil
 		}
 		if errors.Is(err, maperr.ErrAborted) {
@@ -212,9 +216,17 @@ func stamp(reports []Attempt, round int, active *fault.Set) []Attempt {
 // runs under a panic guard so a crashing mapper degrades instead of killing
 // the pipeline.
 func runLadder(ctx context.Context, d *dfg.DFG, fabric *arch.CGRA, ladder []RungSpec, opts Options) (*Outcome, []Attempt, error) {
+	tr := obs.From(ctx).Named("resilient", d.Name)
 	var reports []Attempt
 	for _, spec := range ladder {
+		sp := tr.Start("resilient.rung")
 		out, err := runRung(ctx, d, fabric, spec, opts)
+		sp.Field("rung", int64(spec.Rung))
+		if out != nil {
+			sp.Field("ii", int64(out.II))
+		}
+		sp.FieldBool("ok", err == nil)
+		sp.End()
 		reports = append(reports, Attempt{Rung: spec.Rung, Err: err})
 		if err == nil {
 			return out, reports, nil
@@ -226,7 +238,11 @@ func runLadder(ctx context.Context, d *dfg.DFG, fabric *arch.CGRA, ladder []Rung
 	return nil, reports, maperr.NoMapping("resilient: every rung failed")
 }
 
-// runRung executes one mapper under a panic guard and certifies its result.
+// runRung executes one engine under a panic guard and certifies its result.
+// Rungs dispatch through the engine registry — Rung.String() is the registry
+// key — with the rung's II budget pre-folded into the engine-specific options
+// (the spec's zero MaxII must *reset* the engine's ceiling to its default,
+// which engine.Options' positive-only override cannot express).
 func runRung(ctx context.Context, d *dfg.DFG, fabric *arch.CGRA, spec RungSpec, opts Options) (out *Outcome, err error) {
 	defer func() {
 		if v := recover(); v != nil {
@@ -238,40 +254,42 @@ func runRung(ctx context.Context, d *dfg.DFG, fabric *arch.CGRA, spec RungSpec, 
 			}
 		}
 	}()
+	var extra any
 	switch spec.Rung {
 	case RungREGIMap:
 		o := opts.Core
 		o.MinII, o.MaxII = 0, spec.MaxII
-		m, st, err := core.Map(ctx, d, fabric, o)
-		if err != nil {
-			return nil, err
-		}
-		if err := certify(m, opts.CheckIters, "core"); err != nil {
-			return nil, err
-		}
-		return &Outcome{Rung: RungREGIMap, MII: st.MII, II: st.II, Mapping: m, Fabric: fabric}, nil
+		extra = o
 	case RungEMS:
 		o := opts.EMS
 		o.MaxII = spec.MaxII
-		m, st, err := ems.Map(ctx, d, fabric, o)
-		if err != nil {
-			return nil, err
-		}
-		if err := certify(m, opts.CheckIters, "ems"); err != nil {
-			return nil, err
-		}
-		return &Outcome{Rung: RungEMS, MII: st.MII, II: st.II, Mapping: m, Fabric: fabric}, nil
+		extra = o
 	case RungDRESC:
 		o := opts.DRESC
 		o.MinII, o.MaxII = 0, spec.MaxII
-		p, st, err := dresc.Map(ctx, d, fabric, o)
-		if err != nil {
-			return nil, err
-		}
-		return &Outcome{Rung: RungDRESC, MII: st.MII, II: st.II, Placement: p, Fabric: fabric}, nil
+		extra = o
 	default:
 		return nil, fmt.Errorf("resilient: unknown rung %d", int(spec.Rung))
 	}
+	eng, ok := engine.Lookup(spec.Rung.String())
+	if !ok {
+		return nil, fmt.Errorf("resilient: rung %s has no registered engine", spec.Rung)
+	}
+	res, err := eng.Map(ctx, d, fabric, engine.Options{Extra: extra})
+	if err != nil {
+		return nil, err
+	}
+	out = &Outcome{Rung: spec.Rung, MII: res.MII, II: res.II, Fabric: fabric}
+	if res.Mapping != nil {
+		if err := certify(res.Mapping, opts.CheckIters, spec.Rung.String()); err != nil {
+			return nil, err
+		}
+		out.Mapping = res.Mapping
+	}
+	if p, ok := res.Artifact.(*dresc.Placement); ok {
+		out.Placement = p
+	}
+	return out, nil
 }
 
 // certify runs the cycle-accurate simulator against the reference interpreter

@@ -20,6 +20,7 @@ import (
 	"sort"
 
 	"regimap/internal/dfg"
+	"regimap/internal/obs"
 )
 
 // Options configures one scheduling attempt.
@@ -44,6 +45,9 @@ type Options struct {
 	// algorithm has no lifetime-aware scheduler and relies on annealing
 	// moves to discover good time placements).
 	NoCompact bool
+	// Trace, when non-nil, receives one sched.schedule event per attempt.
+	// The nil default costs nothing (see internal/obs).
+	Trace *obs.Tracer
 }
 
 // Result is a feasible modulo schedule.
@@ -129,6 +133,18 @@ func (s *Scheduler) MII() int { return s.d.MII(s.numPEs, s.numRows) }
 
 // Schedule attempts a modulo schedule at exactly the given II.
 func (s *Scheduler) Schedule(ii int, opts Options) (*Result, error) {
+	sp := opts.Trace.Start("sched.schedule")
+	res, err := s.schedule(ii, opts)
+	sp.Field("ii", int64(ii))
+	if res != nil {
+		sp.Field("length", int64(res.Length))
+	}
+	sp.FieldBool("ok", err == nil)
+	sp.End()
+	return res, err
+}
+
+func (s *Scheduler) schedule(ii int, opts Options) (*Result, error) {
 	if ii <= 0 {
 		return nil, fmt.Errorf("sched: non-positive II %d", ii)
 	}

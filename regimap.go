@@ -47,6 +47,7 @@ import (
 	"regimap/internal/dfg"
 	"regimap/internal/dresc"
 	"regimap/internal/ems"
+	"regimap/internal/engine"
 	"regimap/internal/fault"
 	"regimap/internal/kernels"
 	"regimap/internal/loopir"
@@ -131,13 +132,37 @@ type (
 	Stats = core.Stats
 )
 
+// Every Map* entry point below is a thin shim over the unified engine
+// registry (regimap/internal/engine): the wrapper looks its engine up by name
+// ("regimap", "ems", "dresc", "portfolio", "dresc-portfolio", "resilient"),
+// dispatches through the common Mapper interface, and narrows the result back
+// to the concrete types this package's API promises. Mapper packages register
+// themselves at init time via engine.Register — adding a backend means
+// registering it, not growing this file — and callers that want dynamic
+// dispatch over every backend (racing, degrading, CLI listing) use the
+// registry directly; see MapperNames.
+
+// mapVia dispatches a Mapping-producing engine and narrows its stats.
+func mapVia[S any](ctx context.Context, name string, d *DFG, c *CGRA, extra any) (*Mapping, *S, error) {
+	res, err := engine.MustLookup(name).Map(ctx, d, c, engine.Options{Extra: extra})
+	if res == nil {
+		return nil, nil, err
+	}
+	st, _ := res.Stats.(*S)
+	return res.Mapping, st, err
+}
+
+// MapperNames lists every registered mapping engine, sorted — the names the
+// shims below dispatch on (also surfaced by `regimap -list-mappers`).
+func MapperNames() []string { return engine.Names() }
+
 // Map runs REGIMap: modulo scheduling plus clique-based integrated placement
 // and register allocation with the paper's learn-from-failure loop. The
 // returned mapping always passes Mapping.Validate; run Simulate to prove it
 // functionally correct as well. Map never gives up early on its own — use
 // MapContext to bound compile time with a deadline.
 func Map(d *DFG, c *CGRA, opts Options) (*Mapping, *Stats, error) {
-	return core.Map(context.Background(), d, c, opts)
+	return MapContext(context.Background(), d, c, opts)
 }
 
 // MapContext is Map with cancellation: the mapper checks ctx before every II
@@ -145,7 +170,7 @@ func Map(d *DFG, c *CGRA, opts Options) (*Mapping, *Stats, error) {
 // time within one attempt even on unmappable kernels. The returned error
 // wraps ctx.Err() when the abort was context-driven.
 func MapContext(ctx context.Context, d *DFG, c *CGRA, opts Options) (*Mapping, *Stats, error) {
-	return core.Map(ctx, d, c, opts)
+	return mapVia[core.Stats](ctx, "regimap", d, c, opts)
 }
 
 // Portfolio types.
@@ -167,7 +192,7 @@ type (
 // scout searches per II that can unlock a lower II than the base escalation
 // reaches, trading that invariance for quality.
 func MapPortfolio(ctx context.Context, d *DFG, c *CGRA, opts PortfolioOptions) (*Mapping, *PortfolioStats, error) {
-	return portfolio.Map(ctx, d, c, opts)
+	return mapVia[portfolio.Stats](ctx, "portfolio", d, c, opts)
 }
 
 // MapDRESCPortfolio races seed-diversified DRESC annealing runs per II with
@@ -175,7 +200,7 @@ func MapPortfolio(ctx context.Context, d *DFG, c *CGRA, opts PortfolioOptions) (
 // portfolio's default mode, annealing seeds change search quality, so a
 // wider DRESC portfolio can reach a lower II than a single run.
 func MapDRESCPortfolio(ctx context.Context, d *DFG, c *CGRA, opts DRESCPortfolioOptions) (*DRESCPlacement, *PortfolioStats, error) {
-	return portfolio.MapDRESC(ctx, d, c, opts)
+	return placeVia[portfolio.Stats](ctx, "dresc-portfolio", d, c, opts)
 }
 
 // Baseline mapper types.
@@ -193,28 +218,40 @@ type (
 	EMSStats = ems.Stats
 )
 
+// placeVia dispatches a Placement-producing engine (DRESC and its portfolio)
+// and narrows its artifact and stats.
+func placeVia[S any](ctx context.Context, name string, d *DFG, c *CGRA, extra any) (*DRESCPlacement, *S, error) {
+	res, err := engine.MustLookup(name).Map(ctx, d, c, engine.Options{Extra: extra})
+	if res == nil {
+		return nil, nil, err
+	}
+	p, _ := res.Artifact.(*dresc.Placement)
+	st, _ := res.Stats.(*S)
+	return p, st, err
+}
+
 // MapDRESC runs the DRESC baseline: simulated-annealing placement and
 // routing over the register-explicit modulo routing resource graph.
 func MapDRESC(d *DFG, c *CGRA, opts DRESCOptions) (*DRESCPlacement, *DRESCStats, error) {
-	return dresc.Map(context.Background(), d, c, opts)
+	return MapDRESCContext(context.Background(), d, c, opts)
 }
 
 // MapDRESCContext is MapDRESC with cancellation, honored at annealing-epoch
 // and II-escalation boundaries.
 func MapDRESCContext(ctx context.Context, d *DFG, c *CGRA, opts DRESCOptions) (*DRESCPlacement, *DRESCStats, error) {
-	return dresc.Map(ctx, d, c, opts)
+	return placeVia[dresc.Stats](ctx, "dresc", d, c, opts)
 }
 
 // MapEMS runs the EMS-style baseline: edge-centric greedy placement with
 // explicit route chains and no learning.
 func MapEMS(d *DFG, c *CGRA, opts EMSOptions) (*Mapping, *EMSStats, error) {
-	return ems.Map(context.Background(), d, c, opts)
+	return MapEMSContext(context.Background(), d, c, opts)
 }
 
 // MapEMSContext is MapEMS with cancellation, honored at II-escalation
 // boundaries.
 func MapEMSContext(ctx context.Context, d *DFG, c *CGRA, opts EMSOptions) (*Mapping, *EMSStats, error) {
-	return ems.Map(ctx, d, c, opts)
+	return mapVia[ems.Stats](ctx, "ems", d, c, opts)
 }
 
 // Error taxonomy shared by every mapper: classify failures with errors.Is
@@ -292,7 +329,12 @@ const (
 // when the hardware may be imperfect: a fault degrades the result (a worse II
 // or a slower mapper) instead of failing the compile.
 func MapResilient(ctx context.Context, d *DFG, c *CGRA, opts ResilientOptions) (*ResilientOutcome, error) {
-	return resilient.Map(ctx, d, c, opts)
+	res, err := engine.MustLookup("resilient").Map(ctx, d, c, engine.Options{Extra: opts})
+	if res == nil {
+		return nil, err
+	}
+	out, _ := res.Stats.(*resilient.Outcome)
+	return out, err
 }
 
 // Kernel is one benchmark loop of the suite.
