@@ -28,6 +28,7 @@ import (
 	"regimap/internal/fault/chaos"
 	"regimap/internal/obs"
 	"regimap/internal/profiling"
+	"regimap/internal/version"
 )
 
 // stopProfiles flushes any active pprof profiles; exitOn runs it so error
@@ -36,22 +37,27 @@ var stopProfiles = func() {}
 
 func main() {
 	var (
-		run       = flag.String("run", "all", "experiment to run: all, fig2, fig5, fig6, fig7, fig8, ablation, power, registers, phases")
-		quick     = flag.Bool("quick", false, "shrink the DRESC annealing budget")
-		seed      = flag.Int64("seed", 0, "base seed: DRESC annealing / portfolio diversification")
-		csvPath   = flag.String("csv", "", "also write Figure 6 per-loop rows as CSV to this file")
-		jobs      = flag.Int("jobs", runtime.NumCPU(), "map this many kernels concurrently (results are identical at any value)")
-		timeout   = flag.Duration("timeout", 0, "abort any single mapper run after this long (0: unbounded)")
-		portfolio = flag.Int("portfolio", 1, "race this many diversified REGIMap attempts per II")
-		runChaos  = flag.Bool("chaos", false, "run the fault-injection chaos harness instead of the paper experiments")
-		trials    = flag.Int("trials", 2, "chaos: random fault sets drawn per fault count")
-		maxFaults = flag.Int("max-faults", 3, "chaos: largest injected fault count in the sweep")
-		faultSpec = flag.String("faults", "pe 3,3; row 3", "chaos: fault set for the mutation-sweep fabric")
-		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
-		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
-		tracePath = flag.String("trace", "", "write observability events (per-pass spans, counters) from every mapper run as JSON lines to this file")
+		run         = flag.String("run", "all", "experiment to run: all, fig2, fig5, fig6, fig7, fig8, ablation, power, registers, phases")
+		quick       = flag.Bool("quick", false, "shrink the DRESC annealing budget")
+		seed        = flag.Int64("seed", 0, "base seed: DRESC annealing / portfolio diversification")
+		csvPath     = flag.String("csv", "", "also write Figure 6 per-loop rows as CSV to this file")
+		jobs        = flag.Int("jobs", runtime.NumCPU(), "map this many kernels concurrently (results are identical at any value)")
+		timeout     = flag.Duration("timeout", 0, "abort any single mapper run after this long (0: unbounded)")
+		portfolio   = flag.Int("portfolio", 1, "race this many diversified REGIMap attempts per II")
+		runChaos    = flag.Bool("chaos", false, "run the fault-injection chaos harness instead of the paper experiments")
+		trials      = flag.Int("trials", 2, "chaos: random fault sets drawn per fault count")
+		maxFaults   = flag.Int("max-faults", 3, "chaos: largest injected fault count in the sweep")
+		faultSpec   = flag.String("faults", "pe 3,3; row 3", "chaos: fault set for the mutation-sweep fabric")
+		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memProf     = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		tracePath   = flag.String("trace", "", "write observability events (per-pass spans, counters) from every mapper run as JSON lines to this file")
+		showVersion = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String())
+		return
+	}
 	stop, err := profiling.Start(*cpuProf, *memProf)
 	exitOn(err)
 	stopProfiles = stop

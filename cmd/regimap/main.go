@@ -26,6 +26,7 @@ import (
 	"regimap/internal/engine"
 	"regimap/internal/obs"
 	"regimap/internal/profiling"
+	"regimap/internal/version"
 )
 
 // stopProfiles flushes any active pprof profiles; exitOn runs it so error
@@ -39,27 +40,32 @@ func main() {
 		listMappers = flag.Bool("list-mappers", false, "list the registered mapping engines and exit")
 		tracePath   = flag.String("trace", "", "write observability events (per-pass spans, counters) as JSON lines to this file")
 
-		kernel    = flag.String("kernel", "", "kernel to map (see -list)")
-		rows      = flag.Int("rows", 4, "CGRA rows")
-		cols      = flag.Int("cols", 4, "CGRA columns")
-		regs      = flag.Int("regs", 4, "rotating registers per PE")
-		mapper    = flag.String("mapper", "regimap", "mapper: regimap, dresc, ems, or resilient")
-		faults    = flag.String("faults", "", `hardware fault set, e.g. "pe 1,1; link 0,0-0,1; regs 2,2=1; row 3"`)
-		simN      = flag.Int("sim", 8, "functionally simulate this many iterations (0 to skip)")
-		dot       = flag.Bool("dot", false, "print the kernel DFG in Graphviz DOT and exit")
-		cfg       = flag.Bool("config", false, "lower the mapping to instruction words and print them (regimap mapper only)")
-		srcPath   = flag.String("src", "", "compile this loop-body source file instead of a named kernel")
-		svgPath   = flag.String("svg", "", "write the mapping as an SVG picture to this file (regimap mapper only)")
-		vcdPath   = flag.String("vcd", "", "write a VCD waveform of the execution to this file (regimap mapper only)")
-		jsonOut   = flag.Bool("json", false, "emit mapper statistics as JSON (regimap mapper only)")
-		seed      = flag.Int64("seed", 1, "base seed: DRESC annealing / portfolio diversification")
-		timeout   = flag.Duration("timeout", 0, "abort mapping after this long (0: unbounded)")
-		portfolio = flag.Int("portfolio", 1, "speculate on this many IIs in parallel (regimap: result-identical; dresc: seeds per II)")
-		explore   = flag.Int("explore", 0, "also race this many budget-widened scout searches per II (regimap mapper; may lower the II)")
-		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
-		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		kernel      = flag.String("kernel", "", "kernel to map (see -list)")
+		rows        = flag.Int("rows", 4, "CGRA rows")
+		cols        = flag.Int("cols", 4, "CGRA columns")
+		regs        = flag.Int("regs", 4, "rotating registers per PE")
+		mapper      = flag.String("mapper", "regimap", "mapper: regimap, dresc, ems, or resilient")
+		faults      = flag.String("faults", "", `hardware fault set, e.g. "pe 1,1; link 0,0-0,1; regs 2,2=1; row 3"`)
+		simN        = flag.Int("sim", 8, "functionally simulate this many iterations (0 to skip)")
+		dot         = flag.Bool("dot", false, "print the kernel DFG in Graphviz DOT and exit")
+		cfg         = flag.Bool("config", false, "lower the mapping to instruction words and print them (regimap mapper only)")
+		srcPath     = flag.String("src", "", "compile this loop-body source file instead of a named kernel")
+		svgPath     = flag.String("svg", "", "write the mapping as an SVG picture to this file (regimap mapper only)")
+		vcdPath     = flag.String("vcd", "", "write a VCD waveform of the execution to this file (regimap mapper only)")
+		jsonOut     = flag.Bool("json", false, "emit mapper statistics as JSON (regimap mapper only)")
+		seed        = flag.Int64("seed", 1, "base seed: DRESC annealing / portfolio diversification")
+		timeout     = flag.Duration("timeout", 0, "abort mapping after this long (0: unbounded)")
+		portfolio   = flag.Int("portfolio", 1, "speculate on this many IIs in parallel (regimap: result-identical; dresc: seeds per II)")
+		explore     = flag.Int("explore", 0, "also race this many budget-widened scout searches per II (regimap mapper; may lower the II)")
+		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memProf     = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		showVersion = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String())
+		return
+	}
 	stop, err := profiling.Start(*cpuProf, *memProf)
 	exitOn(err)
 	stopProfiles = stop

@@ -1,0 +1,112 @@
+// Command regimapd serves the mapping flow over HTTP: POST a kernel (by
+// name or as inline loopir source), an array configuration, and optionally a
+// fault set, and get back a validated mapping as JSON. The daemon fronts the
+// engine registry with bounded-queue admission control, a content-addressed
+// result cache that collapses duplicate in-flight queries, and a Prometheus
+// /metrics endpoint; SIGTERM drains gracefully.
+//
+// Usage:
+//
+//	regimapd                                    # serve on :8090
+//	regimapd -addr 127.0.0.1:9999 -workers 4 -queue 32
+//	regimapd -cache 4096 -default-deadline 10s -max-deadline 1m
+//	regimapd -trace trace.jsonl                 # per-request spans + engine passes
+//
+//	curl -s localhost:8090/v1/mappers
+//	curl -s -X POST localhost:8090/v1/map -d '{"kernel":"fir8"}'
+//	curl -s -X POST localhost:8090/v1/map \
+//	    -d '{"source":"acc = acc + x[i]*h[i]","name":"mac","mapper":"portfolio"}'
+//	curl -s localhost:8090/metrics
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"regimap/internal/obs"
+	"regimap/internal/server"
+	"regimap/internal/version"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8090", "listen address")
+		workers     = flag.Int("workers", 0, "max concurrent mapping computations (0: GOMAXPROCS)")
+		queue       = flag.Int("queue", 64, "max computations waiting for a worker; beyond this, requests are shed with 429")
+		cacheSize   = flag.Int("cache", 1024, "result-cache capacity in entries")
+		defDeadline = flag.Duration("default-deadline", 30*time.Second, "mapping deadline for requests that name none")
+		maxDeadline = flag.Duration("max-deadline", 2*time.Minute, "hard cap on any request's mapping deadline")
+		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+		tracePath   = flag.String("trace", "", "write observability events (request spans, engine passes, counters) as JSON lines to this file")
+		showVersion = flag.Bool("version", false, "print the build version and exit")
+	)
+	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String())
+		return
+	}
+
+	var traceSink obs.Sink
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		exitOn(err)
+		sink := obs.NewJSONLSink(f)
+		defer func() { exitOn(sink.Close()) }()
+		traceSink = sink
+	}
+
+	srv := server.New(server.Config{
+		Workers:         *workers,
+		Queue:           *queue,
+		CacheEntries:    *cacheSize,
+		DefaultDeadline: *defDeadline,
+		MaxDeadline:     *maxDeadline,
+		TraceSink:       traceSink,
+		Version:         version.String(),
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Graceful shutdown: on SIGTERM/SIGINT flip readiness (load balancers
+	// stop routing, new mapping requests get 503) and let whatever is
+	// already mapping finish before the listener closes.
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGTERM, syscall.SIGINT)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "regimapd: serving on %s (%s)\n", *addr, version.String())
+
+	select {
+	case sig := <-stop:
+		fmt.Fprintf(os.Stderr, "regimapd: %s received, draining\n", sig)
+		srv.BeginDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "regimapd: drain incomplete: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "regimapd: drained")
+	case err := <-serveErr:
+		if !errors.Is(err, http.ErrServerClosed) {
+			exitOn(err)
+		}
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "regimapd:", err)
+		os.Exit(1)
+	}
+}

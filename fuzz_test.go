@@ -75,6 +75,42 @@ func FuzzScheduleInvariants(f *testing.F) {
 	})
 }
 
+// FuzzLoopIRParse checks the loop-body front end — the same path regimapd's
+// inline-source requests go through — on arbitrary text: whatever Compile
+// accepts must be a self-consistently valid DFG, and compiling the identical
+// source twice must produce structurally identical graphs (the fingerprint
+// regimapd keys its result cache on).
+func FuzzLoopIRParse(f *testing.F) {
+	f.Add("acc = acc + x[i]*h[i]")
+	f.Add("d = x[i] - min(acc, 255)\nout[i] = d >> 2")
+	f.Add("y = x[i]*5 - y@1*3 - y@2")
+	f.Add("s = s + a[i+1] & b[i-2] // comment\nz[i] = select(s < 4, s, -s)")
+	f.Add("x =")
+	f.Add("a[i] = a[i] + 1")
+	f.Fuzz(func(t *testing.T, src string) {
+		d, err := regimap.Compile("fuzz", src)
+		if err != nil {
+			return // rejecting malformed source is allowed
+		}
+		if verr := d.Validate(); verr != nil {
+			t.Fatalf("Compile accepted source but produced an invalid DFG: %v", verr)
+		}
+		if d.N() == 0 {
+			t.Fatal("Compile accepted source but produced an empty DFG")
+		}
+		again, err := regimap.Compile("fuzz", src)
+		if err != nil {
+			t.Fatalf("identical source failed to recompile: %v", err)
+		}
+		if d.Fingerprint() != again.Fingerprint() {
+			t.Fatalf("recompiling identical source changed the graph fingerprint")
+		}
+		if d.MII(16, 4) < 1 {
+			t.Fatal("MII below 1 on a non-empty graph")
+		}
+	})
+}
+
 // FuzzFaultSetParse checks the fault-grammar contract on arbitrary text: a
 // set that parses must render back (String) to text that reparses to the
 // same set, and a set valid for an array must apply to it cleanly with a

@@ -1,0 +1,102 @@
+package arch
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"io"
+	"strings"
+
+	"regimap/internal/dfg"
+)
+
+// fingerprintKinds bounds the per-PE capability scan of Fingerprint. It only
+// needs to cover every dfg.OpKind value (currently 22); anything beyond is
+// hashed as the constant "supported" a homogeneous PE reports, so the bound
+// can grow without invalidating fingerprints of capability-free arrays.
+const fingerprintKinds = 32
+
+// Fingerprint is a deterministic content hash of the array configuration:
+// dimensions, topology, register file size, per-PE capability restrictions,
+// and the full fault state (broken PEs, severed links via the adjacency
+// matrix, limited register files, dead row buses). Two arrays with equal
+// fingerprints impose identical constraints on every mapper, so the
+// fingerprint is a sound memoization key component (internal/memo).
+//
+// The hash deliberately walks observable behaviour (Supports, Connected,
+// RegsAt, RowBusOK) rather than internal storage, so two arrays reaching the
+// same constraint set through different fault histories fingerprint equal.
+func (c *CGRA) Fingerprint() [sha256.Size]byte {
+	h := sha256.New()
+	hw := archHashWriter{h: h}
+	hw.str("arch/v1")
+	hw.num(int64(c.Rows))
+	hw.num(int64(c.Cols))
+	hw.num(int64(c.NumRegs))
+	hw.num(int64(c.Topology))
+	n := c.NumPEs()
+	for p := 0; p < n; p++ {
+		hw.bit(c.PEOk(p))
+		hw.num(int64(c.RegsAt(p)))
+		for k := 0; k < fingerprintKinds; k++ {
+			hw.bit(c.Supports(p, dfg.OpKind(k)))
+		}
+	}
+	for p := 0; p < n; p++ {
+		for q := 0; q < n; q++ {
+			hw.bit(c.Connected(p, q))
+		}
+	}
+	for r := 0; r < c.Rows; r++ {
+		hw.bit(c.RowBusOK(r))
+	}
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// FingerprintHex returns the fingerprint as a lowercase hex string.
+func (c *CGRA) FingerprintHex() string {
+	fp := c.Fingerprint()
+	return hex.EncodeToString(fp[:])
+}
+
+type archHashWriter struct {
+	h   hash.Hash
+	buf [8]byte
+}
+
+func (w archHashWriter) num(v int64) {
+	binary.LittleEndian.PutUint64(w.buf[:], uint64(v))
+	w.h.Write(w.buf[:])
+}
+
+func (w archHashWriter) str(s string) {
+	w.num(int64(len(s)))
+	io.WriteString(w.h, s)
+}
+
+func (w archHashWriter) bit(b bool) {
+	if b {
+		w.h.Write([]byte{1})
+	} else {
+		w.h.Write([]byte{0})
+	}
+}
+
+// ParseTopology is the inverse of Topology.String, for wire decoders and
+// request parsing. The empty string selects the paper's orthogonal mesh.
+func ParseTopology(s string) (Topology, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "mesh":
+		return Mesh, nil
+	case "mesh+", "meshplus":
+		return MeshPlus, nil
+	case "torus":
+		return Torus, nil
+	default:
+		return 0, fmt.Errorf("arch: unknown topology %q (have mesh, mesh+, torus)", s)
+	}
+}

@@ -71,20 +71,12 @@ func phaseRow(k kernels.Kernel, cfg Config) PhaseRow {
 	if err == nil {
 		row.II = stats.II
 	}
-	for _, e := range sink.Events() {
-		switch e.Name {
-		case "pass.schedule":
-			row.Schedule += e.Dur
-		case "pass.compat":
-			row.Compat += e.Dur
-		case "pass.clique":
-			row.Clique += e.Dur
-		case "pass.learn":
-			row.Learn += e.Dur
-		case "ii.attempt":
-			row.IIsTried++
-		}
-	}
+	durs := sink.DurByName()
+	row.Schedule = durs["pass.schedule"]
+	row.Compat = durs["pass.compat"]
+	row.Clique = durs["pass.clique"]
+	row.Learn = durs["pass.learn"]
+	row.IIsTried = int(sink.CountByName()["ii.attempt"])
 	return row
 }
 

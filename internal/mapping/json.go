@@ -1,0 +1,129 @@
+package mapping
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"regimap/internal/arch"
+	"regimap/internal/dfg"
+)
+
+// The JSON wire format of a Mapping is fully self-contained: it carries the
+// kernel graph (names, kinds, immediates, dependence edges), the nominal
+// array configuration, and the binding (II plus per-operation slot and PE),
+// so a decoded mapping can be re-validated, rendered, simulated, or lowered
+// without out-of-band context. Decoding re-runs both dfg.Validate and
+// Mapping.Validate — a peer can never smuggle an illegal kernel
+// configuration past the wire boundary.
+//
+// The array is serialized by its nominal shape only (rows, cols, regs,
+// topology), not its fault state: faults strictly tighten constraints, so a
+// mapping valid on a faulted array re-validates on the nominal one. Fault
+// context, when a caller needs it, travels next to the mapping (see the
+// regimapd /v1/map response), not inside it.
+
+// wireNode is one operation on the wire; Kind is the dfg mnemonic.
+type wireNode struct {
+	Name  string `json:"name"`
+	Kind  string `json:"kind"`
+	Value int64  `json:"value,omitempty"`
+}
+
+// wireEdge is one dependence on the wire.
+type wireEdge struct {
+	From int `json:"from"`
+	To   int `json:"to"`
+	Port int `json:"port"`
+	Dist int `json:"dist,omitempty"`
+}
+
+// wireCGRA is the nominal array shape on the wire.
+type wireCGRA struct {
+	Rows     int    `json:"rows"`
+	Cols     int    `json:"cols"`
+	Regs     int    `json:"regs"`
+	Topology string `json:"topology"`
+}
+
+// wireMapping is the full wire form.
+type wireMapping struct {
+	Kernel string     `json:"kernel"`
+	Nodes  []wireNode `json:"nodes"`
+	Edges  []wireEdge `json:"edges"`
+	CGRA   wireCGRA   `json:"cgra"`
+	II     int        `json:"ii"`
+	Time   []int      `json:"time"`
+	PE     []int      `json:"pe"`
+}
+
+// MarshalJSON encodes the mapping in the self-contained wire form.
+func (m *Mapping) MarshalJSON() ([]byte, error) {
+	w := wireMapping{
+		Kernel: m.D.Name,
+		Nodes:  make([]wireNode, len(m.D.Nodes)),
+		Edges:  make([]wireEdge, len(m.D.Edges)),
+		CGRA: wireCGRA{
+			Rows:     m.C.Rows,
+			Cols:     m.C.Cols,
+			Regs:     m.C.NumRegs,
+			Topology: m.C.Topology.String(),
+		},
+		II:   m.II,
+		Time: m.Time,
+		PE:   m.PE,
+	}
+	for i, nd := range m.D.Nodes {
+		w.Nodes[i] = wireNode{Name: nd.Name, Kind: nd.Kind.String(), Value: nd.Value}
+	}
+	for i, e := range m.D.Edges {
+		w.Edges[i] = wireEdge{From: e.From, To: e.To, Port: e.Port, Dist: e.Dist}
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON decodes the wire form, rebuilding the kernel graph and the
+// array, and re-runs the full legality audit: a decode succeeds only when the
+// carried binding is a valid mapping of the carried kernel on the carried
+// array.
+func (m *Mapping) UnmarshalJSON(data []byte) error {
+	var w wireMapping
+	if err := json.Unmarshal(data, &w); err != nil {
+		return fmt.Errorf("mapping: decode: %w", err)
+	}
+	nodes := make([]dfg.Node, len(w.Nodes))
+	for i, wn := range w.Nodes {
+		kind, ok := dfg.KindFromString(wn.Kind)
+		if !ok {
+			return fmt.Errorf("mapping: decode: node %q has unknown kind %q", wn.Name, wn.Kind)
+		}
+		nodes[i] = dfg.Node{ID: i, Name: wn.Name, Kind: kind, Value: wn.Value}
+	}
+	edges := make([]dfg.Edge, len(w.Edges))
+	for i, we := range w.Edges {
+		edges[i] = dfg.Edge{From: we.From, To: we.To, Port: we.Port, Dist: we.Dist}
+	}
+	d, err := dfg.FromParts(w.Kernel, nodes, edges)
+	if err != nil {
+		return fmt.Errorf("mapping: decode: %w", err)
+	}
+	topo, err := arch.ParseTopology(w.CGRA.Topology)
+	if err != nil {
+		return fmt.Errorf("mapping: decode: %w", err)
+	}
+	if w.CGRA.Rows <= 0 || w.CGRA.Cols <= 0 || w.CGRA.Regs < 0 {
+		return fmt.Errorf("mapping: decode: bad array %dx%d with %d regs",
+			w.CGRA.Rows, w.CGRA.Cols, w.CGRA.Regs)
+	}
+	decoded := &Mapping{
+		D:    d,
+		C:    arch.New(w.CGRA.Rows, w.CGRA.Cols, w.CGRA.Regs, topo),
+		II:   w.II,
+		Time: append([]int(nil), w.Time...),
+		PE:   append([]int(nil), w.PE...),
+	}
+	if err := decoded.Validate(); err != nil {
+		return fmt.Errorf("mapping: decode: %w", err)
+	}
+	*m = *decoded
+	return nil
+}

@@ -1,0 +1,160 @@
+package mapping_test
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+
+	"regimap/internal/arch"
+	"regimap/internal/core"
+	"regimap/internal/dfg"
+	"regimap/internal/kernels"
+	"regimap/internal/mapping"
+)
+
+// TestJSONRoundTripGolden round-trips every golden REGIMap mapping through
+// the JSON wire format: for each kernel pinned in
+// testdata/golden_mappings.json, the mapping is produced, encoded, decoded
+// (which re-runs Validate), and checked byte-identical — same binding, same
+// rendered kernel table, and the same digest the golden file pins. A wire
+// format that loses or reorders anything the digest covers fails here.
+func TestJSONRoundTripGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("maps the whole golden suite; skipped in -short")
+	}
+	blob, err := os.ReadFile("../../testdata/golden_mappings.json")
+	if err != nil {
+		t.Fatalf("golden file: %v", err)
+	}
+	golden := map[string]string{}
+	if err := json.Unmarshal(blob, &golden); err != nil {
+		t.Fatal(err)
+	}
+	tested := 0
+	for key, digest := range golden {
+		name, ok := strings.CutPrefix(key, "regimap/")
+		if !ok {
+			continue
+		}
+		k, ok := kernels.ByName(name)
+		if !ok {
+			t.Errorf("%s: kernel disappeared", key)
+			continue
+		}
+		d := k.Build()
+		c := arch.NewMesh(4, 4, 4)
+		m, stats, err := core.Map(context.Background(), d, c, core.Options{})
+		if err != nil {
+			// The golden file pins the failure text instead; nothing to
+			// round-trip.
+			continue
+		}
+		rendered := fmt.Sprintf("II=%d attempts=%d routes=%d\n%s", stats.II, stats.Attempts, stats.RouteInserts, m)
+		sum := sha256.Sum256([]byte(rendered))
+		if got := hex.EncodeToString(sum[:8]); got != digest {
+			t.Errorf("%s: mapped result no longer matches the golden digest (%s != %s); regenerate goldens first", key, got, digest)
+			continue
+		}
+		roundTrip(t, key, m)
+		tested++
+	}
+	if tested == 0 {
+		t.Fatal("no golden regimap mappings were round-tripped")
+	}
+}
+
+func roundTrip(t *testing.T, label string, m *mapping.Mapping) {
+	t.Helper()
+	blob, err := json.Marshal(m)
+	if err != nil {
+		t.Errorf("%s: marshal: %v", label, err)
+		return
+	}
+	var got mapping.Mapping
+	if err := json.Unmarshal(blob, &got); err != nil {
+		t.Errorf("%s: unmarshal: %v", label, err)
+		return
+	}
+	if got.II != m.II || !reflect.DeepEqual(got.Time, m.Time) || !reflect.DeepEqual(got.PE, m.PE) {
+		t.Errorf("%s: binding changed across the wire", label)
+	}
+	if got.String() != m.String() {
+		t.Errorf("%s: rendered kernel table changed across the wire:\n%s\nvs\n%s", label, got.String(), m.String())
+	}
+	if got.D.Fingerprint() != m.D.Fingerprint() {
+		t.Errorf("%s: kernel fingerprint changed across the wire", label)
+	}
+	// Encoding the decoded mapping must reproduce the exact bytes.
+	blob2, err := json.Marshal(&got)
+	if err != nil {
+		t.Errorf("%s: re-marshal: %v", label, err)
+		return
+	}
+	if string(blob) != string(blob2) {
+		t.Errorf("%s: wire bytes unstable across a round trip", label)
+	}
+}
+
+// TestJSONDecodeRejectsCorruption proves Validate runs on decode: a wire blob
+// whose binding is corrupted must not deserialize.
+func TestJSONDecodeRejectsCorruption(t *testing.T) {
+	b := dfg.NewBuilder("pair")
+	x := b.Input("x")
+	y := b.Op(dfg.Add, "y", x, x)
+	_ = y
+	d := b.Build()
+	c := arch.NewMesh(2, 2, 2)
+	m, _, err := core.Map(context.Background(), d, c, core.Options{})
+	if err != nil {
+		t.Fatalf("map: %v", err)
+	}
+	blob, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(blob, &raw); err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(field, val string) []byte {
+		mut := map[string]json.RawMessage{}
+		for k, v := range raw {
+			mut[k] = v
+		}
+		mut[field] = json.RawMessage(val)
+		out, err := json.Marshal(mut)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	cases := map[string][]byte{
+		"both ops on one PE and slot": corrupt("pe", `[0,0]`),
+		"negative slot":               corrupt("time", `[-1,0]`),
+		"non-positive II":             corrupt("ii", `0`),
+		"binding length mismatch":     corrupt("pe", `[0]`),
+		"bad array":                   corrupt("cgra", `{"rows":0,"cols":2,"regs":2,"topology":"mesh"}`),
+		"unknown topology":            corrupt("cgra", `{"rows":2,"cols":2,"regs":2,"topology":"blob"}`),
+		"unknown kind":                corrupt("nodes", `[{"name":"x","kind":"teleport"},{"name":"y","kind":"add"}]`),
+		"malformed graph":             corrupt("edges", `[{"from":0,"to":9,"port":0}]`),
+	}
+	for label, blob := range cases {
+		var got mapping.Mapping
+		if err := json.Unmarshal(blob, &got); err == nil {
+			t.Errorf("%s: corrupted wire blob decoded successfully", label)
+		}
+	}
+	// Sanity: the uncorrupted blob still decodes.
+	var ok mapping.Mapping
+	if err := json.Unmarshal(blob, &ok); err != nil {
+		t.Fatalf("pristine blob rejected: %v", err)
+	}
+}

@@ -1,0 +1,290 @@
+// Package memo is the content-addressed result cache behind regimapd's
+// serving layer. A mapping query is identified by a canonical fingerprint
+// over everything that determines its answer — the kernel graph
+// (dfg.Fingerprint), the array configuration including faults
+// (arch.Fingerprint), the fault-set text, the engine name, and the
+// engine-independent options — and the cache guarantees that under any
+// interleaving of concurrent identical queries, the mapping work runs once:
+//
+//   - a sharded LRU holds completed results (values or cacheable errors), so
+//     repeated queries cost a map lookup, and
+//   - per-key singleflight collapses duplicate in-flight queries onto the
+//     one goroutine already computing the answer, so a thundering herd of N
+//     identical requests costs one mapping and N-1 waits.
+//
+// Soundness rests on two properties the fingerprints provide: equal keys
+// imply equal inputs (the hashes are injective over the fields that reach
+// the mappers), and every mapper is deterministic given its inputs — so a
+// cached result is byte-identical to what recomputing would produce. See
+// DESIGN.md section 8f.
+package memo
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// Key is a canonical request fingerprint. Build one with Hasher.
+type Key [sha256.Size]byte
+
+// String returns the key as lowercase hex.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// Hasher accumulates request components into a Key. Components are
+// length-prefixed, so no two distinct component sequences produce the same
+// key by concatenation.
+type Hasher struct {
+	h hash.Hash
+}
+
+// NewHasher starts a key over the given scheme tag (e.g. "regimapd/v1").
+// Bump the tag whenever the component sequence changes meaning.
+func NewHasher(scheme string) *Hasher {
+	h := &Hasher{h: sha256.New()}
+	h.Str(scheme)
+	return h
+}
+
+// Int appends one integer component.
+func (h *Hasher) Int(v int64) *Hasher {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	h.h.Write(buf[:])
+	return h
+}
+
+// Str appends one string component, length-prefixed.
+func (h *Hasher) Str(s string) *Hasher {
+	h.Int(int64(len(s)))
+	io.WriteString(h.h, s)
+	return h
+}
+
+// Bytes appends one byte-slice component, length-prefixed.
+func (h *Hasher) Bytes(b []byte) *Hasher {
+	h.Int(int64(len(b)))
+	h.h.Write(b)
+	return h
+}
+
+// Sum finalizes the key.
+func (h *Hasher) Sum() Key {
+	var k Key
+	h.h.Sum(k[:0])
+	return k
+}
+
+// Outcome says how a Do call was satisfied.
+type Outcome int
+
+const (
+	// Miss: this call ran the compute function.
+	Miss Outcome = iota
+	// Hit: the result was already cached.
+	Hit
+	// Collapsed: an identical query was already in flight; this call waited
+	// for it instead of recomputing.
+	Collapsed
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Miss:
+		return "miss"
+	case Hit:
+		return "hit"
+	case Collapsed:
+		return "collapsed"
+	default:
+		return "outcome(?)"
+	}
+}
+
+// Stats is a snapshot of the cache counters. Hits counts pure cache reads;
+// Collapsed counts waits on an in-flight leader (also "free" — no mapping
+// ran); Misses counts executions of the compute function.
+type Stats struct {
+	Hits, Misses, Collapsed, Evictions int64
+	Entries                            int
+}
+
+// Cache is a sharded LRU of completed results with per-key singleflight.
+// Safe for concurrent use.
+type Cache struct {
+	shards []shard
+	mask   uint64
+
+	hits, misses, collapsed, evictions atomic.Int64
+}
+
+// flight is one in-progress computation; followers block on done.
+type flight struct {
+	done      chan struct{}
+	val       any
+	err       error
+	cacheable bool
+}
+
+// entry is one completed, cacheable result.
+type entry struct {
+	key        Key
+	val        any
+	err        error
+	prev, next *entry // LRU list, most recent at head.next
+}
+
+type shard struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[Key]*entry
+	inflight map[Key]*flight
+	head     entry // sentinel ring: head.next = most recent
+}
+
+// New returns a cache holding up to capacity completed results across the
+// given number of shards (rounded up to a power of two; at least 1). Each
+// shard holds capacity/shards entries, at least one, so the effective
+// capacity is never below the requested value.
+func New(capacity, shards int) *Cache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	n := 1
+	for n < shards {
+		n *= 2
+	}
+	c := &Cache{shards: make([]shard, n), mask: uint64(n - 1)}
+	per := (capacity + n - 1) / n
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.capacity = per
+		s.entries = make(map[Key]*entry)
+		s.inflight = make(map[Key]*flight)
+		s.head.prev, s.head.next = &s.head, &s.head
+	}
+	return c
+}
+
+func (c *Cache) shardFor(k Key) *shard {
+	return &c.shards[binary.LittleEndian.Uint64(k[:8])&c.mask]
+}
+
+// Do returns the result for key k, computing it with fn at most once across
+// all concurrent callers:
+//
+//   - cached: the entry is returned immediately (Hit);
+//   - in flight: the caller waits for the leader and shares its result
+//     (Collapsed), unless the caller's own ctx expires first;
+//   - otherwise this caller leads: it runs fn, publishes the result to every
+//     waiter, and caches it when err is nil or cacheable(err) says the error
+//     is deterministic (ErrNoMapping is; a deadline abort is not).
+//
+// When a leader fails non-cacheably, collapsed waiters retry from the top —
+// at most once each as leader — so one aborted request cannot poison
+// followers that still have deadline budget left.
+func (c *Cache) Do(ctx context.Context, k Key, fn func() (any, error), cacheable func(error) bool) (any, Outcome, error) {
+	s := c.shardFor(k)
+	for {
+		s.mu.Lock()
+		if e, ok := s.entries[k]; ok {
+			s.touch(e)
+			s.mu.Unlock()
+			c.hits.Add(1)
+			return e.val, Hit, e.err
+		}
+		if f, ok := s.inflight[k]; ok {
+			s.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, Collapsed, ctx.Err()
+			}
+			if f.cacheable {
+				c.collapsed.Add(1)
+				return f.val, Collapsed, f.err
+			}
+			// The leader failed with a non-deterministic error (abort,
+			// panic, shed); it says nothing about what this caller would
+			// get. Retry: become leader or join a newer flight.
+			continue
+		}
+		f := &flight{done: make(chan struct{})}
+		s.inflight[k] = f
+		s.mu.Unlock()
+
+		val, err := fn()
+		f.val, f.err = val, err
+		f.cacheable = err == nil || (cacheable != nil && cacheable(err))
+
+		s.mu.Lock()
+		delete(s.inflight, k)
+		if f.cacheable {
+			c.evictions.Add(s.insert(k, val, err))
+		}
+		s.mu.Unlock()
+		close(f.done)
+		c.misses.Add(1)
+		return val, Miss, err
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	st := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Collapsed: c.collapsed.Load(),
+		Evictions: c.evictions.Load(),
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Entries += len(s.entries)
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// --- intrusive LRU (callers hold the shard lock) -----------------------------
+
+func (s *shard) touch(e *entry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	s.pushFront(e)
+}
+
+func (s *shard) pushFront(e *entry) {
+	e.next = s.head.next
+	e.prev = &s.head
+	e.next.prev = e
+	s.head.next = e
+}
+
+// insert adds a completed result, evicting from the tail when over capacity.
+// It returns the number of evictions.
+func (s *shard) insert(k Key, val any, err error) int64 {
+	if e, ok := s.entries[k]; ok {
+		e.val, e.err = val, err
+		s.touch(e)
+		return 0
+	}
+	e := &entry{key: k, val: val, err: err}
+	s.entries[k] = e
+	s.pushFront(e)
+	var evicted int64
+	for len(s.entries) > s.capacity {
+		last := s.head.prev
+		last.prev.next = &s.head
+		s.head.prev = last.prev
+		delete(s.entries, last.key)
+		evicted++
+	}
+	return evicted
+}

@@ -1,0 +1,256 @@
+package memo
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func keyOf(parts ...string) Key {
+	h := NewHasher("test/v1")
+	for _, p := range parts {
+		h.Str(p)
+	}
+	return h.Sum()
+}
+
+func TestHasherCanonical(t *testing.T) {
+	if keyOf("a", "b") != keyOf("a", "b") {
+		t.Fatal("identical component sequences produced different keys")
+	}
+	cases := map[string]Key{
+		`["a","b"]`:  keyOf("a", "b"),
+		`["ab"]`:     keyOf("ab"),
+		`["a b"]`:    keyOf("a b"),
+		`["b","a"]`:  keyOf("b", "a"),
+		`["a","b"]x`: NewHasher("test/v2").Str("a").Str("b").Sum(),
+		`ints`:       NewHasher("test/v1").Int(1).Int(2).Sum(),
+		`bytes`:      NewHasher("test/v1").Bytes([]byte{1, 2}).Sum(),
+	}
+	seen := map[Key]string{}
+	for label, k := range cases {
+		if prev, dup := seen[k]; dup {
+			t.Errorf("%s collides with %s", label, prev)
+		}
+		seen[k] = label
+	}
+	if len(keyOf("a").String()) != 64 {
+		t.Fatal("hex key is not 64 chars")
+	}
+}
+
+func TestDoCachesValues(t *testing.T) {
+	c := New(8, 4)
+	calls := 0
+	fn := func() (any, error) { calls++; return "answer", nil }
+	v, out, err := c.Do(context.Background(), keyOf("q"), fn, nil)
+	if v != "answer" || out != Miss || err != nil {
+		t.Fatalf("first Do = %v, %v, %v", v, out, err)
+	}
+	v, out, err = c.Do(context.Background(), keyOf("q"), fn, nil)
+	if v != "answer" || out != Hit || err != nil {
+		t.Fatalf("second Do = %v, %v, %v", v, out, err)
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times", calls)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDoCachesDeterministicErrors(t *testing.T) {
+	sentinel := errors.New("no mapping")
+	other := errors.New("aborted")
+	c := New(8, 1)
+	calls := 0
+	cacheable := func(err error) bool { return errors.Is(err, sentinel) }
+
+	fn := func() (any, error) { calls++; return nil, sentinel }
+	if _, out, err := c.Do(context.Background(), keyOf("nomap"), fn, cacheable); out != Miss || !errors.Is(err, sentinel) {
+		t.Fatalf("first = %v, %v", out, err)
+	}
+	if _, out, err := c.Do(context.Background(), keyOf("nomap"), fn, cacheable); out != Hit || !errors.Is(err, sentinel) {
+		t.Fatalf("second = %v, %v", out, err)
+	}
+	if calls != 1 {
+		t.Fatalf("deterministic failure recomputed: %d calls", calls)
+	}
+
+	calls = 0
+	fn = func() (any, error) { calls++; return nil, other }
+	c.Do(context.Background(), keyOf("abort"), fn, cacheable)
+	c.Do(context.Background(), keyOf("abort"), fn, cacheable)
+	if calls != 2 {
+		t.Fatalf("non-cacheable failure was cached: %d calls", calls)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(2, 1) // single shard, two entries
+	mk := func(i int) func() (any, error) {
+		return func() (any, error) { return i, nil }
+	}
+	ctx := context.Background()
+	c.Do(ctx, keyOf("a"), mk(1), nil)
+	c.Do(ctx, keyOf("b"), mk(2), nil)
+	c.Do(ctx, keyOf("a"), mk(1), nil) // touch a: b becomes LRU
+	c.Do(ctx, keyOf("c"), mk(3), nil) // evicts b
+	if _, out, _ := c.Do(ctx, keyOf("a"), mk(99), nil); out != Hit {
+		t.Fatal("recently-used entry was evicted")
+	}
+	if v, out, _ := c.Do(ctx, keyOf("b"), mk(99), nil); out != Miss || v != 99 {
+		t.Fatalf("LRU entry not evicted: %v, %v", v, out)
+	}
+	st := c.Stats()
+	if st.Evictions != 2 { // b evicted by c, then a or c evicted by b's recompute
+		t.Fatalf("evictions = %d, want 2", st.Evictions)
+	}
+	if st.Entries != 2 {
+		t.Fatalf("entries = %d, want 2", st.Entries)
+	}
+}
+
+func TestSingleflightCollapses(t *testing.T) {
+	c := New(8, 4)
+	const n = 32
+	var calls atomic.Int64
+	gate := make(chan struct{})
+	fn := func() (any, error) {
+		calls.Add(1)
+		<-gate
+		return "v", nil
+	}
+	var wg sync.WaitGroup
+	outcomes := make([]Outcome, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, out, err := c.Do(context.Background(), keyOf("herd"), fn, nil)
+			if v != "v" || err != nil {
+				t.Errorf("caller %d: %v, %v", i, v, err)
+			}
+			outcomes[i] = out
+		}(i)
+	}
+	// Let the herd pile up on the leader, then release it.
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("compute ran %d times under the herd", got)
+	}
+	misses := 0
+	for _, o := range outcomes {
+		if o == Miss {
+			misses++
+		}
+	}
+	if misses != 1 {
+		t.Fatalf("%d misses, want exactly 1", misses)
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits+st.Collapsed != n-1 {
+		t.Fatalf("stats = %+v, want 1 miss and %d hits+collapses", st, n-1)
+	}
+}
+
+func TestCollapsedWaiterHonoursOwnDeadline(t *testing.T) {
+	c := New(8, 1)
+	gate := make(chan struct{})
+	defer close(gate)
+	leaderStarted := make(chan struct{})
+	go c.Do(context.Background(), keyOf("slow"), func() (any, error) {
+		close(leaderStarted)
+		<-gate
+		return "v", nil
+	}, nil)
+	<-leaderStarted
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, out, err := c.Do(ctx, keyOf("slow"), func() (any, error) {
+		t.Error("follower ran the compute function")
+		return nil, nil
+	}, nil)
+	if out != Collapsed || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("follower = %v, %v; want collapsed deadline error", out, err)
+	}
+}
+
+func TestFollowerRetriesAfterNonCacheableLeaderFailure(t *testing.T) {
+	c := New(8, 1)
+	boom := errors.New("leader aborted")
+	leaderIn := make(chan struct{})
+	leaderGo := make(chan struct{})
+	var followerCalls atomic.Int64
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, out, err := c.Do(context.Background(), keyOf("retry"), func() (any, error) {
+			close(leaderIn)
+			<-leaderGo
+			return nil, boom
+		}, nil)
+		if out != Miss || !errors.Is(err, boom) {
+			t.Errorf("leader = %v, %v", out, err)
+		}
+	}()
+	<-leaderIn
+	go func() {
+		defer wg.Done()
+		v, out, err := c.Do(context.Background(), keyOf("retry"), func() (any, error) {
+			followerCalls.Add(1)
+			return "recovered", nil
+		}, nil)
+		if v != "recovered" || out != Miss || err != nil {
+			t.Errorf("follower = %v, %v, %v", v, out, err)
+		}
+	}()
+	// Give the follower time to park on the leader's flight, then fail the
+	// leader; the follower must retry and succeed on its own.
+	time.Sleep(20 * time.Millisecond)
+	close(leaderGo)
+	wg.Wait()
+	if followerCalls.Load() != 1 {
+		t.Fatalf("follower computed %d times, want 1", followerCalls.Load())
+	}
+}
+
+func TestShardedConcurrentMixedKeys(t *testing.T) {
+	c := New(64, 8)
+	var wg sync.WaitGroup
+	var computes atomic.Int64
+	const keys, callers = 16, 8
+	for k := 0; k < keys; k++ {
+		for g := 0; g < callers; g++ {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				key := keyOf(fmt.Sprintf("k%d", k))
+				v, _, err := c.Do(context.Background(), key, func() (any, error) {
+					computes.Add(1)
+					time.Sleep(time.Millisecond)
+					return k, nil
+				}, nil)
+				if err != nil || v != k {
+					t.Errorf("key %d: %v, %v", k, v, err)
+				}
+			}(k)
+		}
+	}
+	wg.Wait()
+	if got := computes.Load(); got != keys {
+		t.Fatalf("%d computes for %d keys", got, keys)
+	}
+	if st := c.Stats(); st.Entries != keys {
+		t.Fatalf("entries = %d, want %d", st.Entries, keys)
+	}
+}

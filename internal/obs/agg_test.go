@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"testing"
+)
+
+func TestSumByName(t *testing.T) {
+	sink := &MemSink{}
+	tr := New(sink)
+	tr.Point1("memo.hit", "n", 1)
+	tr.Point1("memo.hit", "n", 1)
+	tr.Point1("memo.miss", "n", 1)
+	tr.Point("ii.attempt", "ii", 4, "round", 1, "", 0) // no "n" field
+	sp := tr.Start("server.request")
+	sp.Field("code", 200)
+	sp.End()
+
+	sums := sink.SumByName("n")
+	if sums["memo.hit"] != 2 || sums["memo.miss"] != 1 {
+		t.Fatalf("SumByName(n) = %v, want memo.hit=2 memo.miss=1", sums)
+	}
+	if _, ok := sums["ii.attempt"]; ok {
+		t.Fatalf("event without the field appeared in the sums: %v", sums)
+	}
+	codes := sink.SumByName("code")
+	if codes["server.request"] != 200 {
+		t.Fatalf("SumByName(code) = %v", codes)
+	}
+	iis := sink.SumByName("ii")
+	if iis["ii.attempt"] != 4 {
+		t.Fatalf("SumByName(ii) = %v", iis)
+	}
+}
+
+func TestCountByName(t *testing.T) {
+	sink := &MemSink{}
+	tr := New(sink)
+	for i := 0; i < 3; i++ {
+		tr.Point("ii.attempt", "ii", int64(2+i), "", 0, "", 0)
+	}
+	tr.Point1("memo.hit", "n", 1)
+	counts := sink.CountByName()
+	if counts["ii.attempt"] != 3 || counts["memo.hit"] != 1 {
+		t.Fatalf("CountByName = %v", counts)
+	}
+	sink.Reset()
+	if len(sink.CountByName()) != 0 {
+		t.Fatal("Reset did not clear the counts")
+	}
+}
+
+func TestTee(t *testing.T) {
+	a, b := &MemSink{}, &MemSink{}
+	tr := New(Tee(a, nil, b))
+	tr.Point1("memo.hit", "n", 1)
+	if got := a.SumByName("n")["memo.hit"]; got != 1 {
+		t.Fatalf("first sink saw %d", got)
+	}
+	if got := b.SumByName("n")["memo.hit"]; got != 1 {
+		t.Fatalf("second sink saw %d", got)
+	}
+	if Tee() != nil {
+		t.Fatal("empty Tee is not nil")
+	}
+	if Tee(nil, a) != Sink(a) {
+		t.Fatal("single-sink Tee does not collapse to the sink itself")
+	}
+}

@@ -28,6 +28,15 @@
 //	portfolio.window    one speculative window fields: lo, width, winner
 //	resilient.rung      one ladder rung        fields: rung, round, ii, ok
 //	map.done            end-to-end result      fields: ii, mii, attempts, ok
+//	server.request      one /v1/map request    fields: code, cached, ok
+//	server.shed         queue-full rejection   fields: n
+//	server.panic        recovered handler panic fields: n
+//	memo.hit            result served from cache fields: n
+//	memo.miss           result computed fresh  fields: n
+//	memo.collapse       duplicate collapsed onto an in-flight leader fields: n
+//
+// Counter events (the `n` family) carry their increment in the field, so a
+// sink can total them with MemSink.SumByName instead of hand-looping.
 //
 // Every event carries the engine and kernel labels of the tracer that emitted
 // it, a start offset relative to the tracer epoch, and a duration (zero for
@@ -239,6 +248,62 @@ func (m *MemSink) DurByName() map[string]time.Duration {
 		out[m.events[i].Name] += m.events[i].Dur
 	}
 	return out
+}
+
+// SumByName sums the named integer field across all recorded events, grouped
+// by event name — the counter aggregation the /metrics exporter and the
+// experiments harness total Point events with. Events lacking the field
+// contribute nothing (and create no entry on their own).
+func (m *MemSink) SumByName(key string) map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := map[string]int64{}
+	for i := range m.events {
+		if v, ok := m.events[i].FieldVal(key); ok {
+			out[m.events[i].Name] += v
+		}
+	}
+	return out
+}
+
+// CountByName returns how many events were recorded per event name.
+func (m *MemSink) CountByName() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := map[string]int64{}
+	for i := range m.events {
+		out[m.events[i].Name]++
+	}
+	return out
+}
+
+// Tee returns a sink fanning every event out to each non-nil sink, in order.
+// It is how one emit stream feeds both a persistent trace (JSONLSink) and a
+// live aggregation (MemSink) — the regimapd metrics path. Tee of zero or one
+// usable sink returns that sink (or nil) directly, keeping the fan-out cost
+// off degenerate configurations.
+func Tee(sinks ...Sink) Sink {
+	kept := make([]Sink, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			kept = append(kept, s)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	}
+	return teeSink(kept)
+}
+
+type teeSink []Sink
+
+func (t teeSink) Emit(e *Event) {
+	for _, s := range t {
+		s.Emit(e)
+	}
 }
 
 // Names returns the distinct event names recorded, sorted.

@@ -1,0 +1,54 @@
+package server
+
+import (
+	"context"
+
+	"regimap/internal/maperr"
+)
+
+// admission is the server's load-control gate: Workers slots bound how many
+// mapping computations run at once, and Queue tokens bound how many may wait
+// for a slot. A request that finds the queue full is shed immediately —
+// before any mapping work, and without blocking — which keeps tail latency
+// bounded under overload instead of letting the backlog grow without limit.
+//
+// Admission is consulted only by cache-miss leaders (inside the singleflight
+// compute path): cache hits and collapsed duplicates never consume a token,
+// so a thundering herd of identical queries costs one slot total.
+type admission struct {
+	queue chan struct{} // waiting-room tokens (capacity Config.Queue)
+	slots chan struct{} // running-worker tokens (capacity Config.Workers)
+}
+
+func newAdmission(workers, queue int) *admission {
+	return &admission{
+		queue: make(chan struct{}, queue),
+		slots: make(chan struct{}, workers),
+	}
+}
+
+// acquire admits one computation: it takes a queue token (or sheds with
+// errShed when the waiting room is full), then waits for a worker slot,
+// honouring the request's own deadline while queued. On success the caller
+// holds a worker slot and must call the returned release exactly once.
+func (a *admission) acquire(ctx context.Context) (release func(), err error) {
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		return nil, errShed
+	}
+	select {
+	case a.slots <- struct{}{}:
+		<-a.queue
+		return func() { <-a.slots }, nil
+	case <-ctx.Done():
+		<-a.queue
+		return nil, maperr.Aborted(ctx.Err(), "request expired in the admission queue")
+	}
+}
+
+// depth reports how many computations are waiting for a worker slot.
+func (a *admission) depth() int { return len(a.queue) }
+
+// busy reports how many worker slots are held.
+func (a *admission) busy() int { return len(a.slots) }

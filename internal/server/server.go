@@ -1,0 +1,389 @@
+// Package server is regimapd's serving layer: an HTTP/JSON API over the
+// engine registry, with bounded-queue admission control, a content-addressed
+// result cache (internal/memo), typed error responses built on the maperr
+// taxonomy, and a Prometheus-text /metrics exporter.
+//
+// Endpoints:
+//
+//	POST /v1/map      map a named kernel or inline loopir source (JSON body)
+//	GET  /v1/mappers  the engine registry, with descriptions
+//	GET  /v1/kernels  the benchmark kernel suite, with sizes
+//	GET  /healthz     liveness: 200 while the process is up
+//	GET  /readyz      readiness: 503 once draining begins
+//	GET  /metrics     Prometheus text-format metrics
+//
+// Request lifecycle: a /v1/map request resolves its kernel, array, fault
+// set, and engine; acquires a per-request deadline; and consults the cache.
+// Only a cache-missing leader enters the admission queue — duplicate
+// identical queries collapse onto the in-flight computation without
+// consuming queue slots, and cache hits bypass admission entirely. When the
+// queue is full the request is shed with 429 and Retry-After before any
+// mapping work starts. SIGTERM (wired in cmd/regimapd) flips readiness and
+// lets in-flight requests finish.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"runtime/debug"
+	"sync/atomic"
+	"time"
+
+	"regimap/internal/arch"
+	"regimap/internal/dfg"
+	"regimap/internal/engine"
+	"regimap/internal/fault"
+	"regimap/internal/kernels"
+	"regimap/internal/loopir"
+	"regimap/internal/maperr"
+	"regimap/internal/memo"
+	"regimap/internal/obs"
+	"regimap/internal/resilient"
+
+	// Importing the mapper packages is what populates the engine registry
+	// the server dispatches through (resilient above registers itself too).
+	_ "regimap/internal/core"
+	_ "regimap/internal/dresc"
+	_ "regimap/internal/ems"
+	_ "regimap/internal/portfolio"
+)
+
+// Config tunes one Server. The zero value selects sensible defaults.
+type Config struct {
+	// Workers bounds concurrent mapping computations (default: GOMAXPROCS).
+	Workers int
+	// Queue bounds mapping computations waiting for a worker; one more is
+	// shed with 429 (default 64).
+	Queue int
+	// CacheEntries bounds the memoized result cache (default 1024).
+	CacheEntries int
+	// DefaultDeadline applies when a request names none (default 30s).
+	DefaultDeadline time.Duration
+	// MaxDeadline clamps every request deadline (default 2m).
+	MaxDeadline time.Duration
+	// TraceSink, when set, receives the full observability stream: request
+	// spans, counter points, and every span the engines emit.
+	TraceSink obs.Sink
+	// Version is reported by /metrics as regimapd_build_info.
+	Version string
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Queue <= 0 {
+		c.Queue = 64
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 1024
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 30 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 2 * time.Minute
+	}
+	return c
+}
+
+// Server is the mapping-as-a-service handler set. Construct with New; it is
+// ready to serve immediately.
+type Server struct {
+	cfg      Config
+	mux      *http.ServeMux
+	cache    *memo.Cache
+	adm      *admission
+	met      *metrics
+	trace    *obs.Tracer // engine + request spans (nil when untraced)
+	counters *obs.Tracer // counter points: always on, feeds /metrics
+	draining atomic.Bool
+}
+
+// New returns a ready Server.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	met := newMetrics()
+	s := &Server{
+		cfg:      cfg,
+		cache:    memo.New(cfg.CacheEntries, 16),
+		adm:      newAdmission(cfg.Workers, cfg.Queue),
+		met:      met,
+		trace:    obs.New(cfg.TraceSink).Named("regimapd", ""),
+		counters: obs.New(obs.Tee(met.sink, cfg.TraceSink)).Named("regimapd", ""),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/map", s.handleMap)
+	s.mux.HandleFunc("/v1/mappers", s.handleMappers)
+	s.mux.HandleFunc("/v1/kernels", s.handleKernels)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
+	s.mux.HandleFunc("/metrics", s.serveMetrics)
+	return s
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// BeginDrain flips the server into graceful shutdown: /readyz reports 503 so
+// load balancers stop routing here, and new mapping requests are refused
+// with 503, while requests already admitted run to completion (the caller
+// then waits for them with http.Server.Shutdown).
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// errShed reports a load-shed: the admission queue was full, so the request
+// was refused before any mapping work started.
+var errShed = errors.New("admission queue full")
+
+// errDraining reports a request arriving after shutdown began.
+var errDraining = errors.New("server is draining")
+
+// MapRequest is the /v1/map request body. Exactly one of Kernel and Source
+// selects the loop; array fields default to the paper's 4x4 mesh with 4
+// registers per PE.
+type MapRequest struct {
+	// Kernel names a benchmark kernel (see /v1/kernels).
+	Kernel string `json:"kernel,omitempty"`
+	// Source is an inline loopir loop body, compiled on the fly.
+	Source string `json:"source,omitempty"`
+	// Name labels an inline Source kernel (default "inline").
+	Name string `json:"name,omitempty"`
+
+	// Mapper is the engine name (see /v1/mappers; default "regimap").
+	Mapper string `json:"mapper,omitempty"`
+
+	Rows     int    `json:"rows,omitempty"`
+	Cols     int    `json:"cols,omitempty"`
+	Regs     int    `json:"regs,omitempty"`
+	Topology string `json:"topology,omitempty"`
+
+	// Faults is a fault-set in the -faults grammar, e.g.
+	// "pe 1,1; link 0,0-0,1; regs 2,2=1; row 3". Non-resilient mappers map
+	// on the faulted array; the resilient ladder owns fault application
+	// (and transient retry) itself.
+	Faults string `json:"faults,omitempty"`
+
+	MinII int `json:"min_ii,omitempty"`
+	MaxII int `json:"max_ii,omitempty"`
+
+	// DeadlineMS caps this request's mapping time in milliseconds
+	// (default Config.DefaultDeadline, clamped to Config.MaxDeadline).
+	DeadlineMS int `json:"deadline_ms,omitempty"`
+}
+
+// MapResponse is the /v1/map success body.
+type MapResponse struct {
+	Mapper string  `json:"mapper"`
+	Kernel string  `json:"kernel"`
+	II     int     `json:"ii"`
+	MII    int     `json:"mii"`
+	Perf   float64 `json:"perf"`
+	Rounds int     `json:"rounds"`
+	// Cached is true when the mapping was served from the result cache;
+	// Collapsed when it was shared with an identical in-flight request.
+	Cached    bool `json:"cached"`
+	Collapsed bool `json:"collapsed,omitempty"`
+	// ElapsedUS is the compute cost of the underlying mapping run (not of
+	// this request — a cache hit reports the original run's cost).
+	ElapsedUS int64 `json:"elapsed_us"`
+	// Mapping is the full self-contained wire mapping (see
+	// internal/mapping); null for artifact-only engines like dresc.
+	Mapping json.RawMessage `json:"mapping,omitempty"`
+	// Artifact summarizes the solution of engines without a Mapping form.
+	Artifact string `json:"artifact,omitempty"`
+}
+
+// ErrorResponse is the body of every non-2xx API answer. Class is a stable
+// machine-readable failure taxonomy mirroring internal/maperr:
+// "bad-request", "not-found", "no-mapping", "deadline", "overloaded",
+// "draining", "panic", "internal".
+type ErrorResponse struct {
+	Error string `json:"error"`
+	Class string `json:"class"`
+}
+
+// cachedResult is the memoized value: everything needed to answer an
+// identical query without touching an engine. MappingJSON is the marshalled
+// wire mapping, stored as bytes so every hit returns the byte-identical
+// payload the first computation produced.
+type cachedResult struct {
+	II, MII, Rounds int
+	Perf            float64
+	ElapsedUS       int64
+	MappingJSON     json.RawMessage
+	Artifact        string
+}
+
+// requestKey is the content-addressed cache key: the canonical fingerprint
+// over everything that determines the mapping result. The deadline is
+// deliberately excluded — it bounds how long we wait, not what the answer
+// is — and aborted runs are never cached, so a short-deadline failure cannot
+// poison a longer-deadline retry. See DESIGN.md section 8f.
+func requestKey(d *dfg.DFG, c *arch.CGRA, faults, mapper string, minII, maxII int) memo.Key {
+	dfp := d.Fingerprint()
+	afp := c.Fingerprint()
+	return memo.NewHasher("regimapd/v1").
+		Bytes(dfp[:]).
+		Bytes(afp[:]).
+		Str(faults).
+		Str(mapper).
+		Int(int64(minII)).
+		Int(int64(maxII)).
+		Sum()
+}
+
+// cacheableErr reports whether a mapping error is deterministic — true for
+// an exhausted search (ErrNoMapping), false for deadline aborts, sheds,
+// panics, and anything else that might not repeat.
+func cacheableErr(err error) bool {
+	return errors.Is(err, maperr.ErrNoMapping) && !errors.Is(err, maperr.ErrAborted)
+}
+
+// execute is the cache-miss leader path: admission, panic isolation, the
+// engine call, and packaging of the memoized value.
+func (s *Server) execute(ctx context.Context, m engine.Mapper, d *dfg.DFG, c *arch.CGRA, eo engine.Options) (res any, err error) {
+	release, err := s.adm.acquire(ctx)
+	if err != nil {
+		if errors.Is(err, errShed) {
+			s.counters.Point1("server.shed", "n", 1)
+		}
+		return nil, err
+	}
+	defer release()
+	defer func() {
+		if v := recover(); v != nil {
+			s.counters.Point1("server.panic", "n", 1)
+			err = &maperr.WorkerPanicError{Worker: "regimapd worker", Value: v, Stack: debug.Stack()}
+		}
+	}()
+	out, err := m.Map(ctx, d, c, eo)
+	if err != nil {
+		return nil, err
+	}
+	cr := &cachedResult{
+		II:        out.II,
+		MII:       out.MII,
+		Rounds:    out.Rounds,
+		Perf:      out.Perf(),
+		ElapsedUS: out.Elapsed.Microseconds(),
+	}
+	switch {
+	case out.Mapping != nil:
+		blob, merr := json.Marshal(out.Mapping)
+		if merr != nil {
+			return nil, fmt.Errorf("encode mapping: %w", merr)
+		}
+		cr.MappingJSON = blob
+	case out.Artifact != nil:
+		cr.Artifact = fmt.Sprintf("%T", out.Artifact)
+	}
+	return cr, nil
+}
+
+// resolve turns a MapRequest into the engine call's inputs. All failures are
+// client errors.
+func (s *Server) resolve(req *MapRequest) (d *dfg.DFG, c *arch.CGRA, eng engine.Mapper, eo engine.Options, faults string, err error) {
+	switch {
+	case req.Kernel != "" && req.Source != "":
+		return nil, nil, nil, eo, "", fmt.Errorf("kernel and source are mutually exclusive")
+	case req.Kernel != "":
+		k, ok := kernels.ByName(req.Kernel)
+		if !ok {
+			return nil, nil, nil, eo, "", &notFoundError{fmt.Sprintf("unknown kernel %q (see /v1/kernels)", req.Kernel)}
+		}
+		d = k.Build()
+	case req.Source != "":
+		name := req.Name
+		if name == "" {
+			name = "inline"
+		}
+		d, err = loopir.Compile(name, req.Source)
+		if err != nil {
+			return nil, nil, nil, eo, "", err
+		}
+	default:
+		return nil, nil, nil, eo, "", fmt.Errorf("one of kernel or source is required")
+	}
+
+	rows, cols, regs := req.Rows, req.Cols, req.Regs
+	if rows == 0 {
+		rows = 4
+	}
+	if cols == 0 {
+		cols = 4
+	}
+	if regs == 0 {
+		regs = 4
+	}
+	if rows < 0 || cols < 0 || regs < 0 || rows > 64 || cols > 64 || regs > 64 {
+		return nil, nil, nil, eo, "", fmt.Errorf("array %dx%d with %d regs out of range", rows, cols, regs)
+	}
+	topo, err := arch.ParseTopology(req.Topology)
+	if err != nil {
+		return nil, nil, nil, eo, "", err
+	}
+	c = arch.New(rows, cols, regs, topo)
+
+	mapperName := req.Mapper
+	if mapperName == "" {
+		mapperName = "regimap"
+	}
+	eng, ok := engine.Lookup(mapperName)
+	if !ok {
+		return nil, nil, nil, eo, "", &notFoundError{fmt.Sprintf("unknown mapper %q (have %v)", mapperName, engine.Names())}
+	}
+
+	if req.MinII < 0 || req.MaxII < 0 || (req.MaxII > 0 && req.MinII > req.MaxII) {
+		return nil, nil, nil, eo, "", fmt.Errorf("bad II bounds [%d, %d]", req.MinII, req.MaxII)
+	}
+	eo = engine.Options{MinII: req.MinII, MaxII: req.MaxII}
+
+	if req.Faults != "" {
+		fs, ferr := fault.Parse(req.Faults)
+		if ferr != nil {
+			return nil, nil, nil, eo, "", ferr
+		}
+		if ferr := fs.Validate(c); ferr != nil {
+			return nil, nil, nil, eo, "", ferr
+		}
+		faults = fs.String()
+		if mapperName == "resilient" {
+			// The ladder owns fault application and transient retry.
+			eo.Extra = resilient.Options{Faults: fs}
+		} else {
+			faulted, ferr := fs.Apply(c)
+			if ferr != nil {
+				return nil, nil, nil, eo, "", ferr
+			}
+			c = faulted
+		}
+	}
+	return d, c, eng, eo, faults, nil
+}
+
+// notFoundError marks client errors that should answer 404 instead of 400.
+type notFoundError struct{ msg string }
+
+func (e *notFoundError) Error() string { return e.msg }
+
+// deadlineFor clamps the request deadline into the configured window.
+func (s *Server) deadlineFor(req *MapRequest) (time.Duration, error) {
+	if req.DeadlineMS < 0 {
+		return 0, fmt.Errorf("negative deadline_ms %d", req.DeadlineMS)
+	}
+	d := time.Duration(req.DeadlineMS) * time.Millisecond
+	if d == 0 {
+		d = s.cfg.DefaultDeadline
+	}
+	if d > s.cfg.MaxDeadline {
+		d = s.cfg.MaxDeadline
+	}
+	return d, nil
+}

@@ -1,0 +1,44 @@
+// Package version derives a human-readable build identity from the
+// information the Go toolchain embeds in every binary, so the commands can
+// answer -version without a build-time ldflags dance.
+package version
+
+import (
+	"fmt"
+	"runtime/debug"
+	"strings"
+)
+
+// String returns "module version (vcs-revision, go version)", degrading
+// gracefully when pieces are missing (e.g. a non-module or test build).
+func String() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	ver := bi.Main.Version
+	if ver == "" || ver == "(devel)" {
+		ver = "devel"
+	}
+	var rev, dirty string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s", bi.Main.Path, ver)
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		fmt.Fprintf(&b, " (%s%s)", rev, dirty)
+	}
+	fmt.Fprintf(&b, " %s", bi.GoVersion)
+	return b.String()
+}
