@@ -12,6 +12,7 @@ package regimap_test
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"regimap"
@@ -258,6 +259,33 @@ func BenchmarkCliqueFind(b *testing.B) {
 	}
 }
 
+// BenchmarkCliqueFindParallel measures the same search with the parallel
+// engine at several worker counts. Results are byte-identical to the
+// sequential engine (DESIGN.md section 8g); only wall-clock may differ, so
+// the bench-compare job tracks these series alongside BenchmarkCliqueFind.
+func BenchmarkCliqueFindParallel(b *testing.B) {
+	d := benchKernel()
+	c := arch.NewMesh(4, 4, 4)
+	sc := sched.New(d, 16, 4)
+	res, err := sc.Schedule(sc.MII()+1, sched.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cg, err := core.BuildCompat(d, c, res.Time, res.II, core.CompatOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			pool := clique.NewPool()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				clique.Find(cg.G, d.N(), clique.Options{Workers: w, Arenas: pool})
+			}
+		})
+	}
+}
+
 // BenchmarkMapREGIMap measures an end-to-end REGIMap run on one kernel.
 func BenchmarkMapREGIMap(b *testing.B) {
 	c := arch.NewMesh(4, 4, 4)
@@ -265,6 +293,24 @@ func BenchmarkMapREGIMap(b *testing.B) {
 		if _, _, err := core.Map(context.Background(), benchKernel(), c, core.Options{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkMapREGIMapParallel is the end-to-end run with the clique search
+// parallelized, the configuration the ISSUE's 8-worker latency target is
+// measured on.
+func BenchmarkMapREGIMapParallel(b *testing.B) {
+	c := arch.NewMesh(4, 4, 4)
+	for _, w := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			opts := core.Options{Clique: clique.Options{Workers: w, Arenas: clique.NewPool()}}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.Map(context.Background(), benchKernel(), c, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

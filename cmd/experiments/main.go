@@ -37,21 +37,22 @@ var stopProfiles = func() {}
 
 func main() {
 	var (
-		run         = flag.String("run", "all", "experiment to run: all, fig2, fig5, fig6, fig7, fig8, ablation, power, registers, phases")
-		quick       = flag.Bool("quick", false, "shrink the DRESC annealing budget")
-		seed        = flag.Int64("seed", 0, "base seed: DRESC annealing / portfolio diversification")
-		csvPath     = flag.String("csv", "", "also write Figure 6 per-loop rows as CSV to this file")
-		jobs        = flag.Int("jobs", runtime.NumCPU(), "map this many kernels concurrently (results are identical at any value)")
-		timeout     = flag.Duration("timeout", 0, "abort any single mapper run after this long (0: unbounded)")
-		portfolio   = flag.Int("portfolio", 1, "race this many diversified REGIMap attempts per II")
-		runChaos    = flag.Bool("chaos", false, "run the fault-injection chaos harness instead of the paper experiments")
-		trials      = flag.Int("trials", 2, "chaos: random fault sets drawn per fault count")
-		maxFaults   = flag.Int("max-faults", 3, "chaos: largest injected fault count in the sweep")
-		faultSpec   = flag.String("faults", "pe 3,3; row 3", "chaos: fault set for the mutation-sweep fabric")
-		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
-		memProf     = flag.String("memprofile", "", "write a heap profile to this file on exit")
-		tracePath   = flag.String("trace", "", "write observability events (per-pass spans, counters) from every mapper run as JSON lines to this file")
-		showVersion = flag.Bool("version", false, "print the build version and exit")
+		run           = flag.String("run", "all", "experiment to run: all, fig2, fig5, fig6, fig7, fig8, ablation, power, registers, phases")
+		quick         = flag.Bool("quick", false, "shrink the DRESC annealing budget")
+		seed          = flag.Int64("seed", 0, "base seed: DRESC annealing / portfolio diversification")
+		csvPath       = flag.String("csv", "", "also write Figure 6 per-loop rows as CSV to this file")
+		jobs          = flag.Int("jobs", runtime.NumCPU(), "map this many kernels concurrently (results are identical at any value)")
+		timeout       = flag.Duration("timeout", 0, "abort any single mapper run after this long (0: unbounded)")
+		portfolio     = flag.Int("portfolio", 1, "race this many diversified REGIMap attempts per II")
+		cliqueWorkers = flag.Int("clique-workers", 0, "parallelize the clique search inside every REGIMap run across this many goroutines (<=1: sequential; results are byte-identical at any value)")
+		runChaos      = flag.Bool("chaos", false, "run the fault-injection chaos harness instead of the paper experiments")
+		trials        = flag.Int("trials", 2, "chaos: random fault sets drawn per fault count")
+		maxFaults     = flag.Int("max-faults", 3, "chaos: largest injected fault count in the sweep")
+		faultSpec     = flag.String("faults", "pe 3,3; row 3", "chaos: fault set for the mutation-sweep fabric")
+		cpuProf       = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memProf       = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		tracePath     = flag.String("trace", "", "write observability events (per-pass spans, counters) from every mapper run as JSON lines to this file")
+		showVersion   = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
 	if *showVersion {
@@ -65,7 +66,7 @@ func main() {
 	base := experiments.Config{
 		Rows: 4, Cols: 4, Regs: 4,
 		Seed: *seed, Quick: *quick,
-		Workers: *jobs, Timeout: *timeout, Portfolio: *portfolio,
+		Workers: *jobs, Timeout: *timeout, Portfolio: *portfolio, CliqueWorkers: *cliqueWorkers,
 	}
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)

@@ -23,6 +23,7 @@ import (
 	"os"
 
 	"regimap"
+	"regimap/internal/clique"
 	"regimap/internal/engine"
 	"regimap/internal/obs"
 	"regimap/internal/profiling"
@@ -40,26 +41,27 @@ func main() {
 		listMappers = flag.Bool("list-mappers", false, "list the registered mapping engines and exit")
 		tracePath   = flag.String("trace", "", "write observability events (per-pass spans, counters) as JSON lines to this file")
 
-		kernel      = flag.String("kernel", "", "kernel to map (see -list)")
-		rows        = flag.Int("rows", 4, "CGRA rows")
-		cols        = flag.Int("cols", 4, "CGRA columns")
-		regs        = flag.Int("regs", 4, "rotating registers per PE")
-		mapper      = flag.String("mapper", "regimap", "mapper: regimap, dresc, ems, or resilient")
-		faults      = flag.String("faults", "", `hardware fault set, e.g. "pe 1,1; link 0,0-0,1; regs 2,2=1; row 3"`)
-		simN        = flag.Int("sim", 8, "functionally simulate this many iterations (0 to skip)")
-		dot         = flag.Bool("dot", false, "print the kernel DFG in Graphviz DOT and exit")
-		cfg         = flag.Bool("config", false, "lower the mapping to instruction words and print them (regimap mapper only)")
-		srcPath     = flag.String("src", "", "compile this loop-body source file instead of a named kernel")
-		svgPath     = flag.String("svg", "", "write the mapping as an SVG picture to this file (regimap mapper only)")
-		vcdPath     = flag.String("vcd", "", "write a VCD waveform of the execution to this file (regimap mapper only)")
-		jsonOut     = flag.Bool("json", false, "emit mapper statistics as JSON (regimap mapper only)")
-		seed        = flag.Int64("seed", 1, "base seed: DRESC annealing / portfolio diversification")
-		timeout     = flag.Duration("timeout", 0, "abort mapping after this long (0: unbounded)")
-		portfolio   = flag.Int("portfolio", 1, "speculate on this many IIs in parallel (regimap: result-identical; dresc: seeds per II)")
-		explore     = flag.Int("explore", 0, "also race this many budget-widened scout searches per II (regimap mapper; may lower the II)")
-		cpuProf     = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
-		memProf     = flag.String("memprofile", "", "write a heap profile to this file on exit")
-		showVersion = flag.Bool("version", false, "print the build version and exit")
+		kernel        = flag.String("kernel", "", "kernel to map (see -list)")
+		rows          = flag.Int("rows", 4, "CGRA rows")
+		cols          = flag.Int("cols", 4, "CGRA columns")
+		regs          = flag.Int("regs", 4, "rotating registers per PE")
+		mapper        = flag.String("mapper", "regimap", "mapper: regimap, dresc, ems, or resilient")
+		faults        = flag.String("faults", "", `hardware fault set, e.g. "pe 1,1; link 0,0-0,1; regs 2,2=1; row 3"`)
+		simN          = flag.Int("sim", 8, "functionally simulate this many iterations (0 to skip)")
+		dot           = flag.Bool("dot", false, "print the kernel DFG in Graphviz DOT and exit")
+		cfg           = flag.Bool("config", false, "lower the mapping to instruction words and print them (regimap mapper only)")
+		srcPath       = flag.String("src", "", "compile this loop-body source file instead of a named kernel")
+		svgPath       = flag.String("svg", "", "write the mapping as an SVG picture to this file (regimap mapper only)")
+		vcdPath       = flag.String("vcd", "", "write a VCD waveform of the execution to this file (regimap mapper only)")
+		jsonOut       = flag.Bool("json", false, "emit mapper statistics as JSON (regimap mapper only)")
+		seed          = flag.Int64("seed", 1, "base seed: DRESC annealing / portfolio diversification")
+		timeout       = flag.Duration("timeout", 0, "abort mapping after this long (0: unbounded)")
+		portfolio     = flag.Int("portfolio", 1, "speculate on this many IIs in parallel (regimap: result-identical; dresc: seeds per II)")
+		explore       = flag.Int("explore", 0, "also race this many budget-widened scout searches per II (regimap mapper; may lower the II)")
+		cliqueWorkers = flag.Int("clique-workers", 0, "parallelize the clique search across this many goroutines (regimap mapper; <=1: sequential; results are byte-identical at any value)")
+		cpuProf       = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memProf       = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		showVersion   = flag.Bool("version", false, "print the build version and exit")
 	)
 	flag.Parse()
 	if *showVersion {
@@ -155,7 +157,7 @@ func main() {
 	case "regimap":
 		var m *regimap.Mapping
 		if *portfolio > 1 || *explore > 0 {
-			won, pstats, err := regimap.MapPortfolio(ctx, d, c, regimap.PortfolioOptions{Attempts: *portfolio, Explore: *explore, Seed: *seed})
+			won, pstats, err := regimap.MapPortfolio(ctx, d, c, regimap.PortfolioOptions{Attempts: *portfolio, Explore: *explore, Seed: *seed, Base: cliqueOpts(*cliqueWorkers)})
 			exitOn(err)
 			m = won
 			if *jsonOut {
@@ -175,7 +177,7 @@ func main() {
 				pstats.II, pstats.MII, pstats.Perf(), pstats.Elapsed,
 				pstats.Winner, pstats.Races, pstats.Attempts, pstats.Cancelled)
 		} else {
-			won, stats, err := regimap.MapContext(ctx, d, c, regimap.Options{})
+			won, stats, err := regimap.MapContext(ctx, d, c, cliqueOpts(*cliqueWorkers))
 			exitOn(err)
 			m = won
 			if *jsonOut {
@@ -281,6 +283,11 @@ func main() {
 		stopProfiles()
 		os.Exit(2)
 	}
+}
+
+// cliqueOpts returns the REGIMap options the -clique-workers flag implies.
+func cliqueOpts(workers int) regimap.Options {
+	return regimap.Options{Clique: clique.Options{Workers: workers}}
 }
 
 func exitOn(err error) {

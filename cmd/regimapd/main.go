@@ -39,6 +39,7 @@ func main() {
 	var (
 		addr        = flag.String("addr", ":8090", "listen address")
 		workers     = flag.Int("workers", 0, "max concurrent mapping computations (0: GOMAXPROCS)")
+		cliqueWork  = flag.Int("clique-workers", 0, "goroutines inside each regimap clique search (<=1: sequential; results are byte-identical at any value)")
 		queue       = flag.Int("queue", 64, "max computations waiting for a worker; beyond this, requests are shed with 429")
 		cacheSize   = flag.Int("cache", 1024, "result-cache capacity in entries")
 		defDeadline = flag.Duration("default-deadline", 30*time.Second, "mapping deadline for requests that name none")
@@ -64,6 +65,7 @@ func main() {
 
 	srv := server.New(server.Config{
 		Workers:         *workers,
+		CliqueWorkers:   *cliqueWork,
 		Queue:           *queue,
 		CacheEntries:    *cacheSize,
 		DefaultDeadline: *defDeadline,

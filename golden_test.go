@@ -134,3 +134,39 @@ func TestGoldenMappings(t *testing.T) {
 		}
 	}
 }
+
+// TestGoldenMappingsWorkerSweep proves the parallel clique engine's
+// deterministic reduction end to end: every kernel mapped with 1, 2, and 8
+// clique workers must produce byte-identical canonical text. Workers=1 is
+// the sequential engine (also covered against the golden file above), so a
+// sweep failure isolates the parallel reduction, not an algorithm change.
+// CI re-runs this sweep under -race at several GOMAXPROCS values.
+func TestGoldenMappingsWorkerSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("worker sweep maps every kernel three times; skipped in -short")
+	}
+	for _, k := range regimap.Kernels() {
+		var want string
+		for _, w := range []int{1, 2, 8} {
+			d := k.Build()
+			c := regimap.NewMesh(4, 4, 4)
+			opts := regimap.Options{}
+			opts.Clique.Workers = w
+			var text string
+			m, stats, err := regimap.Map(d, c, opts)
+			if err != nil {
+				text = fmt.Sprintf("unmapped MII=%d", stats.MII)
+			} else {
+				text = fmt.Sprintf("II=%d attempts=%d routes=%d\n%s", stats.II, stats.Attempts, stats.RouteInserts, m)
+			}
+			if w == 1 {
+				want = text
+				continue
+			}
+			if text != want {
+				t.Errorf("kernel %s: mapping at %d clique workers differs from sequential:\n--- workers=1\n%s\n--- workers=%d\n%s",
+					k.Name, w, want, w, text)
+			}
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package clique
+
+import "regimap/internal/graph"
+
+// colorBound returns a greedy-coloring upper bound on the size of any clique
+// inside cand, capped at limit. Nodes of one color class are pairwise
+// incompatible, so a clique — in particular any register-feasible clique,
+// which is first of all a clique — holds at most one node per class; the
+// number of classes the greedy coloring uses therefore bounds ω(cand) from
+// above. Classes are filled in increasing node-id order (first class that
+// fits), which is deterministic and needs no sorting.
+//
+// The cap makes the bound cheap where it cannot help: once limit classes are
+// open the caller's prune test already fails, so the coloring stops and
+// returns limit.
+func colorBound(g *Graph, cand *graph.Bitset, ar *arena, limit int) int {
+	if limit <= 0 {
+		return 0
+	}
+	classes := ar.colorScratch(limit)
+	used := 0
+	capped := false
+	cand.ForEach(func(u int) bool {
+		adj := g.adj[u]
+		for c := 0; c < used; c++ {
+			if classes[c].IntersectCountUpTo(adj, 1) == 0 {
+				classes[c].Set(u)
+				return true
+			}
+		}
+		if used == limit {
+			capped = true
+			return false
+		}
+		classes[used].Reset()
+		classes[used].Set(u)
+		used++
+		return true
+	})
+	if capped {
+		return limit
+	}
+	return used
+}
+
+// colorScratch returns k reusable color-class bitsets. Only classes [0, used)
+// are ever read by colorBound before being written, and it resets each class
+// as it opens, so stale contents from earlier calls are harmless.
+func (a *arena) colorScratch(k int) []*graph.Bitset {
+	if len(a.colors) < k {
+		fresh := graph.NewBitsetSlab(a.g.n, k-len(a.colors))
+		a.colors = append(a.colors, fresh...)
+	}
+	return a.colors[:k]
+}

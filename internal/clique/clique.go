@@ -22,6 +22,7 @@
 package clique
 
 import (
+	"context"
 	"sort"
 
 	"regimap/internal/graph"
@@ -240,7 +241,8 @@ type arena struct {
 	g       *Graph
 	all     []*state
 	free    []*state
-	scratch *graph.Bitset // intersection-phase scratch (lazily allocated)
+	scratch *graph.Bitset   // intersection-phase scratch (lazily allocated)
+	colors  []*graph.Bitset // coloring-bound scratch (lazily allocated)
 }
 
 func newArena(g *Graph) *arena { return &arena{g: g} }
@@ -253,13 +255,13 @@ func (a *arena) get() *state {
 		return s
 	}
 	s := &state{
-		g:        a.g,
-		ar:       a,
-		inC:      graph.NewBitset(a.g.n),
-		cand:     graph.NewBitset(a.g.n),
-		prevCand: graph.NewBitset(a.g.n),
-		sum:      make([]int, a.g.n),
-		score:    make([]int, a.g.n),
+		g:       a.g,
+		ar:      a,
+		inC:     graph.NewBitset(a.g.n),
+		cand:    graph.NewBitset(a.g.n),
+		dead:    graph.NewBitset(a.g.n),
+		sum:     make([]int, a.g.n),
+		scoreUB: make([]int, a.g.n),
 	}
 	if a.g.cluster != nil {
 		s.byCluster = make([][]int, a.g.nClusters)
@@ -284,9 +286,9 @@ type state struct {
 	byCluster [][]int // members per weight-interaction class (when installed)
 	inC       *graph.Bitset
 	cand      *graph.Bitset // nodes adjacent to every member
-	prevCand  *graph.Bitset // grow's scratch: cand before the last add
+	dead      *graph.Bitset // grow's scratch: candidates proven weight-infeasible
 	sum       []int         // node -> outgoing weight into the clique (members only)
-	score     []int         // grow's incrementally-maintained |adj(u) ∩ cand|
+	scoreUB   []int         // grow's scratch: stale upper bound on |adj(u) ∩ cand|
 }
 
 // reset restores the fresh-state invariants. Only member-touched entries of
@@ -394,59 +396,51 @@ func (s *state) add(u int) {
 // "maximum number of arcs to the nodes outside the clique" tie-break), with
 // node id as the deterministic final tie-break. It stops early at target.
 //
-// Candidate scores are maintained incrementally: one full IntersectCount
-// pass seeds score[u] = |adj(u) ∩ cand|, then each add only subtracts the
-// contributions of the candidates the add evicted (cand is monotonically
-// shrinking, and adjacency is symmetric, so walking each evicted node's
-// surviving neighbours keeps every score exact).
+// Candidate scores |adj(u) ∩ cand| are computed inside the argmax scan as
+// one word-level popcount pass per candidate — on the dense compatibility
+// graphs REGIMap produces, fusing the score into the scan is cheaper than
+// maintaining scores incrementally across adds (each add evicts few
+// candidates but every evicted node's surviving neighbourhood is nearly all
+// of cand, so the decremental walk degenerates to a per-bit pass over the
+// whole graph).
+//
+// Weight infeasibility is hereditary — the member sums only grow while the
+// clique grows — so a candidate that fails canAdd once is marked dead and
+// never re-checked, skipping the cluster weight walk on every later scan.
+// Scores are monotone too: cand only shrinks, so a score computed on any
+// earlier iteration upper-bounds the current one, and a candidate whose
+// stale bound cannot beat the running argmax is skipped without touching
+// its adjacency row (the selected argmax, and therefore the result, is
+// exactly the one a full rescan would pick).
 func (s *state) grow(target int) {
 	if len(s.members) >= target {
 		return
 	}
-	s.cand.ForEach(func(u int) bool {
-		s.score[u] = s.g.adj[u].IntersectCount(s.cand)
-		return true
-	})
+	s.dead.Reset()
+	for i := range s.scoreUB {
+		s.scoreUB[i] = 1 << 30
+	}
 	for len(s.members) < target {
 		best, bestScore := -1, -1
 		s.cand.ForEach(func(u int) bool {
-			if !s.canAdd(u) {
+			if s.dead.Has(u) || s.scoreUB[u] <= bestScore {
 				return true
 			}
-			if s.score[u] > bestScore {
-				best, bestScore = u, s.score[u]
+			if !s.canAdd(u) {
+				s.dead.Set(u)
+				return true
+			}
+			sc := s.g.adj[u].IntersectCount(s.cand)
+			s.scoreUB[u] = sc
+			if sc > bestScore {
+				best, bestScore = u, sc
 			}
 			return true
 		})
 		if best == -1 {
 			return
 		}
-		s.prevCand.CopyFrom(s.cand)
 		s.add(best)
-		// Evicted candidates (including best itself) stop counting toward
-		// the survivors' scores. When the add evicted more candidates than it
-		// kept — typical for the first adds, which cut cand from "everything"
-		// down to one neighbourhood — recomputing the survivors outright is
-		// cheaper than walking every evicted node's surviving neighbours.
-		s.prevCand.AndNot(s.cand)
-		// The decremental walk pays a per-element callback for every evicted
-		// node's surviving neighbour; the wholesale recompute pays one
-		// word-level popcount pass per survivor. The latter is ~an order of
-		// magnitude cheaper per element, so decrement only for handfuls.
-		if 8*s.prevCand.Count() > s.cand.Count() {
-			s.cand.ForEach(func(u int) bool {
-				s.score[u] = s.g.adj[u].IntersectCount(s.cand)
-				return true
-			})
-		} else {
-			s.prevCand.ForEach(func(d int) bool {
-				s.g.adj[d].ForEachAnd(s.cand, func(u int) bool {
-					s.score[u]--
-					return true
-				})
-				return true
-			})
-		}
 	}
 }
 
@@ -482,6 +476,20 @@ type Options struct {
 	// results to match the default). REGIMap computes it once per
 	// compatibility graph and reuses it across clique.Find calls.
 	SeedOrder []int
+	// Workers > 1 runs Find's seed and intersection phases across that many
+	// goroutines. Results are byte-identical at every worker count — the
+	// parallel engine merges partition results in the sequential order (see
+	// parallel.go and DESIGN.md section 8g).
+	Workers int
+	// Ctx, when non-nil, lets the parallel engine stop between partitions
+	// once the context is cancelled. The result of a cancelled search is
+	// best-effort; core.Map discards the attempt anyway. The sequential
+	// engine ignores it.
+	Ctx context.Context
+	// Arenas, when non-nil, supplies pooled search arenas reused across
+	// calls and requests (regimapd installs one per process). Arenas are
+	// fully wiped on reuse, so results are unaffected.
+	Arenas *Pool
 	// Trace, when non-nil, receives clique.find / clique.grouped events.
 	// The nil default costs nothing (see internal/obs).
 	Trace *obs.Tracer
@@ -492,6 +500,9 @@ type Options struct {
 // returns the best feasible clique found (possibly smaller than target) —
 // never nil, possibly empty.
 func Find(g *Graph, target int, opts Options) (best []int) {
+	if opts.Workers > 1 {
+		return findParallel(g, target, opts)
+	}
 	maxSeeds := opts.MaxSeeds
 	if maxSeeds <= 0 {
 		maxSeeds = 16
@@ -525,7 +536,8 @@ func Find(g *Graph, target int, opts Options) (best []int) {
 		order = order[:maxSeeds]
 	}
 
-	ar := newArena(g)
+	ar, release := opts.acquireArena(g)
+	defer release()
 	var found [][]int
 	consider := func(s *state) bool {
 		c := append([]int(nil), s.members...)
@@ -689,6 +701,15 @@ func FindExact(g *Graph, target int) []int {
 		}
 		// Bound: even taking every candidate cannot beat best.
 		if len(s.members)+s.cand.Count() <= len(best) {
+			return
+		}
+		// Tighter bound: a greedy coloring of the candidate set upper-bounds
+		// any clique within it, so fewer than `need` classes proves the
+		// subtree cannot strictly improve best. Pruning only subtrees that
+		// cannot improve leaves the best-update sequence — and therefore the
+		// returned clique — exactly what the unpruned search produces.
+		need := len(best) + 1 - len(s.members)
+		if colorBound(g, s.cand, ar, need) < need {
 			return
 		}
 		var cands []int

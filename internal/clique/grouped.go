@@ -1,6 +1,10 @@
 package clique
 
-import "sort"
+import (
+	"sort"
+
+	"regimap/internal/graph"
+)
 
 // FindGrouped searches for a feasible clique containing exactly one node per
 // group. Groups are REGIMap's operations and a group's nodes its candidate
@@ -61,13 +65,17 @@ func FindGrouped(g *Graph, groups [][]int, opts Options) (best []int) {
 	}
 
 	groupOf := make([]int, g.n)
+	masks := graph.NewBitsetSlab(g.n, len(groups))
 	for gi, cands := range groups {
 		for _, u := range cands {
 			groupOf[u] = gi
+			masks[gi].Set(u)
 		}
 	}
+	fc := newForwardChecker(g.n)
 
-	ar := newArena(g)
+	ar, release := opts.acquireArena(g)
+	defer release()
 	pending := make([]bool, len(groups))
 	inFailed := make([]bool, len(groups))
 	for round := 0; round < rounds; round++ {
@@ -79,7 +87,7 @@ func FindGrouped(g *Graph, groups [][]int, opts Options) (best []int) {
 		}
 		for oi, gi := range order {
 			pending[gi] = false
-			pick := pickCandidate(g, s, groups, order[oi+1:], pending, gi)
+			pick := pickCandidate(g, s, groups, masks, order[oi+1:], pending, gi, fc)
 			if pick == -1 {
 				if repaired := swapInGroup(g, s, groups, groupOf, gi); repaired != nil {
 					ar.put(s)
@@ -143,40 +151,53 @@ func FindGrouped(g *Graph, groups [][]int, opts Options) (best []int) {
 // exactly one member x; evict x, admit u, and re-place x's group on another
 // of its candidates. It returns the repaired state, or nil.
 func swapInGroup(g *Graph, s *state, groups [][]int, groupOf []int, gi int) *state {
+	// Candidates of one group typically collide on the same member (they
+	// contend for one PE), so the expensive rebuild-without-the-blocker is
+	// cached across consecutive candidates sharing a blocker.
+	var base *state
+	baseBlocker, baseOK := -1, false
+	defer func() {
+		if base != nil {
+			s.ar.put(base)
+		}
+	}()
 	for _, u := range groups[gi] {
 		if s.inC.Has(u) {
 			continue
 		}
-		blocker, blockCount := -1, 0
+		if len(s.members)-g.adj[u].IntersectCount(s.inC) != 1 {
+			continue
+		}
+		blocker := -1
 		for _, m := range s.members {
 			if !g.adj[u].Has(m) {
 				blocker = m
-				blockCount++
-				if blockCount > 1 {
-					break
-				}
-			}
-		}
-		if blockCount != 1 {
-			continue
-		}
-		// Rebuild without the blocker; admit u; re-place the blocker's group.
-		trial := s.ar.get()
-		ok := true
-		for _, m := range s.members {
-			if m == blocker {
-				continue
-			}
-			if !trial.canAdd(m) {
-				ok = false
 				break
 			}
-			trial.add(m)
 		}
-		if !ok || !trial.canAdd(u) {
-			s.ar.put(trial)
+		// Rebuild without the blocker; admit u; re-place the blocker's group.
+		if blocker != baseBlocker {
+			if base == nil {
+				base = s.ar.get()
+			} else {
+				base.reset()
+			}
+			baseBlocker, baseOK = blocker, true
+			for _, m := range s.members {
+				if m == blocker {
+					continue
+				}
+				if !base.canAdd(m) {
+					baseOK = false
+					break
+				}
+				base.add(m)
+			}
+		}
+		if !baseOK || !base.canAdd(u) {
 			continue
 		}
+		trial := base.clone()
 		trial.add(u)
 		gx := groupOf[blocker]
 		repick, repickScore := -1, -1
@@ -198,54 +219,112 @@ func swapInGroup(g *Graph, s *state, groups [][]int, groupOf []int, gi int) *sta
 	return nil
 }
 
+// maxLookahead caps the pending groups pickCandidate examines. Forward
+// checking scales with |group| x pending x words; on big arrays the nearest
+// groups in the order are the ones the choice constrains most.
+const maxLookahead = 24
+
+// forwardChecker is pickCandidate's reusable working set: the still-live
+// candidate mask of each examined pending group, computed once per pick
+// instead of once per (candidate, group) pair. Groups whose live mask is
+// empty contribute the same dead count to every candidate, which cannot
+// change the argmin, so they are dropped outright; single-survivor groups
+// reduce to one adjacency probe.
+type forwardChecker struct {
+	live    []*graph.Bitset // groups with >= 2 survivors: mask(gj) ∩ cand
+	lo, hi  []int           // word bounds of each live mask (ids are clustered per group)
+	single  []int           // groups with exactly one survivor: that node
+	nLive   int
+	nSingle int
+
+	cands        []int // feasible candidates of the group being picked
+	cDead, cTght []int // their verdicts, parallel to cands
+}
+
+func newForwardChecker(n int) *forwardChecker {
+	return &forwardChecker{
+		live:   graph.NewBitsetSlab(n, maxLookahead),
+		lo:     make([]int, maxLookahead),
+		hi:     make([]int, maxLookahead),
+		single: make([]int, maxLookahead),
+	}
+}
+
 // pickCandidate chooses group gi's binding by CSP-style forward checking:
 // among feasible candidates, prefer the one that leaves every still-pending
 // group at least one (and ideally several) live candidates — the
 // least-constraining-value rule — with overall compatibility as the final
 // tie-break. It returns -1 when no candidate is feasible.
-func pickCandidate(g *Graph, s *state, groups [][]int, rest []int, pending []bool, gi int) int {
-	type verdict struct {
-		dead, tight, score int
+//
+// A pending group's live count for candidate u is |mask(gj) ∩ cand ∩ adj(u)|
+// capped at 2. The cand intersection is hoisted into the forwardChecker (it
+// is the same for every u), leaving one early-exiting word-level pass — or a
+// single bit probe — per (candidate, group) pair.
+func pickCandidate(g *Graph, s *state, groups [][]int, masks []*graph.Bitset, rest []int, pending []bool, gi int, fc *forwardChecker) int {
+	fc.nLive, fc.nSingle = 0, 0
+	looked := 0
+	for _, gj := range rest {
+		if !pending[gj] {
+			continue
+		}
+		if looked++; looked > maxLookahead {
+			break
+		}
+		lm := fc.live[fc.nLive]
+		lw, hw := lm.AndInto(masks[gj], s.cand)
+		switch lm.IntersectCountUpToIn(lm, 2, lw, hw) {
+		case 0:
+			// Dead for every candidate alike: a uniform offset never moves
+			// the argmin, so the group is dropped from the per-candidate work.
+		case 1:
+			fc.single[fc.nSingle] = lm.First()
+			fc.nSingle++
+		default:
+			fc.lo[fc.nLive], fc.hi[fc.nLive] = lw, hw
+			fc.nLive++
+		}
 	}
-	// Forward checking scales with |group| x pending x |group|; on big
-	// arrays cap the pending groups examined — the nearest ones in the
-	// order are the ones this choice constrains most.
-	const maxLookahead = 24
-	best, bestV := -1, verdict{dead: 1 << 30}
+	// First pass: (dead, tight) for each feasible candidate; the compatibility
+	// score is only the final tie-break, so it is deferred to the candidates
+	// still tied after this pass (usually one or two) instead of paying a
+	// full-width popcount for every candidate.
+	fc.cands, fc.cDead, fc.cTght = fc.cands[:0], fc.cDead[:0], fc.cTght[:0]
+	minDead, minTight := 1<<30, 1<<30
 	for _, u := range groups[gi] {
 		if !s.canAdd(u) {
 			continue
 		}
-		v := verdict{score: g.adj[u].IntersectCount(s.cand)}
-		looked := 0
-		for _, gj := range rest {
-			if !pending[gj] {
-				continue
-			}
-			if looked++; looked > maxLookahead {
-				break
-			}
-			live := 0
-			for _, w := range groups[gj] {
-				if s.cand.Has(w) && g.adj[u].Has(w) {
-					live++
-					if live >= 2 {
-						break
-					}
-				}
-			}
-			switch live {
-			case 0:
-				v.dead++
-			case 1:
-				v.tight++
+		dead, tight := 0, 0
+		adj := g.adj[u]
+		for i := 0; i < fc.nSingle; i++ {
+			if adj.Has(fc.single[i]) {
+				tight++
+			} else {
+				dead++
 			}
 		}
-		better := v.dead < bestV.dead ||
-			(v.dead == bestV.dead && v.tight < bestV.tight) ||
-			(v.dead == bestV.dead && v.tight == bestV.tight && v.score > bestV.score)
-		if better {
-			best, bestV = u, v
+		for i := 0; i < fc.nLive; i++ {
+			switch fc.live[i].IntersectCountUpToIn(adj, 2, fc.lo[i], fc.hi[i]) {
+			case 0:
+				dead++
+			case 1:
+				tight++
+			}
+		}
+		fc.cands = append(fc.cands, u)
+		fc.cDead = append(fc.cDead, dead)
+		fc.cTght = append(fc.cTght, tight)
+		if dead < minDead || (dead == minDead && tight < minTight) {
+			minDead, minTight = dead, tight
+		}
+	}
+	best, bestScore := -1, -1
+	for i, u := range fc.cands {
+		if fc.cDead[i] != minDead || fc.cTght[i] != minTight {
+			continue
+		}
+		if score := g.adj[u].IntersectCount(s.cand); score > bestScore {
+			best, bestScore = u, score
 		}
 	}
 	return best

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sort"
+	"sync"
 
 	"regimap/internal/arch"
 	"regimap/internal/clique"
@@ -158,10 +160,14 @@ func (a *Attempt) PassCompat(res *sched.Result) (*Compat, error) {
 
 // PassPlace runs the clique search over the compatibility graph. On a full
 // placement it assembles and returns the mapping; otherwise it returns nil
-// and the operations left unplaced (the paper's V_Ds − V_C).
-func (a *Attempt) PassPlace(cg *Compat, res *sched.Result) (*mapping.Mapping, []int) {
+// and the operations left unplaced (the paper's V_Ds − V_C). ctx reaches the
+// parallel clique engine so a cancelled request stops between partitions;
+// the Clique options' Workers count selects the engine.
+func (a *Attempt) PassPlace(ctx context.Context, cg *Compat, res *sched.Result) (*mapping.Mapping, []int) {
 	sp := a.tr.Start("pass.clique")
-	sol := findPlacement(cg, a.ds.N(), res.Time, a.opts.Clique, a.tr)
+	opts := a.opts.Clique
+	opts.Ctx = ctx
+	sol := findPlacement(cg, a.ds.N(), res.Time, opts, a.tr)
 	sp.Field("placed", int64(len(sol)))
 	sp.Field("target", int64(a.ds.N()))
 	sp.End()
@@ -335,6 +341,9 @@ func routeBudgetFor(n int) int {
 // short. Both return feasible cliques; the larger wins.
 func findPlacement(cg *Compat, target int, times []int, opts clique.Options, tr *obs.Tracer) []int {
 	opts.Trace = tr
+	if opts.Workers > 1 {
+		return findPlacementParallel(cg, target, times, opts)
+	}
 	// First pass: place operations in schedule order so each lands next to
 	// its already-placed producers (cluster growth); the promote-on-failure
 	// rounds still reorder the stragglers.
@@ -389,6 +398,83 @@ func findPlacement(cg *Compat, target int, times []int, opts clique.Options, tr 
 		if alt := clique.Find(cg.G, target, opts); len(alt) > len(sol) {
 			return alt
 		}
+	}
+	return sol
+}
+
+// findPlacementParallel is findPlacement with the four placement passes run
+// speculatively on their own goroutines — the ROADMAP's "parallel clique
+// search inside one attempt". Each pass is a pure function of the (frozen)
+// compatibility graph, so the sequential early-exit cascade is simply
+// replayed over the completed results, returning exactly what the sequential
+// code returns; the only cost is wasted work on passes the sequential path
+// would have skipped. The generic heuristic pass additionally splits its own
+// seed partitions across opts.Workers (see clique.Find).
+func findPlacementParallel(cg *Compat, target int, times []int, opts clique.Options) []int {
+	type slot struct {
+		run bool
+		sol []int
+	}
+	var res [4]slot
+	var wg sync.WaitGroup
+	launch := func(i int, fn func() []int) {
+		res[i].run = true
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res[i].sol = fn()
+		}()
+	}
+	runFind := cg.Nodes() <= 384
+	if runFind && opts.SeedOrder == nil {
+		// Sort (and cache) the degree order before any goroutine launches:
+		// the cache write must not race the concurrent searches, and the
+		// closures capture opts itself.
+		opts.SeedOrder = cg.G.DegreeOrder()
+	}
+	if opts.GroupOrder == nil && len(times) == target {
+		order := make([]int, target)
+		for i := range order {
+			order[i] = i
+		}
+		sort.SliceStable(order, func(i, j int) bool {
+			if times[order[i]] != times[order[j]] {
+				return times[order[i]] < times[order[j]]
+			}
+			return order[i] < order[j]
+		})
+		scheduled := opts
+		scheduled.GroupOrder = order
+		launch(0, func() []int { return clique.FindGrouped(cg.G, cg.byOp, scheduled) })
+	}
+	if len(times) == target {
+		dfs := opts
+		dfs.GroupOrder = dfsOrder(cg.d)
+		launch(1, func() []int { return clique.FindGrouped(cg.G, cg.byOp, dfs) })
+	}
+	launch(2, func() []int { return clique.FindGrouped(cg.G, cg.byOp, opts) })
+	if runFind {
+		launch(3, func() []int { return clique.Find(cg.G, target, opts) })
+	}
+	wg.Wait()
+
+	var sol []int
+	if res[0].run {
+		sol = res[0].sol
+		if len(sol) >= target {
+			return sol
+		}
+	}
+	for _, s := range res[1:3] {
+		if s.run && len(s.sol) > len(sol) {
+			sol = s.sol
+			if len(sol) >= target {
+				return sol
+			}
+		}
+	}
+	if res[3].run && len(res[3].sol) > len(sol) {
+		return res[3].sol
 	}
 	return sol
 }

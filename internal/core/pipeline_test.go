@@ -112,7 +112,7 @@ func TestPassPlaceAssemblesValidMapping(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, unplaced := a.PassPlace(cg, res)
+	m, unplaced := a.PassPlace(context.Background(), cg, res)
 	if m == nil {
 		t.Fatalf("fig2 places fully at MII on 1x2x2 (paper Figure 2d); unplaced=%v", unplaced)
 	}

@@ -216,7 +216,7 @@ func mapAtII(ctx context.Context, d *dfg.DFG, c *arch.CGRA, ii, maxAttempts int,
 		if err != nil {
 			return nil
 		}
-		m, unplaced := a.PassPlace(cg, res)
+		m, unplaced := a.PassPlace(ctx, cg, res)
 		if m != nil {
 			return m
 		}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"regimap/internal/arch"
+	"regimap/internal/clique"
 	"regimap/internal/core"
 	"regimap/internal/dresc"
 	"regimap/internal/ems"
@@ -60,6 +61,11 @@ type Config struct {
 	// internal/portfolio (<=1: plain core.Map). The deterministic tiebreak
 	// keeps rows reproducible for any value.
 	Portfolio int
+	// CliqueWorkers parallelizes the clique search inside every REGIMap run
+	// (<=1: sequential). Mappings are byte-identical at any value — the
+	// parallel engine's reduction is deterministic (DESIGN.md section 8g) —
+	// so it composes freely with Workers and Portfolio.
+	CliqueWorkers int
 	// Trace, when non-nil, is attached to the context of every mapper run so
 	// the engines' per-pass spans reach its sink (the experiments binary's
 	// -trace flag feeds a JSONL sink here). Sinks must be safe for concurrent
@@ -131,6 +137,12 @@ func (c Config) CGRA() *arch.CGRA {
 	return arch.NewMesh(rows, cols, c.Regs)
 }
 
+// coreOptions returns the REGIMap options one mapper run uses: the base
+// configuration plus the clique worker count.
+func (c Config) coreOptions() core.Options {
+	return core.Options{Clique: clique.Options{Workers: c.CliqueWorkers}}
+}
+
 func (c Config) drescOptions() dresc.Options {
 	o := dresc.Options{Seed: c.Seed}
 	if c.Quick {
@@ -169,7 +181,7 @@ func RunLoop(k kernels.Kernel, mapper Mapper, cfg Config) LoopRow {
 	switch mapper {
 	case REGIMap:
 		if cfg.Portfolio > 1 {
-			m, stats, err := portfolio.Map(ctx, d, c, portfolio.Options{Attempts: cfg.Portfolio, Seed: cfg.Seed})
+			m, stats, err := portfolio.Map(ctx, d, c, portfolio.Options{Attempts: cfg.Portfolio, Seed: cfg.Seed, Base: cfg.coreOptions()})
 			row.MII, row.CompileTime = stats.MII, stats.Elapsed
 			if err == nil {
 				row.II, row.Perf, row.OK = stats.II, stats.Perf(), true
@@ -177,7 +189,7 @@ func RunLoop(k kernels.Kernel, mapper Mapper, cfg Config) LoopRow {
 			}
 			break
 		}
-		m, stats, err := core.Map(ctx, d, c, core.Options{})
+		m, stats, err := core.Map(ctx, d, c, cfg.coreOptions())
 		row.MII, row.CompileTime = stats.MII, stats.Elapsed
 		if err == nil {
 			row.II, row.Perf, row.OK = stats.II, stats.Perf(), true

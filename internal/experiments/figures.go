@@ -329,16 +329,16 @@ func RescheduleAblation(cfg Config) AblationResult {
 		v := verdict{group: kernels.Classify(d, c.NumPEs(), c.Rows)}
 		ctx, cancel := cfg.runCtx()
 		defer cancel()
-		_, full, errFull := core.Map(ctx, d, cfg.CGRA(), core.Options{})
+		_, full, errFull := core.Map(ctx, d, cfg.CGRA(), cfg.coreOptions())
 		if errFull != nil {
 			return v // only count loops the full mapper handles
 		}
 		v.mapped = true
-		_, ablated, errAbl := core.Map(ctx, d, cfg.CGRA(), core.Options{
-			DisableReschedule:     true,
-			DisableRouteInsertion: true,
-			DisableThinning:       true,
-		})
+		ablOpts := cfg.coreOptions()
+		ablOpts.DisableReschedule = true
+		ablOpts.DisableRouteInsertion = true
+		ablOpts.DisableThinning = true
+		_, ablated, errAbl := core.Map(ctx, d, cfg.CGRA(), ablOpts)
 		v.worse = errAbl != nil || ablated.II > full.II
 		return v
 	})

@@ -59,7 +59,7 @@ func phaseRow(k kernels.Kernel, cfg Config) PhaseRow {
 	ctx, cancel := cfg.runCtx()
 	defer cancel()
 	ctx = obs.With(ctx, obs.New(sink))
-	_, stats, err := core.Map(ctx, d, c, core.Options{})
+	_, stats, err := core.Map(ctx, d, c, cfg.coreOptions())
 	row := PhaseRow{
 		Kernel:   k.Name,
 		Ops:      d.N(),

@@ -19,13 +19,13 @@ func registerBenefitKernel(cfg, noRegs Config, k kernels.Kernel) RegisterBenefit
 	}
 	ctx, cancel := cfg.runCtx()
 	defer cancel()
-	_, with, errWith := core.Map(ctx, d, c, core.Options{})
+	_, with, errWith := core.Map(ctx, d, c, cfg.coreOptions())
 	row.MII = with.MII
 	if errWith != nil {
 		return row
 	}
 	row.IIWith = with.II
-	_, without, errWithout := core.Map(ctx, k.Build(), noRegs.CGRA(), core.Options{})
+	_, without, errWithout := core.Map(ctx, k.Build(), noRegs.CGRA(), noRegs.coreOptions())
 	if errWithout == nil {
 		row.IIWithout = without.II
 		row.Speedup = float64(without.II) / float64(with.II)

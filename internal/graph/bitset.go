@@ -130,6 +130,93 @@ func (b *Bitset) IntersectCount(other *Bitset) int {
 	return total
 }
 
+// IntersectCountUpTo returns |b ∩ other|, stopping early once the count
+// reaches limit (the exact value is returned while it is below limit). The
+// grouped clique search uses it for forward checking, where only "zero, one,
+// or several live candidates" matters.
+func (b *Bitset) IntersectCountUpTo(other *Bitset, limit int) int {
+	if b.n != other.n {
+		panic("graph: bitset capacity mismatch")
+	}
+	total := 0
+	for i := range b.words {
+		if w := b.words[i] & other.words[i]; w != 0 {
+			total += bits.OnesCount64(w)
+			if total >= limit {
+				return limit
+			}
+		}
+	}
+	return total
+}
+
+// AndInto overwrites b with x ∩ y and returns the half-open word range of
+// the result, as WordBounds would — one pass where CopyFrom + And +
+// WordBounds would take three.
+func (b *Bitset) AndInto(x, y *Bitset) (lo, hi int) {
+	if b.n != x.n || b.n != y.n {
+		panic("graph: bitset capacity mismatch")
+	}
+	for i := range b.words {
+		w := x.words[i] & y.words[i]
+		b.words[i] = w
+		if w != 0 {
+			if hi == 0 {
+				lo = i
+			}
+			hi = i + 1
+		}
+	}
+	return lo, hi
+}
+
+// WordBounds returns the half-open range [lo, hi) of 64-bit word indices
+// holding the set's members, or (0, 0) when the set is empty. Callers with
+// clustered members (the grouped clique search's per-operation candidate
+// masks occupy contiguous id ranges) pass the bounds to IntersectCountUpToIn
+// to skip the empty prefix and suffix of the word array.
+func (b *Bitset) WordBounds() (lo, hi int) {
+	for i, w := range b.words {
+		if w != 0 {
+			if hi == 0 {
+				lo = i
+			}
+			hi = i + 1
+		}
+	}
+	return lo, hi
+}
+
+// IntersectCountUpToIn is IntersectCountUpTo restricted to the word range
+// [loWord, hiWord), which must lie within both bitsets' word arrays. Members
+// of the intersection outside the range are not counted; callers pass b's
+// own WordBounds so nothing is missed.
+func (b *Bitset) IntersectCountUpToIn(other *Bitset, limit, loWord, hiWord int) int {
+	if b.n != other.n {
+		panic("graph: bitset capacity mismatch")
+	}
+	total := 0
+	for i := loWord; i < hiWord; i++ {
+		if w := b.words[i] & other.words[i]; w != 0 {
+			total += bits.OnesCount64(w)
+			if total >= limit {
+				return limit
+			}
+		}
+	}
+	return total
+}
+
+// First returns the smallest member, or -1 when the set is empty.
+func (b *Bitset) First() int {
+	for wi, w := range b.words {
+		if w != 0 {
+			return wi*64 + bits.TrailingZeros64(w)
+		}
+	}
+	return -1
+}
+
 // ContainsAll reports whether every member of other is also in b.
 func (b *Bitset) ContainsAll(other *Bitset) bool {
 	if b.n != other.n {

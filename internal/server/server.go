@@ -46,7 +46,10 @@ import (
 
 	// Importing the mapper packages is what populates the engine registry
 	// the server dispatches through (resilient above registers itself too).
-	_ "regimap/internal/core"
+	// core is also imported by name: resolve hands the regimap engine a
+	// core.Options carrying the clique worker count and the shared arena pool.
+	"regimap/internal/clique"
+	"regimap/internal/core"
 	_ "regimap/internal/dresc"
 	_ "regimap/internal/ems"
 	_ "regimap/internal/portfolio"
@@ -56,6 +59,13 @@ import (
 type Config struct {
 	// Workers bounds concurrent mapping computations (default: GOMAXPROCS).
 	Workers int
+	// CliqueWorkers parallelizes the clique search inside each regimap-engine
+	// run (<=1: sequential). Mappings are byte-identical at any value — the
+	// parallel engine's reduction is deterministic (DESIGN.md section 8g) —
+	// so the result cache never observes a worker-count-dependent answer.
+	// Search arenas are pooled on the Server and reused across requests
+	// regardless of this setting.
+	CliqueWorkers int
 	// Queue bounds mapping computations waiting for a worker; one more is
 	// shed with 429 (default 64).
 	Queue int
@@ -101,6 +111,7 @@ type Server struct {
 	met      *metrics
 	trace    *obs.Tracer // engine + request spans (nil when untraced)
 	counters *obs.Tracer // counter points: always on, feeds /metrics
+	arenas   *clique.Pool
 	draining atomic.Bool
 }
 
@@ -115,6 +126,7 @@ func New(cfg Config) *Server {
 		met:      met,
 		trace:    obs.New(cfg.TraceSink).Named("regimapd", ""),
 		counters: obs.New(obs.Tee(met.sink, cfg.TraceSink)).Named("regimapd", ""),
+		arenas:   clique.NewPool(),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/map", s.handleMap)
@@ -344,6 +356,13 @@ func (s *Server) resolve(req *MapRequest) (d *dfg.DFG, c *arch.CGRA, eng engine.
 		return nil, nil, nil, eo, "", fmt.Errorf("bad II bounds [%d, %d]", req.MinII, req.MaxII)
 	}
 	eo = engine.Options{MinII: req.MinII, MaxII: req.MaxII}
+	if mapperName == "regimap" {
+		// Hand the engine the server's clique configuration: the worker
+		// count and the process-wide arena pool, so repeated requests reuse
+		// search state instead of reallocating it. Byte-identical results
+		// at any worker count keep the cache coherent.
+		eo.Extra = core.Options{Clique: clique.Options{Workers: s.cfg.CliqueWorkers, Arenas: s.arenas}}
+	}
 
 	if req.Faults != "" {
 		fs, ferr := fault.Parse(req.Faults)
