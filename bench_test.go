@@ -343,6 +343,26 @@ func BenchmarkMapDRESC(b *testing.B) {
 	}
 }
 
+// BenchmarkMapDRESCParallel measures DRESC with restart racing: 4
+// seed-derived annealing chains per II reduced deterministically
+// (lowest-index success wins), across worker counts. The placement is
+// identical at every worker count — the sweep shows how much wall-clock the
+// same search costs as parallelism varies, the configuration the multi-core
+// latency target is measured on.
+func BenchmarkMapDRESCParallel(b *testing.B) {
+	c := arch.NewMesh(4, 4, 4)
+	for _, w := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := dresc.Options{Seed: int64(i), Restarts: 4, Workers: w}
+				if _, _, err := dresc.Map(context.Background(), benchKernel(), c, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkMapEMS measures an end-to-end EMS run on the same kernel.
 func BenchmarkMapEMS(b *testing.B) {
 	c := arch.NewMesh(4, 4, 4)

@@ -45,6 +45,8 @@ func main() {
 		timeout       = flag.Duration("timeout", 0, "abort any single mapper run after this long (0: unbounded)")
 		portfolio     = flag.Int("portfolio", 1, "race this many diversified REGIMap attempts per II")
 		cliqueWorkers = flag.Int("clique-workers", 0, "parallelize the clique search inside every REGIMap run across this many goroutines (<=1: sequential; results are byte-identical at any value)")
+		drescRestarts = flag.Int("dresc-restarts", 0, "race this many seed-derived annealing chains per II inside every DRESC run (<=1: one chain; part of the experimental setup)")
+		drescWorkers  = flag.Int("dresc-workers", 0, "goroutines racing the DRESC restart chains (0: GOMAXPROCS; results are byte-identical at any value)")
 		runChaos      = flag.Bool("chaos", false, "run the fault-injection chaos harness instead of the paper experiments")
 		trials        = flag.Int("trials", 2, "chaos: random fault sets drawn per fault count")
 		maxFaults     = flag.Int("max-faults", 3, "chaos: largest injected fault count in the sweep")
@@ -67,6 +69,7 @@ func main() {
 		Rows: 4, Cols: 4, Regs: 4,
 		Seed: *seed, Quick: *quick,
 		Workers: *jobs, Timeout: *timeout, Portfolio: *portfolio, CliqueWorkers: *cliqueWorkers,
+		DRESCRestarts: *drescRestarts, DRESCWorkers: *drescWorkers,
 	}
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)

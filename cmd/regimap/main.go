@@ -59,6 +59,8 @@ func main() {
 		portfolio     = flag.Int("portfolio", 1, "speculate on this many IIs in parallel (regimap: result-identical; dresc: seeds per II)")
 		explore       = flag.Int("explore", 0, "also race this many budget-widened scout searches per II (regimap mapper; may lower the II)")
 		cliqueWorkers = flag.Int("clique-workers", 0, "parallelize the clique search across this many goroutines (regimap mapper; <=1: sequential; results are byte-identical at any value)")
+		drescRestarts = flag.Int("dresc-restarts", 0, "race this many seed-derived annealing chains per II (dresc mapper; <=1: one chain; results depend on this, not on -dresc-workers)")
+		drescWorkers  = flag.Int("dresc-workers", 0, "goroutines racing the restart chains (dresc mapper; 0: GOMAXPROCS; results are byte-identical at any value)")
 		cpuProf       = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memProf       = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		showVersion   = flag.Bool("version", false, "print the build version and exit")
@@ -231,7 +233,7 @@ func main() {
 		if *portfolio > 1 {
 			p, pstats, err := regimap.MapDRESCPortfolio(ctx, d, c, regimap.DRESCPortfolioOptions{
 				Attempts: *portfolio,
-				Base:     regimap.DRESCOptions{Seed: *seed},
+				Base:     regimap.DRESCOptions{Seed: *seed, Restarts: *drescRestarts, Workers: *drescWorkers},
 			})
 			exitOn(err)
 			fmt.Printf("DRESC portfolio: II=%d (MII=%d, perf %.2f) in %v — seed %d (attempt %d of %d) won, %d losers cancelled\n",
@@ -240,13 +242,16 @@ func main() {
 			fmt.Printf("placement: %d operations, %d routed edges\n", len(p.PE), len(p.Paths))
 			return
 		}
-		p, stats, err := regimap.MapDRESCContext(ctx, d, c, regimap.DRESCOptions{Seed: *seed})
+		p, stats, err := regimap.MapDRESCContext(ctx, d, c, regimap.DRESCOptions{Seed: *seed, Restarts: *drescRestarts, Workers: *drescWorkers})
 		exitOn(err)
 		fmt.Printf("DRESC: II=%d (MII=%d, perf %.2f) in %v — %d annealing moves (%d accepted)\n",
 			stats.II, stats.MII, stats.Perf(), stats.Elapsed, stats.Moves, stats.Accepts)
 		fmt.Printf("placement: %d operations, %d routed edges\n", len(p.PE), len(p.Paths))
 	case "resilient":
-		out, err := regimap.MapResilient(ctx, d, c, regimap.ResilientOptions{Faults: fs})
+		out, err := regimap.MapResilient(ctx, d, c, regimap.ResilientOptions{
+			Faults: fs,
+			DRESC:  regimap.DRESCOptions{Seed: *seed, Restarts: *drescRestarts, Workers: *drescWorkers},
+		})
 		exitOn(err)
 		fmt.Printf("resilient: rung %s II=%d (MII=%d) won in round %d, %v total\n",
 			out.Rung, out.II, out.MII, out.Attempt, out.Elapsed)

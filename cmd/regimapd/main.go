@@ -40,6 +40,8 @@ func main() {
 		addr        = flag.String("addr", ":8090", "listen address")
 		workers     = flag.Int("workers", 0, "max concurrent mapping computations (0: GOMAXPROCS)")
 		cliqueWork  = flag.Int("clique-workers", 0, "goroutines inside each regimap clique search (<=1: sequential; results are byte-identical at any value)")
+		drescRetry  = flag.Int("dresc-restarts", 0, "seed-derived annealing chains raced per II inside each dresc run (<=1: one chain; changes served placements, so part of the cache identity)")
+		drescWork   = flag.Int("dresc-workers", 0, "goroutines racing the dresc restart chains (0: GOMAXPROCS; results are byte-identical at any value)")
 		queue       = flag.Int("queue", 64, "max computations waiting for a worker; beyond this, requests are shed with 429")
 		cacheSize   = flag.Int("cache", 1024, "result-cache capacity in entries")
 		defDeadline = flag.Duration("default-deadline", 30*time.Second, "mapping deadline for requests that name none")
@@ -66,6 +68,8 @@ func main() {
 	srv := server.New(server.Config{
 		Workers:         *workers,
 		CliqueWorkers:   *cliqueWork,
+		DRESCRestarts:   *drescRetry,
+		DRESCWorkers:    *drescWork,
 		Queue:           *queue,
 		CacheEntries:    *cacheSize,
 		DefaultDeadline: *defDeadline,

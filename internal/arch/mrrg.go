@@ -170,6 +170,15 @@ func (m *MRRG) Cap(id int) int { return m.cap[id] }
 // must not modify it.
 func (m *MRRG) Out(id int) []int { return m.out[id] }
 
+// Arrays exposes the flat per-node arrays — kinds, capacities, and routing
+// out-adjacency, each indexed by node id — for read-only hot-loop use (the
+// DRESC router's inner Dijkstra iterates the MRRG millions of times per
+// anneal, and the accessor-per-node indirection is measurable there).
+// Callers must not mutate the returned slices.
+func (m *MRRG) Arrays() (kind []ResourceKind, capacity []int, out [][]int) {
+	return m.kind, m.cap, m.out
+}
+
 // Describe renders a node for diagnostics, e.g. "fu(3@1)".
 func (m *MRRG) Describe(id int) string {
 	return fmt.Sprintf("%s(%d@%d)", m.kind[id], m.pe[id], m.slot[id])

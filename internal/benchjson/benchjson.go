@@ -126,6 +126,17 @@ type CompareOptions struct {
 	// MinNs ignores benchmarks whose baseline ns/op is below this floor —
 	// at -benchtime=1x their timing is scheduler noise (0: 100µs).
 	MinNs float64
+	// MaxAllocRegress fails a benchmark whose allocs/op or B/op exceed
+	// baseline by this factor (0: memory comparison disabled). Unlike
+	// timing, allocation counts are deterministic even at -benchtime=1x,
+	// which is what makes this gate cheap enough for CI.
+	MaxAllocRegress float64
+	// MinAllocs skips the allocs/op check when the baseline count is below
+	// this floor (0: 64) — tiny counts jitter with runtime internals.
+	MinAllocs float64
+	// MinBytes skips the B/op check when the baseline is below this floor
+	// (0: 4096).
+	MinBytes float64
 }
 
 // Verdict is one benchmark's comparison outcome.
@@ -137,6 +148,9 @@ type Verdict struct {
 	RefNs     float64
 	Ratio     float64
 	Regressed bool
+	// Fails names each regressed dimension ("time x1.45", "allocs x2.10",
+	// "bytes x1.88"); empty unless Status is "FAIL".
+	Fails []string
 }
 
 // Compare checks fresh results against a baseline, name by name in sorted
@@ -151,6 +165,14 @@ func Compare(fresh map[string]Result, base *Baseline, opts CompareOptions) ([]Ve
 	minNs := opts.MinNs
 	if minNs == 0 {
 		minNs = 100e3
+	}
+	minAllocs := opts.MinAllocs
+	if minAllocs == 0 {
+		minAllocs = 64
+	}
+	minBytes := opts.MinBytes
+	if minBytes == 0 {
+		minBytes = 4096
 	}
 	names := make([]string, 0, len(fresh))
 	for name := range fresh {
@@ -172,6 +194,21 @@ func Compare(fresh map[string]Result, base *Baseline, opts CompareOptions) ([]Ve
 		default:
 			v := Verdict{Name: name, Status: "ok", GotNs: got.NsPerOp, RefNs: ref.NsPerOp, Ratio: got.NsPerOp / ref.NsPerOp}
 			if v.Ratio > maxRegress {
+				v.Fails = append(v.Fails, fmt.Sprintf("time x%.2f", v.Ratio))
+			}
+			if opts.MaxAllocRegress > 0 {
+				if ref.AllocsPerOp >= minAllocs {
+					if r := got.AllocsPerOp / ref.AllocsPerOp; r > opts.MaxAllocRegress {
+						v.Fails = append(v.Fails, fmt.Sprintf("allocs x%.2f", r))
+					}
+				}
+				if ref.BytesPerOp >= minBytes {
+					if r := got.BytesPerOp / ref.BytesPerOp; r > opts.MaxAllocRegress {
+						v.Fails = append(v.Fails, fmt.Sprintf("bytes x%.2f", r))
+					}
+				}
+			}
+			if len(v.Fails) > 0 {
 				v.Status = "FAIL"
 				v.Regressed = true
 				regressed++
@@ -180,7 +217,7 @@ func Compare(fresh map[string]Result, base *Baseline, opts CompareOptions) ([]Ve
 		}
 	}
 	if regressed > 0 {
-		return verdicts, fmt.Errorf("benchjson: %d benchmark(s) slower than x%.2f: %w", regressed, maxRegress, ErrRegression)
+		return verdicts, fmt.Errorf("benchjson: %d benchmark(s) regressed beyond allowed factors: %w", regressed, ErrRegression)
 	}
 	return verdicts, nil
 }
@@ -192,7 +229,7 @@ func Report(w io.Writer, verdicts []Verdict) {
 		case "SKIP":
 			fmt.Fprintf(w, "SKIP %-40s %s\n", v.Name, v.Why)
 		case "FAIL":
-			fmt.Fprintf(w, "FAIL %-40s %12.0f ns/op  vs baseline %12.0f  (x%.2f)\n", v.Name, v.GotNs, v.RefNs, v.Ratio)
+			fmt.Fprintf(w, "FAIL %-40s %12.0f ns/op  vs baseline %12.0f  (%s)\n", v.Name, v.GotNs, v.RefNs, strings.Join(v.Fails, ", "))
 		default:
 			fmt.Fprintf(w, "ok   %-40s %12.0f ns/op  vs baseline %12.0f  (x%.2f)\n", v.Name, v.GotNs, v.RefNs, v.Ratio)
 		}

@@ -94,6 +94,39 @@ func TestBaselineRoundTripAndCompare(t *testing.T) {
 	}
 }
 
+func TestCompareAllocGate(t *testing.T) {
+	base := &Baseline{Benchmarks: map[string]Result{
+		"BenchmarkBig":  {NsPerOp: 5e6, BytesPerOp: 1 << 20, AllocsPerOp: 5000},
+		"BenchmarkLean": {NsPerOp: 5e6, BytesPerOp: 128, AllocsPerOp: 3},
+	}}
+
+	// Same timing but 2x the allocations and bytes: only fails when the
+	// alloc gate is switched on.
+	bloated := map[string]Result{"BenchmarkBig": {NsPerOp: 5e6, BytesPerOp: 2 << 20, AllocsPerOp: 10000}}
+	if _, err := Compare(bloated, base, CompareOptions{}); err != nil {
+		t.Fatalf("alloc gate off: %v", err)
+	}
+	verdicts, err := Compare(bloated, base, CompareOptions{MaxAllocRegress: 1.30})
+	if !errors.Is(err, ErrRegression) {
+		t.Fatalf("want ErrRegression, got %v", err)
+	}
+	if len(verdicts) != 1 || len(verdicts[0].Fails) != 2 {
+		t.Fatalf("want allocs+bytes failures, got %+v", verdicts)
+	}
+	for _, f := range verdicts[0].Fails {
+		if !strings.Contains(f, "x2.00") {
+			t.Fatalf("unexpected failure detail %q", f)
+		}
+	}
+
+	// Sub-floor baselines are exempt: 3 allocs -> 9 allocs is runtime
+	// jitter, not a regression.
+	jitter := map[string]Result{"BenchmarkLean": {NsPerOp: 5e6, BytesPerOp: 384, AllocsPerOp: 9}}
+	if _, err := Compare(jitter, base, CompareOptions{MaxAllocRegress: 1.30}); err != nil {
+		t.Fatalf("sub-floor memory jitter failed the gate: %v", err)
+	}
+}
+
 func TestLoadBaselineErrors(t *testing.T) {
 	if _, err := LoadBaseline(filepath.Join(t.TempDir(), "missing.json")); err == nil {
 		t.Fatal("want error for a missing baseline")

@@ -123,6 +123,32 @@ type DFG struct {
 
 	out [][]int // edge indices leaving each node
 	in  [][]int // edge indices entering each node
+
+	// journal records InsertRoute undo information once Mark has been called,
+	// so Rollback can rewind the graph without a fresh Clone per attempt (the
+	// EMS placer's arena reuse). nil until the first Mark.
+	journal []routeUndo
+	// routeNames caches InsertRoute node names by (id, producer name): after
+	// a Rollback the same id is often re-minted over the same producer, so
+	// the steady-state mark/insert/rollback cycle stays allocation-free. The
+	// key carries the producer's name, not its id — a route node re-minted
+	// at the same id can itself be named differently across attempts.
+	routeNames map[nameKey]string
+}
+
+type nameKey struct {
+	id   int
+	from string
+}
+
+// routeUndo is the inverse of one InsertRoute call: the split edge's index
+// and original value, plus where that index sat inside in[old.To] so the
+// adjacency list order (ascending edge index, exactly what rebuildAdj
+// produces) can be restored in place.
+type routeUndo struct {
+	ei    int
+	old   Edge
+	toPos int
 }
 
 // rebuildAdj recomputes the adjacency indices after structural edits.
@@ -232,18 +258,131 @@ func (d *DFG) Clone() *DFG {
 // feeds the original consumer with distance 0. It returns the new node's ID.
 // This is the "insert extra routing nodes" relaxation from the paper's
 // rescheduling step.
+//
+// The adjacency indices are maintained incrementally but land exactly where
+// rebuildAdj would put them: out[From] keeps edge ei (it now targets the
+// route), in[To] loses ei and gains the appended edge's index at the end
+// (the new index is the largest, so ascending order is preserved), and the
+// route node's single in/out lists are trivial. TestInsertRouteMatchesRebuild
+// pins the equivalence.
 func (d *DFG) InsertRoute(ei int) int {
 	e := d.Edges[ei]
 	id := len(d.Nodes)
 	d.Nodes = append(d.Nodes, Node{
 		ID:   id,
-		Name: fmt.Sprintf("rt%d_%s", id, d.Nodes[e.From].Name),
+		Name: d.routeName(id, e.From),
 		Kind: Route,
 	})
+	newIdx := len(d.Edges)
 	d.Edges[ei] = Edge{From: e.From, To: id, Port: 0, Dist: e.Dist}
 	d.Edges = append(d.Edges, Edge{From: id, To: e.To, Port: e.Port, Dist: 0})
-	d.rebuildAdj()
+
+	toPos := -1
+	inTo := d.in[e.To]
+	for i, idx := range inTo {
+		if idx == ei {
+			toPos = i
+			break
+		}
+	}
+	if toPos < 0 {
+		panic("dfg: InsertRoute on an edge missing from its consumer's adjacency")
+	}
+	d.in[e.To] = append(inTo[:toPos], inTo[toPos+1:]...)
+	d.in[e.To] = append(d.in[e.To], newIdx)
+	// Grow the per-node lists, reusing slot capacity left behind by Rollback
+	// so repeated attempts stop allocating.
+	d.out = extendAdj(d.out, id)
+	d.in = extendAdj(d.in, id)
+	d.out[id] = append(d.out[id][:0], newIdx)
+	d.in[id] = append(d.in[id][:0], ei)
+
+	if d.journal != nil {
+		d.journal = append(d.journal, routeUndo{ei: ei, old: e, toPos: toPos})
+	}
 	return id
+}
+
+// routeName formats a route node's name, memoizing by (id, producer) so that
+// re-minting the same id after a Rollback does not allocate. The produced
+// string is byte-identical to the direct Sprintf — node names end up in
+// mapping output, which the golden suite pins.
+func (d *DFG) routeName(id, from int) string {
+	key := nameKey{id, d.Nodes[from].Name}
+	if name, ok := d.routeNames[key]; ok {
+		return name
+	}
+	name := fmt.Sprintf("rt%d_%s", id, d.Nodes[from].Name)
+	if d.routeNames == nil {
+		d.routeNames = make(map[nameKey]string)
+	}
+	d.routeNames[key] = name
+	return name
+}
+
+// extendAdj grows an adjacency list to cover node id, preferring to re-expose
+// capacity truncated by a Rollback (the slot then still holds its old slice,
+// whose backing array the caller reuses) over appending.
+func extendAdj(adj [][]int, id int) [][]int {
+	if id < cap(adj) {
+		return adj[:id+1]
+	}
+	return append(adj, nil)
+}
+
+// Mark checkpoints the graph for Rollback and enables undo journaling of
+// InsertRoute from here on. Marks nest: roll back to any outstanding mark in
+// LIFO order. Helpers that rebuild the adjacency wholesale (SplitFanout,
+// Duplicate) are not journaled — calling them with a mark outstanding panics
+// rather than silently corrupting a later Rollback.
+type Mark struct {
+	nodes, edges, journal int
+}
+
+// Mark returns a checkpoint Rollback can rewind to. The first Mark on a
+// graph switches InsertRoute into journaling mode.
+func (d *DFG) Mark() Mark {
+	if d.journal == nil {
+		d.journal = make([]routeUndo, 0, 16)
+	}
+	return Mark{nodes: len(d.Nodes), edges: len(d.Edges), journal: len(d.journal)}
+}
+
+// Rollback rewinds every InsertRoute performed since the mark was taken,
+// restoring nodes, edges, and adjacency to their exact prior state. The EMS
+// placer uses it to reuse one working clone across II attempts instead of
+// re-cloning the kernel per attempt.
+func (d *DFG) Rollback(m Mark) {
+	if m.journal > len(d.journal) || m.nodes > len(d.Nodes) || m.edges > len(d.Edges) {
+		panic("dfg: Rollback to a mark from the graph's future")
+	}
+	for j := len(d.journal) - 1; j >= m.journal; j-- {
+		u := d.journal[j]
+		e := u.old
+		// Undo in[To]: drop the appended new-edge index, reinsert ei at its
+		// original position.
+		inTo := d.in[e.To]
+		inTo = inTo[:len(inTo)-1]
+		inTo = append(inTo, 0)
+		copy(inTo[u.toPos+1:], inTo[u.toPos:])
+		inTo[u.toPos] = u.ei
+		d.in[e.To] = inTo
+		d.Edges[u.ei] = e
+	}
+	d.journal = d.journal[:m.journal]
+	d.Nodes = d.Nodes[:m.nodes]
+	d.Edges = d.Edges[:m.edges]
+	d.out = d.out[:m.nodes]
+	d.in = d.in[:m.nodes]
+}
+
+// checkNotJournaling rejects whole-adjacency rebuilds on a graph that has
+// outstanding Mark state: rebuildAdj cannot be journaled, so a later Rollback
+// would silently corrupt the adjacency.
+func (d *DFG) checkNotJournaling(op string) {
+	if d.journal != nil {
+		panic("dfg: " + op + " on a graph with Mark/Rollback journaling enabled")
+	}
 }
 
 // SplitFanout inserts a Route node fed by v and re-points the given outgoing
@@ -252,6 +391,7 @@ func (d *DFG) InsertRoute(ei int) int {
 // fan-out value can be distributed as a tree — the transformation behind the
 // paper's path sharing. It returns the new node's ID.
 func (d *DFG) SplitFanout(v int, edgeIdxs []int) int {
+	d.checkNotJournaling("SplitFanout")
 	id := len(d.Nodes)
 	d.Nodes = append(d.Nodes, Node{
 		ID:   id,
@@ -276,6 +416,7 @@ func (d *DFG) SplitFanout(v int, edgeIdxs []int) int {
 // operation to be mapped to multiple PEs; cloning the node expresses that in
 // the one-PE-per-node heuristic. It returns the clone's ID.
 func (d *DFG) Duplicate(v int, edgeIdxs []int) int {
+	d.checkNotJournaling("Duplicate")
 	id := len(d.Nodes)
 	src := d.Nodes[v]
 	d.Nodes = append(d.Nodes, Node{

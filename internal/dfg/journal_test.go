@@ -1,0 +1,188 @@
+package dfg
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// adjFromEdges recomputes the adjacency lists from scratch, exactly as
+// rebuildAdj does — the reference the incremental InsertRoute maintenance is
+// diffed against.
+func adjFromEdges(d *DFG) (out, in [][]int) {
+	out = make([][]int, len(d.Nodes))
+	in = make([][]int, len(d.Nodes))
+	for ei, e := range d.Edges {
+		out[e.From] = append(out[e.From], ei)
+		in[e.To] = append(in[e.To], ei)
+	}
+	return out, in
+}
+
+func checkAdjMatchesRebuild(t *testing.T, d *DFG) {
+	t.Helper()
+	out, in := adjFromEdges(d)
+	for v := range d.Nodes {
+		if got := d.OutEdges(v); !sameIntList(got, out[v]) {
+			t.Fatalf("node %d out-edges = %v, rebuild says %v", v, got, out[v])
+		}
+		if got := d.InEdges(v); !sameIntList(got, in[v]) {
+			t.Fatalf("node %d in-edges = %v, rebuild says %v", v, got, in[v])
+		}
+	}
+}
+
+// sameIntList treats nil and empty as equal (rebuildAdj leaves untouched
+// nodes nil; the incremental path may leave a zero-length reused slice).
+func sameIntList(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Property: incremental InsertRoute adjacency maintenance lands exactly where
+// a full rebuildAdj would, at every step of a random insertion sequence.
+func TestInsertRouteMatchesRebuild(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := randomDAGDFG(rng).Clone()
+		for step := 0; step < 8; step++ {
+			ei := rng.Intn(len(d.Edges))
+			d.InsertRoute(ei)
+			out, in := adjFromEdges(d)
+			for v := range d.Nodes {
+				if !sameIntList(d.OutEdges(v), out[v]) || !sameIntList(d.InEdges(v), in[v]) {
+					return false
+				}
+			}
+			if err := d.Validate(); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+type dfgSnapshot struct {
+	nodes []Node
+	edges []Edge
+	out   [][]int
+	in    [][]int
+}
+
+func snapshot(d *DFG) dfgSnapshot {
+	s := dfgSnapshot{
+		nodes: append([]Node(nil), d.Nodes...),
+		edges: append([]Edge(nil), d.Edges...),
+	}
+	for v := range d.Nodes {
+		s.out = append(s.out, append([]int(nil), d.OutEdges(v)...))
+		s.in = append(s.in, append([]int(nil), d.InEdges(v)...))
+	}
+	return s
+}
+
+func checkSnapshot(t *testing.T, d *DFG, want dfgSnapshot) {
+	t.Helper()
+	if !reflect.DeepEqual(d.Nodes, want.nodes) {
+		t.Fatalf("nodes diverged after rollback:\n got %v\nwant %v", d.Nodes, want.nodes)
+	}
+	if !reflect.DeepEqual(d.Edges, want.edges) {
+		t.Fatalf("edges diverged after rollback:\n got %v\nwant %v", d.Edges, want.edges)
+	}
+	for v := range d.Nodes {
+		if !sameIntList(d.OutEdges(v), want.out[v]) {
+			t.Fatalf("node %d out = %v, want %v", v, d.OutEdges(v), want.out[v])
+		}
+		if !sameIntList(d.InEdges(v), want.in[v]) {
+			t.Fatalf("node %d in = %v, want %v", v, d.InEdges(v), want.in[v])
+		}
+	}
+}
+
+// Property: Rollback restores the exact pre-Mark graph, including adjacency
+// order, after an arbitrary InsertRoute sequence — and the graph stays usable
+// for further journaled work (the EMS placer's per-II attempt loop).
+func TestMarkRollbackRestoresGraph(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := randomDAGDFG(rng).Clone()
+		base := snapshot(d)
+		for attempt := 0; attempt < 3; attempt++ {
+			m := d.Mark()
+			for step := 0; step < 1+rng.Intn(6); step++ {
+				d.InsertRoute(rng.Intn(len(d.Edges)))
+			}
+			d.Rollback(m)
+			s := snapshot(d)
+			if !reflect.DeepEqual(s.nodes, base.nodes) || !reflect.DeepEqual(s.edges, base.edges) {
+				return false
+			}
+			for v := range base.nodes {
+				if !sameIntList(s.out[v], base.out[v]) || !sameIntList(s.in[v], base.in[v]) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Marks nest LIFO: rolling back the inner mark keeps the outer inserts.
+func TestMarkRollbackNested(t *testing.T) {
+	d := chain4().Clone()
+	outer := d.Mark()
+	d.InsertRoute(0)
+	mid := snapshot(d)
+	inner := d.Mark()
+	d.InsertRoute(1)
+	d.InsertRoute(2)
+	d.Rollback(inner)
+	checkSnapshot(t, d, mid)
+	checkAdjMatchesRebuild(t, d)
+	d.Rollback(outer)
+	checkSnapshot(t, d, snapshot(chain4()))
+	if err := d.Validate(); err != nil {
+		t.Fatalf("rolled-back graph invalid: %v", err)
+	}
+}
+
+// After a warm-up attempt, a full Mark/InsertRoute/Rollback cycle must not
+// allocate: the placer arena leans on this to stop paying a Clone per II.
+func TestMarkRollbackCycleAllocFree(t *testing.T) {
+	d := chain4().Clone()
+	cycle := func() {
+		m := d.Mark()
+		d.InsertRoute(0)
+		d.InsertRoute(1)
+		d.Rollback(m)
+	}
+	cycle() // warm the journal and adjacency slot capacity
+	if n := testing.AllocsPerRun(50, cycle); n != 0 {
+		t.Fatalf("mark/insert/rollback cycle allocates %.1f times per run, want 0", n)
+	}
+}
+
+func TestSplitFanoutPanicsWhileJournaling(t *testing.T) {
+	d := chain4().Clone()
+	d.Mark()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SplitFanout on a journaling graph did not panic")
+		}
+	}()
+	d.SplitFanout(0, append([]int(nil), d.OutEdges(0)...))
+}

@@ -16,7 +16,12 @@
 //   - when the annealing budget expires with overuse remaining, II is
 //     increased and the mapping restarted.
 //
-// The implementation is deterministic for a fixed Options.Seed.
+// The implementation is deterministic for a fixed Options.Seed: with
+// Restarts <= 1 a single RNG is threaded across the II escalation (the
+// legacy behaviour the golden suite pins); with Restarts = K > 1, K
+// independent seed-derived annealing chains race per II over a worker pool
+// and the lowest chain index that reaches zero overuse wins, so the result
+// depends on (Seed, Restarts) but never on Workers (DESIGN.md section 8h).
 package dresc
 
 import (
@@ -24,6 +29,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"regimap/internal/arch"
@@ -64,6 +72,15 @@ type Options struct {
 	Cooling float64
 	// MinTemperature ends one annealing run (0: 0.05).
 	MinTemperature float64
+	// Restarts is the number of independent annealing chains raced per II
+	// (0 or 1: a single chain threading one RNG across the II escalation —
+	// the legacy behaviour). Each chain's RNG is derived from (Seed, II,
+	// chain index); the lowest chain index that reaches zero overuse wins,
+	// so the mapping depends on Restarts but not on Workers.
+	Restarts int
+	// Workers caps the goroutines racing restart chains (0: GOMAXPROCS,
+	// clamped to Restarts). It affects wall-clock only, never the result.
+	Workers int
 }
 
 // Stats reports the outcome.
@@ -125,7 +142,26 @@ func Map(ctx context.Context, d *dfg.DFG, c *arch.CGRA, opts Options) (*Placemen
 	if opts.MinII > startII {
 		startII = opts.MinII
 	}
+	restarts := opts.Restarts
+	if restarts < 1 {
+		restarts = 1
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > restarts {
+		workers = restarts
+	}
+
 	rng := rand.New(rand.NewSource(opts.Seed))
+	inc := buildIncident(d)
+	// One chain arena per worker slot, reused across chains and IIs; the
+	// legacy single-chain path uses slot 0.
+	states := make([]*state, workers)
+	for i := range states {
+		states[i] = &state{d: d, c: c, inc: inc}
+	}
 	for ii := startII; ii <= maxII; ii++ {
 		if err := ctx.Err(); err != nil {
 			done()
@@ -133,7 +169,12 @@ func Map(ctx context.Context, d *dfg.DFG, c *arch.CGRA, opts Options) (*Placemen
 		}
 		moves, accepts := stats.Moves, stats.Accepts
 		sp := tr.Start("dresc.anneal")
-		p := annealAtII(ctx, d, c, ii, opts, rng, stats)
+		var p *Placement
+		if restarts <= 1 {
+			p = annealAtII(ctx, states[0], ii, opts, rng, stats)
+		} else {
+			p = raceAtII(ctx, states, ii, opts, restarts, stats)
+		}
 		sp.Field("ii", int64(ii))
 		sp.Field("moves", int64(stats.Moves-moves))
 		sp.Field("accepts", int64(stats.Accepts-accepts))
@@ -155,56 +196,185 @@ func Map(ctx context.Context, d *dfg.DFG, c *arch.CGRA, opts Options) (*Placemen
 	return nil, stats, maperr.NoMapping("dresc: no mapping for %s on %s up to II=%d", d.Name, c, maxII)
 }
 
-// state is the annealer's working configuration.
+// chainSeed derives the RNG seed of one restart chain from (seed, ii, chain)
+// with a splitmix64-style mix, so every chain explores independently and the
+// set of chains is a pure function of Options — what makes the racing
+// reduction reproducible at any worker count.
+func chainSeed(seed int64, ii, chain int) int64 {
+	x := uint64(seed) ^ 0x9e3779b97f4a7c15*uint64(uint32(ii)) ^ 0xbf58476d1ce4e5b9*uint64(uint32(chain+1))
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x)
+}
+
+// raceAtII runs K seed-derived annealing chains at a fixed II across the
+// worker pool and returns the success of the lowest chain index, replicating
+// "run chains 0..K-1 in order, stop at the first success" (the portfolio /
+// parallel-clique reduction): a stop index lets workers skip chains above a
+// known success, chains below it always run to completion, and stats are
+// merged from exactly the chains the sequential order would have executed.
+func raceAtII(ctx context.Context, states []*state, ii int, opts Options, restarts int, stats *Stats) *Placement {
+	results := make([]*Placement, restarts)
+	chainStats := make([]Stats, restarts)
+	var next atomic.Int64
+	var stop atomic.Int64
+	stop.Store(int64(restarts))
+	var wg sync.WaitGroup
+	for w := 0; w < len(states); w++ {
+		wg.Add(1)
+		go func(st *state) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= restarts {
+					return
+				}
+				if int64(i) > stop.Load() {
+					continue // a lower chain already succeeded
+				}
+				rng := rand.New(rand.NewSource(chainSeed(opts.Seed, ii, i)))
+				if p := annealAtII(ctx, st, ii, opts, rng, &chainStats[i]); p != nil {
+					results[i] = p
+					for {
+						cur := stop.Load()
+						if int64(i) >= cur || stop.CompareAndSwap(cur, int64(i)) {
+							break
+						}
+					}
+				}
+			}
+		}(states[w])
+	}
+	wg.Wait()
+	winner := int(stop.Load())
+	last := restarts - 1
+	if winner < restarts {
+		last = winner
+	}
+	// Chains 0..last always ran (the skip condition only passes indices
+	// above the final stop index), so this merge is worker-count-invariant.
+	for i := 0; i <= last; i++ {
+		stats.Moves += chainStats[i].Moves
+		stats.Accepts += chainStats[i].Accepts
+	}
+	if winner < restarts {
+		return results[winner]
+	}
+	return nil
+}
+
+// state is one annealing chain's working configuration, arena-style: every
+// buffer is reused across chains and II attempts (DESIGN.md section 8h).
 type state struct {
-	d    *dfg.DFG
-	c    *arch.CGRA
-	m    *arch.MRRG
-	ii   int
+	d   *dfg.DFG
+	c   *arch.CGRA
+	inc *incident
+	m   *arch.MRRG
+	ii  int
+
 	time []int
 	pe   []int
 	path [][]int
 	use  []int // usage per MRRG node
 	over int   // total overuse (the SA cost)
+	// unrouted counts nil paths so totalCost — consulted before every move —
+	// is O(1) instead of a scan over every edge.
+	unrouted int
 
-	// scratch buffers reused by route.
+	// scratch buffers reused by route and tryMove.
 	dist, prev, stamp []int
 	gen               int
 	heapBuf           []heapItem
+	rev               []int
+	oldPaths          [][]int
+	// pathPool recycles the []int backing arrays of replaced paths, making
+	// the reroute-evaluate-restore cycle allocation-free in steady state.
+	pathPool [][]int
 }
 
-func annealAtII(ctx context.Context, d *dfg.DFG, c *arch.CGRA, ii int, opts Options, rng *rand.Rand, stats *Stats) *Placement {
+// incident is the precomputed per-op list of incident edge indices (in-edges
+// first, then non-self out-edges — the same dedup order the per-move
+// map-based collection produced), shared read-only by every chain.
+type incident struct {
+	off []int
+	buf []int
+}
+
+func buildIncident(d *dfg.DFG) *incident {
+	inc := &incident{off: make([]int, d.N()+1)}
+	for v := 0; v < d.N(); v++ {
+		inc.off[v] = len(inc.buf)
+		inc.buf = append(inc.buf, d.InEdges(v)...)
+		for _, ei := range d.OutEdges(v) {
+			if d.Edges[ei].To != v { // self-loops already collected as in-edges
+				inc.buf = append(inc.buf, ei)
+			}
+		}
+	}
+	inc.off[d.N()] = len(inc.buf)
+	return inc
+}
+
+func (s *state) incidentEdges(v int) []int {
+	return s.inc.buf[s.inc.off[v]:s.inc.off[v+1]]
+}
+
+// resetForII rebinds the arena to a fresh chain at the given II: schedule
+// times copied in, every path released to the pool, usage cleared.
+func (s *state) resetForII(m *arch.MRRG, ii int, initTime []int) {
+	s.m, s.ii = m, ii
+	s.time = append(s.time[:0], initTime...)
+	if cap(s.pe) < s.d.N() {
+		s.pe = make([]int, s.d.N())
+	}
+	s.pe = s.pe[:s.d.N()]
+	for i := range s.path {
+		s.freePath(s.path[i])
+		s.path[i] = nil
+	}
+	if cap(s.path) < len(s.d.Edges) {
+		s.path = make([][]int, len(s.d.Edges))
+	}
+	s.path = s.path[:len(s.d.Edges)]
+	for i := range s.path {
+		s.path[i] = nil
+	}
+	if cap(s.use) < m.N() {
+		s.use = make([]int, m.N())
+	}
+	s.use = s.use[:m.N()]
+	for i := range s.use {
+		s.use[i] = 0
+	}
+	s.over = 0
+	s.unrouted = len(s.d.Edges)
+}
+
+func annealAtII(ctx context.Context, s *state, ii int, opts Options, rng *rand.Rand, stats *Stats) *Placement {
 	// Initial modulo schedule (plain list schedule, no lifetime compaction —
 	// the published DRESC discovers time placements through its own
 	// annealing moves); placement starts random.
-	pes, memRows := c.MIIResources()
-	sc := sched.New(d, pes, memRows)
+	pes, memRows := s.c.MIIResources()
+	sc := sched.New(s.d, pes, memRows)
 	res, err := sc.Schedule(ii, sched.Options{NoCompact: true})
 	if err != nil {
 		return nil
 	}
-	s := &state{
-		d:    d,
-		c:    c,
-		m:    arch.BuildMRRG(c, ii),
-		ii:   ii,
-		time: append([]int(nil), res.Time...),
-		pe:   make([]int, d.N()),
-		path: make([][]int, len(d.Edges)),
-		use:  nil,
-	}
-	s.use = make([]int, s.m.N())
+	s.resetForII(arch.BuildMRRG(s.c, ii), ii, res.Time)
 	for v := range s.pe {
-		s.pe[v] = randomSupportingPE(c, d.Nodes[v].Kind, rng)
+		s.pe[v] = randomSupportingPE(s.c, s.d.Nodes[v].Kind, rng)
 		s.occupyOp(v, +1)
 	}
-	for ei := range d.Edges {
+	for ei := range s.d.Edges {
 		s.reroute(ei)
 	}
 
 	movesPerT := opts.MovesPerTemperature
 	if movesPerT <= 0 {
-		movesPerT = 24 * d.N()
+		movesPerT = 24 * s.d.N()
 	}
 	temp := opts.InitialTemperature
 	if temp <= 0 {
@@ -291,8 +461,11 @@ func (s *state) addUse(node, delta int) {
 	s.over += overAfter - overBefore
 }
 
-// reroute recomputes edge ei's path with a congestion-aware BFS and installs
-// its usage. An unroutable edge keeps an empty path and a fixed penalty.
+// reroute recomputes edge ei's path with a congestion-aware search and
+// installs its usage. An unroutable edge keeps an empty path and a fixed
+// penalty. The replaced path's backing array is NOT pooled here — tryMove
+// still holds it for reject-restore and frees it after the Metropolis
+// decision.
 const unroutablePenalty = 8
 
 func (s *state) reroute(ei int) {
@@ -301,6 +474,7 @@ func (s *state) reroute(ei int) {
 			s.addUse(node, -1)
 		}
 		s.path[ei] = nil
+		s.unrouted++
 	}
 	e := s.d.Edges[ei]
 	src := s.m.OutRegNode(s.pe[e.From], (s.time[e.From]+1)%s.ii)
@@ -308,6 +482,9 @@ func (s *state) reroute(ei int) {
 	span := s.time[e.To] - s.time[e.From] + s.ii*e.Dist
 	p := s.route(src, dst, span)
 	s.path[ei] = p
+	if p != nil {
+		s.unrouted--
+	}
 	// The source out register is charged once by the producer (occupyOp);
 	// only the intermediate hops are charged per connection. Intermediate
 	// sharing between two sinks of one value is deliberately not deduplicated
@@ -328,6 +505,21 @@ func pathOccupancy(p []int) []int {
 	return p[1:]
 }
 
+func (s *state) allocPath(capHint int) []int {
+	if k := len(s.pathPool); k > 0 {
+		p := s.pathPool[k-1]
+		s.pathPool = s.pathPool[:k-1]
+		return p[:0]
+	}
+	return make([]int, 0, capHint)
+}
+
+func (s *state) freePath(p []int) {
+	if cap(p) > 0 {
+		s.pathPool = append(s.pathPool, p)
+	}
+}
+
 // route finds a cheapest *time-exact* path over the MRRG with a binary-heap
 // Dijkstra on (node, elapsed) states. The value leaves the producer's out
 // register one cycle after execution (elapsed 1) and must enter the
@@ -343,80 +535,75 @@ func (s *state) route(src, dst, span int) []int {
 	if span < 1 {
 		return nil
 	}
-	const inf = math.MaxInt32
-	states := s.m.N() * (span + 1)
+	stride := span + 1
+	states := s.m.N() * stride
 	if len(s.dist) < states {
 		s.dist = make([]int, states)
 		s.prev = make([]int, states)
 		s.stamp = make([]int, states)
+		s.gen = 0
 	}
 	s.gen++
 	dist, prev, stamp, gen := s.dist, s.prev, s.stamp, s.gen
-	at := func(node, elapsed int) int { return node*(span+1) + elapsed }
-	get := func(i int) int {
-		if stamp[i] != gen {
-			return inf
-		}
-		return dist[i]
-	}
-	set := func(i, d, p int) {
-		stamp[i] = gen
-		dist[i] = d
-		prev[i] = p
-	}
 
-	start := at(src, 1)
-	set(start, s.nodeCost(src), -1)
-	h := &nodeHeap{items: s.heapBuf[:0]}
-	h.push(heapItem{node: start, dist: get(start)})
-	goal := at(dst, span)
+	kind, capacity, out := s.m.Arrays()
+	use := s.use
+	start := src*stride + 1
+	stamp[start] = gen
+	dist[start] = s.nodeCost(src)
+	prev[start] = -1
+	h := nodeHeap{items: s.heapBuf[:0]}
+	h.push(heapItem{node: start, dist: dist[start]})
+	goal := dst*stride + span
 	for h.len() > 0 {
 		it := h.pop()
-		if it.dist > get(it.node) {
-			continue // stale entry
+		if it.dist > dist[it.node] { // stale entry (it.node is always stamped)
+			continue
 		}
 		if it.node == goal {
 			break
 		}
-		node, elapsed := it.node/(span+1), it.node%(span+1)
-		for _, w := range s.m.Out(node) {
+		node, elapsed := it.node/stride, it.node%stride
+		for _, w := range out[node] {
 			nextElapsed := elapsed
-			if s.m.Kind(w) != arch.FU {
+			isFU := kind[w] == arch.FU
+			if !isFU {
 				nextElapsed++ // storage hops advance time
 			}
 			if nextElapsed > span {
 				continue
 			}
-			if s.m.Kind(w) == arch.FU && (w != dst || nextElapsed != span) {
-				// Routing through an intermediate FU: the PE executes an
-				// explicit copy that cycle, then the result lands in its out
-				// register. Model as entering the FU only when it can still
-				// reach the deadline (its out-reg hop comes next).
-				if w == dst {
-					continue // reached the consumer too early: wrong iteration
-				}
+			if isFU && w == dst && nextElapsed != span {
+				// Reached the consumer too early: wrong iteration. An
+				// intermediate FU (w != dst) is an explicit copy and passes.
+				continue
 			}
-			ws := at(w, nextElapsed)
+			ws := w*stride + nextElapsed
 			cost := 1
 			if ws != goal {
-				cost += s.nodeCost(w)
+				if overflow := use[w] - capacity[w] + 1; overflow > 0 {
+					cost += 6 * overflow // nodeCost, flattened
+				}
 			}
-			if d := it.dist + cost; d < get(ws) {
-				set(ws, d, it.node)
+			if d := it.dist + cost; stamp[ws] != gen || d < dist[ws] {
+				stamp[ws] = gen
+				dist[ws] = d
+				prev[ws] = it.node
 				h.push(heapItem{node: ws, dist: d})
 			}
 		}
 	}
 	s.heapBuf = h.items[:0]
-	if get(goal) == inf {
+	if stamp[goal] != gen {
 		return nil
 	}
-	var rev []int
+	rev := s.rev[:0]
 	for cur := goal; cur != -1; cur = prev[cur] {
-		rev = append(rev, cur/(span+1))
+		rev = append(rev, cur/stride)
 	}
+	s.rev = rev
 	// Exclude the destination FU from occupancy; keep source and middle.
-	path := make([]int, 0, len(rev)-1)
+	path := s.allocPath(len(rev) - 1)
 	for i := len(rev) - 1; i >= 1; i-- {
 		path = append(path, rev[i])
 	}
@@ -483,13 +670,7 @@ func (s *state) nodeCost(node int) int {
 
 // totalCost is overuse plus penalties for unroutable edges.
 func (s *state) totalCost() int {
-	cost := s.over
-	for ei := range s.path {
-		if s.path[ei] == nil {
-			cost += unroutablePenalty
-		}
-	}
-	return cost
+	return s.over + unroutablePenalty*s.unrouted
 }
 
 // tryMove proposes one annealing move: relocate a random operation in space
@@ -518,10 +699,11 @@ func (s *state) tryMove(rng *rand.Rand, temp float64) bool {
 
 	before := s.totalCost()
 	touched := s.incidentEdges(v)
-	oldPaths := make([][]int, len(touched))
-	for i, ei := range touched {
-		oldPaths[i] = s.path[ei]
+	oldPaths := s.oldPaths[:0]
+	for _, ei := range touched {
+		oldPaths = append(oldPaths, s.path[ei])
 	}
+	s.oldPaths = oldPaths
 
 	s.occupyOp(v, -1)
 	s.pe[v], s.time[v] = newPE, newTime
@@ -533,18 +715,32 @@ func (s *state) tryMove(rng *rand.Rand, temp float64) bool {
 
 	delta := after - before
 	if delta <= 0 || rng.Float64() < math.Exp(-float64(delta)/temp) {
+		// Accept: the saved pre-move paths are dead; recycle their arrays.
+		for _, p := range oldPaths {
+			s.freePath(p)
+		}
 		return true
 	}
-	// Reject: restore.
+	// Reject: restore, recycling the rejected paths' arrays.
 	s.occupyOp(v, -1)
 	s.pe[v], s.time[v] = oldPE, oldTime
 	s.occupyOp(v, +1)
 	for i, ei := range touched {
-		for _, node := range pathOccupancy(s.path[ei]) {
+		rejected := s.path[ei]
+		for _, node := range pathOccupancy(rejected) {
 			s.addUse(node, -1)
 		}
-		s.path[ei] = oldPaths[i]
-		for _, node := range pathOccupancy(s.path[ei]) {
+		s.freePath(rejected)
+		old := oldPaths[i]
+		if (rejected == nil) != (old == nil) {
+			if rejected == nil {
+				s.unrouted--
+			} else {
+				s.unrouted++
+			}
+		}
+		s.path[ei] = old
+		for _, node := range pathOccupancy(old) {
 			s.addUse(node, +1)
 		}
 	}
@@ -573,24 +769,6 @@ func (s *state) timeFeasible(v, t int) bool {
 		}
 	}
 	return true
-}
-
-func (s *state) incidentEdges(v int) []int {
-	var out []int
-	seen := map[int]bool{}
-	for _, ei := range s.d.InEdges(v) {
-		if !seen[ei] {
-			seen[ei] = true
-			out = append(out, ei)
-		}
-	}
-	for _, ei := range s.d.OutEdges(v) {
-		if !seen[ei] {
-			seen[ei] = true
-			out = append(out, ei)
-		}
-	}
-	return out
 }
 
 func (s *state) placement() *Placement {

@@ -1,0 +1,145 @@
+package dresc
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"regimap/internal/arch"
+	"regimap/internal/dfg"
+	"regimap/internal/fault"
+	"regimap/internal/kernels"
+)
+
+// Property: the arena annealer agrees with the reference annealer
+// (ref_test.go) per II attempt — same success/failure, identical placements
+// and routed paths, identical move/accept counts — when both consume
+// identically seeded RNGs, on random kernels over healthy and faulted
+// fabrics. Incremental cost tracking, incident-edge CSR, and path pooling
+// must all be invisible to the RNG draw sequence.
+func TestAnnealMatchesReference(t *testing.T) {
+	trials := 25
+	if testing.Short() {
+		trials = 8
+	}
+	rng := rand.New(rand.NewSource(99))
+	ctx := context.Background()
+	for trial := 0; trial < trials; trial++ {
+		d := kernels.Random(int64(trial), kernels.RandomOptions{
+			Ops:         5 + rng.Intn(12),
+			MemFraction: 0.2,
+			Recurrence:  rng.Intn(2),
+		})
+		c := arch.NewMesh(4, 4, 4)
+		if trial%2 == 1 {
+			fs := fault.Random(rng, c, 1+rng.Intn(3))
+			faulted, err := fs.Apply(c)
+			if err != nil {
+				t.Fatalf("trial %d: applying %s: %v", trial, fs, err)
+			}
+			c = faulted
+		}
+		if c.UsablePEs() == 0 {
+			continue
+		}
+		pes, memRows := c.MIIResources()
+		mii := d.MII(pes, memRows)
+		opts := Options{Seed: int64(trial), MovesPerTemperature: 4 * d.N(), Cooling: 0.8}
+		st := &state{d: d, c: c, inc: buildIncident(d)}
+		// The same arena is reused across every II, like Map does.
+		for ii := mii; ii <= mii+4; ii++ {
+			seed := chainSeed(int64(trial), ii, 0)
+			var gotStats, refStats Stats
+			got := annealAtII(ctx, st, ii, opts, rand.New(rand.NewSource(seed)), &gotStats)
+			ref := refAnnealAtII(ctx, d, c, ii, opts, rand.New(rand.NewSource(seed)), &refStats)
+			if (got == nil) != (ref == nil) {
+				t.Fatalf("trial %d ii %d: annealer ok=%v, reference ok=%v",
+					trial, ii, got != nil, ref != nil)
+			}
+			if gotStats != refStats {
+				t.Fatalf("trial %d ii %d: stats %+v, reference %+v", trial, ii, gotStats, refStats)
+			}
+			if got == nil {
+				continue
+			}
+			if !reflect.DeepEqual(got.Time, ref.Time) || !reflect.DeepEqual(got.PE, ref.PE) {
+				t.Fatalf("trial %d ii %d: bindings diverge\n got: t=%v pe=%v\n ref: t=%v pe=%v",
+					trial, ii, got.Time, got.PE, ref.Time, ref.PE)
+			}
+			if !reflect.DeepEqual(got.Paths, ref.Paths) {
+				t.Fatalf("trial %d ii %d: paths diverge\n got: %v\n ref: %v",
+					trial, ii, got.Paths, ref.Paths)
+			}
+		}
+	}
+}
+
+// The legacy single-chain path must be bit-for-bit what it always was:
+// Restarts 0 and 1 are the same mapper, and (with the golden suite) pin
+// today's published mappings.
+func TestMapRestartsZeroOneIdentical(t *testing.T) {
+	d := kernels.Random(17, kernels.RandomOptions{Ops: 9, MemFraction: 0.2, Recurrence: 1})
+	c := arch.NewMesh(4, 4, 4)
+	p0, s0, err0 := Map(context.Background(), d, c, Options{Seed: 7})
+	p1, s1, err1 := Map(context.Background(), d, c, Options{Seed: 7, Restarts: 1, Workers: 3})
+	if (err0 == nil) != (err1 == nil) {
+		t.Fatalf("err mismatch: %v vs %v", err0, err1)
+	}
+	if s0.II != s1.II || s0.Moves != s1.Moves || s0.Accepts != s1.Accepts {
+		t.Fatalf("stats diverge: %+v vs %+v", s0, s1)
+	}
+	if err0 != nil {
+		return
+	}
+	if !reflect.DeepEqual(p0.Time, p1.Time) || !reflect.DeepEqual(p0.PE, p1.PE) || !reflect.DeepEqual(p0.Paths, p1.Paths) {
+		t.Fatal("Restarts=1 placement differs from Restarts=0")
+	}
+}
+
+// Racing restart chains must be a pure function of (Seed, Restarts): any
+// worker count — including oversubscribed — yields the same placement and
+// the same merged stats. Run with -race in CI's determinism sweep.
+func TestMapWorkerSweepIdentical(t *testing.T) {
+	kernelSet := []*dfg.DFG{
+		kernels.Random(17, kernels.RandomOptions{Ops: 9, MemFraction: 0.2, Recurrence: 1}),
+		kernels.Random(3, kernels.RandomOptions{Ops: 10, MemFraction: 0.2, Recurrence: 1}),
+	}
+	c := arch.NewMesh(4, 4, 4)
+	for ki, d := range kernelSet {
+		var basePlace *Placement
+		var baseStats *Stats
+		for wi, workers := range []int{1, 2, 8} {
+			p, s, err := Map(context.Background(), d, c, Options{Seed: 11, Restarts: 4, Workers: workers})
+			if err != nil {
+				t.Fatalf("kernel %d workers %d: %v", ki, workers, err)
+			}
+			if wi == 0 {
+				basePlace, baseStats = p, s
+				continue
+			}
+			if s.II != baseStats.II || s.Moves != baseStats.Moves || s.Accepts != baseStats.Accepts {
+				t.Fatalf("kernel %d workers %d: stats %+v, want %+v", ki, workers, s, baseStats)
+			}
+			if !reflect.DeepEqual(p.Time, basePlace.Time) || !reflect.DeepEqual(p.PE, basePlace.PE) || !reflect.DeepEqual(p.Paths, basePlace.Paths) {
+				t.Fatalf("kernel %d workers %d: placement differs from workers=1", ki, workers)
+			}
+		}
+	}
+}
+
+// A racing run must still verify and respect MII <= II.
+func TestMapRestartsVerifies(t *testing.T) {
+	d := kernels.Random(5, kernels.RandomOptions{Ops: 12, MemFraction: 0.25, Recurrence: 1})
+	c := arch.NewMesh(4, 4, 4)
+	p, s, err := Map(context.Background(), d, c, Options{Seed: 2, Restarts: 3, Workers: 2})
+	if err != nil {
+		t.Fatalf("Map: %v", err)
+	}
+	if p.II < s.MII {
+		t.Fatalf("II %d below MII %d", p.II, s.MII)
+	}
+	if err := p.Verify(c); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}

@@ -8,6 +8,14 @@
 // learning: when an operation cannot be placed, II is increased and the
 // whole mapping retried, exactly the escalation behaviour the paper
 // criticizes in exploratory mappers.
+//
+// The placer is arena-style (DESIGN.md section 8h): one working DFG clone is
+// journaled and rolled back across II attempts instead of re-cloned, slot
+// occupancy lives in flat bitsets, the route BFS runs over epoch-stamped
+// arrays, and register pressure is maintained incrementally. Every decision
+// is made in the same order as the straightforward map-based placer it
+// replaced (kept as the reference in ref_test.go), so mappings are
+// byte-identical — the golden suite pins this.
 package ems
 
 import (
@@ -17,6 +25,7 @@ import (
 
 	"regimap/internal/arch"
 	"regimap/internal/dfg"
+	"regimap/internal/graph"
 	"regimap/internal/maperr"
 	"regimap/internal/mapping"
 	"regimap/internal/obs"
@@ -83,6 +92,7 @@ func Map(ctx context.Context, d *dfg.DFG, c *arch.CGRA, opts Options) (*mapping.
 	if maxII <= 0 {
 		maxII = stats.MII + 16
 	}
+	p := newPlacer(d, c)
 	for ii := stats.MII; ii <= maxII; ii++ {
 		if err := ctx.Err(); err != nil {
 			done()
@@ -90,7 +100,7 @@ func Map(ctx context.Context, d *dfg.DFG, c *arch.CGRA, opts Options) (*mapping.
 		}
 		placements, routes := stats.Placements, stats.Routes
 		sp := tr.Start("ems.place")
-		m := placeAtII(d, c, ii, stats)
+		m := p.placeAtII(ii, stats)
 		sp.Field("ii", int64(ii))
 		sp.Field("placements", int64(stats.Placements-placements))
 		sp.Field("routes", int64(stats.Routes-routes))
@@ -112,67 +122,158 @@ func Map(ctx context.Context, d *dfg.DFG, c *arch.CGRA, opts Options) (*mapping.
 	return nil, stats, maperr.NoMapping("ems: no mapping for %s on %s up to II=%d", d.Name, c, maxII)
 }
 
-// placer is the working state of one greedy pass.
+// chainSet stores the route chains of one placement plan as slices of a
+// shared buffer: chain i serves edge edges[i] and occupies
+// buf[offs[i]:offs[i+1]]. tryPosition fills the placer's cur set; when a
+// candidate becomes the new best the two sets swap, so a pass needs exactly
+// two arenas however many positions it scores.
+type chainSet struct {
+	buf   []int
+	offs  []int // len(edges)+1 boundaries, offs[0] == 0
+	edges []int
+}
+
+func (s *chainSet) reset() {
+	s.buf = s.buf[:0]
+	s.offs = append(s.offs[:0], 0)
+	s.edges = s.edges[:0]
+}
+
+// placer is the working state of one Map call, reused across II attempts:
+// the DFG clone is journaled and rolled back instead of re-cloned, and every
+// scratch structure keeps its capacity between attempts.
 type placer struct {
 	ds *dfg.DFG // working DFG; routing nodes are appended as they are walked
 	c  *arch.CGRA
 	ii int
 
 	time, pe []int
-	occupied map[[2]int]bool // (pe, slot)
-	busUsed  map[[2]int]bool // (row, slot)
+	occupied graph.Bitset // PE slot (pe*ii + t mod ii) in use
+	busUsed  graph.Bitset // row bus slot (row*ii + t mod ii) in use
+
+	// Register pressure, maintained incrementally: contrib[v] is the regs
+	// producer v currently charges to PE pe[v] (ceil(maxCarriedSpan/II) when
+	// its longest placed out-edge spans >1 cycles), pressure is the per-PE
+	// sum. Placing v only changes the max span of v itself and of its placed
+	// producers (route insertion rewrites only their out-edges), so placeOp
+	// refreshes exactly those entries — the O(V·E) full recompute the
+	// reference placer performs after every placement reduces to O(deg).
 	pressure []int
+	contrib  []int
+	affected []int // scratch: producers whose contribution placeOp refreshes
+
+	order     []int   // placement order: height-descending, stable
+	kindCands [][]int // per-OpKind supporting PEs, ascending; lazily built
+	routeOK   []bool  // Supports(pe, Route), cached for the BFS inner loop
+
+	// Epoch-stamped BFS state for routeChain: slot k*NumPEs+pe covers search
+	// state (pe, k); a slot is visited this call iff stamp[slot] == gen.
+	stamp    []int32
+	prevPE   []int32
+	gen      int32
+	frontier []int
+	next     []int
+
+	cur, best chainSet
 }
 
-// placeAtII runs one greedy pass at a fixed II.
-func placeAtII(d *dfg.DFG, c *arch.CGRA, ii int, stats *Stats) *mapping.Mapping {
-	p := &placer{
-		ds:       d.Clone(),
-		c:        c,
-		ii:       ii,
-		occupied: map[[2]int]bool{},
-		busUsed:  map[[2]int]bool{},
-		pressure: make([]int, c.NumPEs()),
-	}
-	p.time = make([]int, d.N())
-	p.pe = make([]int, d.N())
-	for i := range p.time {
-		p.time[i] = -1
-		p.pe[i] = -1
+func newPlacer(d *dfg.DFG, c *arch.CGRA) *placer {
+	p := &placer{ds: d.Clone(), c: c}
+	n := c.NumPEs()
+	p.pressure = make([]int, n)
+	p.routeOK = make([]bool, n)
+	for pe := 0; pe < n; pe++ {
+		p.routeOK[pe] = c.Supports(pe, dfg.Route)
 	}
 
 	heights := d.Heights()
-	order := make([]int, d.N())
-	for i := range order {
-		order[i] = i
+	p.order = make([]int, d.N())
+	for i := range p.order {
+		p.order[i] = i
 	}
-	sort.SliceStable(order, func(i, j int) bool {
-		if heights[order[i]] != heights[order[j]] {
-			return heights[order[i]] > heights[order[j]]
+	sort.SliceStable(p.order, func(i, j int) bool {
+		if heights[p.order[i]] != heights[p.order[j]] {
+			return heights[p.order[i]] > heights[p.order[j]]
 		}
-		return order[i] < order[j]
+		return p.order[i] < p.order[j]
 	})
+	return p
+}
 
-	for _, v := range order {
+// candsFor returns the PEs supporting kind, ascending — the same PEs the
+// reference placer's full 0..NumPEs scan would accept, without re-asking
+// Supports per (t, pe) candidate.
+func (p *placer) candsFor(kind dfg.OpKind) []int {
+	ik := int(kind)
+	if ik >= len(p.kindCands) {
+		grown := make([][]int, ik+1)
+		copy(grown, p.kindCands)
+		p.kindCands = grown
+	}
+	if p.kindCands[ik] == nil {
+		cands := make([]int, 0, p.c.NumPEs())
+		for pe := 0; pe < p.c.NumPEs(); pe++ {
+			if p.c.Supports(pe, kind) {
+				cands = append(cands, pe)
+			}
+		}
+		p.kindCands[ik] = cands
+	}
+	return p.kindCands[ik]
+}
+
+// resetInts returns s with length n and every element set to v, reusing the
+// backing array when it is large enough.
+func resetInts(s []int, n, v int) []int {
+	if cap(s) < n {
+		s = make([]int, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}
+
+// placeAtII runs one greedy pass at a fixed II. On failure the working DFG
+// is rolled back to the kernel, ready for the next attempt.
+func (p *placer) placeAtII(ii int, stats *Stats) *mapping.Mapping {
+	p.ii = ii
+	mark := p.ds.Mark()
+	n := p.ds.N()
+	p.time = resetInts(p.time, n, -1)
+	p.pe = resetInts(p.pe, n, -1)
+	p.contrib = resetInts(p.contrib, n, 0)
+	for i := range p.pressure {
+		p.pressure[i] = 0
+	}
+	p.occupied.Grow(p.c.NumPEs() * ii)
+	p.busUsed.Grow(p.c.Rows * ii)
+
+	for _, v := range p.order {
 		stats.Placements++
 		if !p.placeOp(v, stats) {
+			p.ds.Rollback(mark)
 			return nil
 		}
 	}
 
-	m := mapping.New(p.ds, c, ii)
+	m := mapping.New(p.ds, p.c, ii)
 	copy(m.Time, p.time)
 	copy(m.PE, p.pe)
 	if m.Validate() != nil {
 		// Two greedily-committed route chains can collide; with no repair
 		// strategy that is an ordinary failure of this II.
+		p.ds.Rollback(mark)
 		return nil
 	}
 	return m
 }
 
 // placeOp finds the cheapest feasible slot for v and commits it together
-// with any routing chains its dependences need.
+// with any routing chains its dependences need. Scan order (time ascending,
+// then PE ascending, strict improvement only) fixes which of several
+// equal-cost positions wins; it must not change.
 func (p *placer) placeOp(v int, stats *Stats) bool {
 	early := 0
 	for _, ei := range p.ds.InEdges(v) {
@@ -184,35 +285,49 @@ func (p *placer) placeOp(v int, stats *Stats) bool {
 			early = lo
 		}
 	}
-	type plan struct {
-		pe, t  int
-		cost   int
-		chains [][]int // route-PE chains per edge needing them
-		edges  []int   // the edge index each chain serves
-	}
-	var best *plan
+	kind := p.ds.Nodes[v].Kind
+	cands := p.candsFor(kind)
+	found := false
+	var bestPE, bestT, bestCost int
 	for t := early; t < early+p.ii; t++ {
-		for pe := 0; pe < p.c.NumPEs(); pe++ {
-			if !p.c.Supports(pe, p.ds.Nodes[v].Kind) || p.slotBusy(pe, t, p.ds.Nodes[v].Kind) {
+		for _, pe := range cands {
+			if p.slotBusy(pe, t, kind) {
 				continue
 			}
-			cost, chains, edges, ok := p.tryPosition(v, pe, t)
+			cost, ok := p.tryPosition(v, pe, t)
 			if !ok {
 				continue
 			}
-			if best == nil || cost < best.cost {
-				best = &plan{pe: pe, t: t, cost: cost, chains: chains, edges: edges}
+			if !found || cost < bestCost {
+				found = true
+				bestPE, bestT, bestCost = pe, t, cost
+				p.cur, p.best = p.best, p.cur
 			}
 		}
 	}
-	if best == nil {
+	if !found {
 		return false
 	}
-	p.commit(v, best.pe, best.t)
-	for i, chain := range best.chains {
-		p.materializeChain(best.edges[i], chain, stats)
+	// Producers of v placed so far: route insertion below rewrites their
+	// out-edges, so their register contribution is refreshed afterwards.
+	// Collected now because materializeChain re-points v's in-edges at the
+	// inserted route nodes.
+	p.affected = p.affected[:0]
+	for _, ei := range p.ds.InEdges(v) {
+		e := p.ds.Edges[ei]
+		if e.From != v && p.time[e.From] >= 0 {
+			p.affected = append(p.affected, e.From)
+		}
 	}
-	p.recomputePressure()
+	p.commit(v, bestPE, bestT)
+	for i := range p.best.edges {
+		chain := p.best.buf[p.best.offs[i]:p.best.offs[i+1]]
+		p.materializeChain(p.best.edges[i], chain, stats)
+	}
+	p.updateContrib(v)
+	for _, u := range p.affected {
+		p.updateContrib(u)
+	}
 	for pe, used := range p.pressure {
 		if used > p.c.RegsAt(pe) {
 			return false // over budget with no repair strategy: escalate II
@@ -221,30 +336,40 @@ func (p *placer) placeOp(v int, stats *Stats) bool {
 	return true
 }
 
+func (p *placer) modii(t int) int {
+	s := t % p.ii
+	if s < 0 {
+		s += p.ii
+	}
+	return s
+}
+
 func (p *placer) slotBusy(pe, t int, kind dfg.OpKind) bool {
-	if p.occupied[[2]int{pe, mod(t, p.ii)}] {
+	slot := p.modii(t)
+	if p.occupied.Has(pe*p.ii + slot) {
 		return true
 	}
 	if !kind.IsMem() {
 		return false
 	}
 	row := p.c.RowOf(pe)
-	return !p.c.RowBusOK(row) || p.busUsed[[2]int{row, mod(t, p.ii)}]
+	return !p.c.RowBusOK(row) || p.busUsed.Has(row*p.ii+slot)
 }
 
 func (p *placer) commit(v, pe, t int) {
 	p.time[v] = t
 	p.pe[v] = pe
-	p.occupied[[2]int{pe, mod(t, p.ii)}] = true
+	p.occupied.Set(pe*p.ii + p.modii(t))
 	if p.ds.Nodes[v].Kind.IsMem() {
-		p.busUsed[[2]int{p.c.RowOf(pe), mod(t, p.ii)}] = true
+		p.busUsed.Set(p.c.RowOf(pe)*p.ii + p.modii(t))
 	}
 }
 
 // tryPosition checks v at (pe, t) against every placed neighbour, returning
-// the routing cost and the route chains to materialize.
-func (p *placer) tryPosition(v, pe, t int) (cost int, chains [][]int, edges []int, ok bool) {
-	check := func(ei int, prodOp, prodPE, prodT, consPE, consT, dist int) bool {
+// the routing cost; the route chains to materialize are left in p.cur.
+func (p *placer) tryPosition(v, pe, t int) (cost int, ok bool) {
+	p.cur.reset()
+	check := func(ei int, prodPE, prodT, consPE, consT, dist int) bool {
 		span := consT - prodT + p.ii*dist
 		switch {
 		case span < 1:
@@ -269,13 +394,10 @@ func (p *placer) tryPosition(v, pe, t int) (cost int, chains [][]int, edges []in
 			// chain's first hop would itself span iterations): same PE only.
 			return false
 		default:
-			chain := p.routeChain(prodPE, prodT, consPE, span)
-			if chain == nil {
+			if !p.routeChain(ei, prodPE, prodT, consPE, span) {
 				return false
 			}
-			cost += 2 * len(chain)
-			chains = append(chains, chain)
-			edges = append(edges, ei)
+			cost += 2 * (span - 1)
 			return true
 		}
 	}
@@ -285,7 +407,7 @@ func (p *placer) tryPosition(v, pe, t int) (cost int, chains [][]int, edges []in
 			if spanSelf := p.ii * e.Dist; spanSelf > 1 {
 				regs := (spanSelf + p.ii - 1) / p.ii
 				if p.pressure[pe]+regs > p.c.RegsAt(pe) {
-					return 0, nil, nil, false
+					return 0, false
 				}
 				cost += 2 * regs
 			}
@@ -294,8 +416,8 @@ func (p *placer) tryPosition(v, pe, t int) (cost int, chains [][]int, edges []in
 		if p.time[e.From] < 0 {
 			continue
 		}
-		if !check(ei, e.From, p.pe[e.From], p.time[e.From], pe, t, e.Dist) {
-			return 0, nil, nil, false
+		if !check(ei, p.pe[e.From], p.time[e.From], pe, t, e.Dist) {
+			return 0, false
 		}
 	}
 	for _, ei := range p.ds.OutEdges(v) {
@@ -303,56 +425,85 @@ func (p *placer) tryPosition(v, pe, t int) (cost int, chains [][]int, edges []in
 		if e.To == v || p.time[e.To] < 0 {
 			continue
 		}
-		if !check(ei, v, pe, t, p.pe[e.To], p.time[e.To], e.Dist) {
-			return 0, nil, nil, false
+		if !check(ei, pe, t, p.pe[e.To], p.time[e.To], e.Dist) {
+			return 0, false
 		}
 	}
-	return cost, chains, edges, true
+	return cost, true
 }
 
 // routeChain walks the value from the producer's PE to a PE adjacent to the
 // consumer in exactly span cycles: one route operation per cycle, each on a
 // PE adjacent to (or equal to) the previous one, each needing a free slot.
-// It returns the PE sequence of the span-1 route operations, or nil.
-func (p *placer) routeChain(fromPE, fromT, toPE, span int) []int {
-	type state struct {
-		pe, k int
+// On success it appends the PE sequence of the span-1 route operations to
+// p.cur and returns true.
+//
+// The search is the reference placer's level-synchronous BFS over (pe, k)
+// states with maps replaced by epoch-stamped arrays: within a level, states
+// expand in insertion order and each expands to itself first, then its
+// neighbours in Neighbors order, so the first goal state found — and hence
+// the chain — is identical.
+func (p *placer) routeChain(ei, fromPE, fromT, toPE, span int) bool {
+	n := p.c.NumPEs()
+	if need := span * n; need > len(p.stamp) {
+		p.stamp = make([]int32, need)
+		p.prevPE = make([]int32, need)
+		p.gen = 0
 	}
-	prev := map[state]state{}
-	seen := map[state]bool{}
-	frontier := []state{{fromPE, 0}}
-	seen[state{fromPE, 0}] = true
-	for len(frontier) > 0 {
-		var next []state
-		for _, cur := range frontier {
-			if cur.k == span-1 {
-				if p.c.Connected(cur.pe, toPE) {
-					// Reconstruct the chain pe_1..pe_{span-1}.
-					chain := make([]int, 0, span-1)
-					for at := cur; at.k > 0; at = prev[at] {
-						chain = append(chain, at.pe)
-					}
-					for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
-						chain[i], chain[j] = chain[j], chain[i]
-					}
-					return chain
-				}
-				continue
+	p.gen++
+	gen := p.gen
+	frontier := append(p.frontier[:0], fromPE)
+	next := p.next[:0]
+	p.stamp[fromPE] = gen // state (fromPE, 0)
+	for k := 0; k < span-1; k++ {
+		if len(frontier) == 0 {
+			p.frontier, p.next = frontier, next
+			return false
+		}
+		next = next[:0]
+		row := (k + 1) * n
+		slotT := fromT + k + 1
+		for _, pe := range frontier {
+			// Candidates: stay on pe, then hop to each neighbour.
+			if p.stamp[row+pe] != gen && p.routeOK[pe] && !p.slotBusy(pe, slotT, dfg.Route) {
+				p.stamp[row+pe] = gen
+				p.prevPE[row+pe] = int32(pe)
+				next = append(next, pe)
 			}
-			cands := append([]int{cur.pe}, p.c.Neighbors(cur.pe)...)
-			for _, q := range cands {
-				ns := state{q, cur.k + 1}
-				if seen[ns] || !p.c.Supports(q, dfg.Route) || p.slotBusy(q, fromT+ns.k, dfg.Route) {
-					continue
+			for _, q := range p.c.Neighbors(pe) {
+				if p.stamp[row+q] != gen && p.routeOK[q] && !p.slotBusy(q, slotT, dfg.Route) {
+					p.stamp[row+q] = gen
+					p.prevPE[row+q] = int32(pe)
+					next = append(next, q)
 				}
-				seen[ns] = true
-				prev[ns] = cur
-				next = append(next, ns)
 			}
 		}
-		frontier = next
+		frontier, next = next, frontier
 	}
-	return nil
+	p.frontier, p.next = frontier, next
+	for _, pe := range frontier {
+		if p.c.Connected(pe, toPE) {
+			// Reconstruct the chain pe_1..pe_{span-1} back-to-front.
+			s := &p.cur
+			base := len(s.buf)
+			if want := base + span - 1; cap(s.buf) >= want {
+				s.buf = s.buf[:want]
+			} else {
+				grown := make([]int, want, 2*want)
+				copy(grown, s.buf)
+				s.buf = grown
+			}
+			at := pe
+			for k := span - 1; k > 0; k-- {
+				s.buf[base+k-1] = at
+				at = int(p.prevPE[k*n+at])
+			}
+			s.offs = append(s.offs, len(s.buf))
+			s.edges = append(s.edges, ei)
+			return true
+		}
+	}
+	return false
 }
 
 // materializeChain appends the route operations of one chain to the working
@@ -361,14 +512,13 @@ func (p *placer) routeChain(fromPE, fromT, toPE, span int) []int {
 func (p *placer) materializeChain(ei int, chain []int, stats *Stats) {
 	e := p.ds.Edges[ei]
 	prodT := p.time[e.From]
-	node := e.From
+	node, to, port := e.From, e.To, e.Port
 	for k, pe := range chain {
-		rt := p.ds.InsertRoute(p.edgeIndexFrom(node, e.To, e.Port))
-		p.time = append(p.time, 0)
-		p.pe = append(p.pe, 0)
-		p.time[rt] = prodT + k + 1
-		p.pe[rt] = pe
-		p.occupied[[2]int{pe, mod(prodT+k+1, p.ii)}] = true
+		rt := p.ds.InsertRoute(p.edgeIndexFrom(node, to, port))
+		p.time = append(p.time, prodT+k+1)
+		p.pe = append(p.pe, pe)
+		p.contrib = append(p.contrib, 0)
+		p.occupied.Set(pe*p.ii + p.modii(prodT+k+1))
 		stats.Routes++
 		node = rt
 	}
@@ -386,36 +536,31 @@ func (p *placer) edgeIndexFrom(node, to, port int) int {
 	panic("ems: lost track of an edge while routing")
 }
 
-// recomputePressure refreshes the per-PE register demand of the partial
-// placement (producers charge ceil(maxCarriedSpan/II) on their PE).
-func (p *placer) recomputePressure() {
-	for i := range p.pressure {
-		p.pressure[i] = 0
-	}
-	for v := range p.ds.Nodes {
-		if v >= len(p.time) || p.time[v] < 0 {
-			continue
-		}
-		maxSpan := 0
-		for _, ei := range p.ds.OutEdges(v) {
-			e := p.ds.Edges[ei]
-			var span int
-			if e.To == v {
-				span = p.ii * e.Dist
-			} else {
-				if e.To >= len(p.time) || p.time[e.To] < 0 {
-					continue
-				}
-				span = p.time[e.To] - p.time[v] + p.ii*e.Dist
+// updateContrib recomputes producer v's register contribution from its
+// current out-edges — ceil(maxCarriedSpan/II) charged to its PE, exactly the
+// per-node term of the reference placer's full pressure recompute — and
+// applies the delta to the per-PE pressure.
+func (p *placer) updateContrib(v int) {
+	maxSpan := 0
+	for _, ei := range p.ds.OutEdges(v) {
+		e := p.ds.Edges[ei]
+		var span int
+		if e.To == v {
+			span = p.ii * e.Dist
+		} else {
+			if p.time[e.To] < 0 {
+				continue
 			}
-			if span > 1 && span > maxSpan {
-				maxSpan = span
-			}
+			span = p.time[e.To] - p.time[v] + p.ii*e.Dist
 		}
-		if maxSpan > 1 {
-			p.pressure[p.pe[v]] += (maxSpan + p.ii - 1) / p.ii
+		if span > 1 && span > maxSpan {
+			maxSpan = span
 		}
 	}
+	contrib := 0
+	if maxSpan > 1 {
+		contrib = (maxSpan + p.ii - 1) / p.ii
+	}
+	p.pressure[p.pe[v]] += contrib - p.contrib[v]
+	p.contrib[v] = contrib
 }
-
-func mod(a, m int) int { return ((a % m) + m) % m }

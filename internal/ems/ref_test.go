@@ -1,0 +1,301 @@
+package ems
+
+import (
+	"sort"
+
+	"regimap/internal/arch"
+	"regimap/internal/dfg"
+	"regimap/internal/mapping"
+)
+
+// This file preserves the pre-optimization placer verbatim (maps for
+// occupancy, per-call BFS maps, O(V·E) pressure recompute, a Clone per II) as
+// the behavioural reference. TestPlacerMatchesReference diffs the optimized
+// arena placer against it on random kernels and faulted fabrics: the two must
+// agree on success/failure, mapping text, and stats at every II.
+
+type refPlacer struct {
+	ds *dfg.DFG
+	c  *arch.CGRA
+	ii int
+
+	time, pe []int
+	occupied map[[2]int]bool // (pe, slot)
+	busUsed  map[[2]int]bool // (row, slot)
+	pressure []int
+}
+
+func refPlaceAtII(d *dfg.DFG, c *arch.CGRA, ii int, stats *Stats) *mapping.Mapping {
+	p := &refPlacer{
+		ds:       d.Clone(),
+		c:        c,
+		ii:       ii,
+		occupied: map[[2]int]bool{},
+		busUsed:  map[[2]int]bool{},
+		pressure: make([]int, c.NumPEs()),
+	}
+	p.time = make([]int, d.N())
+	p.pe = make([]int, d.N())
+	for i := range p.time {
+		p.time[i] = -1
+		p.pe[i] = -1
+	}
+
+	heights := d.Heights()
+	order := make([]int, d.N())
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		if heights[order[i]] != heights[order[j]] {
+			return heights[order[i]] > heights[order[j]]
+		}
+		return order[i] < order[j]
+	})
+
+	for _, v := range order {
+		stats.Placements++
+		if !p.placeOp(v, stats) {
+			return nil
+		}
+	}
+
+	m := mapping.New(p.ds, c, ii)
+	copy(m.Time, p.time)
+	copy(m.PE, p.pe)
+	if m.Validate() != nil {
+		return nil
+	}
+	return m
+}
+
+func (p *refPlacer) placeOp(v int, stats *Stats) bool {
+	early := 0
+	for _, ei := range p.ds.InEdges(v) {
+		e := p.ds.Edges[ei]
+		if e.From == v || p.time[e.From] < 0 {
+			continue
+		}
+		if lo := p.time[e.From] + 1 - p.ii*e.Dist; lo > early {
+			early = lo
+		}
+	}
+	type plan struct {
+		pe, t  int
+		cost   int
+		chains [][]int
+		edges  []int
+	}
+	var best *plan
+	for t := early; t < early+p.ii; t++ {
+		for pe := 0; pe < p.c.NumPEs(); pe++ {
+			if !p.c.Supports(pe, p.ds.Nodes[v].Kind) || p.slotBusy(pe, t, p.ds.Nodes[v].Kind) {
+				continue
+			}
+			cost, chains, edges, ok := p.tryPosition(v, pe, t)
+			if !ok {
+				continue
+			}
+			if best == nil || cost < best.cost {
+				best = &plan{pe: pe, t: t, cost: cost, chains: chains, edges: edges}
+			}
+		}
+	}
+	if best == nil {
+		return false
+	}
+	p.commit(v, best.pe, best.t)
+	for i, chain := range best.chains {
+		p.materializeChain(best.edges[i], chain, stats)
+	}
+	p.recomputePressure()
+	for pe, used := range p.pressure {
+		if used > p.c.RegsAt(pe) {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *refPlacer) slotBusy(pe, t int, kind dfg.OpKind) bool {
+	if p.occupied[[2]int{pe, refMod(t, p.ii)}] {
+		return true
+	}
+	if !kind.IsMem() {
+		return false
+	}
+	row := p.c.RowOf(pe)
+	return !p.c.RowBusOK(row) || p.busUsed[[2]int{row, refMod(t, p.ii)}]
+}
+
+func (p *refPlacer) commit(v, pe, t int) {
+	p.time[v] = t
+	p.pe[v] = pe
+	p.occupied[[2]int{pe, refMod(t, p.ii)}] = true
+	if p.ds.Nodes[v].Kind.IsMem() {
+		p.busUsed[[2]int{p.c.RowOf(pe), refMod(t, p.ii)}] = true
+	}
+}
+
+func (p *refPlacer) tryPosition(v, pe, t int) (cost int, chains [][]int, edges []int, ok bool) {
+	check := func(ei int, prodOp, prodPE, prodT, consPE, consT, dist int) bool {
+		span := consT - prodT + p.ii*dist
+		switch {
+		case span < 1:
+			return false
+		case span == 1:
+			if !p.c.Connected(prodPE, consPE) {
+				return false
+			}
+			if prodPE != consPE {
+				cost++
+			}
+			return true
+		case prodPE == consPE:
+			regs := (span + p.ii - 1) / p.ii
+			if p.pressure[prodPE]+regs > p.c.RegsAt(prodPE) {
+				return false
+			}
+			cost += 2 * regs
+			return true
+		case dist > 0:
+			return false
+		default:
+			chain := p.routeChain(prodPE, prodT, consPE, span)
+			if chain == nil {
+				return false
+			}
+			cost += 2 * len(chain)
+			chains = append(chains, chain)
+			edges = append(edges, ei)
+			return true
+		}
+	}
+	for _, ei := range p.ds.InEdges(v) {
+		e := p.ds.Edges[ei]
+		if e.From == v {
+			if spanSelf := p.ii * e.Dist; spanSelf > 1 {
+				regs := (spanSelf + p.ii - 1) / p.ii
+				if p.pressure[pe]+regs > p.c.RegsAt(pe) {
+					return 0, nil, nil, false
+				}
+				cost += 2 * regs
+			}
+			continue
+		}
+		if p.time[e.From] < 0 {
+			continue
+		}
+		if !check(ei, e.From, p.pe[e.From], p.time[e.From], pe, t, e.Dist) {
+			return 0, nil, nil, false
+		}
+	}
+	for _, ei := range p.ds.OutEdges(v) {
+		e := p.ds.Edges[ei]
+		if e.To == v || p.time[e.To] < 0 {
+			continue
+		}
+		if !check(ei, v, pe, t, p.pe[e.To], p.time[e.To], e.Dist) {
+			return 0, nil, nil, false
+		}
+	}
+	return cost, chains, edges, true
+}
+
+func (p *refPlacer) routeChain(fromPE, fromT, toPE, span int) []int {
+	type state struct {
+		pe, k int
+	}
+	prev := map[state]state{}
+	seen := map[state]bool{}
+	frontier := []state{{fromPE, 0}}
+	seen[state{fromPE, 0}] = true
+	for len(frontier) > 0 {
+		var next []state
+		for _, cur := range frontier {
+			if cur.k == span-1 {
+				if p.c.Connected(cur.pe, toPE) {
+					chain := make([]int, 0, span-1)
+					for at := cur; at.k > 0; at = prev[at] {
+						chain = append(chain, at.pe)
+					}
+					for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+						chain[i], chain[j] = chain[j], chain[i]
+					}
+					return chain
+				}
+				continue
+			}
+			cands := append([]int{cur.pe}, p.c.Neighbors(cur.pe)...)
+			for _, q := range cands {
+				ns := state{q, cur.k + 1}
+				if seen[ns] || !p.c.Supports(q, dfg.Route) || p.slotBusy(q, fromT+ns.k, dfg.Route) {
+					continue
+				}
+				seen[ns] = true
+				prev[ns] = cur
+				next = append(next, ns)
+			}
+		}
+		frontier = next
+	}
+	return nil
+}
+
+func (p *refPlacer) materializeChain(ei int, chain []int, stats *Stats) {
+	e := p.ds.Edges[ei]
+	prodT := p.time[e.From]
+	node := e.From
+	for k, pe := range chain {
+		rt := p.ds.InsertRoute(p.edgeIndexFrom(node, e.To, e.Port))
+		p.time = append(p.time, 0)
+		p.pe = append(p.pe, 0)
+		p.time[rt] = prodT + k + 1
+		p.pe[rt] = pe
+		p.occupied[[2]int{pe, refMod(prodT+k+1, p.ii)}] = true
+		stats.Routes++
+		node = rt
+	}
+}
+
+func (p *refPlacer) edgeIndexFrom(node, to, port int) int {
+	for _, ei := range p.ds.OutEdges(node) {
+		e := p.ds.Edges[ei]
+		if e.To == to && e.Port == port {
+			return ei
+		}
+	}
+	panic("ems: lost track of an edge while routing")
+}
+
+func (p *refPlacer) recomputePressure() {
+	for i := range p.pressure {
+		p.pressure[i] = 0
+	}
+	for v := range p.ds.Nodes {
+		if v >= len(p.time) || p.time[v] < 0 {
+			continue
+		}
+		maxSpan := 0
+		for _, ei := range p.ds.OutEdges(v) {
+			e := p.ds.Edges[ei]
+			var span int
+			if e.To == v {
+				span = p.ii * e.Dist
+			} else {
+				if e.To >= len(p.time) || p.time[e.To] < 0 {
+					continue
+				}
+				span = p.time[e.To] - p.time[v] + p.ii*e.Dist
+			}
+			if span > 1 && span > maxSpan {
+				maxSpan = span
+			}
+		}
+		if maxSpan > 1 {
+			p.pressure[p.pe[v]] += (maxSpan + p.ii - 1) / p.ii
+		}
+	}
+}
+
+func refMod(a, m int) int { return ((a % m) + m) % m }

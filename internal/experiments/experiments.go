@@ -66,6 +66,14 @@ type Config struct {
 	// parallel engine's reduction is deterministic (DESIGN.md section 8g) —
 	// so it composes freely with Workers and Portfolio.
 	CliqueWorkers int
+	// DRESCRestarts races this many seed-derived annealing chains per II
+	// inside every DRESC run (<=1: the single-chain escalation). The result
+	// depends on this value — it is part of the experimental setup — but
+	// never on DRESCWorkers (DESIGN.md section 8h).
+	DRESCRestarts int
+	// DRESCWorkers bounds the goroutines racing those chains (0: GOMAXPROCS).
+	// Wall-clock only; results are byte-identical at any value.
+	DRESCWorkers int
 	// Trace, when non-nil, is attached to the context of every mapper run so
 	// the engines' per-pass spans reach its sink (the experiments binary's
 	// -trace flag feeds a JSONL sink here). Sinks must be safe for concurrent
@@ -144,7 +152,7 @@ func (c Config) coreOptions() core.Options {
 }
 
 func (c Config) drescOptions() dresc.Options {
-	o := dresc.Options{Seed: c.Seed}
+	o := dresc.Options{Seed: c.Seed, Restarts: c.DRESCRestarts, Workers: c.DRESCWorkers}
 	if c.Quick {
 		o.MovesPerTemperature = 6 * 16
 		o.Cooling = 0.8

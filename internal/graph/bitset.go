@@ -40,6 +40,24 @@ func NewBitsetSlab(n, count int) []*Bitset {
 // Cap returns the capacity of the bitset.
 func (b *Bitset) Cap() int { return b.n }
 
+// Grow resizes the bitset to hold values 0..n-1 and clears it, reusing the
+// word storage whenever it is large enough. Arena-style callers (the EMS
+// placer's per-II occupancy masks, whose size is NumPEs*ii) call it instead
+// of NewBitset so repeated attempts stop allocating.
+func (b *Bitset) Grow(n int) {
+	if n < 0 {
+		panic("graph: negative bitset capacity")
+	}
+	want := (n + 63) / 64
+	if want <= cap(b.words) {
+		b.words = b.words[:want]
+	} else {
+		b.words = make([]uint64, want)
+	}
+	b.n = n
+	b.Reset()
+}
+
 // Set adds i to the set.
 func (b *Bitset) Set(i int) {
 	b.checkIndex(i)

@@ -146,3 +146,30 @@ func TestBitsetAgainstModel(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestBitsetGrow(t *testing.T) {
+	b := NewBitset(10)
+	b.Set(3)
+	b.Set(9)
+	b.Grow(5) // shrink within existing words: must clear, keep capacity
+	if b.Cap() != 5 {
+		t.Fatalf("Cap after Grow(5) = %d", b.Cap())
+	}
+	if !b.Empty() {
+		t.Fatal("Grow did not clear the set")
+	}
+	b.Set(4)
+	b.Grow(200) // grow past the backing array
+	if b.Cap() != 200 || !b.Empty() {
+		t.Fatalf("Grow(200): cap=%d empty=%v", b.Cap(), b.Empty())
+	}
+	b.Set(199)
+	if !b.Has(199) || b.Count() != 1 {
+		t.Fatal("bitset unusable after Grow")
+	}
+	// Steady state: growing within capacity must not allocate.
+	b.Grow(64)
+	if n := testing.AllocsPerRun(20, func() { b.Grow(128); b.Grow(64) }); n != 0 {
+		t.Fatalf("Grow within capacity allocates %.1f times per run", n)
+	}
+}

@@ -50,7 +50,7 @@ import (
 	// core.Options carrying the clique worker count and the shared arena pool.
 	"regimap/internal/clique"
 	"regimap/internal/core"
-	_ "regimap/internal/dresc"
+	"regimap/internal/dresc"
 	_ "regimap/internal/ems"
 	_ "regimap/internal/portfolio"
 )
@@ -66,6 +66,16 @@ type Config struct {
 	// Search arenas are pooled on the Server and reused across requests
 	// regardless of this setting.
 	CliqueWorkers int
+	// DRESCRestarts races this many seed-derived annealing chains per II
+	// inside each dresc-engine run (<=1: single chain). Unlike the worker
+	// knobs it changes which placement is produced, so it is part of the
+	// server's configuration identity: all cached results were computed
+	// under it.
+	DRESCRestarts int
+	// DRESCWorkers bounds the goroutines racing those chains (0: GOMAXPROCS).
+	// Wall-clock only; placements are byte-identical at any value, so the
+	// result cache never observes a worker-count-dependent answer.
+	DRESCWorkers int
 	// Queue bounds mapping computations waiting for a worker; one more is
 	// shed with 429 (default 64).
 	Queue int
@@ -363,6 +373,12 @@ func (s *Server) resolve(req *MapRequest) (d *dfg.DFG, c *arch.CGRA, eng engine.
 		// at any worker count keep the cache coherent.
 		eo.Extra = core.Options{Clique: clique.Options{Workers: s.cfg.CliqueWorkers, Arenas: s.arenas}}
 	}
+	if mapperName == "dresc" {
+		// Restart racing is deterministic per (seed, restarts), so handing
+		// the engine the server's chain configuration keeps the cache
+		// coherent the same way the clique workers do for regimap.
+		eo.Extra = dresc.Options{Restarts: s.cfg.DRESCRestarts, Workers: s.cfg.DRESCWorkers}
+	}
 
 	if req.Faults != "" {
 		fs, ferr := fault.Parse(req.Faults)
@@ -375,7 +391,10 @@ func (s *Server) resolve(req *MapRequest) (d *dfg.DFG, c *arch.CGRA, eng engine.
 		faults = fs.String()
 		if mapperName == "resilient" {
 			// The ladder owns fault application and transient retry.
-			eo.Extra = resilient.Options{Faults: fs}
+			eo.Extra = resilient.Options{
+				Faults: fs,
+				DRESC:  dresc.Options{Restarts: s.cfg.DRESCRestarts, Workers: s.cfg.DRESCWorkers},
+			}
 		} else {
 			faulted, ferr := fs.Apply(c)
 			if ferr != nil {

@@ -30,11 +30,14 @@ import (
 
 func main() {
 	var (
-		write      = flag.String("write", "", "write the parsed benchmarks as a JSON baseline to this file")
-		compare    = flag.String("compare", "", "compare stdin bench output against this JSON baseline")
-		maxRegress = flag.Float64("max-regress", 1.30, "compare: fail when ns/op exceeds baseline by this factor")
-		minNs      = flag.Float64("min-ns", 100e3, "compare: ignore benchmarks whose baseline ns/op is below this")
-		note       = flag.String("note", "", "write: free-form provenance note stored in the baseline")
+		write           = flag.String("write", "", "write the parsed benchmarks as a JSON baseline to this file")
+		compare         = flag.String("compare", "", "compare stdin bench output against this JSON baseline")
+		maxRegress      = flag.Float64("max-regress", 1.30, "compare: fail when ns/op exceeds baseline by this factor")
+		minNs           = flag.Float64("min-ns", 100e3, "compare: ignore benchmarks whose baseline ns/op is below this")
+		maxAllocRegress = flag.Float64("max-alloc-regress", 0, "compare: fail when allocs/op or B/op exceed baseline by this factor (0: disabled)")
+		minAllocs       = flag.Float64("min-allocs", 64, "compare: skip the allocs/op check when baseline allocs/op is below this")
+		minBytes        = flag.Float64("min-bytes", 4096, "compare: skip the B/op check when baseline B/op is below this")
+		note            = flag.String("note", "", "write: free-form provenance note stored in the baseline")
 	)
 	flag.Parse()
 	if (*write == "") == (*compare == "") {
@@ -53,7 +56,13 @@ func main() {
 
 	base, err := benchjson.LoadBaseline(*compare)
 	exitOn(err)
-	verdicts, err := benchjson.Compare(parsed, base, benchjson.CompareOptions{MaxRegress: *maxRegress, MinNs: *minNs})
+	verdicts, err := benchjson.Compare(parsed, base, benchjson.CompareOptions{
+		MaxRegress:      *maxRegress,
+		MinNs:           *minNs,
+		MaxAllocRegress: *maxAllocRegress,
+		MinAllocs:       *minAllocs,
+		MinBytes:        *minBytes,
+	})
 	benchjson.Report(os.Stdout, verdicts)
 	exitOn(err)
 }
