@@ -5,17 +5,29 @@
 // result cache that collapses duplicate in-flight queries, and a Prometheus
 // /metrics endpoint; SIGTERM drains gracefully.
 //
+// Alongside the synchronous path, POST /v1/jobs submits asynchronous jobs:
+// with -wal set, every acknowledged job is fsynced into a write-ahead log and
+// survives kill -9 — the next start replays the log and finishes the work.
+// The async path carries its own hardening: retries with backoff on transient
+// failures, a circuit breaker per engine that reroutes down the
+// REGIMap→EMS→DRESC ladder, and load-adaptive degradation past a queue
+// watermark.
+//
 // Usage:
 //
 //	regimapd                                    # serve on :8090
 //	regimapd -addr 127.0.0.1:9999 -workers 4 -queue 32
 //	regimapd -cache 4096 -default-deadline 10s -max-deadline 1m
+//	regimapd -wal /var/lib/regimapd/wal -job-workers 4  # durable async jobs
 //	regimapd -trace trace.jsonl                 # per-request spans + engine passes
 //
 //	curl -s localhost:8090/v1/mappers
 //	curl -s -X POST localhost:8090/v1/map -d '{"kernel":"fir8"}'
 //	curl -s -X POST localhost:8090/v1/map \
 //	    -d '{"source":"acc = acc + x[i]*h[i]","name":"mac","mapper":"portfolio"}'
+//	curl -s -X POST localhost:8090/v1/jobs \
+//	    -d '{"kernel":"fir8","idempotency_key":"fir8-run-1"}'
+//	curl -s localhost:8090/v1/jobs/j-00000001
 //	curl -s localhost:8090/metrics
 package main
 
@@ -47,6 +59,16 @@ func main() {
 		defDeadline = flag.Duration("default-deadline", 30*time.Second, "mapping deadline for requests that name none")
 		maxDeadline = flag.Duration("max-deadline", 2*time.Minute, "hard cap on any request's mapping deadline")
 		drainWait   = flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+		maxBody     = flag.Int64("max-body", 1<<20, "max request body size in bytes; larger bodies answer 413")
+		walDir      = flag.String("wal", "", "directory for the async-job write-ahead log (empty: jobs are not durable)")
+		jobWorkers  = flag.Int("job-workers", 2, "max concurrently executing async jobs (a pool separate from -workers)")
+		jobQueue    = flag.Int("job-queue", 256, "max queued async jobs; submits beyond this answer 429")
+		degradeAt   = flag.Int("degrade-watermark", 0, "queued-job count past which new jobs run on -degrade-to and are marked degraded (0: half of -job-queue; negative: disabled)")
+		degradeTo   = flag.String("degrade-to", "ems", "engine that watermark-degraded jobs run on")
+		jobAttempts = flag.Int("job-attempts", 3, "max execution attempts per job on transient failures")
+		brFailures  = flag.Int("breaker-failures", 5, "consecutive failures that trip an engine's circuit breaker")
+		brCooldown  = flag.Duration("breaker-cooldown", 5*time.Second, "how long a tripped breaker waits before its half-open probe")
+		brLatency   = flag.Duration("breaker-latency", 0, "when positive, consecutive engine calls slower than this also trip the breaker")
 		tracePath   = flag.String("trace", "", "write observability events (request spans, engine passes, counters) as JSON lines to this file")
 		showVersion = flag.Bool("version", false, "print the build version and exit")
 	)
@@ -65,18 +87,29 @@ func main() {
 		traceSink = sink
 	}
 
-	srv := server.New(server.Config{
-		Workers:         *workers,
-		CliqueWorkers:   *cliqueWork,
-		DRESCRestarts:   *drescRetry,
-		DRESCWorkers:    *drescWork,
-		Queue:           *queue,
-		CacheEntries:    *cacheSize,
-		DefaultDeadline: *defDeadline,
-		MaxDeadline:     *maxDeadline,
-		TraceSink:       traceSink,
-		Version:         version.String(),
+	srv, err := server.New(server.Config{
+		Workers:          *workers,
+		CliqueWorkers:    *cliqueWork,
+		DRESCRestarts:    *drescRetry,
+		DRESCWorkers:     *drescWork,
+		Queue:            *queue,
+		CacheEntries:     *cacheSize,
+		DefaultDeadline:  *defDeadline,
+		MaxDeadline:      *maxDeadline,
+		MaxBodyBytes:     *maxBody,
+		WALDir:           *walDir,
+		JobWorkers:       *jobWorkers,
+		JobQueue:         *jobQueue,
+		DegradeWatermark: *degradeAt,
+		DegradeTo:        *degradeTo,
+		JobAttempts:      *jobAttempts,
+		BreakerFailures:  *brFailures,
+		BreakerCooldown:  *brCooldown,
+		BreakerLatency:   *brLatency,
+		TraceSink:        traceSink,
+		Version:          version.String(),
 	})
+	exitOn(err)
 	hs := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
@@ -98,6 +131,13 @@ func main() {
 		srv.BeginDrain()
 		ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 		defer cancel()
+		// Finish acknowledged jobs before closing the listener: queued jobs
+		// run to terminal states (pollable until the very end), then
+		// in-flight HTTP requests complete. Jobs left unfinished when the
+		// budget expires stay in the WAL for the next start to recover.
+		if err := srv.FinishJobs(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "regimapd: job drain incomplete: %v\n", err)
+		}
 		if err := hs.Shutdown(ctx); err != nil {
 			fmt.Fprintf(os.Stderr, "regimapd: drain incomplete: %v\n", err)
 			os.Exit(1)

@@ -1,0 +1,173 @@
+// breaker.go is the per-engine circuit breaker: an engine that keeps
+// failing (or keeps answering slower than the configured latency budget)
+// is taken out of rotation for a cooldown, then probed with a single
+// half-open call before being trusted again. The job executor consults the
+// breaker when choosing an engine and routes around open circuits by
+// stepping down the REGIMap→EMS→DRESC resilient ladder.
+package jobs
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the classic three-state machine.
+type BreakerState int
+
+const (
+	// BreakerClosed: calls flow normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: calls are refused until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: exactly one probe call is allowed through; its
+	// outcome decides between closing and re-opening.
+	BreakerHalfOpen
+)
+
+// String names the state (also the Prometheus label value).
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "state(?)"
+	}
+}
+
+// BreakerConfig tunes one engine's breaker. The zero value selects defaults.
+type BreakerConfig struct {
+	// Failures trips the breaker after this many consecutive eligible
+	// failures (default 5). What counts as eligible is the manager's
+	// failure classifier — deterministic no-mapping answers are successes
+	// from the breaker's point of view: the engine did its job.
+	Failures int
+	// Latency, when positive, counts a call slower than this as a slow
+	// call even if it succeeded; SlowCalls consecutive slow calls trip the
+	// breaker the same way failures do (0: latency tripping disabled).
+	Latency time.Duration
+	// SlowCalls is the consecutive-slow-call trip threshold (default:
+	// Failures).
+	SlowCalls int
+	// Cooldown is how long an open breaker refuses calls before allowing a
+	// half-open probe (default 5s).
+	Cooldown time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Failures <= 0 {
+		c.Failures = 5
+	}
+	if c.SlowCalls <= 0 {
+		c.SlowCalls = c.Failures
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	return c
+}
+
+// Breaker is one engine's circuit. Safe for concurrent use.
+type Breaker struct {
+	mu       sync.Mutex
+	cfg      BreakerConfig
+	now      func() time.Time
+	state    BreakerState
+	fails    int // consecutive eligible failures
+	slows    int // consecutive over-latency calls
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+	trips    int64
+}
+
+// newBreaker returns a closed breaker; now is injectable for tests.
+func newBreaker(cfg BreakerConfig, now func() time.Time) *Breaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &Breaker{cfg: cfg.withDefaults(), now: now}
+}
+
+// Allow reports whether a call may proceed. On an open breaker whose
+// cooldown has elapsed it transitions to half-open and grants the single
+// probe slot; concurrent callers during the probe are refused.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.now().Sub(b.openedAt) < b.cfg.Cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.probing = true
+		return true
+	case BreakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// Record reports a call's outcome. failed says whether the manager's
+// classifier deemed it an engine-health failure; d is the call's latency.
+// A half-open probe's success closes the circuit; its failure re-opens it
+// for a fresh cooldown.
+func (b *Breaker) Record(failed bool, d time.Duration) (tripped bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+	if failed {
+		b.fails++
+		b.slows = 0
+		if b.state == BreakerHalfOpen || b.fails >= b.cfg.Failures {
+			return b.tripLocked()
+		}
+		return false
+	}
+	b.fails = 0
+	if b.cfg.Latency > 0 && d > b.cfg.Latency {
+		b.slows++
+		if b.state == BreakerHalfOpen || b.slows >= b.cfg.SlowCalls {
+			return b.tripLocked()
+		}
+		return false
+	}
+	b.slows = 0
+	b.state = BreakerClosed
+	return false
+}
+
+// tripLocked opens the circuit (idempotent per trip: re-opening from
+// half-open counts as a new trip, since the engine failed its probe).
+func (b *Breaker) tripLocked() bool {
+	b.state = BreakerOpen
+	b.openedAt = b.now()
+	b.fails = 0
+	b.slows = 0
+	b.trips++
+	return true
+}
+
+// State returns the current state without side effects (an open breaker
+// past its cooldown still reads open until Allow grants the probe).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Trips returns how many times the breaker has opened.
+func (b *Breaker) Trips() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

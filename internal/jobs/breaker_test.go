@@ -1,0 +1,97 @@
+package jobs
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for breaker cooldown tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func newTestBreaker(cfg BreakerConfig) (*Breaker, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	return newBreaker(cfg, clk.now), clk
+}
+
+// TestBreakerTripsOnConsecutiveFailures: the circuit opens at the threshold,
+// and a success along the way resets the count.
+func TestBreakerTripsOnConsecutiveFailures(t *testing.T) {
+	b, _ := newTestBreaker(BreakerConfig{Failures: 3})
+	b.Record(true, 0)
+	b.Record(true, 0)
+	b.Record(false, 0) // success resets the streak
+	b.Record(true, 0)
+	b.Record(true, 0)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after 2 failures = %v, want closed", b.State())
+	}
+	if tripped := b.Record(true, 0); !tripped {
+		t.Fatal("third consecutive failure did not trip")
+	}
+	if b.State() != BreakerOpen || b.Allow() {
+		t.Fatalf("state = %v, want open and refusing", b.State())
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("trips = %d, want 1", b.Trips())
+	}
+}
+
+// TestBreakerHalfOpenProbe: after the cooldown exactly one probe is let
+// through; its success closes the circuit, its failure re-opens it.
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{Failures: 1, Cooldown: time.Second})
+	b.Record(true, 0)
+	if b.Allow() {
+		t.Fatal("open breaker allowed a call before cooldown")
+	}
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed but probe refused")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state during probe = %v", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent probe allowed")
+	}
+	// Probe fails: straight back to open, counting a new trip.
+	if tripped := b.Record(true, 0); !tripped {
+		t.Fatal("failed probe did not re-trip")
+	}
+	if b.Allow() {
+		t.Fatal("re-opened breaker allowed a call")
+	}
+
+	clk.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("second probe refused")
+	}
+	b.Record(false, 0) // probe succeeds
+	if b.State() != BreakerClosed || !b.Allow() {
+		t.Fatalf("state after successful probe = %v", b.State())
+	}
+	if b.Trips() != 2 {
+		t.Fatalf("trips = %d, want 2", b.Trips())
+	}
+}
+
+// TestBreakerLatencyTrip: consecutive over-budget calls trip the circuit even
+// when every call succeeds.
+func TestBreakerLatencyTrip(t *testing.T) {
+	b, _ := newTestBreaker(BreakerConfig{Failures: 10, Latency: 100 * time.Millisecond, SlowCalls: 2})
+	b.Record(false, 200*time.Millisecond)
+	b.Record(false, 50*time.Millisecond) // fast call resets the slow streak
+	b.Record(false, 200*time.Millisecond)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state = %v, want closed", b.State())
+	}
+	if tripped := b.Record(false, 200*time.Millisecond); !tripped {
+		t.Fatal("second consecutive slow call did not trip")
+	}
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+}

@@ -1,0 +1,707 @@
+// Package jobs is regimapd's durable async job subsystem: submit a mapping
+// request, get an ID back immediately, poll for the result. The manager
+// guarantees that every acknowledged job reaches exactly one terminal state,
+// across process crashes:
+//
+//   - a submit is acknowledged only after its record is fsynced into an
+//     append-only JSONL write-ahead log (wal.go), so kill -9 cannot lose it;
+//   - on startup the WAL (plus its periodic snapshot) is replayed and every
+//     non-terminal job is re-queued;
+//   - re-execution after a crash is idempotent because results are
+//     content-addressed: the executor resolves each request through the
+//     internal/memo fingerprints, so the recomputed mapping is byte-identical
+//     to what the lost run would have produced.
+//
+// Around execution sits the hardening layer: per-job deadlines, retry with
+// exponential backoff + deterministic jitter on transient maperr failures, a
+// circuit breaker per engine (breaker.go) that routes tripped engines down
+// the REGIMap→EMS→DRESC resilient ladder, and load-adaptive degradation —
+// when the queue crosses a watermark, new jobs are downgraded to the
+// configured fast engine and marked degraded.
+//
+// Job lifecycle (see DESIGN.md section 8i):
+//
+//	queued ──► running ──► done
+//	   ▲          │  │
+//	   └──(crash)─┘  └───► failed
+//
+// The only backward edge is crash recovery: a job that was queued or running
+// when the process died restarts as queued. Within one process lifetime the
+// state is monotone, so a poller never observes a terminal state twice with
+// different contents.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime/debug"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"regimap/internal/maperr"
+	"regimap/internal/obs"
+)
+
+// State is a job's lifecycle position; the string values are the wire and
+// WAL representation.
+type State string
+
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s == StateDone || s == StateFailed }
+
+// Job is one async mapping request and everything needed to recover it: the
+// opaque request body, the engine routing decision, and — once terminal —
+// the result or the classified failure. It is the WAL record format.
+type Job struct {
+	ID string `json:"id"`
+	// Key is the client's idempotency key ("" when the client sent none).
+	Key string `json:"key,omitempty"`
+	// Request is the submitted request body, opaque to the manager; the
+	// executor re-resolves it on every attempt.
+	Request []byte `json:"request"`
+	// Requested is the engine the client asked for; Engine is the engine
+	// the job is routed to (differs when degraded).
+	Requested string `json:"requested"`
+	Engine    string `json:"engine"`
+	State     State  `json:"state"`
+	// Degraded is true when the job was downgraded — by the queue-depth
+	// watermark at submit, or by breaker rerouting at execution.
+	Degraded bool `json:"degraded,omitempty"`
+	// Attempts counts execution attempts in the run that finished the job.
+	Attempts   int    `json:"attempts,omitempty"`
+	DeadlineMS int64  `json:"deadline_ms,omitempty"`
+	Result     []byte `json:"result,omitempty"`
+	Error      string `json:"error,omitempty"`
+	ErrorClass string `json:"error_class,omitempty"`
+	CreatedMS  int64  `json:"created_ms,omitempty"`
+	FinishedMS int64  `json:"finished_ms,omitempty"`
+}
+
+// Executor runs one attempt of a job's request on the named engine and
+// returns the serialized result. It must honour ctx and be safe for
+// concurrent use; panics are recovered by the manager into typed failures.
+type Executor func(ctx context.Context, request []byte, engine string) ([]byte, error)
+
+// ErrQueueFull reports a submit refused because the job queue is at
+// capacity; clients should back off and retry.
+var ErrQueueFull = errors.New("job queue full")
+
+// ErrDraining reports a submit refused because the manager is draining.
+var ErrDraining = errors.New("job manager draining")
+
+// ErrUnknownJob reports a poll for an ID the manager does not hold (never
+// acknowledged, or evicted by the terminal-job retention bound).
+var ErrUnknownJob = errors.New("unknown job")
+
+// Config tunes one Manager. The zero value selects sensible defaults.
+type Config struct {
+	// Workers bounds concurrently executing jobs (default 2).
+	Workers int
+	// QueueDepth bounds jobs waiting to run; submits beyond it fail with
+	// ErrQueueFull (default 256).
+	QueueDepth int
+	// Watermark is the queued-job count at which new submits are degraded
+	// to DegradeTo (0: QueueDepth/2; negative: degradation disabled).
+	Watermark int
+	// DegradeTo is the engine degraded jobs run on ("" disables watermark
+	// degradation).
+	DegradeTo string
+	// Downgrades returns the fallback engines, in order, for an engine
+	// whose breaker is open (nil: no rerouting).
+	Downgrades func(engine string) []string
+	// MaxAttempts bounds execution attempts per run, counting the first
+	// (default 3).
+	MaxAttempts int
+	// Backoff is the wait before the first retry, doubling per attempt
+	// with up to 50% deterministic jitter (default 50ms); MaxBackoff caps
+	// it (default 2s).
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// DefaultDeadline applies to jobs that carry none (default 30s); the
+	// deadline clock starts when execution starts, not while queued.
+	DefaultDeadline time.Duration
+	// Breaker tunes the per-engine circuit breakers.
+	Breaker BreakerConfig
+	// BreakerFailure classifies an execution error as an engine-health
+	// failure for the breaker (nil: transient failures, worker panics, and
+	// deadline aborts count; deterministic no-mapping answers do not).
+	BreakerFailure func(error) bool
+	// Classify maps a terminal error to the wire taxonomy class (nil:
+	// "internal").
+	Classify func(error) string
+	// KeepDone bounds retained terminal jobs; the oldest are evicted from
+	// memory and, at the next compaction, from disk (default 4096).
+	KeepDone int
+	// CompactEvery triggers snapshot compaction after this many WAL
+	// appends (default 1024).
+	CompactEvery int
+	// Trace receives job-lifecycle obs events (nil: untraced).
+	Trace *obs.Tracer
+	// Now is the clock (nil: time.Now). Injectable for breaker tests.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.Watermark == 0 {
+		c.Watermark = c.QueueDepth / 2
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 50 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 2 * time.Second
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 30 * time.Second
+	}
+	if c.KeepDone <= 0 {
+		c.KeepDone = 4096
+	}
+	if c.CompactEvery <= 0 {
+		c.CompactEvery = defaultCompactEvery
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	if c.BreakerFailure == nil {
+		c.BreakerFailure = func(err error) bool {
+			return err != nil && !errors.Is(err, maperr.ErrNoMapping)
+		}
+	}
+	if c.Classify == nil {
+		c.Classify = func(error) string { return "internal" }
+	}
+	return c
+}
+
+// Stats is a point-in-time snapshot of the manager's counters, consumed by
+// the /metrics exporter.
+type Stats struct {
+	Queued, Running              int
+	Submitted, Duplicates        int64
+	Done, Failed                 int64
+	Degraded, Retries, Recovered int64
+	Evicted, Trips, Compactions  int64
+	WALRecords                   int64
+	Breakers                     map[string]BreakerState
+	BreakerTrips                 map[string]int64
+}
+
+// Manager owns the job table, the worker pool, and the WAL. Construct with
+// Open; stop with Drain (graceful) or Kill (crash-equivalent).
+type Manager struct {
+	cfg  Config
+	wal  *WAL // nil: ephemeral (no durability)
+	exec Executor
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	jobs     map[string]*Job
+	byKey    map[string]string // idempotency key → job ID
+	pending  []string          // FIFO of queued job IDs
+	done     []string          // terminal job IDs, oldest first (retention)
+	breakers map[string]*Breaker
+	seq      int64
+	running  int
+	draining bool
+	stopping bool
+	killed   bool
+
+	rootCtx context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+
+	submitted, duplicates, doneN, failedN atomic.Int64
+	degradedN, retries, recovered         atomic.Int64
+	evicted, trips, compactions           atomic.Int64
+}
+
+// Open builds a Manager over the WAL directory (dir "" runs ephemeral —
+// full job semantics, no durability), re-queues every recovered
+// non-terminal job, and starts the worker pool.
+func Open(dir string, exec Executor, cfg Config) (*Manager, error) {
+	cfg = cfg.withDefaults()
+	var wal *WAL
+	var recovered []*Job
+	if dir != "" {
+		var err error
+		wal, recovered, err = OpenWAL(dir)
+		if err != nil {
+			return nil, err
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:      cfg,
+		wal:      wal,
+		exec:     exec,
+		jobs:     make(map[string]*Job),
+		byKey:    make(map[string]string),
+		breakers: make(map[string]*Breaker),
+		rootCtx:  ctx,
+		cancel:   cancel,
+	}
+	m.cond = sync.NewCond(&m.mu)
+
+	for _, j := range recovered {
+		m.jobs[j.ID] = j
+		if j.Key != "" {
+			m.byKey[j.Key] = j.ID
+		}
+		if seq := idSeq(j.ID); seq > m.seq {
+			m.seq = seq
+		}
+		if j.State.Terminal() {
+			m.done = append(m.done, j.ID)
+			continue
+		}
+		// Queued or running at crash time: the terminal record never made
+		// it to disk, so the work is still owed. Re-queue it.
+		j.State = StateQueued
+		m.pending = append(m.pending, j.ID)
+		m.recovered.Add(1)
+		cfg.Trace.Point1("job.recover", "n", 1)
+	}
+
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m, nil
+}
+
+// idSeq extracts the numeric suffix of a "j-%08d" job ID (0 if malformed).
+func idSeq(id string) int64 {
+	s, ok := strings.CutPrefix(id, "j-")
+	if !ok {
+		return 0
+	}
+	n, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// Submit acknowledges one job: it is durable (WAL-synced) before Submit
+// returns. An already-seen idempotency key returns the existing job with
+// duplicate=true and runs nothing. deadline bounds the job's execution time
+// (0: the configured default).
+func (m *Manager) Submit(key string, request []byte, engine string, deadline time.Duration) (Job, bool, error) {
+	if deadline <= 0 {
+		deadline = m.cfg.DefaultDeadline
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining || m.stopping {
+		return Job{}, false, ErrDraining
+	}
+	if key != "" {
+		if id, ok := m.byKey[key]; ok {
+			m.duplicates.Add(1)
+			m.cfg.Trace.Point1("job.duplicate", "n", 1)
+			return *m.jobs[id], true, nil
+		}
+	}
+	if len(m.pending) >= m.cfg.QueueDepth {
+		return Job{}, false, ErrQueueFull
+	}
+
+	m.seq++
+	j := &Job{
+		ID:         fmt.Sprintf("j-%08d", m.seq),
+		Key:        key,
+		Request:    request,
+		Requested:  engine,
+		Engine:     engine,
+		State:      StateQueued,
+		DeadlineMS: deadline.Milliseconds(),
+		CreatedMS:  m.cfg.Now().UnixMilli(),
+	}
+	// Load-adaptive degradation: past the watermark, new work runs on the
+	// fast engine so the backlog drains instead of compounding.
+	if m.cfg.Watermark >= 0 && m.cfg.DegradeTo != "" &&
+		len(m.pending) >= m.cfg.Watermark && engine != m.cfg.DegradeTo {
+		j.Engine = m.cfg.DegradeTo
+		j.Degraded = true
+		m.degradedN.Add(1)
+		m.cfg.Trace.Point1("job.degrade", "n", 1)
+	}
+	// Durability point: the ack is valid only once this record is synced.
+	if err := m.appendLocked(j); err != nil {
+		m.seq--
+		return Job{}, false, err
+	}
+	m.jobs[j.ID] = j
+	if key != "" {
+		m.byKey[key] = j.ID
+	}
+	m.pending = append(m.pending, j.ID)
+	m.submitted.Add(1)
+	m.cfg.Trace.Point1("job.submit", "n", 1)
+	m.cond.Signal()
+	return *j, false, nil
+}
+
+// Get returns a snapshot of the job.
+func (m *Manager) Get(id string) (Job, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return Job{}, ErrUnknownJob
+	}
+	return *j, nil
+}
+
+// QueueDepth reports how many jobs are waiting to run.
+func (m *Manager) QueueDepth() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.pending)
+}
+
+// appendLocked writes the job's current state to the WAL (no-op when
+// ephemeral) and compacts when due. Callers hold m.mu.
+func (m *Manager) appendLocked(j *Job) error {
+	if m.wal == nil {
+		return nil
+	}
+	if err := m.wal.Append(j); err != nil {
+		return err
+	}
+	if m.wal.ShouldCompact(m.cfg.CompactEvery) {
+		all := make([]*Job, 0, len(m.jobs))
+		for _, job := range m.jobs {
+			all = append(all, job)
+		}
+		if err := m.wal.Compact(all); err == nil {
+			m.compactions.Add(1)
+			m.cfg.Trace.Point1("wal.compact", "n", 1)
+		}
+	}
+	return nil
+}
+
+// worker pulls queued jobs until the manager stops. On Drain workers keep
+// pulling until the queue is empty; on Kill they exit immediately.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		m.mu.Lock()
+		for len(m.pending) == 0 && !m.stopping {
+			m.cond.Wait()
+		}
+		if m.killed || len(m.pending) == 0 {
+			m.mu.Unlock()
+			return
+		}
+		id := m.pending[0]
+		m.pending = m.pending[1:]
+		m.mu.Unlock()
+		m.run(id)
+	}
+}
+
+// run executes one job to a terminal state: engine routing around open
+// breakers, the per-job deadline, and transient-failure retries all live
+// here. A crash (Kill) between the last attempt and the terminal record
+// leaves the job non-terminal on disk, which is what recovery re-queues.
+func (m *Manager) run(id string) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok || j.State.Terminal() {
+		m.mu.Unlock()
+		return
+	}
+	j.State = StateRunning
+	m.running++
+	deadline := time.Duration(j.DeadlineMS) * time.Millisecond
+	if deadline <= 0 {
+		deadline = m.cfg.DefaultDeadline
+	}
+	requested := j.Engine // post-watermark routing decision
+	// The start record is durability-optional (losing it only means the
+	// job replays as queued), but keeping it in the log makes the WAL a
+	// complete lifecycle journal.
+	m.appendLocked(j)
+	m.mu.Unlock()
+	m.cfg.Trace.Point1("job.start", "n", 1)
+
+	ctx, cancel := context.WithTimeout(m.rootCtx, deadline)
+	defer cancel()
+
+	var (
+		result   []byte
+		err      error
+		engine   string
+		attempts int
+	)
+	for attempt := 0; ; attempt++ {
+		attempts = attempt + 1
+		engine, err = m.routeEngine(requested)
+		if err == nil {
+			br := m.breakerFor(engine)
+			start := m.cfg.Now()
+			result, err = m.attempt(ctx, j.Request, engine)
+			elapsed := m.cfg.Now().Sub(start)
+			if br.Record(m.cfg.BreakerFailure(err), elapsed) {
+				m.trips.Add(1)
+				m.cfg.Trace.Point1("breaker.trip", "n", 1)
+			}
+		}
+		if err == nil || !maperr.IsTransient(err) ||
+			attempt+1 >= m.cfg.MaxAttempts || ctx.Err() != nil {
+			break
+		}
+		m.retries.Add(1)
+		m.cfg.Trace.Point1("job.retry", "n", 1)
+		select {
+		case <-ctx.Done():
+			err = maperr.Aborted(ctx.Err(), "job %s: deadline expired during retry backoff", id)
+		case <-time.After(m.backoff(id, attempt)):
+			continue
+		}
+		break
+	}
+	m.finalize(id, engine, attempts, result, err)
+}
+
+// attempt is one guarded executor call: a panicking executor is recovered
+// into a typed worker-panic error (transient, hence retryable) instead of
+// killing the queue worker.
+func (m *Manager) attempt(ctx context.Context, request []byte, engine string) (result []byte, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			result = nil
+			err = &maperr.WorkerPanicError{
+				Worker: "job worker (" + engine + ")",
+				Value:  v,
+				Stack:  debug.Stack(),
+			}
+		}
+	}()
+	return m.exec(ctx, request, engine)
+}
+
+// routeEngine picks the first engine — the requested one, then its
+// downgrade ladder — whose breaker admits a call. With every circuit open
+// the failure is transient: a cooldown will expire and grant a probe, so
+// the retry loop (not the client) absorbs the wait.
+func (m *Manager) routeEngine(requested string) (string, error) {
+	if m.breakerFor(requested).Allow() {
+		return requested, nil
+	}
+	if m.cfg.Downgrades != nil {
+		for _, cand := range m.cfg.Downgrades(requested) {
+			if m.breakerFor(cand).Allow() {
+				return cand, nil
+			}
+		}
+	}
+	return "", maperr.Transient(nil, "job: every engine circuit from %q down is open", requested)
+}
+
+// breakerFor returns (creating on first use) the engine's breaker.
+func (m *Manager) breakerFor(engine string) *Breaker {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	b, ok := m.breakers[engine]
+	if !ok {
+		b = newBreaker(m.cfg.Breaker, m.cfg.Now)
+		m.breakers[engine] = b
+	}
+	return b
+}
+
+// backoff computes the wait before retry `attempt`, exponential with a
+// deterministic jitter derived from (job ID, attempt) — no shared RNG, and
+// replaying a recovered job waits the same schedule.
+func (m *Manager) backoff(id string, attempt int) time.Duration {
+	d := m.cfg.Backoff << attempt
+	if d > m.cfg.MaxBackoff || d <= 0 {
+		d = m.cfg.MaxBackoff
+	}
+	h := fnv.New32a()
+	fmt.Fprintf(h, "%s:%d", id, attempt)
+	jitter := time.Duration(h.Sum32()) % (d/2 + 1)
+	return d + jitter
+}
+
+// finalize writes the terminal state. After Kill it deliberately does
+// nothing: the process is "dead", and mutating state or the WAL would break
+// the crash-equivalence the recovery tests rely on.
+func (m *Manager) finalize(id, engine string, attempts int, result []byte, err error) {
+	m.mu.Lock()
+	if m.killed {
+		m.mu.Unlock()
+		return
+	}
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return
+	}
+	m.running--
+	j.Attempts = attempts
+	j.FinishedMS = m.cfg.Now().UnixMilli()
+	if engine != "" {
+		j.Engine = engine
+	}
+	if engine != "" && engine != j.Requested {
+		j.Degraded = true
+	}
+	if err == nil {
+		j.State = StateDone
+		j.Result = result
+		m.doneN.Add(1)
+	} else {
+		j.State = StateFailed
+		j.Error = err.Error()
+		j.ErrorClass = m.cfg.Classify(err)
+		m.failedN.Add(1)
+	}
+	m.done = append(m.done, id)
+	m.evictLocked()
+	m.appendLocked(j)
+	degraded := j.Degraded
+	state := j.State
+	m.mu.Unlock()
+
+	if state == StateDone {
+		m.cfg.Trace.Point("job.done", "n", 1, "attempts", int64(attempts), "degraded", b2i(degraded))
+	} else {
+		m.cfg.Trace.Point("job.fail", "n", 1, "attempts", int64(attempts), "", 0)
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// evictLocked enforces the terminal-job retention bound.
+func (m *Manager) evictLocked() {
+	for len(m.done) > m.cfg.KeepDone {
+		id := m.done[0]
+		m.done = m.done[1:]
+		if j, ok := m.jobs[id]; ok {
+			delete(m.jobs, id)
+			if j.Key != "" {
+				delete(m.byKey, j.Key)
+			}
+			m.evicted.Add(1)
+		}
+	}
+}
+
+// Drain flips the manager into graceful shutdown: new submits fail with
+// ErrDraining, queued jobs run to completion, and Drain returns once every
+// acknowledged job is terminal (or ctx expires first, leaving the rest for
+// recovery). The WAL is closed cleanly on full drains.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	m.draining = true
+	m.stopping = true
+	m.mu.Unlock()
+	m.cond.Broadcast()
+
+	finished := make(chan struct{})
+	go func() { m.wg.Wait(); close(finished) }()
+	select {
+	case <-finished:
+	case <-ctx.Done():
+		return fmt.Errorf("jobs: drain incomplete: %w", ctx.Err())
+	}
+	if m.wal != nil {
+		return m.wal.Close()
+	}
+	return nil
+}
+
+// Draining reports whether new submits are refused.
+func (m *Manager) Draining() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.draining
+}
+
+// Kill hard-stops the manager without draining — crash-equivalent: workers
+// exit, running executions are cancelled, and nothing further reaches the
+// WAL, so the on-disk state is exactly what a kill -9 would leave. A new
+// manager opened on the same directory recovers every acknowledged
+// non-terminal job.
+func (m *Manager) Kill() {
+	m.mu.Lock()
+	if m.killed {
+		m.mu.Unlock()
+		return
+	}
+	m.killed = true
+	m.stopping = true
+	m.draining = true
+	m.mu.Unlock()
+	if m.wal != nil {
+		m.wal.Kill()
+	}
+	m.cancel()
+	m.cond.Broadcast()
+	m.wg.Wait()
+}
+
+// Stats snapshots the counters for the /metrics exporter.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	st := Stats{
+		Queued:       len(m.pending),
+		Running:      m.running,
+		Breakers:     make(map[string]BreakerState, len(m.breakers)),
+		BreakerTrips: make(map[string]int64, len(m.breakers)),
+	}
+	breakers := make(map[string]*Breaker, len(m.breakers))
+	for name, b := range m.breakers {
+		breakers[name] = b
+	}
+	m.mu.Unlock()
+	for name, b := range breakers {
+		st.Breakers[name] = b.State()
+		st.BreakerTrips[name] = b.Trips()
+	}
+	st.Submitted = m.submitted.Load()
+	st.Duplicates = m.duplicates.Load()
+	st.Done = m.doneN.Load()
+	st.Failed = m.failedN.Load()
+	st.Degraded = m.degradedN.Load()
+	st.Retries = m.retries.Load()
+	st.Recovered = m.recovered.Load()
+	st.Evicted = m.evicted.Load()
+	st.Trips = m.trips.Load()
+	st.Compactions = m.compactions.Load()
+	if m.wal != nil {
+		st.WALRecords = m.wal.Records()
+	}
+	return st
+}

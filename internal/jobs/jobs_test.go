@@ -1,0 +1,437 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"regimap/internal/maperr"
+)
+
+// testExec is a scriptable executor. By default it echoes the request back
+// as the result; per-engine hooks and a gate make runs controllable.
+type testExec struct {
+	mu    sync.Mutex
+	calls atomic.Int64
+	// perEngine, when set for an engine name, decides that engine's outcome.
+	perEngine map[string]func(attempt int64) ([]byte, error)
+	// gate, when non-nil, blocks every call until closed (or ctx expires).
+	gate chan struct{}
+}
+
+func (e *testExec) run(ctx context.Context, request []byte, engine string) ([]byte, error) {
+	n := e.calls.Add(1)
+	e.mu.Lock()
+	gate := e.gate
+	hook := e.perEngine[engine]
+	e.mu.Unlock()
+	if gate != nil {
+		select {
+		case <-gate:
+		case <-ctx.Done():
+			return nil, maperr.Aborted(ctx.Err(), "testExec aborted")
+		}
+	}
+	if hook != nil {
+		return hook(n)
+	}
+	return append([]byte("ok:"), request...), nil
+}
+
+func openTest(t *testing.T, dir string, exec Executor, cfg Config) *Manager {
+	t.Helper()
+	m, err := Open(dir, exec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Kill)
+	return m
+}
+
+func waitTerminal(t *testing.T, m *Manager, id string) Job {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		j, err := m.Get(id)
+		if err != nil {
+			t.Fatalf("get %s: %v", id, err)
+		}
+		if j.State.Terminal() {
+			return j
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck in %s", id, j.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSubmitPollDone: the basic lifecycle, ephemeral (no WAL).
+func TestSubmitPollDone(t *testing.T) {
+	exec := &testExec{}
+	m := openTest(t, "", exec.run, Config{Workers: 1})
+	j, dup, err := m.Submit("", []byte("req"), "regimap", 0)
+	if err != nil || dup {
+		t.Fatalf("submit: dup=%v err=%v", dup, err)
+	}
+	if j.State != StateQueued || j.ID == "" {
+		t.Fatalf("ack = %+v", j)
+	}
+	got := waitTerminal(t, m, j.ID)
+	if got.State != StateDone || string(got.Result) != "ok:req" || got.Attempts != 1 {
+		t.Fatalf("terminal job = %+v", got)
+	}
+	if got.Degraded {
+		t.Fatal("undegraded job marked degraded")
+	}
+}
+
+// TestIdempotencyKeyDedup: the same key acks the same job and runs nothing
+// twice, including after the job finished.
+func TestIdempotencyKeyDedup(t *testing.T) {
+	exec := &testExec{}
+	m := openTest(t, "", exec.run, Config{Workers: 1})
+	a, dup, err := m.Submit("key-1", []byte("req"), "regimap", 0)
+	if err != nil || dup {
+		t.Fatal(err)
+	}
+	waitTerminal(t, m, a.ID)
+	b, dup, err := m.Submit("key-1", []byte("req"), "regimap", 0)
+	if err != nil || !dup {
+		t.Fatalf("duplicate submit: dup=%v err=%v", dup, err)
+	}
+	if b.ID != a.ID {
+		t.Fatalf("duplicate got id %s, want %s", b.ID, a.ID)
+	}
+	if n := exec.calls.Load(); n != 1 {
+		t.Fatalf("executor ran %d times, want 1", n)
+	}
+	if st := m.Stats(); st.Duplicates != 1 || st.Submitted != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestQueueFull: submits beyond the queue bound fail typed.
+func TestQueueFull(t *testing.T) {
+	exec := &testExec{gate: make(chan struct{})}
+	m := openTest(t, "", exec.run, Config{Workers: 1, QueueDepth: 1, Watermark: -1})
+	// One job occupies the worker (blocked on the gate), one fills the queue.
+	if _, _, err := m.Submit("", []byte("a"), "regimap", time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return m.QueueDepth() <= 1 && exec.calls.Load() == 1 })
+	if _, _, err := m.Submit("", []byte("b"), "regimap", time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := m.Submit("", []byte("c"), "regimap", time.Minute)
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-capacity submit: %v", err)
+	}
+}
+
+// TestWatermarkDegrade: past the watermark new submits run on the fast
+// engine, marked degraded; the routing decision is visible in the ack.
+func TestWatermarkDegrade(t *testing.T) {
+	exec := &testExec{gate: make(chan struct{})}
+	m := openTest(t, "", exec.run, Config{
+		Workers: 1, QueueDepth: 8, Watermark: 1, DegradeTo: "ems",
+	})
+	if _, _, err := m.Submit("", []byte("a"), "regimap", time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return exec.calls.Load() == 1 }) // worker busy
+	if _, _, err := m.Submit("", []byte("b"), "regimap", time.Minute); err != nil {
+		t.Fatal(err) // fills the queue to the watermark
+	}
+	j, _, err := m.Submit("", []byte("c"), "regimap", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j.Degraded || j.Engine != "ems" || j.Requested != "regimap" {
+		t.Fatalf("watermark submit = %+v, want degraded onto ems", j)
+	}
+	// An already-fast submit is not re-marked.
+	k, _, err := m.Submit("", []byte("d"), "ems", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Degraded {
+		t.Fatal("ems submit past watermark marked degraded")
+	}
+	close(exec.gate)
+	if got := waitTerminal(t, m, j.ID); got.Engine != "ems" || !got.Degraded {
+		t.Fatalf("degraded job finished as %+v", got)
+	}
+	if st := m.Stats(); st.Degraded != 1 {
+		t.Fatalf("degraded count = %d, want 1", st.Degraded)
+	}
+}
+
+// TestTransientRetry: transient failures are retried with backoff up to
+// MaxAttempts; a success on the way out wins.
+func TestTransientRetry(t *testing.T) {
+	exec := &testExec{perEngine: map[string]func(int64) ([]byte, error){
+		"regimap": func(n int64) ([]byte, error) {
+			if n < 3 {
+				return nil, maperr.Transient(nil, "flaky (call %d)", n)
+			}
+			return []byte("recovered"), nil
+		},
+	}}
+	m := openTest(t, "", exec.run, Config{
+		Workers: 1, MaxAttempts: 3, Backoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond,
+	})
+	j, _, err := m.Submit("", []byte("r"), "regimap", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitTerminal(t, m, j.ID)
+	if got.State != StateDone || got.Attempts != 3 || string(got.Result) != "recovered" {
+		t.Fatalf("retried job = %+v", got)
+	}
+	if st := m.Stats(); st.Retries != 2 {
+		t.Fatalf("retries = %d, want 2", st.Retries)
+	}
+}
+
+// TestPermanentFailureNotRetried: a deterministic no-mapping answer is final
+// on the first attempt and classified.
+func TestPermanentFailureNotRetried(t *testing.T) {
+	exec := &testExec{perEngine: map[string]func(int64) ([]byte, error){
+		"regimap": func(int64) ([]byte, error) {
+			return nil, maperr.NoMapping("II range exhausted")
+		},
+	}}
+	m := openTest(t, "", exec.run, Config{
+		Workers: 1, MaxAttempts: 5,
+		Classify: func(err error) string {
+			if errors.Is(err, maperr.ErrNoMapping) {
+				return "no-mapping"
+			}
+			return "internal"
+		},
+	})
+	j, _, _ := m.Submit("", []byte("r"), "regimap", time.Minute)
+	got := waitTerminal(t, m, j.ID)
+	if got.State != StateFailed || got.Attempts != 1 || got.ErrorClass != "no-mapping" {
+		t.Fatalf("infeasible job = %+v", got)
+	}
+	// No-mapping is a success for the breaker: the engine is healthy.
+	if st := m.Stats(); st.Breakers["regimap"] != BreakerClosed || st.Trips != 0 {
+		t.Fatalf("breaker stats after no-mapping = %+v", st)
+	}
+}
+
+// TestBreakerReroutesDownLadder: a tripped engine's jobs run on its
+// downgrade, marked degraded.
+func TestBreakerReroutesDownLadder(t *testing.T) {
+	exec := &testExec{perEngine: map[string]func(int64) ([]byte, error){
+		"regimap": func(int64) ([]byte, error) {
+			return nil, maperr.Transient(nil, "regimap broken")
+		},
+	}}
+	m := openTest(t, "", exec.run, Config{
+		Workers: 1, MaxAttempts: 2, Backoff: time.Millisecond, MaxBackoff: time.Millisecond,
+		Breaker:    BreakerConfig{Failures: 1, Cooldown: time.Hour},
+		Downgrades: func(string) []string { return []string{"ems"} },
+	})
+	j, _, _ := m.Submit("", []byte("r"), "regimap", time.Minute)
+	got := waitTerminal(t, m, j.ID)
+	// Attempt 1 fails on regimap and trips its breaker; attempt 2 routes to
+	// ems and succeeds.
+	if got.State != StateDone || got.Engine != "ems" || !got.Degraded {
+		t.Fatalf("rerouted job = %+v", got)
+	}
+	st := m.Stats()
+	if st.Breakers["regimap"] != BreakerOpen || st.Trips != 1 {
+		t.Fatalf("breaker stats = %+v", st)
+	}
+	// The next job skips the dead engine entirely: one executor call, on ems.
+	before := exec.calls.Load()
+	k, _, _ := m.Submit("", []byte("r2"), "regimap", time.Minute)
+	got = waitTerminal(t, m, k.ID)
+	if got.Engine != "ems" || exec.calls.Load() != before+1 {
+		t.Fatalf("follow-up job = %+v after %d calls", got, exec.calls.Load()-before)
+	}
+}
+
+// TestCrashRecovery is the heart of the exactly-once guarantee: kill the
+// manager with work acknowledged but unfinished, reopen the directory, and
+// every acknowledged job still reaches a terminal state.
+func TestCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	gate := make(chan struct{})
+	exec := &testExec{gate: gate}
+	m := openTest(t, dir, exec.run, Config{Workers: 1})
+
+	ids := make([]string, 0, 3)
+	for i := 0; i < 3; i++ {
+		j, _, err := m.Submit(fmt.Sprintf("key-%d", i), []byte(fmt.Sprintf("req-%d", i)), "regimap", time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID)
+	}
+	// One job is mid-execution, two are queued. Crash.
+	waitFor(t, func() bool { return exec.calls.Load() == 1 })
+	m.Kill()
+
+	exec2 := &testExec{}
+	m2 := openTest(t, dir, exec2.run, Config{Workers: 1})
+	for i, id := range ids {
+		got := waitTerminal(t, m2, id)
+		if got.State != StateDone || string(got.Result) != fmt.Sprintf("ok:req-%d", i) {
+			t.Fatalf("recovered job %s = %+v", id, got)
+		}
+	}
+	st := m2.Stats()
+	if st.Recovered != 3 {
+		t.Fatalf("recovered = %d, want 3", st.Recovered)
+	}
+	// Idempotency keys survive the crash: re-submitting acks the same job.
+	j, dup, err := m2.Submit("key-0", []byte("req-0"), "regimap", time.Minute)
+	if err != nil || !dup || j.ID != ids[0] {
+		t.Fatalf("post-recovery duplicate: %+v dup=%v err=%v", j, dup, err)
+	}
+}
+
+// TestRecoveredTerminalJobsStayTerminal: done jobs replay as done — recovery
+// must never re-run (or double-report) finished work.
+func TestRecoveredTerminalJobsStayTerminal(t *testing.T) {
+	dir := t.TempDir()
+	exec := &testExec{}
+	m := openTest(t, dir, exec.run, Config{Workers: 1})
+	j, _, err := m.Submit("k", []byte("r"), "regimap", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := waitTerminal(t, m, j.ID)
+	m.Kill()
+
+	exec2 := &testExec{}
+	m2 := openTest(t, dir, exec2.run, Config{Workers: 1})
+	got, err := m2.Get(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateDone || string(got.Result) != string(want.Result) {
+		t.Fatalf("terminal job replayed as %+v", got)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if exec2.calls.Load() != 0 {
+		t.Fatal("recovery re-ran a terminal job")
+	}
+	if st := m2.Stats(); st.Recovered != 0 {
+		t.Fatalf("recovered = %d, want 0", st.Recovered)
+	}
+}
+
+// TestDrainFinishesQueuedJobs: Drain refuses new submits but runs every
+// acknowledged job to a terminal state before returning.
+func TestDrainFinishesQueuedJobs(t *testing.T) {
+	exec := &testExec{}
+	m := openTest(t, "", exec.run, Config{Workers: 1})
+	ids := make([]string, 0, 5)
+	for i := 0; i < 5; i++ {
+		j, _, err := m.Submit("", []byte(fmt.Sprintf("r%d", i)), "regimap", time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, j.ID)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := m.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	for _, id := range ids {
+		j, err := m.Get(id)
+		if err != nil || !j.State.Terminal() {
+			t.Fatalf("job %s after drain: %+v err=%v", id, j, err)
+		}
+	}
+	if _, _, err := m.Submit("", []byte("late"), "regimap", 0); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit after drain: %v", err)
+	}
+}
+
+// TestDoneRetentionEviction: terminal jobs beyond KeepDone are evicted along
+// with their idempotency keys.
+func TestDoneRetentionEviction(t *testing.T) {
+	exec := &testExec{}
+	m := openTest(t, "", exec.run, Config{Workers: 1, KeepDone: 2})
+	var first Job
+	for i := 0; i < 4; i++ {
+		j, _, err := m.Submit(fmt.Sprintf("k%d", i), []byte("r"), "regimap", time.Minute)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = j
+		}
+		waitTerminal(t, m, j.ID)
+	}
+	if _, err := m.Get(first.ID); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("evicted job still resolvable: %v", err)
+	}
+	// Its key slot is free again: the same key now acks a fresh job.
+	j, dup, err := m.Submit("k0", []byte("r"), "regimap", time.Minute)
+	if err != nil || dup || j.ID == first.ID {
+		t.Fatalf("resubmit after eviction: %+v dup=%v err=%v", j, dup, err)
+	}
+	if st := m.Stats(); st.Evicted < 2 {
+		t.Fatalf("evicted = %d, want >= 2", st.Evicted)
+	}
+}
+
+// TestDeadlineAbortsJob: a job whose execution outlives its deadline fails
+// instead of hanging, and the failure is not retried past the deadline.
+func TestDeadlineAbortsJob(t *testing.T) {
+	exec := &testExec{gate: make(chan struct{})} // never closed
+	m := openTest(t, "", exec.run, Config{Workers: 1})
+	j, _, err := m.Submit("", []byte("r"), "regimap", 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitTerminal(t, m, j.ID)
+	if got.State != StateFailed {
+		t.Fatalf("deadline job = %+v", got)
+	}
+}
+
+// TestExecutorPanicIsolated: a panicking executor fails the job (after the
+// transient retries) without killing the worker.
+func TestExecutorPanicIsolated(t *testing.T) {
+	exec := &testExec{perEngine: map[string]func(int64) ([]byte, error){
+		"regimap": func(int64) ([]byte, error) { panic("executor detonated") },
+	}}
+	m := openTest(t, "", exec.run, Config{
+		Workers: 1, MaxAttempts: 2, Backoff: time.Millisecond, MaxBackoff: time.Millisecond,
+	})
+	j, _, _ := m.Submit("", []byte("r"), "regimap", time.Minute)
+	got := waitTerminal(t, m, j.ID)
+	if got.State != StateFailed || got.Attempts != 2 {
+		t.Fatalf("panicking job = %+v", got)
+	}
+	// The worker survived: an honest job still runs.
+	k, _, _ := m.Submit("", []byte("r"), "ems", time.Minute)
+	if got := waitTerminal(t, m, k.ID); got.State != StateDone {
+		t.Fatalf("post-panic job = %+v", got)
+	}
+}
+
+// waitFor polls cond until it holds or a generous deadline passes.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in time")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

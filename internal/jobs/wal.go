@@ -1,0 +1,241 @@
+// wal.go is the durability layer under the job manager: an append-only
+// JSONL write-ahead log with periodic snapshot compaction.
+//
+// Every record is a full Job snapshot, one JSON object per line. That makes
+// replay a pure upsert-by-ID fold — trivially idempotent, which is what lets
+// the compaction protocol tolerate a crash between any two of its steps:
+//
+//	append:  marshal job → write line → fsync       (ack only after this)
+//	compact: write snapshot.tmp → fsync → rename to snapshot.json
+//	         → truncate wal.jsonl
+//	open:    load snapshot.json → replay wal.jsonl on top (upsert)
+//
+// A crash after the rename but before the truncate leaves WAL records that
+// are already inside the snapshot; replaying them re-applies identical
+// states. A kill -9 mid-append can tear only the final line; Open detects
+// the undecodable tail and truncates it — the torn record was never acked,
+// because Append syncs before returning.
+package jobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+const (
+	walFile      = "wal.jsonl"
+	snapshotFile = "snapshot.json"
+	snapshotTmp  = "snapshot.tmp"
+)
+
+// defaultCompactEvery is how many WAL appends accumulate before the manager
+// folds them into a snapshot and truncates the log.
+const defaultCompactEvery = 1024
+
+// WAL is the single-writer append-only job log. All methods are safe for
+// concurrent use; the directory must belong to exactly one live process
+// (regimapd enforces this by construction — one manager per daemon).
+type WAL struct {
+	mu      sync.Mutex
+	dir     string
+	f       *os.File
+	appends int // records since the last compaction
+	records int64
+	killed  bool
+}
+
+// snapshot is the on-disk compaction format.
+type snapshot struct {
+	Jobs []*Job `json:"jobs"`
+}
+
+// OpenWAL opens (or creates) the log under dir and returns the recovered job
+// set: the last snapshot with every WAL record folded on top, sorted by job
+// ID so recovery re-queues work in admission order. A torn final line — the
+// kill -9 signature — is truncated away; it was never acknowledged.
+func OpenWAL(dir string) (*WAL, []*Job, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("jobs: wal dir: %w", err)
+	}
+	byID := map[string]*Job{}
+
+	snapPath := filepath.Join(dir, snapshotFile)
+	if blob, err := os.ReadFile(snapPath); err == nil {
+		var snap snapshot
+		if err := json.Unmarshal(blob, &snap); err != nil {
+			return nil, nil, fmt.Errorf("jobs: corrupt snapshot %s: %w", snapPath, err)
+		}
+		for _, j := range snap.Jobs {
+			byID[j.ID] = j
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("jobs: read snapshot: %w", err)
+	}
+
+	walPath := filepath.Join(dir, walFile)
+	blob, err := os.ReadFile(walPath)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("jobs: read wal: %w", err)
+	}
+	good := 0 // byte offset of the end of the last decodable record
+	for off := 0; off < len(blob); {
+		nl := bytes.IndexByte(blob[off:], '\n')
+		if nl < 0 {
+			break // unterminated tail: torn mid-append
+		}
+		line := blob[off : off+nl]
+		var j Job
+		if len(bytes.TrimSpace(line)) > 0 {
+			if err := json.Unmarshal(line, &j); err != nil {
+				break // torn or corrupt from here on; keep the good prefix
+			}
+			byID[j.ID] = &j
+		}
+		off += nl + 1
+		good = off
+	}
+
+	f, err := os.OpenFile(walPath, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("jobs: open wal: %w", err)
+	}
+	if good < len(blob) {
+		if err := f.Truncate(int64(good)); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("jobs: truncate torn wal tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("jobs: seek wal: %w", err)
+	}
+
+	jobs := make([]*Job, 0, len(byID))
+	for _, j := range byID {
+		jobs = append(jobs, j)
+	}
+	sort.Slice(jobs, func(a, b int) bool { return jobs[a].ID < jobs[b].ID })
+	return &WAL{dir: dir, f: f}, jobs, nil
+}
+
+// Append durably records one job state. It returns only after the record is
+// synced to disk — the caller may acknowledge the state to a client as soon
+// as Append returns, and a subsequent crash cannot lose it.
+func (w *WAL) Append(j *Job) error {
+	blob, err := json.Marshal(j)
+	if err != nil {
+		return fmt.Errorf("jobs: encode wal record: %w", err)
+	}
+	blob = append(blob, '\n')
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.killed {
+		return fmt.Errorf("jobs: wal closed")
+	}
+	if _, err := w.f.Write(blob); err != nil {
+		return fmt.Errorf("jobs: append wal record: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("jobs: sync wal: %w", err)
+	}
+	w.appends++
+	w.records++
+	return nil
+}
+
+// ShouldCompact reports whether enough appends accumulated since the last
+// compaction to be worth folding into a snapshot.
+func (w *WAL) ShouldCompact(every int) bool {
+	if every <= 0 {
+		every = defaultCompactEvery
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return !w.killed && w.appends >= every
+}
+
+// Compact writes the full job set as a fresh snapshot and truncates the log.
+// The tmp-write → fsync → rename sequence makes the snapshot switch atomic;
+// a crash anywhere in between recovers to either the old or the new
+// snapshot, each consistent with whatever WAL suffix survives.
+func (w *WAL) Compact(all []*Job) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.killed {
+		return fmt.Errorf("jobs: wal closed")
+	}
+	blob, err := json.Marshal(snapshot{Jobs: all})
+	if err != nil {
+		return fmt.Errorf("jobs: encode snapshot: %w", err)
+	}
+	tmp := filepath.Join(w.dir, snapshotTmp)
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("jobs: snapshot tmp: %w", err)
+	}
+	if _, err := f.Write(blob); err != nil {
+		f.Close()
+		return fmt.Errorf("jobs: write snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("jobs: sync snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("jobs: close snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(w.dir, snapshotFile)); err != nil {
+		return fmt.Errorf("jobs: publish snapshot: %w", err)
+	}
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("jobs: truncate wal: %w", err)
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("jobs: rewind wal: %w", err)
+	}
+	w.appends = 0
+	return nil
+}
+
+// Records returns how many records have been appended over the WAL's
+// lifetime (not reset by compaction).
+func (w *WAL) Records() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.records
+}
+
+// Kill closes the log immediately without syncing buffered state — the
+// crash-simulation path. Every later Append fails, which is exactly the
+// guarantee a test reopening the directory needs: at most one writer ever
+// touches the files.
+func (w *WAL) Kill() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.killed {
+		return
+	}
+	w.killed = true
+	w.f.Close()
+}
+
+// Close syncs and closes the log cleanly.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.killed {
+		return nil
+	}
+	w.killed = true
+	if err := w.f.Sync(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}

@@ -11,6 +11,9 @@
 //   - ErrWorkerPanic / *WorkerPanicError: a worker goroutine (a portfolio
 //     scout, a resilience rung) panicked; the typed error carries the
 //     recovered value and stack instead of crashing the process.
+//   - ErrTransient: the failure is environmental, not a property of the
+//     (kernel, array, budget) inputs — retrying the identical call may
+//     succeed. The job subsystem's retry/backoff loop keys on IsTransient.
 //   - *InvalidMappingError: a mapper produced a result its own validator
 //     rejects — always a bug in the mapper, never a property of the kernel.
 //
@@ -35,6 +38,25 @@ var ErrAborted = errors.New("mapping aborted")
 // ErrWorkerPanic is the sentinel every *WorkerPanicError wraps, so callers
 // can test for the class without destructuring the typed error.
 var ErrWorkerPanic = errors.New("mapping worker panicked")
+
+// ErrTransient marks failures that say nothing about the inputs: a
+// dependency briefly unavailable, every circuit open, a backend mid-restart.
+// Retrying the identical call later may succeed, so retry loops treat this
+// class (and recovered panics) as retryable where ErrNoMapping is final.
+var ErrTransient = errors.New("transient mapping failure")
+
+// Transient is Wrap with the ErrTransient sentinel plus the underlying cause.
+func Transient(cause error, format string, args ...any) error {
+	return Wrap([]error{ErrTransient, cause}, format, args...)
+}
+
+// IsTransient reports whether err is worth retrying with the same inputs:
+// explicitly transient failures and recovered worker panics qualify;
+// exhausted searches (ErrNoMapping) and context-driven aborts do not — the
+// former is deterministic, the latter is the caller's own budget expiring.
+func IsTransient(err error) bool {
+	return errors.Is(err, ErrTransient) || errors.Is(err, ErrWorkerPanic)
+}
 
 // wrapped carries a fixed message plus any number of wrapped causes. It keeps
 // the exact human-readable text the mappers have always produced while making

@@ -219,20 +219,31 @@ func (c *Cache) Do(ctx context.Context, k Key, fn func() (any, error), cacheable
 		s.inflight[k] = f
 		s.mu.Unlock()
 
-		val, err := fn()
-		f.val, f.err = val, err
-		f.cacheable = err == nil || (cacheable != nil && cacheable(err))
+		val, err := c.lead(s, k, f, fn, cacheable)
+		return val, Miss, err
+	}
+}
 
+// lead runs the compute function as the flight's leader and publishes the
+// result to every waiter. The publish is deferred so it happens even when fn
+// panics: the flight is retired non-cacheable (followers retry from the top
+// instead of blocking forever on a done channel nobody will close) and the
+// panic propagates to the leader's caller, whose recovery owns it.
+func (c *Cache) lead(s *shard, k Key, f *flight, fn func() (any, error), cacheable func(error) bool) (val any, err error) {
+	defer func() {
 		s.mu.Lock()
 		delete(s.inflight, k)
 		if f.cacheable {
-			c.evictions.Add(s.insert(k, val, err))
+			c.evictions.Add(s.insert(k, f.val, f.err))
 		}
 		s.mu.Unlock()
 		close(f.done)
 		c.misses.Add(1)
-		return val, Miss, err
-	}
+	}()
+	val, err = fn()
+	f.val, f.err = val, err
+	f.cacheable = err == nil || (cacheable != nil && cacheable(err))
+	return val, err
 }
 
 // Stats returns a snapshot of the counters.

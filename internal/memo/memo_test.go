@@ -254,3 +254,112 @@ func TestShardedConcurrentMixedKeys(t *testing.T) {
 		t.Fatalf("entries = %d, want %d", st.Entries, keys)
 	}
 }
+
+// TestLeaderPanicReleasesFollowers: a panicking leader must retire its flight
+// — propagating the panic to its own caller while every collapsed follower
+// unblocks and retries instead of waiting forever on an abandoned channel.
+func TestLeaderPanicReleasesFollowers(t *testing.T) {
+	c := New(8, 1)
+	k := keyOf("detonator")
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+
+	panicked := make(chan any, 1)
+	go func() {
+		defer func() { panicked <- recover() }()
+		c.Do(context.Background(), k, func() (any, error) {
+			close(leaderIn)
+			<-release
+			panic("leader detonated")
+		}, nil)
+	}()
+	<-leaderIn
+
+	const followers = 4
+	var wg sync.WaitGroup
+	var computes atomic.Int64
+	results := make([]any, followers)
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, err := c.Do(context.Background(), k, func() (any, error) {
+				// Only post-panic retries land here; they must not panic again.
+				computes.Add(1)
+				return "recovered", nil
+			}, nil)
+			if err != nil {
+				t.Errorf("follower %d: %v", i, err)
+			}
+			results[i] = v
+		}(i)
+	}
+	// Give the followers time to join the doomed flight, then detonate.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+
+	if v := <-panicked; v != "leader detonated" {
+		t.Fatalf("leader recovered %v, want its own panic", v)
+	}
+	wg.Wait()
+	for i, v := range results {
+		if v != "recovered" {
+			t.Fatalf("follower %d got %v", i, v)
+		}
+	}
+	if got := computes.Load(); got < 1 {
+		t.Fatal("no follower retried after the leader panic")
+	}
+	// The panic result must not have been cached.
+	v, outcome, err := c.Do(context.Background(), k, func() (any, error) {
+		return "recovered", nil
+	}, nil)
+	if err != nil || v != "recovered" || outcome != Hit {
+		t.Fatalf("post-panic state: v=%v outcome=%v err=%v (want the followers' retry cached)", v, outcome, err)
+	}
+}
+
+// TestFollowerCancellationLeavesFlightIntact: a follower whose own context
+// expires abandons the wait with its ctx error while the leader's result
+// still lands in the cache for everyone else.
+func TestFollowerCancellationLeavesFlightIntact(t *testing.T) {
+	c := New(8, 1)
+	k := keyOf("slow-leader")
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(context.Background(), k, func() (any, error) {
+			close(leaderIn)
+			<-release
+			return "answer", nil
+		}, nil)
+		done <- err
+	}()
+	<-leaderIn
+
+	ctx, cancel := context.WithCancel(context.Background())
+	followerErr := make(chan error, 1)
+	go func() {
+		_, _, err := c.Do(ctx, k, func() (any, error) {
+			t.Error("cancelled follower became leader of a live flight")
+			return nil, nil
+		}, nil)
+		followerErr <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	if err := <-followerErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled follower: %v", err)
+	}
+
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("leader: %v", err)
+	}
+	v, outcome, err := c.Do(context.Background(), k, nil, nil)
+	if err != nil || v != "answer" || outcome != Hit {
+		t.Fatalf("leader result lost: v=%v outcome=%v err=%v", v, outcome, err)
+	}
+}

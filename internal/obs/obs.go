@@ -34,6 +34,16 @@
 //	memo.hit            result served from cache fields: n
 //	memo.miss           result computed fresh  fields: n
 //	memo.collapse       duplicate collapsed onto an in-flight leader fields: n
+//	job.submit          async job acknowledged fields: n
+//	job.duplicate       submit deduplicated by idempotency key fields: n
+//	job.start           job execution started  fields: n
+//	job.done            job reached done       fields: n, attempts, degraded
+//	job.fail            job reached failed     fields: n, attempts
+//	job.retry           transient failure retried fields: n
+//	job.degrade         submit downgraded past the queue watermark fields: n
+//	job.recover         non-terminal job re-queued from the WAL fields: n
+//	breaker.trip        an engine circuit opened fields: n
+//	wal.compact         job WAL folded into a snapshot fields: n
 //
 // Counter events (the `n` family) carry their increment in the field, so a
 // sink can total them with MemSink.SumByName instead of hand-looping.

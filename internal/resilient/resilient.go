@@ -73,6 +73,28 @@ func DefaultLadder() []RungSpec {
 	return []RungSpec{{Rung: RungREGIMap}, {Rung: RungEMS}, {Rung: RungDRESC}}
 }
 
+// Downgrades returns the engines to fall back to, in order, when the named
+// engine is unavailable (its circuit breaker is open, say). Ladder members
+// step down the REGIMap→EMS→DRESC sequence from their own position;
+// composite engines (portfolio, resilient, ...) restart at the top of the
+// ladder, since each already races or wraps the rungs itself. The last rung
+// has nowhere to go: an empty slice means "no fallback exists".
+func Downgrades(name string) []string {
+	ladder := DefaultLadder()
+	start := 0
+	for i, spec := range ladder {
+		if spec.Rung.String() == name {
+			start = i + 1
+			break
+		}
+	}
+	out := make([]string, 0, len(ladder)-start)
+	for _, spec := range ladder[start:] {
+		out = append(out, spec.Rung.String())
+	}
+	return out
+}
+
 // Options configures the resilient pipeline. The zero value maps on the
 // healthy array with the default ladder.
 type Options struct {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
 	"regimap/internal/obs"
 	"time"
@@ -43,6 +44,8 @@ func classify(err error) (int, string) {
 		return http.StatusGatewayTimeout, "deadline"
 	case errors.Is(err, maperr.ErrWorkerPanic):
 		return http.StatusInternalServerError, "panic"
+	case errors.Is(err, maperr.ErrTransient):
+		return http.StatusServiceUnavailable, "transient"
 	case errors.As(err, &bad):
 		return http.StatusBadRequest, "bad-request"
 	default:
@@ -51,13 +54,22 @@ func classify(err error) (int, string) {
 }
 
 // writeClientError sends a request-validation failure: 404 for unknown
-// names, 400 for everything else. It is for errors raised before the mapping
-// path; failures of the mapping itself go through writeError/classify.
+// names, 413 for an over-limit body, 400 for everything else. It is for
+// errors raised before the mapping path; failures of the mapping itself go
+// through writeError/classify.
 func writeClientError(w http.ResponseWriter, err error) (code int) {
 	var nf *notFoundError
 	if errors.As(err, &nf) {
 		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: err.Error(), Class: "not-found"})
 		return http.StatusNotFound
+	}
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		writeJSON(w, http.StatusRequestEntityTooLarge, ErrorResponse{
+			Error: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit),
+			Class: "too-large",
+		})
+		return http.StatusRequestEntityTooLarge
 	}
 	writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), Class: "bad-request"})
 	return http.StatusBadRequest
@@ -97,7 +109,7 @@ func (s *Server) handleMap(w http.ResponseWriter, r *http.Request) {
 	}
 
 	var req MapRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		code = writeClientError(w, err)
@@ -207,11 +219,16 @@ func (s *Server) handleKernels(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// handleHealthz is liveness: 200 for as long as the process can serve HTTP,
+// including while draining — a draining daemon is alive, just not accepting
+// new work, and restarting it would lose the drain.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	w.Write([]byte("ok\n"))
 }
 
+// handleReadyz is readiness: it flips to 503 the moment BeginDrain is called
+// so load balancers stop routing here before the listener closes.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	if s.Draining() {

@@ -144,4 +144,39 @@ func (s *Server) writeMetrics(w io.Writer) {
 		drain = 1
 	}
 	gauge("regimapd_draining", "1 once graceful shutdown has begun.", drain)
+
+	js := s.jobs.Stats()
+	p("# HELP regimapd_jobs_state Async jobs currently in each non-terminal state.\n")
+	p("# TYPE regimapd_jobs_state gauge\n")
+	p("regimapd_jobs_state{state=\"queued\"} %d\n", js.Queued)
+	p("regimapd_jobs_state{state=\"running\"} %d\n", js.Running)
+	counter("regimapd_jobs_submitted_total", "Acknowledged job submits (excluding idempotency-key duplicates).", js.Submitted)
+	counter("regimapd_jobs_duplicates_total", "Submits answered with an existing job via idempotency key.", js.Duplicates)
+	p("# HELP regimapd_jobs_completed_total Jobs reaching a terminal state, by outcome.\n")
+	p("# TYPE regimapd_jobs_completed_total counter\n")
+	p("regimapd_jobs_completed_total{status=\"done\"} %d\n", js.Done)
+	p("regimapd_jobs_completed_total{status=\"failed\"} %d\n", js.Failed)
+	counter("regimapd_jobs_degraded_total", "Jobs downgraded to a faster engine by the queue watermark.", js.Degraded)
+	counter("regimapd_jobs_retries_total", "Job execution retries after transient failures.", js.Retries)
+	counter("regimapd_jobs_recovered_total", "Non-terminal jobs re-queued from the WAL at startup.", js.Recovered)
+	counter("regimapd_jobs_evicted_total", "Terminal jobs evicted by the retention bound.", js.Evicted)
+
+	p("# HELP regimapd_breaker_state Engine circuit state: 0 closed, 1 open, 2 half-open.\n")
+	p("# TYPE regimapd_breaker_state gauge\n")
+	engines := make([]string, 0, len(js.Breakers))
+	for name := range js.Breakers {
+		engines = append(engines, name)
+	}
+	sort.Strings(engines)
+	for _, name := range engines {
+		p("regimapd_breaker_state{engine=%q} %d\n", name, int(js.Breakers[name]))
+	}
+	p("# HELP regimapd_breaker_trips_total Times each engine's circuit opened.\n")
+	p("# TYPE regimapd_breaker_trips_total counter\n")
+	for _, name := range engines {
+		p("regimapd_breaker_trips_total{engine=%q} %d\n", name, js.BreakerTrips[name])
+	}
+
+	counter("regimapd_wal_records_total", "Job records appended to the write-ahead log.", js.WALRecords)
+	counter("regimapd_wal_compactions_total", "WAL snapshot compactions.", js.Compactions)
 }

@@ -5,12 +5,14 @@
 //
 // Endpoints:
 //
-//	POST /v1/map      map a named kernel or inline loopir source (JSON body)
-//	GET  /v1/mappers  the engine registry, with descriptions
-//	GET  /v1/kernels  the benchmark kernel suite, with sizes
-//	GET  /healthz     liveness: 200 while the process is up
-//	GET  /readyz      readiness: 503 once draining begins
-//	GET  /metrics     Prometheus text-format metrics
+//	POST /v1/map       map a named kernel or inline loopir source (JSON body)
+//	POST /v1/jobs      submit an async mapping job (same body + idempotency_key)
+//	GET  /v1/jobs/{id} poll a job: queued/running/done/failed, degraded flag, result
+//	GET  /v1/mappers   the engine registry, with descriptions
+//	GET  /v1/kernels   the benchmark kernel suite, with sizes
+//	GET  /healthz      liveness: 200 while the process is up
+//	GET  /readyz       readiness: 503 once draining begins
+//	GET  /metrics      Prometheus text-format metrics
 //
 // Request lifecycle: a /v1/map request resolves its kernel, array, fault
 // set, and engine; acquires a per-request deadline; and consults the cache.
@@ -37,6 +39,7 @@ import (
 	"regimap/internal/dfg"
 	"regimap/internal/engine"
 	"regimap/internal/fault"
+	"regimap/internal/jobs"
 	"regimap/internal/kernels"
 	"regimap/internal/loopir"
 	"regimap/internal/maperr"
@@ -85,6 +88,40 @@ type Config struct {
 	DefaultDeadline time.Duration
 	// MaxDeadline clamps every request deadline (default 2m).
 	MaxDeadline time.Duration
+	// MaxBodyBytes bounds every request body; larger bodies answer a typed
+	// 413 before any decoding work (default 1 MiB).
+	MaxBodyBytes int64
+
+	// WALDir, when set, makes the async job subsystem durable: submits are
+	// fsynced into an append-only JSONL write-ahead log under this
+	// directory and replayed on startup, so acknowledged jobs survive
+	// kill -9. Empty: jobs run fully in memory.
+	WALDir string
+	// JobWorkers bounds concurrently executing async jobs — a pool separate
+	// from the synchronous admission slots, so multi-second jobs never
+	// starve interactive /v1/map traffic (default 2).
+	JobWorkers int
+	// JobQueue bounds jobs waiting to run; submits beyond it answer 429
+	// (default 256).
+	JobQueue int
+	// DegradeWatermark is the queued-job count at which new jobs are
+	// downgraded to DegradeTo and marked degraded (0: JobQueue/2;
+	// negative: disabled).
+	DegradeWatermark int
+	// DegradeTo is the engine watermark-degraded jobs run on (default
+	// "ems", the fastest full-mapping engine).
+	DegradeTo string
+	// JobAttempts bounds execution attempts per job on transient failures
+	// (default 3).
+	JobAttempts int
+	// BreakerFailures is the consecutive-failure count that trips an
+	// engine's circuit breaker (default 5); BreakerCooldown is how long a
+	// tripped breaker waits before its half-open probe (default 5s);
+	// BreakerLatency, when positive, additionally trips on consecutive
+	// calls slower than it.
+	BreakerFailures int
+	BreakerCooldown time.Duration
+	BreakerLatency  time.Duration
 	// TraceSink, when set, receives the full observability stream: request
 	// spans, counter points, and every span the engines emit.
 	TraceSink obs.Sink
@@ -108,6 +145,18 @@ func (c Config) withDefaults() Config {
 	if c.MaxDeadline <= 0 {
 		c.MaxDeadline = 2 * time.Minute
 	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	if c.JobWorkers <= 0 {
+		c.JobWorkers = 2
+	}
+	if c.JobQueue <= 0 {
+		c.JobQueue = 256
+	}
+	if c.DegradeTo == "" {
+		c.DegradeTo = "ems"
+	}
 	return c
 }
 
@@ -122,11 +171,14 @@ type Server struct {
 	trace    *obs.Tracer // engine + request spans (nil when untraced)
 	counters *obs.Tracer // counter points: always on, feeds /metrics
 	arenas   *clique.Pool
+	jobs     *jobs.Manager
 	draining atomic.Bool
 }
 
-// New returns a ready Server.
-func New(cfg Config) *Server {
+// New returns a ready Server. The only error source is the job WAL: a
+// Config.WALDir that cannot be opened or replayed refuses to start rather
+// than silently serving without durability.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	met := newMetrics()
 	s := &Server{
@@ -138,27 +190,63 @@ func New(cfg Config) *Server {
 		counters: obs.New(obs.Tee(met.sink, cfg.TraceSink)).Named("regimapd", ""),
 		arenas:   clique.NewPool(),
 	}
+	mgr, err := jobs.Open(cfg.WALDir, s.runJob, jobs.Config{
+		Workers:         cfg.JobWorkers,
+		QueueDepth:      cfg.JobQueue,
+		Watermark:       cfg.DegradeWatermark,
+		DegradeTo:       cfg.DegradeTo,
+		Downgrades:      resilient.Downgrades,
+		MaxAttempts:     cfg.JobAttempts,
+		DefaultDeadline: cfg.DefaultDeadline,
+		Breaker: jobs.BreakerConfig{
+			Failures: cfg.BreakerFailures,
+			Cooldown: cfg.BreakerCooldown,
+			Latency:  cfg.BreakerLatency,
+		},
+		Classify: func(err error) string { _, class := classify(err); return class },
+		Trace:    s.counters.Named("jobs", ""),
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.jobs = mgr
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/map", s.handleMap)
+	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
 	s.mux.HandleFunc("/v1/mappers", s.handleMappers)
 	s.mux.HandleFunc("/v1/kernels", s.handleKernels)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.serveMetrics)
-	return s
+	return s, nil
 }
 
 // Handler returns the HTTP handler tree.
 func (s *Server) Handler() http.Handler { return s.mux }
 
 // BeginDrain flips the server into graceful shutdown: /readyz reports 503 so
-// load balancers stop routing here, and new mapping requests are refused
-// with 503, while requests already admitted run to completion (the caller
-// then waits for them with http.Server.Shutdown).
+// load balancers stop routing here, and new mapping requests and job submits
+// are refused with 503, while requests already admitted — and every already
+// acknowledged job — run to completion (the caller waits for requests with
+// http.Server.Shutdown and for jobs with FinishJobs).
 func (s *Server) BeginDrain() { s.draining.Store(true) }
 
 // Draining reports whether BeginDrain was called.
 func (s *Server) Draining() bool { return s.draining.Load() }
+
+// FinishJobs completes the drain of the async job subsystem: queued jobs run
+// to terminal states and the WAL is closed cleanly. Returns ctx's error if
+// the budget expires first — the unfinished jobs stay in the WAL and the
+// next startup recovers them.
+func (s *Server) FinishJobs(ctx context.Context) error { return s.jobs.Drain(ctx) }
+
+// Close hard-stops the job subsystem without draining — crash-equivalent by
+// design: workers halt, running jobs are cancelled, and nothing further
+// reaches the WAL. Acknowledged non-terminal jobs are recovered by the next
+// Server opened on the same WALDir; tests use exactly this to simulate
+// kill -9 in process.
+func (s *Server) Close() { s.jobs.Kill() }
 
 // errShed reports a load-shed: the admission queue was full, so the request
 // was refused before any mapping work started.
@@ -224,8 +312,8 @@ type MapResponse struct {
 
 // ErrorResponse is the body of every non-2xx API answer. Class is a stable
 // machine-readable failure taxonomy mirroring internal/maperr:
-// "bad-request", "not-found", "no-mapping", "deadline", "overloaded",
-// "draining", "panic", "internal".
+// "bad-request", "not-found", "too-large", "no-mapping", "deadline",
+// "overloaded", "draining", "transient", "panic", "internal".
 type ErrorResponse struct {
 	Error string `json:"error"`
 	Class string `json:"class"`
@@ -263,13 +351,19 @@ func requestKey(d *dfg.DFG, c *arch.CGRA, faults, mapper string, minII, maxII in
 
 // cacheableErr reports whether a mapping error is deterministic — true for
 // an exhausted search (ErrNoMapping), false for deadline aborts, sheds,
-// panics, and anything else that might not repeat.
+// panics, and anything else that might not repeat. Context cancellation and
+// deadline errors are checked directly, not only via the ErrAborted wrap: an
+// engine that folds a ctx error into its no-mapping report without the
+// sentinel must still never poison the key for followers with budget left.
 func cacheableErr(err error) bool {
-	return errors.Is(err, maperr.ErrNoMapping) && !errors.Is(err, maperr.ErrAborted)
+	return errors.Is(err, maperr.ErrNoMapping) &&
+		!errors.Is(err, maperr.ErrAborted) &&
+		!errors.Is(err, context.Canceled) &&
+		!errors.Is(err, context.DeadlineExceeded)
 }
 
-// execute is the cache-miss leader path: admission, panic isolation, the
-// engine call, and packaging of the memoized value.
+// execute is the synchronous cache-miss leader path: admission, then the
+// guarded engine call.
 func (s *Server) execute(ctx context.Context, m engine.Mapper, d *dfg.DFG, c *arch.CGRA, eo engine.Options) (res any, err error) {
 	release, err := s.adm.acquire(ctx)
 	if err != nil {
@@ -279,6 +373,15 @@ func (s *Server) execute(ctx context.Context, m engine.Mapper, d *dfg.DFG, c *ar
 		return nil, err
 	}
 	defer release()
+	return s.compute(ctx, m, d, c, eo)
+}
+
+// compute runs one engine call with panic isolation and packages the
+// memoized value. It performs no admission: the synchronous path wraps it in
+// execute, while async job workers bound their own concurrency — that
+// separation is what keeps multi-second jobs from occupying interactive
+// admission slots.
+func (s *Server) compute(ctx context.Context, m engine.Mapper, d *dfg.DFG, c *arch.CGRA, eo engine.Options) (res any, err error) {
 	defer func() {
 		if v := recover(); v != nil {
 			s.counters.Point1("server.panic", "n", 1)
