@@ -76,8 +76,9 @@ type Breaker struct {
 	cfg      BreakerConfig
 	now      func() time.Time
 	state    BreakerState
-	fails    int // consecutive eligible failures
-	slows    int // consecutive over-latency calls
+	gen      int64 // bumped on every trip; stale Records are ignored
+	fails    int   // consecutive eligible failures
+	slows    int   // consecutive over-latency calls
 	openedAt time.Time
 	probing  bool // a half-open probe is in flight
 	trips    int64
@@ -91,39 +92,49 @@ func newBreaker(cfg BreakerConfig, now func() time.Time) *Breaker {
 	return &Breaker{cfg: cfg.withDefaults(), now: now}
 }
 
-// Allow reports whether a call may proceed. On an open breaker whose
-// cooldown has elapsed it transitions to half-open and grants the single
-// probe slot; concurrent callers during the probe are refused.
-func (b *Breaker) Allow() bool {
+// Allow reports whether a call may proceed and, when it may, returns the
+// token the caller must hand back to Record. The token is the breaker's
+// trip generation at admission time: a Record whose token predates the
+// last trip is stale — its call was admitted under assumptions the trip
+// invalidated — and is ignored, so an in-flight call that started before
+// the circuit opened can neither close it behind the cooldown's back nor
+// free the half-open probe slot. On an open breaker whose cooldown has
+// elapsed, Allow transitions to half-open and grants the single probe
+// slot; concurrent callers during the probe are refused.
+func (b *Breaker) Allow() (token int64, ok bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case BreakerClosed:
-		return true
+		return b.gen, true
 	case BreakerOpen:
 		if b.now().Sub(b.openedAt) < b.cfg.Cooldown {
-			return false
+			return 0, false
 		}
 		b.state = BreakerHalfOpen
 		b.probing = true
-		return true
+		return b.gen, true
 	case BreakerHalfOpen:
 		if b.probing {
-			return false
+			return 0, false
 		}
 		b.probing = true
-		return true
+		return b.gen, true
 	}
-	return false
+	return 0, false
 }
 
-// Record reports a call's outcome. failed says whether the manager's
-// classifier deemed it an engine-health failure; d is the call's latency.
-// A half-open probe's success closes the circuit; its failure re-opens it
-// for a fresh cooldown.
-func (b *Breaker) Record(failed bool, d time.Duration) (tripped bool) {
+// Record reports the outcome of a call Allow admitted under token. failed
+// says whether the manager's classifier deemed it an engine-health
+// failure; d is the call's latency. A half-open probe's success closes
+// the circuit; its failure re-opens it for a fresh cooldown. Outcomes of
+// calls admitted before the last trip (stale token) are discarded.
+func (b *Breaker) Record(token int64, failed bool, d time.Duration) (tripped bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	if token != b.gen {
+		return false
+	}
 	b.probing = false
 	if failed {
 		b.fails++
@@ -148,11 +159,14 @@ func (b *Breaker) Record(failed bool, d time.Duration) (tripped bool) {
 
 // tripLocked opens the circuit (idempotent per trip: re-opening from
 // half-open counts as a new trip, since the engine failed its probe).
+// Bumping gen invalidates every token handed out before the trip.
 func (b *Breaker) tripLocked() bool {
 	b.state = BreakerOpen
 	b.openedAt = b.now()
+	b.gen++
 	b.fails = 0
 	b.slows = 0
+	b.probing = false
 	b.trips++
 	return true
 }

@@ -16,22 +16,39 @@ func newTestBreaker(cfg BreakerConfig) (*Breaker, *fakeClock) {
 	return newBreaker(cfg, clk.now), clk
 }
 
+// rec admits one call and records its outcome, failing the test if the
+// breaker refuses the admission.
+func rec(t *testing.T, b *Breaker, failed bool, d time.Duration) (tripped bool) {
+	t.Helper()
+	token, ok := b.Allow()
+	if !ok {
+		t.Fatal("breaker refused a call the test expected admitted")
+	}
+	return b.Record(token, failed, d)
+}
+
+// refused reports whether Allow turns the call away.
+func refused(b *Breaker) bool {
+	_, ok := b.Allow()
+	return !ok
+}
+
 // TestBreakerTripsOnConsecutiveFailures: the circuit opens at the threshold,
 // and a success along the way resets the count.
 func TestBreakerTripsOnConsecutiveFailures(t *testing.T) {
 	b, _ := newTestBreaker(BreakerConfig{Failures: 3})
-	b.Record(true, 0)
-	b.Record(true, 0)
-	b.Record(false, 0) // success resets the streak
-	b.Record(true, 0)
-	b.Record(true, 0)
+	rec(t, b, true, 0)
+	rec(t, b, true, 0)
+	rec(t, b, false, 0) // success resets the streak
+	rec(t, b, true, 0)
+	rec(t, b, true, 0)
 	if b.State() != BreakerClosed {
 		t.Fatalf("state after 2 failures = %v, want closed", b.State())
 	}
-	if tripped := b.Record(true, 0); !tripped {
+	if tripped := rec(t, b, true, 0); !tripped {
 		t.Fatal("third consecutive failure did not trip")
 	}
-	if b.State() != BreakerOpen || b.Allow() {
+	if b.State() != BreakerOpen || !refused(b) {
 		t.Fatalf("state = %v, want open and refusing", b.State())
 	}
 	if b.Trips() != 1 {
@@ -43,34 +60,36 @@ func TestBreakerTripsOnConsecutiveFailures(t *testing.T) {
 // through; its success closes the circuit, its failure re-opens it.
 func TestBreakerHalfOpenProbe(t *testing.T) {
 	b, clk := newTestBreaker(BreakerConfig{Failures: 1, Cooldown: time.Second})
-	b.Record(true, 0)
-	if b.Allow() {
+	rec(t, b, true, 0)
+	if !refused(b) {
 		t.Fatal("open breaker allowed a call before cooldown")
 	}
 	clk.advance(time.Second)
-	if !b.Allow() {
+	probe, ok := b.Allow()
+	if !ok {
 		t.Fatal("cooldown elapsed but probe refused")
 	}
 	if b.State() != BreakerHalfOpen {
 		t.Fatalf("state during probe = %v", b.State())
 	}
-	if b.Allow() {
+	if !refused(b) {
 		t.Fatal("second concurrent probe allowed")
 	}
 	// Probe fails: straight back to open, counting a new trip.
-	if tripped := b.Record(true, 0); !tripped {
+	if tripped := b.Record(probe, true, 0); !tripped {
 		t.Fatal("failed probe did not re-trip")
 	}
-	if b.Allow() {
+	if !refused(b) {
 		t.Fatal("re-opened breaker allowed a call")
 	}
 
 	clk.advance(time.Second)
-	if !b.Allow() {
+	probe, ok = b.Allow()
+	if !ok {
 		t.Fatal("second probe refused")
 	}
-	b.Record(false, 0) // probe succeeds
-	if b.State() != BreakerClosed || !b.Allow() {
+	b.Record(probe, false, 0) // probe succeeds
+	if b.State() != BreakerClosed || refused(b) {
 		t.Fatalf("state after successful probe = %v", b.State())
 	}
 	if b.Trips() != 2 {
@@ -82,16 +101,72 @@ func TestBreakerHalfOpenProbe(t *testing.T) {
 // when every call succeeds.
 func TestBreakerLatencyTrip(t *testing.T) {
 	b, _ := newTestBreaker(BreakerConfig{Failures: 10, Latency: 100 * time.Millisecond, SlowCalls: 2})
-	b.Record(false, 200*time.Millisecond)
-	b.Record(false, 50*time.Millisecond) // fast call resets the slow streak
-	b.Record(false, 200*time.Millisecond)
+	rec(t, b, false, 200*time.Millisecond)
+	rec(t, b, false, 50*time.Millisecond) // fast call resets the slow streak
+	rec(t, b, false, 200*time.Millisecond)
 	if b.State() != BreakerClosed {
 		t.Fatalf("state = %v, want closed", b.State())
 	}
-	if tripped := b.Record(false, 200*time.Millisecond); !tripped {
+	if tripped := rec(t, b, false, 200*time.Millisecond); !tripped {
 		t.Fatal("second consecutive slow call did not trip")
 	}
 	if b.State() != BreakerOpen {
 		t.Fatalf("state = %v, want open", b.State())
+	}
+}
+
+// TestBreakerStaleSuccessCannotCloseOpenCircuit: with several workers on one
+// engine, a call that was admitted before the trip can complete after it. Its
+// success must not close the open circuit behind the cooldown's back.
+func TestBreakerStaleSuccessCannotCloseOpenCircuit(t *testing.T) {
+	b, _ := newTestBreaker(BreakerConfig{Failures: 1, Cooldown: time.Hour})
+	stale, ok := b.Allow() // long-running call admitted while closed
+	if !ok {
+		t.Fatal("closed breaker refused a call")
+	}
+	rec(t, b, true, 0) // a concurrent call fails and trips the circuit
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	if b.Record(stale, false, 0) {
+		t.Fatal("stale record reported a trip")
+	}
+	if b.State() != BreakerOpen {
+		t.Fatal("stale pre-trip success closed an open breaker")
+	}
+	if !refused(b) {
+		t.Fatal("cooldown bypassed after stale success")
+	}
+	if b.Trips() != 1 {
+		t.Fatalf("trips = %d, want 1", b.Trips())
+	}
+}
+
+// TestBreakerStaleRecordKeepsProbeSlot: a stale pre-trip completion arriving
+// during the half-open probe must not free the single probe slot — only the
+// probe itself may resolve half-open.
+func TestBreakerStaleRecordKeepsProbeSlot(t *testing.T) {
+	b, clk := newTestBreaker(BreakerConfig{Failures: 1, Cooldown: time.Second})
+	stale, ok := b.Allow() // in-flight call from before the trip
+	if !ok {
+		t.Fatal("closed breaker refused a call")
+	}
+	rec(t, b, true, 0) // trip
+	clk.advance(time.Second)
+	probe, ok := b.Allow()
+	if !ok {
+		t.Fatal("probe refused after cooldown")
+	}
+	b.Record(stale, false, 0) // stale completion lands mid-probe
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.State())
+	}
+	if !refused(b) {
+		t.Fatal("stale record freed the half-open probe slot")
+	}
+	// The real probe still resolves the state.
+	b.Record(probe, false, 0)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after probe success = %v, want closed", b.State())
 	}
 }

@@ -32,6 +32,7 @@
 package jobs
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -104,6 +105,11 @@ var ErrDraining = errors.New("job manager draining")
 // ErrUnknownJob reports a poll for an ID the manager does not hold (never
 // acknowledged, or evicted by the terminal-job retention bound).
 var ErrUnknownJob = errors.New("unknown job")
+
+// ErrKeyConflict reports an idempotency key reused with a different request
+// body: answering it with the stored job would serve the wrong result, so
+// the submit is refused instead.
+var ErrKeyConflict = errors.New("idempotency key reused for a different request")
 
 // Config tunes one Manager. The zero value selects sensible defaults.
 type Config struct {
@@ -203,6 +209,7 @@ type Stats struct {
 	Done, Failed                 int64
 	Degraded, Retries, Recovered int64
 	Evicted, Trips, Compactions  int64
+	CompactErrors                int64
 	WALRecords                   int64
 	Breakers                     map[string]BreakerState
 	BreakerTrips                 map[string]int64
@@ -235,6 +242,7 @@ type Manager struct {
 	submitted, duplicates, doneN, failedN atomic.Int64
 	degradedN, retries, recovered         atomic.Int64
 	evicted, trips, compactions           atomic.Int64
+	compactErrors                         atomic.Int64
 }
 
 // Open builds a Manager over the WAL directory (dir "" runs ephemeral —
@@ -305,9 +313,11 @@ func idSeq(id string) int64 {
 }
 
 // Submit acknowledges one job: it is durable (WAL-synced) before Submit
-// returns. An already-seen idempotency key returns the existing job with
-// duplicate=true and runs nothing. deadline bounds the job's execution time
-// (0: the configured default).
+// returns. An already-seen idempotency key with the same request returns the
+// existing job with duplicate=true and runs nothing; the same key with a
+// different request fails with ErrKeyConflict (the conflicting job is still
+// returned so callers can identify it). deadline bounds the job's execution
+// time (0: the configured default).
 func (m *Manager) Submit(key string, request []byte, engine string, deadline time.Duration) (Job, bool, error) {
 	if deadline <= 0 {
 		deadline = m.cfg.DefaultDeadline
@@ -319,6 +329,13 @@ func (m *Manager) Submit(key string, request []byte, engine string, deadline tim
 	}
 	if key != "" {
 		if id, ok := m.byKey[key]; ok {
+			// A key names ONE request: an honest retry carries the same
+			// bytes (Requests are canonical re-marshals, so equality is
+			// byte equality). Anything else is refused, returning the
+			// holder so the caller can name it in the error.
+			if !bytes.Equal(m.jobs[id].Request, request) {
+				return *m.jobs[id], false, ErrKeyConflict
+			}
 			m.duplicates.Add(1)
 			m.cfg.Trace.Point1("job.duplicate", "n", 1)
 			return *m.jobs[id], true, nil
@@ -348,14 +365,25 @@ func (m *Manager) Submit(key string, request []byte, engine string, deadline tim
 		m.degradedN.Add(1)
 		m.cfg.Trace.Point1("job.degrade", "n", 1)
 	}
-	// Durability point: the ack is valid only once this record is synced.
-	if err := m.appendLocked(j); err != nil {
-		m.seq--
-		return Job{}, false, err
-	}
+	// Register the job BEFORE the durability point: if this very append
+	// trips the compaction threshold, the snapshot is taken from m.jobs and
+	// the WAL is truncated — a snapshot that did not include j would erase
+	// the record being acknowledged, losing the job on the next crash.
 	m.jobs[j.ID] = j
 	if key != "" {
 		m.byKey[key] = j.ID
+	}
+	// Durability point: the ack is valid only once this record is synced.
+	if err := m.appendLocked(j); err != nil {
+		// Roll back the registration — the job was never acknowledged.
+		// Append has already best-effort truncated any partial record, so
+		// a retry of the same idempotency key starts from a clean slate.
+		delete(m.jobs, j.ID)
+		if key != "" {
+			delete(m.byKey, key)
+		}
+		m.seq--
+		return Job{}, false, err
 	}
 	m.pending = append(m.pending, j.ID)
 	m.submitted.Add(1)
@@ -396,7 +424,13 @@ func (m *Manager) appendLocked(j *Job) error {
 		for _, job := range m.jobs {
 			all = append(all, job)
 		}
-		if err := m.wal.Compact(all); err == nil {
+		if err := m.wal.Compact(all); err != nil {
+			// The log keeps growing until a later compaction succeeds; the
+			// counter is exported so operators see the disk problem instead
+			// of an unbounded WAL.
+			m.compactErrors.Add(1)
+			m.cfg.Trace.Point1("wal.compact_error", "n", 1)
+		} else {
 			m.compactions.Add(1)
 			m.cfg.Trace.Point1("wal.compact", "n", 1)
 		}
@@ -460,13 +494,14 @@ func (m *Manager) run(id string) {
 	)
 	for attempt := 0; ; attempt++ {
 		attempts = attempt + 1
-		engine, err = m.routeEngine(requested)
+		var br *Breaker
+		var token int64
+		engine, br, token, err = m.routeEngine(requested)
 		if err == nil {
-			br := m.breakerFor(engine)
 			start := m.cfg.Now()
 			result, err = m.attempt(ctx, j.Request, engine)
 			elapsed := m.cfg.Now().Sub(start)
-			if br.Record(m.cfg.BreakerFailure(err), elapsed) {
+			if br.Record(token, m.cfg.BreakerFailure(err), elapsed) {
 				m.trips.Add(1)
 				m.cfg.Trace.Point1("breaker.trip", "n", 1)
 			}
@@ -506,21 +541,24 @@ func (m *Manager) attempt(ctx context.Context, request []byte, engine string) (r
 }
 
 // routeEngine picks the first engine — the requested one, then its
-// downgrade ladder — whose breaker admits a call. With every circuit open
+// downgrade ladder — whose breaker admits a call, returning the admitting
+// breaker and its token for the caller's Record. With every circuit open
 // the failure is transient: a cooldown will expire and grant a probe, so
 // the retry loop (not the client) absorbs the wait.
-func (m *Manager) routeEngine(requested string) (string, error) {
-	if m.breakerFor(requested).Allow() {
-		return requested, nil
+func (m *Manager) routeEngine(requested string) (string, *Breaker, int64, error) {
+	br := m.breakerFor(requested)
+	if token, ok := br.Allow(); ok {
+		return requested, br, token, nil
 	}
 	if m.cfg.Downgrades != nil {
 		for _, cand := range m.cfg.Downgrades(requested) {
-			if m.breakerFor(cand).Allow() {
-				return cand, nil
+			br = m.breakerFor(cand)
+			if token, ok := br.Allow(); ok {
+				return cand, br, token, nil
 			}
 		}
 	}
-	return "", maperr.Transient(nil, "job: every engine circuit from %q down is open", requested)
+	return "", nil, 0, maperr.Transient(nil, "job: every engine circuit from %q down is open", requested)
 }
 
 // breakerFor returns (creating on first use) the engine's breaker.
@@ -700,6 +738,7 @@ func (m *Manager) Stats() Stats {
 	st.Evicted = m.evicted.Load()
 	st.Trips = m.trips.Load()
 	st.Compactions = m.compactions.Load()
+	st.CompactErrors = m.compactErrors.Load()
 	if m.wal != nil {
 		st.WALRecords = m.wal.Records()
 	}

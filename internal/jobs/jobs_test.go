@@ -115,6 +115,35 @@ func TestIdempotencyKeyDedup(t *testing.T) {
 	}
 }
 
+// TestIdempotencyKeyConflict: a key reused with a different request body is
+// refused typed (naming the holder), runs nothing, and counts as neither a
+// submit nor a duplicate; the honest retry still dedups.
+func TestIdempotencyKeyConflict(t *testing.T) {
+	exec := &testExec{}
+	m := openTest(t, "", exec.run, Config{Workers: 1})
+	a, _, err := m.Submit("key-1", []byte("req"), "regimap", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, m, a.ID)
+	j, dup, err := m.Submit("key-1", []byte("DIFFERENT"), "regimap", 0)
+	if !errors.Is(err, ErrKeyConflict) || dup {
+		t.Fatalf("conflicting submit: %+v dup=%v err=%v", j, dup, err)
+	}
+	if j.ID != a.ID {
+		t.Fatalf("conflict named job %s, want holder %s", j.ID, a.ID)
+	}
+	if st := m.Stats(); st.Submitted != 1 || st.Duplicates != 0 {
+		t.Fatalf("stats after conflict = %+v, want 1 submit / 0 duplicates", st)
+	}
+	if _, dup, err := m.Submit("key-1", []byte("req"), "regimap", 0); err != nil || !dup {
+		t.Fatalf("honest retry after conflict: dup=%v err=%v", dup, err)
+	}
+	if n := exec.calls.Load(); n != 1 {
+		t.Fatalf("executor ran %d times, want 1", n)
+	}
+}
+
 // TestQueueFull: submits beyond the queue bound fail typed.
 func TestQueueFull(t *testing.T) {
 	exec := &testExec{gate: make(chan struct{})}
@@ -296,6 +325,67 @@ func TestCrashRecovery(t *testing.T) {
 	j, dup, err := m2.Submit("key-0", []byte("req-0"), "regimap", time.Minute)
 	if err != nil || !dup || j.ID != ids[0] {
 		t.Fatalf("post-recovery duplicate: %+v dup=%v err=%v", j, dup, err)
+	}
+}
+
+// TestSubmitCompactionKeepsAck is the snapshot-ordering regression: when a
+// submit's own WAL append crosses the compaction threshold, the snapshot is
+// taken from the job table and the log is truncated — so the job being
+// acknowledged must already be in the table, or compaction erases the record
+// the ack depends on and a crash loses an acknowledged job.
+func TestSubmitCompactionKeepsAck(t *testing.T) {
+	dir := t.TempDir()
+	gate := make(chan struct{})
+	exec := &testExec{gate: gate}
+	// Appends: submit A (1), A's running record (2), submit B (3) — the
+	// third append, a submit, triggers the compaction.
+	m := openTest(t, dir, exec.run, Config{Workers: 1, CompactEvery: 3})
+	a, _, err := m.Submit("", []byte("a"), "regimap", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return exec.calls.Load() == 1 }) // running record is on disk
+	b, _, err := m.Submit("", []byte("b"), "regimap", time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := m.Stats(); st.Compactions != 1 {
+		t.Fatalf("compactions = %d, want 1 (test setup drifted off the threshold)", st.Compactions)
+	}
+	m.Kill() // crash with A mid-execution and B still queued
+
+	exec2 := &testExec{}
+	m2 := openTest(t, dir, exec2.run, Config{Workers: 1})
+	for _, want := range []struct{ id, result string }{{a.ID, "ok:a"}, {b.ID, "ok:b"}} {
+		got := waitTerminal(t, m2, want.id)
+		if got.State != StateDone || string(got.Result) != want.result {
+			t.Fatalf("acked job %s lost across compaction+crash: %+v", want.id, got)
+		}
+	}
+}
+
+// TestSubmitWALFailureRollsBack: a submit whose WAL append fails is not
+// acknowledged and must leave no trace — a retried idempotency key gets a
+// fresh job, not a phantom that never runs.
+func TestSubmitWALFailureRollsBack(t *testing.T) {
+	dir := t.TempDir()
+	exec := &testExec{}
+	m := openTest(t, dir, exec.run, Config{Workers: 1})
+	m.wal.Kill() // every further append fails
+	if j, dup, err := m.Submit("k", []byte("r"), "regimap", time.Minute); err == nil {
+		t.Fatalf("submit over a dead WAL acked %+v dup=%v", j, dup)
+	}
+	m.mu.Lock()
+	_, inJobs := m.jobs["j-00000001"]
+	_, inKey := m.byKey["k"]
+	pending, seq := len(m.pending), m.seq
+	m.mu.Unlock()
+	if inJobs || inKey || pending != 0 || seq != 0 {
+		t.Fatalf("failed submit left state behind: jobs=%v key=%v pending=%d seq=%d",
+			inJobs, inKey, pending, seq)
+	}
+	if st := m.Stats(); st.Submitted != 0 {
+		t.Fatalf("submitted = %d, want 0", st.Submitted)
 	}
 }
 

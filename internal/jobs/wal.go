@@ -45,7 +45,8 @@ type WAL struct {
 	mu      sync.Mutex
 	dir     string
 	f       *os.File
-	appends int // records since the last compaction
+	size    int64 // byte offset of the end of the last durable record
+	appends int   // records since the last compaction
 	records int64
 	killed  bool
 }
@@ -121,12 +122,15 @@ func OpenWAL(dir string) (*WAL, []*Job, error) {
 		jobs = append(jobs, j)
 	}
 	sort.Slice(jobs, func(a, b int) bool { return jobs[a].ID < jobs[b].ID })
-	return &WAL{dir: dir, f: f}, jobs, nil
+	return &WAL{dir: dir, f: f, size: int64(good)}, jobs, nil
 }
 
 // Append durably records one job state. It returns only after the record is
 // synced to disk — the caller may acknowledge the state to a client as soon
-// as Append returns, and a subsequent crash cannot lose it.
+// as Append returns, and a subsequent crash cannot lose it. On failure the
+// partial record is truncated away best-effort: a write that reached the
+// page cache but whose fsync failed must not resurface after a restart as
+// a job nobody was ever acknowledged for.
 func (w *WAL) Append(j *Job) error {
 	blob, err := json.Marshal(j)
 	if err != nil {
@@ -139,14 +143,28 @@ func (w *WAL) Append(j *Job) error {
 		return fmt.Errorf("jobs: wal closed")
 	}
 	if _, err := w.f.Write(blob); err != nil {
+		w.rollbackLocked()
 		return fmt.Errorf("jobs: append wal record: %w", err)
 	}
 	if err := w.f.Sync(); err != nil {
+		w.rollbackLocked()
 		return fmt.Errorf("jobs: sync wal: %w", err)
 	}
+	w.size += int64(len(blob))
 	w.appends++
 	w.records++
 	return nil
+}
+
+// rollbackLocked drops whatever a failed Append left past the last durable
+// record. Best-effort: if even the truncate fails, Open's torn-tail scan
+// is the backstop — an undecodable suffix is discarded on replay, and a
+// decodable-but-unacknowledged one is the residual risk this narrows.
+func (w *WAL) rollbackLocked() {
+	if err := w.f.Truncate(w.size); err != nil {
+		return
+	}
+	w.f.Seek(w.size, io.SeekStart)
 }
 
 // ShouldCompact reports whether enough appends accumulated since the last
@@ -199,6 +217,7 @@ func (w *WAL) Compact(all []*Job) error {
 	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
 		return fmt.Errorf("jobs: rewind wal: %w", err)
 	}
+	w.size = 0
 	w.appends = 0
 	return nil
 }

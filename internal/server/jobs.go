@@ -112,6 +112,12 @@ func (s *Server) handleJobSubmit(w http.ResponseWriter, r *http.Request) {
 
 	j, dup, err := s.jobs.Submit(req.IdempotencyKey, canonical, eng.Name(), deadline)
 	switch {
+	case errors.Is(err, jobs.ErrKeyConflict):
+		writeJSON(w, http.StatusConflict, ErrorResponse{
+			Error: fmt.Sprintf("idempotency key %q was already used for a different request (job %s)", req.IdempotencyKey, j.ID),
+			Class: "conflict",
+		})
+		return
 	case errors.Is(err, jobs.ErrQueueFull):
 		w.Header().Set("Retry-After", "1")
 		writeJSON(w, http.StatusTooManyRequests, ErrorResponse{Error: err.Error(), Class: "overloaded"})

@@ -149,6 +149,23 @@ func TestJobIdempotencyKey(t *testing.T) {
 	}
 }
 
+// TestJobIdempotencyKeyConflict: reusing a key with a different request body
+// answers 409 instead of silently serving the original job's result; the
+// honest retry with the original body still acks the original job.
+func TestJobIdempotencyKeyConflict(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	a := submitJob(t, ts, `{"kernel":"fir8","idempotency_key":"conflict-1"}`, http.StatusAccepted)
+	pollJob(t, ts, a.ID)
+	code, blob, _ := postJSON(t, ts, "/v1/jobs", `{"kernel":"dct4_row","idempotency_key":"conflict-1"}`)
+	if code != http.StatusConflict || errClass(t, blob) != "conflict" {
+		t.Fatalf("conflicting key reuse: %d %q: %s", code, errClass(t, blob), blob)
+	}
+	b := submitJob(t, ts, `{"kernel":"fir8","idempotency_key":"conflict-1"}`, http.StatusOK)
+	if b.ID != a.ID || b.State != "done" {
+		t.Fatalf("honest retry = %+v, want job %s done", b, a.ID)
+	}
+}
+
 // TestJobQueueFull: submits beyond the job queue shed with 429 + Retry-After.
 func TestJobQueueFull(t *testing.T) {
 	_, ts := newTestServer(t, Config{Workers: 1, JobWorkers: 1, JobQueue: 1, DegradeWatermark: -1})

@@ -179,4 +179,5 @@ func (s *Server) writeMetrics(w io.Writer) {
 
 	counter("regimapd_wal_records_total", "Job records appended to the write-ahead log.", js.WALRecords)
 	counter("regimapd_wal_compactions_total", "WAL snapshot compactions.", js.Compactions)
+	counter("regimapd_wal_compact_errors_total", "Failed WAL snapshot compactions (the log grows until one succeeds).", js.CompactErrors)
 }
