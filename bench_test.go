@@ -396,6 +396,27 @@ func BenchmarkMRRG(b *testing.B) {
 	}
 }
 
+// BenchmarkBuildAdjacency measures fabric construction — topology adjacency
+// bitsets included — at the largest supported grid. Every described
+// architecture pays this once per Compile/Lookup, so regressions here tax
+// the whole zoo.
+func BenchmarkBuildAdjacency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		arch.New(64, 64, 4, arch.Torus)
+	}
+}
+
+// BenchmarkArchFingerprint measures the arch/v2 fingerprint (whole-word
+// adjacency hashing) at the largest supported grid. The fingerprint keys
+// regimapd's memo cache, so it runs on every request.
+func BenchmarkArchFingerprint(b *testing.B) {
+	c := arch.New(64, 64, 4, arch.Torus)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Fingerprint()
+	}
+}
+
 func itoa(v int) string {
 	if v == 0 {
 		return "0"

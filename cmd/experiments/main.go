@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 
 	"regimap/internal/arch"
 	"regimap/internal/experiments"
@@ -37,7 +38,8 @@ var stopProfiles = func() {}
 
 func main() {
 	var (
-		run           = flag.String("run", "all", "experiment to run: all, fig2, fig5, fig6, fig7, fig8, ablation, power, registers, phases")
+		run           = flag.String("run", "all", "experiment to run: all, fig2, fig5, fig6, fig7, fig8, archsweep, ablation, power, registers, phases")
+		archList      = flag.String("archs", "", "archsweep: comma-separated named architectures (default: the whole registry)")
 		quick         = flag.Bool("quick", false, "shrink the DRESC annealing budget")
 		seed          = flag.Int64("seed", 0, "base seed: DRESC annealing / portfolio diversification")
 		csvPath       = flag.String("csv", "", "also write Figure 6 per-loop rows as CSV to this file")
@@ -118,6 +120,14 @@ func main() {
 	if want("fig8") {
 		ran = true
 		fmt.Println(experiments.Figure8(base).Table())
+	}
+	if want("archsweep") {
+		ran = true
+		var archs []string
+		if *archList != "" {
+			archs = strings.Split(*archList, ",")
+		}
+		fmt.Println(experiments.ArchSweep(base, archs...).Table())
 	}
 	if want("ablation") {
 		ran = true

@@ -7,7 +7,11 @@
 //	regimap -list
 //	regimap -list-kernels                            # with ops/edges/RecMII columns
 //	regimap -list-mappers                            # the engine registry
+//	regimap -list-archs                              # the named-architecture zoo
 //	regimap -kernel fir8 [-rows 4 -cols 4 -regs 4] [-mapper regimap|dresc|ems|resilient] [-sim 16] [-dot]
+//	regimap -kernel fir8 -arch torus-8x8             # a zoo member by name
+//	regimap -kernel fir8 -arch "grid 4x4; topo mesh+; regs 8"   # an inline ADL description
+//	regimap -kernel fir8 -arch-file fabric.adl       # the same, from a file
 //	regimap -kernel fir8 -portfolio 8 -timeout 30s   # same answer, less waiting
 //	regimap -kernel fft_radix2 -explore 3            # hunt for a lower II
 //	regimap -kernel fir8 -trace trace.jsonl          # per-pass timing spans, one JSON object per line
@@ -23,6 +27,7 @@ import (
 	"os"
 
 	"regimap"
+	"regimap/internal/arch"
 	"regimap/internal/clique"
 	"regimap/internal/engine"
 	"regimap/internal/obs"
@@ -42,6 +47,9 @@ func main() {
 		tracePath   = flag.String("trace", "", "write observability events (per-pass spans, counters) as JSON lines to this file")
 
 		kernel        = flag.String("kernel", "", "kernel to map (see -list)")
+		archName      = flag.String("arch", "", "target fabric: a named architecture (see -list-archs) or an inline ADL description")
+		archFile      = flag.String("arch-file", "", "read the target fabric's ADL description from this file")
+		listArchs     = flag.Bool("list-archs", false, "list the named architectures and exit")
 		rows          = flag.Int("rows", 4, "CGRA rows")
 		cols          = flag.Int("cols", 4, "CGRA columns")
 		regs          = flag.Int("regs", 4, "rotating registers per PE")
@@ -103,6 +111,14 @@ func main() {
 		}
 		return
 	}
+	if *listArchs {
+		fmt.Printf("%-16s %-44s %s\n", "name", "description", "blurb")
+		for _, name := range regimap.ArchNames() {
+			adl, blurb, _ := regimap.ArchSource(name)
+			fmt.Printf("%-16s %-44s %s\n", name, adl, blurb)
+		}
+		return
+	}
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		exitOn(err)
@@ -136,7 +152,8 @@ func main() {
 		fmt.Print(d.DOT())
 		return
 	}
-	c := regimap.NewMesh(*rows, *cols, *regs)
+	c, err := resolveArch(*archName, *archFile, *rows, *cols, *regs)
+	exitOn(err)
 	fs := &regimap.FaultSet{}
 	if *faults != "" {
 		parsed, err := regimap.ParseFaults(*faults)
@@ -287,6 +304,43 @@ func main() {
 		fmt.Fprintf(os.Stderr, "regimap: unknown mapper %q\n", *mapper)
 		stopProfiles()
 		os.Exit(2)
+	}
+}
+
+// resolveArch builds the target array from -arch / -arch-file or from the
+// shape flags; the two ways are mutually exclusive. Every path goes through
+// the ADL compiler, so a malformed fabric fails with the same positioned
+// *DescError the server and the mapping wire decoder report.
+func resolveArch(name, file string, rows, cols, regs int) (*regimap.CGRA, error) {
+	shapeSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "rows" || f.Name == "cols" || f.Name == "regs" {
+			shapeSet = true
+		}
+	})
+	switch {
+	case name != "" && file != "":
+		return nil, fmt.Errorf("-arch and -arch-file are mutually exclusive")
+	case name != "":
+		if shapeSet {
+			return nil, fmt.Errorf("-arch is mutually exclusive with -rows/-cols/-regs")
+		}
+		return regimap.ResolveArch(name)
+	case file != "":
+		if shapeSet {
+			return nil, fmt.Errorf("-arch-file is mutually exclusive with -rows/-cols/-regs")
+		}
+		text, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		desc, err := regimap.ParseArch(string(text))
+		if err != nil {
+			return nil, err
+		}
+		return desc.Compile()
+	default:
+		return arch.Uniform(rows, cols, regs, arch.Mesh)
 	}
 }
 

@@ -1,6 +1,7 @@
 package regimap_test
 
 import (
+	"reflect"
 	"testing"
 
 	"regimap"
@@ -107,6 +108,54 @@ func FuzzLoopIRParse(f *testing.F) {
 		}
 		if d.MII(16, 4) < 1 {
 			t.Fatal("MII below 1 on a non-empty graph")
+		}
+	})
+}
+
+// FuzzArchParse checks the architecture-grammar contract on arbitrary text:
+// a description that parses must render back (String) to text that reparses
+// to the structurally identical description, and whatever Compile accepts
+// must be a usable fabric whose synthesized description (Describe) compiles
+// back to the same fingerprint.
+func FuzzArchParse(f *testing.F) {
+	f.Add("grid 4x4; regs 4")
+	f.Add("grid 4x4; topo mesh+; regs 4")
+	f.Add("grid 4x4; topo 1hop; regs 4")
+	f.Add("grid 8x8; topo torus; regs 4")
+	f.Add("grid 4x4; regs 4; cap all nomem; cap col 0 all")
+	f.Add("grid 4x4; regs 4; bus global cap 2")
+	f.Add("grid 2x3; regs 4; bus cols; buscap 1=0\n# banked\nregs 1,2=8")
+	f.Add("grid 4x4; regs 4; fanout 2; link 0,0-3,3; nolink 0,0-0,1")
+	f.Fuzz(func(t *testing.T, text string) {
+		d, err := regimap.ParseArch(text)
+		if err != nil {
+			return // rejecting malformed text is allowed
+		}
+		rendered := d.String()
+		again, err := regimap.ParseArch(rendered)
+		if err != nil {
+			t.Fatalf("String() output %q does not reparse: %v", rendered, err)
+		}
+		if !reflect.DeepEqual(d, again) {
+			t.Fatalf("roundtrip drift: %q reparses to a different description", rendered)
+		}
+		c, err := d.Compile()
+		if err != nil {
+			return // semantically invalid descriptions are allowed to fail
+		}
+		if c.UsablePEs() == 0 {
+			t.Fatalf("%q compiled to a fabric with no usable PEs", rendered)
+		}
+		desc, err := c.Describe()
+		if err != nil {
+			t.Fatalf("freshly compiled fabric is not describable: %v", err)
+		}
+		c2, err := desc.Compile()
+		if err != nil {
+			t.Fatalf("Describe() output %q does not recompile: %v", desc, err)
+		}
+		if c.Fingerprint() != c2.Fingerprint() {
+			t.Fatalf("describe/recompile changed the fabric fingerprint (%q)", desc)
 		}
 	})
 }

@@ -89,6 +89,13 @@ func TestGoldenMappings(t *testing.T) {
 			got[eng+"/"+k.Name] = goldenHash(goldenRun(t, eng, k.Name))
 		}
 	}
+	checkOrUpdateGolden(t, goldenPath, got)
+}
+
+// checkOrUpdateGolden compares digests against the golden file at path, or
+// rewrites it under -update-golden.
+func checkOrUpdateGolden(t *testing.T, path string, got map[string]string) {
+	t.Helper()
 	if *updateGolden {
 		keys := make([]string, 0, len(got))
 		for k := range got {
@@ -103,16 +110,16 @@ func TestGoldenMappings(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile(goldenPath, append(blob, '\n'), 0o644); err != nil {
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
 			t.Fatal(err)
 		}
-		t.Logf("wrote %d golden digests to %s", len(got), goldenPath)
+		t.Logf("wrote %d golden digests to %s", len(got), path)
 		return
 	}
-	blob, err := os.ReadFile(goldenPath)
+	blob, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatalf("missing golden file (generate with -update-golden): %v", err)
 	}
@@ -121,7 +128,7 @@ func TestGoldenMappings(t *testing.T) {
 		t.Fatal(err)
 	}
 	if len(want) != len(got) {
-		t.Errorf("golden file has %d entries, suite produced %d (kernel set changed? regenerate with -update-golden)", len(want), len(got))
+		t.Errorf("golden file has %d entries, suite produced %d (set changed? regenerate with -update-golden)", len(want), len(got))
 	}
 	for k, w := range want {
 		g, ok := got[k]
@@ -133,6 +140,42 @@ func TestGoldenMappings(t *testing.T) {
 			t.Errorf("%s: mapping changed: digest %s, golden %s", k, g, w)
 		}
 	}
+}
+
+// goldenArchPath pins mapping determinism across the named-architecture zoo:
+// a fixed kernel subset mapped by REGIMap on every registered architecture.
+// The digests prove described fabrics (diagonals, torus wrap, heterogeneous
+// capabilities, banked buses) map deterministically, not just the paper's
+// default mesh.
+const goldenArchPath = "testdata/golden_archzoo.json"
+
+func TestGoldenArchZoo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("arch-zoo golden suite maps kernels on every zoo member; skipped in -short")
+	}
+	kernelSubset := []string{"dotprod_sat", "median3", "iir_biquad"}
+	got := map[string]string{}
+	for _, name := range regimap.ArchNames() {
+		for _, kn := range kernelSubset {
+			k, ok := regimap.KernelByName(kn)
+			if !ok {
+				t.Fatalf("kernel %q disappeared", kn)
+			}
+			c, err := regimap.ResolveArch(name)
+			if err != nil {
+				t.Fatalf("arch %q: %v", name, err)
+			}
+			var text string
+			m, stats, err := regimap.Map(k.Build(), c, regimap.Options{})
+			if err != nil {
+				text = fmt.Sprintf("unmapped MII=%d", stats.MII)
+			} else {
+				text = fmt.Sprintf("II=%d attempts=%d routes=%d\n%s", stats.II, stats.Attempts, stats.RouteInserts, m)
+			}
+			got[name+"/"+kn] = goldenHash(text)
+		}
+	}
+	checkOrUpdateGolden(t, goldenArchPath, got)
 }
 
 // TestGoldenMappingsWorkerSweep proves the parallel clique engine's

@@ -1,0 +1,909 @@
+package arch
+
+import (
+	"fmt"
+	"strings"
+
+	"regimap/internal/dfg"
+)
+
+// This file is the architecture description language (ADL): a small
+// declarative text grammar, in the style of internal/fault's fault grammar,
+// that describes a fabric as data and compiles it into a CGRA. A description
+// is a list of statements separated by semicolons or newlines; '#' starts a
+// comment that runs to end of line. The paper's evaluation array is
+// "grid 4x4; regs 4".
+//
+//	grid RxC              array dimensions (required, exactly once)
+//	topo T                interconnect: mesh (default), mesh+, torus, 1hop
+//	regs N                nominal register-file size of every PE (default 4)
+//	regs SEL=N            override one PE ("1,2=6"), a row ("row 0=8"), or a
+//	                      column ("col 3=2"); later statements win
+//	cap SEL CLASS         capability class of the selected PEs: all, nomem,
+//	                      mem, alu, mul; SEL additionally admits "all"
+//	bus SCHEME [cap N]    memory bus grouping: rows (default, one bus per
+//	                      row), cols, global; N is the per-group capacity
+//	                      (default 1)
+//	buscap G=N            capacity override for bus group G
+//	fanout N              max remote readers of one output register per
+//	                      cycle (0 = unlimited, the default)
+//	link r1,c1-r2,c2      add a bidirectional link absent from the topology
+//	nolink r1,c1-r2,c2    remove a link the topology provides
+//
+// Parse is purely syntactic and round-trips with String; Compile validates
+// (typed *DescError with statement position) and materializes the CGRA.
+// Faults (internal/fault) compose on top of any compiled description: they
+// tighten whatever fabric the ADL built.
+
+// Compile-time bounds, shared by every entry point (CLI, wire decoder,
+// server) so malformed fabrics are rejected identically everywhere.
+const (
+	// MaxDim bounds grid rows and columns.
+	MaxDim = 64
+	// MaxRegs bounds the per-PE register-file size.
+	MaxRegs = 64
+	// MaxBusCap bounds a bus group's per-cycle memory-operation capacity.
+	MaxBusCap = 64
+	// MaxFanout bounds the link-bandwidth (output-register fanout) limit.
+	MaxFanout = 16
+)
+
+// StmtKind enumerates the ADL statement types.
+type StmtKind int
+
+// The statement kinds, in canonical emission order.
+const (
+	StmtGrid StmtKind = iota
+	StmtTopo
+	StmtRegs
+	StmtCap
+	StmtBus
+	StmtBusCap
+	StmtFanout
+	StmtLink
+	StmtNoLink
+)
+
+// SelKind enumerates what a selector targets.
+type SelKind int
+
+// Selector targets.
+const (
+	SelAll SelKind = iota // every PE (the zero value)
+	SelPE                 // one PE at (R, C)
+	SelRow                // every PE of row R
+	SelCol                // every PE of column C
+)
+
+// Selector names a set of PEs in regs/cap statements.
+type Selector struct {
+	Kind SelKind
+	R, C int
+}
+
+// String renders the selector in the grammar's syntax.
+func (s Selector) String() string {
+	switch s.Kind {
+	case SelPE:
+		return fmt.Sprintf("%d,%d", s.R, s.C)
+	case SelRow:
+		return fmt.Sprintf("row %d", s.R)
+	case SelCol:
+		return fmt.Sprintf("col %d", s.C)
+	default:
+		return "all"
+	}
+}
+
+// BusScheme selects how PEs are grouped onto memory buses.
+type BusScheme int
+
+// The bus grouping schemes.
+const (
+	BusRows   BusScheme = iota // one bus per row (the paper's model)
+	BusCols                    // one bus per column
+	BusGlobal                  // a single array-wide bus
+)
+
+// String names the scheme.
+func (s BusScheme) String() string {
+	switch s {
+	case BusCols:
+		return "cols"
+	case BusGlobal:
+		return "global"
+	default:
+		return "rows"
+	}
+}
+
+// CapClass is a named PE capability set.
+type CapClass int
+
+// The capability classes. Every class includes Route: any ALU can copy.
+const (
+	CapAll     CapClass = iota // full instruction set (the zero value)
+	CapNoMem                   // everything except Load/Store
+	CapMemOnly                 // Load, Store, Route only
+	CapALU                     // everything except Mul, Load, Store
+	CapMulOnly                 // Mul and Route only
+)
+
+// String names the class.
+func (c CapClass) String() string {
+	switch c {
+	case CapNoMem:
+		return "nomem"
+	case CapMemOnly:
+		return "mem"
+	case CapALU:
+		return "alu"
+	case CapMulOnly:
+		return "mul"
+	default:
+		return "all"
+	}
+}
+
+func parseCapClass(s string) (CapClass, bool) {
+	switch s {
+	case "all":
+		return CapAll, true
+	case "nomem":
+		return CapNoMem, true
+	case "mem":
+		return CapMemOnly, true
+	case "alu":
+		return CapALU, true
+	case "mul":
+		return CapMulOnly, true
+	}
+	return 0, false
+}
+
+// kinds returns the class's supported operation set, or nil for CapAll
+// (homogeneous — no restriction map is materialized).
+func (c CapClass) kinds() map[dfg.OpKind]bool {
+	var keep func(k dfg.OpKind) bool
+	switch c {
+	case CapAll:
+		return nil
+	case CapNoMem:
+		keep = func(k dfg.OpKind) bool { return !k.IsMem() }
+	case CapMemOnly:
+		keep = func(k dfg.OpKind) bool { return k.IsMem() || k == dfg.Route }
+	case CapALU:
+		keep = func(k dfg.OpKind) bool { return !k.IsMem() && k != dfg.Mul }
+	case CapMulOnly:
+		keep = func(k dfg.OpKind) bool { return k == dfg.Mul || k == dfg.Route }
+	}
+	m := make(map[dfg.OpKind]bool)
+	for k := 0; k < dfg.NumKinds; k++ {
+		if keep(dfg.OpKind(k)) {
+			m[dfg.OpKind(k)] = true
+		}
+	}
+	return m
+}
+
+// classOf matches a PE's restriction map back onto a class (Describe's
+// inverse of kinds). ok is false when the set matches no named class.
+func classOf(m map[dfg.OpKind]bool) (CapClass, bool) {
+	if m == nil {
+		return CapAll, true
+	}
+	for _, c := range []CapClass{CapNoMem, CapMemOnly, CapALU, CapMulOnly} {
+		want := c.kinds()
+		if len(m) != len(want) {
+			continue
+		}
+		match := true
+		for k, v := range want {
+			if m[k] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return c, true
+		}
+	}
+	// A restriction map that happens to permit everything is CapAll.
+	full := true
+	for k := 0; k < dfg.NumKinds; k++ {
+		if !m[dfg.OpKind(k)] {
+			full = false
+			break
+		}
+	}
+	if full {
+		return CapAll, true
+	}
+	return 0, false
+}
+
+// Stmt is one parsed ADL statement. Fields beyond Kind are populated per
+// statement type; unused fields stay zero so statements compare with
+// reflect.DeepEqual across a String/Parse round-trip.
+type Stmt struct {
+	Kind StmtKind
+
+	Rows, Cols int // StmtGrid
+
+	Topo Topology // StmtTopo
+
+	Sel   Selector  // StmtRegs, StmtCap
+	N     int       // StmtRegs value, StmtBus/StmtBusCap capacity, StmtFanout
+	Group int       // StmtBusCap
+	Sch   BusScheme // StmtBus
+	Class CapClass  // StmtCap
+
+	R1, C1, R2, C2 int // StmtLink, StmtNoLink
+}
+
+// String renders the statement in canonical, re-parseable syntax.
+func (s Stmt) String() string {
+	switch s.Kind {
+	case StmtGrid:
+		return fmt.Sprintf("grid %dx%d", s.Rows, s.Cols)
+	case StmtTopo:
+		return fmt.Sprintf("topo %s", s.Topo)
+	case StmtRegs:
+		if s.Sel.Kind == SelAll {
+			return fmt.Sprintf("regs %d", s.N)
+		}
+		return fmt.Sprintf("regs %s=%d", s.Sel, s.N)
+	case StmtCap:
+		return fmt.Sprintf("cap %s %s", s.Sel, s.Class)
+	case StmtBus:
+		if s.N == 1 {
+			return fmt.Sprintf("bus %s", s.Sch)
+		}
+		return fmt.Sprintf("bus %s cap %d", s.Sch, s.N)
+	case StmtBusCap:
+		return fmt.Sprintf("buscap %d=%d", s.Group, s.N)
+	case StmtFanout:
+		return fmt.Sprintf("fanout %d", s.N)
+	case StmtLink:
+		return fmt.Sprintf("link %d,%d-%d,%d", s.R1, s.C1, s.R2, s.C2)
+	case StmtNoLink:
+		return fmt.Sprintf("nolink %d,%d-%d,%d", s.R1, s.C1, s.R2, s.C2)
+	default:
+		return fmt.Sprintf("Stmt(%d)", int(s.Kind))
+	}
+}
+
+// Desc is a parsed architecture description: an ordered statement list.
+// Order matters where statements overlap (later regs/cap statements win;
+// link/nolink apply sequentially).
+type Desc struct {
+	Stmts []Stmt
+}
+
+// String renders the description canonically: statements joined by "; ".
+// ParseDesc(d.String()) reproduces d exactly.
+func (d *Desc) String() string {
+	parts := make([]string, len(d.Stmts))
+	for i, s := range d.Stmts {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, "; ")
+}
+
+// DescError is the typed error every ADL entry point raises: a syntax error
+// from ParseDesc (with the 1-based source line) or a semantic error from
+// Compile (with the statement index and its canonical text). The server maps
+// it to HTTP 400 class "bad-arch".
+type DescError struct {
+	Line int    // 1-based source line (0 when unknown)
+	Stmt int    // statement index (-1 when description-level or syntactic)
+	Text string // offending statement or token
+	Msg  string
+}
+
+func (e *DescError) Error() string {
+	pos := ""
+	switch {
+	case e.Line > 0:
+		pos = fmt.Sprintf("line %d: ", e.Line)
+	case e.Stmt >= 0:
+		pos = fmt.Sprintf("stmt %d: ", e.Stmt)
+	}
+	if e.Text != "" {
+		return fmt.Sprintf("arch: bad description: %s%q: %s", pos, e.Text, e.Msg)
+	}
+	return fmt.Sprintf("arch: bad description: %s%s", pos, e.Msg)
+}
+
+func synErr(line int, text, format string, args ...any) error {
+	return &DescError{Line: line, Stmt: -1, Text: text, Msg: fmt.Sprintf(format, args...)}
+}
+
+func semErr(stmt int, s Stmt, format string, args ...any) error {
+	return &DescError{Stmt: stmt, Text: s.String(), Msg: fmt.Sprintf(format, args...)}
+}
+
+// parseDescUint parses a non-negative decimal with a sanity cap, rejecting
+// signs and non-digits (mirrors the fault grammar's number syntax).
+func parseDescUint(s string) (int, error) {
+	if s == "" {
+		return 0, fmt.Errorf("empty number")
+	}
+	n := 0
+	for _, r := range s {
+		if r < '0' || r > '9' {
+			return 0, fmt.Errorf("bad number %q", s)
+		}
+		n = n*10 + int(r-'0')
+		if n > 1<<20 {
+			return 0, fmt.Errorf("number %q out of range", s)
+		}
+	}
+	return n, nil
+}
+
+// parsePEPair parses "r,c".
+func parsePEPair(s string) (r, c int, err error) {
+	a, b, ok := strings.Cut(s, ",")
+	if !ok {
+		return 0, 0, fmt.Errorf("want \"row,col\", got %q", s)
+	}
+	if r, err = parseDescUint(strings.TrimSpace(a)); err != nil {
+		return 0, 0, err
+	}
+	if c, err = parseDescUint(strings.TrimSpace(b)); err != nil {
+		return 0, 0, err
+	}
+	return r, c, nil
+}
+
+// parseSelector parses the SEL forms: "all", "row N", "col N", "r,c".
+// fields is the whitespace-split selector text (1 or 2 tokens).
+func parseSelector(fields []string) (Selector, error) {
+	switch {
+	case len(fields) == 1 && fields[0] == "all":
+		return Selector{Kind: SelAll}, nil
+	case len(fields) == 2 && fields[0] == "row":
+		r, err := parseDescUint(fields[1])
+		if err != nil {
+			return Selector{}, err
+		}
+		return Selector{Kind: SelRow, R: r}, nil
+	case len(fields) == 2 && fields[0] == "col":
+		c, err := parseDescUint(fields[1])
+		if err != nil {
+			return Selector{}, err
+		}
+		return Selector{Kind: SelCol, C: c}, nil
+	case len(fields) == 1:
+		r, c, err := parsePEPair(fields[0])
+		if err != nil {
+			return Selector{}, err
+		}
+		return Selector{Kind: SelPE, R: r, C: c}, nil
+	}
+	return Selector{}, fmt.Errorf("bad selector %q", strings.Join(fields, " "))
+}
+
+// ParseDesc parses an architecture description. It is purely syntactic:
+// unknown statements, malformed numbers, and wrong arity fail here; semantic
+// validation (bounds, duplicate singletons, selector ranges, link existence)
+// happens in Compile. Errors are *DescError.
+func ParseDesc(text string) (*Desc, error) {
+	d := &Desc{}
+	for lineIdx, line := range strings.Split(text, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		for _, tok := range strings.Split(line, ";") {
+			tok = strings.TrimSpace(tok)
+			if tok == "" {
+				continue
+			}
+			s, err := parseStmt(tok)
+			if err != nil {
+				return nil, synErr(lineIdx+1, tok, "%v", err)
+			}
+			d.Stmts = append(d.Stmts, s)
+		}
+	}
+	return d, nil
+}
+
+func parseStmt(tok string) (Stmt, error) {
+	fields := strings.Fields(tok)
+	rest := fields[1:]
+	switch fields[0] {
+	case "grid":
+		if len(rest) != 1 {
+			return Stmt{}, fmt.Errorf("want \"grid RxC\"")
+		}
+		a, b, ok := strings.Cut(rest[0], "x")
+		if !ok {
+			return Stmt{}, fmt.Errorf("want \"grid RxC\"")
+		}
+		r, err := parseDescUint(a)
+		if err != nil {
+			return Stmt{}, err
+		}
+		c, err := parseDescUint(b)
+		if err != nil {
+			return Stmt{}, err
+		}
+		return Stmt{Kind: StmtGrid, Rows: r, Cols: c}, nil
+	case "topo":
+		if len(rest) != 1 {
+			return Stmt{}, fmt.Errorf("want \"topo mesh|mesh+|torus|1hop\"")
+		}
+		t, err := ParseTopology(rest[0])
+		if err != nil {
+			return Stmt{}, err
+		}
+		return Stmt{Kind: StmtTopo, Topo: t}, nil
+	case "regs":
+		if len(rest) == 0 {
+			return Stmt{}, fmt.Errorf("want \"regs N\" or \"regs SEL=N\"")
+		}
+		joined := strings.Join(rest, " ")
+		lhs, rhs, hasEq := strings.Cut(joined, "=")
+		if !hasEq {
+			if len(rest) != 1 {
+				return Stmt{}, fmt.Errorf("want \"regs N\" or \"regs SEL=N\"")
+			}
+			n, err := parseDescUint(rest[0])
+			if err != nil {
+				return Stmt{}, err
+			}
+			return Stmt{Kind: StmtRegs, N: n}, nil
+		}
+		sel, err := parseSelector(strings.Fields(lhs))
+		if err != nil {
+			return Stmt{}, err
+		}
+		if sel.Kind == SelAll {
+			return Stmt{}, fmt.Errorf("use \"regs N\" for the whole array")
+		}
+		n, err := parseDescUint(strings.TrimSpace(rhs))
+		if err != nil {
+			return Stmt{}, err
+		}
+		return Stmt{Kind: StmtRegs, Sel: sel, N: n}, nil
+	case "cap":
+		if len(rest) < 2 {
+			return Stmt{}, fmt.Errorf("want \"cap SEL CLASS\"")
+		}
+		cls, ok := parseCapClass(rest[len(rest)-1])
+		if !ok {
+			return Stmt{}, fmt.Errorf("unknown capability class %q (have all, nomem, mem, alu, mul)", rest[len(rest)-1])
+		}
+		sel, err := parseSelector(rest[:len(rest)-1])
+		if err != nil {
+			return Stmt{}, err
+		}
+		return Stmt{Kind: StmtCap, Sel: sel, Class: cls}, nil
+	case "bus":
+		var sch BusScheme
+		if len(rest) == 0 {
+			return Stmt{}, fmt.Errorf("want \"bus rows|cols|global [cap N]\"")
+		}
+		switch rest[0] {
+		case "rows":
+			sch = BusRows
+		case "cols":
+			sch = BusCols
+		case "global":
+			sch = BusGlobal
+		default:
+			return Stmt{}, fmt.Errorf("unknown bus scheme %q (have rows, cols, global)", rest[0])
+		}
+		n := 1
+		switch {
+		case len(rest) == 1:
+		case len(rest) == 3 && rest[1] == "cap":
+			var err error
+			if n, err = parseDescUint(rest[2]); err != nil {
+				return Stmt{}, err
+			}
+		default:
+			return Stmt{}, fmt.Errorf("want \"bus rows|cols|global [cap N]\"")
+		}
+		return Stmt{Kind: StmtBus, Sch: sch, N: n}, nil
+	case "buscap":
+		if len(rest) != 1 {
+			return Stmt{}, fmt.Errorf("want \"buscap G=N\"")
+		}
+		lhs, rhs, ok := strings.Cut(rest[0], "=")
+		if !ok {
+			return Stmt{}, fmt.Errorf("want \"buscap G=N\"")
+		}
+		g, err := parseDescUint(lhs)
+		if err != nil {
+			return Stmt{}, err
+		}
+		n, err := parseDescUint(rhs)
+		if err != nil {
+			return Stmt{}, err
+		}
+		return Stmt{Kind: StmtBusCap, Group: g, N: n}, nil
+	case "fanout":
+		if len(rest) != 1 {
+			return Stmt{}, fmt.Errorf("want \"fanout N\"")
+		}
+		n, err := parseDescUint(rest[0])
+		if err != nil {
+			return Stmt{}, err
+		}
+		return Stmt{Kind: StmtFanout, N: n}, nil
+	case "link", "nolink":
+		if len(rest) != 1 {
+			return Stmt{}, fmt.Errorf("want %q", fields[0]+" r1,c1-r2,c2")
+		}
+		a, b, ok := strings.Cut(rest[0], "-")
+		if !ok {
+			return Stmt{}, fmt.Errorf("want %q", fields[0]+" r1,c1-r2,c2")
+		}
+		r1, c1, err := parsePEPair(a)
+		if err != nil {
+			return Stmt{}, err
+		}
+		r2, c2, err := parsePEPair(b)
+		if err != nil {
+			return Stmt{}, err
+		}
+		kind := StmtLink
+		if fields[0] == "nolink" {
+			kind = StmtNoLink
+		}
+		return Stmt{Kind: kind, R1: r1, C1: c1, R2: r2, C2: c2}, nil
+	}
+	return Stmt{}, fmt.Errorf("unknown statement (have grid, topo, regs, cap, bus, buscap, fanout, link, nolink)")
+}
+
+// forEachSelected applies fn to every PE index the selector names. Bounds
+// were validated by the caller.
+func forEachSelected(rows, cols int, sel Selector, fn func(p int)) {
+	switch sel.Kind {
+	case SelAll:
+		for p := 0; p < rows*cols; p++ {
+			fn(p)
+		}
+	case SelPE:
+		fn(sel.R*cols + sel.C)
+	case SelRow:
+		for c := 0; c < cols; c++ {
+			fn(sel.R*cols + c)
+		}
+	case SelCol:
+		for r := 0; r < rows; r++ {
+			fn(r*cols + sel.C)
+		}
+	}
+}
+
+func checkSelector(rows, cols int, sel Selector) error {
+	switch sel.Kind {
+	case SelPE:
+		if sel.R >= rows || sel.C >= cols {
+			return fmt.Errorf("PE (%d,%d) outside the %dx%d grid", sel.R, sel.C, rows, cols)
+		}
+	case SelRow:
+		if sel.R >= rows {
+			return fmt.Errorf("row %d outside the %dx%d grid", sel.R, rows, cols)
+		}
+	case SelCol:
+		if sel.C >= cols {
+			return fmt.Errorf("col %d outside the %dx%d grid", sel.C, rows, cols)
+		}
+	}
+	return nil
+}
+
+// Compile validates the description and materializes the CGRA. All semantic
+// errors are *DescError carrying the offending statement's index and text,
+// so the CLI, the wire decoder, and the server reject malformed fabrics
+// identically.
+func (d *Desc) Compile() (*CGRA, error) {
+	// Pass 1: the singleton statements (grid, topo, bus, fanout).
+	rows, cols := 0, 0
+	topo := Mesh
+	fanout := 0
+	scheme := BusRows
+	busDefCap := 1
+	haveGrid, haveTopo, haveBus, haveFanout := false, false, false, false
+	for i, s := range d.Stmts {
+		switch s.Kind {
+		case StmtGrid:
+			if haveGrid {
+				return nil, semErr(i, s, "duplicate grid statement")
+			}
+			haveGrid = true
+			if s.Rows < 1 || s.Cols < 1 || s.Rows > MaxDim || s.Cols > MaxDim {
+				return nil, semErr(i, s, "grid dimensions must be in [1,%d]", MaxDim)
+			}
+			rows, cols = s.Rows, s.Cols
+		case StmtTopo:
+			if haveTopo {
+				return nil, semErr(i, s, "duplicate topo statement")
+			}
+			haveTopo = true
+			topo = s.Topo
+		case StmtBus:
+			if haveBus {
+				return nil, semErr(i, s, "duplicate bus statement")
+			}
+			haveBus = true
+			scheme = s.Sch
+			if s.N < 0 || s.N > MaxBusCap {
+				return nil, semErr(i, s, "bus capacity must be in [0,%d]", MaxBusCap)
+			}
+			busDefCap = s.N
+		case StmtFanout:
+			if haveFanout {
+				return nil, semErr(i, s, "duplicate fanout statement")
+			}
+			haveFanout = true
+			if s.N < 0 || s.N > MaxFanout {
+				return nil, semErr(i, s, "fanout must be in [0,%d]", MaxFanout)
+			}
+			fanout = s.N
+		}
+	}
+	if !haveGrid {
+		return nil, &DescError{Stmt: -1, Msg: "missing grid statement"}
+	}
+
+	// Pass 2: per-PE state, bus capacities, and link edits, in order.
+	n := rows * cols
+	regs := make([]int, n)
+	for i := range regs {
+		regs[i] = 4 // the paper's default file size
+	}
+	classes := make([]CapClass, n)
+	groups := 0
+	switch scheme {
+	case BusRows:
+		groups = rows
+	case BusCols:
+		groups = cols
+	case BusGlobal:
+		groups = 1
+	}
+	busCaps := make([]int, groups)
+	for g := range busCaps {
+		busCaps[g] = busDefCap
+	}
+	c := New(rows, cols, 0, topo) // NumRegs fixed up below
+	for i, s := range d.Stmts {
+		switch s.Kind {
+		case StmtRegs:
+			if err := checkSelector(rows, cols, s.Sel); err != nil {
+				return nil, semErr(i, s, "%v", err)
+			}
+			if s.N < 0 || s.N > MaxRegs {
+				return nil, semErr(i, s, "register file size must be in [0,%d]", MaxRegs)
+			}
+			forEachSelected(rows, cols, s.Sel, func(p int) { regs[p] = s.N })
+		case StmtCap:
+			if err := checkSelector(rows, cols, s.Sel); err != nil {
+				return nil, semErr(i, s, "%v", err)
+			}
+			forEachSelected(rows, cols, s.Sel, func(p int) { classes[p] = s.Class })
+		case StmtBusCap:
+			if s.Group < 0 || s.Group >= groups {
+				return nil, semErr(i, s, "bus group %d outside [0,%d) under the %s scheme", s.Group, groups, scheme)
+			}
+			if s.N < 0 || s.N > MaxBusCap {
+				return nil, semErr(i, s, "bus capacity must be in [0,%d]", MaxBusCap)
+			}
+			busCaps[s.Group] = s.N
+		case StmtLink, StmtNoLink:
+			if s.R1 >= rows || s.C1 >= cols || s.R2 >= rows || s.C2 >= cols {
+				return nil, semErr(i, s, "endpoint outside the %dx%d grid", rows, cols)
+			}
+			p, q := c.PEAt(s.R1, s.C1), c.PEAt(s.R2, s.C2)
+			if p == q {
+				return nil, semErr(i, s, "a PE cannot link to itself")
+			}
+			if s.Kind == StmtLink {
+				if c.NominalConnected(p, q) {
+					return nil, semErr(i, s, "PEs %d,%d and %d,%d are already connected", s.R1, s.C1, s.R2, s.C2)
+				}
+				c.setNominalLink(p, q, true)
+			} else {
+				if !c.NominalConnected(p, q) {
+					return nil, semErr(i, s, "no link between %d,%d and %d,%d to remove", s.R1, s.C1, s.R2, s.C2)
+				}
+				c.setNominalLink(p, q, false)
+			}
+			c.customLinks = true
+		}
+	}
+
+	// The clique engine encodes bus contention pairwise, which is exact only
+	// when a shared group admits at most one memory op per cycle; a single
+	// global group of any capacity is exact too, because the scheduler's
+	// per-slot memory cap equals the group cap (DESIGN.md section 8j).
+	if groups > 1 {
+		for i, s := range d.Stmts {
+			if (s.Kind == StmtBus || s.Kind == StmtBusCap) && s.N > 1 {
+				return nil, semErr(i, s, "per-group bus capacity above 1 requires the global bus scheme")
+			}
+		}
+	}
+
+	// Materialize the remaining per-PE state.
+	maxRegs, uniform := 0, true
+	for _, r := range regs {
+		if r > maxRegs {
+			maxRegs = r
+		}
+	}
+	for _, r := range regs {
+		if r != maxRegs {
+			uniform = false
+			break
+		}
+	}
+	c.NumRegs = maxRegs
+	if !uniform {
+		c.nomRegs = regs
+	}
+	for p, cls := range classes {
+		if cls == CapAll {
+			continue
+		}
+		if c.caps == nil {
+			c.caps = make([]map[dfg.OpKind]bool, n)
+		}
+		c.caps[p] = cls.kinds()
+	}
+	trivial := scheme == BusRows
+	if trivial {
+		for _, cap := range busCaps {
+			if cap != 1 {
+				trivial = false
+				break
+			}
+		}
+	}
+	if !trivial {
+		bg := make([]int, n)
+		for p := range bg {
+			switch scheme {
+			case BusRows:
+				bg[p] = c.RowOf(p)
+			case BusCols:
+				bg[p] = c.ColOf(p)
+			case BusGlobal:
+				bg[p] = 0
+			}
+		}
+		c.busGroup, c.busCap = bg, busCaps
+	}
+	c.fanout = fanout
+	return c, nil
+}
+
+// Uniform describes-and-compiles the classic uniform array — rows x cols,
+// one register-file size, a topology, the default bus scheme — through the
+// ADL compiler. It is the shared validation path of the wire decoder, the
+// server, and the CLI shape flags, so out-of-bounds shapes are rejected
+// identically everywhere with a *DescError.
+func Uniform(rows, cols, regs int, topo Topology) (*CGRA, error) {
+	d := &Desc{Stmts: []Stmt{
+		{Kind: StmtGrid, Rows: rows, Cols: cols},
+		{Kind: StmtTopo, Topo: topo},
+		{Kind: StmtRegs, N: regs},
+	}}
+	return d.Compile()
+}
+
+// UnfaithfulError reports an array whose in-memory state is not expressible
+// as an ADL description (e.g. a RestrictPE capability set matching no named
+// class), so it cannot travel over the wire without silently losing
+// constraints. The server maps it to HTTP 400 class "bad-arch".
+type UnfaithfulError struct {
+	Reason string
+}
+
+func (e *UnfaithfulError) Error() string {
+	return "arch: array is not expressible as a description: " + e.Reason
+}
+
+// NeedsDesc reports whether the array's nominal state goes beyond its
+// (rows, cols, regs, topology) shape — heterogeneous capabilities or files,
+// a non-default bus scheme, a fanout bound, or edited links. Wire encoders
+// use it to decide whether the compact shape fields suffice or the full ADL
+// must travel.
+func (c *CGRA) NeedsDesc() bool {
+	return c.caps != nil || c.nomRegs != nil || !c.TrivialBuses() || c.fanout != 0 || c.customLinks
+}
+
+// Describe synthesizes an ADL description of the array's nominal (fault-
+// free) fabric: compiling the result reproduces an array with the same
+// nominal fingerprint. Fault state is deliberately not described — faults
+// travel separately (internal/fault) and tighten whatever the description
+// builds. It fails with *UnfaithfulError when some state matches no grammar
+// construct, e.g. an ad-hoc RestrictPE capability set.
+func (c *CGRA) Describe() (*Desc, error) {
+	d := &Desc{}
+	d.Stmts = append(d.Stmts, Stmt{Kind: StmtGrid, Rows: c.Rows, Cols: c.Cols})
+	if c.Topology != Mesh {
+		d.Stmts = append(d.Stmts, Stmt{Kind: StmtTopo, Topo: c.Topology})
+	}
+	d.Stmts = append(d.Stmts, Stmt{Kind: StmtRegs, N: c.NumRegs})
+	if c.nomRegs != nil {
+		for p, r := range c.nomRegs {
+			if r != c.NumRegs {
+				d.Stmts = append(d.Stmts, Stmt{Kind: StmtRegs, Sel: Selector{Kind: SelPE, R: c.RowOf(p), C: c.ColOf(p)}, N: r})
+			}
+		}
+	}
+	if c.caps != nil {
+		for p, m := range c.caps {
+			cls, ok := classOf(m)
+			if !ok {
+				return nil, &UnfaithfulError{Reason: fmt.Sprintf("PE %d's capability set matches no class", p)}
+			}
+			if cls != CapAll {
+				d.Stmts = append(d.Stmts, Stmt{Kind: StmtCap, Sel: Selector{Kind: SelPE, R: c.RowOf(p), C: c.ColOf(p)}, Class: cls})
+			}
+		}
+	}
+	if !c.TrivialBuses() {
+		var scheme BusScheme
+		switch {
+		case c.busGroup == nil:
+			scheme = BusRows
+		case matchesGrouping(c, func(p int) int { return c.RowOf(p) }, c.Rows):
+			scheme = BusRows
+		case matchesGrouping(c, func(p int) int { return c.ColOf(p) }, c.Cols):
+			scheme = BusCols
+		case matchesGrouping(c, func(int) int { return 0 }, 1):
+			scheme = BusGlobal
+		default:
+			return nil, &UnfaithfulError{Reason: "bus grouping matches no scheme"}
+		}
+		def := c.BusGroupCap(0)
+		d.Stmts = append(d.Stmts, Stmt{Kind: StmtBus, Sch: scheme, N: def})
+		for g := 1; g < c.NumBusGroups(); g++ {
+			if cap := c.BusGroupCap(g); cap != def {
+				d.Stmts = append(d.Stmts, Stmt{Kind: StmtBusCap, Group: g, N: cap})
+			}
+		}
+	}
+	if c.fanout != 0 {
+		d.Stmts = append(d.Stmts, Stmt{Kind: StmtFanout, N: c.fanout})
+	}
+	if c.customLinks {
+		base := New(c.Rows, c.Cols, 0, c.Topology)
+		for p := 0; p < c.NumPEs(); p++ {
+			for q := p + 1; q < c.NumPEs(); q++ {
+				have, want := c.NominalConnected(p, q), base.NominalConnected(p, q)
+				if have == want {
+					continue
+				}
+				s := Stmt{R1: c.RowOf(p), C1: c.ColOf(p), R2: c.RowOf(q), C2: c.ColOf(q)}
+				if have {
+					s.Kind = StmtLink
+				} else {
+					s.Kind = StmtNoLink
+				}
+				d.Stmts = append(d.Stmts, s)
+			}
+		}
+	}
+	return d, nil
+}
+
+func matchesGrouping(c *CGRA, group func(int) int, groups int) bool {
+	if c.NumBusGroups() != groups {
+		return false
+	}
+	for p := 0; p < c.NumPEs(); p++ {
+		if c.BusGroupOf(p) != group(p) {
+			return false
+		}
+	}
+	return true
+}

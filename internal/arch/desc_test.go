@@ -1,0 +1,229 @@
+package arch
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"regimap/internal/dfg"
+)
+
+func mustCompile(t *testing.T, text string) *CGRA {
+	t.Helper()
+	d, err := ParseDesc(text)
+	if err != nil {
+		t.Fatalf("ParseDesc(%q): %v", text, err)
+	}
+	c, err := d.Compile()
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", text, err)
+	}
+	return c
+}
+
+func TestDescDefaultMeshMatchesNew(t *testing.T) {
+	c := mustCompile(t, "grid 4x4; regs 4")
+	want := NewMesh(4, 4, 4)
+	if c.Rows != want.Rows || c.Cols != want.Cols || c.NumRegs != want.NumRegs || c.Topology != want.Topology {
+		t.Fatalf("compiled %v, want %v", c, want)
+	}
+	if c.Fingerprint() != want.Fingerprint() {
+		t.Fatalf("compiled default mesh fingerprint differs from NewMesh: %s vs %s", c.Fingerprint(), want.Fingerprint())
+	}
+	if c.NeedsDesc() {
+		t.Fatal("plain mesh should not need an ADL description")
+	}
+}
+
+func TestDescStringParseRoundTrip(t *testing.T) {
+	for _, text := range []string{
+		"grid 4x4; regs 4",
+		"grid 2x8; topo mesh+; regs 4",
+		"grid 8x8; topo torus; regs 4",
+		"grid 4x4; topo 1hop; regs 4",
+		"grid 4x4; regs 4; regs 1,1=8",
+		"grid 4x4; regs 4; cap all nomem; cap col 0 all",
+		"grid 4x4; regs 4; bus global cap 2",
+		"grid 4x4; regs 4; bus cols",
+		"grid 4x4; regs 4; bus rows; buscap 2=0",
+		"grid 4x4; regs 4; fanout 2",
+		"grid 4x4; regs 4; link 0,0-2,2; nolink 0,0-0,1",
+	} {
+		d, err := ParseDesc(text)
+		if err != nil {
+			t.Fatalf("ParseDesc(%q): %v", text, err)
+		}
+		again, err := ParseDesc(d.String())
+		if err != nil {
+			t.Fatalf("re-ParseDesc(%q): %v", d.String(), err)
+		}
+		if !reflect.DeepEqual(d, again) {
+			t.Errorf("round trip of %q:\n first %#v\nsecond %#v", text, d, again)
+		}
+		if _, err := d.Compile(); err != nil {
+			t.Errorf("Compile(%q): %v", text, err)
+		}
+	}
+}
+
+func TestDescCompileSemantics(t *testing.T) {
+	c := mustCompile(t, "grid 4x4; topo mesh+; regs 2; regs 1,1=8")
+	if got := c.NominalRegsAt(c.PEAt(1, 1)); got != 8 {
+		t.Errorf("PE (1,1) regs = %d, want 8", got)
+	}
+	if got := c.NominalRegsAt(c.PEAt(0, 0)); got != 2 {
+		t.Errorf("PE (0,0) regs = %d, want 2", got)
+	}
+	if c.NumRegs != 8 {
+		t.Errorf("NumRegs = %d, want max 8", c.NumRegs)
+	}
+
+	het := mustCompile(t, "grid 4x4; regs 4; cap all nomem; cap col 0 all")
+	if het.Supports(het.PEAt(1, 1), dfg.Load) {
+		t.Error("nomem PE supports Load")
+	}
+	if !het.Supports(het.PEAt(1, 0), dfg.Load) {
+		t.Error("col-0 PE lost Load")
+	}
+	if !het.Supports(het.PEAt(1, 1), dfg.Route) {
+		t.Error("every class must keep Route")
+	}
+	if het.MemSlotCapacity() != 4 {
+		t.Errorf("hetero MemSlotCapacity = %d, want 4 (one bus per row)", het.MemSlotCapacity())
+	}
+
+	band := mustCompile(t, "grid 4x4; regs 4; bus global cap 2")
+	if band.NumBusGroups() != 1 || band.BusGroupCap(0) != 2 {
+		t.Errorf("global bus: groups=%d cap=%d, want 1 group of cap 2", band.NumBusGroups(), band.BusGroupCap(0))
+	}
+	if band.MemSlotCapacity() != 2 {
+		t.Errorf("band2 MemSlotCapacity = %d, want 2", band.MemSlotCapacity())
+	}
+	pes, mem := band.MIIResources()
+	if pes != 16 || mem != 2 {
+		t.Errorf("band2 MIIResources = (%d,%d), want (16,2)", pes, mem)
+	}
+
+	cols := mustCompile(t, "grid 2x3; regs 4; bus cols")
+	if cols.NumBusGroups() != 3 {
+		t.Errorf("bus cols on 2x3: %d groups, want 3", cols.NumBusGroups())
+	}
+	if g := cols.BusGroupOf(cols.PEAt(1, 2)); g != 2 {
+		t.Errorf("PE (1,2) in group %d, want 2", g)
+	}
+
+	linked := mustCompile(t, "grid 4x4; regs 4; link 0,0-3,3; nolink 0,0-0,1")
+	if !linked.Connected(linked.PEAt(0, 0), linked.PEAt(3, 3)) {
+		t.Error("custom link 0,0-3,3 missing")
+	}
+	if linked.Connected(linked.PEAt(0, 0), linked.PEAt(0, 1)) {
+		t.Error("nolink 0,0-0,1 still connected")
+	}
+}
+
+func TestDescErrors(t *testing.T) {
+	cases := []struct {
+		text string
+		want string // substring of the DescError
+	}{
+		{"grid 4", "line 1"},
+		{"grid 4x4\ngrid 2x2; regs 4", "duplicate grid"},
+		{"topo mesh; regs 4", "grid"},
+		{"grid 99x99; regs 4", "stmt 0"},
+		{"grid 4x4; regs 999", "stmt 1"},
+		{"grid 4x4; cap 9,9 all", "stmt 1"},
+		{"grid 4x4; bus rows cap 2", "global"},
+		{"grid 4x4; bus cols; buscap 0=2", "global"},
+		{"grid 4x4; link 0,0-0,0", "stmt 1"},
+		{"grid 4x4; fanout 99", "stmt 1"},
+		{"grid 4x4; frobnicate 3", "line 1"},
+	}
+	for _, tc := range cases {
+		var c *CGRA
+		d, err := ParseDesc(tc.text)
+		if err == nil {
+			c, err = d.Compile()
+		}
+		if err == nil {
+			t.Errorf("%q: compiled to %v, want error containing %q", tc.text, c, tc.want)
+			continue
+		}
+		var de *DescError
+		if !errors.As(err, &de) {
+			t.Errorf("%q: error %v is not a *DescError", tc.text, err)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%q: error %q does not mention %q", tc.text, err, tc.want)
+		}
+	}
+}
+
+func TestDescribeRoundTripsState(t *testing.T) {
+	for _, text := range []string{
+		"grid 4x4; regs 4",
+		"grid 4x4; topo mesh+; regs 4; regs 2,2=8",
+		"grid 4x4; regs 4; cap all nomem; cap col 0 all",
+		"grid 4x4; regs 4; bus global cap 2",
+		"grid 3x3; regs 4; bus cols; buscap 1=0",
+		"grid 4x4; regs 4; fanout 3; link 0,0-2,2",
+	} {
+		c := mustCompile(t, text)
+		desc, err := c.Describe()
+		if err != nil {
+			t.Fatalf("Describe(%q): %v", text, err)
+		}
+		again, err := ParseDesc(desc.String())
+		if err != nil {
+			t.Fatalf("ParseDesc(Describe(%q)) = %q: %v", text, desc, err)
+		}
+		c2, err := again.Compile()
+		if err != nil {
+			t.Fatalf("recompile of %q: %v", desc, err)
+		}
+		if c.Fingerprint() != c2.Fingerprint() {
+			t.Errorf("%q: described form %q compiles to a different fabric (%s vs %s)",
+				text, desc, c.Fingerprint(), c2.Fingerprint())
+		}
+	}
+}
+
+func TestDescribeUnfaithful(t *testing.T) {
+	c := NewMesh(4, 4, 4)
+	// An ad-hoc capability set matching no class is not expressible.
+	c.RestrictPE(5, dfg.Add, dfg.Load)
+	if !c.NeedsDesc() {
+		t.Fatal("restricted array should need a description")
+	}
+	_, err := c.Describe()
+	var uf *UnfaithfulError
+	if !errors.As(err, &uf) {
+		t.Fatalf("Describe on ad-hoc caps: err = %v, want *UnfaithfulError", err)
+	}
+}
+
+func TestUniformSharedValidation(t *testing.T) {
+	if _, err := Uniform(4, 4, 4, Mesh); err != nil {
+		t.Fatalf("Uniform(4,4,4): %v", err)
+	}
+	for _, bad := range [][3]int{{0, 4, 4}, {4, 65, 4}, {4, 4, 200}, {-1, 4, 4}} {
+		_, err := Uniform(bad[0], bad[1], bad[2], Mesh)
+		var de *DescError
+		if !errors.As(err, &de) {
+			t.Errorf("Uniform(%v): err = %v, want *DescError", bad, err)
+		}
+	}
+}
+
+func TestBusExactnessRule(t *testing.T) {
+	// Multi-group schemes must keep every cap <= 1 so pairwise conflicts stay
+	// exact; a single global group may have any capacity.
+	d, err := ParseDesc("grid 4x4; regs 4; bus rows; buscap 1=2")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, err := d.Compile(); err == nil {
+		t.Fatal("per-group cap 2 under the rows scheme must not compile")
+	}
+}

@@ -56,10 +56,17 @@ type MRRG struct {
 	II int
 
 	kind []ResourceKind
-	pe   []int // owning PE (or row index for Bus nodes)
+	pe   []int // owning PE (row index for Bus nodes, group index for group nodes)
 	slot []int
 	cap  []int
 	out  [][]int
+
+	// grpCount is the number of bus-group nodes per slot. 0 under the
+	// paper's trivial scheme (one bus per row, capacity 1), where the
+	// per-row Bus nodes alone are exact; under any other scheme the row
+	// nodes degrade to dead-row gates and the appended group nodes carry
+	// the capacities.
+	grpCount int
 }
 
 // BuildMRRG constructs the MRRG for one II.
@@ -68,9 +75,13 @@ func BuildMRRG(c *CGRA, ii int) *MRRG {
 		panic("arch: MRRG needs a positive II")
 	}
 	m := &MRRG{C: c, II: ii}
-	// Node layout: [FU | OutReg | RF] x (pe, slot), then Bus x (row, slot).
+	// Node layout: [FU | OutReg | RF] x (pe, slot), then Bus x (row, slot),
+	// then — on non-trivial bus schemes only — Bus x (group, slot).
 	n := c.NumPEs()
-	total := 3*n*ii + c.Rows*ii
+	if !c.TrivialBuses() {
+		m.grpCount = c.NumBusGroups()
+	}
+	total := 3*n*ii + c.Rows*ii + m.grpCount*ii
 	m.kind = make([]ResourceKind, total)
 	m.pe = make([]int, total)
 	m.slot = make([]int, total)
@@ -101,9 +112,22 @@ func BuildMRRG(c *CGRA, ii int) *MRRG {
 			m.kind[id] = Bus
 			m.pe[id] = r
 			m.slot[id] = t
-			if c.RowBusOK(r) {
+			if m.grpCount > 0 {
+				// Gate only: per-slot bandwidth lives on the group nodes, so
+				// a live row admits up to a full row of memory ops here.
+				if c.RowBusOK(r) {
+					m.cap[id] = c.Cols
+				}
+			} else if c.RowBusOK(r) {
 				m.cap[id] = 1
 			}
+		}
+		for g := 0; g < m.grpCount; g++ {
+			id := m.busGrpID(g, t)
+			m.kind[id] = Bus
+			m.pe[id] = g
+			m.slot[id] = t
+			m.cap[id] = c.BusGroupCap(g)
 		}
 	}
 	for t := 0; t < ii; t++ {
@@ -137,6 +161,10 @@ func (m *MRRG) busID(r, t int) int {
 	return 3*m.C.NumPEs()*m.II + t*m.C.Rows + r
 }
 
+func (m *MRRG) busGrpID(g, t int) int {
+	return 3*m.C.NumPEs()*m.II + m.C.Rows*m.II + t*m.grpCount + g
+}
+
 func (m *MRRG) addEdge(u, v int) { m.out[u] = append(m.out[u], v) }
 
 // N returns the total node count.
@@ -153,6 +181,15 @@ func (m *MRRG) RFNode(p, t int) int { return m.nodeID(RF, p, t) }
 
 // BusNode returns the node id of row r's memory bus in slot t.
 func (m *MRRG) BusNode(r, t int) int { return m.busID(r, t) }
+
+// HasBusGroups reports whether the fabric's bus scheme materialized
+// dedicated group-capacity nodes (non-trivial schemes only); memory ops then
+// charge BusGroupNode in addition to the row gate BusNode.
+func (m *MRRG) HasBusGroups() bool { return m.grpCount > 0 }
+
+// BusGroupNode returns the node id of bus group g's capacity in slot t.
+// Only valid when HasBusGroups.
+func (m *MRRG) BusGroupNode(g, t int) int { return m.busGrpID(g, t) }
 
 // Kind returns the resource kind of a node.
 func (m *MRRG) Kind(id int) ResourceKind { return m.kind[id] }

@@ -1,0 +1,149 @@
+package arch
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The named-architecture registry: a zoo of described fabrics addressable by
+// name from the CLI (-arch), the server (the request's arch field), and the
+// experiments. Entries hold the ADL source, so Lookup always compiles a
+// fresh, independently mutable CGRA.
+
+// ErrUnknownArch reports a Lookup of a name the registry does not hold.
+// Callers distinguish it (typically as HTTP 404) from malformed inline
+// descriptions (*DescError, HTTP 400).
+var ErrUnknownArch = errors.New("arch: unknown architecture")
+
+type archEntry struct {
+	adl   string
+	blurb string
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]archEntry{}
+)
+
+// RegisterArch adds a named architecture. The name must be name-shaped (see
+// IsArchName) and unused; the description must compile. The built-in zoo is
+// registered at init; tests and embedders may add more.
+func RegisterArch(name, adl, blurb string) error {
+	if !IsArchName(name) {
+		return fmt.Errorf("arch: bad architecture name %q (want letters, digits, '.', '_', '-')", name)
+	}
+	d, err := ParseDesc(adl)
+	if err != nil {
+		return err
+	}
+	if _, err := d.Compile(); err != nil {
+		return err
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		return fmt.Errorf("arch: architecture %q already registered", name)
+	}
+	registry[name] = archEntry{adl: adl, blurb: blurb}
+	return nil
+}
+
+func mustRegister(name, adl, blurb string) {
+	if err := RegisterArch(name, adl, blurb); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup compiles the named architecture. The returned array is fresh on
+// every call — callers may mutate it (faults, restrictions) freely.
+func Lookup(name string) (*CGRA, error) {
+	regMu.RLock()
+	e, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w %q (have %s)", ErrUnknownArch, name, strings.Join(ArchNames(), ", "))
+	}
+	d, err := ParseDesc(e.adl)
+	if err != nil {
+		return nil, err
+	}
+	return d.Compile()
+}
+
+// ArchSource returns the registered ADL text and blurb of a named
+// architecture.
+func ArchSource(name string) (adl, blurb string, ok bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	e, ok := registry[name]
+	return e.adl, e.blurb, ok
+}
+
+// ArchNames lists the registered architecture names, sorted.
+func ArchNames() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// IsArchName reports whether s is name-shaped: non-empty and built from
+// letters, digits, '.', '_' and '-' only. Anything else (whitespace,
+// semicolons) is treated as an inline description by Resolve.
+func IsArchName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '.', r == '_', r == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Resolve turns an -arch / wire "arch" value into an array: a name-shaped
+// string goes through the registry, anything else is parsed and compiled as
+// an inline description. Errors are ErrUnknownArch (bad name) or *DescError
+// (bad description).
+func Resolve(s string) (*CGRA, error) {
+	if IsArchName(s) {
+		return Lookup(s)
+	}
+	d, err := ParseDesc(s)
+	if err != nil {
+		return nil, err
+	}
+	return d.Compile()
+}
+
+func init() {
+	mustRegister("paper-4x4",
+		"grid 4x4; regs 4",
+		"the paper's evaluation fabric: 4x4 orthogonal mesh, 4-entry rotating files, one memory bus per row")
+	mustRegister("adres-4x4",
+		"grid 4x4; topo mesh+; regs 4",
+		"ADRES-style 4x4 mesh with diagonal links")
+	mustRegister("onehop-4x4",
+		"grid 4x4; topo 1hop; regs 4",
+		"4x4 mesh plus distance-2 orthogonal hops (CGRA-Tool's 1-hop interconnect)")
+	mustRegister("torus-8x8",
+		"grid 8x8; topo torus; regs 4",
+		"8x8 orthogonal mesh with torus wrap-around in both dimensions")
+	mustRegister("hetero-mem-col",
+		"grid 4x4; regs 4; cap all nomem; cap col 0 all",
+		"heterogeneous 4x4 mesh: only column 0 reaches the memory buses")
+	mustRegister("band2-4x4",
+		"grid 4x4; regs 4; bus global cap 2",
+		"bandwidth-constrained 4x4 mesh: one global memory bus, two accesses per cycle")
+}

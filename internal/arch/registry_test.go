@@ -1,0 +1,122 @@
+package arch
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRegistryZoo(t *testing.T) {
+	names := ArchNames()
+	if len(names) < 5 {
+		t.Fatalf("registry holds %d architectures, want >= 5: %v", len(names), names)
+	}
+	for _, name := range names {
+		adl, blurb, ok := ArchSource(name)
+		if !ok || adl == "" || blurb == "" {
+			t.Errorf("%s: incomplete registry entry (adl=%q blurb=%q)", name, adl, blurb)
+		}
+		c, err := Lookup(name)
+		if err != nil {
+			t.Errorf("Lookup(%s): %v", name, err)
+			continue
+		}
+		if c.UsablePEs() == 0 {
+			t.Errorf("%s: no usable PEs", name)
+		}
+	}
+}
+
+func TestLookupIndependentInstances(t *testing.T) {
+	a, err := Lookup("paper-4x4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Lookup("paper-4x4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.DisablePE(0)
+	if !b.PEOk(0) {
+		t.Fatal("mutating one Lookup result leaked into another")
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	_, err := Lookup("no-such-fabric")
+	if !errors.Is(err, ErrUnknownArch) {
+		t.Fatalf("err = %v, want ErrUnknownArch", err)
+	}
+	if !strings.Contains(err.Error(), "paper-4x4") {
+		t.Errorf("unknown-arch error should list the registry: %v", err)
+	}
+}
+
+func TestResolveNameVsInline(t *testing.T) {
+	byName, err := Resolve("paper-4x4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inline, err := Resolve("grid 4x4; regs 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byName.Fingerprint() != inline.Fingerprint() {
+		t.Fatal("named and inline forms of the paper mesh disagree")
+	}
+	if _, err := Resolve("grid 4x4; regs"); err == nil {
+		t.Fatal("malformed inline description resolved")
+	}
+}
+
+func TestRegisterArchRejectsBadEntries(t *testing.T) {
+	if err := RegisterArch("bad name", "grid 4x4; regs 4", "spaces"); err == nil {
+		t.Error("space-containing name registered")
+	}
+	if err := RegisterArch("broken-adl", "grid 4x4; frob", "bad grammar"); err == nil {
+		t.Error("uncompilable description registered")
+	}
+	if err := RegisterArch("paper-4x4", "grid 4x4; regs 4", "dup"); err == nil {
+		t.Error("duplicate name registered")
+	}
+}
+
+// TestZooFingerprintsDistinct: every zoo member hashes differently, and a
+// bandwidth-only change (bus capacity) moves the fingerprint too.
+func TestZooFingerprintsDistinct(t *testing.T) {
+	seen := map[[32]byte]string{}
+	for _, name := range ArchNames() {
+		c, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp := c.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("fingerprint collision: %s and %s both hash to %s", prev, name, fp)
+		}
+		seen[fp] = name
+	}
+
+	cap2, err := Resolve("grid 4x4; regs 4; bus global cap 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap3, err := Resolve("grid 4x4; regs 4; bus global cap 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap2.Fingerprint() == cap3.Fingerprint() {
+		t.Error("bus-capacity change did not change the fingerprint")
+	}
+	fan, err := Resolve("grid 4x4; regs 4; fanout 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	paper, err := Lookup("paper-4x4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fan.Fingerprint() == paper.Fingerprint() {
+		t.Error("fanout bound did not change the fingerprint")
+	}
+}

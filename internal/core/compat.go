@@ -74,9 +74,20 @@ type CompatBuilder struct {
 	pairs []Pair
 	byOp  [][]int
 	masks []*graph.Bitset // candidate mask per operation
-	memOp []bool          // operation touches the row-shared memory bus
+	memOp []bool          // operation touches a shared memory bus
 	g     *clique.Graph
 	cg    Compat
+
+	// memPairwise is false only for a single global bus group of capacity
+	// >= 2, where memory contention is enforced wholesale by the scheduler
+	// and no pairwise conflict exists.
+	memPairwise bool
+
+	// Fanout scratch (allocated only on fanout-bounded fabrics): per-pair
+	// dedup and per-producer forwardable-consumer counts.
+	fanCnt   []int
+	fanSeen  []bool
+	fanPairs []int
 
 	// Dependence summaries per ordered operation pair, flat at from*N+to
 	// (Appendix A.2). Rebuilt each Build by one pass over the edges; the
@@ -127,8 +138,8 @@ func NewCompatBuilder(d *dfg.DFG, c *arch.CGRA, ii int, opts CompatOptions) (*Co
 			if !c.Supports(p, d.Nodes[v].Kind) {
 				continue // heterogeneous restriction or a broken PE
 			}
-			if d.Nodes[v].Kind.IsMem() && !c.RowBusOK(c.RowOf(p)) {
-				continue // memory op on a row whose shared bus is dead
+			if d.Nodes[v].Kind.IsMem() && !c.MemPEOk(p) {
+				continue // memory op where no bus serves: dead row or zero-cap group
 			}
 			b.byOp[v] = append(b.byOp[v], len(b.pairs))
 			b.pairs = append(b.pairs, Pair{Op: v, PE: p})
@@ -141,7 +152,7 @@ func NewCompatBuilder(d *dfg.DFG, c *arch.CGRA, ii int, opts CompatOptions) (*Co
 	n := len(b.pairs)
 	b.g = clique.NewGraph(n, c.NumRegs)
 	b.cg = Compat{G: b.g, Pairs: b.pairs, II: ii, d: d, byOp: b.byOp}
-	if !c.Healthy() {
+	if !c.Healthy() || !c.UniformRegs() {
 		for id, pr := range b.pairs {
 			if h := c.NumRegs - c.RegsAt(pr.PE); h > 0 {
 				if b.handicap == nil {
@@ -150,6 +161,16 @@ func NewCompatBuilder(d *dfg.DFG, c *arch.CGRA, ii int, opts CompatOptions) (*Co
 				b.handicap[id] = h
 			}
 		}
+	}
+	// With one array-wide bus group of capacity >= 2, memory ops impose no
+	// pairwise constraint at all: the scheduler's per-slot memory cap equals
+	// the group capacity and is exact on its own. Every other scheme (the
+	// default row buses included) has per-group capacity <= 1, where sharing
+	// a group is exactly a pairwise conflict.
+	b.memPairwise = !(c.NumBusGroups() == 1 && c.BusGroupCap(0) > 1)
+	if c.Fanout() > 0 {
+		b.fanCnt = make([]int, d.N())
+		b.fanSeen = make([]bool, d.N()*d.N())
 	}
 
 	b.masks = graph.NewBitsetSlab(n, d.N())
@@ -243,6 +264,37 @@ func (b *CompatBuilder) Build(times []int) (*Compat, error) {
 			b.depCarried[k] = true
 		}
 	}
+	if fo := b.c.Fanout(); fo > 0 {
+		// Link bandwidth: a producer with more forwardable (span-1, distinct
+		// consumer) dependences than the fabric's fanout bound cannot serve
+		// them all through its output register, since each remote consumer is
+		// one same-cycle read. Forcing every such dependence onto the
+		// producer's PE is always legal at span 1 and costs no registers, so
+		// the clique engine never emits a mapping the link-bandwidth audit
+		// rejects. (Conservative: mixed forward/carry splits that would also
+		// satisfy the bound are not explored.)
+		b.fanPairs = b.fanPairs[:0]
+		for v := range b.fanCnt {
+			b.fanCnt[v] = 0
+		}
+		for _, e := range d.Edges {
+			if e.From == e.To {
+				continue
+			}
+			k := e.From*d.N() + e.To
+			if b.depNeedAdj[k] && !b.depCarried[k] && !b.fanSeen[k] {
+				b.fanSeen[k] = true
+				b.fanPairs = append(b.fanPairs, k)
+				b.fanCnt[e.From]++
+			}
+		}
+		for _, k := range b.fanPairs {
+			b.fanSeen[k] = false
+			if b.fanCnt[k/d.N()] > fo {
+				b.depCarried[k] = true
+			}
+		}
+	}
 	b.anyDemand = false
 	for v, span := range b.maxCarried {
 		if span > 1 {
@@ -282,8 +334,12 @@ func (b *CompatBuilder) Build(times []int) (*Compat, error) {
 	// whose slot changed. Constraints between two unchanged operations
 	// depend only on their own slots and the static dependence structure, so
 	// those edges are identical and stay.
+	// Fanout coupling breaks the incremental invariant: forcing a producer's
+	// dependences carried depends on the spans of its *other* consumers, so
+	// a pair between two unchanged operations can still flip. Rebuild fully
+	// on fanout-bounded fabrics.
 	b.changedList = b.changedList[:0]
-	full := b.prevTimes == nil
+	full := b.prevTimes == nil || b.c.Fanout() > 0
 	if !full {
 		for v := range times {
 			if times[v] != b.prevTimes[v] {
@@ -316,7 +372,7 @@ func (b *CompatBuilder) classifyPair(times []int, vi, vj int) {
 	d, c, ii := b.d, b.c, b.ii
 	si, sj := times[vi]%ii, times[vj]%ii
 	sameSlot := si == sj
-	memClash := sameSlot && b.memOp[vi] && b.memOp[vj]
+	memClash := sameSlot && b.memOp[vi] && b.memOp[vj] && b.memPairwise
 	kf, kr := vi*d.N()+vj, vj*d.N()+vi
 	fwd, rev := b.depHas[kf], b.depHas[kr]
 
@@ -336,8 +392,11 @@ func (b *CompatBuilder) classifyPair(times []int, vi, vj int) {
 			if sameSlot && pi == pj {
 				continue // same resource of R_II
 			}
-			if memClash && c.RowOf(pi) == c.RowOf(pj) {
-				continue // shared row bus
+			if memClash && c.BusGroupOf(pi) == c.BusGroupOf(pj) {
+				// Shared bus group of capacity <= 1 (the default: the row
+				// bus). Zero-cap groups never reach here — their PEs were
+				// excluded from memory-op candidates at enumeration.
+				continue
 			}
 			samePE := pi == pj
 			if fwd {

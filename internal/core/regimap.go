@@ -111,14 +111,14 @@ func Map(ctx context.Context, d *dfg.DFG, c *arch.CGRA, opts Options) (*mapping.
 		stats.Elapsed = time.Since(start)
 		tr.Point("map.done", "ii", int64(stats.II), "mii", int64(stats.MII), "attempts", int64(stats.Attempts))
 	}
-	if !c.Healthy() {
+	if !c.Healthy() || !c.TrivialBuses() {
 		if c.UsablePEs() == 0 {
 			done()
 			return nil, stats, maperr.NoMapping("core: no mapping for %s on %s: every PE is broken", d.Name, c)
 		}
-		if c.UsableMemRows() == 0 && hasMemOps(d) {
+		if c.MemSlotCapacity() == 0 && hasMemOps(d) {
 			done()
-			return nil, stats, maperr.NoMapping("core: no mapping for %s on %s: no row can issue memory operations", d.Name, c)
+			return nil, stats, maperr.NoMapping("core: no mapping for %s on %s: no bus can issue memory operations", d.Name, c)
 		}
 	}
 	maxII := opts.MaxII

@@ -50,6 +50,10 @@ const (
 	numKinds
 )
 
+// NumKinds is the number of defined operation kinds, for consumers that
+// enumerate the full instruction set (capability classes, fingerprints).
+const NumKinds = int(numKinds)
+
 var kindInfo = [numKinds]struct {
 	name  string
 	arity int // -1 means variadic

@@ -439,8 +439,8 @@ func randomSupportingPE(c *arch.CGRA, k dfg.OpKind, rng *rand.Rand) int {
 
 // occupyOp adds (delta=+1) or removes (delta=-1) op v's own resources: its
 // FU, the output register its result lands in (charged once here, not per
-// consumer — all consumers share the one value), and a row bus for memory
-// operations.
+// consumer — all consumers share the one value), and for memory operations
+// the row bus gate plus, on described bus schemes, the shared group node.
 func (s *state) occupyOp(v, delta int) {
 	slot := s.time[v] % s.ii
 	s.addUse(s.m.FUNode(s.pe[v], slot), delta)
@@ -449,6 +449,9 @@ func (s *state) occupyOp(v, delta int) {
 	}
 	if s.d.Nodes[v].Kind.IsMem() {
 		s.addUse(s.m.BusNode(s.c.RowOf(s.pe[v]), slot), delta)
+		if s.m.HasBusGroups() {
+			s.addUse(s.m.BusGroupNode(s.c.BusGroupOf(s.pe[v]), slot), delta)
+		}
 	}
 }
 
@@ -805,6 +808,9 @@ func (p *Placement) Verify(c *arch.CGRA) error {
 		}
 		if p.D.Nodes[v].Kind.IsMem() {
 			use[p.M.BusNode(c.RowOf(p.PE[v]), slot)]++
+			if p.M.HasBusGroups() {
+				use[p.M.BusGroupNode(c.BusGroupOf(p.PE[v]), slot)]++
+			}
 		}
 	}
 	for ei, e := range p.D.Edges {

@@ -149,7 +149,7 @@ type placer struct {
 
 	time, pe []int
 	occupied graph.Bitset // PE slot (pe*ii + t mod ii) in use
-	busUsed  graph.Bitset // row bus slot (row*ii + t mod ii) in use
+	busUse   []int        // mem ops issued per bus-group slot (group*ii + t mod ii)
 
 	// Register pressure, maintained incrementally: contrib[v] is the regs
 	// producer v currently charges to PE pe[v] (ceil(maxCarriedSpan/II) when
@@ -248,7 +248,7 @@ func (p *placer) placeAtII(ii int, stats *Stats) *mapping.Mapping {
 		p.pressure[i] = 0
 	}
 	p.occupied.Grow(p.c.NumPEs() * ii)
-	p.busUsed.Grow(p.c.Rows * ii)
+	p.busUse = resetInts(p.busUse, p.c.NumBusGroups()*ii, 0)
 
 	for _, v := range p.order {
 		stats.Placements++
@@ -352,8 +352,11 @@ func (p *placer) slotBusy(pe, t int, kind dfg.OpKind) bool {
 	if !kind.IsMem() {
 		return false
 	}
-	row := p.c.RowOf(pe)
-	return !p.c.RowBusOK(row) || p.busUsed.Has(row*p.ii+slot)
+	if !p.c.MemPEOk(pe) {
+		return true
+	}
+	g := p.c.BusGroupOf(pe)
+	return p.busUse[g*p.ii+slot] >= p.c.BusGroupCap(g)
 }
 
 func (p *placer) commit(v, pe, t int) {
@@ -361,7 +364,7 @@ func (p *placer) commit(v, pe, t int) {
 	p.pe[v] = pe
 	p.occupied.Set(pe*p.ii + p.modii(t))
 	if p.ds.Nodes[v].Kind.IsMem() {
-		p.busUsed.Set(p.c.RowOf(pe)*p.ii + p.modii(t))
+		p.busUse[p.c.BusGroupOf(pe)*p.ii+p.modii(t)]++
 	}
 }
 

@@ -21,7 +21,7 @@ type refPlacer struct {
 
 	time, pe []int
 	occupied map[[2]int]bool // (pe, slot)
-	busUsed  map[[2]int]bool // (row, slot)
+	busUsed  map[[2]int]int  // mem ops per (bus group, slot)
 	pressure []int
 }
 
@@ -31,7 +31,7 @@ func refPlaceAtII(d *dfg.DFG, c *arch.CGRA, ii int, stats *Stats) *mapping.Mappi
 		c:        c,
 		ii:       ii,
 		occupied: map[[2]int]bool{},
-		busUsed:  map[[2]int]bool{},
+		busUsed:  map[[2]int]int{},
 		pressure: make([]int, c.NumPEs()),
 	}
 	p.time = make([]int, d.N())
@@ -124,8 +124,11 @@ func (p *refPlacer) slotBusy(pe, t int, kind dfg.OpKind) bool {
 	if !kind.IsMem() {
 		return false
 	}
-	row := p.c.RowOf(pe)
-	return !p.c.RowBusOK(row) || p.busUsed[[2]int{row, refMod(t, p.ii)}]
+	if !p.c.MemPEOk(pe) {
+		return true
+	}
+	g := p.c.BusGroupOf(pe)
+	return p.busUsed[[2]int{g, refMod(t, p.ii)}] >= p.c.BusGroupCap(g)
 }
 
 func (p *refPlacer) commit(v, pe, t int) {
@@ -133,7 +136,7 @@ func (p *refPlacer) commit(v, pe, t int) {
 	p.pe[v] = pe
 	p.occupied[[2]int{pe, refMod(t, p.ii)}] = true
 	if p.ds.Nodes[v].Kind.IsMem() {
-		p.busUsed[[2]int{p.c.RowOf(pe), refMod(t, p.ii)}] = true
+		p.busUsed[[2]int{p.c.BusGroupOf(pe), refMod(t, p.ii)}]++
 	}
 }
 

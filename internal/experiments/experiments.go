@@ -43,7 +43,11 @@ const (
 type Config struct {
 	Rows, Cols int
 	Regs       int
-	Seed       int64 // DRESC annealing seed
+	// Arch, when set, overrides Rows/Cols/Regs with a named architecture
+	// from the registry or an inline ADL description (see internal/arch);
+	// a Regs override may still be appended by the register sweeps.
+	Arch string
+	Seed int64 // DRESC annealing seed
 	// Quick shrinks the DRESC annealing budget so smoke tests finish fast;
 	// benchmarks and the experiments binary use the full budget.
 	Quick bool
@@ -133,8 +137,29 @@ func runIndexed[T any](workers, n int, fn func(int) T) []T {
 // Paper4x4 is the evaluation's default array: 4x4 mesh, 4 registers per PE.
 func Paper4x4(regs int) Config { return Config{Rows: 4, Cols: 4, Regs: regs} }
 
-// CGRA materializes the configured array.
+// CGRA materializes the configured array. An Arch value wins over the shape
+// fields; when it is set and Regs is non-zero, "regs N" is appended to the
+// description (later statements win), so the register sweeps compose with
+// any zoo member.
 func (c Config) CGRA() *arch.CGRA {
+	if c.Arch != "" {
+		adl := c.Arch
+		if src, _, ok := arch.ArchSource(c.Arch); ok {
+			adl = src
+		}
+		if c.Regs > 0 {
+			adl = fmt.Sprintf("%s; regs %d", adl, c.Regs)
+		}
+		d, err := arch.ParseDesc(adl)
+		if err != nil {
+			panic(err)
+		}
+		cg, err := d.Compile()
+		if err != nil {
+			panic(err)
+		}
+		return cg
+	}
 	rows, cols := c.Rows, c.Cols
 	if rows == 0 {
 		rows = 4

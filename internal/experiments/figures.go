@@ -302,6 +302,46 @@ func (r Figure8Result) Table() string {
 	return b.String()
 }
 
+// --- Architecture sweep: the zoo × register-file size -----------------------
+
+// ArchSweepResult maps the res-bounded suite on named architectures at
+// several register-file sizes: performance versus topology versus N_R.
+type ArchSweepResult struct {
+	Archs    []string
+	RegSizes []int
+	Points   []SweepPoint
+}
+
+// ArchSweep runs REGIMap over the res-bounded suite on the given named
+// architectures (default: the whole registry) with register files of 2, 4
+// and 8 entries — the zoo counterpart of the Figure 7 sweep.
+func ArchSweep(base Config, archs ...string) ArchSweepResult {
+	if len(archs) == 0 {
+		archs = arch.ArchNames()
+	}
+	r := ArchSweepResult{Archs: archs, RegSizes: []int{2, 4, 8}}
+	for _, name := range archs {
+		for _, regs := range r.RegSizes {
+			cfg := base
+			cfg.Arch, cfg.Rows, cfg.Cols, cfg.Regs = name, 0, 0, regs
+			r.Points = append(r.Points, sweepPoint(cfg, REGIMap, kernels.ResBounded))
+		}
+	}
+	return r
+}
+
+// Table renders the sweep.
+func (r ArchSweepResult) Table() string {
+	var b strings.Builder
+	formatHeader(&b, "Architecture sweep — the zoo × register-file size, res-bounded loops")
+	fmt.Fprintf(&b, "%-16s %-6s %10s %14s %8s\n", "arch", "regs", "mean perf", "compile time", "mapped")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "%-16s %-6d %10.2f %14s %5d/%d\n",
+			p.Config.Arch, p.Config.Regs, p.MeanPerf, fmtDuration(p.TotalTime), p.Mapped, p.Total)
+	}
+	return b.String()
+}
+
 // --- Section 6.3: rescheduling ablation -------------------------------------
 
 // AblationResult measures how many loops map at a higher II when REGIMap's

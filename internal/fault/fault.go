@@ -1,5 +1,5 @@
 // Package fault defines a declarative hardware fault model for the CGRA: a
-// FaultSet lists broken PEs, dead mesh links, reduced register files, and
+// FaultSet lists broken PEs, dead fabric links, reduced register files, and
 // failed row buses, each either permanent or transient. Applying a set to an
 // architecture produces a faulted view of the array that every layer above —
 // compatibility-graph construction, the MRRG, the schedulers, the validator,
@@ -10,7 +10,7 @@
 // fuzz corpora:
 //
 //	pe 1,2            # PE at row 1, col 2 is broken
-//	link 0,0-0,1      # the mesh link between two adjacent PEs is cut
+//	link 0,0-0,1      # the fabric link between two connected PEs is cut
 //	regs 1,1=2        # PE (1,1)'s register file holds only 2 registers
 //	row 3             # row 3's shared memory bus is dead
 //	pe 0,0~2          # transient: clears after 2 retry rounds
@@ -35,8 +35,9 @@ const (
 	// BrokenPE: the PE's ALU, output register, and register file are all
 	// unusable, and every mesh link touching it is severed.
 	BrokenPE Kind = iota
-	// DeadLink: one mesh link is cut in both directions; the PEs at its ends
-	// keep working.
+	// DeadLink: one fabric link is cut in both directions; the PEs at its
+	// ends keep working. The link must exist in the nominal fabric, whatever
+	// its topology (mesh, mesh+, torus, 1hop, or custom-edited links).
 	DeadLink
 	// ReducedRegs: the PE works but its rotating register file holds fewer
 	// registers than the architecture nominally provides (stuck cells).
@@ -208,19 +209,20 @@ func (f Fault) validate(c *arch.CGRA) error {
 		if p == q {
 			return fmt.Errorf("link endpoints are the same PE (%d,%d)", f.R, f.C)
 		}
-		// Adjacency is judged on the healthy mesh: whether a *fault set*
-		// makes sense is a property of the architecture, not of which other
-		// faults happen to accompany it.
-		if !meshAdjacent(c, f.R, f.C, f.R2, f.C2) {
-			return fmt.Errorf("no mesh link between (%d,%d) and (%d,%d)", f.R, f.C, f.R2, f.C2)
+		// Adjacency is judged on the healthy (nominal) fabric: whether a
+		// *fault set* makes sense is a property of the architecture, not of
+		// which other faults happen to accompany it. This composes on any
+		// described topology, not just the paper's mesh.
+		if !c.NominalConnected(p, q) {
+			return fmt.Errorf("no fabric link between (%d,%d) and (%d,%d)", f.R, f.C, f.R2, f.C2)
 		}
 		return nil
 	case ReducedRegs:
 		if err := inRange(f.R, f.C); err != nil {
 			return err
 		}
-		if f.Regs < 0 || f.Regs >= c.NumRegs {
-			return fmt.Errorf("register limit %d outside [0,%d)", f.Regs, c.NumRegs)
+		if nom := c.NominalRegsAt(c.PEAt(f.R, f.C)); f.Regs < 0 || f.Regs >= nom {
+			return fmt.Errorf("register limit %d outside [0,%d)", f.Regs, nom)
 		}
 		return nil
 	case DeadRowBus:
@@ -231,19 +233,6 @@ func (f Fault) validate(c *arch.CGRA) error {
 	default:
 		return fmt.Errorf("unknown fault kind %d", int(f.Kind))
 	}
-}
-
-// meshAdjacent reports 4-neighbour adjacency by coordinates — independent of
-// any faults already applied to c.
-func meshAdjacent(c *arch.CGRA, r1, c1, r2, c2 int) bool {
-	dr, dc := r1-r2, c1-c2
-	if dr < 0 {
-		dr = -dr
-	}
-	if dc < 0 {
-		dc = -dc
-	}
-	return dr+dc == 1
 }
 
 // Apply validates the set and returns a view of the architecture with every
@@ -461,9 +450,17 @@ func Random(rng *rand.Rand, c *arch.CGRA, n int, allowed ...Kind) *Set {
 			if r2 < 0 || r2 >= c.Rows || c2 < 0 || c2 >= c.Cols {
 				continue
 			}
+			if !c.NominalConnected(c.PEAt(r, col), c.PEAt(r2, c2)) {
+				continue // a custom edit removed this orthogonal link
+			}
 			f = Fault{Kind: DeadLink, R: r, C: col, R2: r2, C2: c2}
 		case ReducedRegs:
-			f = Fault{Kind: ReducedRegs, R: rng.Intn(c.Rows), C: rng.Intn(c.Cols), Regs: rng.Intn(c.NumRegs)}
+			r, col := rng.Intn(c.Rows), rng.Intn(c.Cols)
+			nom := c.NominalRegsAt(c.PEAt(r, col))
+			if nom < 1 {
+				continue // this PE's nominal file is empty: nothing to reduce
+			}
+			f = Fault{Kind: ReducedRegs, R: r, C: col, Regs: rng.Intn(nom)}
 		case DeadRowBus:
 			f = Fault{Kind: DeadRowBus, R: rng.Intn(c.Rows)}
 		}

@@ -91,6 +91,10 @@ func (b *Bitset) Count() int {
 	return total
 }
 
+// Words exposes the backing word slice for read-only bulk consumers
+// (word-at-a-time hashing). Callers must not modify the slice.
+func (b *Bitset) Words() []uint64 { return b.words }
+
 // Clone returns an independent copy.
 func (b *Bitset) Clone() *Bitset {
 	c := &Bitset{words: make([]uint64, len(b.words)), n: b.n}

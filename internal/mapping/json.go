@@ -16,11 +16,17 @@ import (
 // Mapping.Validate — a peer can never smuggle an illegal kernel
 // configuration past the wire boundary.
 //
-// The array is serialized by its nominal shape only (rows, cols, regs,
-// topology), not its fault state: faults strictly tighten constraints, so a
-// mapping valid on a faulted array re-validates on the nominal one. Fault
-// context, when a caller needs it, travels next to the mapping (see the
-// regimapd /v1/map response), not inside it.
+// The array travels as its nominal configuration, never its fault state:
+// faults strictly tighten constraints, so a mapping valid on a faulted array
+// re-validates on the nominal one. Fault context, when a caller needs it,
+// travels next to the mapping (see the regimapd /v1/map response), not
+// inside it. Arrays the shape fields (rows, cols, regs, topology) fully
+// determine — the paper's default — omit the "adl" field, keeping that wire
+// form byte-identical to earlier releases; any described fabric beyond the
+// shape (capability classes, per-PE files, bus groups, fanout, edited links)
+// additionally carries its full ADL text, and an array whose in-memory state
+// the ADL cannot express fails to encode with *arch.UnfaithfulError rather
+// than silently dropping constraints on round-trip.
 
 // wireNode is one operation on the wire; Kind is the dfg mnemonic.
 type wireNode struct {
@@ -37,12 +43,14 @@ type wireEdge struct {
 	Dist int `json:"dist,omitempty"`
 }
 
-// wireCGRA is the nominal array shape on the wire.
+// wireCGRA is the nominal array on the wire: the shape fields, plus the full
+// ADL description when the shape alone is not faithful.
 type wireCGRA struct {
 	Rows     int    `json:"rows"`
 	Cols     int    `json:"cols"`
 	Regs     int    `json:"regs"`
 	Topology string `json:"topology"`
+	ADL      string `json:"adl,omitempty"`
 }
 
 // wireMapping is the full wire form.
@@ -56,7 +64,9 @@ type wireMapping struct {
 	PE     []int      `json:"pe"`
 }
 
-// MarshalJSON encodes the mapping in the self-contained wire form.
+// MarshalJSON encodes the mapping in the self-contained wire form. It fails
+// with *arch.UnfaithfulError when the array cannot be described faithfully
+// (e.g. an ad-hoc RestrictPE capability set matching no class).
 func (m *Mapping) MarshalJSON() ([]byte, error) {
 	w := wireMapping{
 		Kernel: m.D.Name,
@@ -71,6 +81,13 @@ func (m *Mapping) MarshalJSON() ([]byte, error) {
 		II:   m.II,
 		Time: m.Time,
 		PE:   m.PE,
+	}
+	if m.C.NeedsDesc() {
+		desc, err := m.C.Describe()
+		if err != nil {
+			return nil, fmt.Errorf("mapping: encode: %w", err)
+		}
+		w.CGRA.ADL = desc.String()
 	}
 	for i, nd := range m.D.Nodes {
 		w.Nodes[i] = wireNode{Name: nd.Name, Kind: nd.Kind.String(), Value: nd.Value}
@@ -106,17 +123,13 @@ func (m *Mapping) UnmarshalJSON(data []byte) error {
 	if err != nil {
 		return fmt.Errorf("mapping: decode: %w", err)
 	}
-	topo, err := arch.ParseTopology(w.CGRA.Topology)
+	c, err := decodeWireCGRA(w.CGRA)
 	if err != nil {
 		return fmt.Errorf("mapping: decode: %w", err)
 	}
-	if w.CGRA.Rows <= 0 || w.CGRA.Cols <= 0 || w.CGRA.Regs < 0 {
-		return fmt.Errorf("mapping: decode: bad array %dx%d with %d regs",
-			w.CGRA.Rows, w.CGRA.Cols, w.CGRA.Regs)
-	}
 	decoded := &Mapping{
 		D:    d,
-		C:    arch.New(w.CGRA.Rows, w.CGRA.Cols, w.CGRA.Regs, topo),
+		C:    c,
 		II:   w.II,
 		Time: append([]int(nil), w.Time...),
 		PE:   append([]int(nil), w.PE...),
@@ -126,4 +139,30 @@ func (m *Mapping) UnmarshalJSON(data []byte) error {
 	}
 	*m = *decoded
 	return nil
+}
+
+// decodeWireCGRA rebuilds the array: from the ADL when one travelled (the
+// shape fields must then agree with the compiled description — a mismatch is
+// a forged or corrupted wire form), from the shape fields alone otherwise.
+func decodeWireCGRA(w wireCGRA) (*arch.CGRA, error) {
+	topo, err := arch.ParseTopology(w.Topology)
+	if err != nil {
+		return nil, err
+	}
+	if w.ADL != "" {
+		desc, err := arch.ParseDesc(w.ADL)
+		if err != nil {
+			return nil, err
+		}
+		c, err := desc.Compile()
+		if err != nil {
+			return nil, err
+		}
+		if c.Rows != w.Rows || c.Cols != w.Cols || c.NumRegs != w.Regs || c.Topology != topo {
+			return nil, fmt.Errorf("shape fields %dx%d/%d regs/%s disagree with the adl description (%s)",
+				w.Rows, w.Cols, w.Regs, topo, c)
+		}
+		return c, nil
+	}
+	return arch.Uniform(w.Rows, w.Cols, w.Regs, topo)
 }

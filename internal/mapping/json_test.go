@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"reflect"
@@ -98,6 +99,101 @@ func roundTrip(t *testing.T, label string, m *mapping.Mapping) {
 	}
 	if string(blob) != string(blob2) {
 		t.Errorf("%s: wire bytes unstable across a round trip", label)
+	}
+}
+
+// TestJSONHeterogeneousRoundTrip is the wire-fidelity regression for
+// described fabrics: a mapping produced on a heterogeneous architecture
+// (nomem capability classes outside column 0) must carry the full ADL text
+// across the wire, and the decoded array must preserve every constraint —
+// same fingerprint, same per-PE capabilities — not silently collapse back to
+// the uniform mesh the shape fields alone would describe.
+func TestJSONHeterogeneousRoundTrip(t *testing.T) {
+	const adl = "grid 4x4; regs 4; cap all nomem; cap col 0 all"
+	c, err := arch.Resolve(adl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, ok := kernels.ByName("dotprod_sat")
+	if !ok {
+		t.Fatal("kernel dotprod_sat disappeared")
+	}
+	m, _, err := core.Map(context.Background(), k.Build(), c, core.Options{})
+	if err != nil {
+		t.Fatalf("map on heterogeneous fabric: %v", err)
+	}
+	blob, err := json.Marshal(m)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if !strings.Contains(string(blob), `"adl"`) {
+		t.Fatalf("described fabric did not carry its ADL on the wire: %s", blob)
+	}
+	var got mapping.Mapping
+	if err := json.Unmarshal(blob, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got.C.Fingerprint() != c.Fingerprint() {
+		t.Fatal("decoded array fingerprint differs: heterogeneous constraints lost on the wire")
+	}
+	if got.C.Supports(got.C.PEAt(1, 1), dfg.Load) {
+		t.Fatal("decoded array lets a nomem PE issue Load")
+	}
+	if !got.C.Supports(got.C.PEAt(1, 0), dfg.Load) {
+		t.Fatal("decoded array lost column 0's memory capability")
+	}
+	roundTrip(t, "hetero-mem-col", m)
+
+	// Tampered wire forms must be rejected: an ADL that disagrees with the
+	// shape fields, and an ADL that does not compile at all.
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(blob, &raw); err != nil {
+		t.Fatal(err)
+	}
+	var cg map[string]json.RawMessage
+	if err := json.Unmarshal(raw["cgra"], &cg); err != nil {
+		t.Fatal(err)
+	}
+	for label, adl := range map[string]string{
+		"shape mismatch": `"grid 8x8; regs 4"`,
+		"malformed adl":  `"grid 4x4; frobnicate"`,
+	} {
+		cg["adl"] = json.RawMessage(adl)
+		cgBlob, err := json.Marshal(cg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw["cgra"] = cgBlob
+		mut, err := json.Marshal(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var bad mapping.Mapping
+		if err := json.Unmarshal(mut, &bad); err == nil {
+			t.Errorf("%s: forged wire blob decoded successfully", label)
+		}
+	}
+}
+
+// TestJSONUnfaithfulArchFailsEncode: an array whose in-memory state the ADL
+// cannot express (an ad-hoc RestrictPE capability set matching no class)
+// must fail to encode with *arch.UnfaithfulError instead of silently
+// dropping the constraint on round-trip.
+func TestJSONUnfaithfulArchFailsEncode(t *testing.T) {
+	b := dfg.NewBuilder("pair")
+	x := b.Input("x")
+	b.Op(dfg.Add, "y", x, x)
+	d := b.Build()
+	c := arch.NewMesh(2, 2, 2)
+	m, _, err := core.Map(context.Background(), d, c, core.Options{})
+	if err != nil {
+		t.Fatalf("map: %v", err)
+	}
+	m.C.RestrictPE(3, dfg.Add, dfg.Load)
+	_, err = json.Marshal(m)
+	var uf *arch.UnfaithfulError
+	if !errors.As(err, &uf) {
+		t.Fatalf("marshal of unfaithful array: err = %v, want *arch.UnfaithfulError", err)
 	}
 }
 

@@ -35,8 +35,9 @@ const (
 	ConstraintCapability Constraint = "capability"
 	// ConstraintOccupancy: no two operations share a (PE, modulo slot).
 	ConstraintOccupancy Constraint = "occupancy"
-	// ConstraintRowBus: at most one memory operation per (row, modulo slot),
-	// and none at all on a row whose bus is dead.
+	// ConstraintRowBus: memory operations per (bus group, modulo slot) stay
+	// within the group's capacity — at most one per (row, slot) under the
+	// paper's default scheme — and none at all on a row whose bus is dead.
 	ConstraintRowBus Constraint = "row-bus"
 	// ConstraintPrecedence: every dependence spans at least its latency.
 	ConstraintPrecedence Constraint = "precedence"
@@ -49,6 +50,9 @@ const (
 	// ConstraintRegisterCap: rotating-register pressure stays within each
 	// PE's usable file size.
 	ConstraintRegisterCap Constraint = "register-capacity"
+	// ConstraintLinkBandwidth: on fanout-bounded fabrics, no output register
+	// is read by more than Fanout remote PEs in one cycle.
+	ConstraintLinkBandwidth Constraint = "link-bandwidth"
 )
 
 // Violation is a typed Validate failure: the broken constraint plus the
@@ -136,7 +140,9 @@ func (m *Mapping) maxRegisterSpan(v int) int {
 //  4. every dependence spans >= its latency;
 //  5. one-cycle spans connect adjacent (or identical) PEs;
 //  6. longer spans keep producer and consumer on the same PE;
-//  7. rotating-register pressure on every PE stays within the file size.
+//  7. rotating-register pressure on every PE stays within the file size;
+//  8. on fanout-bounded fabrics, no output register feeds more than Fanout
+//     remote PEs in one cycle.
 //
 // This is the ground truth all mappers and tests are audited against. Every
 // failure is a *Violation naming the broken constraint (errors.As).
@@ -150,7 +156,7 @@ func (m *Mapping) Validate() error {
 	}
 	type key struct{ pe, slot int }
 	occupied := map[key]string{}
-	busUsed := map[key]string{}
+	busUsed := map[key]int{}
 	for v, nd := range m.D.Nodes {
 		if m.Time[v] < 0 {
 			return violatef(ConstraintBinding, "mapping: op %s unscheduled", nd.Name)
@@ -171,11 +177,12 @@ func (m *Mapping) Validate() error {
 			if !m.C.RowBusOK(row) {
 				return violatef(ConstraintRowBus, "mapping: mem op %s on row %d whose bus is dead", nd.Name, row)
 			}
-			bk := key{row, m.Slot(v)}
-			if prev, ok := busUsed[bk]; ok {
-				return violatef(ConstraintRowBus, "mapping: mem ops %s and %s share row %d bus in slot %d", prev, nd.Name, bk.pe, bk.slot)
+			g := m.C.BusGroupOf(m.PE[v])
+			bk := key{g, m.Slot(v)}
+			busUsed[bk]++
+			if cap := m.C.BusGroupCap(g); busUsed[bk] > cap {
+				return violatef(ConstraintRowBus, "mapping: mem op %s exceeds bus group %d capacity %d in slot %d", nd.Name, g, cap, bk.slot)
 			}
-			busUsed[bk] = nd.Name
 		}
 	}
 	for _, e := range m.D.Edges {
@@ -200,6 +207,27 @@ func (m *Mapping) Validate() error {
 	for p, used := range m.RegisterPressure() {
 		if used > m.C.RegsAt(p) {
 			return violatef(ConstraintRegisterCap, "mapping: PE %d uses %d registers, file holds %d", p, used, m.C.RegsAt(p))
+		}
+	}
+	if fo := m.C.Fanout(); fo > 0 {
+		// Each span-1 consumer on another PE is one same-cycle read of the
+		// producer's output register; distinct consumers occupy distinct PEs
+		// (they share a slot, so occupancy already separated them).
+		readers := map[[2]int]int{} // (producer, consumer) pairs seen
+		remote := make([]int, n)
+		for _, e := range m.D.Edges {
+			if m.Span(e) != 1 || m.PE[e.From] == m.PE[e.To] {
+				continue
+			}
+			k := [2]int{e.From, e.To}
+			if readers[k]++; readers[k] > 1 {
+				continue // parallel edge: same consumer, one read
+			}
+			remote[e.From]++
+			if remote[e.From] > fo {
+				return violatef(ConstraintLinkBandwidth, "mapping: op %s's output register is read by %d remote PEs, fabric fanout is %d",
+					m.D.Nodes[e.From].Name, remote[e.From], fo)
+			}
 		}
 	}
 	return nil

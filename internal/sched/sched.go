@@ -28,8 +28,10 @@ type Options struct {
 	// MaxPEs caps how many operations may share one modulo slot (the
 	// schedule "width"). Zero means the full array.
 	MaxPEs int
-	// MaxMemPerSlot caps memory operations per modulo slot (one per row
-	// bus). Zero means the number of rows.
+	// MaxMemPerSlot caps memory operations per modulo slot. Zero means the
+	// fabric's full per-cycle memory issue capacity (one op per row bus in
+	// the paper's scheme, the summed group capacities on described fabrics —
+	// see arch.MemSlotCapacity).
 	MaxMemPerSlot int
 	// BudgetFactor scales the operation-scheduling budget: the scheduler
 	// aborts after BudgetFactor*|V| placements. Zero means 16.
@@ -113,23 +115,24 @@ func (r *Result) Validate(d *dfg.DFG, maxPerSlot, maxMemPerSlot int) error {
 
 // Scheduler holds the immutable inputs of repeated scheduling attempts.
 type Scheduler struct {
-	d       *dfg.DFG
-	numPEs  int
-	numRows int
-	heights []int
+	d        *dfg.DFG
+	numPEs   int
+	memSlots int
+	heights  []int
 }
 
 // New returns a scheduler for the DFG on an array with numPEs processing
-// elements in numRows rows.
-func New(d *dfg.DFG, numPEs, numRows int) *Scheduler {
-	if numPEs <= 0 || numRows <= 0 {
+// elements and memSlots memory issue slots per cycle (the number of rows on
+// the paper's array, arch.MIIResources' second value in general).
+func New(d *dfg.DFG, numPEs, memSlots int) *Scheduler {
+	if numPEs <= 0 || memSlots <= 0 {
 		panic("sched: array dimensions must be positive")
 	}
-	return &Scheduler{d: d, numPEs: numPEs, numRows: numRows, heights: d.Heights()}
+	return &Scheduler{d: d, numPEs: numPEs, memSlots: memSlots, heights: d.Heights()}
 }
 
 // MII returns the schedule lower bound for this scheduler's array.
-func (s *Scheduler) MII() int { return s.d.MII(s.numPEs, s.numRows) }
+func (s *Scheduler) MII() int { return s.d.MII(s.numPEs, s.memSlots) }
 
 // Schedule attempts a modulo schedule at exactly the given II.
 func (s *Scheduler) Schedule(ii int, opts Options) (*Result, error) {
@@ -153,8 +156,8 @@ func (s *Scheduler) schedule(ii int, opts Options) (*Result, error) {
 		maxPerSlot = s.numPEs
 	}
 	maxMem := opts.MaxMemPerSlot
-	if maxMem <= 0 || maxMem > s.numRows {
-		maxMem = s.numRows
+	if maxMem <= 0 || maxMem > s.memSlots {
+		maxMem = s.memSlots
 	}
 	budgetFactor := opts.BudgetFactor
 	if budgetFactor <= 0 {
@@ -170,7 +173,7 @@ func (s *Scheduler) schedule(ii int, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("sched: %d ops cannot fit %d slots of width %d", n, ii, maxPerSlot)
 	}
 	if m := s.d.MemOps(); m > maxMem*ii {
-		return nil, fmt.Errorf("sched: %d mem ops cannot fit %d slots of %d buses", m, ii, maxMem)
+		return nil, fmt.Errorf("sched: %d mem ops cannot fit %d slots of %d bus issues", m, ii, maxMem)
 	}
 
 	prefer := make(map[int]bool, len(opts.Prefer))

@@ -9,6 +9,7 @@ import (
 	"regimap/internal/obs"
 	"time"
 
+	"regimap/internal/arch"
 	"regimap/internal/engine"
 	"regimap/internal/kernels"
 	"regimap/internal/maperr"
@@ -54,9 +55,10 @@ func classify(err error) (int, string) {
 }
 
 // writeClientError sends a request-validation failure: 404 for unknown
-// names, 413 for an over-limit body, 400 for everything else. It is for
-// errors raised before the mapping path; failures of the mapping itself go
-// through writeError/classify.
+// names, 413 for an over-limit body, 400 "bad-arch" for a malformed or
+// unfaithful architecture description, 400 "bad-request" for everything
+// else. It is for errors raised before the mapping path; failures of the
+// mapping itself go through writeError/classify.
 func writeClientError(w http.ResponseWriter, err error) (code int) {
 	var nf *notFoundError
 	if errors.As(err, &nf) {
@@ -70,6 +72,12 @@ func writeClientError(w http.ResponseWriter, err error) (code int) {
 			Class: "too-large",
 		})
 		return http.StatusRequestEntityTooLarge
+	}
+	var desc *arch.DescError
+	var unfaithful *arch.UnfaithfulError
+	if errors.As(err, &desc) || errors.As(err, &unfaithful) {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), Class: "bad-arch"})
+		return http.StatusBadRequest
 	}
 	writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), Class: "bad-request"})
 	return http.StatusBadRequest

@@ -269,6 +269,12 @@ type MapRequest struct {
 	// Mapper is the engine name (see /v1/mappers; default "regimap").
 	Mapper string `json:"mapper,omitempty"`
 
+	// Arch selects the target fabric: a named architecture from the registry
+	// (see arch.ArchNames — "paper-4x4", "torus-8x8", ...) or an inline ADL
+	// description ("grid 4x4; topo mesh+; regs 8"). Mutually exclusive with
+	// the shape fields below.
+	Arch string `json:"arch,omitempty"`
+
 	Rows     int    `json:"rows,omitempty"`
 	Cols     int    `json:"cols,omitempty"`
 	Regs     int    `json:"regs,omitempty"`
@@ -312,8 +318,8 @@ type MapResponse struct {
 
 // ErrorResponse is the body of every non-2xx API answer. Class is a stable
 // machine-readable failure taxonomy mirroring internal/maperr:
-// "bad-request", "not-found", "too-large", "no-mapping", "deadline",
-// "overloaded", "draining", "transient", "panic", "internal".
+// "bad-request", "bad-arch", "not-found", "too-large", "no-mapping",
+// "deadline", "overloaded", "draining", "transient", "panic", "internal".
 type ErrorResponse struct {
 	Error string `json:"error"`
 	Class string `json:"class"`
@@ -437,24 +443,10 @@ func (s *Server) resolve(req *MapRequest) (d *dfg.DFG, c *arch.CGRA, eng engine.
 		return nil, nil, nil, eo, "", fmt.Errorf("one of kernel or source is required")
 	}
 
-	rows, cols, regs := req.Rows, req.Cols, req.Regs
-	if rows == 0 {
-		rows = 4
-	}
-	if cols == 0 {
-		cols = 4
-	}
-	if regs == 0 {
-		regs = 4
-	}
-	if rows < 0 || cols < 0 || regs < 0 || rows > 64 || cols > 64 || regs > 64 {
-		return nil, nil, nil, eo, "", fmt.Errorf("array %dx%d with %d regs out of range", rows, cols, regs)
-	}
-	topo, err := arch.ParseTopology(req.Topology)
+	c, err = s.resolveArch(req)
 	if err != nil {
 		return nil, nil, nil, eo, "", err
 	}
-	c = arch.New(rows, cols, regs, topo)
 
 	mapperName := req.Mapper
 	if mapperName == "" {
@@ -507,6 +499,40 @@ func (s *Server) resolve(req *MapRequest) (d *dfg.DFG, c *arch.CGRA, eng engine.
 		}
 	}
 	return d, c, eng, eo, faults, nil
+}
+
+// resolveArch builds the request's array: from the arch field (a registry
+// name or an inline ADL description) or from the shape fields, never both.
+// Every path funnels through the ADL compiler, so a malformed fabric is
+// rejected with the same *arch.DescError the CLI flags and the mapping wire
+// decoder produce (answered as 400 "bad-arch"); an unknown registry name is
+// a 404 like an unknown kernel or mapper.
+func (s *Server) resolveArch(req *MapRequest) (*arch.CGRA, error) {
+	if req.Arch != "" {
+		if req.Rows != 0 || req.Cols != 0 || req.Regs != 0 || req.Topology != "" {
+			return nil, fmt.Errorf("arch is mutually exclusive with rows/cols/regs/topology")
+		}
+		c, err := arch.Resolve(req.Arch)
+		if errors.Is(err, arch.ErrUnknownArch) {
+			return nil, &notFoundError{err.Error()}
+		}
+		return c, err
+	}
+	rows, cols, regs := req.Rows, req.Cols, req.Regs
+	if rows == 0 {
+		rows = 4
+	}
+	if cols == 0 {
+		cols = 4
+	}
+	if regs == 0 {
+		regs = 4
+	}
+	topo, err := arch.ParseTopology(req.Topology)
+	if err != nil {
+		return nil, err
+	}
+	return arch.Uniform(rows, cols, regs, topo)
 }
 
 // notFoundError marks client errors that should answer 404 instead of 400.

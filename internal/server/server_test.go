@@ -454,6 +454,109 @@ func TestClientErrors(t *testing.T) {
 	}
 }
 
+// TestArchRequests drives the /v1/map arch field end to end: named zoo
+// members and inline ADL descriptions map, the wire mapping reproduces the
+// requested fabric exactly, malformed descriptions come back as 400
+// "bad-arch", unknown names as 404, and the shape fields are mutually
+// exclusive with arch.
+func TestArchRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	// Every named zoo member maps a kernel through /v1/map.
+	for _, name := range arch.ArchNames() {
+		code, body, _ := postMap(t, ts, fmt.Sprintf(`{"kernel":"dotprod_sat","arch":%q}`, name))
+		if code != http.StatusOK {
+			t.Fatalf("arch %q: %d: %s", name, code, body)
+		}
+		var mr MapResponse
+		if err := json.Unmarshal(body, &mr); err != nil {
+			t.Fatal(err)
+		}
+		var m mapping.Mapping
+		if err := json.Unmarshal(mr.Mapping, &m); err != nil {
+			t.Fatalf("arch %q: wire mapping invalid: %v", name, err)
+		}
+		want, err := arch.Resolve(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.C.Fingerprint() != want.Fingerprint() {
+			t.Fatalf("arch %q: wire mapping is bound to a different fabric", name)
+		}
+	}
+
+	// Inline ADL works too, and heterogeneous constraints survive the wire.
+	code, body, _ := postMap(t, ts,
+		`{"kernel":"dotprod_sat","arch":"grid 4x4; regs 4; cap all nomem; cap col 0 all"}`)
+	if code != http.StatusOK {
+		t.Fatalf("inline ADL: %d: %s", code, body)
+	}
+	var mr MapResponse
+	if err := json.Unmarshal(body, &mr); err != nil {
+		t.Fatal(err)
+	}
+	var m mapping.Mapping
+	if err := json.Unmarshal(mr.Mapping, &m); err != nil {
+		t.Fatalf("inline ADL: wire mapping invalid: %v", err)
+	}
+	if m.C.Supports(m.C.PEAt(1, 1), dfg.Load) {
+		t.Fatal("inline ADL: nomem constraint lost on the wire")
+	}
+
+	// Error surface.
+	cases := []struct {
+		name, body string
+		code       int
+		class      string
+	}{
+		{"oversized grid", `{"kernel":"fir8","arch":"grid 99x99; regs 4"}`, http.StatusBadRequest, "bad-arch"},
+		{"malformed adl", `{"kernel":"fir8","arch":"grid 4x4; frobnicate 3"}`, http.StatusBadRequest, "bad-arch"},
+		{"banked cap above 1", `{"kernel":"fir8","arch":"grid 4x4; regs 4; bus rows; buscap 1=2"}`, http.StatusBadRequest, "bad-arch"},
+		{"unknown name", `{"kernel":"fir8","arch":"no-such-fabric"}`, http.StatusNotFound, "not-found"},
+		{"arch plus shape", `{"kernel":"fir8","arch":"paper-4x4","rows":4}`, http.StatusBadRequest, "bad-request"},
+	}
+	for _, tc := range cases {
+		code, body, _ := postMap(t, ts, tc.body)
+		if code != tc.code {
+			t.Errorf("%s: status %d, want %d: %s", tc.name, code, tc.code, body)
+			continue
+		}
+		if got := errClass(t, body); got != tc.class {
+			t.Errorf("%s: class %q, want %q", tc.name, got, tc.class)
+		}
+	}
+}
+
+// TestArchCacheKeyedOnFingerprint: the memo cache keys on the compiled
+// fabric's fingerprint, so the named paper mesh, its inline ADL, and the
+// default shape fields all share one entry, while a genuinely different
+// fabric misses.
+func TestArchCacheKeyedOnFingerprint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, body := range []string{
+		`{"kernel":"fir8","arch":"paper-4x4"}`,
+		`{"kernel":"fir8"}`,
+		`{"kernel":"fir8","arch":"grid 4x4; regs 4"}`,
+	} {
+		code, rb, _ := postMap(t, ts, body)
+		if code != http.StatusOK {
+			t.Fatalf("%s: %d: %s", body, code, rb)
+		}
+	}
+	_, metrics := get(t, ts, "/metrics")
+	if misses := metricValue(t, metrics, "regimapd_cache_misses_total"); misses != 1 {
+		t.Fatalf("misses = %d, want 1 (three spellings of the paper mesh must share a cache entry)", misses)
+	}
+	code, rb, _ := postMap(t, ts, `{"kernel":"fir8","arch":"adres-4x4"}`)
+	if code != http.StatusOK {
+		t.Fatalf("adres-4x4: %d: %s", code, rb)
+	}
+	_, metrics = get(t, ts, "/metrics")
+	if misses := metricValue(t, metrics, "regimapd_cache_misses_total"); misses != 2 {
+		t.Fatalf("misses = %d, want 2 (a different fabric must not share a key)", misses)
+	}
+}
+
 // TestDiscoveryEndpoints sanity-checks /v1/mappers and /v1/kernels.
 func TestDiscoveryEndpoints(t *testing.T) {
 	_, ts := newTestServer(t, Config{})

@@ -187,10 +187,17 @@ func runObserved(m *mapping.Mapping, iters int, observe func(cycle int, fires []
 		value int64
 		park  bool // also insert into the register file
 	}
+	fanout := m.C.Fanout()
 	for t := 0; t <= lastCycle; t++ {
 		var writes []write
 		var fires []Firing
-		busOwner := map[[2]int]int{} // (row, cycle-slot) -> op, dynamic bus check
+		busLoad := map[int]int{} // bus group -> mem ops issued this cycle
+		var outReads map[int]int // producer -> remote readers this cycle
+		var readPairs map[[2]int]bool
+		if fanout > 0 {
+			outReads = map[int]int{}
+			readPairs = map[[2]int]bool{}
+		}
 		for v := range d.Nodes {
 			if t < m.Time[v] || (t-m.Time[v])%m.II != 0 {
 				continue
@@ -207,11 +214,30 @@ func runObserved(m *mapping.Mapping, iters int, observe func(cycle int, fires []
 					return nil, fmt.Errorf("sim: cycle %d: op %s issues on row %d whose bus is dead",
 						t, nd.Name, row)
 				}
-				if prev, used := busOwner[[2]int{row, t}]; used {
-					return nil, fmt.Errorf("sim: cycle %d: ops %s and %s fight for row %d bus",
-						t, d.Nodes[prev].Name, nd.Name, row)
+				g := m.C.BusGroupOf(pe)
+				if busLoad[g]++; busLoad[g] > m.C.BusGroupCap(g) {
+					return nil, fmt.Errorf("sim: cycle %d: op %s oversubscribes bus group %d (capacity %d)",
+						t, nd.Name, g, m.C.BusGroupCap(g))
 				}
-				busOwner[[2]int{row, t}] = v
+			}
+			if fanout > 0 {
+				// Each span-1 in-edge from another PE is one same-cycle read of
+				// that producer's output register over a fabric link.
+				for _, ei := range d.InEdges(v) {
+					e := d.Edges[ei]
+					if e.From == v || m.Span(e) != 1 || m.PE[e.From] == pe {
+						continue
+					}
+					pair := [2]int{e.From, v}
+					if readPairs[pair] {
+						continue // parallel edge: same consumer, one read
+					}
+					readPairs[pair] = true
+					if outReads[e.From]++; outReads[e.From] > fanout {
+						return nil, fmt.Errorf("sim: cycle %d: op %s's output register feeds %d remote PEs, fabric fanout is %d",
+							t, d.Nodes[e.From].Name, outReads[e.From], fanout)
+					}
+				}
 			}
 			args, err := readOperands(m, out, regs, v, k)
 			if err != nil {

@@ -72,6 +72,7 @@ const (
 	Mesh     = arch.Mesh
 	MeshPlus = arch.MeshPlus
 	Torus    = arch.Torus
+	OneHop   = arch.OneHop
 )
 
 // NewMesh returns a rows x cols orthogonal-mesh CGRA with numRegs rotating
@@ -82,6 +83,36 @@ func NewMesh(rows, cols, numRegs int) *CGRA { return arch.NewMesh(rows, cols, nu
 func NewCGRA(rows, cols, numRegs int, topo Topology) *CGRA {
 	return arch.New(rows, cols, numRegs, topo)
 }
+
+// Re-exported architecture description language (ADL) types. A fabric is
+// described as text ("grid 4x4; topo mesh+; regs 8; bus global cap 2"),
+// parsed into an ArchDesc, and compiled into a CGRA; see internal/arch.
+type (
+	// ArchDesc is a parsed architecture description; Compile builds the CGRA.
+	ArchDesc = arch.Desc
+	// ArchDescError reports a malformed description with its position.
+	ArchDescError = arch.DescError
+	// ArchUnfaithfulError reports an array state the ADL cannot express.
+	ArchUnfaithfulError = arch.UnfaithfulError
+)
+
+// ParseArch parses an ADL description without compiling it.
+func ParseArch(text string) (*ArchDesc, error) { return arch.ParseDesc(text) }
+
+// ResolveArch builds a CGRA from a named architecture (see ArchNames) or an
+// inline ADL description.
+func ResolveArch(nameOrDesc string) (*CGRA, error) { return arch.Resolve(nameOrDesc) }
+
+// ArchNames lists the registered named architectures, sorted.
+func ArchNames() []string { return arch.ArchNames() }
+
+// ArchSource returns the ADL text and one-line description of a named
+// architecture.
+func ArchSource(name string) (adl, blurb string, ok bool) { return arch.ArchSource(name) }
+
+// RegisterArch adds a named architecture to the registry; the description is
+// parsed and compiled eagerly so a bad registration fails at startup.
+func RegisterArch(name, adl, blurb string) error { return arch.RegisterArch(name, adl, blurb) }
 
 // Re-exported data-flow graph types.
 type (
