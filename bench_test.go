@@ -25,6 +25,7 @@ import (
 	"regimap/internal/experiments"
 	"regimap/internal/kernels"
 	"regimap/internal/obs"
+	"regimap/internal/sat"
 	"regimap/internal/sched"
 	"regimap/internal/sim"
 )
@@ -463,6 +464,66 @@ func BenchmarkCompile(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := regimap.Compile("biquad", src); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSATSolve measures the CDCL core on a pigeonhole instance — 8
+// pigeons into 7 holes, UNSAT — the classic resolution-hard family, so the
+// time is spent where real encodings spend it: conflict analysis, clause
+// learning, and backtracking, not unit propagation of an easy formula.
+func BenchmarkSATSolve(b *testing.B) {
+	const pigeons, holes = 8, 7
+	for i := 0; i < b.N; i++ {
+		s := sat.New(sat.Options{})
+		vars := make([][]int, pigeons)
+		for p := range vars {
+			vars[p] = make([]int, holes)
+			for h := range vars[p] {
+				vars[p][h] = s.NewVar()
+			}
+		}
+		for p := 0; p < pigeons; p++ {
+			lits := make([]sat.Lit, holes)
+			for h := 0; h < holes; h++ {
+				lits[h] = sat.Pos(vars[p][h])
+			}
+			s.AddClause(lits...)
+		}
+		for h := 0; h < holes; h++ {
+			for p := 0; p < pigeons; p++ {
+				for q := p + 1; q < pigeons; q++ {
+					s.AddClause(sat.Neg(vars[p][h]), sat.Neg(vars[q][h]))
+				}
+			}
+		}
+		st, err := s.Solve(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st != sat.Unsat {
+			b.Fatalf("pigeonhole(%d,%d) solved as %v", pigeons, holes, st)
+		}
+	}
+}
+
+// BenchmarkMapExact measures the exact backend end to end on a suite kernel
+// it proves optimal: encode, solve, decode, validate, simulate, per II from
+// MII up.
+func BenchmarkMapExact(b *testing.B) {
+	d, ok := kernels.ByName("iir_biquad")
+	if !ok {
+		b.Fatal("iir_biquad missing")
+	}
+	c := arch.NewMesh(4, 4, 4)
+	for i := 0; i < b.N; i++ {
+		k := d.Build()
+		m, st, err := regimap.MapExactContext(context.Background(), k, c, regimap.ExactOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m == nil || st.Cert.OptimalII == 0 {
+			b.Fatalf("iir_biquad not proven optimal: %+v", st.Cert)
 		}
 	}
 }

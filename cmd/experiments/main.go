@@ -5,8 +5,9 @@
 // Usage:
 //
 //	experiments                 # everything, one kernel per core
-//	experiments -run fig6       # one of: fig2, fig5, fig6, fig7, fig8, ablation, power, registers, phases
+//	experiments -run fig6       # one of: fig2, fig5, fig6, fig7, fig8, ablation, power, registers, phases, optgap
 //	experiments -run phases     # per-kernel phase-time breakdown of the pass pipeline
+//	experiments -run optgap     # REGIMap audited by the exact SAT backend's certificates
 //	experiments -quick          # reduced DRESC budget
 //	experiments -jobs 1         # serial (for clean single-run timings)
 //	experiments -timeout 30s    # cap each individual mapper run
@@ -38,7 +39,7 @@ var stopProfiles = func() {}
 
 func main() {
 	var (
-		run           = flag.String("run", "all", "experiment to run: all, fig2, fig5, fig6, fig7, fig8, archsweep, ablation, power, registers, phases")
+		run           = flag.String("run", "all", "experiment to run: all, fig2, fig5, fig6, fig7, fig8, archsweep, ablation, power, registers, phases, optgap")
 		archList      = flag.String("archs", "", "archsweep: comma-separated named architectures (default: the whole registry)")
 		quick         = flag.Bool("quick", false, "shrink the DRESC annealing budget")
 		seed          = flag.Int64("seed", 0, "base seed: DRESC annealing / portfolio diversification")
@@ -144,6 +145,10 @@ func main() {
 	if want("phases") {
 		ran = true
 		fmt.Println(experiments.PhaseBreakdown(base).Table())
+	}
+	if want("optgap") {
+		ran = true
+		fmt.Println(experiments.OptGap(base).Table())
 	}
 	if !ran {
 		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", *run)

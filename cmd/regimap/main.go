@@ -8,7 +8,8 @@
 //	regimap -list-kernels                            # with ops/edges/RecMII columns
 //	regimap -list-mappers                            # the engine registry
 //	regimap -list-archs                              # the named-architecture zoo
-//	regimap -kernel fir8 [-rows 4 -cols 4 -regs 4] [-mapper regimap|dresc|ems|resilient] [-sim 16] [-dot]
+//	regimap -kernel fir8 [-rows 4 -cols 4 -regs 4] [-mapper regimap|dresc|ems|resilient|exact] [-sim 16] [-dot]
+//	regimap -kernel dotprod_sat -mapper exact        # prove the II optimal (SAT-backed certificate)
 //	regimap -kernel fir8 -arch torus-8x8             # a zoo member by name
 //	regimap -kernel fir8 -arch "grid 4x4; topo mesh+; regs 8"   # an inline ADL description
 //	regimap -kernel fir8 -arch-file fabric.adl       # the same, from a file
@@ -25,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"regimap"
 	"regimap/internal/arch"
@@ -53,7 +55,7 @@ func main() {
 		rows          = flag.Int("rows", 4, "CGRA rows")
 		cols          = flag.Int("cols", 4, "CGRA columns")
 		regs          = flag.Int("regs", 4, "rotating registers per PE")
-		mapper        = flag.String("mapper", "regimap", "mapper: regimap, dresc, ems, or resilient")
+		mapper        = flag.String("mapper", "regimap", "mapper: regimap, dresc, ems, resilient, or exact (see -list-mappers)")
 		faults        = flag.String("faults", "", `hardware fault set, e.g. "pe 1,1; link 0,0-0,1; regs 2,2=1; row 3"`)
 		simN          = flag.Int("sim", 8, "functionally simulate this many iterations (0 to skip)")
 		dot           = flag.Bool("dot", false, "print the kernel DFG in Graphviz DOT and exit")
@@ -300,11 +302,61 @@ func main() {
 			exitOn(regimap.Simulate(m, *simN))
 			fmt.Printf("functional simulation: %d iterations bit-identical to the reference\n", *simN)
 		}
+	case "exact":
+		m, stats, err := regimap.MapExactContext(ctx, d, c, regimap.ExactOptions{Seed: *seed})
+		if stats != nil {
+			printCertificate(&stats.Cert)
+		}
+		exitOn(err)
+		mii, ii, proven := stats.Cert.Gap()
+		verdict := "best known (optimality not proven)"
+		if proven {
+			verdict = "proven optimal"
+		}
+		fmt.Printf("exact: II=%d %s (MII=%d, perf %.2f) in %v — %d conflicts, %d decisions, %d restarts\n",
+			ii, verdict, mii, float64(mii)/float64(ii), stats.Elapsed,
+			stats.Cert.Conflicts, stats.Cert.Decisions, stats.Cert.Restarts)
+		fmt.Print(m)
+		fmt.Printf("register pressure per PE: %v\n", m.RegisterPressure())
+		if *simN > 0 {
+			exitOn(regimap.Simulate(m, *simN))
+			fmt.Printf("functional simulation: %d iterations bit-identical to the reference\n", *simN)
+		}
 	default:
-		fmt.Fprintf(os.Stderr, "regimap: unknown mapper %q\n", *mapper)
+		fmt.Fprint(os.Stderr, unknownMapperMessage(*mapper))
 		stopProfiles()
 		os.Exit(2)
 	}
+}
+
+// unknownMapperMessage explains a bad -mapper value by listing the engine
+// registry, so the user never has to guess at valid names.
+func unknownMapperMessage(name string) string {
+	msg := fmt.Sprintf("regimap: unknown mapper %q; registered mappers:\n", name)
+	for _, n := range engine.Names() {
+		m, _ := engine.Lookup(n)
+		msg += fmt.Sprintf("  %-16s %s\n", n, engine.Describe(m))
+	}
+	return msg
+}
+
+// printCertificate reports the exact engine's per-II verdicts and the
+// certified lower bound — also on failure, where the certificate is the
+// useful part of the answer.
+func printCertificate(cert *regimap.Certificate) {
+	for _, v := range cert.PerII {
+		note := ""
+		if v.Note != "" {
+			note = " (" + v.Note + ")"
+		}
+		fmt.Printf("  II=%-3d %-10s %7d vars %8d clauses %8d conflicts  %v%s\n",
+			v.II, v.Status, v.Vars, v.Clauses, v.Conflicts, v.Elapsed.Round(time.Millisecond), note)
+	}
+	class := "holds for any mapper"
+	if cert.LowerBoundClass == regimap.ExactLowerBoundChain {
+		class = fmt.Sprintf("holds for route-chain mappings (<=%d hops/edge)", cert.RouteHops)
+	}
+	fmt.Printf("  certified lower bound: II >= %d — %s\n", cert.ProvenLowerBound, class)
 }
 
 // resolveArch builds the target array from -arch / -arch-file or from the

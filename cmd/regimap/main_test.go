@@ -1,0 +1,33 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"regimap/internal/engine"
+)
+
+func TestUnknownMapperMessageListsRegistry(t *testing.T) {
+	msg := unknownMapperMessage("no-such-mapper")
+	if !strings.Contains(msg, `unknown mapper "no-such-mapper"`) {
+		t.Fatalf("message does not name the bad mapper:\n%s", msg)
+	}
+	names := engine.Names()
+	if len(names) < 7 {
+		t.Fatalf("registry too small, want the 7 engines, got %v", names)
+	}
+	for _, n := range names {
+		if !strings.Contains(msg, n) {
+			t.Fatalf("message does not list engine %q:\n%s", n, msg)
+		}
+		m, _ := engine.Lookup(n)
+		if d := engine.Describe(m); d != "" && !strings.Contains(msg, d) {
+			t.Fatalf("message does not describe engine %q:\n%s", n, msg)
+		}
+	}
+	for _, want := range []string{"exact", "regimap", "dresc", "ems", "portfolio", "resilient"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("message missing %q:\n%s", want, msg)
+		}
+	}
+}

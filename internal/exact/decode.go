@@ -1,0 +1,87 @@
+package exact
+
+import (
+	"fmt"
+
+	"regimap/internal/mapping"
+)
+
+// decode turns the solver's model into a mapping: clone the kernel, insert
+// the active route chains through dfg.InsertRoute (the same primitive the
+// heuristics use, so route node names and edge layout are identical), copy
+// times and PEs out of the model, and shift each weakly-connected component
+// by a multiple of II so all times are non-negative (slots and spans are
+// invariant under that shift). The caller still certifies the result with
+// mapping.Validate and the simulator.
+func (p *problem) decode() (*mapping.Mapping, error) {
+	nTime := make([]int, len(p.nodes))
+	nPE := make([]int, len(p.nodes))
+	for i := range p.nodes {
+		nd := &p.nodes[i]
+		t := nd.win.Lo
+		for gi, gv := range nd.gVar {
+			if p.s.Value(gv) {
+				t = nd.win.Lo + 1 + gi
+			}
+		}
+		nTime[i] = t
+		pe := -1
+		for j, pv := range nd.pVar {
+			if p.s.Value(pv) {
+				pe = nd.allowed[j]
+				break
+			}
+		}
+		if pe < 0 {
+			if nd.act >= 0 && !p.s.Value(nd.act) {
+				pe = nd.allowed[0] // pinned inactive hop; never enters the mapping
+			} else {
+				return nil, fmt.Errorf("exact: node %d has no PE in the model", i)
+			}
+		}
+		nPE[i] = pe
+	}
+
+	dd := p.d.Clone()
+	time := make([]int, 0, len(p.nodes))
+	pes := make([]int, 0, len(p.nodes))
+	for v := range p.d.Nodes {
+		time = append(time, nTime[v])
+		pes = append(pes, nPE[v])
+	}
+	for ei := range p.d.Edges {
+		cur := ei
+		for j, hi := range p.hopNodes[ei] {
+			if !p.s.Value(p.actVars[ei][j]) {
+				break
+			}
+			id := dd.InsertRoute(cur)
+			cur = len(dd.Edges) - 1
+			if id != len(time) {
+				return nil, fmt.Errorf("exact: route id %d out of order (want %d)", id, len(time))
+			}
+			time = append(time, nTime[hi])
+			pes = append(pes, nPE[hi])
+		}
+	}
+
+	// Normalize: per component, lift times to >= 0 by a multiple of II.
+	comp := components(dd)
+	minT := map[int]int{}
+	for v, t := range time {
+		c := comp[v]
+		if cur, ok := minT[c]; !ok || t < cur {
+			minT[c] = t
+		}
+	}
+	for v := range time {
+		if lo := minT[comp[v]]; lo < 0 {
+			time[v] += ((-lo + p.ii - 1) / p.ii) * p.ii
+		}
+	}
+
+	m := mapping.New(dd, p.c, p.ii)
+	copy(m.Time, time)
+	copy(m.PE, pes)
+	return m, nil
+}

@@ -1,0 +1,114 @@
+package exact
+
+import (
+	"regimap/internal/dfg"
+)
+
+// window is one node's feasible absolute-time interval [Lo, Hi] at a fixed
+// II. Windows come from interval propagation over the difference constraints
+// every edge induces, so any schedule in the encoder's relaxation class lies
+// inside them; an empty window (or a diverging propagation, i.e. a negative
+// cycle) refutes the II outright.
+type window struct{ Lo, Hi int }
+
+func (w window) width() int { return w.Hi - w.Lo + 1 }
+
+const inf = int(1) << 30
+
+// computeWindows bounds every node's time at the given II. Each edge u->w
+// with distance dist constrains T[w]-T[u] to [1-ii*dist, chainMax-ii*dist]
+// where chainMax = (hops+1)*maxSpan is the longest delay an active route
+// chain can add. One anchor per weakly-connected component is pinned to
+// [0, ii-1] — absolute time is only meaningful modulo II, so the shift
+// freedom is WLOG. The second result is false when the constraints are
+// infeasible (the II is unsatisfiable in the relaxation class).
+func computeWindows(d *dfg.DFG, ii, maxSpan, hops int) ([]window, bool) {
+	n := d.N()
+	win := make([]window, n)
+	for i := range win {
+		win[i] = window{-inf, inf}
+	}
+	// Anchor the lowest-index node of each weakly-connected component.
+	comp := components(d)
+	seen := map[int]bool{}
+	for v := 0; v < n; v++ {
+		if !seen[comp[v]] {
+			seen[comp[v]] = true
+			win[v] = window{0, ii - 1}
+		}
+	}
+	chainMax := (hops + 1) * maxSpan
+	// Interval propagation to fixpoint; difference constraints converge
+	// within n rounds, so a change on round n+1 proves a negative cycle.
+	for round := 0; ; round++ {
+		changed := false
+		tighten := func(v int, lo, hi int) {
+			if lo > win[v].Lo {
+				win[v].Lo, changed = lo, true
+			}
+			if hi < win[v].Hi {
+				win[v].Hi, changed = hi, true
+			}
+		}
+		for _, e := range d.Edges {
+			lb := 1 - ii*e.Dist        // minimum span: the direct edge
+			ub := chainMax - ii*e.Dist // maximum span: a fully-routed chain
+			u, w := e.From, e.To
+			if win[u].Lo > -inf {
+				tighten(w, win[u].Lo+lb, win[w].Hi)
+			}
+			if win[u].Hi < inf {
+				tighten(w, win[w].Lo, win[u].Hi+ub)
+			}
+			if win[w].Lo > -inf {
+				tighten(u, win[w].Lo-ub, win[u].Hi)
+			}
+			if win[w].Hi < inf {
+				tighten(u, win[u].Lo, win[w].Hi-lb)
+			}
+		}
+		for v := range win {
+			if win[v].Lo > win[v].Hi {
+				return nil, false
+			}
+		}
+		if !changed {
+			break
+		}
+		if round > n+1 {
+			return nil, false // negative cycle: no feasible schedule
+		}
+	}
+	return win, true
+}
+
+// components labels each node with its weakly-connected component (the
+// lowest node index in it, via union-find).
+func components(d *dfg.DFG) []int {
+	parent := make([]int, d.N())
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range d.Edges {
+		a, b := find(e.From), find(e.To)
+		if a != b {
+			if a > b {
+				a, b = b, a
+			}
+			parent[b] = a
+		}
+	}
+	out := make([]int, d.N())
+	for v := range out {
+		out[v] = find(v)
+	}
+	return out
+}

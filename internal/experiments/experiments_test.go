@@ -317,3 +317,49 @@ func TestWriteSweepCSV(t *testing.T) {
 		t.Errorf("sweep CSV malformed: %q", buf.String())
 	}
 }
+
+func TestOptGapShape(t *testing.T) {
+	cfg := quickCfg(4)
+	cfg.Workers = 4
+	cfg.Timeout = 3 * time.Second
+	r := OptGap(cfg)
+	ks := kernels.All()
+	if len(r.Rows) != len(ks) {
+		t.Fatalf("optgap rows = %d, want %d", len(r.Rows), len(ks))
+	}
+	proven := 0
+	for i, row := range r.Rows {
+		if row.Kernel != ks[i].Name {
+			t.Fatalf("row %d is %s, want %s (kernel order lost)", i, row.Kernel, ks[i].Name)
+		}
+		if row.MII < 1 {
+			t.Errorf("%s: MII=%d", row.Kernel, row.MII)
+		}
+		if row.LowerBound < row.MII {
+			t.Errorf("%s: certified bound %d below MII %d", row.Kernel, row.LowerBound, row.MII)
+		}
+		if row.Proven {
+			proven++
+			if row.ExactII < row.MII {
+				t.Errorf("%s: optimal II=%d beats MII=%d", row.Kernel, row.ExactII, row.MII)
+			}
+			if row.HeurII != 0 && row.Gap != row.HeurII-row.ExactII {
+				t.Errorf("%s: gap=%d, want %d", row.Kernel, row.Gap, row.HeurII-row.ExactII)
+			}
+		} else if row.Gap != -1 {
+			t.Errorf("%s: unproven row carries gap %d", row.Kernel, row.Gap)
+		}
+	}
+	if proven != r.Audited {
+		t.Errorf("Audited=%d but %d rows are proven", r.Audited, proven)
+	}
+	if r.Audited < 5 {
+		t.Errorf("only %d certified optima under the quick budget; expected at least the small kernels", r.Audited)
+	}
+	if r.HeurOptimal > r.Audited {
+		t.Errorf("HeurOptimal=%d exceeds Audited=%d", r.HeurOptimal, r.Audited)
+	}
+	if !strings.Contains(r.Table(), "Optimality gap") {
+		t.Error("table header missing")
+	}
+}

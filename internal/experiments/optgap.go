@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"regimap/internal/core"
+	"regimap/internal/exact"
+	"regimap/internal/kernels"
+)
+
+// --- Optimality gap: the heuristic answer audited by the exact backend ------
+
+// OptGapRow is one kernel's optimality audit: the heuristic II next to what
+// the exact SAT backend could prove about the same (kernel, fabric) instance
+// under its conflict budget.
+type OptGapRow struct {
+	Kernel string
+	Group  kernels.Boundedness
+	Ops    int
+	MII    int
+
+	// The exact side: best satisfiable II found (0: none within budget),
+	// whether it is certified optimal, and the certified lower bound with
+	// its class ("mii" binds any mapper, "chain" binds route-chain
+	// mappings).
+	ExactII    int
+	Proven     bool
+	LowerBound int
+	BoundClass string
+	ExactTime  time.Duration
+
+	// The heuristic side (REGIMap under the same Config).
+	HeurII   int // 0: failed
+	HeurTime time.Duration
+
+	// Gap is HeurII - ExactII when both sides produced a mapping and the
+	// exact II is certified optimal: the cycles per iteration the heuristic
+	// left on the table. -1 when the audit is inconclusive (no certified
+	// optimum to compare against).
+	Gap int
+}
+
+// OptGapResult audits the whole suite.
+type OptGapResult struct {
+	Config Config
+	Budget int64
+	Rows   []OptGapRow
+
+	// Audited counts rows with a certified optimum; HeurOptimal counts the
+	// audited rows where the heuristic already achieved it.
+	Audited     int
+	HeurOptimal int
+}
+
+// OptGap maps every kernel with REGIMap and with the exact backend and
+// reports the certified optimality gap. Quick configs shrink the solver's
+// conflict budget the way they shrink DRESC's annealing budget — more rows
+// come back inconclusive, but the run finishes in smoke-test time. Kernels
+// run concurrently under cfg.Workers; rows are collected in kernel order so
+// the result is deterministic at any worker count.
+func OptGap(cfg Config) OptGapResult {
+	budget := int64(0) // exact.Options default
+	if cfg.Quick {
+		budget = 10_000
+	}
+	r := OptGapResult{Config: cfg, Budget: budget}
+	ks := suite(cfg, nil)
+	rows := runIndexed(cfg.workerCount(), len(ks), func(i int) OptGapRow {
+		return optGapRow(ks[i], cfg, budget)
+	})
+	for _, row := range rows {
+		r.Rows = append(r.Rows, row)
+		if row.Proven {
+			r.Audited++
+			if row.HeurII != 0 && row.HeurII == row.ExactII {
+				r.HeurOptimal++
+			}
+		}
+	}
+	return r
+}
+
+func optGapRow(k kernels.Kernel, cfg Config, budget int64) OptGapRow {
+	d := k.Build()
+	c := cfg.CGRA()
+	row := OptGapRow{
+		Kernel: k.Name,
+		Group:  kernels.Classify(d, c.NumPEs(), c.Rows),
+		Ops:    d.N(),
+		Gap:    -1,
+	}
+
+	ctx, cancel := cfg.runCtx()
+	start := time.Now()
+	_, hstats, herr := core.Map(ctx, d, c, cfg.coreOptions())
+	row.HeurTime = time.Since(start)
+	cancel()
+	if herr == nil {
+		row.HeurII = hstats.II
+	}
+
+	ctx, cancel = cfg.runCtx()
+	start = time.Now()
+	_, xstats, _ := exact.Map(ctx, d, c, exact.Options{MaxConflicts: budget, Seed: cfg.Seed})
+	row.ExactTime = time.Since(start)
+	cancel()
+	cert := xstats.Cert
+	row.MII = cert.MII
+	row.ExactII = cert.BestII
+	row.Proven = cert.OptimalII != 0 && cert.OptimalII == cert.BestII
+	row.LowerBound = cert.ProvenLowerBound
+	row.BoundClass = cert.LowerBoundClass
+	if row.Proven && row.HeurII != 0 {
+		row.Gap = row.HeurII - row.ExactII
+	}
+	return row
+}
+
+// Table renders the audit.
+func (r OptGapResult) Table() string {
+	var b strings.Builder
+	formatHeader(&b, fmt.Sprintf("Optimality gap — REGIMap audited by the exact SAT backend on %s", r.Config.CGRA()))
+	fmt.Fprintf(&b, "%-16s %-12s %4s %4s  %-24s %-20s %s\n",
+		"loop", "group", "ops", "MII", "exact (certificate)", "REGIMap", "gap")
+	for _, row := range r.Rows {
+		exactCell := "no mapping in budget"
+		switch {
+		case row.Proven:
+			exactCell = fmt.Sprintf("II=%d optimal %s", row.ExactII, fmtDuration(row.ExactTime))
+		case row.ExactII != 0:
+			exactCell = fmt.Sprintf("II=%d, bound>=%d (%s)", row.ExactII, row.LowerBound, row.BoundClass)
+		}
+		heurCell := "failed"
+		if row.HeurII != 0 {
+			heurCell = fmt.Sprintf("II=%d %s", row.HeurII, fmtDuration(row.HeurTime))
+		}
+		gapCell := "n/a"
+		if row.Gap >= 0 {
+			gapCell = fmt.Sprintf("+%d", row.Gap)
+			if row.Gap == 0 {
+				gapCell = "optimal"
+			}
+		}
+		fmt.Fprintf(&b, "%-16s %-12s %4d %4d  %-24s %-20s %s\n",
+			row.Kernel, row.Group, row.Ops, row.MII, exactCell, heurCell, gapCell)
+	}
+	fmt.Fprintf(&b, "\ncertified optima: %d/%d kernels; heuristic already optimal on %d of those\n",
+		r.Audited, len(r.Rows), r.HeurOptimal)
+	return b.String()
+}

@@ -1,0 +1,107 @@
+package portfolio
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"regimap/internal/arch"
+	"regimap/internal/dfg"
+	"regimap/internal/exact"
+	"regimap/internal/kernels"
+	"regimap/internal/maperr"
+	"regimap/internal/sim"
+)
+
+func exactKernel(t *testing.T, name string) *dfg.DFG {
+	t.Helper()
+	k, ok := kernels.ByName(name)
+	if !ok {
+		t.Fatalf("kernel %s missing", name)
+	}
+	return k.Build()
+}
+
+func TestExactRacerAttachesCertificate(t *testing.T) {
+	d := exactKernel(t, "dotprod_sat")
+	c := arch.NewMesh(4, 4, 4)
+	m, st, err := Map(context.Background(), d, c, Options{Exact: &exact.Options{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil || st.II == 0 {
+		t.Fatal("no mapping")
+	}
+	if st.Exact == nil {
+		t.Fatal("exact racer enabled but no certificate attached")
+	}
+	if st.Exact.MII != st.MII {
+		t.Fatalf("certificate MII %d != portfolio MII %d", st.Exact.MII, st.MII)
+	}
+	if err := sim.Check(m, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactRacerWinsWhenHeuristicsExhausted(t *testing.T) {
+	d := exactKernel(t, "dotprod_sat")
+	c := arch.NewMesh(4, 4, 4)
+	pes, memSlots := c.MIIResources()
+	mii := d.MII(pes, memSlots)
+	// Cap the heuristic escalation below MII so it never races: the exact
+	// engine is then the only path to a mapping.
+	opts := Options{Exact: &exact.Options{}}
+	opts.Base.MaxII = mii - 1
+	m, st, err := Map(context.Background(), d, c, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.ExactWinner || st.Winner != -1 {
+		t.Fatalf("exact racer should have won: %+v", st)
+	}
+	if st.II != mii {
+		t.Fatalf("II = %d, want MII %d", st.II, mii)
+	}
+	if st.Exact == nil || st.Exact.OptimalII != mii {
+		t.Fatalf("want an optimality proof at MII, got %+v", st.Exact)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.Check(m, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactRacerDeterministicII(t *testing.T) {
+	d := exactKernel(t, "iir_biquad")
+	c := arch.NewMesh(4, 4, 4)
+	var first *Stats
+	for i := 0; i < 3; i++ {
+		m, st, err := Map(context.Background(), d, c, Options{Attempts: 3, Exact: &exact.Options{}})
+		if err != nil || m == nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = st
+			continue
+		}
+		if st.II != first.II || st.MII != first.MII {
+			t.Fatalf("run %d: II %d/%d, want %d/%d", i, st.II, st.MII, first.II, first.MII)
+		}
+	}
+}
+
+func TestExactRacerAborts(t *testing.T) {
+	d := exactKernel(t, "sobel")
+	c := arch.NewMesh(4, 4, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := Map(ctx, d, c, Options{Exact: &exact.Options{}})
+	if err == nil {
+		t.Fatal("cancelled context must abort")
+	}
+	if !errors.Is(err, maperr.ErrAborted) {
+		t.Fatalf("want ErrAborted, got %v", err)
+	}
+}

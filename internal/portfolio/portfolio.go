@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"regimap/internal/arch"
@@ -37,6 +38,7 @@ import (
 	"regimap/internal/dfg"
 	"regimap/internal/dresc"
 	"regimap/internal/engine"
+	"regimap/internal/exact"
 	"regimap/internal/maperr"
 	"regimap/internal/mapping"
 	"regimap/internal/obs"
@@ -76,6 +78,20 @@ type Options struct {
 	// template scouts perturb. Base.MinII is ignored — the portfolio owns II
 	// escalation.
 	Base core.Options
+	// Exact, when non-nil, races the exact SAT engine (internal/exact)
+	// beside the heuristic portfolio as an anytime refiner: the heuristics
+	// answer fast, the exact engine escalates II-by-II from MII, and
+	// whichever side settles the lowest II wins. The reduction stays
+	// deterministic — exact always finishes every II strictly below the
+	// heuristic answer (its budgets are conflict counts, so those verdicts
+	// are machine-independent) and the heuristic wins ties on II — with one
+	// caveat: when both sides reach the same II, which side's equally-good
+	// mapping is returned can depend on timing; the II, the perf metric, and
+	// the certificate's verdicts never do. Stats.Exact carries the
+	// certificate either way, so even a heuristic win reports a certified
+	// lower bound. nil (the default) keeps Map byte-identical to the pure
+	// heuristic portfolio.
+	Exact *exact.Options
 }
 
 // Stats reports how a portfolio run went.
@@ -91,6 +107,13 @@ type Stats struct {
 	Cancelled int // racer runs cancelled after the winner was decided
 	Panics    int // racer goroutines that panicked (recovered, not crashed)
 	Elapsed   time.Duration
+	// Exact is the certificate the anytime exact racer accumulated, nil
+	// unless Options.Exact was set. It is attached on every outcome — a
+	// heuristic win still reports the certified lower bound.
+	Exact *exact.Certificate
+	// ExactWinner reports that the returned mapping came from the exact
+	// racer (Winner is -1 in that case: no heuristic racer won).
+	ExactWinner bool
 }
 
 // Perf returns the paper's performance metric MII/II (0 on failure).
@@ -136,11 +159,30 @@ func Map(ctx context.Context, d *dfg.DFG, c *arch.CGRA, opts Options) (*mapping.
 	for s := range scouts {
 		scouts[s] = Variant(opts.Base, s+1, opts.Seed)
 	}
+	var xr *exactRacer
+	if opts.Exact != nil {
+		xr = startExact(ctx, d, c, *opts.Exact)
+	}
 	var panics []error
 	for lo := stats.MII; lo <= maxII; lo += w {
 		if err := ctx.Err(); err != nil {
+			if xr != nil {
+				_, _, cert := xr.wait()
+				stats.Exact = &cert
+			}
 			done()
 			return nil, stats, maperr.Aborted(err, "portfolio: mapping %s aborted: %v", d.Name, err)
+		}
+		if xr != nil {
+			// Every II below lo has already been raced heuristically and
+			// failed, so an exact mapping at II <= lo can no longer be beaten.
+			if em, eii := xr.best(); em != nil && eii <= lo {
+				_, _, cert := xr.wait()
+				stats.Exact = &cert
+				stats.II, stats.Winner, stats.ExactWinner = eii, -1, true
+				done()
+				return em, stats, nil
+			}
 		}
 		width := w
 		if lo+width-1 > maxII {
@@ -174,10 +216,35 @@ func Map(ctx context.Context, d *dfg.DFG, c *arch.CGRA, opts Options) (*mapping.
 		sp.End()
 		panics = append(panics, crashed...)
 		if m != nil {
-			stats.II = lo + winner/perII
+			iiH := lo + winner/perII
+			if xr != nil {
+				// The heuristic answer bounds the exact escalation: finish
+				// cancels exact work at II >= iiH, waits out the (conflict-
+				// budgeted, hence deterministic) verdicts below it, and the
+				// exact mapping wins only by strictly beating the heuristic.
+				em, eii, cert := xr.finish(iiH)
+				stats.Exact = &cert
+				if em != nil && eii < iiH {
+					stats.II, stats.Winner, stats.ExactWinner = eii, -1, true
+					done()
+					return em, stats, nil
+				}
+			}
+			stats.II = iiH
 			stats.Winner = winner
 			done()
 			return m, stats, nil
+		}
+	}
+	if xr != nil {
+		// The heuristics came up empty; let the exact racer finish its
+		// escalation window — it may still hold or find the only mapping.
+		em, eii, cert := xr.wait()
+		stats.Exact = &cert
+		if em != nil && ctx.Err() == nil {
+			stats.II, stats.Winner, stats.ExactWinner = eii, -1, true
+			done()
+			return em, stats, nil
 		}
 	}
 	done()
@@ -186,6 +253,95 @@ func Map(ctx context.Context, d *dfg.DFG, c *arch.CGRA, opts Options) (*mapping.
 	}
 	causes := append([]error{maperr.ErrNoMapping}, panics...)
 	return nil, stats, maperr.Wrap(causes, "portfolio: no mapping for %s on %s up to II=%d (window %d, %d scouts/II)", d.Name, c, maxII, w, e)
+}
+
+// exactRacer drives one exact.Run on its own goroutine, stepping II-by-II so
+// the race can stop it at the exact moment more escalation became pointless.
+type exactRacer struct {
+	mu         sync.Mutex
+	m          *mapping.Mapping
+	ii         int
+	cert       exact.Certificate
+	stepII     int
+	stepCancel context.CancelFunc
+	heurBest   atomic.Int64 // lowest heuristic II found (0: none yet)
+	done       chan struct{}
+}
+
+// startExact launches the exact escalation. Steps at IIs at or above the
+// heuristic answer are skipped (or cancelled mid-flight); steps below it
+// always run to their conflict budget, which keeps the reduction
+// deterministic.
+func startExact(ctx context.Context, d *dfg.DFG, c *arch.CGRA, o exact.Options) *exactRacer {
+	x := &exactRacer{done: make(chan struct{})}
+	go func() {
+		defer close(x.done)
+		r, err := exact.NewRun(d, c, o)
+		if err != nil {
+			x.mu.Lock()
+			x.cert = r.Certificate()
+			x.mu.Unlock()
+			return
+		}
+		defer func() {
+			x.mu.Lock()
+			x.cert = r.Certificate()
+			if m := r.Mapping(); m != nil {
+				x.m, x.ii = m, x.cert.BestII
+			}
+			x.mu.Unlock()
+		}()
+		for !r.Done() {
+			if bh := x.heurBest.Load(); bh != 0 && int64(r.NextII()) >= bh {
+				break
+			}
+			stepCtx, cancel := context.WithCancel(ctx)
+			x.mu.Lock()
+			x.stepII, x.stepCancel = r.NextII(), cancel
+			x.mu.Unlock()
+			_, err := r.Step(stepCtx)
+			cancel()
+			x.mu.Lock()
+			x.stepCancel = nil
+			x.cert = r.Certificate()
+			if m := r.Mapping(); m != nil {
+				x.m, x.ii = m, x.cert.BestII
+			}
+			x.mu.Unlock()
+			if err != nil {
+				return
+			}
+		}
+	}()
+	return x
+}
+
+// best snapshots the exact racer's mapping so far, if any.
+func (x *exactRacer) best() (*mapping.Mapping, int) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.m, x.ii
+}
+
+// finish tells the racer the heuristics answered at heurII, cancels any
+// in-flight step that can no longer win, waits for the racer to settle, and
+// returns its final state.
+func (x *exactRacer) finish(heurII int) (*mapping.Mapping, int, exact.Certificate) {
+	x.heurBest.Store(int64(heurII))
+	x.mu.Lock()
+	if x.stepCancel != nil && x.stepII >= heurII {
+		x.stepCancel()
+	}
+	x.mu.Unlock()
+	return x.wait()
+}
+
+// wait blocks until the racer goroutine exits and returns its final state.
+func (x *exactRacer) wait() (*mapping.Mapping, int, exact.Certificate) {
+	<-x.done
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.m, x.ii, x.cert
 }
 
 // DRESCOptions configures a DRESC portfolio: K annealing runs differing only

@@ -1,0 +1,676 @@
+// Package sat is a from-scratch CDCL satisfiability solver: two-watched-literal
+// propagation, VSIDS-style variable activities, first-UIP conflict analysis
+// with clause minimization, Luby restarts, phase saving, and activity-driven
+// learnt-clause deletion. It exists so internal/exact can prove mapping
+// optimality (DESIGN.md section 8k); it is deliberately small, allocation-light,
+// and — crucially for certificates — deterministic: given the same formula,
+// options, and seed, every run takes the same search path and returns the same
+// model or refutation, regardless of GOMAXPROCS (the solver is single-threaded;
+// the seed only diversifies initial activities and phases).
+package sat
+
+import (
+	"context"
+	"math"
+	"sort"
+)
+
+// Lit is a literal: variable v appears positively as 2v and negated as 2v+1.
+type Lit uint32
+
+// Pos returns the positive literal of variable v.
+func Pos(v int) Lit { return Lit(2 * v) }
+
+// Neg returns the negative literal of variable v.
+func Neg(v int) Lit { return Lit(2*v + 1) }
+
+// Var returns the literal's variable.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// Negated reports whether the literal is a negation.
+func (l Lit) Negated() bool { return l&1 == 1 }
+
+// Not returns the complementary literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// Status is a solver verdict.
+type Status int
+
+// Solver verdicts. Unknown means a budget ran out before a verdict.
+const (
+	Unknown Status = iota
+	Sat
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	default:
+		return "unknown"
+	}
+}
+
+// Options tune one solver instance. The zero value is ready to use.
+type Options struct {
+	// Seed perturbs initial variable activities and phases, diversifying the
+	// search path between otherwise identical runs (0 is a valid seed).
+	Seed int64
+	// MaxConflicts stops the search with Unknown after this many conflicts
+	// (0: unbounded).
+	MaxConflicts int64
+	// LubyUnit is the restart base interval in conflicts (default 128).
+	LubyUnit int64
+	// VarDecay is the VSIDS activity decay factor in (0,1) (default 0.95).
+	VarDecay float64
+	// ClauseDecay is the learnt-clause activity decay factor (default 0.999).
+	ClauseDecay float64
+	// CheckEvery is how often, in conflicts, ctx cancellation is polled
+	// (default 256).
+	CheckEvery int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.LubyUnit <= 0 {
+		o.LubyUnit = 128
+	}
+	if o.VarDecay <= 0 || o.VarDecay >= 1 {
+		o.VarDecay = 0.95
+	}
+	if o.ClauseDecay <= 0 || o.ClauseDecay >= 1 {
+		o.ClauseDecay = 0.999
+	}
+	if o.CheckEvery <= 0 {
+		o.CheckEvery = 256
+	}
+	return o
+}
+
+// Stats counts solver work; exact's certificates expose them as proof effort.
+type Stats struct {
+	Conflicts    int64
+	Decisions    int64
+	Propagations int64
+	Learned      int64
+	Restarts     int64
+	Deleted      int64
+}
+
+type clause struct {
+	lits   []Lit
+	act    float64
+	learnt bool
+}
+
+type watcher struct {
+	c       *clause
+	blocker Lit // cached literal; if true the clause is satisfied without a walk
+}
+
+// Solver holds one CNF instance and its search state. Not safe for concurrent
+// use; create one solver per goroutine.
+type Solver struct {
+	opts    Options
+	clauses []*clause
+	learnts []*clause
+	watches [][]watcher // indexed by Lit
+
+	assign  []int8 // per var: 0 unassigned, +1 true, -1 false
+	level   []int32
+	reason  []*clause
+	trail   []Lit
+	trailLo []int // decision-level boundaries into trail
+	qhead   int
+
+	activity []float64
+	varInc   float64
+	claInc   float64
+	heap     []int32 // binary max-heap of vars by (activity, index)
+	heapPos  []int32 // var -> heap index, -1 when absent
+	phase    []bool  // saved polarity per var
+
+	seen    []bool
+	minOut  []Lit
+	model   []int8
+	unsat   bool // empty clause at level 0
+	stats   Stats
+	rng     uint64
+	learntC float64 // learnt DB capacity
+}
+
+// New returns a solver with no variables or clauses.
+func New(opts Options) *Solver {
+	s := &Solver{
+		opts:   opts.withDefaults(),
+		varInc: 1,
+		claInc: 1,
+	}
+	s.rng = uint64(s.opts.Seed)*2685821657736338717 + 0x9e3779b97f4a7c15
+	return s
+}
+
+func (s *Solver) nextRand() uint64 {
+	s.rng ^= s.rng << 13
+	s.rng ^= s.rng >> 7
+	s.rng ^= s.rng << 17
+	return s.rng
+}
+
+// NewVar adds a fresh variable and returns its index.
+func (s *Solver) NewVar() int {
+	v := len(s.assign)
+	s.assign = append(s.assign, 0)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	// A tiny seed-derived perturbation (< 1e-6) breaks activity ties
+	// differently per seed without overriding learned structure.
+	s.activity = append(s.activity, float64(s.nextRand()%1024)/float64(1<<30))
+	s.heapPos = append(s.heapPos, -1)
+	s.phase = append(s.phase, s.nextRand()&1 == 1)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	s.heapInsert(int32(v))
+	return v
+}
+
+// SetPhase sets variable v's initial branching polarity, overriding the
+// seed-derived default. Encoders use it to bias optional structure (route
+// hops) toward a canonical off state; phase saving takes over once the
+// variable has been assigned.
+func (s *Solver) SetPhase(v int, ph bool) { s.phase[v] = ph }
+
+// NumVars returns the number of variables created so far.
+func (s *Solver) NumVars() int { return len(s.assign) }
+
+// NumClauses returns the number of problem (non-learnt) clauses retained.
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// Stats returns the work counters accumulated so far.
+func (s *Solver) Stats() Stats { return s.stats }
+
+func (s *Solver) valueLit(l Lit) int8 {
+	v := s.assign[l.Var()]
+	if l.Negated() {
+		return -v
+	}
+	return v
+}
+
+// AddClause adds a clause. Duplicate literals are removed and tautologies
+// dropped; literals already false at level 0 are stripped. Adding an empty
+// (or emptied) clause makes the instance trivially unsatisfiable. Clauses
+// must be added before Solve.
+func (s *Solver) AddClause(lits ...Lit) {
+	if s.unsat {
+		return
+	}
+	// Sort + dedupe for canonical form; detect tautologies (l and ¬l).
+	ls := append(make([]Lit, 0, len(lits)), lits...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+	out := ls[:0]
+	for i, l := range ls {
+		if i > 0 && l == ls[i-1] {
+			continue
+		}
+		if i > 0 && l == ls[i-1].Not() {
+			return // tautology
+		}
+		switch s.valueLit(l) {
+		case 1:
+			return // already satisfied at level 0
+		case -1:
+			continue // false at level 0: strip
+		}
+		out = append(out, l)
+	}
+	switch len(out) {
+	case 0:
+		s.unsat = true
+	case 1:
+		s.enqueue(out[0], nil)
+		if s.propagate() != nil {
+			s.unsat = true
+		}
+	default:
+		c := &clause{lits: append([]Lit(nil), out...)}
+		s.clauses = append(s.clauses, c)
+		s.attach(c)
+	}
+}
+
+func (s *Solver) attach(c *clause) {
+	w0, w1 := c.lits[0], c.lits[1]
+	s.watches[w0.Not()] = append(s.watches[w0.Not()], watcher{c, w1})
+	s.watches[w1.Not()] = append(s.watches[w1.Not()], watcher{c, w0})
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLo) }
+
+func (s *Solver) enqueue(l Lit, from *clause) {
+	v := l.Var()
+	if l.Negated() {
+		s.assign[v] = -1
+	} else {
+		s.assign[v] = 1
+	}
+	s.level[v] = int32(s.decisionLevel())
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
+// propagate runs unit propagation to fixpoint; a non-nil result is the
+// conflicting clause.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.stats.Propagations++
+		ws := s.watches[p]
+		kept := ws[:0]
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if s.valueLit(w.blocker) == 1 {
+				kept = append(kept, w)
+				continue
+			}
+			c := w.c
+			// Normalize so lits[1] is the false watched literal ¬p.
+			if c.lits[0] == p.Not() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.valueLit(first) == 1 {
+				kept = append(kept, watcher{c, first})
+				continue
+			}
+			// Look for a new literal to watch.
+			found := false
+			for k := 2; k < len(c.lits); k++ {
+				if s.valueLit(c.lits[k]) != -1 {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{c, first})
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, w)
+			if s.valueLit(first) == -1 {
+				// Conflict: keep remaining watchers, report.
+				kept = append(kept, ws[i+1:]...)
+				s.watches[p] = kept
+				s.qhead = len(s.trail)
+				return c
+			}
+			s.enqueue(first, c)
+		}
+		s.watches[p] = kept
+	}
+	return nil
+}
+
+// analyze derives the first-UIP learnt clause from a conflict. It returns the
+// minimized clause (asserting literal first) and the backjump level.
+func (s *Solver) analyze(confl *clause) ([]Lit, int) {
+	learnt := []Lit{0} // slot 0 reserved for the asserting literal
+	counter := 0
+	idx := len(s.trail) - 1
+	var p Lit
+	cur := confl
+	first := true
+	for {
+		s.bumpClause(cur)
+		lits := cur.lits
+		start := 0
+		if !first {
+			start = 1 // lits[0] is the previously resolved literal
+		}
+		for _, q := range lits[start:] {
+			v := q.Var()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.bumpVar(v)
+			if int(s.level[v]) >= s.decisionLevel() {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Walk the trail back to the next marked literal.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		s.seen[p.Var()] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		cur = s.reason[p.Var()]
+		// Put the resolved-on literal at slot 0 so the start=1 skip holds.
+		if cur.lits[0] != p {
+			for k, q := range cur.lits {
+				if q == p {
+					cur.lits[0], cur.lits[k] = cur.lits[k], cur.lits[0]
+					break
+				}
+			}
+		}
+		first = false
+	}
+	learnt[0] = p.Not()
+
+	// Local minimization: drop a literal whose reason is entirely subsumed by
+	// the rest of the clause (every antecedent literal already seen/level 0).
+	// Compaction aliases learnt, so the pre-minimization literals are saved in
+	// minOut — the seen flags of dropped literals must be cleared too.
+	s.minOut = append(s.minOut[:0], learnt[1:]...)
+	for _, q := range s.minOut {
+		s.seen[q.Var()] = true
+	}
+	out := learnt[:1]
+	for _, q := range s.minOut {
+		if !s.redundant(q) {
+			out = append(out, q)
+		}
+	}
+	for _, q := range s.minOut {
+		s.seen[q.Var()] = false
+	}
+	learnt = out
+
+	// Backjump level: the highest level among the non-asserting literals.
+	back := 0
+	for i := 1; i < len(learnt); i++ {
+		if lv := int(s.level[learnt[i].Var()]); lv > back {
+			back = lv
+		}
+	}
+	// Move a literal of the backjump level to slot 1 so it gets watched.
+	for i := 2; i < len(learnt); i++ {
+		if int(s.level[learnt[i].Var()]) == back {
+			learnt[1], learnt[i] = learnt[i], learnt[1]
+			break
+		}
+	}
+	return learnt, back
+}
+
+// redundant reports whether literal q of a learnt clause is implied by the
+// remaining literals (single-step self-subsumption).
+func (s *Solver) redundant(q Lit) bool {
+	r := s.reason[q.Var()]
+	if r == nil {
+		return false
+	}
+	for _, a := range r.lits {
+		if a.Var() == q.Var() {
+			continue
+		}
+		if !s.seen[a.Var()] && s.level[a.Var()] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Solver) cancelUntil(lvl int) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	lo := s.trailLo[lvl]
+	for i := len(s.trail) - 1; i >= lo; i-- {
+		l := s.trail[i]
+		v := l.Var()
+		s.phase[v] = !l.Negated()
+		s.assign[v] = 0
+		s.reason[v] = nil
+		if s.heapPos[v] < 0 {
+			s.heapInsert(int32(v))
+		}
+	}
+	s.trail = s.trail[:lo]
+	s.trailLo = s.trailLo[:lvl]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	if s.heapPos[v] >= 0 {
+		s.heapUp(s.heapPos[v])
+	}
+}
+
+func (s *Solver) bumpClause(c *clause) {
+	if !c.learnt {
+		return
+	}
+	c.act += s.claInc
+	if c.act > 1e20 {
+		for _, lc := range s.learnts {
+			lc.act *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+// heap: max-heap on (activity, then lower var index wins ties) so decision
+// order is a pure function of solver state.
+
+func (s *Solver) heapLess(a, b int32) bool {
+	if s.activity[a] != s.activity[b] {
+		return s.activity[a] > s.activity[b]
+	}
+	return a < b
+}
+
+func (s *Solver) heapInsert(v int32) {
+	s.heapPos[v] = int32(len(s.heap))
+	s.heap = append(s.heap, v)
+	s.heapUp(s.heapPos[v])
+}
+
+func (s *Solver) heapUp(i int32) {
+	v := s.heap[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.heapLess(v, s.heap[p]) {
+			break
+		}
+		s.heap[i] = s.heap[p]
+		s.heapPos[s.heap[i]] = i
+		i = p
+	}
+	s.heap[i] = v
+	s.heapPos[v] = i
+}
+
+func (s *Solver) heapDown(i int32) {
+	v := s.heap[i]
+	n := int32(len(s.heap))
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && s.heapLess(s.heap[c+1], s.heap[c]) {
+			c++
+		}
+		if !s.heapLess(s.heap[c], v) {
+			break
+		}
+		s.heap[i] = s.heap[c]
+		s.heapPos[s.heap[i]] = i
+		i = c
+	}
+	s.heap[i] = v
+	s.heapPos[v] = i
+}
+
+func (s *Solver) heapPop() int32 {
+	v := s.heap[0]
+	last := s.heap[len(s.heap)-1]
+	s.heap = s.heap[:len(s.heap)-1]
+	s.heapPos[v] = -1
+	if len(s.heap) > 0 {
+		s.heap[0] = last
+		s.heapPos[last] = 0
+		s.heapDown(0)
+	}
+	return v
+}
+
+func (s *Solver) pickBranch() (Lit, bool) {
+	for len(s.heap) > 0 {
+		v := s.heapPop()
+		if s.assign[v] == 0 {
+			if s.phase[v] {
+				return Pos(int(v)), true
+			}
+			return Neg(int(v)), true
+		}
+	}
+	return 0, false
+}
+
+// luby returns the i-th element (1-based) of the Luby restart sequence
+// 1,1,2,1,1,2,4,...
+func luby(i int64) int64 {
+	for k := int64(1); ; k++ {
+		if i == (1<<k)-1 {
+			return 1 << (k - 1)
+		}
+		if i < (1<<k)-1 {
+			return luby(i - (1 << (k - 1)) + 1)
+		}
+	}
+}
+
+// reduceDB removes the lower-activity half of the learnt clauses, keeping
+// binary clauses and clauses that are currently a reason for an assignment.
+func (s *Solver) reduceDB() {
+	locked := func(c *clause) bool {
+		v := c.lits[0].Var()
+		return s.assign[v] != 0 && s.reason[v] == c
+	}
+	sorted := append([]*clause(nil), s.learnts...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].act < sorted[j].act })
+	drop := make(map[*clause]bool, len(sorted)/2)
+	for _, c := range sorted[:len(sorted)/2] {
+		if len(c.lits) > 2 && !locked(c) {
+			drop[c] = true
+		}
+	}
+	if len(drop) == 0 {
+		return
+	}
+	kept := s.learnts[:0]
+	for _, c := range s.learnts {
+		if !drop[c] {
+			kept = append(kept, c)
+		}
+	}
+	s.learnts = kept
+	for li := range s.watches {
+		ws := s.watches[li][:0]
+		for _, w := range s.watches[li] {
+			if !drop[w.c] {
+				ws = append(ws, w)
+			}
+		}
+		s.watches[li] = ws
+	}
+	s.stats.Deleted += int64(len(drop))
+}
+
+// Solve searches for a model. It returns Sat with a model readable via Value,
+// Unsat when the instance is refuted, or Unknown when MaxConflicts ran out.
+// Context cancellation is polled every CheckEvery conflicts and surfaces as
+// (Unknown, ctx.Err()).
+func (s *Solver) Solve(ctx context.Context) (Status, error) {
+	if s.unsat {
+		return Unsat, nil
+	}
+	if confl := s.propagate(); confl != nil {
+		s.unsat = true
+		return Unsat, nil
+	}
+	s.learntC = math.Max(float64(len(s.clauses))/3, 100)
+	var restartSeq int64 = 1
+	limit := s.opts.LubyUnit * luby(restartSeq)
+	var sinceRestart int64
+	startConflicts := s.stats.Conflicts
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.stats.Conflicts++
+			sinceRestart++
+			if s.decisionLevel() == 0 {
+				s.unsat = true
+				return Unsat, nil
+			}
+			learnt, back := s.analyze(confl)
+			s.cancelUntil(back)
+			if len(learnt) == 1 {
+				s.enqueue(learnt[0], nil)
+			} else {
+				c := &clause{lits: learnt, learnt: true, act: s.claInc}
+				s.learnts = append(s.learnts, c)
+				s.attach(c)
+				s.enqueue(learnt[0], c)
+				s.stats.Learned++
+			}
+			s.varInc /= s.opts.VarDecay
+			s.claInc /= s.opts.ClauseDecay
+			if s.stats.Conflicts%s.opts.CheckEvery == 0 {
+				select {
+				case <-ctx.Done():
+					return Unknown, ctx.Err()
+				default:
+				}
+			}
+			if s.opts.MaxConflicts > 0 && s.stats.Conflicts-startConflicts >= s.opts.MaxConflicts {
+				return Unknown, nil
+			}
+			continue
+		}
+		if sinceRestart >= limit {
+			s.stats.Restarts++
+			restartSeq++
+			limit = s.opts.LubyUnit * luby(restartSeq)
+			sinceRestart = 0
+			s.cancelUntil(0)
+			continue
+		}
+		if float64(len(s.learnts)) >= s.learntC+float64(len(s.trail)) {
+			s.reduceDB()
+			s.learntC *= 1.3
+		}
+		l, ok := s.pickBranch()
+		if !ok {
+			s.model = append(s.model[:0], s.assign...)
+			return Sat, nil
+		}
+		s.stats.Decisions++
+		s.trailLo = append(s.trailLo, len(s.trail))
+		s.enqueue(l, nil)
+	}
+}
+
+// Value reports variable v's polarity in the model of the last Sat verdict.
+func (s *Solver) Value(v int) bool { return s.model[v] > 0 }

@@ -65,6 +65,11 @@ func writeClientError(w http.ResponseWriter, err error) (code int) {
 		writeJSON(w, http.StatusNotFound, ErrorResponse{Error: err.Error(), Class: "not-found"})
 		return http.StatusNotFound
 	}
+	var be *badEngineError
+	if errors.As(err, &be) {
+		writeJSON(w, http.StatusBadRequest, ErrorResponse{Error: err.Error(), Class: "bad-engine"})
+		return http.StatusBadRequest
+	}
 	var tooBig *http.MaxBytesError
 	if errors.As(err, &tooBig) {
 		writeJSON(w, http.StatusRequestEntityTooLarge, ErrorResponse{
@@ -187,17 +192,25 @@ func (s *Server) traceInto(ctx context.Context, eng, kernel string) context.Cont
 	return obs.With(ctx, s.trace.Named(eng, kernel))
 }
 
-// MapperInfo is one /v1/mappers entry.
-type MapperInfo struct {
+// EngineInfo is one /v1/engines entry.
+type EngineInfo struct {
 	Name        string `json:"name"`
 	Description string `json:"description,omitempty"`
 }
 
-func (s *Server) handleMappers(w http.ResponseWriter, r *http.Request) {
-	out := make([]MapperInfo, 0, 8)
+// MapperInfo is the legacy name for EngineInfo, kept for the /v1/mappers
+// alias era; the wire shape is identical.
+type MapperInfo = EngineInfo
+
+// handleEngines is GET /v1/engines (and its legacy alias /v1/mappers): the
+// engine registry, one entry per registered engine with its description,
+// in registry order. The names listed here are exactly the values the map
+// and job endpoints accept in the mapper field.
+func (s *Server) handleEngines(w http.ResponseWriter, r *http.Request) {
+	out := make([]EngineInfo, 0, 8)
 	for _, name := range engine.Names() {
 		m, _ := engine.Lookup(name)
-		out = append(out, MapperInfo{Name: name, Description: engine.Describe(m)})
+		out = append(out, EngineInfo{Name: name, Description: engine.Describe(m)})
 	}
 	writeJSON(w, http.StatusOK, out)
 }

@@ -214,7 +214,8 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/v1/map", s.handleMap)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleJobSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobGet)
-	s.mux.HandleFunc("/v1/mappers", s.handleMappers)
+	s.mux.HandleFunc("/v1/engines", s.handleEngines)
+	s.mux.HandleFunc("/v1/mappers", s.handleEngines) // legacy alias for /v1/engines
 	s.mux.HandleFunc("/v1/kernels", s.handleKernels)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
@@ -454,7 +455,7 @@ func (s *Server) resolve(req *MapRequest) (d *dfg.DFG, c *arch.CGRA, eng engine.
 	}
 	eng, ok := engine.Lookup(mapperName)
 	if !ok {
-		return nil, nil, nil, eo, "", &notFoundError{fmt.Sprintf("unknown mapper %q (have %v)", mapperName, engine.Names())}
+		return nil, nil, nil, eo, "", &badEngineError{fmt.Sprintf("unknown mapper %q (have %v, see /v1/engines)", mapperName, engine.Names())}
 	}
 
 	if req.MinII < 0 || req.MaxII < 0 || (req.MaxII > 0 && req.MinII > req.MaxII) {
@@ -539,6 +540,15 @@ func (s *Server) resolveArch(req *MapRequest) (*arch.CGRA, error) {
 type notFoundError struct{ msg string }
 
 func (e *notFoundError) Error() string { return e.msg }
+
+// badEngineError marks a request naming an engine the registry does not
+// have. Unlike an unknown kernel (a 404: the resource genuinely does not
+// exist here), a bad engine name is a malformed request against a fixed,
+// discoverable vocabulary — answered 400 with class "bad-engine" so clients
+// can distinguish it from transport-level 404s and consult /v1/engines.
+type badEngineError struct{ msg string }
+
+func (e *badEngineError) Error() string { return e.msg }
 
 // deadlineFor clamps the request deadline into the configured window.
 func (s *Server) deadlineFor(req *MapRequest) (time.Duration, error) {

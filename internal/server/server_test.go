@@ -426,7 +426,7 @@ func TestClientErrors(t *testing.T) {
 		{"no kernel", `{}`, http.StatusBadRequest, "bad-request"},
 		{"both kernel and source", `{"kernel":"fir8","source":"x = a[i]"}`, http.StatusBadRequest, "bad-request"},
 		{"unknown kernel", `{"kernel":"nope"}`, http.StatusNotFound, "not-found"},
-		{"unknown mapper", `{"kernel":"fir8","mapper":"nope"}`, http.StatusNotFound, "not-found"},
+		{"unknown mapper", `{"kernel":"fir8","mapper":"nope"}`, http.StatusBadRequest, "bad-engine"},
 		{"bad faults", `{"kernel":"fir8","faults":"pe 99,99"}`, http.StatusBadRequest, "bad-request"},
 		{"bad topology", `{"kernel":"fir8","topology":"hypercube"}`, http.StatusBadRequest, "bad-request"},
 		{"bad II bounds", `{"kernel":"fir8","min_ii":9,"max_ii":2}`, http.StatusBadRequest, "bad-request"},
@@ -561,25 +561,33 @@ func TestArchCacheKeyedOnFingerprint(t *testing.T) {
 func TestDiscoveryEndpoints(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 
-	code, body := get(t, ts, "/v1/mappers")
-	if code != http.StatusOK {
-		t.Fatalf("/v1/mappers: %d", code)
-	}
-	var mappers []MapperInfo
-	if err := json.Unmarshal(body, &mappers); err != nil {
-		t.Fatal(err)
-	}
-	found := map[string]bool{}
-	for _, m := range mappers {
-		found[m.Name] = true
-	}
-	for _, want := range []string{"regimap", "ems", "dresc", "portfolio", "resilient"} {
-		if !found[want] {
-			t.Errorf("/v1/mappers missing %q (got %v)", want, mappers)
+	// /v1/engines and its legacy alias /v1/mappers answer the same listing.
+	for _, path := range []string{"/v1/engines", "/v1/mappers"} {
+		code, body := get(t, ts, path)
+		if code != http.StatusOK {
+			t.Fatalf("%s: %d", path, code)
+		}
+		var engines []EngineInfo
+		if err := json.Unmarshal(body, &engines); err != nil {
+			t.Fatal(err)
+		}
+		found := map[string]string{}
+		for _, m := range engines {
+			found[m.Name] = m.Description
+		}
+		for _, want := range []string{"regimap", "ems", "dresc", "portfolio", "resilient", "exact"} {
+			desc, ok := found[want]
+			if !ok {
+				t.Errorf("%s missing %q (got %v)", path, want, engines)
+				continue
+			}
+			if desc == "" {
+				t.Errorf("%s lists %q without a description", path, want)
+			}
 		}
 	}
 
-	code, body = get(t, ts, "/v1/kernels")
+	code, body := get(t, ts, "/v1/kernels")
 	if code != http.StatusOK {
 		t.Fatalf("/v1/kernels: %d", code)
 	}
@@ -606,5 +614,59 @@ func waitFor(t *testing.T, cond func() bool) {
 			t.Fatal("condition not reached in time")
 		}
 		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestExactEngineOverHTTP drives the exact SAT backend through both the
+// synchronous map endpoint and the async job API, and checks that an
+// unknown engine on either path answers the typed 400 "bad-engine".
+func TestExactEngineOverHTTP(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+
+	code, blob, _ := postMap(t, ts, `{"kernel":"dotprod_sat","mapper":"exact"}`)
+	if code != http.StatusOK {
+		t.Fatalf("sync exact map: %d: %s", code, blob)
+	}
+	var sr MapResponse
+	if err := json.Unmarshal(blob, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Mapper != "exact" || sr.II <= 0 || sr.II < sr.MII {
+		t.Fatalf("sync exact answer = %+v", sr)
+	}
+
+	ack := submitJob(t, ts, `{"kernel":"dotprod_sat","mapper":"exact","idempotency_key":"exact-1"}`, http.StatusAccepted)
+	job := pollJob(t, ts, ack.ID)
+	if job.State != "done" {
+		t.Fatalf("exact job = %+v", job)
+	}
+	var jr MapResponse
+	if err := json.Unmarshal(job.Result, &jr); err != nil {
+		t.Fatalf("job result %q: %v", job.Result, err)
+	}
+	if jr.II != sr.II {
+		t.Fatalf("async exact II=%d, sync II=%d", jr.II, sr.II)
+	}
+
+	for _, submit := range []func() (int, []byte){
+		func() (int, []byte) {
+			code, blob, _ := postMap(t, ts, `{"kernel":"dotprod_sat","mapper":"nope"}`)
+			return code, blob
+		},
+		func() (int, []byte) {
+			code, blob, _ := postJSON(t, ts, "/v1/jobs", `{"kernel":"dotprod_sat","mapper":"nope"}`)
+			return code, blob
+		},
+	} {
+		code, blob := submit()
+		if code != http.StatusBadRequest {
+			t.Fatalf("unknown engine: status %d, want 400: %s", code, blob)
+		}
+		if got := errClass(t, blob); got != "bad-engine" {
+			t.Fatalf("unknown engine: class %q, want \"bad-engine\": %s", got, blob)
+		}
+		if !strings.Contains(string(blob), "exact") {
+			t.Fatalf("bad-engine body does not list the registry: %s", blob)
+		}
 	}
 }

@@ -1,0 +1,131 @@
+package regimap_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"regimap"
+	"regimap/internal/arch"
+	"regimap/internal/dfg"
+	"regimap/internal/engine"
+	"regimap/internal/exact"
+	"regimap/internal/maperr"
+	"regimap/internal/mapping"
+	"regimap/internal/sim"
+)
+
+// inRouteChainClass reports whether a heuristic mapping stayed inside the
+// exact engine's relaxation class: every node it added to the kernel is a
+// route node, and no edge was stretched through a chain longer than hops.
+// Mappings that duplicated or split compute nodes (REGIMap's recMII II
+// escape hatches) are outside the class, and a chain-class lower bound says
+// nothing about them.
+func inRouteChainClass(orig *dfg.DFG, m *mapping.Mapping, hops int) bool {
+	md := m.D
+	chain := map[int]int{}
+	var lenOf func(v int) int
+	lenOf = func(v int) int {
+		if v < orig.N() || md.Nodes[v].Kind != dfg.Route {
+			return 0
+		}
+		if l, ok := chain[v]; ok {
+			return l
+		}
+		in := md.InEdges(v)
+		if len(in) != 1 {
+			return hops + 1 // not a simple chain; force out of class
+		}
+		l := 1 + lenOf(md.Edges[in[0]].From)
+		chain[v] = l
+		return l
+	}
+	for v := orig.N(); v < md.N(); v++ {
+		if md.Nodes[v].Kind != dfg.Route {
+			return false
+		}
+		if lenOf(v) > hops {
+			return false
+		}
+	}
+	return true
+}
+
+// TestExactOracleOnRandomKernels uses the exact engine as ground truth over
+// small random kernels crossed with zoo fabrics: no heuristic engine may
+// return an II below what the certificate proves impossible, and every SAT
+// model the exact engine produces must decode to a simulator-certified
+// mapping. Lower-bound assertions are class-aware: a chain-class bound is
+// only held against heuristic mappings that stayed inside the route-chain
+// relaxation; mappings that escaped it (node duplication, fanout splitting)
+// are bounded by MII alone.
+func TestExactOracleOnRandomKernels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("oracle suite runs many mapper invocations")
+	}
+	fabrics := []string{"paper-4x4", "onehop-4x4", "band2-4x4", "hetero-mem-col"}
+	heuristics := []string{"regimap", "ems", "dresc"}
+
+	for _, seed := range []int64{1, 2, 3, 4, 5, 6} {
+		d := regimap.RandomKernel(seed, regimap.RandomKernelOptions{
+			Ops:        6 + int(seed%5),
+			Recurrence: int(seed % 3),
+		})
+		for _, fname := range fabrics {
+			c, err := arch.Resolve(fname)
+			if err != nil {
+				t.Fatalf("resolve %s: %v", fname, err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			m, st, err := exact.Map(ctx, d, c, exact.Options{MaxConflicts: 20_000})
+			cancel()
+			cert := st.Cert
+			if err != nil && !errors.Is(err, maperr.ErrNoMapping) && !errors.Is(err, maperr.ErrAborted) {
+				t.Fatalf("seed %d on %s: exact: %v", seed, fname, err)
+			}
+			if m != nil {
+				if verr := m.Validate(); verr != nil {
+					t.Fatalf("seed %d on %s: exact model does not validate: %v", seed, fname, verr)
+				}
+				if serr := sim.Check(m, 4); serr != nil {
+					t.Fatalf("seed %d on %s: exact model fails simulation: %v", seed, fname, serr)
+				}
+			}
+
+			for _, name := range heuristics {
+				eng, ok := engine.Lookup(name)
+				if !ok {
+					t.Fatalf("engine %q not registered", name)
+				}
+				hctx, hcancel := context.WithTimeout(context.Background(), 30*time.Second)
+				res, herr := eng.Map(hctx, d, c, engine.Options{})
+				hcancel()
+				if herr != nil || res == nil || res.II == 0 {
+					continue // a heuristic failing to map proves nothing
+				}
+				if res.II < cert.MII {
+					t.Fatalf("seed %d on %s: %s II=%d beats MII=%d", seed, fname, name, res.II, cert.MII)
+				}
+				if cert.ProvenLowerBound <= cert.MII {
+					continue
+				}
+				switch cert.LowerBoundClass {
+				case exact.LowerBoundMII:
+					if res.II < cert.ProvenLowerBound {
+						t.Fatalf("seed %d on %s: %s II=%d beats certified absolute bound %d",
+							seed, fname, name, res.II, cert.ProvenLowerBound)
+					}
+				case exact.LowerBoundChain:
+					if res.Mapping != nil && inRouteChainClass(d, res.Mapping, cert.RouteHops) &&
+						res.II < cert.ProvenLowerBound {
+						t.Fatalf("seed %d on %s: %s II=%d is a route-chain mapping (<=%d hops) below the chain-class bound %d",
+							seed, fname, name, res.II, cert.RouteHops, cert.ProvenLowerBound)
+					}
+				default:
+					t.Fatalf("seed %d on %s: unknown lower bound class %q", seed, fname, cert.LowerBoundClass)
+				}
+			}
+		}
+	}
+}

@@ -48,6 +48,7 @@ import (
 	"regimap/internal/dresc"
 	"regimap/internal/ems"
 	"regimap/internal/engine"
+	"regimap/internal/exact"
 	"regimap/internal/fault"
 	"regimap/internal/kernels"
 	"regimap/internal/loopir"
@@ -271,6 +272,41 @@ func MapDRESC(d *DFG, c *CGRA, opts DRESCOptions) (*DRESCPlacement, *DRESCStats,
 // and II-escalation boundaries.
 func MapDRESCContext(ctx context.Context, d *DFG, c *CGRA, opts DRESCOptions) (*DRESCPlacement, *DRESCStats, error) {
 	return placeVia[dresc.Stats](ctx, "dresc", d, c, opts)
+}
+
+// Exact mapper types.
+type (
+	// ExactOptions configures the SAT-based exact engine.
+	ExactOptions = exact.Options
+	// ExactStats carries an exact run's certificate plus wall-clock.
+	ExactStats = exact.Stats
+	// Certificate is the exact engine's proof artifact: the certified MII,
+	// the best (possibly proven-optimal) II, and per-II solver verdicts.
+	Certificate = exact.Certificate
+)
+
+// Lower-bound classes a Certificate's ProvenLowerBound can carry: MII-class
+// bounds hold for any mapper; chain-class bounds hold within the exact
+// engine's route-chain relaxation (see the Certificate docs).
+const (
+	ExactLowerBoundMII   = exact.LowerBoundMII
+	ExactLowerBoundChain = exact.LowerBoundChain
+)
+
+// MapExact runs the exact engine: a reduction of the mapping problem to SAT,
+// solved by a built-in CDCL solver, escalating II upward from MII. Unlike
+// the heuristics it proves things — a returned mapping is certified optimal
+// when every II below it was refuted, and even a failure carries a certified
+// lower bound in its Stats. Compile times are exponential in the worst case;
+// bound them with MapExactContext or ExactOptions.MaxConflicts.
+func MapExact(d *DFG, c *CGRA, opts ExactOptions) (*Mapping, *ExactStats, error) {
+	return MapExactContext(context.Background(), d, c, opts)
+}
+
+// MapExactContext is MapExact with cancellation, honored within a bounded
+// number of solver conflicts at any moment.
+func MapExactContext(ctx context.Context, d *DFG, c *CGRA, opts ExactOptions) (*Mapping, *ExactStats, error) {
+	return mapVia[exact.Stats](ctx, "exact", d, c, opts)
 }
 
 // MapEMS runs the EMS-style baseline: edge-centric greedy placement with
